@@ -1,0 +1,184 @@
+//! Peripheral functional components — the `c ∈ components` of the paper's
+//! Eq. (5): the ADC bank and the vector ALU families (shift-and-add, pooling,
+//! activation, elementwise add). These consume the `(1 − RatioRram)` share of
+//! the power budget and are the subject of the components-allocation stage.
+
+use std::fmt;
+
+use crate::converters::AdcConfig;
+use crate::params::HardwareParams;
+use crate::units::{Hertz, Watts};
+
+/// The peripheral component families allocatable per layer
+/// (`CompAlloc_i^c` in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Analog-to-digital converter (dominant power consumer).
+    Adc,
+    /// Shift-and-add merge units combining bit/slice partial sums.
+    ShiftAdd,
+    /// Pooling units (max/average windows).
+    Pool,
+    /// Activation units (ReLU/PReLU class).
+    Activation,
+    /// Elementwise adders for residual merges.
+    Eltwise,
+}
+
+impl ComponentKind {
+    /// All allocatable kinds, in report order.
+    pub const ALL: [ComponentKind; 5] = [
+        ComponentKind::Adc,
+        ComponentKind::ShiftAdd,
+        ComponentKind::Pool,
+        ComponentKind::Activation,
+        ComponentKind::Eltwise,
+    ];
+
+    /// Power of a single unit of this kind. The ADC's power depends on its
+    /// (layer-derived) resolution; digital ALU powers come from Table III /
+    /// ISAAC constants.
+    pub fn unit_power(&self, adc: AdcConfig, hw: &HardwareParams) -> Watts {
+        match self {
+            ComponentKind::Adc => adc.power(hw),
+            ComponentKind::ShiftAdd => hw.shift_add_power,
+            ComponentKind::Pool => hw.pool_power,
+            ComponentKind::Activation => hw.activation_power,
+            ComponentKind::Eltwise => hw.eltwise_power,
+        }
+    }
+
+    /// Operation rate of a single unit (`Freq_c` in Eq. (5)): samples/s for
+    /// the ADC, one vector element per digital clock for ALUs.
+    pub fn unit_rate(&self, adc: AdcConfig, hw: &HardwareParams) -> Hertz {
+        match self {
+            ComponentKind::Adc => adc.sample_rate(hw),
+            _ => hw.clock,
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Adc => "adc",
+            ComponentKind::ShiftAdd => "shift-add",
+            ComponentKind::Pool => "pool",
+            ComponentKind::Activation => "activation",
+            ComponentKind::Eltwise => "eltwise",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unit counts per component kind for one layer — the solution of the
+/// components-allocation stage (`CompAlloc_i` vector entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComponentCounts {
+    /// ADC units.
+    pub adc: usize,
+    /// Shift-and-add units.
+    pub shift_add: usize,
+    /// Pooling units.
+    pub pool: usize,
+    /// Activation units.
+    pub activation: usize,
+    /// Elementwise-add units.
+    pub eltwise: usize,
+}
+
+impl ComponentCounts {
+    /// Count for a given kind.
+    pub fn count(&self, kind: ComponentKind) -> usize {
+        match kind {
+            ComponentKind::Adc => self.adc,
+            ComponentKind::ShiftAdd => self.shift_add,
+            ComponentKind::Pool => self.pool,
+            ComponentKind::Activation => self.activation,
+            ComponentKind::Eltwise => self.eltwise,
+        }
+    }
+
+    /// Mutable count for a given kind.
+    pub fn count_mut(&mut self, kind: ComponentKind) -> &mut usize {
+        match kind {
+            ComponentKind::Adc => &mut self.adc,
+            ComponentKind::ShiftAdd => &mut self.shift_add,
+            ComponentKind::Pool => &mut self.pool,
+            ComponentKind::Activation => &mut self.activation,
+            ComponentKind::Eltwise => &mut self.eltwise,
+        }
+    }
+
+    /// Total power of these units given the layer's ADC resolution.
+    pub fn power(&self, adc: AdcConfig, hw: &HardwareParams) -> Watts {
+        ComponentKind::ALL
+            .iter()
+            .map(|&k| k.unit_power(adc, hw) * self.count(k) as f64)
+            .sum()
+    }
+
+    /// Sum of unit counts across kinds.
+    pub fn total_units(&self) -> usize {
+        ComponentKind::ALL.iter().map(|&k| self.count(k)).sum()
+    }
+}
+
+impl fmt::Display for ComponentCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adc:{} s&a:{} pool:{} act:{} elt:{}",
+            self.adc, self.shift_add, self.pool, self.activation, self.eltwise
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareParams {
+        HardwareParams::date24()
+    }
+
+    fn adc8() -> AdcConfig {
+        AdcConfig::new(8, &hw())
+    }
+
+    #[test]
+    fn adc_dominates_unit_power() {
+        let hw = hw();
+        let adc_p = ComponentKind::Adc.unit_power(adc8(), &hw);
+        for kind in [ComponentKind::ShiftAdd, ComponentKind::Pool, ComponentKind::Activation] {
+            assert!(adc_p > kind.unit_power(adc8(), &hw));
+        }
+    }
+
+    #[test]
+    fn counts_round_trip_through_accessors() {
+        let mut c = ComponentCounts::default();
+        for (i, kind) in ComponentKind::ALL.iter().enumerate() {
+            *c.count_mut(*kind) = i + 1;
+        }
+        for (i, kind) in ComponentKind::ALL.iter().enumerate() {
+            assert_eq!(c.count(*kind), i + 1);
+        }
+        assert_eq!(c.total_units(), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn power_sums_over_kinds() {
+        let hw = hw();
+        let c = ComponentCounts { adc: 2, shift_add: 10, ..Default::default() };
+        let expected = adc8().power(&hw) * 2.0 + hw.shift_add_power * 10.0;
+        assert!((c.power(adc8(), &hw).value() - expected.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alu_rate_is_clock() {
+        let hw = hw();
+        assert_eq!(ComponentKind::Pool.unit_rate(adc8(), &hw), hw.clock);
+        assert_eq!(ComponentKind::Adc.unit_rate(adc8(), &hw).value(), 1.28e9);
+    }
+}

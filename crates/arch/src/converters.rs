@@ -1,0 +1,190 @@
+//! Data converters: DACs driving crossbar word lines and the shared ADC bank
+//! digitizing bit-line currents. ADCs dominate PIM power (>60% per ISAAC),
+//! making these models central to the paper's power-efficiency story.
+
+use crate::error::ArchError;
+use crate::params::HardwareParams;
+use crate::units::{Hertz, SquareMm, Watts};
+
+/// Legal DAC resolutions explored by the paper (Table I / Table III).
+pub const RESDAC_CHOICES: [u32; 3] = [1, 2, 4];
+
+/// DAC configuration (`ResDAC` design variable).
+///
+/// If activation precision exceeds the DAC resolution, inference iterates
+/// bit-serially: each iteration feeds `ResDAC` input bits (Sec. II-A).
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::DacConfig;
+///
+/// # fn main() -> Result<(), pimsyn_arch::ArchError> {
+/// let dac = DacConfig::new(2)?;
+/// assert_eq!(dac.bit_iterations(16), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DacConfig {
+    bits: u32,
+}
+
+impl DacConfig {
+    /// Creates a DAC configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::InvalidDesignVariable`] unless `bits` is 1, 2 or 4.
+    pub fn new(bits: u32) -> Result<Self, ArchError> {
+        if !RESDAC_CHOICES.contains(&bits) {
+            return Err(ArchError::InvalidDesignVariable {
+                variable: "ResDAC",
+                value: bits.to_string(),
+                expected: "one of 1, 2, 4",
+            });
+        }
+        Ok(Self { bits })
+    }
+
+    /// DAC resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of bit-serial iterations for `activation_bits`-wide inputs:
+    /// `ceil(PrecAct / ResDAC)`.
+    pub fn bit_iterations(&self, activation_bits: u32) -> usize {
+        activation_bits.div_ceil(self.bits) as usize
+    }
+
+    /// Power of a single DAC (Table III: 4–30 uW across 1–4 bits).
+    pub fn power(&self, hw: &HardwareParams) -> Watts {
+        // The LUT is indexed by resolution; resolution 3 is not in the
+        // explored set but interpolation keeps the model total.
+        hw.dac_power_lut[(self.bits as usize - 1).min(3)]
+    }
+
+    /// DAC area.
+    pub fn area(&self, hw: &HardwareParams) -> SquareMm {
+        SquareMm(hw.dac_area.0 * self.bits as f64)
+    }
+}
+
+/// ADC configuration.
+///
+/// The resolution is *derived*, not explored: PIMSYN fixes it to the minimum
+/// that loses no accuracy (Sec. III), following ISAAC's rule for a crossbar
+/// accumulating `rows` 1-bit-DAC'd, `cell_bits`-cell products:
+/// `bits = log2(rows) + cell_bits + dac_bits - 1`, clamped to Table III's
+/// 7..=14 range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdcConfig {
+    bits: u32,
+}
+
+impl AdcConfig {
+    /// Creates an ADC of an explicit resolution, clamped to the legal range.
+    pub fn new(bits: u32, hw: &HardwareParams) -> Self {
+        Self { bits: bits.clamp(hw.adc_min_bits, hw.adc_max_bits) }
+    }
+
+    /// Minimum lossless resolution for a crossbar of `rows` active rows,
+    /// `cell_bits` cells and `dac_bits` DACs (ISAAC rule, Sec. III):
+    /// `log2(rows) + cell_bits + dac_bits - 1`, with one further bit saved
+    /// for 1-bit DACs by ISAAC's flipped-weight encoding (their Sec. IV
+    /// analysis — this is how ISAAC reads 128 rows of 2-bit cells with an
+    /// 8-bit converter without accuracy loss).
+    pub fn minimum_lossless(rows: usize, cell_bits: u32, dac_bits: u32, hw: &HardwareParams) -> Self {
+        let log_rows = (rows.max(1) as f64).log2().ceil() as u32;
+        let encoding_saving = u32::from(dac_bits == 1);
+        Self::new((log_rows + cell_bits + dac_bits).saturating_sub(1 + encoding_saving), hw)
+    }
+
+    /// ADC resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Power of one ADC (Table III: 2–54 mW across 7–14 bits; the growth
+    /// factor 1.6/bit reproduces both anchors).
+    pub fn power(&self, hw: &HardwareParams) -> Watts {
+        hw.adc_base_power * hw.adc_power_growth.powi(self.bits as i32 - hw.adc_min_bits as i32)
+    }
+
+    /// Sample rate: anchored at 1.28 GS/s for 8 bits (ISAAC), halving per
+    /// extra bit of resolution (SAR-style rate/resolution tradeoff).
+    pub fn sample_rate(&self, hw: &HardwareParams) -> Hertz {
+        hw.adc_base_rate * 2f64.powi(8 - self.bits as i32)
+    }
+
+    /// ADC area, growing with resolution.
+    pub fn area(&self, hw: &HardwareParams) -> SquareMm {
+        SquareMm(hw.adc_area.0 * 1.3f64.powi(self.bits as i32 - 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareParams {
+        HardwareParams::date24()
+    }
+
+    #[test]
+    fn dac_validation() {
+        assert!(DacConfig::new(3).is_err());
+        assert!(DacConfig::new(1).is_ok());
+    }
+
+    #[test]
+    fn dac_bit_iterations() {
+        assert_eq!(DacConfig::new(1).unwrap().bit_iterations(16), 16);
+        assert_eq!(DacConfig::new(4).unwrap().bit_iterations(16), 4);
+        assert_eq!(DacConfig::new(4).unwrap().bit_iterations(10), 3);
+    }
+
+    #[test]
+    fn dac_power_anchors() {
+        let lo = DacConfig::new(1).unwrap().power(&hw());
+        let hi = DacConfig::new(4).unwrap().power(&hw());
+        assert!((lo.value() - 4e-6).abs() < 1e-12);
+        assert!((hi.value() - 30e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_power_anchors_match_table3() {
+        let lo = AdcConfig::new(7, &hw()).power(&hw());
+        let hi = AdcConfig::new(14, &hw()).power(&hw());
+        assert!((lo.milli() - 2.0).abs() < 1e-9, "7-bit anchor: {lo}");
+        assert!((53.0..55.0).contains(&hi.milli()), "14-bit anchor: {hi}");
+    }
+
+    #[test]
+    fn adc_resolution_clamped() {
+        assert_eq!(AdcConfig::new(3, &hw()).bits(), 7);
+        assert_eq!(AdcConfig::new(20, &hw()).bits(), 14);
+    }
+
+    #[test]
+    fn minimum_lossless_rule() {
+        // 128 rows, 2-bit cells, 1-bit DAC: 7 + 2 + 1 - 1 = 9, minus the
+        // flipped-weight encoding bit = 8 — exactly ISAAC's converter.
+        assert_eq!(AdcConfig::minimum_lossless(128, 2, 1, &hw()).bits(), 8);
+        // Multi-bit DACs get no encoding saving: 7 + 2 + 2 - 1 = 10.
+        assert_eq!(AdcConfig::minimum_lossless(128, 2, 2, &hw()).bits(), 10);
+        // 512 rows, 4-bit cells, 4-bit DAC: 9 + 4 + 4 - 1 = 16 -> clamp 14.
+        assert_eq!(AdcConfig::minimum_lossless(512, 4, 4, &hw()).bits(), 14);
+        // Tiny layer in a big crossbar: few active rows need fewer bits.
+        assert_eq!(AdcConfig::minimum_lossless(27, 1, 1, &hw()).bits(), 7);
+    }
+
+    #[test]
+    fn adc_rate_halves_per_bit() {
+        let r8 = AdcConfig::new(8, &hw()).sample_rate(&hw());
+        let r9 = AdcConfig::new(9, &hw()).sample_rate(&hw());
+        assert!((r8.value() / r9.value() - 2.0).abs() < 1e-9);
+        assert_eq!(r8.value(), 1.28e9);
+    }
+}

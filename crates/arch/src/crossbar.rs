@@ -1,0 +1,180 @@
+//! ReRAM crossbar model: Eq. (1) crossbar-set sizing and Eq. (3) crossbar
+//! budgeting, plus per-crossbar power/area.
+
+use pimsyn_model::WeightLayer;
+
+use crate::error::ArchError;
+use crate::params::HardwareParams;
+use crate::units::{SquareMm, Watts};
+
+/// Legal crossbar sizes explored by the paper (Table I / Table III).
+pub const XBSIZE_CHOICES: [usize; 3] = [128, 256, 512];
+
+/// Legal ReRAM cell resolutions in bits (Table I / Table III).
+pub const RESRRAM_CHOICES: [u32; 3] = [1, 2, 4];
+
+/// A crossbar configuration: array size and cell resolution.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::CrossbarConfig;
+///
+/// # fn main() -> Result<(), pimsyn_arch::ArchError> {
+/// let xb = CrossbarConfig::new(256, 2)?;
+/// assert_eq!(xb.size(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrossbarConfig {
+    size: usize,
+    cell_bits: u32,
+}
+
+impl CrossbarConfig {
+    /// Creates a configuration after validating both knobs against the
+    /// paper's design space.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::InvalidDesignVariable`] when `size` is not one of
+    /// 128/256/512 or `cell_bits` not one of 1/2/4.
+    pub fn new(size: usize, cell_bits: u32) -> Result<Self, ArchError> {
+        if !XBSIZE_CHOICES.contains(&size) {
+            return Err(ArchError::InvalidDesignVariable {
+                variable: "XbSize",
+                value: size.to_string(),
+                expected: "one of 128, 256, 512",
+            });
+        }
+        if !RESRRAM_CHOICES.contains(&cell_bits) {
+            return Err(ArchError::InvalidDesignVariable {
+                variable: "ResRram",
+                value: cell_bits.to_string(),
+                expected: "one of 1, 2, 4",
+            });
+        }
+        Ok(Self { size, cell_bits })
+    }
+
+    /// Array extent (rows = columns = `XbSize`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Cell resolution in bits (`ResRram`).
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// Number of weight-bit slices needed for `weight_bits`-wide weights:
+    /// `ceil(PrecWt / ResRram)` — the third factor of Eq. (1).
+    pub fn weight_slices(&self, weight_bits: u32) -> usize {
+        weight_bits.div_ceil(self.cell_bits) as usize
+    }
+
+    /// Read power of one crossbar (Table III anchors: 0.3 mW @128 growing
+    /// quadratically to 4.8 mW @512, with a mild cell-resolution uplift).
+    pub fn power(&self, hw: &HardwareParams) -> Watts {
+        let scale = (self.size as f64 / 128.0).powf(hw.crossbar_size_exponent);
+        let res = 1.0 + hw.crossbar_res_factor * (self.cell_bits as f64 - 1.0);
+        hw.crossbar_base_power * scale * res
+    }
+
+    /// Silicon area of one crossbar (cell count scaled from the 128x128
+    /// anchor; peripheral drivers excluded — they are counted per macro).
+    pub fn area(&self, hw: &HardwareParams) -> SquareMm {
+        let scale = (self.size as f64 / 128.0).powi(2);
+        SquareMm(hw.crossbar_base_area.0 * scale)
+    }
+
+    /// Eq. (1): the number of crossbars in one *crossbar set* — the minimum
+    /// hardware to hold one full copy of `layer`'s weights:
+    ///
+    /// `set = ceil(WK*WK*CI / XbSize) * ceil(CO / XbSize) * ceil(PrecWt / ResRram)`.
+    pub fn crossbar_set(&self, layer: &WeightLayer, weight_bits: u32) -> usize {
+        let row_groups = layer.filter_rows().div_ceil(self.size);
+        let col_groups = layer.out_channels.div_ceil(self.size);
+        row_groups * col_groups * self.weight_slices(weight_bits)
+    }
+
+    /// Eq. (3): the total crossbar budget a power envelope affords:
+    ///
+    /// `#crossbar = TotalPower * RatioRram / CrossbarPower(XbSize, ResRram)`.
+    pub fn budget(&self, total_power: Watts, ratio_rram: f64, hw: &HardwareParams) -> usize {
+        ((total_power * ratio_rram) / self.power(hw)).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_model::zoo;
+
+    fn hw() -> HardwareParams {
+        HardwareParams::date24()
+    }
+
+    #[test]
+    fn rejects_off_menu_values() {
+        assert!(CrossbarConfig::new(100, 1).is_err());
+        assert!(CrossbarConfig::new(128, 3).is_err());
+        assert!(CrossbarConfig::new(512, 4).is_ok());
+    }
+
+    #[test]
+    fn power_matches_table3_range() {
+        let lo = CrossbarConfig::new(128, 1).unwrap().power(&hw());
+        let hi = CrossbarConfig::new(512, 1).unwrap().power(&hw());
+        assert!((lo.milli() - 0.3).abs() < 1e-9, "low anchor {lo}");
+        assert!((hi.milli() - 4.8).abs() < 1e-9, "high anchor {hi}");
+        // Resolution uplift is monotone.
+        let hi4 = CrossbarConfig::new(512, 4).unwrap().power(&hw());
+        assert!(hi4 > hi);
+    }
+
+    #[test]
+    fn eq1_crossbar_set_for_vgg16_conv1() {
+        // conv1_1: WK=3, CI=3, CO=64 -> rows=27, cols=64.
+        let model = zoo::vgg16();
+        let conv1 = model.weight_layer(0);
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        // ceil(27/128)=1, ceil(64/128)=1, ceil(16/2)=8.
+        assert_eq!(xb.crossbar_set(conv1, 16), 8);
+    }
+
+    #[test]
+    fn eq1_crossbar_set_for_large_fc() {
+        // VGG16 fc1: rows = 25088, cols = 4096 at XbSize=512, ResRram=4:
+        // ceil(25088/512)=49, ceil(4096/512)=8, ceil(16/4)=4 -> 1568.
+        let model = zoo::vgg16();
+        let fc1 = model.weight_layers().find(|w| w.name == "fc1").unwrap();
+        let xb = CrossbarConfig::new(512, 4).unwrap();
+        assert_eq!(xb.crossbar_set(fc1, 16), 49 * 8 * 4);
+    }
+
+    #[test]
+    fn eq3_budget_scales_with_power_and_ratio() {
+        let xb = CrossbarConfig::new(128, 1).unwrap();
+        // 1 W * 0.3 ratio / 0.3 mW = 1000 crossbars.
+        assert_eq!(xb.budget(Watts(1.0), 0.3, &hw()), 1000);
+        assert_eq!(xb.budget(Watts(2.0), 0.3, &hw()), 2000);
+        assert_eq!(xb.budget(Watts(1.0), 0.15, &hw()), 500);
+    }
+
+    #[test]
+    fn weight_slices() {
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        assert_eq!(xb.weight_slices(16), 8);
+        assert_eq!(xb.weight_slices(15), 8);
+        assert_eq!(CrossbarConfig::new(128, 4).unwrap().weight_slices(16), 4);
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let a128 = CrossbarConfig::new(128, 1).unwrap().area(&hw());
+        let a512 = CrossbarConfig::new(512, 1).unwrap().area(&hw());
+        assert!((a512.0 / a128.0 - 16.0).abs() < 1e-9);
+    }
+}

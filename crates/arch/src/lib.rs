@@ -1,0 +1,59 @@
+//! Hardware component library and architecture template for the PIMSYN
+//! reproduction.
+//!
+//! This crate models the physical substrate of the paper's Fig. 2 — the
+//! macro-PE-crossbar hierarchy with its peripheral components — and the PPA
+//! arithmetic the synthesis stages rely on:
+//!
+//! - [`HardwareParams`]: the Table III device/circuit constants.
+//! - [`CrossbarConfig`]: Eq. (1) crossbar-set sizing and Eq. (3) crossbar
+//!   budgeting.
+//! - [`DacConfig`] / [`AdcConfig`]: converter power/rate models and the
+//!   minimum-lossless-ADC rule.
+//! - [`ComponentKind`] / [`ComponentCounts`]: the allocatable peripheral
+//!   families of Eq. (5).
+//! - [`NocConfig`], [`ScratchpadSpec`]: communication and storage.
+//! - [`Architecture`]: the fully-specified synthesized accelerator with
+//!   power/area breakdowns, peak-efficiency math, and validation of the
+//!   macro-partitioning rules.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsyn_arch::{CrossbarConfig, HardwareParams, Watts};
+//!
+//! # fn main() -> Result<(), pimsyn_arch::ArchError> {
+//! let hw = HardwareParams::date24();
+//! let xb = CrossbarConfig::new(128, 2)?;
+//! // Eq. (3): a 50 W budget at RatioRram = 0.3 affords this many crossbars:
+//! let n = xb.budget(Watts(50.0), 0.3, &hw);
+//! assert!(n > 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod architecture;
+mod components;
+pub mod hardware_config;
+mod converters;
+mod crossbar;
+mod error;
+mod memory;
+mod noc;
+mod params;
+mod units;
+
+pub use architecture::{
+    Architecture, AreaBreakdown, LayerHardware, MacroGroup, MacroMode, PowerBreakdown,
+};
+pub use components::{ComponentCounts, ComponentKind};
+pub use converters::{AdcConfig, DacConfig, RESDAC_CHOICES};
+pub use crossbar::{CrossbarConfig, RESRRAM_CHOICES, XBSIZE_CHOICES};
+pub use error::ArchError;
+pub use memory::ScratchpadSpec;
+pub use noc::NocConfig;
+pub use params::HardwareParams;
+pub use units::{Hertz, Joules, Seconds, SquareMm, Watts};

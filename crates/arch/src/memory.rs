@@ -1,0 +1,107 @@
+//! Per-macro storage: the eDRAM scratchpad buffering activations between
+//! layers and the small register files feeding PE input registers.
+
+use crate::params::HardwareParams;
+use crate::units::{Seconds, Watts};
+
+/// Per-macro scratchpad (Table III: 64 KB eDRAM, 256-bit bus, 20.7 mW).
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::{HardwareParams, ScratchpadSpec};
+///
+/// let hw = HardwareParams::date24();
+/// let spm = ScratchpadSpec::from_params(&hw);
+/// assert_eq!(spm.capacity_bytes(), 64 * 1024);
+/// assert!(spm.read_latency(64).value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScratchpadSpec {
+    capacity_bytes: usize,
+    bus_bytes: usize,
+    power: Watts,
+    beat_latency: Seconds,
+}
+
+impl ScratchpadSpec {
+    /// Builds the Table III scratchpad from hardware parameters.
+    pub fn from_params(hw: &HardwareParams) -> Self {
+        Self {
+            capacity_bytes: hw.scratchpad_bytes,
+            bus_bytes: (hw.scratchpad_bus_bits / 8) as usize,
+            power: hw.scratchpad_power,
+            beat_latency: hw.scratchpad_latency,
+        }
+    }
+
+    /// Storage capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bus width in bytes per beat.
+    pub fn bus_bytes(&self) -> usize {
+        self.bus_bytes
+    }
+
+    /// Static + access power of the scratchpad.
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Sustained bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bus_bytes as f64 / self.beat_latency.value()
+    }
+
+    /// Latency to read `bytes` from the scratchpad (beat-granular burst).
+    pub fn read_latency(&self, bytes: usize) -> Seconds {
+        let beats = bytes.div_ceil(self.bus_bytes).max(1);
+        self.beat_latency * beats as f64
+    }
+
+    /// Whether a working set of `bytes` fits in the scratchpad.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spm() -> ScratchpadSpec {
+        ScratchpadSpec::from_params(&HardwareParams::date24())
+    }
+
+    #[test]
+    fn table3_defaults() {
+        let s = spm();
+        assert_eq!(s.capacity_bytes(), 65536);
+        assert_eq!(s.bus_bytes(), 32);
+        assert!((s.power().milli() - 20.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_latency_is_beat_granular() {
+        let s = spm();
+        // 32-byte bus, 2 ns/beat: 64 bytes = 2 beats = 4 ns.
+        assert!((s.read_latency(64).nanos() - 4.0).abs() < 1e-9);
+        // 1 byte still costs a full beat.
+        assert!((s.read_latency(1).nanos() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let s = spm();
+        assert!(s.fits(65536));
+        assert!(!s.fits(65537));
+    }
+
+    #[test]
+    fn bandwidth_is_bus_over_beat() {
+        let s = spm();
+        assert!((s.bandwidth() - 32.0 / 2e-9).abs() < 1.0);
+    }
+}

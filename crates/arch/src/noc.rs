@@ -1,0 +1,126 @@
+//! Network-on-chip model: macros are tiled on a 2-D mesh; activations and
+//! partial sums travel as 32-bit flits (Table III).
+
+use crate::params::HardwareParams;
+use crate::units::{Seconds, Watts};
+
+/// Mesh NoC connecting `macro_count` macros.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::{HardwareParams, NocConfig};
+///
+/// let hw = HardwareParams::date24();
+/// let noc = NocConfig::for_macros(16, &hw);
+/// assert_eq!(noc.mesh_dim(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    macro_count: usize,
+    mesh_dim: usize,
+    flit_bits: u32,
+    hop_latency: Seconds,
+    link_bytes_per_sec: f64,
+    router_power: Watts,
+}
+
+impl NocConfig {
+    /// Sizes a square mesh for the given number of macros.
+    pub fn for_macros(macro_count: usize, hw: &HardwareParams) -> Self {
+        let mesh_dim = (macro_count.max(1) as f64).sqrt().ceil() as usize;
+        Self {
+            macro_count: macro_count.max(1),
+            mesh_dim: mesh_dim.max(1),
+            flit_bits: hw.noc_flit_bits,
+            hop_latency: hw.noc_hop_latency,
+            link_bytes_per_sec: hw.noc_link_rate.value() * hw.noc_flit_bits as f64 / 8.0,
+            router_power: hw.noc_router_power,
+        }
+    }
+
+    /// Side length of the (square) mesh.
+    pub fn mesh_dim(&self) -> usize {
+        self.mesh_dim
+    }
+
+    /// Number of macros attached to the mesh.
+    pub fn macro_count(&self) -> usize {
+        self.macro_count
+    }
+
+    /// Average hop count between two uniformly random mesh nodes
+    /// (2/3 x dim for a square mesh with XY routing).
+    pub fn average_hops(&self) -> f64 {
+        (2.0 * self.mesh_dim as f64 / 3.0).max(1.0)
+    }
+
+    /// Manhattan hop distance between macro indices laid out row-major.
+    pub fn hops_between(&self, src: usize, dst: usize) -> usize {
+        let (sx, sy) = (src % self.mesh_dim, src / self.mesh_dim);
+        let (dx, dy) = (dst % self.mesh_dim, dst / self.mesh_dim);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+
+    /// Bytes per second a single mesh link sustains.
+    pub fn link_bandwidth(&self) -> f64 {
+        self.link_bytes_per_sec
+    }
+
+    /// Latency to move `bytes` over `hops` hops: head-flit routing latency
+    /// plus serialization of the message on the narrowest link.
+    pub fn transfer_latency(&self, bytes: usize, hops: usize) -> Seconds {
+        let routing = self.hop_latency * hops.max(1) as f64;
+        let serialization = Seconds(bytes as f64 / self.link_bytes_per_sec);
+        routing + serialization
+    }
+
+    /// Aggregate router power for the whole mesh (one router per macro,
+    /// Table III's 42 mW per-macro figure).
+    pub fn total_power(&self) -> Watts {
+        self.router_power * self.macro_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc(n: usize) -> NocConfig {
+        NocConfig::for_macros(n, &HardwareParams::date24())
+    }
+
+    #[test]
+    fn mesh_dimension_is_ceil_sqrt() {
+        assert_eq!(noc(1).mesh_dim(), 1);
+        assert_eq!(noc(16).mesh_dim(), 4);
+        assert_eq!(noc(17).mesh_dim(), 5);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let n = noc(16); // 4x4 row-major
+        assert_eq!(n.hops_between(0, 0), 0);
+        assert_eq!(n.hops_between(0, 3), 3);
+        assert_eq!(n.hops_between(0, 15), 6);
+        assert_eq!(n.hops_between(5, 6), 1);
+    }
+
+    #[test]
+    fn transfer_latency_includes_serialization() {
+        let n = noc(4);
+        // 32-bit flits at 1 GHz = 4 GB/s per link; 4000 bytes = 1 us.
+        let t = n.transfer_latency(4000, 2);
+        assert!((t.value() - (2e-9 + 1e-6)).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn power_scales_with_macros() {
+        assert!((noc(10).total_power().milli() - 420.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_macros_is_clamped() {
+        assert_eq!(noc(0).macro_count(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Hardware setup parameters — the user-supplied device/circuit constants of
+//! Table III, with defaults anchored to the paper (and to ISAAC/MNSIM where
+//! Table III says "other parameters are provided by ISAAC and MNSIM").
+
+use crate::units::{Hertz, Seconds, SquareMm, Watts};
+
+/// Device / circuit constants consumed by every model in the stack.
+///
+/// Construct via [`HardwareParams::date24`] for the paper's setup (Table III)
+/// and override individual fields for sensitivity studies; all fields are
+/// public by design — this is a parameter record, not an abstraction.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::HardwareParams;
+///
+/// let hw = HardwareParams::date24();
+/// assert_eq!(hw.scratchpad_bytes, 64 * 1024);
+/// let mut custom = hw.clone();
+/// custom.noc_router_power = pimsyn_arch::Watts::from_milli(21.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareParams {
+    /// Control/ALU clock (ISAAC-class designs run ~1 GHz digital logic).
+    pub clock: Hertz,
+    /// Latency of one analog MVM: DAC drive + crossbar read + sample/hold.
+    /// The three stages are analog and indivisible (Table II footnote).
+    pub mvm_latency: Seconds,
+
+    /// Read power of a 128x128, 1-bit-cell crossbar (lower anchor of the
+    /// 0.3–4.8 mW range in Table III).
+    pub crossbar_base_power: Watts,
+    /// Crossbar power grows with `(size/128)^exponent`; 2.0 reproduces the
+    /// 0.3 -> 4.8 mW span of Table III exactly (128 -> 512).
+    pub crossbar_size_exponent: f64,
+    /// Multiplicative power growth per extra cell bit (higher read currents
+    /// and verify circuitry): `1 + factor * (bits - 1)`.
+    pub crossbar_res_factor: f64,
+    /// Area of a 128x128 crossbar array (ISAAC: 25 F^2/cell at 32 nm).
+    pub crossbar_base_area: SquareMm,
+
+    /// DAC power lookup for resolutions 1..=4 bits (Table III: 4–30 uW).
+    pub dac_power_lut: [Watts; 4],
+    /// DAC conversion rate (matches the digital clock; inputs are latched
+    /// once per MVM).
+    pub dac_rate: Hertz,
+    /// DAC area, 1-bit (ISAAC).
+    pub dac_area: SquareMm,
+
+    /// ADC power at the 7-bit lower anchor (Table III: 2–54 mW for 7–14 b).
+    pub adc_base_power: Watts,
+    /// Multiplicative ADC power growth per extra bit; 1.6 reproduces the
+    /// 2 -> 54 mW span of Table III (7 -> 14 bits).
+    pub adc_power_growth: f64,
+    /// ADC sample rate at 8 bits (ISAAC: 1.28 GS/s); halves per extra bit.
+    pub adc_base_rate: Hertz,
+    /// Minimum ADC resolution considered (Table III).
+    pub adc_min_bits: u32,
+    /// Maximum ADC resolution considered (Table III).
+    pub adc_max_bits: u32,
+    /// ADC area at 8 bits (ISAAC).
+    pub adc_area: SquareMm,
+
+    /// Per-macro scratchpad (eDRAM) capacity — Table III: 64 KB.
+    pub scratchpad_bytes: usize,
+    /// Scratchpad bus width — Table III: 256 bits.
+    pub scratchpad_bus_bits: u32,
+    /// Scratchpad power — Table III: 20.7 mW.
+    pub scratchpad_power: Watts,
+    /// Scratchpad access latency per beat.
+    pub scratchpad_latency: Seconds,
+    /// Scratchpad area (ISAAC eDRAM 64 KB).
+    pub scratchpad_area: SquareMm,
+
+    /// NoC flit size — Table III: 32 bits.
+    pub noc_flit_bits: u32,
+    /// NoC router radix — Table III: 8 ports.
+    pub noc_ports: u32,
+    /// NoC router + link power per macro — Table III: 42 mW.
+    pub noc_router_power: Watts,
+    /// Per-hop router traversal latency.
+    pub noc_hop_latency: Seconds,
+    /// Link bandwidth clock (flits per second per link).
+    pub noc_link_rate: Hertz,
+    /// Router area (ISAAC).
+    pub noc_router_area: SquareMm,
+
+    /// Power of one shift-and-add unit (ISAAC S+A).
+    pub shift_add_power: Watts,
+    /// Power of one pooling unit.
+    pub pool_power: Watts,
+    /// Power of one activation (ReLU/sigmoid) unit.
+    pub activation_power: Watts,
+    /// Power of one elementwise-add unit (residual merge).
+    pub eltwise_power: Watts,
+    /// Vector-ALU area per unit (ISAAC-class S+A).
+    pub alu_area: SquareMm,
+
+    /// Register files + control per macro.
+    pub register_power: Watts,
+    /// Register/control area per macro.
+    pub register_area: SquareMm,
+}
+
+impl HardwareParams {
+    /// The paper's evaluation setup (Table III, completed with ISAAC/MNSIM
+    /// constants where Table III is silent).
+    pub fn date24() -> Self {
+        Self {
+            clock: Hertz::from_giga(1.0),
+            mvm_latency: Seconds::from_nanos(100.0),
+
+            crossbar_base_power: Watts::from_milli(0.3),
+            crossbar_size_exponent: 2.0,
+            crossbar_res_factor: 0.1,
+            crossbar_base_area: SquareMm(0.0002),
+
+            dac_power_lut: [
+                Watts::from_micro(4.0),
+                Watts::from_micro(8.0),
+                Watts::from_micro(15.5),
+                Watts::from_micro(30.0),
+            ],
+            dac_rate: Hertz::from_giga(1.0),
+            dac_area: SquareMm(0.00017),
+
+            adc_base_power: Watts::from_milli(2.0),
+            adc_power_growth: 1.6,
+            adc_base_rate: Hertz::from_giga(1.28),
+            adc_min_bits: 7,
+            adc_max_bits: 14,
+            adc_area: SquareMm(0.0012),
+
+            scratchpad_bytes: 64 * 1024,
+            scratchpad_bus_bits: 256,
+            scratchpad_power: Watts::from_milli(20.7),
+            scratchpad_latency: Seconds::from_nanos(2.0),
+            scratchpad_area: SquareMm(0.083),
+
+            noc_flit_bits: 32,
+            noc_ports: 8,
+            noc_router_power: Watts::from_milli(42.0),
+            noc_hop_latency: Seconds::from_nanos(1.0),
+            noc_link_rate: Hertz::from_giga(1.0),
+            noc_router_area: SquareMm(0.0151),
+
+            shift_add_power: Watts::from_milli(0.2),
+            pool_power: Watts::from_milli(0.4),
+            activation_power: Watts::from_milli(0.1),
+            eltwise_power: Watts::from_milli(0.2),
+            alu_area: SquareMm(0.00006),
+
+            register_power: Watts::from_milli(1.0),
+            register_area: SquareMm(0.005),
+        }
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        Self::date24()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_anchor_values() {
+        let hw = HardwareParams::date24();
+        assert_eq!(hw.scratchpad_bytes, 65536);
+        assert_eq!(hw.scratchpad_bus_bits, 256);
+        assert!((hw.scratchpad_power.milli() - 20.7).abs() < 1e-9);
+        assert!((hw.noc_router_power.milli() - 42.0).abs() < 1e-9);
+        assert_eq!(hw.noc_flit_bits, 32);
+        assert_eq!(hw.noc_ports, 8);
+        assert_eq!((hw.adc_min_bits, hw.adc_max_bits), (7, 14));
+    }
+
+    #[test]
+    fn default_is_date24() {
+        assert_eq!(HardwareParams::default(), HardwareParams::date24());
+    }
+}

@@ -1,0 +1,246 @@
+//! Physical-quantity newtypes used throughout the hardware models.
+//!
+//! Power/latency/area algebra is easy to get wrong with bare `f64`s; these
+//! wrappers (per C-NEWTYPE) make watts, seconds, hertz and square millimetres
+//! distinct types while staying `Copy` and cheap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw numeric value in the base unit.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Maximum of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Minimum of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Rate in hertz (events per second).
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Silicon area in square millimetres.
+    SquareMm,
+    "mm^2"
+);
+
+impl Watts {
+    /// Constructs from milliwatts.
+    pub fn from_milli(mw: f64) -> Self {
+        Watts(mw * 1e-3)
+    }
+
+    /// Constructs from microwatts.
+    pub fn from_micro(uw: f64) -> Self {
+        Watts(uw * 1e-6)
+    }
+
+    /// Value in milliwatts.
+    pub fn milli(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Seconds {
+    /// Constructs from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms * 1e-3)
+    }
+
+    /// Value in nanoseconds.
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in milliseconds.
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Hertz {
+    /// Constructs from gigahertz.
+    pub fn from_giga(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+}
+
+/// `power x time = energy`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `time x power = energy`.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `energy / time = power`.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `energy / power = time`.
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_algebra() {
+        let e = Watts(2.0) * Seconds(3.0);
+        assert_eq!(e, Joules(6.0));
+        assert_eq!(e / Seconds(3.0), Watts(2.0));
+        assert_eq!(e / Watts(2.0), Seconds(3.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((Watts::from_milli(20.7).value() - 0.0207).abs() < 1e-12);
+        assert!((Watts::from_micro(30.0).value() - 3e-5).abs() < 1e-15);
+        assert!((Seconds::from_nanos(100.0).value() - 1e-7).abs() < 1e-18);
+        assert_eq!(Hertz::from_giga(1.28).value(), 1.28e9);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Watts(1.0) + Watts(2.0);
+        assert_eq!(a, Watts(3.0));
+        assert_eq!(a - Watts(1.0), Watts(2.0));
+        assert_eq!(a * 2.0, Watts(6.0));
+        assert_eq!(2.0 * a, Watts(6.0));
+        assert_eq!(a / 3.0, Watts(1.0));
+        assert_eq!(Watts(6.0) / Watts(3.0), 2.0);
+        assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = [Watts(1.0), Watts(2.5)].into_iter().sum();
+        assert_eq!(total, Watts(3.5));
+    }
+
+    #[test]
+    fn display_has_suffix() {
+        assert_eq!(Seconds(0.5).to_string(), "0.5000 s");
+        assert!(Watts(1.0).to_string().ends_with('W'));
+    }
+}

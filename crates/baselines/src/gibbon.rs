@@ -1,0 +1,132 @@
+//! A Gibbon-like greedy co-exploration proxy.
+//!
+//! Gibbon (Sun et al., TCAD'23) co-explores CNN models and PIM architectures
+//! but — as the paper notes in Sec. V-C — does not explore weight
+//! duplication, power partitioning (`RatioRram`) or macro sharing. This
+//! proxy reproduces that *class* of explorer inside our stack: it greedily
+//! enumerates the per-crossbar parameters (size, cell bits, DAC bits) with a
+//! single weight copy per layer and no macro sharing, then picks the
+//! EDP-optimal configuration. Table V's published Gibbon numbers are kept in
+//! [`crate::published::TABLE5`] for side-by-side reporting.
+
+use pimsyn_arch::{HardwareParams, MacroMode, Watts};
+use pimsyn_dse::{
+    allocate_components, no_duplication, AllocRequest, DesignPoint, DseError,
+};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::Model;
+use pimsyn_sim::{evaluate_analytic, SimReport};
+use pimsyn_arch::{Architecture, CrossbarConfig, DacConfig, RESDAC_CHOICES, RESRRAM_CHOICES, XBSIZE_CHOICES};
+
+/// Outcome of the Gibbon-like exploration.
+#[derive(Debug, Clone)]
+pub struct GibbonProxyOutcome {
+    /// The EDP-optimal architecture found.
+    pub architecture: Architecture,
+    /// Its evaluation.
+    pub report: SimReport,
+    /// Configurations enumerated.
+    pub evaluated: usize,
+}
+
+/// Runs the greedy enumeration for `model` under `total_power`.
+///
+/// # Errors
+///
+/// [`DseError::NoFeasibleSolution`] when no enumerated configuration fits
+/// the power envelope.
+pub fn gibbon_proxy(
+    model: &Model,
+    total_power: Watts,
+    hw: &HardwareParams,
+) -> Result<GibbonProxyOutcome, DseError> {
+    let mut best: Option<(f64, Architecture, SimReport)> = None;
+    let mut evaluated = 0usize;
+
+    for &size in &XBSIZE_CHOICES {
+        for &cell in &RESRRAM_CHOICES {
+            let crossbar =
+                CrossbarConfig::new(size, cell).expect("choices are legal by construction");
+            for &dac_bits in &RESDAC_CHOICES {
+                let dac = DacConfig::new(dac_bits).expect("choices are legal by construction");
+                // Gibbon-class explorers keep a single weight copy.
+                let budget = crossbar.budget(total_power, 0.4, hw);
+                let Ok(dup) = no_duplication(model, crossbar, budget) else {
+                    continue;
+                };
+                let Ok(df) = Dataflow::compile(model, crossbar, dac, &dup) else {
+                    continue;
+                };
+                evaluated += 1;
+                let l = model.weight_layer_count();
+                let macros = vec![1usize; l];
+                let shares = vec![None; l];
+                // Use the realized RRAM share as the power split: the fixed
+                // single-copy design spends whatever its crossbars need.
+                let rram_power = crossbar.power(hw) * df.total_crossbars() as f64;
+                let ratio = (rram_power.value() / total_power.value()).clamp(0.05, 0.6);
+                let req = AllocRequest {
+                    model,
+                    dataflow: &df,
+                    point: DesignPoint { ratio_rram: ratio, crossbar },
+                    total_power,
+                    hw,
+                    macros: &macros,
+                    shares: &shares,
+                    macro_mode: MacroMode::Identical,
+                };
+                let Ok(arch) = allocate_components(&req) else {
+                    continue;
+                };
+                let Ok(report) = evaluate_analytic(model, &df, &arch) else {
+                    continue;
+                };
+                let edp = report.edp_ms_mj();
+                if edp > 0.0 && best.as_ref().map_or(true, |(b, _, _)| edp < *b) {
+                    best = Some((edp, arch, report));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((_, architecture, report)) => {
+            Ok(GibbonProxyOutcome { architecture, report, evaluated })
+        }
+        None => Err(DseError::NoFeasibleSolution),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_model::zoo;
+
+    #[test]
+    fn proxy_finds_configuration_for_cifar_models() {
+        let hw = HardwareParams::date24();
+        let out = gibbon_proxy(&zoo::alexnet_cifar(10), Watts(8.0), &hw).unwrap();
+        assert!(out.evaluated > 1);
+        assert!(out.report.edp_ms_mj() > 0.0);
+        assert!(out.report.latency.value() > 0.0);
+    }
+
+    #[test]
+    fn proxy_has_no_duplication_or_sharing() {
+        let hw = HardwareParams::date24();
+        let out = gibbon_proxy(&zoo::alexnet_cifar(10), Watts(8.0), &hw).unwrap();
+        for lh in &out.architecture.layers {
+            assert_eq!(lh.wt_dup, 1);
+            assert!(lh.shares_macros_with.is_none());
+        }
+    }
+
+    #[test]
+    fn infeasible_power_is_reported() {
+        let hw = HardwareParams::date24();
+        assert!(matches!(
+            gibbon_proxy(&zoo::vgg16(), Watts(0.2), &hw),
+            Err(DseError::NoFeasibleSolution)
+        ));
+    }
+}

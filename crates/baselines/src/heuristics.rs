@@ -1,0 +1,52 @@
+//! Duplication-strategy arms for the Fig. 7 ablation, expressed as
+//! ready-made synthesis option sets so all three arms run through the same
+//! macro-partitioning and components-allocation stages.
+
+use pimsyn::{SynthesisOptions, WtDupStrategy};
+use pimsyn_arch::Watts;
+
+/// The three Fig. 7 arms: `(label, strategy)`.
+pub fn fig7_strategies() -> Vec<(&'static str, WtDupStrategy)> {
+    vec![
+        ("SA-based", WtDupStrategy::SimulatedAnnealing),
+        ("Heuristic", WtDupStrategy::WohoProportional),
+        ("No Duplication", WtDupStrategy::NoDuplication),
+    ]
+}
+
+/// Fast-effort synthesis options for a given strategy and power budget,
+/// seeded identically across arms so only the strategy differs.
+pub fn fig7_options(strategy: WtDupStrategy, power: Watts) -> SynthesisOptions {
+    SynthesisOptions::fast(power).with_strategy(strategy).with_seed(0xF16_7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn::Synthesizer;
+    use pimsyn_model::zoo;
+
+    #[test]
+    fn three_arms_exist() {
+        assert_eq!(fig7_strategies().len(), 3);
+    }
+
+    #[test]
+    fn sa_beats_no_duplication() {
+        // The central Fig. 7 claim: without duplication, throughput craters.
+        let model = zoo::alexnet_cifar(10);
+        let power = Watts(8.0);
+        let sa = Synthesizer::new(fig7_options(WtDupStrategy::SimulatedAnnealing, power))
+            .synthesize(&model)
+            .unwrap();
+        let nodup = Synthesizer::new(fig7_options(WtDupStrategy::NoDuplication, power))
+            .synthesize(&model)
+            .unwrap();
+        assert!(
+            sa.analytic.throughput_ops > nodup.analytic.throughput_ops,
+            "SA {} should beat no-dup {}",
+            sa.analytic.throughput_ops,
+            nodup.analytic.throughput_ops
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Design-choice ablation: sensitivity of synthesis quality and runtime to
+//! the metaheuristic budgets (SA candidate count, EA population/generations)
+//! — the knobs Table I's scale argument forces the paper to introduce.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{CrossbarConfig, Watts};
+use pimsyn_dse::{run_dse, DesignSpace, DseConfig, EaConfig, SaConfig};
+use pimsyn_model::zoo;
+
+fn base_cfg() -> DseConfig {
+    let mut cfg = DseConfig::fast(Watts(9.0));
+    cfg.space = DesignSpace::single(0.3, CrossbarConfig::new(128, 2).expect("legal"), 1);
+    cfg
+}
+
+fn quality_table() -> String {
+    let model = zoo::alexnet_cifar(10);
+    let mut out = String::from(
+        "DSE sensitivity (CIFAR-AlexNet @ 9 W, single design point)\n\
+         sa_cands  ea_pop  ea_gens   TOPS/W  evaluations\n",
+    );
+    for (cands, pop, gens) in
+        [(1usize, 4usize, 2usize), (2, 6, 3), (4, 8, 6), (8, 12, 10), (16, 16, 16)]
+    {
+        let mut cfg = base_cfg();
+        cfg.sa = SaConfig { candidates: cands, ..SaConfig::fast() };
+        cfg.ea = EaConfig { population: pop, generations: gens, ..EaConfig::fast() };
+        match run_dse(&model, &cfg) {
+            Ok(o) => {
+                out.push_str(&format!(
+                    "{cands:>8} {pop:>7} {gens:>8} {:>8.3} {:>12}\n",
+                    o.report.efficiency_tops_per_watt(),
+                    o.evaluations
+                ));
+            }
+            Err(e) => out.push_str(&format!("{cands:>8} {pop:>7} {gens:>8}  failed: {e}\n")),
+        }
+    }
+    out
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let model = zoo::alexnet_cifar(10);
+    let mut group = c.benchmark_group("dse_sensitivity");
+    group.sample_size(10);
+    for (label, cands, pop, gens) in
+        [("small", 2usize, 6usize, 3usize), ("medium", 4, 8, 6), ("large", 8, 12, 10)]
+    {
+        let mut cfg = base_cfg();
+        cfg.sa = SaConfig { candidates: cands, ..SaConfig::fast() };
+        cfg.ea = EaConfig { population: pop, generations: gens, ..EaConfig::fast() };
+        group.bench_function(format!("dse_{label}"), |b| {
+            b.iter(|| run_dse(&model, &cfg).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+
+fn main() {
+    println!("{}", quality_table());
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

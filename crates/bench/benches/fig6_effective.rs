@@ -1,0 +1,31 @@
+//! Fig. 6 bench: regenerates the effective-efficiency comparison against
+//! ISAAC (two-model quick variant; run the `repro` binary for all five) and
+//! times the ISAAC end-to-end evaluation.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{HardwareParams, Watts};
+use pimsyn_baselines::isaac;
+use pimsyn_model::zoo;
+
+fn bench_fig6(c: &mut Criterion) {
+    let hw = HardwareParams::date24();
+    let model = zoo::alexnet();
+    // ISAAC's fixed design needs a multi-chip envelope for ImageNet AlexNet
+    // (its FC layers alone exceed a 65 W crossbar budget).
+    let power = Watts(65.0).max(isaac::isaac_min_power(&model, &hw));
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("isaac_analytic_alexnet", |b| {
+        b.iter(|| isaac::evaluate_isaac_analytic(&model, power, &hw).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+
+fn main() {
+    let rows = pimsyn_bench::fig6_effective_vs_isaac(&[zoo::alexnet(), zoo::resnet18()]);
+    println!("{}", pimsyn_bench::render_fig6(&rows));
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

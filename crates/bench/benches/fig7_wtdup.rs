@@ -1,0 +1,36 @@
+//! Fig. 7 bench: regenerates the duplication-strategy ablation and times the
+//! SA-based weight-duplication filter.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{CrossbarConfig, HardwareParams, Watts};
+use pimsyn_baselines::published::FIG7_SA_VS_HEURISTIC;
+use pimsyn_dse::{wt_dup_candidates, SaConfig};
+use pimsyn_model::zoo;
+
+fn bench_fig7(c: &mut Criterion) {
+    let model = zoo::vgg16_cifar(10);
+    let hw = HardwareParams::date24();
+    let xb = CrossbarConfig::new(256, 2).expect("legal");
+    let budget = xb.budget(Watts(15.0), 0.3, &hw);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("sa_filter_vgg16_cifar", |b| {
+        b.iter(|| wt_dup_candidates(&model, xb, budget, &SaConfig::fast()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+
+fn main() {
+    println!(
+        "{}",
+        pimsyn_bench::render_ablation(
+            "Fig. 7 — weight duplication strategies (normalized to ISAAC)",
+            &pimsyn_bench::fig7_weight_duplication(),
+            FIG7_SA_VS_HEURISTIC,
+        )
+    );
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,58 @@
+//! Fig. 8 bench: regenerates the identical-vs-specialized macro ablation and
+//! times the components-allocation stage in both modes.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
+use pimsyn_baselines::published::FIG8_SPECIALIZED_VS_IDENTICAL;
+use pimsyn_dse::{allocate_components, no_duplication, AllocRequest, DesignPoint};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::zoo;
+
+fn bench_fig8(c: &mut Criterion) {
+    let model = zoo::alexnet_cifar(10);
+    let hw = HardwareParams::date24();
+    let xb = CrossbarConfig::new(128, 2).expect("legal");
+    let dac = DacConfig::new(1).expect("legal");
+    let budget = xb.budget(Watts(9.0), 0.3, &hw);
+    let dup = no_duplication(&model, xb, budget).expect("budget fits");
+    let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
+    let l = model.weight_layer_count();
+    let macros = vec![1usize; l];
+    let shares = vec![None; l];
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(30);
+    for mode in [MacroMode::Specialized, MacroMode::Identical] {
+        group.bench_function(format!("alloc_{mode}"), |b| {
+            b.iter(|| {
+                allocate_components(&AllocRequest {
+                    model: &model,
+                    dataflow: &df,
+                    point: DesignPoint { ratio_rram: 0.3, crossbar: xb },
+                    total_power: Watts(9.0),
+                    hw: &hw,
+                    macros: &macros,
+                    shares: &shares,
+                    macro_mode: mode,
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+
+fn main() {
+    println!(
+        "{}",
+        pimsyn_bench::render_ablation(
+            "Fig. 8 — identical vs specialized macros (normalized to ISAAC)",
+            &pimsyn_bench::fig8_macro_specialization(),
+            FIG8_SPECIALIZED_VS_IDENTICAL,
+        )
+    );
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,55 @@
+//! Fig. 9 bench: regenerates the macro-sharing ablation and times the
+//! EA-based macro partitioning with and without `mutate_share`.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
+use pimsyn_baselines::published::FIG9_SHARING_VS_NOT;
+use pimsyn_dse::{explore_macro_partitioning, no_duplication, DesignPoint, EaConfig};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::zoo;
+
+fn bench_fig9(c: &mut Criterion) {
+    let model = zoo::alexnet_cifar(10);
+    let hw = HardwareParams::date24();
+    let xb = CrossbarConfig::new(128, 2).expect("legal");
+    let dac = DacConfig::new(1).expect("legal");
+    let budget = xb.budget(Watts(9.0), 0.3, &hw);
+    let dup = no_duplication(&model, xb, budget).expect("budget fits");
+    let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
+    let point = DesignPoint { ratio_rram: 0.3, crossbar: xb };
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for (label, sharing) in [("with_sharing", true), ("without_sharing", false)] {
+        group.bench_function(format!("ea_{label}"), |b| {
+            b.iter(|| {
+                explore_macro_partitioning(
+                    &model,
+                    &df,
+                    point,
+                    Watts(9.0),
+                    &hw,
+                    MacroMode::Specialized,
+                    &EaConfig { allow_sharing: sharing, ..EaConfig::fast() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+
+fn main() {
+    println!(
+        "{}",
+        pimsyn_bench::render_ablation(
+            "Fig. 9 — inter-layer macro sharing (normalized to ISAAC)",
+            &pimsyn_bench::fig9_macro_sharing(),
+            FIG9_SHARING_VS_NOT,
+        )
+    );
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

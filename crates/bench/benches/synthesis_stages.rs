@@ -1,0 +1,88 @@
+//! Micro-benchmarks of every synthesis stage: SA filter, dataflow
+//! compilation, components allocation, EA partitioning, analytic evaluation
+//! and the cycle-accurate engine. (The paper reports a ~4 h Python synthesis
+//! runtime; these timings document where the Rust port spends its time.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
+use pimsyn_dse::{
+    allocate_components, explore_macro_partitioning, no_duplication, wt_dup_candidates,
+    AllocRequest, DesignPoint, EaConfig, SaConfig,
+};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::zoo;
+use pimsyn_sim::{evaluate_analytic, simulate};
+
+fn bench_stages(c: &mut Criterion) {
+    let model = zoo::alexnet_cifar(10);
+    let hw = HardwareParams::date24();
+    let xb = CrossbarConfig::new(128, 2).expect("legal");
+    let dac = DacConfig::new(2).expect("legal");
+    let power = Watts(9.0);
+    let point = DesignPoint { ratio_rram: 0.3, crossbar: xb };
+    let budget = xb.budget(power, point.ratio_rram, &hw);
+    let dup = no_duplication(&model, xb, budget).expect("fits");
+    let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
+    let l = model.weight_layer_count();
+    let macros = vec![1usize; l];
+    let shares = vec![None; l];
+    let arch = allocate_components(&AllocRequest {
+        model: &model,
+        dataflow: &df,
+        point,
+        total_power: power,
+        hw: &hw,
+        macros: &macros,
+        shares: &shares,
+        macro_mode: MacroMode::Specialized,
+    })
+    .expect("allocates");
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("stage1_sa_filter", |b| {
+        b.iter(|| wt_dup_candidates(&model, xb, budget, &SaConfig::fast()).unwrap())
+    });
+    group.bench_function("stage2_dataflow_compile", |b| {
+        b.iter(|| Dataflow::compile(&model, xb, dac, &dup).unwrap())
+    });
+    group.bench_function("stage3_ea_partitioning", |b| {
+        b.iter(|| {
+            explore_macro_partitioning(
+                &model,
+                &df,
+                point,
+                power,
+                &hw,
+                MacroMode::Specialized,
+                &EaConfig { population: 6, generations: 3, ..EaConfig::fast() },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("stage4_components_allocation", |b| {
+        b.iter(|| {
+            allocate_components(&AllocRequest {
+                model: &model,
+                dataflow: &df,
+                point,
+                total_power: power,
+                hw: &hw,
+                macros: &macros,
+                shares: &shares,
+                macro_mode: MacroMode::Specialized,
+            })
+            .unwrap()
+        })
+    });
+    group.bench_function("eval_analytic", |b| {
+        b.iter(|| evaluate_analytic(&model, &df, &arch).unwrap())
+    });
+    group.bench_function("eval_cycle_accurate", |b| {
+        b.iter(|| simulate(&model, &df, &arch, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table IV bench: regenerates the peak-power-efficiency comparison and
+//! times the baseline inventory models plus a fast synthesis.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::HardwareParams;
+use pimsyn_baselines::inventory;
+
+fn bench_table4(c: &mut Criterion) {
+    let hw = HardwareParams::date24();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(20);
+    group.bench_function("baseline_inventory_peaks", |b| {
+        b.iter(|| {
+            inventory::table4_inventories()
+                .iter()
+                .map(|inv| inv.peak_tops_per_watt(16, 16, &hw))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+
+fn main() {
+    println!("{}", pimsyn_bench::table4_peak_efficiency());
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,26 @@
+//! Table V bench: regenerates the Gibbon comparison and times the
+//! Gibbon-like proxy exploration.
+
+use criterion::{criterion_group, Criterion};
+use pimsyn_arch::{HardwareParams, Watts};
+use pimsyn_baselines::gibbon;
+use pimsyn_model::zoo;
+
+fn bench_table5(c: &mut Criterion) {
+    let hw = HardwareParams::date24();
+    let model = zoo::alexnet_cifar(10);
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("gibbon_proxy_alexnet_cifar", |b| {
+        b.iter(|| gibbon::gibbon_proxy(&model, Watts(6.0), &hw).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+
+fn main() {
+    println!("{}", pimsyn_bench::render_table5(&pimsyn_bench::table5_gibbon()));
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,570 @@
+//! Harness regenerating every table and figure of the PIMSYN paper.
+//!
+//! Each `tableN_*` / `figN_*` function computes the data behind one exhibit
+//! of the evaluation section and returns a printable struct; the `repro`
+//! binary renders them to stdout, and the criterion benches time the
+//! underlying synthesis machinery. `EXPERIMENTS.md` records the
+//! paper-reported values next to what this harness measures.
+//!
+//! Absolute numbers depend on the power envelope the authors used (not
+//! stated in the paper); the harness therefore reports *shape* — who wins
+//! and by what factor — alongside the published reference values.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use pimsyn::{DesignSpace, Objective, SynthesisOptions, SynthesisResult, Synthesizer, WtDupStrategy};
+use pimsyn_arch::{HardwareParams, MacroMode, Watts};
+use pimsyn_baselines::published::{
+    Table5Row, FIG6_EFFICIENCY_GAIN_RANGE, FIG6_THROUGHPUT_GAIN_RANGE, TABLE4_BASELINES,
+    TABLE4_PIMSYN_TOPS_PER_WATT, TABLE5,
+};
+use pimsyn_baselines::{gibbon, inventory, isaac};
+use pimsyn_model::{zoo, Model};
+
+/// Default power envelope for ImageNet-scale experiments (ISAAC-class chips
+/// run at several tens of watts).
+pub const IMAGENET_POWER: Watts = Watts(65.0);
+
+/// Default power envelope for the CIFAR-scale experiments. One weight copy
+/// of CIFAR-VGG16 alone needs ~2.5 W of ReRAM under Table III devices, so
+/// 15 W leaves the synthesizer real duplication headroom.
+pub const CIFAR_POWER: Watts = Watts(15.0);
+
+fn harness_options(power: Watts) -> SynthesisOptions {
+    let mut opts = SynthesisOptions::fast(power).with_seed(0xBE7C).with_design_space(
+        // The full RatioRram grid and crossbar sizes of Table I, with two
+        // cell/DAC resolutions — rich enough for the ablations while keeping
+        // the whole harness in the minutes range.
+        DesignSpace::custom(vec![0.1, 0.15, 0.2, 0.25, 0.3, 0.4], vec![128, 256, 512], vec![2, 4], vec![1, 2, 4]),
+    );
+    opts.parallel = true;
+    opts
+}
+
+/// Options for ImageNet-scale models: larger crossbars (so classifier
+/// layers fit the crossbar budget) and two RatioRram levels.
+fn imagenet_options(power: Watts) -> SynthesisOptions {
+    harness_options(power).with_design_space(DesignSpace::custom(
+        vec![0.2, 0.3, 0.4],
+        vec![128, 256, 512],
+        vec![2, 4],
+        vec![1, 2, 4],
+    ))
+}
+
+/// Synthesizes an ImageNet model with harness settings.
+pub fn synthesize_imagenet(model: &Model, power: Watts) -> Option<SynthesisResult> {
+    Synthesizer::new(imagenet_options(power)).synthesize(model).ok()
+}
+
+/// Table I: the design space definition (rendered, not measured).
+pub fn table1_design_space() -> String {
+    let mut out = String::new();
+    out.push_str("Table I — design space of PIM-based CNN accelerators\n");
+    out.push_str("  RatioRram   : 0.1 .. 0.4 (grid 0.1/0.2/0.3/0.4)\n");
+    out.push_str("  WtDup       : per-layer positive integers (SA-filtered)\n");
+    out.push_str("  XbSize      : 128, 256, 512\n");
+    out.push_str("  ResRram     : 1, 2, 4 bits\n");
+    out.push_str("  ResDAC      : 1, 2, 4 bits\n");
+    out.push_str("  MacAlloc    : macros per layer (+ inter-layer sharing)\n");
+    out.push_str("  CompAlloc   : units per component family per layer\n");
+    let space = DesignSpace::paper();
+    out.push_str(&format!(
+        "  outer points: {} (x 30 SA candidates x 3 DAC choices per point)\n",
+        space.outer_len()
+    ));
+    out
+}
+
+/// Table III: the component library (rendered from [`HardwareParams`]).
+pub fn table3_components() -> String {
+    let hw = HardwareParams::date24();
+    let mut out = String::new();
+    out.push_str("Table III — evaluation & exploration parameters\n");
+    out.push_str(&format!(
+        "  eDRAM      : {} KB, {} b bus        {:.1} mW\n",
+        hw.scratchpad_bytes / 1024,
+        hw.scratchpad_bus_bits,
+        hw.scratchpad_power.milli()
+    ));
+    out.push_str(&format!(
+        "  NoC        : flit {} b, {} ports     {:.0} mW\n",
+        hw.noc_flit_bits, hw.noc_ports, hw.noc_router_power.milli()
+    ));
+    for size in [128usize, 256, 512] {
+        let xb = pimsyn_arch::CrossbarConfig::new(size, 1).expect("legal");
+        out.push_str(&format!(
+            "  ReRAM xbar : {size}x{size} @1b           {:.2} mW\n",
+            xb.power(&hw).milli()
+        ));
+    }
+    for bits in [1u32, 2, 4] {
+        let dac = pimsyn_arch::DacConfig::new(bits).expect("legal");
+        out.push_str(&format!(
+            "  DAC        : {bits} bit               {:.1} uW\n",
+            dac.power(&hw).value() * 1e6
+        ));
+    }
+    for bits in [7u32, 8, 14] {
+        let adc = pimsyn_arch::AdcConfig::new(bits, &hw);
+        out.push_str(&format!(
+            "  ADC        : {bits} bit               {:.1} mW @ {:.2} GS/s\n",
+            adc.power(&hw).milli(),
+            adc.sample_rate(&hw).value() / 1e9
+        ));
+    }
+    out
+}
+
+/// One row of the Table IV comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Accelerator name.
+    pub name: String,
+    /// Peak TOPS/W under our Table III power model.
+    pub modeled: f64,
+    /// Peak TOPS/W the original paper reports.
+    pub published: f64,
+    /// PIMSYN's modeled improvement over this baseline.
+    pub improvement: f64,
+}
+
+/// Table IV: peak power efficiency of PIMSYN vs the five manual designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// PIMSYN's synthesized peak TOPS/W (our measurement).
+    pub pimsyn_modeled: f64,
+    /// PIMSYN's published peak (3.07 TOPS/W).
+    pub pimsyn_published: f64,
+    /// Baseline rows.
+    pub rows: Vec<Table4Row>,
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table IV — peak power efficiency (TOPS/W, 16-bit)")?;
+        writeln!(
+            f,
+            "  {:<10} {:>10} {:>10} {:>14}",
+            "design", "modeled", "published", "PIMSYN gain"
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:>10.3} {:>10.2} {:>14}",
+            "PIMSYN", self.pimsyn_modeled, self.pimsyn_published, "-"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<10} {:>10.3} {:>10.2} {:>13.2}x",
+                r.name, r.modeled, r.published, r.improvement
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes Table IV: synthesizes a PIMSYN accelerator and compares its peak
+/// efficiency against the five baseline inventories.
+pub fn table4_peak_efficiency() -> Table4 {
+    let hw = HardwareParams::date24();
+    let model = zoo::alexnet();
+    let pimsyn_modeled = synthesize_imagenet(&model, IMAGENET_POWER)
+        .map(|r| r.peak_efficiency())
+        .unwrap_or(0.0);
+    let rows = inventory::table4_inventories()
+        .into_iter()
+        .map(|inv| {
+            let modeled = inv.peak_tops_per_watt(16, 16, &hw);
+            Table4Row {
+                name: inv.name.to_string(),
+                modeled,
+                published: inv.published_tops_per_watt,
+                improvement: if modeled > 0.0 { pimsyn_modeled / modeled } else { 0.0 },
+            }
+        })
+        .collect();
+    Table4 { pimsyn_modeled, pimsyn_published: TABLE4_PIMSYN_TOPS_PER_WATT, rows }
+}
+
+/// One distance sample of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Point {
+    /// Layer distance between the sharing pair.
+    pub distance: usize,
+    /// Latency with sharing / latency without (Fig. 5a).
+    pub delay_ratio: f64,
+    /// Physical ADCs with sharing / without (Fig. 5b; < 1 means saved).
+    pub adc_ratio: f64,
+}
+
+/// Fig. 5: inter-layer ADC reuse — delay penalty and ADC savings vs the
+/// distance between the sharing layers, measured with the cycle-accurate
+/// engine (the shared ADC bank is a physically serialized resource there, so
+/// close, overlapping layers genuinely contend) on a synthesized
+/// CIFAR-VGG16 accelerator. The ADC ratio is pair-local: converters of the
+/// sharing pair after reuse (the larger bank) over before (both banks).
+pub fn fig5_adc_reuse() -> Vec<Fig5Point> {
+    let model = zoo::vgg16_cifar(10);
+    let opts = harness_options(CIFAR_POWER).without_macro_sharing();
+    let Ok(result) = Synthesizer::new(opts).synthesize(&model) else {
+        return Vec::new();
+    };
+    let base_arch = result.architecture.clone();
+    let Ok(base) = pimsyn_sim::simulate(&model, &result.dataflow, &base_arch, 1) else {
+        return Vec::new();
+    };
+
+    // Anchor on a heavyweight early conv so the pair's ADC demand matters.
+    let anchor = 1usize;
+    let mut out = Vec::new();
+    let l = model.weight_layer_count();
+    for distance in 1..(l - anchor).min(9) {
+        let partner = anchor + distance;
+        let mut arch = base_arch.clone();
+        arch.layers[partner].shares_macros_with = Some(anchor);
+        let Ok(shared) = pimsyn_sim::simulate(&model, &result.dataflow, &arch, 1) else {
+            continue;
+        };
+        let a = base_arch.layers[anchor].components.adc;
+        let b = base_arch.layers[partner].components.adc;
+        out.push(Fig5Point {
+            distance,
+            delay_ratio: shared.latency.value() / base.latency.value(),
+            adc_ratio: a.max(b) as f64 / (a + b).max(1) as f64,
+        });
+    }
+    out
+}
+
+/// Renders Fig. 5 points.
+pub fn render_fig5(points: &[Fig5Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — inter-layer ADC reuse vs layer distance\n");
+    out.push_str(&format!(
+        "  {:<9} {:>18} {:>18}\n",
+        "distance", "norm. delay (a)", "norm. #ADC (b)"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "  {:<9} {:>18.4} {:>18.4}\n",
+            p.distance, p.delay_ratio, p.adc_ratio
+        ));
+    }
+    out.push_str("  paper: distant pairs -> delay ratio ~1.0, fewer ADCs after reuse\n");
+    out
+}
+
+/// One model row of Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub model: String,
+    /// ISAAC effective power efficiency (TOPS/W).
+    pub isaac_efficiency: f64,
+    /// PIMSYN effective power efficiency (TOPS/W).
+    pub pimsyn_efficiency: f64,
+    /// ISAAC throughput (TOPS).
+    pub isaac_throughput: f64,
+    /// PIMSYN throughput (TOPS).
+    pub pimsyn_throughput: f64,
+}
+
+impl Fig6Row {
+    /// Efficiency gain of PIMSYN over ISAAC.
+    pub fn efficiency_gain(&self) -> f64 {
+        if self.isaac_efficiency > 0.0 {
+            self.pimsyn_efficiency / self.isaac_efficiency
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput gain of PIMSYN over ISAAC.
+    pub fn throughput_gain(&self) -> f64 {
+        if self.isaac_throughput > 0.0 {
+            self.pimsyn_throughput / self.isaac_throughput
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fig. 6: effective power efficiency and throughput vs ISAAC across the
+/// given benchmarks, at the same power envelope.
+pub fn fig6_effective_vs_isaac(models: &[Model]) -> Vec<Fig6Row> {
+    let hw = HardwareParams::date24();
+    models
+        .iter()
+        .filter_map(|model| {
+            let isaac_power = IMAGENET_POWER.max(isaac::isaac_min_power(model, &hw));
+            let isaac_rep = isaac::evaluate_isaac_analytic(model, isaac_power, &hw).ok()?;
+            let pimsyn_rep = synthesize_imagenet(model, IMAGENET_POWER)?;
+            // Compare throughput at the same power scale (ISAAC's efficiency
+            // is power-invariant; large models need multi-chip envelopes).
+            let isaac_tops_at_budget =
+                isaac_rep.efficiency_tops_per_watt() * IMAGENET_POWER.value();
+            Some(Fig6Row {
+                model: model.name().to_string(),
+                isaac_efficiency: isaac_rep.efficiency_tops_per_watt(),
+                pimsyn_efficiency: pimsyn_rep.analytic.efficiency_tops_per_watt(),
+                isaac_throughput: isaac_tops_at_budget,
+                pimsyn_throughput: pimsyn_rep.analytic.throughput_tops(),
+            })
+        })
+        .collect()
+}
+
+/// Renders Fig. 6 rows with the paper's reference ranges.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 6 — effective power efficiency & throughput vs ISAAC\n");
+    out.push_str(&format!(
+        "  {:<10} {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6}\n",
+        "model", "ISAAC", "PIMSYN", "gain", "ISAAC", "PIMSYN", "gain"
+    ));
+    out.push_str(&format!(
+        "  {:<10} {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6}\n",
+        "", "TOPS/W", "TOPS/W", "", "TOPS", "TOPS", ""
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<10} {:>9.3} {:>9.3} {:>5.2}x | {:>9.3} {:>9.3} {:>5.2}x\n",
+            r.model,
+            r.isaac_efficiency,
+            r.pimsyn_efficiency,
+            r.efficiency_gain(),
+            r.isaac_throughput,
+            r.pimsyn_throughput,
+            r.throughput_gain(),
+        ));
+    }
+    out.push_str(&format!(
+        "  paper: efficiency gain {:.1}-{:.1}x, throughput gain {:.2}-{:.2}x\n",
+        FIG6_EFFICIENCY_GAIN_RANGE.0,
+        FIG6_EFFICIENCY_GAIN_RANGE.1,
+        FIG6_THROUGHPUT_GAIN_RANGE.0,
+        FIG6_THROUGHPUT_GAIN_RANGE.1,
+    ));
+    out
+}
+
+/// One measured row of Table V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Measured {
+    /// Benchmark name.
+    pub model: String,
+    /// Gibbon-proxy EDP / energy / latency (ms x mJ, mJ, ms).
+    pub gibbon: (f64, f64, f64),
+    /// PIMSYN EDP / energy / latency.
+    pub pimsyn: (f64, f64, f64),
+    /// The published row for side-by-side reporting.
+    pub published: Table5Row,
+}
+
+/// Table V: EDP / energy / latency vs the Gibbon-like proxy on the CIFAR
+/// benchmarks.
+pub fn table5_gibbon() -> Vec<Table5Measured> {
+    let hw = HardwareParams::date24();
+    let models = [zoo::alexnet_cifar(10), zoo::vgg16_cifar(10), zoo::resnet18_cifar(10)];
+    models
+        .iter()
+        .zip(TABLE5)
+        .filter_map(|(model, published)| {
+            let g = gibbon::gibbon_proxy(model, CIFAR_POWER, &hw).ok()?;
+            // Match the comparison metric (Table V is EDP-based) and give
+            // the headline comparison the full paper-scale search effort.
+            let opts = harness_options(CIFAR_POWER)
+                .with_objective(Objective::EnergyDelayProduct)
+                .with_effort(pimsyn::Effort::Paper);
+            let p = Synthesizer::new(opts).synthesize(model).ok()?;
+            let gr = &g.report;
+            let pr = &p.analytic;
+            Some(Table5Measured {
+                model: model.name().to_string(),
+                gibbon: (gr.edp_ms_mj(), gr.energy_per_image.value() * 1e3, gr.latency.millis()),
+                pimsyn: (pr.edp_ms_mj(), pr.energy_per_image.value() * 1e3, pr.latency.millis()),
+                published,
+            })
+        })
+        .collect()
+}
+
+/// Renders Table V with published references.
+pub fn render_table5(rows: &[Table5Measured]) -> String {
+    let mut out = String::new();
+    out.push_str("Table V — comparison with Gibbon (CIFAR-10 class models)\n");
+    out.push_str("                    measured (proxy / ours)    published (Gibbon / PIMSYN)\n");
+    for r in rows {
+        out.push_str(&format!("  {}\n", r.model));
+        out.push_str(&format!(
+            "    EDP (ms*mJ) : {:>9.4} / {:<9.4}   {:>8.2} / {:<8.3}\n",
+            r.gibbon.0, r.pimsyn.0, r.published.gibbon_edp, r.published.pimsyn_edp
+        ));
+        out.push_str(&format!(
+            "    Energy (mJ) : {:>9.4} / {:<9.4}   {:>8.2} / {:<8.3}\n",
+            r.gibbon.1, r.pimsyn.1, r.published.gibbon_energy, r.published.pimsyn_energy
+        ));
+        out.push_str(&format!(
+            "    Latency (ms): {:>9.4} / {:<9.4}   {:>8.2} / {:<8.3}\n",
+            r.gibbon.2, r.pimsyn.2, r.published.gibbon_latency, r.published.pimsyn_latency
+        ));
+    }
+    out
+}
+
+/// One arm of the Fig. 7/8/9 ablations, normalized to the ISAAC baseline on
+/// the same model and power envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationArm {
+    /// Arm label (e.g. "SA-based").
+    pub label: String,
+    /// Power efficiency normalized to ISAAC.
+    pub efficiency_norm: f64,
+    /// Throughput normalized to ISAAC.
+    pub throughput_norm: f64,
+}
+
+fn normalize_to_isaac(model: &Model, result: &SynthesisResult) -> Option<(f64, f64)> {
+    let hw = HardwareParams::date24();
+    // ISAAC's fixed design may need a larger (multi-chip) envelope than the
+    // synthesis budget; evaluate it at the smallest feasible power — the
+    // TOPS/W normalization is power-fair either way.
+    let budget = result.architecture.power_budget;
+    let power = budget.max(isaac::isaac_min_power(model, &hw));
+    let isaac_rep = isaac::evaluate_isaac_analytic(model, power, &hw).ok()?;
+    // ISAAC's per-crossbar inventory makes its efficiency power-invariant;
+    // compare throughput at the synthesis budget by scaling accordingly.
+    let isaac_tops_at_budget =
+        isaac_rep.efficiency_tops_per_watt() * budget.value();
+    Some((
+        result.analytic.efficiency_tops_per_watt() / isaac_rep.efficiency_tops_per_watt(),
+        result.analytic.throughput_tops() / isaac_tops_at_budget,
+    ))
+}
+
+/// Fig. 7: power efficiency and throughput of the three duplication
+/// strategies, normalized to ISAAC (CIFAR-VGG16 at the harness power).
+pub fn fig7_weight_duplication() -> Vec<AblationArm> {
+    let model = zoo::vgg16_cifar(10);
+    let arms = [
+        ("SA-based", WtDupStrategy::SimulatedAnnealing),
+        ("Heuristic", WtDupStrategy::WohoProportional),
+        ("No Duplication", WtDupStrategy::NoDuplication),
+    ];
+    arms.iter()
+        .filter_map(|(label, strategy)| {
+            let opts = harness_options(CIFAR_POWER).with_strategy(strategy.clone());
+            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let (e, t) = normalize_to_isaac(&model, &result)?;
+            Some(AblationArm {
+                label: (*label).to_string(),
+                efficiency_norm: e,
+                throughput_norm: t,
+            })
+        })
+        .collect()
+}
+
+/// Fig. 8: identical vs specialized macro design.
+pub fn fig8_macro_specialization() -> Vec<AblationArm> {
+    let model = zoo::vgg16_cifar(10);
+    let arms =
+        [("Specialized Macro", MacroMode::Specialized), ("Identical Macro", MacroMode::Identical)];
+    arms.iter()
+        .filter_map(|(label, mode)| {
+            let opts = harness_options(CIFAR_POWER).with_macro_mode(*mode);
+            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let (e, t) = normalize_to_isaac(&model, &result)?;
+            Some(AblationArm {
+                label: (*label).to_string(),
+                efficiency_norm: e,
+                throughput_norm: t,
+            })
+        })
+        .collect()
+}
+
+/// Fig. 9: with vs without inter-layer macro sharing.
+pub fn fig9_macro_sharing() -> Vec<AblationArm> {
+    let model = zoo::vgg16_cifar(10);
+    let configs = [("With Reuse", true), ("Without Reuse", false)];
+    configs
+        .iter()
+        .filter_map(|(label, share)| {
+            let mut opts = harness_options(CIFAR_POWER);
+            if !share {
+                opts = opts.without_macro_sharing();
+            }
+            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let (e, t) = normalize_to_isaac(&model, &result)?;
+            Some(AblationArm {
+                label: (*label).to_string(),
+                efficiency_norm: e,
+                throughput_norm: t,
+            })
+        })
+        .collect()
+}
+
+/// Renders an ablation (Figs. 7-9) with its paper reference ratio.
+pub fn render_ablation(title: &str, arms: &[AblationArm], paper_ratio: (f64, f64)) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("  {:<18} {:>12} {:>12}\n", "arm", "eff (xISAAC)", "thr (xISAAC)"));
+    for a in arms {
+        out.push_str(&format!(
+            "  {:<18} {:>12.3} {:>12.3}\n",
+            a.label, a.efficiency_norm, a.throughput_norm
+        ));
+    }
+    if arms.len() >= 2 {
+        let e = arms[0].efficiency_norm / arms[1].efficiency_norm.max(1e-12);
+        let t = arms[0].throughput_norm / arms[1].throughput_norm.max(1e-12);
+        out.push_str(&format!(
+            "  measured first/second arm: eff {:.2}x thr {:.2}x | paper: eff {:.2}x thr {:.2}x\n",
+            e, t, paper_ratio.0, paper_ratio.1
+        ));
+    }
+    out
+}
+
+/// Number of Table IV baselines (sanity constant for benches).
+pub const TABLE4_BASELINE_COUNT: usize = TABLE4_BASELINES.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderers_are_nonempty() {
+        assert!(table1_design_space().contains("XbSize"));
+        assert!(table3_components().contains("ADC"));
+    }
+
+    #[test]
+    fn fig5_produces_adc_savings_without_adding_converters() {
+        let points = fig5_adc_reuse();
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.adc_ratio <= 1.0 + 1e-9, "sharing must not add ADCs: {p:?}");
+            assert!(p.delay_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig7_sa_beats_no_duplication() {
+        let arms = fig7_weight_duplication();
+        assert_eq!(arms.len(), 3);
+        let sa = &arms[0];
+        let nodup = &arms[2];
+        assert!(
+            sa.throughput_norm > nodup.throughput_norm,
+            "SA {} !> no-dup {}",
+            sa.throughput_norm,
+            nodup.throughput_norm
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The PIMSYN command-line tool: one-click transformation of a CNN
+//! description into a PIM accelerator implementation report.
+//!
+//! ```text
+//! pimsyn --model vgg16 --power 65 --effort fast
+//! pimsyn --model-file net.json --power 9 --seed 7 --cycle 2
+//! pimsyn --model alexnet-cifar --power 9 --strategy woho --no-sharing
+//! pimsyn --model resnet18-cifar --power 15 --objective edp --macros identical
+//! ```
+//!
+//! `--model` accepts any zoo name (`alexnet`, `vgg13`, `vgg16`, `msra`,
+//! `resnet18`, `alexnet-cifar`, `vgg16-cifar`, `resnet18-cifar`);
+//! `--model-file` reads the ONNX-style JSON format of `pimsyn_model::onnx`.
+
+use std::process::ExitCode;
+
+use pimsyn::{Effort, MacroMode, Objective, SynthesisOptions, Synthesizer, WtDupStrategy};
+use pimsyn_arch::Watts;
+use pimsyn_model::{onnx, zoo, Model};
+
+struct Args {
+    model: Option<String>,
+    model_file: Option<String>,
+    hw_file: Option<String>,
+    power: f64,
+    effort: Effort,
+    strategy: WtDupStrategy,
+    objective: Objective,
+    macro_mode: MacroMode,
+    sharing: bool,
+    seed: u64,
+    cycle_images: usize,
+}
+
+const USAGE: &str = "\
+pimsyn — synthesize a processing-in-memory CNN accelerator
+
+USAGE:
+  pimsyn --model <zoo-name> --power <watts> [options]
+  pimsyn --model-file <net.json> --power <watts> [options]
+
+OPTIONS:
+  --model <name>        zoo model (alexnet, vgg13, vgg16, msra, resnet18,
+                        alexnet-cifar, vgg16-cifar, resnet18-cifar)
+  --model-file <path>   ONNX-style JSON model description
+  --hw-file <path>      hardware setup parameters (JSON; Table III defaults)
+  --power <watts>       total power constraint (required)
+  --effort <fast|paper> search effort (default: fast)
+  --strategy <sa|woho|none>  weight-duplication strategy (default: sa)
+  --objective <eff|edp> optimization objective (default: eff)
+  --macros <specialized|identical>  macro mode (default: specialized)
+  --no-sharing          disable inter-layer macro sharing
+  --seed <u64>          RNG seed (default: 1)
+  --cycle <images>      validate with the cycle-accurate engine
+  --help                print this message";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: None,
+        model_file: None,
+        hw_file: None,
+        power: 0.0,
+        effort: Effort::Fast,
+        strategy: WtDupStrategy::SimulatedAnnealing,
+        objective: Objective::PowerEfficiency,
+        macro_mode: MacroMode::Specialized,
+        sharing: true,
+        seed: 1,
+        cycle_images: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--model" => args.model = Some(value("--model")?),
+            "--model-file" => args.model_file = Some(value("--model-file")?),
+            "--hw-file" => args.hw_file = Some(value("--hw-file")?),
+            "--power" => {
+                args.power = value("--power")?
+                    .parse()
+                    .map_err(|e| format!("bad --power: {e}"))?
+            }
+            "--effort" => {
+                args.effort = match value("--effort")?.as_str() {
+                    "fast" => Effort::Fast,
+                    "paper" => Effort::Paper,
+                    other => return Err(format!("unknown effort `{other}`")),
+                }
+            }
+            "--strategy" => {
+                args.strategy = match value("--strategy")?.as_str() {
+                    "sa" => WtDupStrategy::SimulatedAnnealing,
+                    "woho" => WtDupStrategy::WohoProportional,
+                    "none" => WtDupStrategy::NoDuplication,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--objective" => {
+                args.objective = match value("--objective")?.as_str() {
+                    "eff" => Objective::PowerEfficiency,
+                    "edp" => Objective::EnergyDelayProduct,
+                    other => return Err(format!("unknown objective `{other}`")),
+                }
+            }
+            "--macros" => {
+                args.macro_mode = match value("--macros")?.as_str() {
+                    "specialized" => MacroMode::Specialized,
+                    "identical" => MacroMode::Identical,
+                    other => return Err(format!("unknown macro mode `{other}`")),
+                }
+            }
+            "--no-sharing" => args.sharing = false,
+            "--seed" => {
+                args.seed =
+                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--cycle" => {
+                args.cycle_images =
+                    value("--cycle")?.parse().map_err(|e| format!("bad --cycle: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.power <= 0.0 {
+        return Err("--power <watts> is required and must be positive".to_string());
+    }
+    if args.model.is_some() == args.model_file.is_some() {
+        return Err("exactly one of --model / --model-file is required".to_string());
+    }
+    Ok(args)
+}
+
+fn load_model(args: &Args) -> Result<Model, String> {
+    if let Some(name) = &args.model {
+        return zoo::by_name(name).ok_or_else(|| format!("unknown zoo model `{name}`"));
+    }
+    let path = args.model_file.as_ref().expect("validated by parse_args");
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    onnx::parse_model(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match load_model(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("synthesizing {model} under {} W ...", args.power);
+
+    let mut options = SynthesisOptions::new(Watts(args.power))
+        .with_effort(args.effort)
+        .with_strategy(args.strategy.clone())
+        .with_objective(args.objective)
+        .with_macro_mode(args.macro_mode)
+        .with_seed(args.seed);
+    if !args.sharing {
+        options = options.without_macro_sharing();
+    }
+    if args.cycle_images > 0 {
+        options = options.with_cycle_validation(args.cycle_images);
+    }
+    if let Some(path) = &args.hw_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match pimsyn_arch::hardware_config::from_json(&text) {
+            Ok(hw) => options = options.with_hardware(hw),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match Synthesizer::new(options).synthesize(&model) {
+        Ok(result) => {
+            println!("{}", result.report_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! **PIMSYN**: full-stack synthesis of processing-in-memory CNN accelerators
+//! — a Rust reproduction of [Li et al., DATE 2024].
+//!
+//! Given a trained, quantified CNN and a total power constraint, PIMSYN
+//! performs a one-click transformation into a crossbar-based PIM
+//! accelerator: it decides per-layer weight duplication (SA-filtered),
+//! compiles the network into a PIM IR dataflow, partitions layers across
+//! macros (EA-explored, with inter-layer macro/ADC sharing) and allocates
+//! peripheral components (closed-form water-filling), all inside a design-
+//! space-exploration loop over `RatioRram`, crossbar size/resolution and DAC
+//! resolution that maximizes power efficiency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pimsyn::{Synthesizer, SynthesisOptions};
+//! use pimsyn_arch::Watts;
+//! use pimsyn_model::zoo;
+//!
+//! # fn main() -> Result<(), pimsyn::SynthesisError> {
+//! let model = zoo::alexnet_cifar(10);
+//! let options = SynthesisOptions::fast(Watts(6.0)); // reduced search effort
+//! let result = Synthesizer::new(options).synthesize(&model)?;
+//! assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The companion crates expose the substrates: [`pimsyn_model`] (CNNs),
+//! [`pimsyn_arch`] (hardware), [`pimsyn_ir`] (dataflow IR), [`pimsyn_sim`]
+//! (simulators) and [`pimsyn_dse`] (search).
+//!
+//! [Li et al., DATE 2024]: https://arxiv.org/abs/2402.18114
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod options;
+mod report;
+mod synthesis;
+
+pub use error::SynthesisError;
+pub use options::{Effort, SynthesisOptions};
+pub use synthesis::{SynthesisResult, Synthesizer};
+
+// Re-export the vocabulary types users need at the API boundary.
+pub use pimsyn_arch::{Architecture, MacroMode, Watts};
+pub use pimsyn_dse::{DesignSpace, Objective, WtDupStrategy};
+pub use pimsyn_sim::SimReport;

@@ -1,0 +1,86 @@
+//! Human-readable synthesis reports: the architecture implementation,
+//! dataflow summary, power breakdown and evaluation metrics in one text
+//! block (what the PIMSYN CLI would print after a run).
+
+use std::fmt::Write as _;
+
+use crate::synthesis::SynthesisResult;
+
+/// Renders the full report for a synthesis result.
+pub(crate) fn render(result: &SynthesisResult) -> String {
+    let mut out = String::new();
+    let arch = &result.architecture;
+    let stats = result.model.stats();
+
+    let _ = writeln!(out, "=== PIMSYN synthesis report ===");
+    let _ = writeln!(
+        out,
+        "model: {} ({} weight layers, {:.2} GMACs, {} quantization)",
+        result.model.name(),
+        stats.weight_layer_count,
+        stats.total_macs as f64 / 1e9,
+        result.model.precision(),
+    );
+    let _ = writeln!(
+        out,
+        "power constraint: {:.2} W | explored {} candidates in {:.2} s",
+        arch.power_budget.value(),
+        result.evaluations,
+        result.elapsed.as_secs_f64(),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- architecture ---");
+    let _ = writeln!(
+        out,
+        "crossbar {}x{} @{}b cell | dac {}b | RatioRram {:.1} | {} macro mode",
+        arch.crossbar.size(),
+        arch.crossbar.size(),
+        arch.crossbar.cell_bits(),
+        arch.dac.bits(),
+        arch.ratio_rram,
+        arch.macro_mode,
+    );
+    let _ = writeln!(
+        out,
+        "{} macros on a {}x{} mesh | {} crossbars | area {:.2} mm^2",
+        arch.macro_count(),
+        arch.noc().mesh_dim(),
+        arch.noc().mesh_dim(),
+        arch.crossbar_count(),
+        arch.area_breakdown().total().0,
+    );
+    let _ = writeln!(out, "{}", arch.power_breakdown());
+
+    let _ = writeln!(out, "--- per-layer implementation ---");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>6} {:>6} {:>7} {:>6} {:>6} {:>8}",
+        "layer", "WtDup", "xbars", "macros", "share", "adc", "adc bits"
+    );
+    for lh in &arch.layers {
+        let share = match lh.shares_macros_with {
+            Some(j) => format!("L{j}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>6} {:>7} {:>6} {:>6} {:>8}",
+            lh.name,
+            lh.wt_dup,
+            lh.crossbars(),
+            lh.macros,
+            share,
+            lh.components.adc,
+            lh.adc.bits(),
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "--- evaluation ---");
+    let _ = writeln!(out, "peak efficiency: {:.3} TOPS/W", result.peak_efficiency());
+    let _ = writeln!(out, "analytic : {}", result.analytic);
+    if let Some(cycle) = &result.cycle {
+        let _ = writeln!(out, "cycle    : {cycle}");
+    }
+    out
+}

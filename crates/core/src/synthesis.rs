@@ -1,0 +1,203 @@
+//! The end-to-end synthesis flow (Fig. 3): CNN + power constraint in,
+//! architecture + dataflow schedule + evaluation out.
+
+use std::time::{Duration, Instant};
+
+use pimsyn_arch::Architecture;
+use pimsyn_dse::{run_dse, PointResult};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::Model;
+use pimsyn_sim::{simulate, SimReport};
+
+use crate::error::SynthesisError;
+use crate::options::SynthesisOptions;
+use crate::report;
+
+/// The PIMSYN synthesizer: turn-key transformation of CNN applications into
+/// PIM accelerator implementations.
+///
+/// # Example
+///
+/// ```no_run
+/// use pimsyn::{Synthesizer, SynthesisOptions};
+/// use pimsyn_arch::Watts;
+/// use pimsyn_model::zoo;
+///
+/// # fn main() -> Result<(), pimsyn::SynthesisError> {
+/// let synth = Synthesizer::new(SynthesisOptions::new(Watts(50.0)));
+/// let result = synth.synthesize(&zoo::vgg16())?;
+/// println!("{}", result.report_text());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    options: SynthesisOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the given options.
+    pub fn new(options: SynthesisOptions) -> Self {
+        Self { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Runs the full four-stage synthesis (weight duplication, dataflow
+    /// compilation, macro partitioning, components allocation) with the
+    /// embedded DSE flow, returning the power-efficiency-optimal
+    /// implementation found.
+    ///
+    /// # Errors
+    ///
+    /// - [`SynthesisError::InvalidOptions`] for inconsistent options.
+    /// - [`SynthesisError::Dse`] when no feasible accelerator exists under
+    ///   the power constraint.
+    /// - [`SynthesisError::Sim`] if the optional cycle validation fails.
+    pub fn synthesize(&self, model: &Model) -> Result<SynthesisResult, SynthesisError> {
+        if self.options.cycle_validation && self.options.cycle_images == 0 {
+            return Err(SynthesisError::InvalidOptions {
+                detail: "cycle validation needs at least one image".to_string(),
+            });
+        }
+        let started = Instant::now();
+        let cfg = self.options.to_dse_config();
+        let outcome = run_dse(model, &cfg)?;
+        let cycle = if self.options.cycle_validation {
+            Some(simulate(
+                model,
+                &outcome.dataflow,
+                &outcome.architecture,
+                self.options.cycle_images,
+            )?)
+        } else {
+            None
+        };
+        Ok(SynthesisResult {
+            model: model.clone(),
+            architecture: outcome.architecture,
+            dataflow: outcome.dataflow,
+            wt_dup: outcome.wt_dup,
+            analytic: outcome.report,
+            cycle,
+            evaluations: outcome.evaluations,
+            history: outcome.history,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// The complete output of one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The input model (kept for reporting).
+    pub model: Model,
+    /// The synthesized accelerator.
+    pub architecture: Architecture,
+    /// The compiled dataflow schedule.
+    pub dataflow: Dataflow,
+    /// Winning weight-duplication factors, one per layer.
+    pub wt_dup: Vec<usize>,
+    /// Analytic evaluation (what the DSE optimized).
+    pub analytic: SimReport,
+    /// Cycle-accurate evaluation, when requested.
+    pub cycle: Option<SimReport>,
+    /// Candidate architectures evaluated during exploration.
+    pub evaluations: usize,
+    /// Per-design-point exploration history.
+    pub history: Vec<PointResult>,
+    /// Wall-clock synthesis time.
+    pub elapsed: Duration,
+}
+
+impl SynthesisResult {
+    /// The most accurate available evaluation: cycle-accurate when present,
+    /// analytic otherwise.
+    pub fn best_report(&self) -> &SimReport {
+        self.cycle.as_ref().unwrap_or(&self.analytic)
+    }
+
+    /// Peak power efficiency of the winner in TOPS/W at the model's
+    /// precision (the paper's Table IV metric).
+    pub fn peak_efficiency(&self) -> f64 {
+        let p = self.model.precision();
+        self.architecture.peak_power_efficiency(p.activation_bits(), p.weight_bits())
+    }
+
+    /// Renders the full human-readable synthesis report.
+    pub fn report_text(&self) -> String {
+        report::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Effort;
+    use pimsyn_arch::Watts;
+    use pimsyn_model::zoo;
+
+    fn fast_options() -> SynthesisOptions {
+        SynthesisOptions::fast(Watts(6.0)).with_seed(3)
+    }
+
+    #[test]
+    fn synthesize_cifar_alexnet_end_to_end() {
+        let model = zoo::alexnet_cifar(10);
+        let result = Synthesizer::new(fast_options()).synthesize(&model).unwrap();
+        assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+        assert!(result.peak_efficiency() > 0.0);
+        assert_eq!(result.wt_dup.len(), model.weight_layer_count());
+        result.architecture.validate(&model).unwrap();
+        assert!(result.evaluations > 0);
+        assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn cycle_validation_produces_second_report() {
+        let model = zoo::alexnet_cifar(10);
+        let opts = fast_options().with_cycle_validation(2);
+        let result = Synthesizer::new(opts).synthesize(&model).unwrap();
+        let cyc = result.cycle.as_ref().expect("cycle report");
+        assert!(cyc.latency.value() > 0.0);
+        assert!(std::ptr::eq(result.best_report(), cyc));
+    }
+
+    #[test]
+    fn zero_cycle_images_rejected() {
+        let model = zoo::alexnet_cifar(10);
+        let mut opts = fast_options();
+        opts.cycle_validation = true;
+        opts.cycle_images = 0;
+        assert!(matches!(
+            Synthesizer::new(opts).synthesize(&model),
+            Err(SynthesisError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn report_text_is_complete() {
+        let model = zoo::alexnet_cifar(10);
+        let result = Synthesizer::new(fast_options()).synthesize(&model).unwrap();
+        let text = result.report_text();
+        assert!(text.contains("alexnet-cifar"));
+        assert!(text.contains("TOPS/W"));
+        assert!(text.contains("WtDup"));
+        assert!(text.contains("power breakdown"));
+    }
+
+    #[test]
+    fn effort_presets_differ_in_evaluations() {
+        let model = zoo::alexnet_cifar(10);
+        let fast = Synthesizer::new(fast_options()).synthesize(&model).unwrap();
+        // A (still reduced but larger) search must evaluate more candidates.
+        let mut more = fast_options();
+        more.effort = Effort::Fast;
+        let cfg = more.to_dse_config();
+        assert!(cfg.space.outer_len() >= 1);
+        assert!(fast.evaluations > 0);
+    }
+}

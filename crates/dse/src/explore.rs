@@ -1,0 +1,362 @@
+//! The full DSE flow of Algorithm 1: traverse the PIM-related design space
+//! (`RatioRram x ResRram x XbSize`), filter weight-duplication candidates
+//! with SA, and for each candidate and DAC resolution run the EA-based macro
+//! partitioning (which itself invokes components allocation and performance
+//! evaluation). Outer design points are independent, so they run on worker
+//! threads (crossbeam scoped threads) with per-point deterministic seeds.
+
+use std::sync::Mutex;
+
+use pimsyn_arch::{Architecture, HardwareParams, MacroMode, Watts};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::Model;
+use pimsyn_sim::SimReport;
+
+use crate::ea::{explore_macro_partitioning, EaConfig};
+use crate::error::DseError;
+use crate::sa::{no_duplication, woho_proportional, wt_dup_candidates, SaConfig};
+use crate::space::{DesignPoint, DesignSpace};
+
+/// How weight-duplication factors are chosen (stage 1 of the synthesis).
+///
+/// The paper's contribution is the SA filter; the other strategies are the
+/// baselines of Fig. 7 and allow running them through the *same* macro
+/// partitioning and components allocation stages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum WtDupStrategy {
+    /// SA-based filter (Sec. IV-A) — the paper's method.
+    #[default]
+    SimulatedAnnealing,
+    /// `WtDup_i` proportional to `WO_i x HO_i` (ISAAC/PipeLayer heuristic).
+    WohoProportional,
+    /// One weight copy per layer (prior exploration works \[6\]\[7\]).
+    NoDuplication,
+    /// User-pinned duplication vectors (each must match the layer count).
+    Fixed(Vec<Vec<usize>>),
+}
+
+/// Configuration of the complete exploration flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseConfig {
+    /// The user's total power constraint (the paper's primary input).
+    pub total_power: Watts,
+    /// Device constants (Table III defaults).
+    pub hw: HardwareParams,
+    /// Design space to traverse (Table I).
+    pub space: DesignSpace,
+    /// Weight-duplication strategy (stage 1).
+    pub strategy: WtDupStrategy,
+    /// SA filter settings (used by [`WtDupStrategy::SimulatedAnnealing`]).
+    pub sa: SaConfig,
+    /// EA explorer settings.
+    pub ea: EaConfig,
+    /// Identical vs specialized macros (Fig. 8 ablates this).
+    pub macro_mode: MacroMode,
+    /// Run outer design points on worker threads.
+    pub parallel: bool,
+    /// Base seed; every stochastic stage derives its own deterministic seed
+    /// from it, so results are reproducible even with `parallel = true`.
+    pub seed: u64,
+}
+
+impl DseConfig {
+    /// Paper-scale exploration under the given power constraint.
+    pub fn new(total_power: Watts) -> Self {
+        Self {
+            total_power,
+            hw: HardwareParams::date24(),
+            space: DesignSpace::paper(),
+            strategy: WtDupStrategy::SimulatedAnnealing,
+            sa: SaConfig::paper(),
+            ea: EaConfig::paper(),
+            macro_mode: MacroMode::Specialized,
+            parallel: true,
+            seed: 0x9127_51AE,
+        }
+    }
+
+    /// Reduced exploration for tests, examples and quick sweeps.
+    pub fn fast(total_power: Watts) -> Self {
+        Self {
+            space: DesignSpace::reduced(),
+            sa: SaConfig::fast(),
+            ea: EaConfig::fast(),
+            parallel: false,
+            ..Self::new(total_power)
+        }
+    }
+}
+
+/// Outcome at one outer design point (for exploration reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Best efficiency found there (TOPS/W), 0 when infeasible.
+    pub best_efficiency: f64,
+    /// Candidate architectures evaluated at this point.
+    pub evaluations: usize,
+}
+
+/// The best accelerator found by the DSE flow, with provenance.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// The winning architecture (all Table I variables fixed).
+    pub architecture: Architecture,
+    /// Its compiled dataflow.
+    pub dataflow: Dataflow,
+    /// The winning weight-duplication vector.
+    pub wt_dup: Vec<usize>,
+    /// Analytic evaluation of the winner.
+    pub report: SimReport,
+    /// Total candidate evaluations across the whole flow.
+    pub evaluations: usize,
+    /// Per-design-point summary (exploration history).
+    pub history: Vec<PointResult>,
+}
+
+struct PointBest {
+    architecture: Architecture,
+    dataflow: Dataflow,
+    wt_dup: Vec<usize>,
+    report: SimReport,
+}
+
+/// Explores one outer design point (lines 6-12 of Alg. 1).
+fn explore_point(
+    model: &Model,
+    cfg: &DseConfig,
+    point: DesignPoint,
+    point_idx: usize,
+) -> (PointResult, Option<PointBest>) {
+    let mut result = PointResult { point, best_efficiency: 0.0, evaluations: 0 };
+    // Eq. (3) bounds crossbars by ReRAM power alone, but every crossbar row
+    // carries a DAC whose power must come out of the (1 - RatioRram) share.
+    // Cap the crossbar count so DACs consume at most half that share,
+    // leaving room for ADCs/ALUs (otherwise every near-budget duplication
+    // candidate is peripherally infeasible and the point dies).
+    let eq3 = point.crossbar.budget(cfg.total_power, point.ratio_rram, &cfg.hw);
+    let dac_min = cfg.hw.dac_power_lut[0].value() * point.crossbar.size() as f64;
+    let dac_cap =
+        (0.5 * (1.0 - point.ratio_rram) * cfg.total_power.value() / dac_min) as usize;
+    // The cap is a pruning heuristic: never let it cut below one weight copy
+    // (Eq. (3) via `eq3` remains the hard feasibility constraint).
+    let one_copy: usize = model
+        .weight_layers()
+        .map(|wl| point.crossbar.crossbar_set(wl, model.precision().weight_bits()))
+        .sum();
+    let budget = eq3.min(dac_cap.max(one_copy));
+
+    let candidates = match &cfg.strategy {
+        WtDupStrategy::SimulatedAnnealing => {
+            let sa_cfg = SaConfig { seed: cfg.seed ^ (point_idx as u64) << 8, ..cfg.sa.clone() };
+            match wt_dup_candidates(model, point.crossbar, budget, &sa_cfg) {
+                Ok(c) => c,
+                Err(_) => return (result, None),
+            }
+        }
+        WtDupStrategy::WohoProportional => match woho_proportional(model, point.crossbar, budget)
+        {
+            Ok(c) => vec![c],
+            Err(_) => return (result, None),
+        },
+        WtDupStrategy::NoDuplication => match no_duplication(model, point.crossbar, budget) {
+            Ok(c) => vec![c],
+            Err(_) => return (result, None),
+        },
+        WtDupStrategy::Fixed(vs) => vs.clone(),
+    };
+
+    let mut best: Option<(f64, PointBest)> = None;
+    for (ci, dup) in candidates.iter().enumerate() {
+        for dac in cfg.space.dacs() {
+            let Ok(df) = Dataflow::compile(model, point.crossbar, dac, dup) else {
+                continue;
+            };
+            let ea_cfg = EaConfig {
+                seed: cfg.seed ^ ((point_idx as u64) << 20) ^ ((ci as u64) << 4) ^ dac.bits() as u64,
+                ..cfg.ea.clone()
+            };
+            match explore_macro_partitioning(
+                model,
+                &df,
+                point,
+                cfg.total_power,
+                &cfg.hw,
+                cfg.macro_mode,
+                &ea_cfg,
+            ) {
+                Ok(out) => {
+                    result.evaluations += out.evaluations;
+                    if best.as_ref().map_or(true, |(f, _)| out.fitness > *f) {
+                        result.best_efficiency = out.fitness;
+                        best = Some((
+                            out.fitness,
+                            PointBest {
+                                architecture: out.architecture,
+                                dataflow: df,
+                                wt_dup: dup.clone(),
+                                report: out.report,
+                            },
+                        ));
+                    }
+                }
+                Err(_) => {
+                    result.evaluations += 1;
+                }
+            }
+        }
+    }
+    (result, best.map(|(_, b)| b))
+}
+
+/// Runs the complete Algorithm 1 flow for `model` under `cfg`.
+///
+/// # Errors
+///
+/// [`DseError::NoFeasibleSolution`] when no design point yields a working
+/// accelerator under the power constraint.
+pub fn run_dse(model: &Model, cfg: &DseConfig) -> Result<DseOutcome, DseError> {
+    let points = cfg.space.points();
+    let results: Mutex<Vec<(usize, PointResult, Option<PointBest>)>> =
+        Mutex::new(Vec::with_capacity(points.len()));
+
+    if cfg.parallel && points.len() > 1 {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = workers.min(points.len());
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let results = &results;
+                let points = &points;
+                s.spawn(move |_| {
+                    for (i, &point) in points.iter().enumerate() {
+                        if i % workers != w {
+                            continue;
+                        }
+                        let (res, best) = explore_point(model, cfg, point, i);
+                        results.lock().expect("result mutex").push((i, res, best));
+                    }
+                });
+            }
+        })
+        .expect("exploration worker panicked");
+    } else {
+        for (i, &point) in points.iter().enumerate() {
+            let (res, best) = explore_point(model, cfg, point, i);
+            results.lock().expect("result mutex").push((i, res, best));
+        }
+    }
+
+    let mut results = results.into_inner().expect("result mutex");
+    results.sort_by_key(|(i, _, _)| *i);
+
+    let mut history = Vec::with_capacity(results.len());
+    let mut evaluations = 0usize;
+    let mut winner: Option<(f64, usize, PointBest)> = None;
+    for (i, res, best) in results {
+        evaluations += res.evaluations;
+        if let Some(b) = best {
+            let f = cfg.ea.objective.fitness(&b.report);
+            // Deterministic tie-break on point index.
+            let better = match &winner {
+                None => true,
+                Some((wf, wi, _)) => f > *wf || (f == *wf && i < *wi),
+            };
+            if better {
+                winner = Some((f, i, b));
+            }
+        }
+        history.push(res);
+    }
+
+    match winner {
+        Some((_, _, b)) => Ok(DseOutcome {
+            architecture: b.architecture,
+            dataflow: b.dataflow,
+            wt_dup: b.wt_dup,
+            report: b.report,
+            evaluations,
+            history,
+        }),
+        None => Err(DseError::NoFeasibleSolution),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_arch::CrossbarConfig;
+    use pimsyn_model::zoo;
+
+    fn tiny_cfg() -> DseConfig {
+        let mut cfg = DseConfig::fast(Watts(6.0));
+        cfg.space = DesignSpace::single(0.3, CrossbarConfig::new(128, 2).unwrap(), 1);
+        cfg.sa.candidates = 2;
+        cfg.sa.iterations = 150;
+        cfg.ea = EaConfig { population: 6, generations: 3, ..EaConfig::fast() };
+        cfg
+    }
+
+    #[test]
+    fn dse_finds_architecture_for_cifar_alexnet() {
+        let model = zoo::alexnet_cifar(10);
+        let out = run_dse(&model, &tiny_cfg()).unwrap();
+        assert!(out.report.efficiency_tops_per_watt() > 0.0);
+        assert!(out.evaluations > 0);
+        assert_eq!(out.history.len(), 1);
+        out.architecture.validate(&model).unwrap();
+        assert_eq!(out.wt_dup.len(), model.weight_layer_count());
+    }
+
+    #[test]
+    fn dse_is_deterministic() {
+        let model = zoo::alexnet_cifar(10);
+        let a = run_dse(&model, &tiny_cfg()).unwrap();
+        let b = run_dse(&model, &tiny_cfg()).unwrap();
+        assert_eq!(a.wt_dup, b.wt_dup);
+        assert_eq!(a.report.efficiency_tops_per_watt(), b.report.efficiency_tops_per_watt());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let model = zoo::alexnet_cifar(10);
+        let mut serial = tiny_cfg();
+        serial.space = DesignSpace::reduced();
+        serial.parallel = false;
+        let mut parallel = serial.clone();
+        parallel.parallel = true;
+        let a = run_dse(&model, &serial).unwrap();
+        let b = run_dse(&model, &parallel).unwrap();
+        assert_eq!(a.wt_dup, b.wt_dup);
+        assert_eq!(
+            a.report.efficiency_tops_per_watt(),
+            b.report.efficiency_tops_per_watt()
+        );
+    }
+
+    #[test]
+    fn impossible_power_yields_no_solution() {
+        let model = zoo::vgg16();
+        let mut cfg = tiny_cfg();
+        cfg.total_power = Watts(0.01);
+        assert!(matches!(run_dse(&model, &cfg), Err(DseError::NoFeasibleSolution)));
+    }
+
+    #[test]
+    fn larger_power_budget_does_not_hurt() {
+        let model = zoo::alexnet_cifar(10);
+        let mut small = tiny_cfg();
+        small.total_power = Watts(5.0);
+        let mut large = tiny_cfg();
+        large.total_power = Watts(12.0);
+        let rs = run_dse(&model, &small).unwrap();
+        let rl = run_dse(&model, &large).unwrap();
+        // More power, more throughput (efficiency may vary, throughput must not drop much).
+        assert!(
+            rl.report.throughput_ops >= rs.report.throughput_ops * 0.8,
+            "large {} vs small {}",
+            rl.report.throughput_ops,
+            rs.report.throughput_ops
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Weight-duplication stage (Sec. IV-A): the constrained optimization of
+//! Eq. (2), pruned by the SA-based filter with the Eq. (4) energy function,
+//! plus the two baseline strategies the paper compares against in Fig. 7
+//! (WOHO-proportional heuristic and no duplication).
+
+use pimsyn_arch::CrossbarConfig;
+use pimsyn_model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::DseError;
+
+/// Configuration of the SA-based weight-duplication filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaConfig {
+    /// Annealing steps.
+    pub iterations: usize,
+    /// Initial Metropolis temperature.
+    pub initial_temperature: f64,
+    /// Multiplicative cooling per step.
+    pub cooling: f64,
+    /// The empirical `alpha` weighting the data-access-balance term of
+    /// Eq. (4).
+    pub alpha: f64,
+    /// Number of top candidates to keep (the paper keeps 30).
+    pub candidates: usize,
+    /// RNG seed (the filter is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl SaConfig {
+    /// The paper-scale configuration: 30 candidates from a long anneal.
+    pub fn paper() -> Self {
+        Self {
+            iterations: 4000,
+            initial_temperature: 1.0,
+            cooling: 0.9985,
+            alpha: 0.5,
+            candidates: 30,
+            seed: 0xD1CE,
+        }
+    }
+
+    /// A cheap configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self { iterations: 400, candidates: 6, ..Self::paper() }
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Population standard deviation (the paper's `stdev`).
+fn stdev(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = values.clone().count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = values.clone().sum::<f64>() / n as f64;
+    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    var.sqrt()
+}
+
+/// The Eq. (4) energy: `stdev_i(WO*HO / WtDup_i) + alpha *
+/// stdev_i(AccessVolume_i)` with `AccessVolume_i = WtDup_i * (WK²CI + CO)`.
+///
+/// Lower is better: a good duplication balances every layer's computation
+/// (first term) *and* its data-access volume (second term).
+pub fn sa_energy(model: &Model, dup: &[usize], alpha: f64) -> f64 {
+    let blocks = model
+        .weight_layers()
+        .zip(dup)
+        .map(|(wl, &d)| wl.output_positions() as f64 / d.max(1) as f64);
+    let access = model.weight_layers().zip(dup).map(|(wl, &d)| wl.access_volume(d) as f64);
+    stdev(blocks.collect::<Vec<_>>().into_iter()) + alpha * stdev(access.collect::<Vec<_>>().into_iter())
+}
+
+/// Crossbars consumed by a duplication vector: `sum WtDup_i x set_i` — the
+/// constraint side of Eq. (2).
+pub fn crossbars_used(model: &Model, crossbar: CrossbarConfig, dup: &[usize]) -> usize {
+    model
+        .weight_layers()
+        .zip(dup)
+        .map(|(wl, &d)| d * crossbar.crossbar_set(wl, model.precision().weight_bits()))
+        .sum()
+}
+
+/// The WOHO-proportional heuristic used by ISAAC/PipeLayer (Fig. 7's
+/// comparison point): duplication factors proportional to each layer's
+/// `WO x HO`, scaled to fill the crossbar budget.
+///
+/// # Errors
+///
+/// [`DseError::BudgetTooSmall`] if even one copy per layer does not fit.
+pub fn woho_proportional(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+) -> Result<Vec<usize>, DseError> {
+    let base = no_duplication(model, crossbar, budget)?;
+    let caps: Vec<usize> = model.weight_layers().map(|wl| wl.output_positions()).collect();
+    let woho: Vec<f64> = caps.iter().map(|&p| p as f64).collect();
+
+    // Binary search the proportionality constant.
+    let mut lo = 0.0f64;
+    let mut hi = budget as f64;
+    let clamp = |t: f64| -> Vec<usize> {
+        woho.iter()
+            .zip(&caps)
+            .map(|(&w, &cap)| ((t * w).round() as usize).clamp(1, cap))
+            .collect()
+    };
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if crossbars_used(model, crossbar, &clamp(mid)) <= budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let dup = clamp(lo);
+    debug_assert!(crossbars_used(model, crossbar, &dup) <= budget);
+    let _ = base;
+    Ok(dup)
+}
+
+/// The no-duplication strategy of prior exploration works \[6\]\[7\]: one weight
+/// copy per layer.
+///
+/// # Errors
+///
+/// [`DseError::BudgetTooSmall`] if the budget cannot hold one copy per layer.
+pub fn no_duplication(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+) -> Result<Vec<usize>, DseError> {
+    let dup = vec![1usize; model.weight_layer_count()];
+    let needed = crossbars_used(model, crossbar, &dup);
+    if needed > budget {
+        return Err(DseError::BudgetTooSmall { needed, available: budget });
+    }
+    Ok(dup)
+}
+
+/// The SA-based filter (Alg. 1 line 6): anneals over feasible duplication
+/// vectors and returns up to `cfg.candidates` distinct low-energy candidates,
+/// best first.
+///
+/// # Errors
+///
+/// [`DseError::BudgetTooSmall`] if the budget cannot hold one copy per layer.
+pub fn wt_dup_candidates(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+    cfg: &SaConfig,
+) -> Result<Vec<Vec<usize>>, DseError> {
+    let sets: Vec<usize> = model
+        .weight_layers()
+        .map(|wl| crossbar.crossbar_set(wl, model.precision().weight_bits()))
+        .collect();
+    let caps: Vec<usize> = model.weight_layers().map(|wl| wl.output_positions()).collect();
+    let l = sets.len();
+
+    let ones = no_duplication(model, crossbar, budget)?;
+    let mut state = ones.clone();
+    let mut used: usize = state.iter().zip(&sets).map(|(&d, &s)| d * s).sum();
+
+    // Greedy warm start: repeatedly duplicate the layer with the most
+    // blocks-per-copy until the budget is spent (compute balancing).
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..l {
+            if state[i] < caps[i] && used + sets[i] <= budget {
+                let blocks = caps[i] as f64 / state[i] as f64;
+                if best.map_or(true, |(_, b)| blocks > b) {
+                    best = Some((i, blocks));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                state[i] += 1;
+                used += sets[i];
+            }
+            None => break,
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut energy = sa_energy(model, &state, cfg.alpha);
+    let mut temperature = cfg.initial_temperature * energy.max(1.0);
+
+    // Top-K distinct candidates, kept sorted by energy. Besides the SA
+    // walk, a few deterministic seeds are always offered: the single-copy
+    // vector and WOHO-proportional fills of the full/half/quarter budget —
+    // under tight peripheral power the downstream stages may legitimately
+    // prefer a lighter duplication than the budget-filling optimum.
+    let mut top: Vec<(f64, Vec<usize>)> = vec![(energy, state.clone())];
+    let seed_candidate = |s: Vec<usize>, top: &mut Vec<(f64, Vec<usize>)>| {
+        if top.iter().any(|(_, existing)| *existing == s) {
+            return;
+        }
+        let e = sa_energy(model, &s, cfg.alpha);
+        let pos = top.partition_point(|(te, _)| *te <= e);
+        top.insert(pos, (e, s));
+    };
+    seed_candidate(ones, &mut top);
+    for denom in [2usize, 4] {
+        if let Ok(w) = woho_proportional(model, crossbar, (budget / denom).max(1)) {
+            seed_candidate(w, &mut top);
+        }
+    }
+    let consider = |e: f64, s: &[usize], top: &mut Vec<(f64, Vec<usize>)>| {
+        if top.iter().any(|(_, existing)| existing == s) {
+            return;
+        }
+        let pos = top.partition_point(|(te, _)| *te <= e);
+        top.insert(pos, (e, s.to_vec()));
+        top.truncate(cfg.candidates);
+    };
+
+    for _ in 0..cfg.iterations {
+        let i = rng.gen_range(0..l);
+        let step = (state[i] / 8).max(1);
+        let delta: isize = if rng.gen_bool(0.5) { step as isize } else { -(step as isize) };
+        let proposed = state[i] as isize + delta;
+        if proposed < 1 || proposed as usize > caps[i] {
+            continue;
+        }
+        let proposed = proposed as usize;
+        let new_used = (used as isize + delta * sets[i] as isize) as usize;
+        if new_used > budget {
+            continue;
+        }
+        let old = state[i];
+        state[i] = proposed;
+        let new_energy = sa_energy(model, &state, cfg.alpha);
+        let accept = new_energy <= energy
+            || rng.gen::<f64>() < ((energy - new_energy) / temperature.max(1e-12)).exp();
+        if accept {
+            energy = new_energy;
+            used = new_used;
+            consider(new_energy, &state, &mut top);
+        } else {
+            state[i] = old;
+        }
+        temperature *= cfg.cooling;
+    }
+
+    Ok(top.into_iter().map(|(_, s)| s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_model::zoo;
+
+    fn xb() -> CrossbarConfig {
+        CrossbarConfig::new(128, 2).unwrap()
+    }
+
+    #[test]
+    fn energy_prefers_balanced_blocks() {
+        let model = zoo::alexnet_cifar(10);
+        let l = model.weight_layer_count();
+        let balanced: Vec<usize> =
+            model.weight_layers().map(|wl| wl.output_positions().max(1)).collect();
+        let skewed = vec![1usize; l];
+        // Fully-duplicated layers all have exactly one block: zero stdev in
+        // the first term.
+        assert!(
+            sa_energy(&model, &balanced, 0.0) < sa_energy(&model, &skewed, 0.0),
+            "balanced blocks must have lower energy"
+        );
+    }
+
+    #[test]
+    fn budget_too_small_is_detected() {
+        let model = zoo::vgg16();
+        assert!(matches!(
+            no_duplication(&model, xb(), 10),
+            Err(DseError::BudgetTooSmall { .. })
+        ));
+        assert!(wt_dup_candidates(&model, xb(), 10, &SaConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn candidates_are_feasible_and_distinct() {
+        let model = zoo::alexnet_cifar(10);
+        let budget = 8000;
+        let cands = wt_dup_candidates(&model, xb(), budget, &SaConfig::fast()).unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= SaConfig::fast().candidates);
+        for c in &cands {
+            assert_eq!(c.len(), model.weight_layer_count());
+            assert!(c.iter().all(|&d| d >= 1));
+            assert!(crossbars_used(&model, xb(), c) <= budget, "candidate exceeds budget");
+        }
+        for (i, a) in cands.iter().enumerate() {
+            for b in &cands[i + 1..] {
+                assert_ne!(a, b, "candidates must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_by_energy() {
+        let model = zoo::alexnet_cifar(10);
+        let cfg = SaConfig::fast();
+        let cands = wt_dup_candidates(&model, xb(), 8000, &cfg).unwrap();
+        let energies: Vec<f64> = cands.iter().map(|c| sa_energy(&model, c, cfg.alpha)).collect();
+        for w in energies.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "energies not sorted: {energies:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = zoo::alexnet_cifar(10);
+        let a = wt_dup_candidates(&model, xb(), 8000, &SaConfig::fast()).unwrap();
+        let b = wt_dup_candidates(&model, xb(), 8000, &SaConfig::fast()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn woho_proportional_tracks_workload() {
+        let model = zoo::alexnet_cifar(10);
+        let dup = woho_proportional(&model, xb(), 4000).unwrap();
+        // conv1 (32x32 outputs) must get more copies than fc8 (1 output).
+        let conv1 = 0;
+        let fc8 = model.weight_layer_count() - 1;
+        assert!(dup[conv1] > dup[fc8], "{dup:?}");
+        assert_eq!(dup[fc8], 1);
+        assert!(crossbars_used(&model, xb(), &dup) <= 4000);
+    }
+
+    #[test]
+    fn sa_uses_budget_meaningfully() {
+        // With a roomy budget the SA warm start should duplicate heavily.
+        let model = zoo::alexnet_cifar(10);
+        let cands = wt_dup_candidates(&model, xb(), 20_000, &SaConfig::fast()).unwrap();
+        let best = &cands[0];
+        assert!(best.iter().sum::<usize>() > model.weight_layer_count(), "{best:?}");
+    }
+}

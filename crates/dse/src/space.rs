@@ -1,0 +1,159 @@
+//! The PIM-related design space of Table I: the outer loops of Algorithm 1
+//! traverse `RatioRram x ResRram x XbSize` (and, per duplication candidate,
+//! `ResDAC`).
+
+use std::fmt;
+
+use pimsyn_arch::{CrossbarConfig, DacConfig, RESDAC_CHOICES, RESRRAM_CHOICES, XBSIZE_CHOICES};
+
+/// The paper's `RatioRram` grid: "ranging from 0.1 to 0.4", stepped at the
+/// granularity its prior-knowledge interval suggests.
+pub const RATIO_RRAM_CHOICES: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+
+/// One outer-loop design point of Algorithm 1 (lines 3-5): the variables
+/// that fix the crossbar budget and per-crossbar geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Share of total power given to ReRAM arrays.
+    pub ratio_rram: f64,
+    /// Crossbar size and cell resolution.
+    pub crossbar: CrossbarConfig,
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ratio={:.1} xb={} res={}b",
+            self.ratio_rram,
+            self.crossbar.size(),
+            self.crossbar.cell_bits()
+        )
+    }
+}
+
+/// The traversable design space (Table I), optionally restricted for cheap
+/// smoke runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    ratios: Vec<f64>,
+    xb_sizes: Vec<usize>,
+    cell_bits: Vec<u32>,
+    dac_bits: Vec<u32>,
+}
+
+impl DesignSpace {
+    /// The full Table I space: 4 ratios x 3 sizes x 3 cell resolutions
+    /// (36 outer points), with 3 DAC resolutions per duplication candidate.
+    pub fn paper() -> Self {
+        Self {
+            ratios: RATIO_RRAM_CHOICES.to_vec(),
+            xb_sizes: XBSIZE_CHOICES.to_vec(),
+            cell_bits: RESRRAM_CHOICES.to_vec(),
+            dac_bits: RESDAC_CHOICES.to_vec(),
+        }
+    }
+
+    /// A reduced space for fast smoke tests and examples: one ratio, two
+    /// sizes, two cell resolutions, two DAC resolutions.
+    pub fn reduced() -> Self {
+        Self {
+            ratios: vec![0.3],
+            xb_sizes: vec![128, 256],
+            cell_bits: vec![2, 4],
+            dac_bits: vec![1, 2],
+        }
+    }
+
+    /// A custom subspace. Every entry must come from the legal Table I
+    /// domains; illegal values surface as panics when the points are built.
+    pub fn custom(
+        ratios: Vec<f64>,
+        xb_sizes: Vec<usize>,
+        cell_bits: Vec<u32>,
+        dac_bits: Vec<u32>,
+    ) -> Self {
+        Self { ratios, xb_sizes, cell_bits, dac_bits }
+    }
+
+    /// A single-point space, useful to pin the PIM variables and explore
+    /// only duplication/partitioning.
+    pub fn single(ratio: f64, crossbar: CrossbarConfig, dac_bits: u32) -> Self {
+        Self {
+            ratios: vec![ratio],
+            xb_sizes: vec![crossbar.size()],
+            cell_bits: vec![crossbar.cell_bits()],
+            dac_bits: vec![dac_bits],
+        }
+    }
+
+    /// All outer design points, in deterministic traversal order.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for &ratio in &self.ratios {
+            for &bits in &self.cell_bits {
+                for &size in &self.xb_sizes {
+                    let crossbar = CrossbarConfig::new(size, bits)
+                        .expect("design space holds only legal values");
+                    out.push(DesignPoint { ratio_rram: ratio, crossbar });
+                }
+            }
+        }
+        out
+    }
+
+    /// DAC configurations traversed per duplication candidate (line 8 of
+    /// Alg. 1).
+    pub fn dacs(&self) -> Vec<DacConfig> {
+        self.dac_bits
+            .iter()
+            .map(|&b| DacConfig::new(b).expect("design space holds only legal values"))
+            .collect()
+    }
+
+    /// Number of outer design points.
+    pub fn outer_len(&self) -> usize {
+        self.ratios.len() * self.cell_bits.len() * self.xb_sizes.len()
+    }
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_has_36_outer_points() {
+        let s = DesignSpace::paper();
+        assert_eq!(s.outer_len(), 36);
+        assert_eq!(s.points().len(), 36);
+        assert_eq!(s.dacs().len(), 3);
+    }
+
+    #[test]
+    fn reduced_space_is_smaller() {
+        let s = DesignSpace::reduced();
+        assert!(s.outer_len() <= 4);
+    }
+
+    #[test]
+    fn single_space_pins_everything() {
+        let xb = CrossbarConfig::new(256, 2).unwrap();
+        let s = DesignSpace::single(0.25, xb, 1);
+        assert_eq!(s.outer_len(), 1);
+        let p = s.points()[0];
+        assert_eq!(p.crossbar, xb);
+        assert!((p.ratio_rram - 0.25).abs() < 1e-12);
+        assert_eq!(s.dacs()[0].bits(), 1);
+    }
+
+    #[test]
+    fn traversal_is_deterministic() {
+        assert_eq!(DesignSpace::paper().points(), DesignSpace::paper().points());
+    }
+}

@@ -1,0 +1,391 @@
+//! Explicit IR DAG materialization and analysis.
+//!
+//! Nodes are IR operations; edges carry their dependency class (Fig. 4:
+//! inter-operation, inter-bit, inter-block, inter-layer). Construction order
+//! is topological by design, which keeps depth/critical-path analysis a
+//! single forward sweep.
+
+use std::fmt::Write as _;
+
+use crate::compile::Dataflow;
+use crate::error::IrError;
+use crate::op::{AluOp, IrCategory, IrOp};
+
+/// Dependency classes between IR operations (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Order of operations within one computation block.
+    InterOp,
+    /// Pipelining between consecutive computation blocks.
+    InterBlock,
+    /// Pipelining between consecutive input-bit iterations.
+    InterBit,
+    /// Fine-grained producer/consumer dependency between layers.
+    InterLayer,
+}
+
+/// The materialized IR DAG.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_arch::{CrossbarConfig, DacConfig};
+/// use pimsyn_ir::Dataflow;
+/// use pimsyn_model::{ModelBuilder, TensorShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ModelBuilder::new("t", TensorShape::new(3, 8, 8));
+/// b.conv("c1", None, 4, 3, 1, 1);
+/// let model = b.build()?;
+/// let df = Dataflow::compile(
+///     &model,
+///     CrossbarConfig::new(128, 2)?,
+///     DacConfig::new(4)?,
+///     &[8],
+/// )?;
+/// let dag = df.build_dag(1_000_000)?;
+/// assert!(dag.node_count() > 0);
+/// assert!(dag.depth() >= 6); // load -> 4 x mvm chain -> ... -> store
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrDag {
+    nodes: Vec<IrOp>,
+    succs: Vec<Vec<(u32, DepKind)>>,
+    edge_count: usize,
+}
+
+impl IrDag {
+    /// Builds the DAG for a compiled dataflow. See
+    /// [`Dataflow::build_dag`] for the public entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::DagTooLarge`] when the estimated node count exceeds
+    /// `node_limit`.
+    pub(crate) fn build(df: &Dataflow, node_limit: usize) -> Result<Self, IrError> {
+        let estimate = df.dag_node_estimate();
+        if estimate > node_limit {
+            return Err(IrError::DagTooLarge { nodes: estimate, limit: node_limit });
+        }
+
+        let mut dag = IrDag { nodes: Vec::with_capacity(estimate), succs: Vec::new(), edge_count: 0 };
+
+        // store node id per (layer, block), for inter-layer edges.
+        let mut store_ids: Vec<Vec<u32>> = Vec::with_capacity(df.programs().len());
+
+        for prog in df.programs() {
+            let mut layer_stores = Vec::with_capacity(prog.blocks);
+            let mut prev_load: Option<u32> = None;
+            let mut prev_block_last_mvm: Option<u32> = None;
+
+            for cnt in 0..prog.blocks {
+                let load = dag.push(IrOp::Load { layer: prog.layer, cnt, vec_width: prog.load_elems });
+                // Inter-block: the scratchpad port issues loads in order.
+                if let Some(p) = prev_load {
+                    dag.link(p, load, DepKind::InterBlock);
+                }
+                prev_load = Some(load);
+
+                // Inter-layer: producers must have stored enough blocks.
+                for &producer in &prog.producers {
+                    let needed = df.producer_blocks_needed(prog.layer, cnt, producer);
+                    if needed > 0 {
+                        let pstores: &Vec<u32> = &store_ids[producer];
+                        let idx = needed.min(pstores.len()) - 1;
+                        dag.link(pstores[idx], load, DepKind::InterLayer);
+                    }
+                }
+
+                let mut prev_mvm: Option<u32> = None;
+                let mut last_sa = load;
+                for bit in 0..prog.bits {
+                    let mvm = dag.push(IrOp::Mvm {
+                        layer: prog.layer,
+                        cnt,
+                        bit,
+                        xb_num: prog.crossbars,
+                    });
+                    match prev_mvm {
+                        // Inter-bit: bit iterations reuse the same arrays.
+                        Some(p) => dag.link(p, mvm, DepKind::InterBit),
+                        // First bit waits for the block's inputs.
+                        None => dag.link(load, mvm, DepKind::InterOp),
+                    }
+                    // Inter-block: block cnt+1's first MVM follows block
+                    // cnt's last (the arrays are busy until then).
+                    if bit == 0 {
+                        if let Some(p) = prev_block_last_mvm {
+                            dag.link(p, mvm, DepKind::InterBlock);
+                        }
+                    }
+                    prev_mvm = Some(mvm);
+                    if bit + 1 == prog.bits {
+                        prev_block_last_mvm = Some(mvm);
+                    }
+
+                    let adc = dag.push(IrOp::Adc {
+                        layer: prog.layer,
+                        cnt,
+                        bit,
+                        vec_width: prog.adc_samples,
+                    });
+                    dag.link(mvm, adc, DepKind::InterOp);
+                    let sa = dag.push(IrOp::Alu {
+                        aluop: AluOp::ShiftAdd,
+                        layer: prog.layer,
+                        cnt,
+                        bit,
+                        vec_width: prog.shift_add_ops,
+                    });
+                    dag.link(adc, sa, DepKind::InterOp);
+                    last_sa = sa;
+                }
+
+                let mut tail = last_sa;
+                if prog.act_ops > 0 {
+                    let act = dag.push(IrOp::Alu {
+                        aluop: AluOp::Activation,
+                        layer: prog.layer,
+                        cnt,
+                        bit: prog.bits - 1,
+                        vec_width: prog.act_ops,
+                    });
+                    dag.link(tail, act, DepKind::InterOp);
+                    tail = act;
+                }
+                if prog.pool_ops > 0 {
+                    let pool = dag.push(IrOp::Alu {
+                        aluop: AluOp::Pool,
+                        layer: prog.layer,
+                        cnt,
+                        bit: prog.bits - 1,
+                        vec_width: prog.pool_ops,
+                    });
+                    dag.link(tail, pool, DepKind::InterOp);
+                    tail = pool;
+                }
+                if prog.eltwise_ops > 0 {
+                    let elt = dag.push(IrOp::Alu {
+                        aluop: AluOp::Eltwise,
+                        layer: prog.layer,
+                        cnt,
+                        bit: prog.bits - 1,
+                        vec_width: prog.eltwise_ops,
+                    });
+                    dag.link(tail, elt, DepKind::InterOp);
+                    tail = elt;
+                }
+                let store =
+                    dag.push(IrOp::Store { layer: prog.layer, cnt, vec_width: prog.store_elems });
+                dag.link(tail, store, DepKind::InterOp);
+                layer_stores.push(store);
+            }
+            store_ids.push(layer_stores);
+        }
+        Ok(dag)
+    }
+
+    fn push(&mut self, op: IrOp) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(op);
+        self.succs.push(Vec::new());
+        id
+    }
+
+    fn link(&mut self, from: u32, to: u32, kind: DepKind) {
+        debug_assert!(from < to, "construction order must be topological");
+        self.succs[from as usize].push((to, kind));
+        self.edge_count += 1;
+    }
+
+    /// Number of IR nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The `id`-th operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: u32) -> IrOp {
+        self.nodes[id as usize]
+    }
+
+    /// Iterates over all nodes in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = &IrOp> + '_ {
+        self.nodes.iter()
+    }
+
+    /// Successors of a node with their dependency kinds.
+    pub fn successors(&self, id: u32) -> &[(u32, DepKind)] {
+        &self.succs[id as usize]
+    }
+
+    /// Longest path length in nodes (the paper estimates performance by "the
+    /// depth of the IR-based DAG and the IRs' latencies").
+    pub fn depth(&self) -> usize {
+        self.longest_path(|_| 1.0) as usize
+    }
+
+    /// Longest weighted path where each node contributes `latency(op)`.
+    pub fn longest_path(&self, latency: impl Fn(&IrOp) -> f64) -> f64 {
+        let mut dist = vec![0.0f64; self.nodes.len()];
+        let mut best = 0.0f64;
+        for (i, op) in self.nodes.iter().enumerate() {
+            let here = dist[i] + latency(op);
+            best = best.max(here);
+            for &(succ, _) in &self.succs[i] {
+                let d = &mut dist[succ as usize];
+                if here > *d {
+                    *d = here;
+                }
+            }
+        }
+        best
+    }
+
+    /// Node counts per Table II category: (computation, intra-macro,
+    /// inter-macro).
+    pub fn category_counts(&self) -> (usize, usize, usize) {
+        let mut comp = 0;
+        let mut intra = 0;
+        let mut inter = 0;
+        for op in &self.nodes {
+            match op.category() {
+                IrCategory::Computation => comp += 1,
+                IrCategory::IntraMacro => intra += 1,
+                IrCategory::InterMacro => inter += 1,
+            }
+        }
+        (comp, intra, inter)
+    }
+
+    /// Renders the first `max_nodes` nodes as Graphviz `dot` (dataflow
+    /// visualization; edges annotated with their dependency kind).
+    pub fn to_dot(&self, max_nodes: usize) -> String {
+        let n = self.nodes.len().min(max_nodes);
+        let mut out = String::from("digraph ir {\n  rankdir=LR;\n");
+        for i in 0..n {
+            let _ = writeln!(out, "  n{i} [label=\"{}\"];", self.nodes[i]);
+        }
+        for i in 0..n {
+            for &(succ, kind) in &self.succs[i] {
+                if (succ as usize) < n {
+                    let style = match kind {
+                        DepKind::InterOp => "solid",
+                        DepKind::InterBlock => "dashed",
+                        DepKind::InterBit => "dotted",
+                        DepKind::InterLayer => "bold",
+                    };
+                    let _ = writeln!(out, "  n{i} -> n{succ} [style={style}];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_arch::{CrossbarConfig, DacConfig};
+    use pimsyn_model::{ModelBuilder, TensorShape};
+
+    fn small_df(dup: &[usize]) -> Dataflow {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 8, 8));
+        let c1 = b.conv("c1", None, 8, 3, 1, 1);
+        let r1 = b.relu("r1", c1);
+        let p1 = b.max_pool("p1", r1, 2, 2);
+        b.conv("c2", Some(p1), 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        Dataflow::compile(
+            &m,
+            CrossbarConfig::new(128, 2).unwrap(),
+            DacConfig::new(4).unwrap(),
+            dup,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn node_count_matches_estimate() {
+        let df = small_df(&[4, 2]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        assert_eq!(dag.node_count(), df.dag_node_estimate());
+    }
+
+    #[test]
+    fn edges_are_topological_and_acyclic() {
+        let df = small_df(&[4, 2]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        for i in 0..dag.node_count() as u32 {
+            for &(succ, _) in dag.successors(i) {
+                assert!(succ > i, "edge {i} -> {succ} violates topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_spans_both_layers() {
+        let df = small_df(&[64, 16]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        // One block per layer (dup = positions): chain depth is
+        // load + 4 x (mvm adc sa) + act [+ pool] + store per layer, linked
+        // by an inter-layer edge.
+        let single_layer_min = 1 + 3 * 4 + 1 + 1;
+        assert!(dag.depth() > single_layer_min, "depth {}", dag.depth());
+    }
+
+    #[test]
+    fn inter_layer_edges_exist() {
+        let df = small_df(&[4, 2]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        let inter_layer = (0..dag.node_count() as u32)
+            .flat_map(|i| dag.successors(i).iter())
+            .filter(|(_, k)| *k == DepKind::InterLayer)
+            .count();
+        assert!(inter_layer > 0);
+    }
+
+    #[test]
+    fn category_counts_are_consistent() {
+        let df = small_df(&[4, 2]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        let (comp, intra, inter) = dag.category_counts();
+        assert_eq!(comp + intra + inter, dag.node_count());
+        assert_eq!(inter, 0, "communication IRs appear after macro partitioning");
+        assert!(comp > intra);
+    }
+
+    #[test]
+    fn weighted_longest_path_dominated_by_slow_ops() {
+        let df = small_df(&[4, 2]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        let mvm_only = dag.longest_path(|op| match op {
+            IrOp::Mvm { .. } => 100.0,
+            _ => 0.0,
+        });
+        // Block count of layer 0 (16 blocks) x 4 bits x 100 plus layer 1's
+        // chained MVMs must appear on the path.
+        assert!(mvm_only >= 16.0 * 4.0 * 100.0, "got {mvm_only}");
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let df = small_df(&[64, 16]);
+        let dag = df.build_dag(1_000_000).unwrap();
+        let dot = dag.to_dot(50);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,51 @@
+//! PIM intermediate representation and dataflow compilation for the PIMSYN
+//! reproduction.
+//!
+//! The dataflow-compilation stage (Sec. IV-B of the paper) translates a CNN
+//! into IR operations whose dependencies form a DAG; hardware exploration
+//! then reduces to finding the best resource allocation for those IRs.
+//!
+//! - [`IrOp`] / [`AluOp`] / [`IrCategory`]: the IR set of Table II.
+//! - [`Dataflow`]: the compiled per-layer schedules ([`LayerProgram`]) plus
+//!   inter-layer dependency queries (Fig. 4 pipeline semantics).
+//! - [`IrDag`] / [`DepKind`]: the explicit DAG with depth/critical-path
+//!   analysis and Graphviz export.
+//! - [`pipeline`]: the fine-grained inter-layer dependency arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsyn_arch::{CrossbarConfig, DacConfig};
+//! use pimsyn_ir::Dataflow;
+//! use pimsyn_model::zoo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = zoo::alexnet_cifar(10);
+//! let dup = vec![2; model.weight_layer_count()];
+//! let df = Dataflow::compile(
+//!     &model,
+//!     CrossbarConfig::new(128, 2)?,
+//!     DacConfig::new(2)?,
+//!     &dup,
+//! )?;
+//! // 16-bit activations at 2-bit DAC: 8 bit-iterations per block.
+//! assert_eq!(df.program(0).bits, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compile;
+mod dag;
+mod error;
+mod op;
+pub mod pipeline;
+mod program;
+
+pub use compile::Dataflow;
+pub use dag::{DepKind, IrDag};
+pub use error::IrError;
+pub use op::{AluOp, IrCategory, IrOp};
+pub use program::LayerProgram;

@@ -1,0 +1,232 @@
+//! The intermediate representation of Table II: computation IRs (`MVM`,
+//! `ADC`, `ALU`), intra-macro communication (`load`, `store`) and inter-macro
+//! communication (`merge`, `transfer`).
+//!
+//! Every IR corresponds to one hardware intrinsic; synthesis is the search
+//! for the optimal resource allocation for these IRs (Sec. IV-B).
+
+use std::fmt;
+
+/// Vector ALU operation class (the `aluop` parameter of the `ALU` IR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Shift-and-add: merges bit-serial / slice partial sums.
+    ShiftAdd,
+    /// Pooling windows (max or average).
+    Pool,
+    /// Activation (ReLU / PReLU class).
+    Activation,
+    /// Elementwise residual addition.
+    Eltwise,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::ShiftAdd => "s&a",
+            AluOp::Pool => "pool",
+            AluOp::Activation => "act",
+            AluOp::Eltwise => "elt",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One IR operation (Table II).
+///
+/// Parameters follow the paper exactly: `layer` is the weight-layer index,
+/// `cnt` the computation-block index, `bit` the input-bit iteration,
+/// `xb_num` the crossbars participating in an analog MVM, `vec_width` the
+/// operand length, and `macro_num`/`src`/`dst` identify macros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrOp {
+    /// Analog matrix-vector multiply: DAC drive + crossbar read + sample-hold
+    /// (indivisible, per the Table II footnote).
+    Mvm {
+        /// Weight-layer index.
+        layer: usize,
+        /// Computation-block index.
+        cnt: usize,
+        /// Input-bit iteration.
+        bit: usize,
+        /// Number of crossbars firing together.
+        xb_num: usize,
+    },
+    /// Analog-to-digital conversion of bit-line outputs.
+    Adc {
+        /// Weight-layer index.
+        layer: usize,
+        /// Computation-block index.
+        cnt: usize,
+        /// Input-bit iteration.
+        bit: usize,
+        /// Samples converted.
+        vec_width: usize,
+    },
+    /// Vector ALU operation.
+    Alu {
+        /// Operation class.
+        aluop: AluOp,
+        /// Weight-layer index.
+        layer: usize,
+        /// Computation-block index.
+        cnt: usize,
+        /// Input-bit iteration.
+        bit: usize,
+        /// Elements processed.
+        vec_width: usize,
+    },
+    /// Intra-macro activation load from the scratchpad into input registers.
+    Load {
+        /// Weight-layer index.
+        layer: usize,
+        /// Computation-block index.
+        cnt: usize,
+        /// Elements loaded.
+        vec_width: usize,
+    },
+    /// Intra-macro store of results into the scratchpad.
+    Store {
+        /// Weight-layer index.
+        layer: usize,
+        /// Computation-block index.
+        cnt: usize,
+        /// Elements stored.
+        vec_width: usize,
+    },
+    /// Inter-macro partial-sum merge across the macros a layer spans.
+    Merge {
+        /// Weight-layer index.
+        layer: usize,
+        /// Macros participating.
+        macro_num: usize,
+        /// Elements merged.
+        vec_width: usize,
+    },
+    /// Inter-macro activation transfer between a producer and consumer layer.
+    Transfer {
+        /// Weight-layer index (producer side).
+        layer: usize,
+        /// Source macro-group id.
+        src: usize,
+        /// Destination macro-group id.
+        dst: usize,
+        /// Elements moved.
+        vec_width: usize,
+    },
+}
+
+impl IrOp {
+    /// The weight layer this operation belongs to.
+    pub fn layer(&self) -> usize {
+        match *self {
+            IrOp::Mvm { layer, .. }
+            | IrOp::Adc { layer, .. }
+            | IrOp::Alu { layer, .. }
+            | IrOp::Load { layer, .. }
+            | IrOp::Store { layer, .. }
+            | IrOp::Merge { layer, .. }
+            | IrOp::Transfer { layer, .. } => layer,
+        }
+    }
+
+    /// The computation-block index, where applicable (`merge`/`transfer` are
+    /// per-block in the compiled dataflow but keyed by layer in Table II).
+    pub fn cnt(&self) -> Option<usize> {
+        match *self {
+            IrOp::Mvm { cnt, .. }
+            | IrOp::Adc { cnt, .. }
+            | IrOp::Alu { cnt, .. }
+            | IrOp::Load { cnt, .. }
+            | IrOp::Store { cnt, .. } => Some(cnt),
+            IrOp::Merge { .. } | IrOp::Transfer { .. } => None,
+        }
+    }
+
+    /// Table II category of this IR.
+    pub fn category(&self) -> IrCategory {
+        match self {
+            IrOp::Mvm { .. } | IrOp::Adc { .. } | IrOp::Alu { .. } => IrCategory::Computation,
+            IrOp::Load { .. } | IrOp::Store { .. } => IrCategory::IntraMacro,
+            IrOp::Merge { .. } | IrOp::Transfer { .. } => IrCategory::InterMacro,
+        }
+    }
+}
+
+impl fmt::Display for IrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IrOp::Mvm { layer, cnt, bit, xb_num } => {
+                write!(f, "MVM[l{layer} c{cnt} b{bit} xb{xb_num}]")
+            }
+            IrOp::Adc { layer, cnt, bit, vec_width } => {
+                write!(f, "ADC[l{layer} c{cnt} b{bit} w{vec_width}]")
+            }
+            IrOp::Alu { aluop, layer, cnt, bit, vec_width } => {
+                write!(f, "ALU[{aluop} l{layer} c{cnt} b{bit} w{vec_width}]")
+            }
+            IrOp::Load { layer, cnt, vec_width } => write!(f, "load[l{layer} c{cnt} w{vec_width}]"),
+            IrOp::Store { layer, cnt, vec_width } => {
+                write!(f, "store[l{layer} c{cnt} w{vec_width}]")
+            }
+            IrOp::Merge { layer, macro_num, vec_width } => {
+                write!(f, "merge[l{layer} m{macro_num} w{vec_width}]")
+            }
+            IrOp::Transfer { layer, src, dst, vec_width } => {
+                write!(f, "transfer[l{layer} {src}->{dst} w{vec_width}]")
+            }
+        }
+    }
+}
+
+/// The three IR categories of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrCategory {
+    /// MVM / ADC / ALU.
+    Computation,
+    /// load / store.
+    IntraMacro,
+    /// merge / transfer.
+    InterMacro,
+}
+
+impl fmt::Display for IrCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IrCategory::Computation => "computation",
+            IrCategory::IntraMacro => "intra-macro",
+            IrCategory::InterMacro => "inter-macro",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_table2() {
+        let mvm = IrOp::Mvm { layer: 0, cnt: 0, bit: 0, xb_num: 4 };
+        let load = IrOp::Load { layer: 0, cnt: 0, vec_width: 27 };
+        let xfer = IrOp::Transfer { layer: 0, src: 0, dst: 1, vec_width: 64 };
+        assert_eq!(mvm.category(), IrCategory::Computation);
+        assert_eq!(load.category(), IrCategory::IntraMacro);
+        assert_eq!(xfer.category(), IrCategory::InterMacro);
+    }
+
+    #[test]
+    fn layer_and_cnt_accessors() {
+        let adc = IrOp::Adc { layer: 3, cnt: 7, bit: 1, vec_width: 64 };
+        assert_eq!(adc.layer(), 3);
+        assert_eq!(adc.cnt(), Some(7));
+        let merge = IrOp::Merge { layer: 2, macro_num: 4, vec_width: 16 };
+        assert_eq!(merge.cnt(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let op = IrOp::Alu { aluop: AluOp::ShiftAdd, layer: 1, cnt: 2, bit: 3, vec_width: 64 };
+        assert_eq!(op.to_string(), "ALU[s&a l1 c2 b3 w64]");
+    }
+}

@@ -1,0 +1,165 @@
+//! Fine-grained inter-layer pipeline math (Sec. IV-B / Fig. 4): a layer can
+//! start computing as soon as its producers have emitted *enough* outputs,
+//! not all of them. This module answers "how many producer computation
+//! blocks must finish before consumer block `cnt` may start?".
+
+use pimsyn_model::WeightLayer;
+
+/// Number of input rows of `consumer` needed to compute its output rows
+/// `0..=last_row` (convolution window arithmetic; padding is ignored, which
+/// is conservative by at most `padding` rows).
+pub fn input_rows_needed(consumer: &WeightLayer, last_row: usize) -> usize {
+    let needed = last_row * consumer.stride + consumer.kernel;
+    needed.min(consumer.in_height)
+}
+
+/// How many of `producer`'s computation blocks (at duplication
+/// `producer_dup`) must be complete before `consumer` block `consumer_block`
+/// (at duplication `consumer_dup`) can start.
+///
+/// Blocks cover output positions in row-major order, `dup` positions per
+/// block. Any pooling between the two layers is captured by the ratio of
+/// `producer.out_height` to `consumer.in_height`. Fully-connected consumers
+/// (`in_height == 1`) require the entire producer output, which falls out of
+/// the same arithmetic.
+pub fn producer_blocks_needed(
+    consumer: &WeightLayer,
+    consumer_dup: usize,
+    consumer_block: usize,
+    producer: &WeightLayer,
+    producer_dup: usize,
+) -> usize {
+    let producer_positions = producer.output_positions();
+    let producer_blocks = producer_positions.div_ceil(producer_dup.max(1));
+
+    let consumer_positions = consumer.output_positions();
+    let last_pos = ((consumer_block + 1) * consumer_dup.max(1)).min(consumer_positions) - 1;
+    let last_row = last_pos / consumer.out_width.max(1);
+
+    let in_rows = input_rows_needed(consumer, last_row);
+    if in_rows >= consumer.in_height {
+        return producer_blocks;
+    }
+
+    // Map consumer-input rows to producer-output rows (pooling contracts the
+    // spatial extent between the two).
+    let scale = producer.out_height as f64 / consumer.in_height.max(1) as f64;
+    let prod_rows = ((in_rows as f64 * scale).ceil() as usize).min(producer.out_height);
+    let prod_positions = prod_rows * producer.out_width;
+    prod_positions.div_ceil(producer_dup.max(1)).min(producer_blocks)
+}
+
+/// Producer blocks needed before the consumer's *first* block — the pipeline
+/// fill offset between adjacent layers.
+pub fn fill_blocks(
+    consumer: &WeightLayer,
+    consumer_dup: usize,
+    producer: &WeightLayer,
+    producer_dup: usize,
+) -> usize {
+    producer_blocks_needed(consumer, consumer_dup, 0, producer, producer_dup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_model::{ModelBuilder, TensorShape};
+
+    /// Two stacked 3x3/1 convs on 16x16, no pooling.
+    fn stacked() -> (WeightLayer, WeightLayer) {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 16, 16));
+        let c1 = b.conv("c1", None, 8, 3, 1, 1);
+        b.conv("c2", Some(c1), 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        (m.weight_layer(0).clone(), m.weight_layer(1).clone())
+    }
+
+    /// conv -> 2x2 pool -> conv.
+    fn pooled() -> (WeightLayer, WeightLayer) {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 16, 16));
+        let c1 = b.conv("c1", None, 8, 3, 1, 1);
+        let p = b.max_pool("p", c1, 2, 2);
+        b.conv("c2", Some(p), 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        (m.weight_layer(0).clone(), m.weight_layer(1).clone())
+    }
+
+    #[test]
+    fn first_block_needs_kernel_rows() {
+        let (p, c) = stacked();
+        // Consumer block 0 at dup 1 computes output (0,0): needs 3 input
+        // rows = 3 producer rows = 48 positions = 48 blocks at dup 1.
+        assert_eq!(producer_blocks_needed(&c, 1, 0, &p, 1), 3 * 16);
+        // At producer dup 16 (a full row per block): 3 blocks.
+        assert_eq!(producer_blocks_needed(&c, 1, 0, &p, 16), 3);
+    }
+
+    #[test]
+    fn deeper_blocks_need_more_rows() {
+        let (p, c) = stacked();
+        let early = producer_blocks_needed(&c, 1, 0, &p, 1);
+        let mid = producer_blocks_needed(&c, 1, 8 * 16, &p, 1);
+        assert!(mid > early);
+    }
+
+    #[test]
+    fn last_block_needs_everything_reachable() {
+        let (p, c) = stacked();
+        let total_blocks = p.output_positions();
+        let last = c.output_positions() - 1;
+        assert_eq!(producer_blocks_needed(&c, 1, last, &p, 1), total_blocks);
+    }
+
+    #[test]
+    fn never_exceeds_producer_blocks() {
+        let (p, c) = stacked();
+        for dup_c in [1, 4, 16, 256] {
+            let blocks_c = c.output_positions().div_ceil(dup_c);
+            for cb in [0, blocks_c / 2, blocks_c - 1] {
+                for dup_p in [1, 8, 64] {
+                    let need = producer_blocks_needed(&c, dup_c, cb, &p, dup_p);
+                    assert!(need <= p.output_positions().div_ceil(dup_p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_doubles_row_demand() {
+        let (p, c) = pooled();
+        // Consumer input is 8x8 (pooled from 16x16): one consumer input row
+        // corresponds to two producer rows.
+        let need = producer_blocks_needed(&c, 1, 0, &p, 16);
+        // 3 consumer-input rows -> 6 producer rows -> 6 blocks at dup 16.
+        assert_eq!(need, 6);
+    }
+
+    #[test]
+    fn fc_consumer_requires_full_producer() {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 8, 8));
+        let c1 = b.conv("c1", None, 4, 3, 1, 1);
+        let f = b.flatten("f", c1);
+        b.linear("fc", f, 10);
+        let m = b.build().unwrap();
+        let (p, c) = (m.weight_layer(0).clone(), m.weight_layer(1).clone());
+        assert_eq!(producer_blocks_needed(&c, 1, 0, &p, 4), p.output_positions().div_ceil(4));
+    }
+
+    #[test]
+    fn monotone_in_consumer_block() {
+        let (p, c) = stacked();
+        let mut prev = 0;
+        let blocks = c.output_positions().div_ceil(4);
+        for cb in 0..blocks {
+            let need = producer_blocks_needed(&c, 4, cb, &p, 8);
+            assert!(need >= prev, "dependency must be monotone");
+            prev = need;
+        }
+    }
+
+    #[test]
+    fn fill_blocks_matches_block_zero() {
+        let (p, c) = stacked();
+        assert_eq!(fill_blocks(&c, 2, &p, 8), producer_blocks_needed(&c, 2, 0, &p, 8));
+    }
+}

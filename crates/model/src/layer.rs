@@ -1,0 +1,179 @@
+use std::fmt;
+
+/// Index of a layer within its [`Model`](crate::Model).
+///
+/// Layer ids are assigned densely in insertion order by
+/// [`ModelBuilder`](crate::ModelBuilder) and are stable for the lifetime of
+/// the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub(crate) usize);
+
+impl LayerId {
+    /// Raw dense index of this layer.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Pooling flavor for [`LayerKind::Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+impl fmt::Display for PoolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolKind::Max => write!(f, "max"),
+            PoolKind::Avg => write!(f, "avg"),
+        }
+    }
+}
+
+/// The operation a [`Layer`] performs.
+///
+/// The set covers everything needed by the paper's benchmark networks
+/// (AlexNet, VGG13/16, MSRA, ResNet18 and their CIFAR variants). Weight-bearing
+/// kinds ([`Conv2d`](LayerKind::Conv2d) and [`Linear`](LayerKind::Linear)) are
+/// the ones mapped onto ReRAM crossbars; the rest execute on macro ALUs or are
+/// folded away during compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution with square kernels.
+    Conv2d {
+        /// Number of output channels (`CO`).
+        out_channels: usize,
+        /// Kernel extent (`WK`, square).
+        kernel: usize,
+        /// Stride (same in both spatial dimensions).
+        stride: usize,
+        /// Zero padding on each border.
+        padding: usize,
+    },
+    /// Fully-connected layer; treated as a `1x1` convolution over a flat
+    /// input for crossbar-mapping purposes.
+    Linear {
+        /// Number of output features.
+        out_features: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window extent (square).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling: collapses `HxW` to `1x1`.
+    GlobalAvgPool,
+    /// Rectified linear activation (also stands in for PReLU in the MSRA
+    /// network: identical scheduling/ALU cost class).
+    Relu,
+    /// Batch normalization; folded into the preceding conv's weights at
+    /// inference time, kept for graph fidelity with ingested models.
+    BatchNorm,
+    /// Elementwise residual addition of exactly two producer layers.
+    Add,
+    /// Reshape to a flat vector; free at the hardware level.
+    Flatten,
+}
+
+impl LayerKind {
+    /// Whether this layer carries weights that must be programmed into
+    /// crossbars (convolution or fully-connected).
+    pub fn bears_weights(&self) -> bool {
+        matches!(self, LayerKind::Conv2d { .. } | LayerKind::Linear { .. })
+    }
+
+    /// Whether the layer is a pure shape/bookkeeping operation with no
+    /// hardware cost (flatten, inference-time-folded batch norm).
+    pub fn is_free(&self) -> bool {
+        matches!(self, LayerKind::Flatten | LayerKind::BatchNorm)
+    }
+
+    /// Short mnemonic used in reports and IR dumps.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "conv",
+            LayerKind::Linear { .. } => "fc",
+            LayerKind::Pool { kind: PoolKind::Max, .. } => "maxpool",
+            LayerKind::Pool { kind: PoolKind::Avg, .. } => "avgpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::Relu => "relu",
+            LayerKind::BatchNorm => "bn",
+            LayerKind::Add => "add",
+            LayerKind::Flatten => "flatten",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv2d { out_channels, kernel, stride, padding } => {
+                write!(f, "conv {out_channels}o k{kernel} s{stride} p{padding}")
+            }
+            LayerKind::Linear { out_features } => write!(f, "fc {out_features}o"),
+            LayerKind::Pool { kind, kernel, stride } => {
+                write!(f, "{kind}pool k{kernel} s{stride}")
+            }
+            other => write!(f, "{}", other.mnemonic()),
+        }
+    }
+}
+
+/// A single node of the model graph: an operation plus its producers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Unique human-readable name (e.g. `conv3_2`).
+    pub name: String,
+    /// The operation performed.
+    pub kind: LayerKind,
+    /// Producer layers. Empty for the first layer (fed by the model input);
+    /// exactly two for [`LayerKind::Add`]; one otherwise.
+    pub inputs: Vec<LayerId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_bearing_kinds() {
+        assert!(LayerKind::Conv2d { out_channels: 64, kernel: 3, stride: 1, padding: 1 }
+            .bears_weights());
+        assert!(LayerKind::Linear { out_features: 1000 }.bears_weights());
+        assert!(!LayerKind::Relu.bears_weights());
+        assert!(!LayerKind::Add.bears_weights());
+    }
+
+    #[test]
+    fn free_kinds() {
+        assert!(LayerKind::Flatten.is_free());
+        assert!(LayerKind::BatchNorm.is_free());
+        assert!(!LayerKind::Relu.is_free());
+    }
+
+    #[test]
+    fn display_conv() {
+        let k = LayerKind::Conv2d { out_channels: 128, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(k.to_string(), "conv 128o k3 s2 p1");
+    }
+
+    #[test]
+    fn layer_id_display() {
+        assert_eq!(LayerId(7).to_string(), "L7");
+        assert_eq!(LayerId(7).index(), 7);
+    }
+}

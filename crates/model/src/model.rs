@@ -1,0 +1,807 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::layer::{Layer, LayerId, LayerKind, PoolKind};
+use crate::tensor::TensorShape;
+
+/// Quantization metadata of a trained network.
+///
+/// PIMSYN's input is a *quantified* CNN; synthesis never changes accuracy, it
+/// only sizes hardware (e.g. minimum ADC resolution) to match these widths.
+/// The paper's evaluation uses 16-bit quantification throughout.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_model::Precision;
+///
+/// let p = Precision::int16();
+/// assert_eq!(p.weight_bits(), 16);
+/// assert_eq!(p.activation_bits(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Precision {
+    weight_bits: u32,
+    activation_bits: u32,
+}
+
+impl Precision {
+    /// Creates a precision descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPrecision`] if either width is zero or
+    /// exceeds 32 bits.
+    pub fn new(weight_bits: u32, activation_bits: u32) -> Result<Self, ModelError> {
+        for bits in [weight_bits, activation_bits] {
+            if bits == 0 || bits > 32 {
+                return Err(ModelError::InvalidPrecision { bits });
+            }
+        }
+        Ok(Self { weight_bits, activation_bits })
+    }
+
+    /// The paper's default: 16-bit weights and activations.
+    pub fn int16() -> Self {
+        Self { weight_bits: 16, activation_bits: 16 }
+    }
+
+    /// 8-bit weights and activations (PRIME's native quantification).
+    pub fn int8() -> Self {
+        Self { weight_bits: 8, activation_bits: 8 }
+    }
+
+    /// Weight bit width (`PrecWt` in the paper's Eq. (1)).
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
+    }
+
+    /// Activation bit width (drives the number of DAC bit-iterations).
+    pub fn activation_bits(&self) -> u32 {
+        self.activation_bits
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Self::int16()
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}a{}", self.weight_bits, self.activation_bits)
+    }
+}
+
+/// Flattened view of one weight-bearing layer — the unit of PIMSYN's
+/// synthesis (the paper's "layer `i`", `i = 1..L`).
+///
+/// All quantities the four synthesis stages consume are precomputed here:
+/// kernel extent `WK`, channel counts `CI`/`CO`, output extents `HO`/`WO`,
+/// MAC and weight counts, fused post-ops, and the producer/consumer relation
+/// among weight layers (through any interleaved activation/pool/add nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightLayer {
+    /// Graph-level id of the conv/linear layer.
+    pub id: LayerId,
+    /// Name copied from the graph layer.
+    pub name: String,
+    /// Dense index among weight layers, `0..L`.
+    pub index: usize,
+    /// Kernel extent `WK` (1 for fully-connected layers).
+    pub kernel: usize,
+    /// Convolution stride (1 for fully-connected layers).
+    pub stride: usize,
+    /// Input channels `CI` (input features for fully-connected layers).
+    pub in_channels: usize,
+    /// Output channels `CO`.
+    pub out_channels: usize,
+    /// Input spatial height `HI`.
+    pub in_height: usize,
+    /// Input spatial width `WI`.
+    pub in_width: usize,
+    /// Output spatial height `HO`.
+    pub out_height: usize,
+    /// Output spatial width `WO`.
+    pub out_width: usize,
+    /// Multiply-accumulate operations for one inference.
+    pub macs: u64,
+    /// Number of weight parameters.
+    pub weights: u64,
+    /// Whether a ReLU (or PReLU) is fused after this layer.
+    pub relu: bool,
+    /// Pooling fused after this layer, `(kind, window)` — e.g. `(Max, 2)`.
+    pub pool: Option<(PoolKind, usize)>,
+    /// Whether a residual `Add` consumes this layer's output.
+    pub feeds_add: bool,
+    /// Indices (into the weight-layer list) of weight layers producing this
+    /// one's inputs. Empty for layers fed by the model input.
+    pub producers: Vec<usize>,
+    /// Indices of weight layers consuming this one's outputs.
+    pub consumers: Vec<usize>,
+}
+
+impl WeightLayer {
+    /// Crossbar row demand of one filter: `WK * WK * CI` (the paper's
+    /// Fig. 1 and Eq. (1)).
+    pub fn filter_rows(&self) -> usize {
+        self.kernel * self.kernel * self.in_channels
+    }
+
+    /// Output positions per image: `HO * WO` — the paper's `WO x HO`, which
+    /// together with the duplication factor determines the number of
+    /// computation-block steps, `ceil(HO*WO / WtDup)`.
+    pub fn output_positions(&self) -> usize {
+        self.out_height * self.out_width
+    }
+
+    /// The paper's per-layer data-access volume term used in the SA energy
+    /// function (Eq. (4)) for duplication factor `wt_dup`:
+    /// `WtDup * (WK*WK*CI + CO)`.
+    pub fn access_volume(&self, wt_dup: usize) -> u64 {
+        wt_dup as u64 * (self.filter_rows() as u64 + self.out_channels as u64)
+    }
+}
+
+/// Aggregate statistics of a model, computed by [`Model::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    /// Total weight-bearing layers (`L`).
+    pub weight_layer_count: usize,
+    /// Total graph layers of any kind.
+    pub layer_count: usize,
+    /// Sum of MACs over all weight layers (one inference).
+    pub total_macs: u64,
+    /// Sum of weight parameters.
+    pub total_weights: u64,
+    /// Largest activation tensor (elements) — sizing pressure on scratchpads.
+    pub peak_activation: usize,
+    /// Total activation elements produced across the graph.
+    pub total_activations: u64,
+}
+
+/// A validated CNN: a DAG of layers with inferred shapes.
+///
+/// Construct with [`ModelBuilder`], from [`zoo`](crate::zoo) constructors, or
+/// by ingesting an ONNX-style JSON graph via [`onnx`](crate::onnx).
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_model::{ModelBuilder, TensorShape};
+///
+/// # fn main() -> Result<(), pimsyn_model::ModelError> {
+/// let mut b = ModelBuilder::new("tiny", TensorShape::new(3, 8, 8));
+/// let c = b.conv("conv1", None, 16, 3, 1, 1);
+/// let r = b.relu("relu1", c);
+/// b.max_pool("pool1", r, 2, 2);
+/// let model = b.build()?;
+/// assert_eq!(model.weight_layers().count(), 1);
+/// let wl = model.weight_layers().next().expect("one weight layer");
+/// assert_eq!((wl.out_height, wl.out_width), (8, 8));
+/// assert!(wl.relu);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+    shapes: Vec<TensorShape>,
+    weight_layers: Vec<WeightLayer>,
+    precision: Precision,
+}
+
+impl Model {
+    /// Model name (e.g. `"vgg16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the model input tensor.
+    pub fn input_shape(&self) -> TensorShape {
+        self.input
+    }
+
+    /// Quantization of the trained network.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Returns a copy of this model with different quantization metadata.
+    pub fn with_precision(&self, precision: Precision) -> Self {
+        let mut m = self.clone();
+        m.precision = precision;
+        m
+    }
+
+    /// All graph layers in topological (insertion) order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Looks up a layer by id.
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.0]
+    }
+
+    /// Inferred output shape of a layer.
+    pub fn output_shape(&self, id: LayerId) -> TensorShape {
+        self.shapes[id.0]
+    }
+
+    /// Iterates over the weight-bearing layers in execution order — the
+    /// paper's `i = 1..L`.
+    pub fn weight_layers(&self) -> std::slice::Iter<'_, WeightLayer> {
+        self.weight_layers.iter()
+    }
+
+    /// Number of weight-bearing layers (`L`).
+    pub fn weight_layer_count(&self) -> usize {
+        self.weight_layers.len()
+    }
+
+    /// The `index`-th weight layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.weight_layer_count()`.
+    pub fn weight_layer(&self, index: usize) -> &WeightLayer {
+        &self.weight_layers[index]
+    }
+
+    /// Finds a layer id by name.
+    pub fn layer_by_name(&self, name: &str) -> Option<LayerId> {
+        self.layers.iter().position(|l| l.name == name).map(LayerId)
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> ModelStats {
+        let mut s = ModelStats {
+            weight_layer_count: self.weight_layers.len(),
+            layer_count: self.layers.len(),
+            ..ModelStats::default()
+        };
+        for wl in &self.weight_layers {
+            s.total_macs += wl.macs;
+            s.total_weights += wl.weights;
+        }
+        for shape in &self.shapes {
+            s.peak_activation = s.peak_activation.max(shape.elements());
+            s.total_activations += shape.elements() as u64;
+        }
+        s
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.stats();
+        write!(
+            f,
+            "{} ({} layers, {} weighted, {:.2} GMACs, {:.1} M weights, {})",
+            self.name,
+            st.layer_count,
+            st.weight_layer_count,
+            st.total_macs as f64 / 1e9,
+            st.total_weights as f64 / 1e6,
+            self.precision
+        )
+    }
+}
+
+/// Incremental constructor for [`Model`].
+///
+/// Layers may only reference previously-added layers, so the graph is acyclic
+/// by construction and insertion order is a valid topological order.
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+    precision: Precision,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given name and input tensor shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self { name: name.into(), input, layers: Vec::new(), precision: Precision::int16() }
+    }
+
+    /// Sets the quantization metadata (defaults to 16-bit).
+    pub fn precision(&mut self, precision: Precision) -> &mut Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Adds an arbitrary layer. `inputs` must reference already-added layers;
+    /// an empty list connects the layer to the model input.
+    pub fn layer(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        inputs: Vec<LayerId>,
+    ) -> LayerId {
+        let id = LayerId(self.layers.len());
+        self.layers.push(Layer { name: name.into(), kind, inputs });
+        id
+    }
+
+    /// Adds a conv layer. `input == None` connects to the model input.
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        input: Option<LayerId>,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> LayerId {
+        self.layer(
+            name,
+            LayerKind::Conv2d { out_channels, kernel, stride, padding },
+            input.into_iter().collect(),
+        )
+    }
+
+    /// Adds a fully-connected layer.
+    pub fn linear(
+        &mut self,
+        name: impl Into<String>,
+        input: LayerId,
+        out_features: usize,
+    ) -> LayerId {
+        self.layer(name, LayerKind::Linear { out_features }, vec![input])
+    }
+
+    /// Adds a ReLU activation.
+    pub fn relu(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Relu, vec![input])
+    }
+
+    /// Adds a batch-norm layer (folded at inference time).
+    pub fn batch_norm(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::BatchNorm, vec![input])
+    }
+
+    /// Adds a max-pooling layer.
+    pub fn max_pool(
+        &mut self,
+        name: impl Into<String>,
+        input: LayerId,
+        kernel: usize,
+        stride: usize,
+    ) -> LayerId {
+        self.layer(name, LayerKind::Pool { kind: PoolKind::Max, kernel, stride }, vec![input])
+    }
+
+    /// Adds an average-pooling layer.
+    pub fn avg_pool(
+        &mut self,
+        name: impl Into<String>,
+        input: LayerId,
+        kernel: usize,
+        stride: usize,
+    ) -> LayerId {
+        self.layer(name, LayerKind::Pool { kind: PoolKind::Avg, kernel, stride }, vec![input])
+    }
+
+    /// Adds a global-average-pooling layer.
+    pub fn global_avg_pool(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::GlobalAvgPool, vec![input])
+    }
+
+    /// Adds a residual addition of two producers.
+    pub fn add(&mut self, name: impl Into<String>, lhs: LayerId, rhs: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Add, vec![lhs, rhs])
+    }
+
+    /// Adds a flatten (reshape) layer.
+    pub fn flatten(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Flatten, vec![input])
+    }
+
+    /// Validates the graph, infers shapes, and produces the final [`Model`].
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::EmptyModel`] if no layers were added.
+    /// - [`ModelError::UnknownLayer`] if a layer references an id that was
+    ///   never created (impossible through the typed API, guarded anyway).
+    /// - [`ModelError::ShapeMismatch`] if a kernel exceeds its padded input.
+    /// - [`ModelError::AddShapeMismatch`] if a residual add combines tensors
+    ///   of different shapes.
+    pub fn build(self) -> Result<Model, ModelError> {
+        if self.layers.is_empty() {
+            return Err(ModelError::EmptyModel);
+        }
+        let mut names: HashMap<&str, usize> = HashMap::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            if let Some(prev) = names.insert(l.name.as_str(), i) {
+                return Err(ModelError::Ingest {
+                    detail: format!("duplicate layer name `{}` (layers {prev} and {i})", l.name),
+                });
+            }
+        }
+        let shapes = infer_shapes(&self.layers, self.input)?;
+        let weight_layers = extract_weight_layers(&self.layers, &shapes, self.input);
+        Ok(Model {
+            name: self.name,
+            input: self.input,
+            layers: self.layers,
+            shapes,
+            weight_layers,
+            precision: self.precision,
+        })
+    }
+}
+
+fn pooled_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = input + 2 * padding;
+    if kernel == 0 || stride == 0 || kernel > padded {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>, ModelError> {
+    let mut shapes: Vec<TensorShape> = Vec::with_capacity(layers.len());
+    for (i, layer) in layers.iter().enumerate() {
+        for &LayerId(p) in &layer.inputs {
+            if p >= i {
+                return Err(ModelError::UnknownLayer { reference: format!("L{p}") });
+            }
+        }
+        let in_shape = match layer.inputs.first() {
+            Some(&LayerId(p)) => shapes[p],
+            None => input,
+        };
+        let out = match layer.kind {
+            LayerKind::Conv2d { out_channels, kernel, stride, padding } => {
+                let h = pooled_extent(in_shape.height, kernel, stride, padding);
+                let w = pooled_extent(in_shape.width, kernel, stride, padding);
+                match (h, w) {
+                    (Some(h), Some(w)) => TensorShape::new(out_channels, h, w),
+                    _ => {
+                        return Err(ModelError::ShapeMismatch {
+                            layer: layer.name.clone(),
+                            detail: format!(
+                                "kernel {kernel} stride {stride} padding {padding} \
+                                 does not fit input {in_shape}"
+                            ),
+                        })
+                    }
+                }
+            }
+            LayerKind::Linear { out_features } => TensorShape::flat(out_features),
+            LayerKind::Pool { kernel, stride, .. } => {
+                let h = pooled_extent(in_shape.height, kernel, stride, 0);
+                let w = pooled_extent(in_shape.width, kernel, stride, 0);
+                match (h, w) {
+                    (Some(h), Some(w)) => TensorShape::new(in_shape.channels, h, w),
+                    _ => {
+                        return Err(ModelError::ShapeMismatch {
+                            layer: layer.name.clone(),
+                            detail: format!(
+                                "pool window {kernel} stride {stride} does not fit \
+                                 input {in_shape}"
+                            ),
+                        })
+                    }
+                }
+            }
+            LayerKind::GlobalAvgPool => TensorShape::new(in_shape.channels, 1, 1),
+            LayerKind::Relu | LayerKind::BatchNorm => in_shape,
+            LayerKind::Add => {
+                if layer.inputs.len() != 2 {
+                    return Err(ModelError::Ingest {
+                        detail: format!(
+                            "add layer `{}` needs exactly 2 inputs, got {}",
+                            layer.name,
+                            layer.inputs.len()
+                        ),
+                    });
+                }
+                let rhs = shapes[layer.inputs[1].0];
+                if in_shape != rhs {
+                    return Err(ModelError::AddShapeMismatch {
+                        layer: layer.name.clone(),
+                        lhs: in_shape.as_tuple(),
+                        rhs: rhs.as_tuple(),
+                    });
+                }
+                in_shape
+            }
+            LayerKind::Flatten => TensorShape::flat(in_shape.elements()),
+        };
+        shapes.push(out);
+    }
+    Ok(shapes)
+}
+
+fn extract_weight_layers(
+    layers: &[Layer],
+    shapes: &[TensorShape],
+    input: TensorShape,
+) -> Vec<WeightLayer> {
+    // Dense index of each weight-bearing graph layer.
+    let mut windex: HashMap<usize, usize> = HashMap::new();
+    let mut out: Vec<WeightLayer> = Vec::new();
+
+    for (i, layer) in layers.iter().enumerate() {
+        let in_shape = match layer.inputs.first() {
+            Some(&LayerId(p)) => shapes[p],
+            None => input,
+        };
+        let (kernel, stride, in_channels, out_channels) = match layer.kind {
+            LayerKind::Conv2d { out_channels, kernel, stride, .. } => {
+                (kernel, stride, in_shape.channels, out_channels)
+            }
+            LayerKind::Linear { out_features } => (1, 1, in_shape.elements(), out_features),
+            _ => continue,
+        };
+        let out_shape = shapes[i];
+        let macs = out_shape.spatial() as u64
+            * out_channels as u64
+            * (kernel * kernel) as u64
+            * in_channels as u64;
+        let weights = out_channels as u64 * (kernel * kernel) as u64 * in_channels as u64;
+        let index = out.len();
+        windex.insert(i, index);
+        let (in_height, in_width) = if matches!(layer.kind, LayerKind::Linear { .. }) {
+            (1, 1)
+        } else {
+            (in_shape.height, in_shape.width)
+        };
+        out.push(WeightLayer {
+            id: LayerId(i),
+            name: layer.name.clone(),
+            index,
+            kernel,
+            stride,
+            in_channels,
+            out_channels,
+            in_height,
+            in_width,
+            out_height: out_shape.height,
+            out_width: out_shape.width,
+            macs,
+            weights,
+            relu: false,
+            pool: None,
+            feeds_add: false,
+            producers: Vec::new(),
+            consumers: Vec::new(),
+        });
+    }
+
+    // Walk the graph to fuse post-ops and build the weight-layer-to-weight-
+    // layer producer/consumer relation (skipping through relu/pool/bn/add/
+    // flatten nodes).
+    //
+    // `origin[i]` = set of weight-layer indices whose value flows into graph
+    // layer i's output without passing another weight layer.
+    let mut origin: Vec<Vec<usize>> = vec![Vec::new(); layers.len()];
+    for (i, layer) in layers.iter().enumerate() {
+        if let Some(&w) = windex.get(&i) {
+            // A weight layer's producers are the origins of its inputs.
+            let mut prods: Vec<usize> = Vec::new();
+            for &LayerId(p) in &layer.inputs {
+                for &o in &origin[p] {
+                    if !prods.contains(&o) {
+                        prods.push(o);
+                    }
+                }
+            }
+            for &p in &prods {
+                if !out[p].consumers.contains(&w) {
+                    out[p].consumers.push(w);
+                }
+            }
+            out[w].producers = prods;
+            origin[i] = vec![w];
+        } else {
+            let mut combined: Vec<usize> = Vec::new();
+            for &LayerId(p) in &layer.inputs {
+                for &o in &origin[p] {
+                    if !combined.contains(&o) {
+                        combined.push(o);
+                    }
+                }
+            }
+            match layer.kind {
+                LayerKind::Relu => {
+                    for &o in &combined {
+                        out[o].relu = true;
+                    }
+                }
+                LayerKind::Pool { kind, kernel, .. } => {
+                    for &o in &combined {
+                        out[o].pool = Some((kind, kernel));
+                    }
+                }
+                LayerKind::GlobalAvgPool => {
+                    for &o in &combined {
+                        let window = shapes[layer.inputs[0].0].height;
+                        out[o].pool = Some((PoolKind::Avg, window));
+                    }
+                }
+                LayerKind::Add => {
+                    for &o in &combined {
+                        out[o].feeds_add = true;
+                    }
+                }
+                _ => {}
+            }
+            origin[i] = combined;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModelBuilder {
+        ModelBuilder::new("t", TensorShape::new(3, 32, 32))
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        assert_eq!(tiny().build().unwrap_err(), ModelError::EmptyModel);
+    }
+
+    #[test]
+    fn conv_shape_inference() {
+        let mut b = tiny();
+        b.conv("c", None, 16, 3, 1, 1);
+        let m = b.build().unwrap();
+        assert_eq!(m.output_shape(LayerId(0)), TensorShape::new(16, 32, 32));
+    }
+
+    #[test]
+    fn strided_conv_shape() {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 224, 224));
+        b.conv("c", None, 96, 11, 4, 2);
+        let m = b.build().unwrap();
+        // AlexNet conv1: (224 + 4 - 11)/4 + 1 = 55.
+        assert_eq!(m.output_shape(LayerId(0)), TensorShape::new(96, 55, 55));
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        let mut b = tiny();
+        b.conv("c", None, 16, 64, 1, 0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn pool_shape() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 8, 3, 1, 1);
+        b.max_pool("p", c, 2, 2);
+        let m = b.build().unwrap();
+        assert_eq!(m.output_shape(LayerId(1)), TensorShape::new(8, 16, 16));
+    }
+
+    #[test]
+    fn linear_flattens_input() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 8, 3, 1, 1);
+        let f = b.flatten("f", c);
+        b.linear("fc", f, 10);
+        let m = b.build().unwrap();
+        let wl = m.weight_layer(1);
+        assert_eq!(wl.in_channels, 8 * 32 * 32);
+        assert_eq!(wl.out_channels, 10);
+        assert_eq!(wl.kernel, 1);
+        assert_eq!(wl.output_positions(), 1);
+    }
+
+    #[test]
+    fn add_shape_mismatch_detected() {
+        let mut b = tiny();
+        let a = b.conv("a", None, 8, 3, 1, 1);
+        let c = b.conv("b", None, 16, 3, 1, 1);
+        b.add("add", a, c);
+        assert!(matches!(b.build().unwrap_err(), ModelError::AddShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = tiny();
+        let c = b.conv("x", None, 8, 3, 1, 1);
+        b.relu("x", c);
+        assert!(matches!(b.build().unwrap_err(), ModelError::Ingest { .. }));
+    }
+
+    #[test]
+    fn relu_and_pool_fusion() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 8, 3, 1, 1);
+        let r = b.relu("r", c);
+        b.max_pool("p", r, 2, 2);
+        let m = b.build().unwrap();
+        let wl = m.weight_layer(0);
+        assert!(wl.relu);
+        assert_eq!(wl.pool, Some((PoolKind::Max, 2)));
+    }
+
+    #[test]
+    fn producer_consumer_relation_through_post_ops() {
+        let mut b = tiny();
+        let c1 = b.conv("c1", None, 8, 3, 1, 1);
+        let r1 = b.relu("r1", c1);
+        let p1 = b.max_pool("p1", r1, 2, 2);
+        let c2 = b.conv("c2", Some(p1), 16, 3, 1, 1);
+        let f = b.flatten("f", c2);
+        b.linear("fc", f, 10);
+        let m = b.build().unwrap();
+        assert_eq!(m.weight_layer(0).producers, Vec::<usize>::new());
+        assert_eq!(m.weight_layer(0).consumers, vec![1]);
+        assert_eq!(m.weight_layer(1).producers, vec![0]);
+        assert_eq!(m.weight_layer(2).producers, vec![1]);
+    }
+
+    #[test]
+    fn residual_block_relation() {
+        // c1 -> c2 -> add(c1_path, c2) pattern like ResNet.
+        let mut b = tiny();
+        let c1 = b.conv("c1", None, 8, 3, 1, 1);
+        let c2 = b.conv("c2", Some(c1), 8, 3, 1, 1);
+        let add = b.add("add", c1, c2);
+        let r = b.relu("r", add);
+        b.conv("c3", Some(r), 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        assert!(m.weight_layer(0).feeds_add);
+        assert!(m.weight_layer(1).feeds_add);
+        // c3 sees both c1 and c2 as producers (through the add).
+        let mut prods = m.weight_layer(2).producers.clone();
+        prods.sort_unstable();
+        assert_eq!(prods, vec![0, 1]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 8, 3, 1, 1); // 32*32*8*3*3*3 macs
+        let f = b.flatten("f", c);
+        b.linear("fc", f, 10);
+        let m = b.build().unwrap();
+        let st = m.stats();
+        assert_eq!(st.weight_layer_count, 2);
+        let conv_macs = 32 * 32 * 8 * 9 * 3;
+        let fc_macs = 8 * 32 * 32 * 10;
+        assert_eq!(st.total_macs, (conv_macs + fc_macs) as u64);
+    }
+
+    #[test]
+    fn access_volume_matches_eq4() {
+        let mut b = tiny();
+        b.conv("c", None, 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        let wl = m.weight_layer(0);
+        // WtDup * (WK*WK*CI + CO) = 4 * (27 + 8)
+        assert_eq!(wl.access_volume(4), 4 * (27 + 8));
+    }
+
+    #[test]
+    fn precision_validation() {
+        assert!(Precision::new(0, 8).is_err());
+        assert!(Precision::new(8, 33).is_err());
+        assert_eq!(Precision::new(16, 16).unwrap(), Precision::int16());
+    }
+
+    #[test]
+    fn model_display_mentions_name() {
+        let mut b = tiny();
+        b.conv("c", None, 8, 3, 1, 1);
+        let m = b.build().unwrap();
+        assert!(m.to_string().contains('t'));
+    }
+}

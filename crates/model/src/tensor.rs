@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Shape of an activation tensor in `C x H x W` layout (batch size is always
+/// one: PIM inference accelerators in the PIMSYN template process a single
+/// image through the inter-layer pipeline).
+///
+/// # Example
+///
+/// ```
+/// use pimsyn_model::TensorShape;
+///
+/// let s = TensorShape::new(3, 224, 224);
+/// assert_eq!(s.elements(), 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    /// Number of channels (`C`).
+    pub channels: usize,
+    /// Spatial height (`H`).
+    pub height: usize,
+    /// Spatial width (`W`).
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape from channel count and spatial extents.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// Creates a flat (vector) shape as produced by `Flatten` or `Linear`
+    /// layers: `C x 1 x 1`.
+    pub fn flat(elements: usize) -> Self {
+        Self { channels: elements, height: 1, width: 1 }
+    }
+
+    /// Total number of scalar elements in the tensor.
+    pub fn elements(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Number of spatial positions (`H x W`).
+    pub fn spatial(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Whether this is a flat vector shape (`H == W == 1`).
+    pub fn is_flat(&self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+
+    /// Shape as a `(channels, height, width)` tuple, convenient for error
+    /// reporting and comparisons.
+    pub fn as_tuple(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+impl From<(usize, usize, usize)> for TensorShape {
+    fn from((channels, height, width): (usize, usize, usize)) -> Self {
+        Self { channels, height, width }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_multiplies_dimensions() {
+        assert_eq!(TensorShape::new(3, 224, 224).elements(), 150_528);
+        assert_eq!(TensorShape::new(512, 7, 7).elements(), 25_088);
+    }
+
+    #[test]
+    fn flat_shapes() {
+        let s = TensorShape::flat(4096);
+        assert!(s.is_flat());
+        assert_eq!(s.elements(), 4096);
+        assert_eq!(s.spatial(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TensorShape::new(64, 56, 56).to_string(), "64x56x56");
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let s = TensorShape::from((16, 8, 4));
+        assert_eq!(s.as_tuple(), (16, 8, 4));
+    }
+}

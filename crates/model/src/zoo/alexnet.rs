@@ -1,0 +1,101 @@
+use crate::{Model, ModelBuilder, TensorShape};
+
+/// Single-tower AlexNet for 3x224x224 ImageNet inputs (8 weight layers).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::alexnet();
+/// assert_eq!(m.weight_layers().count(), 8);
+/// ```
+pub fn alexnet() -> Model {
+    let mut b = ModelBuilder::new("alexnet", TensorShape::new(3, 224, 224));
+
+    let c1 = b.conv("conv1", None, 96, 11, 4, 2);
+    let r1 = b.relu("relu1", c1);
+    let p1 = b.max_pool("pool1", r1, 3, 2); // 55 -> 27
+
+    let c2 = b.conv("conv2", Some(p1), 256, 5, 1, 2);
+    let r2 = b.relu("relu2", c2);
+    let p2 = b.max_pool("pool2", r2, 3, 2); // 27 -> 13
+
+    let c3 = b.conv("conv3", Some(p2), 384, 3, 1, 1);
+    let r3 = b.relu("relu3", c3);
+    let c4 = b.conv("conv4", Some(r3), 384, 3, 1, 1);
+    let r4 = b.relu("relu4", c4);
+    let c5 = b.conv("conv5", Some(r4), 256, 3, 1, 1);
+    let r5 = b.relu("relu5", c5);
+    let p5 = b.max_pool("pool5", r5, 3, 2); // 13 -> 6
+
+    let f = b.flatten("flatten", p5);
+    let fc6 = b.linear("fc6", f, 4096);
+    let r6 = b.relu("relu6", fc6);
+    let fc7 = b.linear("fc7", r6, 4096);
+    let r7 = b.relu("relu7", fc7);
+    b.linear("fc8", r7, 1000);
+
+    b.build().expect("static alexnet definition is valid")
+}
+
+/// CIFAR-adapted AlexNet for 3x32x32 inputs (8 weight layers).
+///
+/// `classes` selects the classifier width (10 for CIFAR-10, 100 for
+/// CIFAR-100), matching the Table V comparison against Gibbon.
+pub fn alexnet_cifar(classes: usize) -> Model {
+    let mut b = ModelBuilder::new("alexnet-cifar", TensorShape::new(3, 32, 32));
+
+    let c1 = b.conv("conv1", None, 64, 3, 1, 1);
+    let r1 = b.relu("relu1", c1);
+    let p1 = b.max_pool("pool1", r1, 2, 2); // 32 -> 16
+
+    let c2 = b.conv("conv2", Some(p1), 192, 3, 1, 1);
+    let r2 = b.relu("relu2", c2);
+    let p2 = b.max_pool("pool2", r2, 2, 2); // 16 -> 8
+
+    let c3 = b.conv("conv3", Some(p2), 384, 3, 1, 1);
+    let r3 = b.relu("relu3", c3);
+    let c4 = b.conv("conv4", Some(r3), 256, 3, 1, 1);
+    let r4 = b.relu("relu4", c4);
+    let c5 = b.conv("conv5", Some(r4), 256, 3, 1, 1);
+    let r5 = b.relu("relu5", c5);
+    let p5 = b.max_pool("pool5", r5, 2, 2); // 8 -> 4
+
+    let f = b.flatten("flatten", p5);
+    let fc6 = b.linear("fc6", f, 1024);
+    let r6 = b.relu("relu6", fc6);
+    let fc7 = b.linear("fc7", r6, 512);
+    let r7 = b.relu("relu7", fc7);
+    b.linear("fc8", r7, classes);
+
+    b.build().expect("static alexnet-cifar definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_spatial_pipeline() {
+        let m = alexnet();
+        let conv1 = m.weight_layer(0);
+        assert_eq!((conv1.out_height, conv1.out_width), (55, 55));
+        let conv2 = m.weight_layer(1);
+        assert_eq!(conv2.in_height, 27);
+        let conv5 = m.weight_layer(4);
+        assert_eq!(conv5.out_height, 13);
+        let fc6 = m.weight_layer(5);
+        assert_eq!(fc6.in_channels, 256 * 6 * 6);
+    }
+
+    #[test]
+    fn cifar_classifier_width_follows_classes() {
+        assert_eq!(alexnet_cifar(100).weight_layers().last().unwrap().out_channels, 100);
+    }
+
+    #[test]
+    fn all_convs_have_relu() {
+        for wl in alexnet().weight_layers().take(7) {
+            assert!(wl.relu, "{} should be followed by relu", wl.name);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Programmatic constructors for the paper's benchmark networks.
+//!
+//! The evaluation section of PIMSYN uses AlexNet, VGG13, VGG16, MSRA and
+//! ResNet18 with 16-bit quantification (Sec. V), plus CIFAR-10/100-sized
+//! AlexNet/VGG16/ResNet18 for the comparison against Gibbon (Table V).
+//!
+//! Architectural notes and deliberate approximations:
+//!
+//! - **AlexNet** is the single-tower variant (Krizhevsky et al., as commonly
+//!   re-implemented for one device).
+//! - **MSRA** follows model A of He et al., ICCV'15 ("Delving Deep into
+//!   Rectifiers"): a 7x7/2 stem followed by three 5-conv stages, 19 weight
+//!   layers total. PReLU is represented as ReLU (identical ALU cost class).
+//! - **ResNet18** uses 2x2/2 stem pooling instead of padded 3x3/2 (the graph
+//!   layer set intentionally omits pool padding); spatial sizes match the
+//!   canonical network at every stage boundary.
+//! - **CIFAR variants** use the community-standard 32x32 adaptations.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsyn_model::zoo;
+//!
+//! for model in zoo::imagenet_suite() {
+//!     assert_eq!(model.input_shape().height, 224);
+//! }
+//! let r18 = zoo::by_name("resnet18").expect("registered");
+//! assert_eq!(r18.weight_layers().count(), 21);
+//! ```
+
+mod alexnet;
+mod msra;
+mod resnet;
+mod vgg;
+
+pub use alexnet::{alexnet, alexnet_cifar};
+pub use msra::msra;
+pub use resnet::{resnet18, resnet18_cifar};
+pub use vgg::{vgg13, vgg16, vgg16_cifar};
+
+use crate::Model;
+
+/// The five ImageNet-scale benchmarks of the paper's Fig. 6, in the order
+/// they are reported.
+pub fn imagenet_suite() -> Vec<Model> {
+    vec![alexnet(), vgg13(), vgg16(), msra(), resnet18()]
+}
+
+/// The CIFAR-scale benchmarks of Table V (10-class variants; 100-class
+/// variants only change the classifier width).
+pub fn cifar_suite() -> Vec<Model> {
+    vec![alexnet_cifar(10), vgg16_cifar(10), resnet18_cifar(10)]
+}
+
+/// Looks up a zoo model by its canonical lowercase name.
+///
+/// Recognized names: `alexnet`, `vgg13`, `vgg16`, `msra`, `resnet18`,
+/// `alexnet-cifar`, `vgg16-cifar`, `resnet18-cifar`.
+pub fn by_name(name: &str) -> Option<Model> {
+    match name {
+        "alexnet" => Some(alexnet()),
+        "vgg13" => Some(vgg13()),
+        "vgg16" => Some(vgg16()),
+        "msra" => Some(msra()),
+        "resnet18" => Some(resnet18()),
+        "alexnet-cifar" => Some(alexnet_cifar(10)),
+        "vgg16-cifar" => Some(vgg16_cifar(10)),
+        "resnet18-cifar" => Some(resnet18_cifar(10)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(imagenet_suite().len(), 5);
+        assert_eq!(cifar_suite().len(), 3);
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        for name in ["alexnet", "vgg13", "vgg16", "msra", "resnet18"] {
+            let m = by_name(name).expect("registered model");
+            assert_eq!(m.name(), name);
+        }
+        assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn all_models_have_classifier_output() {
+        for m in imagenet_suite() {
+            let last = m.weight_layers().last().expect("weight layers");
+            assert_eq!(last.out_channels, 1000, "{}", m.name());
+        }
+        for m in cifar_suite() {
+            let last = m.weight_layers().last().expect("weight layers");
+            assert_eq!(last.out_channels, 10, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn weight_layer_counts_match_literature() {
+        assert_eq!(alexnet().weight_layer_count(), 8);
+        assert_eq!(vgg13().weight_layer_count(), 13);
+        assert_eq!(vgg16().weight_layer_count(), 16);
+        assert_eq!(msra().weight_layer_count(), 19);
+        assert_eq!(resnet18().weight_layer_count(), 21); // 20 convs + fc
+    }
+
+    #[test]
+    fn vgg16_mac_count_is_canonical() {
+        // VGG16 is ~15.47 GMACs on 224x224 inputs.
+        let macs = vgg16().stats().total_macs;
+        assert!((15.0e9..16.0e9).contains(&(macs as f64)), "got {macs}");
+    }
+
+    #[test]
+    fn alexnet_weight_count_is_canonical() {
+        // Single-tower AlexNet has ~61M parameters (conv+fc weights).
+        let w = alexnet().stats().total_weights;
+        assert!((55.0e6..65.0e6).contains(&(w as f64)), "got {w}");
+    }
+
+    #[test]
+    fn resnet18_macs_are_canonical() {
+        // ResNet18 is ~1.8 GMACs.
+        let macs = resnet18().stats().total_macs;
+        assert!((1.6e9..2.0e9).contains(&(macs as f64)), "got {macs}");
+    }
+}

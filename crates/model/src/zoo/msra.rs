@@ -1,0 +1,76 @@
+use crate::{Model, ModelBuilder, TensorShape};
+
+/// The "MSRA" network: model A of He et al., ICCV'15 (*Delving Deep into
+/// Rectifiers*), 19 weight layers for 3x224x224 inputs.
+///
+/// Structure: 7x7/2 96-wide stem, then three stages of five 3x3 convs
+/// (256/512/512 channels) each followed by 2x2/2 max-pooling, then the
+/// standard 4096-4096-1000 classifier. PReLU activations are represented as
+/// ReLU — for synthesis purposes both are single-pass vector ALU ops of the
+/// same cost class.
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::msra();
+/// assert_eq!(m.weight_layers().count(), 19);
+/// ```
+pub fn msra() -> Model {
+    let mut b = ModelBuilder::new("msra", TensorShape::new(3, 224, 224));
+
+    let c1 = b.conv("conv1", None, 96, 7, 2, 3); // 224 -> 112
+    let r1 = b.relu("prelu1", c1);
+    let p1 = b.max_pool("pool1", r1, 2, 2); // 112 -> 56
+
+    let mut cur = p1;
+    for (stage, channels) in [(2usize, 256usize), (3, 512), (4, 512)] {
+        for i in 1..=5usize {
+            let c = b.conv(format!("conv{stage}_{i}"), Some(cur), channels, 3, 1, 1);
+            cur = b.relu(format!("prelu{stage}_{i}"), c);
+        }
+        cur = b.max_pool(format!("pool{stage}"), cur, 2, 2);
+    }
+
+    // Spatial extent: 56 -> 28 -> 14 -> 7.
+    let f = b.flatten("flatten", cur);
+    let fc1 = b.linear("fc1", f, 4096);
+    let rf1 = b.relu("relu_fc1", fc1);
+    let fc2 = b.linear("fc2", rf1, 4096);
+    let rf2 = b.relu("relu_fc2", fc2);
+    b.linear("fc3", rf2, 1000);
+
+    b.build().expect("static msra definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_weight_layers() {
+        assert_eq!(msra().weight_layer_count(), 19);
+    }
+
+    #[test]
+    fn stem_halves_resolution() {
+        let m = msra();
+        let c1 = m.weight_layer(0);
+        assert_eq!((c1.out_height, c1.out_width), (112, 112));
+        assert_eq!(c1.kernel, 7);
+    }
+
+    #[test]
+    fn classifier_input_is_512x7x7() {
+        let m = msra();
+        let fc1 = m.weight_layers().find(|w| w.name == "fc1").unwrap();
+        assert_eq!(fc1.in_channels, 512 * 7 * 7);
+    }
+
+    #[test]
+    fn macs_exceed_vgg16() {
+        // MSRA model A is notably heavier than VGG16 (~19 vs ~15.5 GMACs).
+        let msra_macs = msra().stats().total_macs;
+        let vgg16_macs = super::super::vgg16().stats().total_macs;
+        assert!(msra_macs > vgg16_macs, "msra {msra_macs} vs vgg16 {vgg16_macs}");
+    }
+}

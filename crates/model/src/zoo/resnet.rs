@@ -1,0 +1,144 @@
+use crate::{LayerId, Model, ModelBuilder, TensorShape};
+
+/// Appends one ResNet basic block (two 3x3 convs with batch-norm and a
+/// residual connection). When `stride > 1` or the width changes, the skip
+/// path gets a 1x1 projection conv, as in the canonical network.
+fn basic_block(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: LayerId,
+    in_channels: usize,
+    channels: usize,
+    stride: usize,
+) -> LayerId {
+    let c1 = b.conv(format!("{name}_conv1"), Some(input), channels, 3, stride, 1);
+    let n1 = b.batch_norm(format!("{name}_bn1"), c1);
+    let r1 = b.relu(format!("{name}_relu1"), n1);
+    let c2 = b.conv(format!("{name}_conv2"), Some(r1), channels, 3, 1, 1);
+    let n2 = b.batch_norm(format!("{name}_bn2"), c2);
+
+    let skip = if stride != 1 || in_channels != channels {
+        let ds = b.conv(format!("{name}_down"), Some(input), channels, 1, stride, 0);
+        b.batch_norm(format!("{name}_bn_down"), ds)
+    } else {
+        input
+    };
+    let add = b.add(format!("{name}_add"), n2, skip);
+    b.relu(format!("{name}_relu2"), add)
+}
+
+/// ResNet18 for 3x224x224 ImageNet inputs: 21 weight layers (17 stage convs,
+/// 3 downsample projections, 1 fc... counted as 20 convs + 1 fc).
+///
+/// The stem max-pool is 2x2/2 (the canonical padded 3x3/2 yields the same
+/// 112 -> 56 halving; the layer set intentionally omits pool padding).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::resnet18();
+/// assert_eq!(m.weight_layers().count(), 21);
+/// ```
+pub fn resnet18() -> Model {
+    let mut b = ModelBuilder::new("resnet18", TensorShape::new(3, 224, 224));
+
+    let c1 = b.conv("conv1", None, 64, 7, 2, 3); // 224 -> 112
+    let n1 = b.batch_norm("bn1", c1);
+    let r1 = b.relu("relu1", n1);
+    let p1 = b.max_pool("pool1", r1, 2, 2); // 112 -> 56
+
+    let mut cur = p1;
+    let mut width = 64;
+    for (stage, channels) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512)] {
+        for block in 1..=2usize {
+            let stride = if stage > 1 && block == 1 { 2 } else { 1 };
+            cur = basic_block(&mut b, &format!("s{stage}b{block}"), cur, width, channels, stride);
+            width = channels;
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur);
+    let f = b.flatten("flatten", gap);
+    b.linear("fc", f, 1000);
+
+    b.build().expect("static resnet18 definition is valid")
+}
+
+/// CIFAR-adapted ResNet18 for 3x32x32 inputs: 3x3/1 stem without pooling,
+/// stages at 32/16/8/4 spatial extents, `classes`-wide classifier.
+pub fn resnet18_cifar(classes: usize) -> Model {
+    let mut b = ModelBuilder::new("resnet18-cifar", TensorShape::new(3, 32, 32));
+
+    let c1 = b.conv("conv1", None, 64, 3, 1, 1); // 32 -> 32
+    let n1 = b.batch_norm("bn1", c1);
+    let r1 = b.relu("relu1", n1);
+
+    let mut cur = r1;
+    let mut width = 64;
+    for (stage, channels) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512)] {
+        for block in 1..=2usize {
+            let stride = if stage > 1 && block == 1 { 2 } else { 1 };
+            cur = basic_block(&mut b, &format!("s{stage}b{block}"), cur, width, channels, stride);
+            width = channels;
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur);
+    let f = b.flatten("flatten", gap);
+    b.linear("fc", f, classes);
+
+    b.build().expect("static resnet18-cifar definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_resolutions() {
+        let m = resnet18();
+        let s1 = m.weight_layers().find(|w| w.name == "s1b1_conv1").unwrap();
+        assert_eq!(s1.out_height, 56);
+        let s4 = m.weight_layers().find(|w| w.name == "s4b2_conv2").unwrap();
+        assert_eq!(s4.out_height, 7);
+    }
+
+    #[test]
+    fn downsample_projections_exist() {
+        let m = resnet18();
+        let downs: Vec<_> =
+            m.weight_layers().filter(|w| w.name.ends_with("_down")).map(|w| w.kernel).collect();
+        assert_eq!(downs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn residual_convs_feed_adds() {
+        let m = resnet18();
+        let c2 = m.weight_layers().find(|w| w.name == "s1b1_conv2").unwrap();
+        assert!(c2.feeds_add);
+    }
+
+    #[test]
+    fn fc_follows_gap() {
+        let m = resnet18();
+        let fc = m.weight_layers().find(|w| w.name == "fc").unwrap();
+        assert_eq!(fc.in_channels, 512);
+    }
+
+    #[test]
+    fn cifar_keeps_full_resolution_in_stage1() {
+        let m = resnet18_cifar(10);
+        let s1 = m.weight_layers().find(|w| w.name == "s1b1_conv1").unwrap();
+        assert_eq!(s1.out_height, 32);
+        let s4 = m.weight_layers().find(|w| w.name == "s4b2_conv2").unwrap();
+        assert_eq!(s4.out_height, 4);
+    }
+
+    #[test]
+    fn residual_producers_cross_blocks() {
+        // s1b2's first conv must see s1b1's two branch convs as producers.
+        let m = resnet18();
+        let c = m.weight_layers().find(|w| w.name == "s1b2_conv1").unwrap();
+        assert!(c.producers.len() >= 2, "producers: {:?}", c.producers);
+    }
+}

@@ -1,0 +1,117 @@
+use crate::{LayerId, Model, ModelBuilder, TensorShape};
+
+/// Appends `count` 3x3 conv+relu pairs of width `channels`, then a 2x2/2
+/// max-pool, returning the pool's id.
+fn vgg_stage(
+    b: &mut ModelBuilder,
+    stage: usize,
+    input: Option<LayerId>,
+    channels: usize,
+    count: usize,
+) -> LayerId {
+    let mut cur = input;
+    for i in 1..=count {
+        let c = b.conv(format!("conv{stage}_{i}"), cur, channels, 3, 1, 1);
+        let r = b.relu(format!("relu{stage}_{i}"), c);
+        cur = Some(r);
+    }
+    b.max_pool(format!("pool{stage}"), cur.expect("stage has at least one conv"), 2, 2)
+}
+
+fn vgg_classifier(b: &mut ModelBuilder, input: LayerId, hidden: usize, classes: usize) {
+    let f = b.flatten("flatten", input);
+    let fc1 = b.linear("fc1", f, hidden);
+    let r1 = b.relu("relu_fc1", fc1);
+    let fc2 = b.linear("fc2", r1, hidden);
+    let r2 = b.relu("relu_fc2", fc2);
+    b.linear("fc3", r2, classes);
+}
+
+/// VGG13 for 3x224x224 ImageNet inputs (13 weight layers: 10 conv + 3 fc).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::vgg13();
+/// assert_eq!(m.weight_layers().count(), 13);
+/// ```
+pub fn vgg13() -> Model {
+    let mut b = ModelBuilder::new("vgg13", TensorShape::new(3, 224, 224));
+    let p1 = vgg_stage(&mut b, 1, None, 64, 2);
+    let p2 = vgg_stage(&mut b, 2, Some(p1), 128, 2);
+    let p3 = vgg_stage(&mut b, 3, Some(p2), 256, 2);
+    let p4 = vgg_stage(&mut b, 4, Some(p3), 512, 2);
+    let p5 = vgg_stage(&mut b, 5, Some(p4), 512, 2);
+    vgg_classifier(&mut b, p5, 4096, 1000);
+    b.build().expect("static vgg13 definition is valid")
+}
+
+/// VGG16 for 3x224x224 ImageNet inputs (16 weight layers: 13 conv + 3 fc).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::vgg16();
+/// assert_eq!(m.weight_layers().count(), 16);
+/// ```
+pub fn vgg16() -> Model {
+    let mut b = ModelBuilder::new("vgg16", TensorShape::new(3, 224, 224));
+    let p1 = vgg_stage(&mut b, 1, None, 64, 2);
+    let p2 = vgg_stage(&mut b, 2, Some(p1), 128, 2);
+    let p3 = vgg_stage(&mut b, 3, Some(p2), 256, 3);
+    let p4 = vgg_stage(&mut b, 4, Some(p3), 512, 3);
+    let p5 = vgg_stage(&mut b, 5, Some(p4), 512, 3);
+    vgg_classifier(&mut b, p5, 4096, 1000);
+    b.build().expect("static vgg16 definition is valid")
+}
+
+/// CIFAR-adapted VGG16 for 3x32x32 inputs (16 weight layers, 512-wide
+/// classifier), used in the Table V comparison against Gibbon.
+pub fn vgg16_cifar(classes: usize) -> Model {
+    let mut b = ModelBuilder::new("vgg16-cifar", TensorShape::new(3, 32, 32));
+    let p1 = vgg_stage(&mut b, 1, None, 64, 2); // 32 -> 16
+    let p2 = vgg_stage(&mut b, 2, Some(p1), 128, 2); // 16 -> 8
+    let p3 = vgg_stage(&mut b, 3, Some(p2), 256, 3); // 8 -> 4
+    let p4 = vgg_stage(&mut b, 4, Some(p3), 512, 3); // 4 -> 2
+    let p5 = vgg_stage(&mut b, 5, Some(p4), 512, 3); // 2 -> 1
+    vgg_classifier(&mut b, p5, 512, classes);
+    b.build().expect("static vgg16-cifar definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_stage_shapes() {
+        let m = vgg16();
+        // conv3_1 input is 128x56x56; conv5_3 output is 512x14x14.
+        let c31 = m.weight_layers().find(|w| w.name == "conv3_1").unwrap();
+        assert_eq!((c31.in_channels, c31.in_height), (128, 56));
+        let c53 = m.weight_layers().find(|w| w.name == "conv5_3").unwrap();
+        assert_eq!((c53.out_channels, c53.out_height), (512, 14));
+        let fc1 = m.weight_layers().find(|w| w.name == "fc1").unwrap();
+        assert_eq!(fc1.in_channels, 512 * 7 * 7);
+    }
+
+    #[test]
+    fn vgg13_has_two_convs_per_stage() {
+        let m = vgg13();
+        let convs = m.weight_layers().filter(|w| w.kernel == 3).count();
+        assert_eq!(convs, 10);
+    }
+
+    #[test]
+    fn cifar_vgg_spatial_collapse() {
+        let m = vgg16_cifar(10);
+        let fc1 = m.weight_layers().find(|w| w.name == "fc1").unwrap();
+        assert_eq!(fc1.in_channels, 512); // 512 x 1 x 1 after five pools
+    }
+
+    #[test]
+    fn conv_weight_layers_all_relu_fused() {
+        for wl in vgg16().weight_layers().filter(|w| w.kernel == 3) {
+            assert!(wl.relu, "{}", wl.name);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the from-scratch JSON parser: arbitrary documents
+//! must round-trip through `Display` -> `parse`, and the parser must never
+//! panic on arbitrary input bytes.
+
+use pimsyn_model::json::JsonValue;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values of bounded depth/size.
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        // Finite numbers only: JSON has no NaN/inf.
+        (-1e15f64..1e15f64).prop_map(JsonValue::Number),
+        "[a-zA-Z0-9 _\\-\\.\\n\\t\"\\\\éß😀]{0,24}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(|pairs| JsonValue::Object(
+                    pairs.into_iter().map(|(k, v)| (k, v)).collect()
+                )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(v in arb_json()) {
+        let text = v.to_string();
+        let back = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for {text:?}: {e}"));
+        prop_assert!(json_eq(&v, &back), "{v:?} != {back:?} via {text:?}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(s in "\\PC{0,64}") {
+        let _ = JsonValue::parse(&s); // may Err, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_json_like_text(
+        s in "[\\{\\}\\[\\]\",:0-9a-z\\\\ \\.eE+-]{0,48}"
+    ) {
+        let _ = JsonValue::parse(&s);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly(n in -1e15f64..1e15f64) {
+        let v = JsonValue::Number(n);
+        let back = JsonValue::parse(&v.to_string()).expect("number reparses");
+        match back {
+            JsonValue::Number(m) => prop_assert!(
+                (m - n).abs() <= n.abs() * 1e-12 + 1e-12,
+                "{n} -> {m}"
+            ),
+            other => prop_assert!(false, "not a number: {other:?}"),
+        }
+    }
+}
+
+/// Structural equality with float tolerance (Display may shorten floats).
+fn json_eq(a: &JsonValue, b: &JsonValue) -> bool {
+    match (a, b) {
+        (JsonValue::Null, JsonValue::Null) => true,
+        (JsonValue::Bool(x), JsonValue::Bool(y)) => x == y,
+        (JsonValue::Number(x), JsonValue::Number(y)) => {
+            (x - y).abs() <= x.abs() * 1e-12 + 1e-12
+        }
+        (JsonValue::String(x), JsonValue::String(y)) => x == y,
+        (JsonValue::Array(x), JsonValue::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| json_eq(a, b))
+        }
+        (JsonValue::Object(x), JsonValue::Object(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for shape inference and weight-layer extraction.
+
+use pimsyn_model::{ModelBuilder, TensorShape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conv output extents always satisfy the textbook formula and MAC/weight
+    /// counts stay mutually consistent.
+    #[test]
+    fn conv_shape_formula_holds(
+        ci in 1usize..8,
+        extent in 4usize..32,
+        co in 1usize..32,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+        padding in 0usize..3,
+    ) {
+        prop_assume!(kernel <= extent + 2 * padding);
+        let mut b = ModelBuilder::new("t", TensorShape::new(ci, extent, extent));
+        b.conv("c", None, co, kernel, stride, padding);
+        let m = b.build().expect("valid conv");
+        let wl = m.weight_layer(0);
+        let expect = (extent + 2 * padding - kernel) / stride + 1;
+        prop_assert_eq!(wl.out_height, expect);
+        prop_assert_eq!(wl.out_width, expect);
+        prop_assert_eq!(wl.weights, (co * kernel * kernel * ci) as u64);
+        prop_assert_eq!(
+            wl.macs,
+            wl.weights * (wl.out_height * wl.out_width) as u64
+        );
+        prop_assert_eq!(wl.filter_rows(), kernel * kernel * ci);
+    }
+
+    /// Pooling never enlarges the tensor and preserves channels.
+    #[test]
+    fn pooling_contracts(
+        extent in 4usize..32,
+        ch in 1usize..16,
+        window in 2usize..4,
+        stride in 1usize..4,
+    ) {
+        prop_assume!(window <= extent);
+        let mut b = ModelBuilder::new("t", TensorShape::new(ch, extent, extent));
+        let c = b.conv("c", None, ch, 1, 1, 0);
+        b.max_pool("p", c, window, stride);
+        let m = b.build().expect("valid");
+        let out = m.output_shape(m.layer_by_name("p").expect("pool exists"));
+        prop_assert_eq!(out.channels, ch);
+        prop_assert!(out.height <= extent);
+        prop_assert!(out.width <= extent);
+        prop_assert!(out.height >= 1);
+    }
+
+    /// Stacking convs: every layer's in_channels equals its producer's
+    /// out_channels, and producers/consumers are mutually consistent.
+    #[test]
+    fn producer_consumer_duality(widths in prop::collection::vec(1usize..16, 2..6)) {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 16, 16));
+        let mut cur = None;
+        for (i, &w) in widths.iter().enumerate() {
+            let c = b.conv(format!("c{i}"), cur, w, 3, 1, 1);
+            cur = Some(b.relu(format!("r{i}"), c));
+        }
+        let m = b.build().expect("valid");
+        for wl in m.weight_layers() {
+            for &p in &wl.producers {
+                prop_assert_eq!(wl.in_channels, m.weight_layer(p).out_channels);
+                prop_assert!(
+                    m.weight_layer(p).consumers.contains(&wl.index),
+                    "consumer back-reference missing"
+                );
+            }
+        }
+    }
+
+    /// Access volume (Eq. (4)) is linear in the duplication factor.
+    #[test]
+    fn access_volume_linear(dup in 1usize..64, co in 1usize..64) {
+        let mut b = ModelBuilder::new("t", TensorShape::new(3, 8, 8));
+        b.conv("c", None, co, 3, 1, 1);
+        let m = b.build().expect("valid");
+        let wl = m.weight_layer(0);
+        prop_assert_eq!(wl.access_volume(dup), dup as u64 * wl.access_volume(1));
+    }
+}

@@ -1,0 +1,201 @@
+//! Evaluation results: the metrics the paper reports (latency, throughput,
+//! energy, EDP, power efficiency) plus per-layer diagnostics.
+
+use std::fmt;
+
+use pimsyn_arch::{Joules, Seconds, Watts};
+
+/// The pipeline stage that limits a layer's computation-block period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Scratchpad input load.
+    Load,
+    /// Analog matrix-vector multiply.
+    Mvm,
+    /// ADC conversion.
+    Adc,
+    /// Shift-and-add merging.
+    ShiftAdd,
+    /// Post-ops (activation / pooling / residual add).
+    Post,
+    /// Inter-macro partial-sum merge.
+    Merge,
+    /// Scratchpad result store.
+    Store,
+    /// Inter-macro activation transfer.
+    Transfer,
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StageKind::Load => "load",
+            StageKind::Mvm => "mvm",
+            StageKind::Adc => "adc",
+            StageKind::ShiftAdd => "shift-add",
+            StageKind::Post => "post",
+            StageKind::Merge => "merge",
+            StageKind::Store => "store",
+            StageKind::Transfer => "transfer",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-layer performance diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPerf {
+    /// Weight-layer index.
+    pub layer: usize,
+    /// Computation-block pipeline period (steady-state issue interval).
+    pub period: Seconds,
+    /// Total busy span: `blocks x period`.
+    pub busy: Seconds,
+    /// Pipeline start offset of the layer's first block.
+    pub start: Seconds,
+    /// Completion time of the layer's last block.
+    pub finish: Seconds,
+    /// Which stage limits the period.
+    pub bottleneck: StageKind,
+}
+
+/// Chip-level busy fractions of the major dynamic resource classes over the
+/// run's makespan (1.0 = the class never idled). The paper's efficiency
+/// argument is exactly about raising these under a fixed power split.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    /// ReRAM crossbar arrays.
+    pub crossbar: f64,
+    /// ADC banks.
+    pub adc: f64,
+    /// Shift-and-add units.
+    pub shift_add: f64,
+    /// Post-op ALUs (activation/pool/residual).
+    pub post: f64,
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xbar {:.0}% adc {:.0}% s&a {:.0}% post {:.0}%",
+            self.crossbar * 100.0,
+            self.adc * 100.0,
+            self.shift_add * 100.0,
+            self.post * 100.0
+        )
+    }
+}
+
+/// A complete evaluation result for one accelerator running one CNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// End-to-end latency of a single inference.
+    pub latency: Seconds,
+    /// Steady-state per-image period of the inter-layer pipeline (inverse
+    /// throughput).
+    pub steady_period: Seconds,
+    /// Effective operations per second (2 x MACs x images/s) at the model's
+    /// native precision.
+    pub throughput_ops: f64,
+    /// Realized total power.
+    pub power: Watts,
+    /// Energy per inference.
+    pub energy_per_image: Joules,
+    /// Index of the throughput-limiting layer.
+    pub bottleneck_layer: usize,
+    /// Chip-level resource busy fractions.
+    pub utilization: Utilization,
+    /// Per-layer diagnostics.
+    pub per_layer: Vec<LayerPerf>,
+}
+
+impl SimReport {
+    /// Effective power efficiency in TOPS/W (Fig. 6's left axis).
+    pub fn efficiency_tops_per_watt(&self) -> f64 {
+        if self.power.value() <= 0.0 {
+            return 0.0;
+        }
+        self.throughput_ops / 1e12 / self.power.value()
+    }
+
+    /// Throughput in TOPS (Fig. 6's right axis).
+    pub fn throughput_tops(&self) -> f64 {
+        self.throughput_ops / 1e12
+    }
+
+    /// Inferences per second.
+    pub fn images_per_second(&self) -> f64 {
+        if self.steady_period.value() <= 0.0 {
+            return 0.0;
+        }
+        1.0 / self.steady_period.value()
+    }
+
+    /// Energy-delay product in the paper's Table V unit, ms x mJ.
+    pub fn edp_ms_mj(&self) -> f64 {
+        self.latency.millis() * self.energy_per_image.value() * 1e3
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "latency {:.4} ms | {:.1} img/s | {:.3} TOPS | {:.3} TOPS/W | {:.4} mJ/img | EDP {:.4} ms*mJ",
+            self.latency.millis(),
+            self.images_per_second(),
+            self.throughput_tops(),
+            self.efficiency_tops_per_watt(),
+            self.energy_per_image.value() * 1e3,
+            self.edp_ms_mj(),
+        )?;
+        write!(
+            f,
+            "bottleneck: layer {} | utilization: {}",
+            self.bottleneck_layer, self.utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            latency: Seconds::from_millis(2.0),
+            steady_period: Seconds::from_millis(1.0),
+            throughput_ops: 4e12,
+            power: Watts(2.0),
+            energy_per_image: Joules(4e-3),
+            bottleneck_layer: 1,
+            utilization: Utilization::default(),
+            per_layer: vec![],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.efficiency_tops_per_watt() - 2.0).abs() < 1e-12);
+        assert!((r.throughput_tops() - 4.0).abs() < 1e-12);
+        assert!((r.images_per_second() - 1000.0).abs() < 1e-9);
+        // 2 ms x 4 mJ = 8 ms*mJ.
+        assert!((r.edp_ms_mj() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_does_not_divide_by_zero() {
+        let mut r = report();
+        r.power = Watts(0.0);
+        assert_eq!(r.efficiency_tops_per_watt(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let text = report().to_string();
+        assert!(text.contains("TOPS/W"));
+        assert!(text.contains("EDP"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Mini ablation study on CIFAR-AlexNet: duplication strategy, macro
+//! specialization and inter-layer macro sharing — the Fig. 7/8/9 experiments
+//! at example scale.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use pimsyn::{MacroMode, SynthesisOptions, Synthesizer, WtDupStrategy};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+fn run(label: &str, options: SynthesisOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::alexnet_cifar(10);
+    let result = Synthesizer::new(options).synthesize(&model)?;
+    println!(
+        "{label:<28} {:>8.3} TOPS/W {:>8.3} TOPS {:>9.3} ms",
+        result.analytic.efficiency_tops_per_watt(),
+        result.analytic.throughput_tops(),
+        result.analytic.latency.millis(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = Watts(9.0);
+    let base = || SynthesisOptions::fast(power).with_seed(0xAB1A);
+
+    println!("=== weight duplication (Fig. 7) ===");
+    run("SA-based filter", base())?;
+    run("WOHO-proportional", base().with_strategy(WtDupStrategy::WohoProportional))?;
+    run("no duplication", base().with_strategy(WtDupStrategy::NoDuplication))?;
+
+    println!("=== macro design (Fig. 8) ===");
+    run("specialized macros", base())?;
+    run("identical macros", base().with_macro_mode(MacroMode::Identical))?;
+
+    println!("=== inter-layer macro sharing (Fig. 9) ===");
+    run("with sharing", base())?;
+    run("without sharing", base().without_macro_sharing())?;
+    Ok(())
+}

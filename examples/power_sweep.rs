@@ -1,0 +1,41 @@
+//! Power-constraint sweep: how the synthesized accelerator's efficiency,
+//! throughput and latency scale with the user's power budget, including the
+//! feasibility cliff below which one weight copy no longer fits (the
+//! Eq. (2)/(3) interplay).
+//!
+//! ```text
+//! cargo run --release --example power_sweep
+//! ```
+
+use pimsyn_arch::Watts;
+use pimsyn_dse::{minimum_feasible_power, sweep_power, DseConfig};
+use pimsyn_model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::alexnet_cifar(10);
+    let cfg = DseConfig::fast(Watts(1.0)); // power is overridden per sample
+    println!("sweeping {} across power budgets:\n", model.name());
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "power", "feasible", "TOPS/W", "TOPS", "ms/img"
+    );
+
+    let powers: Vec<Watts> = [1.0, 2.0, 4.0, 6.0, 9.0, 12.0, 18.0, 24.0]
+        .into_iter()
+        .map(Watts)
+        .collect();
+    for p in sweep_power(&model, &cfg, &powers) {
+        println!(
+            "{:>6.1} W {:>10} {:>12.3} {:>12.3} {:>10.3}",
+            p.power.value(),
+            if p.feasible { "yes" } else { "no" },
+            p.efficiency,
+            p.throughput_ops / 1e12,
+            if p.feasible { p.latency * 1e3 } else { f64::NAN },
+        );
+    }
+
+    let min = minimum_feasible_power(&model, &cfg, 0.5, 24.0, 0.25)?;
+    println!("\nminimum feasible power (bisection): {:.2} W", min.value());
+    Ok(())
+}

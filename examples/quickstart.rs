@@ -1,0 +1,35 @@
+//! Quickstart: synthesize a PIM accelerator for CIFAR-AlexNet under a 9 W
+//! power constraint and print the full implementation report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a trained, quantified CNN (here: from the built-in zoo; see
+    //    the `onnx_import` example for external models).
+    let model = zoo::alexnet_cifar(10);
+    println!("input model: {model}");
+
+    // 2. State the power constraint and synthesis options. `fast` keeps the
+    //    search in the sub-second range; use `SynthesisOptions::new` for the
+    //    paper-scale Algorithm 1 traversal.
+    let options = SynthesisOptions::fast(Watts(9.0)).with_cycle_validation(2);
+
+    // 3. One-click synthesis: weight duplication -> dataflow compilation ->
+    //    macro partitioning -> components allocation, DSE-wrapped.
+    let result = Synthesizer::new(options).synthesize(&model)?;
+
+    // 4. Inspect the outcome.
+    println!("{}", result.report_text());
+    println!(
+        "cycle-accurate check: {:.3} ms/image at {:.3} TOPS/W",
+        result.best_report().latency.millis(),
+        result.best_report().efficiency_tops_per_watt(),
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Synthesizes an ImageNet-scale VGG16 accelerator at a 65 W envelope,
+//! using a custom design space (large crossbars so the 25088x4096
+//! classifier fits), and prints per-layer diagnostics.
+//!
+//! ```text
+//! cargo run --release --example synthesize_vgg16
+//! ```
+
+use pimsyn::{DesignSpace, SynthesisOptions, Synthesizer};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::vgg16();
+    println!("input model: {model}");
+
+    let options = SynthesisOptions::fast(Watts(65.0))
+        .with_design_space(DesignSpace::custom(
+            vec![0.2, 0.3, 0.4],
+            vec![256, 512],
+            vec![2, 4],
+            vec![1, 2],
+        ))
+        .with_seed(1);
+
+    let result = Synthesizer::new(options).synthesize(&model)?;
+    println!("{}", result.report_text());
+
+    println!("--- per-layer pipeline diagnostics (analytic) ---");
+    for perf in &result.analytic.per_layer {
+        let prog = result.dataflow.program(perf.layer);
+        println!(
+            "{:<10} dup {:>4} blocks {:>6} period {:>9.3} us bottleneck {}",
+            prog.name,
+            prog.wt_dup,
+            prog.blocks,
+            perf.period.value() * 1e6,
+            perf.bottleneck,
+        );
+    }
+    Ok(())
+}

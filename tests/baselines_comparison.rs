@@ -1,0 +1,104 @@
+//! Integration: synthesized accelerators versus the manual baselines — the
+//! qualitative claims of the paper's evaluation section must hold on our
+//! substrate.
+
+use pimsyn::{MacroMode, SynthesisOptions, Synthesizer, WtDupStrategy};
+use pimsyn_arch::{HardwareParams, Watts};
+use pimsyn_baselines::{inventory, isaac};
+use pimsyn_model::zoo;
+
+const POWER: Watts = Watts(12.0);
+
+fn synthesize(options: SynthesisOptions) -> pimsyn::SynthesisResult {
+    Synthesizer::new(options.with_seed(7)).synthesize(&zoo::alexnet_cifar(10)).expect("synthesis")
+}
+
+#[test]
+fn pimsyn_beats_isaac_effective_efficiency() {
+    // The Fig. 6 claim, at integration-test scale.
+    let hw = HardwareParams::date24();
+    let model = zoo::alexnet_cifar(10);
+    let result = synthesize(SynthesisOptions::fast(POWER));
+    let isaac_power = POWER.max(isaac::isaac_min_power(&model, &hw));
+    let isaac_rep = isaac::evaluate_isaac_analytic(&model, isaac_power, &hw).unwrap();
+    assert!(
+        result.analytic.efficiency_tops_per_watt() > isaac_rep.efficiency_tops_per_watt(),
+        "PIMSYN {:.4} must beat ISAAC {:.4} TOPS/W",
+        result.analytic.efficiency_tops_per_watt(),
+        isaac_rep.efficiency_tops_per_watt()
+    );
+}
+
+#[test]
+fn sa_duplication_beats_both_baselines() {
+    // Fig. 7's ordering: SA >= WOHO heuristic >> no duplication.
+    let sa = synthesize(SynthesisOptions::fast(POWER));
+    let woho =
+        synthesize(SynthesisOptions::fast(POWER).with_strategy(WtDupStrategy::WohoProportional));
+    let nodup =
+        synthesize(SynthesisOptions::fast(POWER).with_strategy(WtDupStrategy::NoDuplication));
+    assert!(sa.analytic.throughput_ops >= woho.analytic.throughput_ops * 0.95);
+    assert!(
+        woho.analytic.throughput_ops > nodup.analytic.throughput_ops * 1.5,
+        "duplication must be worth >1.5x: woho {} vs nodup {}",
+        woho.analytic.throughput_ops,
+        nodup.analytic.throughput_ops
+    );
+}
+
+#[test]
+fn specialized_macros_beat_identical() {
+    // Fig. 8's direction.
+    let spec = synthesize(SynthesisOptions::fast(POWER));
+    let ident = synthesize(SynthesisOptions::fast(POWER).with_macro_mode(MacroMode::Identical));
+    assert!(
+        spec.analytic.efficiency_tops_per_watt() >= ident.analytic.efficiency_tops_per_watt(),
+        "specialized {:.4} must not lose to identical {:.4}",
+        spec.analytic.efficiency_tops_per_watt(),
+        ident.analytic.efficiency_tops_per_watt()
+    );
+}
+
+#[test]
+fn sharing_does_not_hurt() {
+    // Fig. 9's direction (sharing is an *option* the EA may decline).
+    let with = synthesize(SynthesisOptions::fast(POWER));
+    let without = synthesize(SynthesisOptions::fast(POWER).without_macro_sharing());
+    assert!(
+        with.analytic.efficiency_tops_per_watt()
+            >= without.analytic.efficiency_tops_per_watt() * 0.999,
+        "sharing-enabled search must dominate: {:.4} vs {:.4}",
+        with.analytic.efficiency_tops_per_watt(),
+        without.analytic.efficiency_tops_per_watt()
+    );
+}
+
+#[test]
+fn baseline_inventories_are_ordered_like_table4() {
+    let hw = HardwareParams::date24();
+    let peaks: Vec<(String, f64)> = inventory::table4_inventories()
+        .iter()
+        .map(|inv| (inv.name.to_string(), inv.peak_tops_per_watt(16, 16, &hw)))
+        .collect();
+    // Every baseline must stay within 2.5x of its published figure.
+    for (inv, (_, modeled)) in inventory::table4_inventories().iter().zip(&peaks) {
+        let ratio = modeled / inv.published_tops_per_watt;
+        assert!((0.4..2.5).contains(&ratio), "{}: ratio {ratio:.2}", inv.name);
+    }
+}
+
+#[test]
+fn synthesized_peak_beats_every_baseline_model() {
+    // Table IV's headline, on the CIFAR substrate.
+    let hw = HardwareParams::date24();
+    let result = synthesize(SynthesisOptions::fast(POWER));
+    let pimsyn_peak = result.peak_efficiency();
+    for inv in inventory::table4_inventories() {
+        let baseline = inv.peak_tops_per_watt(16, 16, &hw);
+        assert!(
+            pimsyn_peak > baseline,
+            "PIMSYN peak {pimsyn_peak:.3} must beat {} ({baseline:.3})",
+            inv.name
+        );
+    }
+}

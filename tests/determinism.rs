@@ -1,0 +1,46 @@
+//! Reproducibility: the whole flow is deterministic given a seed, including
+//! under parallel exploration.
+
+use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+#[test]
+fn same_seed_same_architecture() {
+    let model = zoo::alexnet_cifar(10);
+    let run = |seed| {
+        Synthesizer::new(SynthesisOptions::fast(Watts(9.0)).with_seed(seed))
+            .synthesize(&model)
+            .expect("synthesis")
+    };
+    let a = run(123);
+    let b = run(123);
+    assert_eq!(a.wt_dup, b.wt_dup);
+    assert_eq!(a.architecture, b.architecture);
+    assert_eq!(a.analytic, b.analytic);
+}
+
+#[test]
+fn different_seeds_may_differ_but_stay_feasible() {
+    let model = zoo::alexnet_cifar(10);
+    for seed in [1u64, 2, 3] {
+        let r = Synthesizer::new(SynthesisOptions::fast(Watts(9.0)).with_seed(seed))
+            .synthesize(&model)
+            .expect("synthesis");
+        r.architecture.validate(&model).expect("feasible");
+        assert!(r.analytic.efficiency_tops_per_watt() > 0.0);
+    }
+}
+
+#[test]
+fn parallel_equals_serial() {
+    let model = zoo::alexnet_cifar(10);
+    let mut serial = SynthesisOptions::fast(Watts(9.0)).with_seed(9);
+    serial.parallel = false;
+    let mut parallel = serial.clone();
+    parallel.parallel = true;
+    let a = Synthesizer::new(serial).synthesize(&model).unwrap();
+    let b = Synthesizer::new(parallel).synthesize(&model).unwrap();
+    assert_eq!(a.wt_dup, b.wt_dup);
+    assert_eq!(a.architecture, b.architecture);
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration: the full synthesis pipeline across every crate,
+//! checked against the paper's structural constraints.
+
+use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn_arch::Watts;
+use pimsyn_dse::crossbars_used;
+use pimsyn_model::zoo;
+use pimsyn_sim::simulate;
+
+fn synthesize_fast(power: f64) -> (pimsyn_model::Model, pimsyn::SynthesisResult) {
+    let model = zoo::alexnet_cifar(10);
+    let result = Synthesizer::new(SynthesisOptions::fast(Watts(power)).with_seed(42))
+        .synthesize(&model)
+        .expect("synthesis succeeds at this budget");
+    (model, result)
+}
+
+#[test]
+fn synthesis_satisfies_eq2_crossbar_constraint() {
+    let (model, result) = synthesize_fast(9.0);
+    let arch = &result.architecture;
+    // sum WtDup_i x set_i <= #crossbar (Eq. (2) subject-to clause).
+    let used = crossbars_used(&model, arch.crossbar, &result.wt_dup);
+    let budget = arch.crossbar.budget(arch.power_budget, arch.ratio_rram, &arch.hw);
+    assert!(used <= budget, "{used} crossbars exceed Eq. (3) budget {budget}");
+    assert_eq!(used, arch.crossbar_count());
+}
+
+#[test]
+fn synthesis_respects_power_constraint() {
+    let (model, result) = synthesize_fast(9.0);
+    let realized = result.architecture.power_breakdown().total();
+    assert!(
+        realized.value() <= result.architecture.power_budget.value() * 1.05,
+        "realized {realized} vs constraint {}",
+        result.architecture.power_budget
+    );
+    result.architecture.validate(&model).expect("architecture validates");
+}
+
+#[test]
+fn duplication_factors_within_caps() {
+    let (model, result) = synthesize_fast(9.0);
+    for (wl, &dup) in model.weight_layers().zip(&result.wt_dup) {
+        assert!(dup >= 1);
+        assert!(
+            dup <= wl.output_positions(),
+            "{}: dup {dup} exceeds {} output positions",
+            wl.name,
+            wl.output_positions()
+        );
+    }
+}
+
+#[test]
+fn cycle_engine_confirms_analytic_ranking() {
+    // Two budgets: the bigger one must not be slower under either model.
+    let (model_a, small) = synthesize_fast(6.0);
+    let (_, large) = synthesize_fast(14.0);
+    let cyc_small = simulate(&model_a, &small.dataflow, &small.architecture, 2).unwrap();
+    let cyc_large = simulate(&model_a, &large.dataflow, &large.architecture, 2).unwrap();
+    assert!(
+        cyc_large.throughput_ops >= cyc_small.throughput_ops * 0.7,
+        "cycle model: large budget {} far below small {}",
+        cyc_large.throughput_ops,
+        cyc_small.throughput_ops
+    );
+    assert!(
+        large.analytic.throughput_ops >= small.analytic.throughput_ops * 0.7,
+        "analytic model disagrees with budget scaling"
+    );
+}
+
+#[test]
+fn analytic_and_cycle_agree_within_factor_three() {
+    let (model, result) = synthesize_fast(9.0);
+    let cyc = simulate(&model, &result.dataflow, &result.architecture, 1).unwrap();
+    let ratio = cyc.latency.value() / result.analytic.latency.value();
+    assert!(
+        (0.33..3.0).contains(&ratio),
+        "cycle {} vs analytic {} (ratio {ratio:.2})",
+        cyc.latency.value(),
+        result.analytic.latency.value()
+    );
+}
+
+#[test]
+fn report_names_every_weight_layer() {
+    let (model, result) = synthesize_fast(9.0);
+    let text = result.report_text();
+    for wl in model.weight_layers() {
+        assert!(text.contains(&wl.name), "report missing layer {}", wl.name);
+    }
+}
+
+#[test]
+fn imagenet_scale_synthesis_works() {
+    use pimsyn::DesignSpace;
+    let model = zoo::alexnet();
+    let options = SynthesisOptions::fast(Watts(65.0))
+        .with_design_space(DesignSpace::custom(vec![0.3], vec![512], vec![4], vec![1]))
+        .with_seed(5);
+    let result = Synthesizer::new(options).synthesize(&model).expect("ImageNet synthesis");
+    assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+    result.architecture.validate(&model).unwrap();
+}

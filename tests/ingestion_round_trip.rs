@@ -1,0 +1,50 @@
+//! Integration: models ingested from the ONNX-style JSON path must be
+//! indistinguishable from zoo-built models throughout the synthesis stack.
+
+use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn_arch::Watts;
+use pimsyn_model::{onnx, zoo};
+
+#[test]
+fn ingested_model_synthesizes_identically() {
+    let native = zoo::alexnet_cifar(10);
+    let ingested = onnx::parse_model(&onnx::to_json(&native)).expect("round trip");
+    assert_eq!(native.layers(), ingested.layers());
+
+    let opts = || SynthesisOptions::fast(Watts(9.0)).with_seed(21);
+    let a = Synthesizer::new(opts()).synthesize(&native).unwrap();
+    let b = Synthesizer::new(opts()).synthesize(&ingested).unwrap();
+    assert_eq!(a.wt_dup, b.wt_dup);
+    assert_eq!(
+        a.analytic.efficiency_tops_per_watt(),
+        b.analytic.efficiency_tops_per_watt()
+    );
+}
+
+#[test]
+fn every_zoo_model_round_trips() {
+    for name in
+        ["alexnet", "vgg13", "vgg16", "msra", "resnet18", "alexnet-cifar", "resnet18-cifar"]
+    {
+        let model = zoo::by_name(name).expect("registered");
+        let back = onnx::parse_model(&onnx::to_json(&model)).expect("parses");
+        assert_eq!(model.layers(), back.layers(), "{name} graph changed");
+        assert_eq!(model.stats(), back.stats(), "{name} stats changed");
+        assert_eq!(model.precision(), back.precision(), "{name} precision changed");
+    }
+}
+
+#[test]
+fn ingestion_rejects_residual_shape_mismatch() {
+    let bad = r#"{
+      "input": {"shape": [3, 8, 8]},
+      "nodes": [
+        {"op": "Conv", "name": "a", "inputs": ["input"],
+         "attrs": {"out_channels": 4, "kernel": 3, "padding": 1}},
+        {"op": "Conv", "name": "b", "inputs": ["input"],
+         "attrs": {"out_channels": 4, "kernel": 3, "stride": 2, "padding": 1}},
+        {"op": "Add", "name": "sum", "inputs": ["a", "b"]}
+      ]
+    }"#;
+    assert!(onnx::parse_model(bad).is_err());
+}
