@@ -280,7 +280,9 @@ impl Architecture {
                 + hw.pool_power * counts.pool as f64
                 + hw.activation_power * counts.activation as f64
                 + hw.eltwise_power * counts.eltwise as f64;
-            debug_assert!(alu_units == counts.shift_add + counts.pool + counts.activation + counts.eltwise);
+            debug_assert!(
+                alu_units == counts.shift_add + counts.pool + counts.activation + counts.eltwise
+            );
         }
 
         let n_macro = self.macro_count() as f64;
@@ -330,8 +332,8 @@ impl Architecture {
     pub fn peak_ops(&self, activation_bits: u32, weight_bits: u32) -> f64 {
         let per_mvm = 2.0 * (self.crossbar.size() as f64).powi(2);
         let mvm_rate = 1.0 / self.hw.mvm_latency.value();
-        let derate =
-            (self.dac.bit_iterations(activation_bits) * self.crossbar.weight_slices(weight_bits)) as f64;
+        let derate = (self.dac.bit_iterations(activation_bits)
+            * self.crossbar.weight_slices(weight_bits)) as f64;
         self.crossbar_count() as f64 * per_mvm * mvm_rate / derate
     }
 
@@ -361,10 +363,16 @@ impl Architecture {
     pub fn validate(&self, model: &Model) -> Result<(), ArchError> {
         for lh in &self.layers {
             if lh.wt_dup == 0 || lh.crossbar_set == 0 {
-                return Err(ArchError::EmptyAllocation { layer: lh.layer, what: "crossbars" });
+                return Err(ArchError::EmptyAllocation {
+                    layer: lh.layer,
+                    what: "crossbars",
+                });
             }
             if lh.macros == 0 {
-                return Err(ArchError::EmptyAllocation { layer: lh.layer, what: "macros" });
+                return Err(ArchError::EmptyAllocation {
+                    layer: lh.layer,
+                    what: "macros",
+                });
             }
             let wl = model.weight_layer(lh.layer);
             let row_groups = wl.filter_rows().div_ceil(self.crossbar.size());
@@ -427,10 +435,8 @@ mod tests {
     /// A hand-built two-layer architecture used across tests.
     fn toy_arch() -> (pimsyn_model::Model, Architecture) {
         let model = {
-            let mut b = pimsyn_model::ModelBuilder::new(
-                "toy",
-                pimsyn_model::TensorShape::new(3, 16, 16),
-            );
+            let mut b =
+                pimsyn_model::ModelBuilder::new("toy", pimsyn_model::TensorShape::new(3, 16, 16));
             let c1 = b.conv("c1", None, 32, 3, 1, 1);
             let r1 = b.relu("r1", c1);
             let c2 = b.conv("c2", Some(r1), 32, 3, 1, 1);
@@ -504,7 +510,10 @@ mod tests {
         let (model, mut arch) = toy_arch();
         // Layer 0: rows 27 -> row_groups 1, dup 2 -> max 2 macros.
         arch.layers[0].macros = 3;
-        assert!(matches!(arch.validate(&model), Err(ArchError::TooManyMacros { .. })));
+        assert!(matches!(
+            arch.validate(&model),
+            Err(ArchError::TooManyMacros { .. })
+        ));
     }
 
     #[test]
@@ -540,7 +549,10 @@ mod tests {
     fn power_budget_violation_detected() {
         let (model, mut arch) = toy_arch();
         arch.power_budget = Watts(0.01);
-        assert!(matches!(arch.validate(&model), Err(ArchError::PowerBudgetExceeded { .. })));
+        assert!(matches!(
+            arch.validate(&model),
+            Err(ArchError::PowerBudgetExceeded { .. })
+        ));
     }
 
     #[test]

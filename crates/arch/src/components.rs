@@ -150,7 +150,11 @@ mod tests {
     fn adc_dominates_unit_power() {
         let hw = hw();
         let adc_p = ComponentKind::Adc.unit_power(adc8(), &hw);
-        for kind in [ComponentKind::ShiftAdd, ComponentKind::Pool, ComponentKind::Activation] {
+        for kind in [
+            ComponentKind::ShiftAdd,
+            ComponentKind::Pool,
+            ComponentKind::Activation,
+        ] {
             assert!(adc_p > kind.unit_power(adc8(), &hw));
         }
     }
@@ -170,7 +174,11 @@ mod tests {
     #[test]
     fn power_sums_over_kinds() {
         let hw = hw();
-        let c = ComponentCounts { adc: 2, shift_add: 10, ..Default::default() };
+        let c = ComponentCounts {
+            adc: 2,
+            shift_add: 10,
+            ..Default::default()
+        };
         let expected = adc8().power(&hw) * 2.0 + hw.shift_add_power * 10.0;
         assert!((c.power(adc8(), &hw).value() - expected.value()).abs() < 1e-12);
     }

@@ -86,7 +86,9 @@ pub struct AdcConfig {
 impl AdcConfig {
     /// Creates an ADC of an explicit resolution, clamped to the legal range.
     pub fn new(bits: u32, hw: &HardwareParams) -> Self {
-        Self { bits: bits.clamp(hw.adc_min_bits, hw.adc_max_bits) }
+        Self {
+            bits: bits.clamp(hw.adc_min_bits, hw.adc_max_bits),
+        }
     }
 
     /// Minimum lossless resolution for a crossbar of `rows` active rows,
@@ -95,10 +97,18 @@ impl AdcConfig {
     /// for 1-bit DACs by ISAAC's flipped-weight encoding (their Sec. IV
     /// analysis — this is how ISAAC reads 128 rows of 2-bit cells with an
     /// 8-bit converter without accuracy loss).
-    pub fn minimum_lossless(rows: usize, cell_bits: u32, dac_bits: u32, hw: &HardwareParams) -> Self {
+    pub fn minimum_lossless(
+        rows: usize,
+        cell_bits: u32,
+        dac_bits: u32,
+        hw: &HardwareParams,
+    ) -> Self {
         let log_rows = (rows.max(1) as f64).log2().ceil() as u32;
         let encoding_saving = u32::from(dac_bits == 1);
-        Self::new((log_rows + cell_bits + dac_bits).saturating_sub(1 + encoding_saving), hw)
+        Self::new(
+            (log_rows + cell_bits + dac_bits).saturating_sub(1 + encoding_saving),
+            hw,
+        )
     }
 
     /// ADC resolution in bits.
@@ -109,7 +119,9 @@ impl AdcConfig {
     /// Power of one ADC (Table III: 2–54 mW across 7–14 bits; the growth
     /// factor 1.6/bit reproduces both anchors).
     pub fn power(&self, hw: &HardwareParams) -> Watts {
-        hw.adc_base_power * hw.adc_power_growth.powi(self.bits as i32 - hw.adc_min_bits as i32)
+        hw.adc_base_power
+            * hw.adc_power_growth
+                .powi(self.bits as i32 - hw.adc_min_bits as i32)
     }
 
     /// Sample rate: anchored at 1.28 GS/s for 8 bits (ISAAC), halving per

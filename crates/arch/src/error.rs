@@ -46,17 +46,28 @@ pub enum ArchError {
 impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArchError::InvalidDesignVariable { variable, value, expected } => {
+            ArchError::InvalidDesignVariable {
+                variable,
+                value,
+                expected,
+            } => {
                 write!(f, "invalid {variable} = {value}, expected {expected}")
             }
-            ArchError::PowerBudgetExceeded { required, available } => write!(
+            ArchError::PowerBudgetExceeded {
+                required,
+                available,
+            } => write!(
                 f,
                 "fixed components need {required:.3} W but only {available:.3} W is available"
             ),
             ArchError::EmptyAllocation { layer, what } => {
                 write!(f, "layer {layer} was allocated zero {what}")
             }
-            ArchError::TooManyMacros { layer, requested, max } => write!(
+            ArchError::TooManyMacros {
+                layer,
+                requested,
+                max,
+            } => write!(
                 f,
                 "layer {layer} partitioned into {requested} macros, rule (c) allows at most {max}"
             ),

@@ -134,7 +134,10 @@ pub fn to_json(hw: &HardwareParams) -> String {
         ("register_power_mw", hw.register_power.milli()),
     ];
     let obj = JsonValue::Object(
-        pairs.into_iter().map(|(k, v)| (k.to_string(), JsonValue::Number(v))).collect(),
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), JsonValue::Number(v)))
+            .collect(),
     );
     obj.to_string()
 }

@@ -37,10 +37,10 @@
 
 mod architecture;
 mod components;
-pub mod hardware_config;
 mod converters;
 mod crossbar;
 mod error;
+pub mod hardware_config;
 mod memory;
 mod noc;
 mod params;

@@ -9,14 +9,14 @@
 //! EDP-optimal configuration. Table V's published Gibbon numbers are kept in
 //! [`crate::published::TABLE5`] for side-by-side reporting.
 
-use pimsyn_arch::{HardwareParams, MacroMode, Watts};
-use pimsyn_dse::{
-    allocate_components, no_duplication, AllocRequest, DesignPoint, DseError,
+use pimsyn_arch::{
+    Architecture, CrossbarConfig, DacConfig, RESDAC_CHOICES, RESRRAM_CHOICES, XBSIZE_CHOICES,
 };
+use pimsyn_arch::{HardwareParams, MacroMode, Watts};
+use pimsyn_dse::{allocate_components, no_duplication, AllocRequest, DesignPoint, DseError};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
 use pimsyn_sim::{evaluate_analytic, SimReport};
-use pimsyn_arch::{Architecture, CrossbarConfig, DacConfig, RESDAC_CHOICES, RESRRAM_CHOICES, XBSIZE_CHOICES};
 
 /// Outcome of the Gibbon-like exploration.
 #[derive(Debug, Clone)]
@@ -68,7 +68,10 @@ pub fn gibbon_proxy(
                 let req = AllocRequest {
                     model,
                     dataflow: &df,
-                    point: DesignPoint { ratio_rram: ratio, crossbar },
+                    point: DesignPoint {
+                        ratio_rram: ratio,
+                        crossbar,
+                    },
                     total_power,
                     hw,
                     macros: &macros,
@@ -82,7 +85,7 @@ pub fn gibbon_proxy(
                     continue;
                 };
                 let edp = report.edp_ms_mj();
-                if edp > 0.0 && best.as_ref().map_or(true, |(b, _, _)| edp < *b) {
+                if edp > 0.0 && best.as_ref().is_none_or(|(b, _, _)| edp < *b) {
                     best = Some((edp, arch, report));
                 }
             }
@@ -90,9 +93,11 @@ pub fn gibbon_proxy(
     }
 
     match best {
-        Some((_, architecture, report)) => {
-            Ok(GibbonProxyOutcome { architecture, report, evaluated })
-        }
+        Some((_, architecture, report)) => Ok(GibbonProxyOutcome {
+            architecture,
+            report,
+            evaluated,
+        }),
         None => Err(DseError::NoFeasibleSolution),
     }
 }

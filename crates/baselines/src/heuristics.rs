@@ -17,7 +17,9 @@ pub fn fig7_strategies() -> Vec<(&'static str, WtDupStrategy)> {
 /// Fast-effort synthesis options for a given strategy and power budget,
 /// seeded identically across arms so only the strategy differs.
 pub fn fig7_options(strategy: WtDupStrategy, power: Watts) -> SynthesisOptions {
-    SynthesisOptions::fast(power).with_strategy(strategy).with_seed(0xF16_7)
+    SynthesisOptions::fast(power)
+        .with_strategy(strategy)
+        .with_seed(0xF167)
 }
 
 #[cfg(test)]

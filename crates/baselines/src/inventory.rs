@@ -52,7 +52,12 @@ impl BaselineInventory {
     }
 
     /// Peak effective ops/s of one crossbar at the given quantification.
-    pub fn ops_per_crossbar(&self, activation_bits: u32, weight_bits: u32, hw: &HardwareParams) -> f64 {
+    pub fn ops_per_crossbar(
+        &self,
+        activation_bits: u32,
+        weight_bits: u32,
+        hw: &HardwareParams,
+    ) -> f64 {
         let per_mvm = 2.0 * (self.crossbar.size() as f64).powi(2);
         let derate = (self.dac.bit_iterations(activation_bits)
             * self.crossbar.weight_slices(weight_bits)) as f64
@@ -62,10 +67,13 @@ impl BaselineInventory {
 
     /// Modeled peak power efficiency in TOPS/W — the quantity our Table IV
     /// harness compares against both PIMSYN and the published figure.
-    pub fn peak_tops_per_watt(&self, activation_bits: u32, weight_bits: u32, hw: &HardwareParams) -> f64 {
-        self.ops_per_crossbar(activation_bits, weight_bits, hw)
-            / 1e12
-            / self.power_per_crossbar(hw)
+    pub fn peak_tops_per_watt(
+        &self,
+        activation_bits: u32,
+        weight_bits: u32,
+        hw: &HardwareParams,
+    ) -> f64 {
+        self.ops_per_crossbar(activation_bits, weight_bits, hw) / 1e12 / self.power_per_crossbar(hw)
     }
 }
 

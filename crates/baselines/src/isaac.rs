@@ -76,9 +76,21 @@ pub fn isaac_architecture(
                 components: ComponentCounts {
                     adc: crossbars, // one ADC per crossbar: intra-layer reuse only
                     shift_add: crossbars.max(1),
-                    pool: if p.pool_ops > 0 { (crossbars / 8).max(1) } else { 0 },
-                    activation: if p.act_ops > 0 { (crossbars / 8).max(1) } else { 0 },
-                    eltwise: if p.eltwise_ops > 0 { (crossbars / 8).max(1) } else { 0 },
+                    pool: if p.pool_ops > 0 {
+                        (crossbars / 8).max(1)
+                    } else {
+                        0
+                    },
+                    activation: if p.act_ops > 0 {
+                        (crossbars / 8).max(1)
+                    } else {
+                        0
+                    },
+                    eltwise: if p.eltwise_ops > 0 {
+                        (crossbars / 8).max(1)
+                    } else {
+                        0
+                    },
                 },
             }
         })

@@ -12,11 +12,26 @@ pub struct PublishedPeak {
 
 /// Table IV's comparison row: the five manually-designed accelerators.
 pub const TABLE4_BASELINES: [PublishedPeak; 5] = [
-    PublishedPeak { name: "PipeLayer", tops_per_watt: 0.14 },
-    PublishedPeak { name: "ISAAC", tops_per_watt: 0.63 },
-    PublishedPeak { name: "PRIME", tops_per_watt: 0.5 },
-    PublishedPeak { name: "PUMA", tops_per_watt: 0.84 },
-    PublishedPeak { name: "AtomLayer", tops_per_watt: 0.68 },
+    PublishedPeak {
+        name: "PipeLayer",
+        tops_per_watt: 0.14,
+    },
+    PublishedPeak {
+        name: "ISAAC",
+        tops_per_watt: 0.63,
+    },
+    PublishedPeak {
+        name: "PRIME",
+        tops_per_watt: 0.5,
+    },
+    PublishedPeak {
+        name: "PUMA",
+        tops_per_watt: 0.84,
+    },
+    PublishedPeak {
+        name: "AtomLayer",
+        tops_per_watt: 0.68,
+    },
 ];
 
 /// PIMSYN's own Table IV row.

@@ -19,12 +19,23 @@ fn quality_table() -> String {
         "DSE sensitivity (CIFAR-AlexNet @ 9 W, single design point)\n\
          sa_cands  ea_pop  ea_gens   TOPS/W  evaluations\n",
     );
-    for (cands, pop, gens) in
-        [(1usize, 4usize, 2usize), (2, 6, 3), (4, 8, 6), (8, 12, 10), (16, 16, 16)]
-    {
+    for (cands, pop, gens) in [
+        (1usize, 4usize, 2usize),
+        (2, 6, 3),
+        (4, 8, 6),
+        (8, 12, 10),
+        (16, 16, 16),
+    ] {
         let mut cfg = base_cfg();
-        cfg.sa = SaConfig { candidates: cands, ..SaConfig::fast() };
-        cfg.ea = EaConfig { population: pop, generations: gens, ..EaConfig::fast() };
+        cfg.sa = SaConfig {
+            candidates: cands,
+            ..SaConfig::fast()
+        };
+        cfg.ea = EaConfig {
+            population: pop,
+            generations: gens,
+            ..EaConfig::fast()
+        };
         match run_dse(&model, &cfg) {
             Ok(o) => {
                 out.push_str(&format!(
@@ -43,12 +54,21 @@ fn bench_sensitivity(c: &mut Criterion) {
     let model = zoo::alexnet_cifar(10);
     let mut group = c.benchmark_group("dse_sensitivity");
     group.sample_size(10);
-    for (label, cands, pop, gens) in
-        [("small", 2usize, 6usize, 3usize), ("medium", 4, 8, 6), ("large", 8, 12, 10)]
-    {
+    for (label, cands, pop, gens) in [
+        ("small", 2usize, 6usize, 3usize),
+        ("medium", 4, 8, 6),
+        ("large", 8, 12, 10),
+    ] {
         let mut cfg = base_cfg();
-        cfg.sa = SaConfig { candidates: cands, ..SaConfig::fast() };
-        cfg.ea = EaConfig { population: pop, generations: gens, ..EaConfig::fast() };
+        cfg.sa = SaConfig {
+            candidates: cands,
+            ..SaConfig::fast()
+        };
+        cfg.ea = EaConfig {
+            population: pop,
+            generations: gens,
+            ..EaConfig::fast()
+        };
         group.bench_function(format!("dse_{label}"), |b| {
             b.iter(|| run_dse(&model, &cfg).expect("feasible"))
         });
@@ -61,5 +81,7 @@ criterion_group!(benches, bench_sensitivity);
 fn main() {
     println!("{}", quality_table());
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -2,15 +2,19 @@
 //! analytic evaluation that powers it.
 
 use criterion::{criterion_group, Criterion};
-use pimsyn::{Synthesizer, SynthesisOptions};
+use pimsyn::{SynthesisOptions, Synthesizer};
 use pimsyn_arch::Watts;
 use pimsyn_model::zoo;
 use pimsyn_sim::evaluate_analytic;
 
 fn bench_fig5(c: &mut Criterion) {
     let model = zoo::vgg16_cifar(10);
-    let opts = SynthesisOptions::fast(Watts(6.0)).with_seed(0xBE7C).without_macro_sharing();
-    let result = Synthesizer::new(opts).synthesize(&model).expect("synthesis");
+    let opts = SynthesisOptions::fast(Watts(6.0))
+        .with_seed(0xBE7C)
+        .without_macro_sharing();
+    let result = Synthesizer::new(opts)
+        .synthesize(&model)
+        .expect("synthesis");
     let mut group = c.benchmark_group("fig5");
     group.sample_size(30);
     group.bench_function("analytic_eval_vgg16_cifar", |b| {
@@ -22,7 +26,12 @@ fn bench_fig5(c: &mut Criterion) {
 criterion_group!(benches, bench_fig5);
 
 fn main() {
-    println!("{}", pimsyn_bench::render_fig5(&pimsyn_bench::fig5_adc_reuse()));
+    println!(
+        "{}",
+        pimsyn_bench::render_fig5(&pimsyn_bench::fig5_adc_reuse())
+    );
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -27,5 +27,7 @@ fn main() {
     let rows = pimsyn_bench::fig6_effective_vs_isaac(&[zoo::alexnet(), zoo::resnet18()]);
     println!("{}", pimsyn_bench::render_fig6(&rows));
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -28,7 +28,10 @@ fn bench_fig8(c: &mut Criterion) {
                 allocate_components(&AllocRequest {
                     model: &model,
                     dataflow: &df,
-                    point: DesignPoint { ratio_rram: 0.3, crossbar: xb },
+                    point: DesignPoint {
+                        ratio_rram: 0.3,
+                        crossbar: xb,
+                    },
                     total_power: Watts(9.0),
                     hw: &hw,
                     macros: &macros,
@@ -54,5 +57,7 @@ fn main() {
         )
     );
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -16,7 +16,10 @@ fn bench_fig9(c: &mut Criterion) {
     let budget = xb.budget(Watts(9.0), 0.3, &hw);
     let dup = no_duplication(&model, xb, budget).expect("budget fits");
     let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
-    let point = DesignPoint { ratio_rram: 0.3, crossbar: xb };
+    let point = DesignPoint {
+        ratio_rram: 0.3,
+        crossbar: xb,
+    };
 
     let mut group = c.benchmark_group("fig9");
     group.sample_size(10);
@@ -30,7 +33,10 @@ fn bench_fig9(c: &mut Criterion) {
                     Watts(9.0),
                     &hw,
                     MacroMode::Specialized,
-                    &EaConfig { allow_sharing: sharing, ..EaConfig::fast() },
+                    &EaConfig {
+                        allow_sharing: sharing,
+                        ..EaConfig::fast()
+                    },
                 )
                 .unwrap()
             })
@@ -51,5 +57,7 @@ fn main() {
         )
     );
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

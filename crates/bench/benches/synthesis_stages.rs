@@ -4,6 +4,7 @@
 //! runtime; these timings document where the Rust port spends its time.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pimsyn::{CancelToken, NullSink, SynthesisEngine, SynthesisOptions, SynthesisRequest};
 use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
 use pimsyn_dse::{
     allocate_components, explore_macro_partitioning, no_duplication, wt_dup_candidates,
@@ -19,7 +20,10 @@ fn bench_stages(c: &mut Criterion) {
     let xb = CrossbarConfig::new(128, 2).expect("legal");
     let dac = DacConfig::new(2).expect("legal");
     let power = Watts(9.0);
-    let point = DesignPoint { ratio_rram: 0.3, crossbar: xb };
+    let point = DesignPoint {
+        ratio_rram: 0.3,
+        crossbar: xb,
+    };
     let budget = xb.budget(power, point.ratio_rram, &hw);
     let dup = no_duplication(&model, xb, budget).expect("fits");
     let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
@@ -55,7 +59,11 @@ fn bench_stages(c: &mut Criterion) {
                 power,
                 &hw,
                 MacroMode::Specialized,
-                &EaConfig { population: 6, generations: 3, ..EaConfig::fast() },
+                &EaConfig {
+                    population: 6,
+                    generations: 3,
+                    ..EaConfig::fast()
+                },
             )
             .unwrap()
         })
@@ -84,5 +92,35 @@ fn bench_stages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stages);
+/// End-to-end cost of the job-oriented engine API: one observable job and a
+/// two-request batch, so engine/channel overhead stays visibly negligible
+/// next to the stage costs above.
+fn bench_engine(c: &mut Criterion) {
+    let engine = SynthesisEngine::new();
+    let request = || {
+        SynthesisRequest::new(
+            zoo::alexnet_cifar(10),
+            SynthesisOptions::fast(Watts(6.0)).with_seed(3),
+        )
+    };
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("single_job_unobserved", |b| {
+        b.iter(|| {
+            engine
+                .run(&request(), &NullSink, &CancelToken::new())
+                .unwrap()
+        })
+    });
+    group.bench_function("batch_of_2", |b| {
+        b.iter(|| {
+            let results = engine.synthesize_batch(&[request(), request()]);
+            assert!(results.iter().all(Result::is_ok));
+            results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_engine);
 criterion_main!(benches);

@@ -25,5 +25,7 @@ criterion_group!(benches, bench_table4);
 fn main() {
     println!("{}", pimsyn_bench::table4_peak_efficiency());
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

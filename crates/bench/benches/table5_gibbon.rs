@@ -20,7 +20,12 @@ fn bench_table5(c: &mut Criterion) {
 criterion_group!(benches, bench_table5);
 
 fn main() {
-    println!("{}", pimsyn_bench::render_table5(&pimsyn_bench::table5_gibbon()));
+    println!(
+        "{}",
+        pimsyn_bench::render_table5(&pimsyn_bench::table5_gibbon())
+    );
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -53,8 +53,9 @@ fn run(target: &str) {
             )
         ),
         "all" => {
-            for t in ["table1", "table3", "table4", "fig5", "fig6", "table5", "fig7", "fig8", "fig9"]
-            {
+            for t in [
+                "table1", "table3", "table4", "fig5", "fig6", "table5", "fig7", "fig8", "fig9",
+            ] {
                 run(t);
             }
         }

@@ -14,7 +14,10 @@
 
 use std::fmt;
 
-use pimsyn::{DesignSpace, Objective, SynthesisOptions, SynthesisResult, Synthesizer, WtDupStrategy};
+use pimsyn::{
+    CancelToken, DesignSpace, NullSink, Objective, SynthesisEngine, SynthesisOptions,
+    SynthesisRequest, SynthesisResult, WtDupStrategy,
+};
 use pimsyn_arch::{HardwareParams, MacroMode, Watts};
 use pimsyn_baselines::published::{
     Table5Row, FIG6_EFFICIENCY_GAIN_RANGE, FIG6_THROUGHPUT_GAIN_RANGE, TABLE4_BASELINES,
@@ -33,12 +36,19 @@ pub const IMAGENET_POWER: Watts = Watts(65.0);
 pub const CIFAR_POWER: Watts = Watts(15.0);
 
 fn harness_options(power: Watts) -> SynthesisOptions {
-    let mut opts = SynthesisOptions::fast(power).with_seed(0xBE7C).with_design_space(
-        // The full RatioRram grid and crossbar sizes of Table I, with two
-        // cell/DAC resolutions — rich enough for the ablations while keeping
-        // the whole harness in the minutes range.
-        DesignSpace::custom(vec![0.1, 0.15, 0.2, 0.25, 0.3, 0.4], vec![128, 256, 512], vec![2, 4], vec![1, 2, 4]),
-    );
+    let mut opts = SynthesisOptions::fast(power)
+        .with_seed(0xBE7C)
+        .with_design_space(
+            // The full RatioRram grid and crossbar sizes of Table I, with two
+            // cell/DAC resolutions — rich enough for the ablations while keeping
+            // the whole harness in the minutes range.
+            DesignSpace::custom(
+                vec![0.1, 0.15, 0.2, 0.25, 0.3, 0.4],
+                vec![128, 256, 512],
+                vec![2, 4],
+                vec![1, 2, 4],
+            ),
+        );
     opts.parallel = true;
     opts
 }
@@ -54,9 +64,21 @@ fn imagenet_options(power: Watts) -> SynthesisOptions {
     ))
 }
 
+/// All harness synthesis goes through the engine API: one reusable engine,
+/// one unobserved job per synthesis (the same code path batch services use).
+fn synthesize(model: &Model, opts: SynthesisOptions) -> Option<SynthesisResult> {
+    SynthesisEngine::new()
+        .run(
+            &SynthesisRequest::new(model.clone(), opts),
+            &NullSink,
+            &CancelToken::new(),
+        )
+        .ok()
+}
+
 /// Synthesizes an ImageNet model with harness settings.
 pub fn synthesize_imagenet(model: &Model, power: Watts) -> Option<SynthesisResult> {
-    Synthesizer::new(imagenet_options(power)).synthesize(model).ok()
+    synthesize(model, imagenet_options(power))
 }
 
 /// Table I: the design space definition (rendered, not measured).
@@ -91,7 +113,9 @@ pub fn table3_components() -> String {
     ));
     out.push_str(&format!(
         "  NoC        : flit {} b, {} ports     {:.0} mW\n",
-        hw.noc_flit_bits, hw.noc_ports, hw.noc_router_power.milli()
+        hw.noc_flit_bits,
+        hw.noc_ports,
+        hw.noc_router_power.milli()
     ));
     for size in [128usize, 256, 512] {
         let xb = pimsyn_arch::CrossbarConfig::new(size, 1).expect("legal");
@@ -182,11 +206,19 @@ pub fn table4_peak_efficiency() -> Table4 {
                 name: inv.name.to_string(),
                 modeled,
                 published: inv.published_tops_per_watt,
-                improvement: if modeled > 0.0 { pimsyn_modeled / modeled } else { 0.0 },
+                improvement: if modeled > 0.0 {
+                    pimsyn_modeled / modeled
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
-    Table4 { pimsyn_modeled, pimsyn_published: TABLE4_PIMSYN_TOPS_PER_WATT, rows }
+    Table4 {
+        pimsyn_modeled,
+        pimsyn_published: TABLE4_PIMSYN_TOPS_PER_WATT,
+        rows,
+    }
 }
 
 /// One distance sample of Fig. 5.
@@ -209,7 +241,7 @@ pub struct Fig5Point {
 pub fn fig5_adc_reuse() -> Vec<Fig5Point> {
     let model = zoo::vgg16_cifar(10);
     let opts = harness_options(CIFAR_POWER).without_macro_sharing();
-    let Ok(result) = Synthesizer::new(opts).synthesize(&model) else {
+    let Some(result) = synthesize(&model, opts) else {
         return Vec::new();
     };
     let base_arch = result.architecture.clone();
@@ -368,7 +400,11 @@ pub struct Table5Measured {
 /// benchmarks.
 pub fn table5_gibbon() -> Vec<Table5Measured> {
     let hw = HardwareParams::date24();
-    let models = [zoo::alexnet_cifar(10), zoo::vgg16_cifar(10), zoo::resnet18_cifar(10)];
+    let models = [
+        zoo::alexnet_cifar(10),
+        zoo::vgg16_cifar(10),
+        zoo::resnet18_cifar(10),
+    ];
     models
         .iter()
         .zip(TABLE5)
@@ -379,13 +415,21 @@ pub fn table5_gibbon() -> Vec<Table5Measured> {
             let opts = harness_options(CIFAR_POWER)
                 .with_objective(Objective::EnergyDelayProduct)
                 .with_effort(pimsyn::Effort::Paper);
-            let p = Synthesizer::new(opts).synthesize(model).ok()?;
+            let p = synthesize(model, opts)?;
             let gr = &g.report;
             let pr = &p.analytic;
             Some(Table5Measured {
                 model: model.name().to_string(),
-                gibbon: (gr.edp_ms_mj(), gr.energy_per_image.value() * 1e3, gr.latency.millis()),
-                pimsyn: (pr.edp_ms_mj(), pr.energy_per_image.value() * 1e3, pr.latency.millis()),
+                gibbon: (
+                    gr.edp_ms_mj(),
+                    gr.energy_per_image.value() * 1e3,
+                    gr.latency.millis(),
+                ),
+                pimsyn: (
+                    pr.edp_ms_mj(),
+                    pr.energy_per_image.value() * 1e3,
+                    pr.latency.millis(),
+                ),
                 published,
             })
         })
@@ -437,8 +481,7 @@ fn normalize_to_isaac(model: &Model, result: &SynthesisResult) -> Option<(f64, f
     let isaac_rep = isaac::evaluate_isaac_analytic(model, power, &hw).ok()?;
     // ISAAC's per-crossbar inventory makes its efficiency power-invariant;
     // compare throughput at the synthesis budget by scaling accordingly.
-    let isaac_tops_at_budget =
-        isaac_rep.efficiency_tops_per_watt() * budget.value();
+    let isaac_tops_at_budget = isaac_rep.efficiency_tops_per_watt() * budget.value();
     Some((
         result.analytic.efficiency_tops_per_watt() / isaac_rep.efficiency_tops_per_watt(),
         result.analytic.throughput_tops() / isaac_tops_at_budget,
@@ -457,7 +500,7 @@ pub fn fig7_weight_duplication() -> Vec<AblationArm> {
     arms.iter()
         .filter_map(|(label, strategy)| {
             let opts = harness_options(CIFAR_POWER).with_strategy(strategy.clone());
-            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let result = synthesize(&model, opts)?;
             let (e, t) = normalize_to_isaac(&model, &result)?;
             Some(AblationArm {
                 label: (*label).to_string(),
@@ -471,12 +514,14 @@ pub fn fig7_weight_duplication() -> Vec<AblationArm> {
 /// Fig. 8: identical vs specialized macro design.
 pub fn fig8_macro_specialization() -> Vec<AblationArm> {
     let model = zoo::vgg16_cifar(10);
-    let arms =
-        [("Specialized Macro", MacroMode::Specialized), ("Identical Macro", MacroMode::Identical)];
+    let arms = [
+        ("Specialized Macro", MacroMode::Specialized),
+        ("Identical Macro", MacroMode::Identical),
+    ];
     arms.iter()
         .filter_map(|(label, mode)| {
             let opts = harness_options(CIFAR_POWER).with_macro_mode(*mode);
-            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let result = synthesize(&model, opts)?;
             let (e, t) = normalize_to_isaac(&model, &result)?;
             Some(AblationArm {
                 label: (*label).to_string(),
@@ -498,7 +543,7 @@ pub fn fig9_macro_sharing() -> Vec<AblationArm> {
             if !share {
                 opts = opts.without_macro_sharing();
             }
-            let result = Synthesizer::new(opts).synthesize(&model).ok()?;
+            let result = synthesize(&model, opts)?;
             let (e, t) = normalize_to_isaac(&model, &result)?;
             Some(AblationArm {
                 label: (*label).to_string(),
@@ -513,7 +558,10 @@ pub fn fig9_macro_sharing() -> Vec<AblationArm> {
 pub fn render_ablation(title: &str, arms: &[AblationArm], paper_ratio: (f64, f64)) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
-    out.push_str(&format!("  {:<18} {:>12} {:>12}\n", "arm", "eff (xISAAC)", "thr (xISAAC)"));
+    out.push_str(&format!(
+        "  {:<18} {:>12} {:>12}\n",
+        "arm", "eff (xISAAC)", "thr (xISAAC)"
+    ));
     for a in arms {
         out.push_str(&format!(
             "  {:<18} {:>12.3} {:>12.3}\n",
@@ -549,7 +597,10 @@ mod tests {
         let points = fig5_adc_reuse();
         assert!(!points.is_empty());
         for p in &points {
-            assert!(p.adc_ratio <= 1.0 + 1e-9, "sharing must not add ADCs: {p:?}");
+            assert!(
+                p.adc_ratio <= 1.0 + 1e-9,
+                "sharing must not add ADCs: {p:?}"
+            );
             assert!(p.delay_ratio > 0.0);
         }
     }

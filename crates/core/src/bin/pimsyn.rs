@@ -6,30 +6,74 @@
 //! pimsyn --model-file net.json --power 9 --seed 7 --cycle 2
 //! pimsyn --model alexnet-cifar --power 9 --strategy woho --no-sharing
 //! pimsyn --model resnet18-cifar --power 15 --objective edp --macros identical
+//! pimsyn --model alexnet-cifar --power 9 --output json
+//! pimsyn --model vgg16 --power 65 --effort paper --timeout 120 --max-evals 20000
+//! pimsyn --batch jobs.json --output json
 //! ```
 //!
 //! `--model` accepts any zoo name (`alexnet`, `vgg13`, `vgg16`, `msra`,
 //! `resnet18`, `alexnet-cifar`, `vgg16-cifar`, `resnet18-cifar`);
 //! `--model-file` reads the ONNX-style JSON format of `pimsyn_model::onnx`.
+//!
+//! While a job runs, live progress (design points explored, new bests)
+//! streams to stderr; stdout carries only the final report, so both output
+//! formats pipe cleanly.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use pimsyn::{Effort, MacroMode, Objective, SynthesisOptions, Synthesizer, WtDupStrategy};
+use pimsyn::{
+    CancelToken, ChannelSink, Effort, MacroMode, Objective, SynthesisEngine, SynthesisError,
+    SynthesisEvent, SynthesisOptions, SynthesisRequest, SynthesisResult, SynthesisSummary,
+};
 use pimsyn_arch::Watts;
+use pimsyn_model::json::JsonValue;
 use pimsyn_model::{onnx, zoo, Model};
 
+#[derive(Debug, Clone, PartialEq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+#[derive(Debug, Clone)]
 struct Args {
     model: Option<String>,
     model_file: Option<String>,
     hw_file: Option<String>,
+    batch_file: Option<String>,
     power: f64,
     effort: Effort,
-    strategy: WtDupStrategy,
+    strategy: WtDupStrategyArg,
     objective: Objective,
     macro_mode: MacroMode,
     sharing: bool,
     seed: u64,
     cycle_images: usize,
+    timeout: Option<Duration>,
+    max_evals: Option<usize>,
+    output: OutputFormat,
+    quiet: bool,
+    help: bool,
+}
+
+/// CLI-level strategy selector (the library type carries vectors for the
+/// `Fixed` variant, which the CLI does not expose).
+#[derive(Debug, Clone, PartialEq)]
+enum WtDupStrategyArg {
+    Sa,
+    Woho,
+    None,
+}
+
+impl WtDupStrategyArg {
+    fn to_strategy(&self) -> pimsyn::WtDupStrategy {
+        match self {
+            WtDupStrategyArg::Sa => pimsyn::WtDupStrategy::SimulatedAnnealing,
+            WtDupStrategyArg::Woho => pimsyn::WtDupStrategy::WohoProportional,
+            WtDupStrategyArg::None => pimsyn::WtDupStrategy::NoDuplication,
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -38,96 +82,124 @@ pimsyn — synthesize a processing-in-memory CNN accelerator
 USAGE:
   pimsyn --model <zoo-name> --power <watts> [options]
   pimsyn --model-file <net.json> --power <watts> [options]
+  pimsyn --batch <jobs.json> [options]
 
 OPTIONS:
   --model <name>        zoo model (alexnet, vgg13, vgg16, msra, resnet18,
                         alexnet-cifar, vgg16-cifar, resnet18-cifar)
   --model-file <path>   ONNX-style JSON model description
+  --batch <path>        JSON array of jobs, e.g.
+                        [{\"model\": \"alexnet-cifar\", \"power\": 9}, ...];
+                        each job may override effort/seed/strategy/objective/
+                        macros/sharing/cycle/timeout/max-evals and carry a label
   --hw-file <path>      hardware setup parameters (JSON; Table III defaults)
-  --power <watts>       total power constraint (required)
+  --power <watts>       total power constraint (required outside --batch;
+                        with --batch, the default for jobs without `power`)
   --effort <fast|paper> search effort (default: fast)
   --strategy <sa|woho|none>  weight-duplication strategy (default: sa)
   --objective <eff|edp> optimization objective (default: eff)
   --macros <specialized|identical>  macro mode (default: specialized)
   --no-sharing          disable inter-layer macro sharing
-  --seed <u64>          RNG seed (default: 1)
+  --seed <u64>          RNG seed (default: the library default; the flow is
+                        fully deterministic given the seed)
   --cycle <images>      validate with the cycle-accurate engine
+  --timeout <secs>      stop exploring after this long, keeping the best
+                        implementation found so far
+  --max-evals <n>       bound candidate-architecture evaluations
+  --output <text|json>  report format on stdout (default: text)
+  --quiet               suppress live progress on stderr
   --help                print this message";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args {
         model: None,
         model_file: None,
         hw_file: None,
+        batch_file: None,
         power: 0.0,
         effort: Effort::Fast,
-        strategy: WtDupStrategy::SimulatedAnnealing,
+        strategy: WtDupStrategyArg::Sa,
         objective: Objective::PowerEfficiency,
         macro_mode: MacroMode::Specialized,
         sharing: true,
-        seed: 1,
+        seed: SynthesisOptions::DEFAULT_SEED,
         cycle_images: 0,
+        timeout: None,
+        max_evals: None,
+        output: OutputFormat::Text,
+        quiet: false,
+        help: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--model" => args.model = Some(value("--model")?),
             "--model-file" => args.model_file = Some(value("--model-file")?),
             "--hw-file" => args.hw_file = Some(value("--hw-file")?),
+            "--batch" => args.batch_file = Some(value("--batch")?),
             "--power" => {
                 args.power = value("--power")?
                     .parse()
                     .map_err(|e| format!("bad --power: {e}"))?
             }
-            "--effort" => {
-                args.effort = match value("--effort")?.as_str() {
-                    "fast" => Effort::Fast,
-                    "paper" => Effort::Paper,
-                    other => return Err(format!("unknown effort `{other}`")),
-                }
-            }
-            "--strategy" => {
-                args.strategy = match value("--strategy")?.as_str() {
-                    "sa" => WtDupStrategy::SimulatedAnnealing,
-                    "woho" => WtDupStrategy::WohoProportional,
-                    "none" => WtDupStrategy::NoDuplication,
-                    other => return Err(format!("unknown strategy `{other}`")),
-                }
-            }
-            "--objective" => {
-                args.objective = match value("--objective")?.as_str() {
-                    "eff" => Objective::PowerEfficiency,
-                    "edp" => Objective::EnergyDelayProduct,
-                    other => return Err(format!("unknown objective `{other}`")),
-                }
-            }
-            "--macros" => {
-                args.macro_mode = match value("--macros")?.as_str() {
-                    "specialized" => MacroMode::Specialized,
-                    "identical" => MacroMode::Identical,
-                    other => return Err(format!("unknown macro mode `{other}`")),
-                }
-            }
+            "--effort" => args.effort = parse_effort(&value("--effort")?)?,
+            "--strategy" => args.strategy = parse_strategy(&value("--strategy")?)?,
+            "--objective" => args.objective = parse_objective(&value("--objective")?)?,
+            "--macros" => args.macro_mode = parse_macro_mode(&value("--macros")?)?,
             "--no-sharing" => args.sharing = false,
             "--seed" => {
-                args.seed =
-                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--cycle" => {
-                args.cycle_images =
-                    value("--cycle")?.parse().map_err(|e| format!("bad --cycle: {e}"))?
+                args.cycle_images = value("--cycle")?
+                    .parse()
+                    .map_err(|e| format!("bad --cycle: {e}"))?
             }
+            "--timeout" => {
+                let secs: f64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                args.timeout = Some(timeout_duration(secs).map_err(|e| format!("--timeout {e}"))?);
+            }
+            "--max-evals" => {
+                let n: usize = value("--max-evals")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-evals: {e}"))?;
+                if n == 0 {
+                    return Err("--max-evals must be at least 1".to_string());
+                }
+                args.max_evals = Some(n);
+            }
+            "--output" => {
+                args.output = match value("--output")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown output format `{other}`")),
+                }
+            }
+            "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
+                args.help = true;
+                return Ok(args);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.power <= 0.0 {
+    if args.batch_file.is_some() {
+        if args.model.is_some() || args.model_file.is_some() {
+            return Err("--batch cannot be combined with --model / --model-file".to_string());
+        }
+        // In batch mode --power is optional; when given it becomes the
+        // default for jobs without their own `power` field.
+        if args.power != 0.0 && !positive(args.power) {
+            return Err("--power must be positive".to_string());
+        }
+        return Ok(args);
+    }
+    if !positive(args.power) {
         return Err("--power <watts> is required and must be positive".to_string());
     }
     if args.model.is_some() == args.model_file.is_some() {
@@ -136,36 +208,72 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn load_model(args: &Args) -> Result<Model, String> {
-    if let Some(name) = &args.model {
-        return zoo::by_name(name).ok_or_else(|| format!("unknown zoo model `{name}`"));
+/// Strictly positive and comparable — rejects NaN alongside zero/negatives.
+fn positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+}
+
+/// Validates a timeout in seconds into a `Duration`, rejecting NaN, zero,
+/// negatives, and values `Duration::from_secs_f64` would panic on
+/// (infinity / overflow). A year bounds any meaningful synthesis run.
+fn timeout_duration(secs: f64) -> Result<Duration, String> {
+    const MAX_TIMEOUT_SECS: f64 = 365.0 * 24.0 * 3600.0;
+    if !positive(secs) {
+        return Err("must be positive".to_string());
     }
-    let path = args.model_file.as_ref().expect("validated by parse_args");
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !secs.is_finite() || secs > MAX_TIMEOUT_SECS {
+        return Err(format!("must be at most {MAX_TIMEOUT_SECS} seconds"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_effort(s: &str) -> Result<Effort, String> {
+    match s {
+        "fast" => Ok(Effort::Fast),
+        "paper" => Ok(Effort::Paper),
+        other => Err(format!("unknown effort `{other}`")),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<WtDupStrategyArg, String> {
+    match s {
+        "sa" => Ok(WtDupStrategyArg::Sa),
+        "woho" => Ok(WtDupStrategyArg::Woho),
+        "none" => Ok(WtDupStrategyArg::None),
+        other => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
+fn parse_objective(s: &str) -> Result<Objective, String> {
+    match s {
+        "eff" => Ok(Objective::PowerEfficiency),
+        "edp" => Ok(Objective::EnergyDelayProduct),
+        other => Err(format!("unknown objective `{other}`")),
+    }
+}
+
+fn parse_macro_mode(s: &str) -> Result<MacroMode, String> {
+    match s {
+        "specialized" => Ok(MacroMode::Specialized),
+        "identical" => Ok(MacroMode::Identical),
+        other => Err(format!("unknown macro mode `{other}`")),
+    }
+}
+
+fn load_named_model(name: &str) -> Result<Model, String> {
+    zoo::by_name(name).ok_or_else(|| format!("unknown zoo model `{name}`"))
+}
+
+fn load_model_file(path: &str) -> Result<Model, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     onnx::parse_model(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-    let model = match load_model(&args) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!("synthesizing {model} under {} W ...", args.power);
-
-    let mut options = SynthesisOptions::new(Watts(args.power))
+/// Builds the synthesis options a set of CLI-level args describes.
+fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String> {
+    let mut options = SynthesisOptions::new(Watts(power))
         .with_effort(args.effort)
-        .with_strategy(args.strategy.clone())
+        .with_strategy(args.strategy.to_strategy())
         .with_objective(args.objective)
         .with_macro_mode(args.macro_mode)
         .with_seed(args.seed);
@@ -175,31 +283,525 @@ fn main() -> ExitCode {
     if args.cycle_images > 0 {
         options = options.with_cycle_validation(args.cycle_images);
     }
+    if let Some(limit) = args.timeout {
+        options = options.with_time_budget(limit);
+    }
+    if let Some(n) = args.max_evals {
+        options = options.with_max_evaluations(n);
+    }
     if let Some(path) = &args.hw_file {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let hw =
+            pimsyn_arch::hardware_config::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        options = options.with_hardware(hw);
+    }
+    Ok(options)
+}
+
+/// Parses one job object of a `--batch` file into a request, with the
+/// CLI-level args as defaults.
+fn batch_job_request(
+    job: &JsonValue,
+    args: &Args,
+    index: usize,
+) -> Result<SynthesisRequest, String> {
+    let at = |detail: String| format!("batch job {index}: {detail}");
+    let obj = job
+        .as_object()
+        .ok_or_else(|| at("expected a JSON object".to_string()))?;
+    for (key, _) in obj {
+        match key.as_str() {
+            "model" | "model-file" | "power" | "effort" | "strategy" | "objective" | "macros"
+            | "sharing" | "seed" | "cycle" | "timeout" | "max-evals" | "label" => {}
+            other => return Err(at(format!("unknown field `{other}`"))),
+        }
+    }
+    let get_str = |key: &str| -> Result<Option<&str>, String> {
+        match job.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| at(format!("field `{key}` must be a string"))),
+        }
+    };
+    let get_num = |key: &str| -> Result<Option<f64>, String> {
+        match job.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| at(format!("field `{key}` must be a number"))),
+        }
+    };
+
+    let model = match (get_str("model")?, get_str("model-file")?) {
+        (Some(name), None) => load_named_model(name).map_err(at)?,
+        (None, Some(path)) => load_model_file(path).map_err(at)?,
+        _ => {
+            return Err(at(
+                "exactly one of `model` / `model-file` is required".to_string()
+            ))
+        }
+    };
+    let power = match get_num("power")? {
+        Some(p) => p,
+        // Fall back to the CLI-level --power, like every other flag.
+        None if positive(args.power) => args.power,
+        None => {
+            return Err(at(
+                "field `power` is required (or pass a default via --power)".to_string(),
+            ))
+        }
+    };
+    if !positive(power) {
+        return Err(at("field `power` must be positive".to_string()));
+    }
+
+    let mut job_args = args.clone();
+    if let Some(s) = get_str("effort")? {
+        job_args.effort = parse_effort(s).map_err(at)?;
+    }
+    if let Some(s) = get_str("strategy")? {
+        job_args.strategy = parse_strategy(s).map_err(at)?;
+    }
+    if let Some(s) = get_str("objective")? {
+        job_args.objective = parse_objective(s).map_err(at)?;
+    }
+    if let Some(s) = get_str("macros")? {
+        job_args.macro_mode = parse_macro_mode(s).map_err(at)?;
+    }
+    if let Some(v) = job.get("sharing") {
+        job_args.sharing = v
+            .as_bool()
+            .ok_or_else(|| at("field `sharing` must be a boolean".to_string()))?;
+    }
+    if let Some(n) = get_num("seed")? {
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(at("field `seed` must be a non-negative integer".to_string()));
+        }
+        job_args.seed = n as u64;
+    }
+    if let Some(n) = get_num("cycle")? {
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(at(
+                "field `cycle` must be a non-negative integer".to_string()
+            ));
+        }
+        job_args.cycle_images = n as usize;
+    }
+    if let Some(n) = get_num("timeout")? {
+        job_args.timeout =
+            Some(timeout_duration(n).map_err(|e| at(format!("field `timeout` {e}")))?);
+    }
+    if let Some(n) = get_num("max-evals")? {
+        // Same rule as the --max-evals flag: a positive integer.
+        if n < 1.0 || n.fract() != 0.0 {
+            return Err(at(
+                "field `max-evals` must be a positive integer".to_string()
+            ));
+        }
+        job_args.max_evals = Some(n as usize);
+    }
+
+    let options = options_from_args(&job_args, power).map_err(at)?;
+    let mut request = SynthesisRequest::new(model, options);
+    if let Some(label) = get_str("label")? {
+        request = request.with_label(label);
+    }
+    Ok(request)
+}
+
+fn load_batch(args: &Args) -> Result<Vec<SynthesisRequest>, String> {
+    let path = args.batch_file.as_ref().expect("validated by parse_args");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let jobs = doc
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a JSON array of jobs"))?;
+    if jobs.is_empty() {
+        return Err(format!("{path}: batch is empty"));
+    }
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| batch_job_request(job, args, i))
+        .collect()
+}
+
+/// Renders one progress event as a human line for stderr. Returns `None`
+/// for events that stay silent at CLI verbosity (per-stage ticks).
+///
+/// Point/best values are the *objective fitness*, so their unit follows
+/// what is optimized (TOPS/W by default, reciprocal EDP under `--objective
+/// edp`); the `done:` line always reports TOPS/W.
+fn progress_line(event: &SynthesisEvent, objective: Objective) -> Option<String> {
+    let unit = match objective {
+        Objective::PowerEfficiency => "TOPS/W",
+        Objective::EnergyDelayProduct => "1/(ms*mJ)",
+    };
+    match event {
+        SynthesisEvent::JobStarted { job, label } => {
+            Some(format!("[job {job}] {label}: started"))
+        }
+        SynthesisEvent::DesignPointEvaluated {
+            job, point, point_index, best_efficiency, evaluations,
+        } => Some(format!(
+            "  [job {job}] point {point_index} ({point}): {best_efficiency:.3} {unit} after {evaluations} evaluations"
+        )),
+        SynthesisEvent::ImprovedBest { job, point_index, fitness } => {
+            Some(format!("  [job {job}] new best {fitness:.3} {unit} (point {point_index})"))
+        }
+        SynthesisEvent::Finished { job, efficiency, evaluations, stop_reason, elapsed, error } => {
+            Some(match (efficiency, error) {
+                (Some(eff), _) => {
+                    let reason = stop_reason
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "completed".to_string());
+                    format!(
+                        "[job {job}] done: {eff:.3} TOPS/W, {evaluations} evaluations in {:.2} s ({reason})",
+                        elapsed.as_secs_f64()
+                    )
+                }
+                (None, Some(msg)) => format!("[job {job}] failed: {msg}"),
+                (None, None) => format!("[job {job}] failed"),
+            })
+        }
+        SynthesisEvent::StageStarted { .. } | SynthesisEvent::StageFinished { .. } => None,
+    }
+}
+
+/// The job index an event belongs to.
+fn event_job(event: &SynthesisEvent) -> usize {
+    match event {
+        SynthesisEvent::JobStarted { job, .. }
+        | SynthesisEvent::StageStarted { job, .. }
+        | SynthesisEvent::StageFinished { job, .. }
+        | SynthesisEvent::DesignPointEvaluated { job, .. }
+        | SynthesisEvent::ImprovedBest { job, .. }
+        | SynthesisEvent::Finished { job, .. } => *job,
+    }
+}
+
+fn emit_single(result: &SynthesisResult, output: &OutputFormat) {
+    match output {
+        OutputFormat::Text => println!("{}", result.report_text()),
+        OutputFormat::Json => println!("{}", SynthesisSummary::from_result(result).to_json()),
+    }
+}
+
+fn emit_batch(
+    requests: &[SynthesisRequest],
+    results: &[Result<SynthesisResult, SynthesisError>],
+    output: &OutputFormat,
+) {
+    match output {
+        OutputFormat::Text => {
+            for (request, result) in requests.iter().zip(results) {
+                println!("=== job: {} ===", request.display_label());
+                match result {
+                    Ok(r) => println!("{}", r.report_text()),
+                    Err(e) => println!("failed: {e}\n"),
+                }
             }
-        };
-        match pimsyn_arch::hardware_config::from_json(&text) {
-            Ok(hw) => options = options.with_hardware(hw),
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
+        }
+        OutputFormat::Json => {
+            let jobs: Vec<JsonValue> = requests
+                .iter()
+                .zip(results)
+                .map(|(request, result)| {
+                    let mut fields: Vec<(String, JsonValue)> = vec![
+                        ("label".into(), JsonValue::String(request.display_label())),
+                        ("ok".into(), JsonValue::Bool(result.is_ok())),
+                    ];
+                    match result {
+                        Ok(r) => fields
+                            .push(("summary".into(), SynthesisSummary::from_result(r).to_json())),
+                        Err(e) => fields.push(("error".into(), JsonValue::String(e.to_string()))),
+                    }
+                    JsonValue::Object(fields)
+                })
+                .collect();
+            println!("{}", JsonValue::Array(jobs));
+        }
+    }
+}
+
+fn run_single(args: &Args) -> ExitCode {
+    let model = match &args.model {
+        Some(name) => load_named_model(name),
+        None => load_model_file(args.model_file.as_ref().expect("validated by parse_args")),
+    };
+    let model = match model {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = match options_from_args(args, args.power) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        eprintln!("synthesizing {model} under {} W ...", args.power);
+    }
+
+    let engine = SynthesisEngine::new();
+    let job = engine.spawn(SynthesisRequest::new(model, options));
+    for event in job.events() {
+        if !args.quiet {
+            if let Some(line) = progress_line(&event, args.objective) {
+                eprintln!("{line}");
             }
         }
     }
-
-    match Synthesizer::new(options).synthesize(&model) {
+    match job.join() {
         Ok(result) => {
-            println!("{}", result.report_text());
+            emit_single(&result, &args.output);
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("synthesis failed: {e}");
+            // With progress on, the Finished event already reported the
+            // failure; don't print it twice.
+            if args.quiet {
+                eprintln!("synthesis failed: {e}");
+            }
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_batch(args: &Args) -> ExitCode {
+    let requests = match load_batch(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        eprintln!("synthesizing batch of {} jobs ...", requests.len());
+    }
+
+    let engine = SynthesisEngine::new();
+    let cancel = CancelToken::new();
+    let (sink, events) = ChannelSink::pair();
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let worker = s.spawn(|| {
+            let out = engine.synthesize_batch_observed(&requests, &sink, &cancel);
+            drop(sink); // close the event stream so the printer loop ends
+            out
+        });
+        for event in events {
+            if !args.quiet {
+                // Jobs can override the objective, so label each line with
+                // the objective of the job it belongs to.
+                let objective = requests
+                    .get(event_job(&event))
+                    .map(|r| r.options.objective)
+                    .unwrap_or(args.objective);
+                if let Some(line) = progress_line(&event, objective) {
+                    eprintln!("{line}");
+                }
+            }
+        }
+        results = worker.join().expect("batch worker panicked");
+    });
+
+    emit_batch(&requests, &results, &args.output);
+    if results.iter().all(Result::is_ok) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.batch_file.is_some() {
+        run_batch(&args)
+    } else {
+        run_single(&args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn minimal_invocation_parses_with_library_defaults() {
+        let args = parse(&["--model", "alexnet-cifar", "--power", "9"]).unwrap();
+        assert_eq!(args.model.as_deref(), Some("alexnet-cifar"));
+        assert_eq!(args.power, 9.0);
+        // The CLI seed default is the library default (the flow is
+        // deterministic given the seed, so CLI and API runs agree).
+        assert_eq!(args.seed, SynthesisOptions::DEFAULT_SEED);
+        assert_eq!(args.effort, Effort::Fast);
+        assert_eq!(args.output, OutputFormat::Text);
+        assert!(args.timeout.is_none());
+        assert!(args.max_evals.is_none());
+        assert!(!args.quiet);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse(&["--model", "vgg16", "--power", "9", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn missing_power_is_rejected() {
+        let err = parse(&["--model", "vgg16"]).unwrap_err();
+        assert!(err.contains("--power"), "{err}");
+        let err = parse(&["--model", "vgg16", "--power", "-3"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn model_and_model_file_are_mutually_exclusive() {
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--model-file",
+            "net.json",
+            "--power",
+            "9",
+        ])
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = parse(&["--power", "9"]).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn bad_timeout_is_rejected() {
+        let err = parse(&["--model", "vgg16", "--power", "9", "--timeout", "soon"]).unwrap_err();
+        assert!(err.contains("bad --timeout"), "{err}");
+        let err = parse(&["--model", "vgg16", "--power", "9", "--timeout", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse(&["--model", "vgg16", "--power", "9", "--timeout"]).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
+        // Values Duration::from_secs_f64 would panic on must error cleanly.
+        for huge in ["inf", "1e300", "nan"] {
+            let err = parse(&["--model", "vgg16", "--power", "9", "--timeout", huge]).unwrap_err();
+            assert!(err.contains("--timeout"), "{err}");
+        }
+    }
+
+    #[test]
+    fn budget_flags_parse() {
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--timeout",
+            "1.5",
+            "--max-evals",
+            "100",
+        ])
+        .unwrap();
+        assert_eq!(args.timeout, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(args.max_evals, Some(100));
+        let err = parse(&["--model", "vgg16", "--power", "9", "--max-evals", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn batch_conflicts_with_model_flags() {
+        let err = parse(&["--batch", "jobs.json", "--model", "vgg16"]).unwrap_err();
+        assert!(err.contains("--batch"), "{err}");
+        // Batch mode needs neither --power nor --model.
+        let args = parse(&["--batch", "jobs.json"]).unwrap();
+        assert_eq!(args.batch_file.as_deref(), Some("jobs.json"));
+        // ... but an explicit --power must still be sane.
+        let err = parse(&["--batch", "jobs.json", "--power", "-1"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn batch_power_flag_is_the_job_default() {
+        let cli = parse(&["--batch", "jobs.json", "--power", "9"]).unwrap();
+        let job = JsonValue::parse(r#"{"model": "alexnet-cifar"}"#).unwrap();
+        let request = batch_job_request(&job, &cli, 0).unwrap();
+        assert_eq!(request.options.power_budget, Watts(9.0));
+        // A job-level field still wins over the CLI default.
+        let job = JsonValue::parse(r#"{"model": "alexnet-cifar", "power": 12}"#).unwrap();
+        let request = batch_job_request(&job, &cli, 1).unwrap();
+        assert_eq!(request.options.power_budget, Watts(12.0));
+        // Without either, the error points at both spellings.
+        let bare = parse(&["--batch", "jobs.json"]).unwrap();
+        let job = JsonValue::parse(r#"{"model": "alexnet-cifar"}"#).unwrap();
+        let err = batch_job_request(&job, &bare, 0).unwrap_err();
+        assert!(err.contains("--power"), "{err}");
+    }
+
+    #[test]
+    fn output_format_parses() {
+        let args = parse(&["--model", "vgg16", "--power", "9", "--output", "json"]).unwrap();
+        assert_eq!(args.output, OutputFormat::Json);
+        let err = parse(&["--model", "vgg16", "--power", "9", "--output", "xml"]).unwrap_err();
+        assert!(err.contains("unknown output format"), "{err}");
+    }
+
+    #[test]
+    fn help_short_circuits_validation() {
+        let args = parse(&["--help"]).unwrap();
+        assert!(args.help);
+    }
+
+    #[test]
+    fn batch_job_request_applies_overrides_and_defaults() {
+        let cli = parse(&["--batch", "jobs.json", "--seed", "7", "--effort", "paper"]).unwrap();
+        let job = JsonValue::parse(
+            r#"{"model": "alexnet-cifar", "power": 9, "effort": "fast",
+                "label": "smoke", "max-evals": 50}"#,
+        )
+        .unwrap();
+        let request = batch_job_request(&job, &cli, 0).unwrap();
+        assert_eq!(request.display_label(), "smoke");
+        assert_eq!(request.options.power_budget, Watts(9.0));
+        assert_eq!(request.options.effort, Effort::Fast); // job override
+        assert_eq!(request.options.seed, 7); // CLI default inherited
+        assert_eq!(request.options.max_evaluations, Some(50));
+    }
+
+    #[test]
+    fn batch_job_request_rejects_bad_jobs() {
+        let cli = parse(&["--batch", "jobs.json"]).unwrap();
+        for (job, needle) in [
+            (r#"{"power": 9}"#, "exactly one"),
+            (r#"{"model": "alexnet-cifar"}"#, "power"),
+            (r#"{"model": "nope", "power": 9}"#, "unknown zoo model"),
+            (
+                r#"{"model": "alexnet-cifar", "power": 9, "surprise": 1}"#,
+                "unknown field",
+            ),
+            (r#"[1, 2]"#, "expected a JSON object"),
+        ] {
+            let parsed = JsonValue::parse(job).unwrap();
+            let err = batch_job_request(&parsed, &cli, 3).unwrap_err();
+            assert!(err.contains("batch job 3"), "{err}");
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
     }
 }

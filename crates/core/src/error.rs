@@ -18,6 +18,9 @@ pub enum SynthesisError {
         /// What was wrong.
         detail: String,
     },
+    /// The job was cancelled through its
+    /// [`CancelToken`](crate::CancelToken).
+    Cancelled,
 }
 
 impl fmt::Display for SynthesisError {
@@ -28,6 +31,7 @@ impl fmt::Display for SynthesisError {
             SynthesisError::InvalidOptions { detail } => {
                 write!(f, "invalid synthesis options: {detail}")
             }
+            SynthesisError::Cancelled => write!(f, "synthesis cancelled"),
         }
     }
 }
@@ -38,13 +42,18 @@ impl Error for SynthesisError {
             SynthesisError::Dse(e) => Some(e),
             SynthesisError::Sim(e) => Some(e),
             SynthesisError::InvalidOptions { .. } => None,
+            SynthesisError::Cancelled => None,
         }
     }
 }
 
 impl From<DseError> for SynthesisError {
     fn from(e: DseError) -> Self {
-        SynthesisError::Dse(e)
+        match e {
+            // Cancellation is a caller decision, not an exploration failure.
+            DseError::Cancelled => SynthesisError::Cancelled,
+            other => SynthesisError::Dse(other),
+        }
     }
 }
 

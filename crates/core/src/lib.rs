@@ -12,6 +12,8 @@
 //!
 //! # Quickstart
 //!
+//! One blocking call ([`Synthesizer`]):
+//!
 //! ```
 //! use pimsyn::{Synthesizer, SynthesisOptions};
 //! use pimsyn_arch::Watts;
@@ -26,6 +28,44 @@
 //! # }
 //! ```
 //!
+//! # Jobs, events, cancellation, batches
+//!
+//! [`SynthesisEngine`] runs the same flow as observable, cancellable,
+//! budgeted *jobs*:
+//!
+//! ```
+//! use std::time::Duration;
+//! use pimsyn::{SynthesisEngine, SynthesisEvent, SynthesisOptions, SynthesisRequest};
+//! use pimsyn_arch::Watts;
+//! use pimsyn_model::zoo;
+//!
+//! let engine = SynthesisEngine::new();
+//!
+//! // A spawned job streams progress events and can be cancelled.
+//! let job = engine.spawn(SynthesisRequest::new(
+//!     zoo::alexnet_cifar(10),
+//!     SynthesisOptions::fast(Watts(6.0))
+//!         .with_seed(3)
+//!         .with_time_budget(Duration::from_secs(60)),
+//! ));
+//! for event in job.events() {
+//!     if let SynthesisEvent::ImprovedBest { fitness, .. } = event {
+//!         eprintln!("new best: {fitness:.3} TOPS/W");
+//!     }
+//! }
+//! let result = job.join().expect("feasible at 6 W");
+//!
+//! // A batch fans several requests over a worker pool; one infeasible
+//! // job does not fail the rest.
+//! let batch = engine.synthesize_batch(&[
+//!     SynthesisRequest::new(zoo::alexnet_cifar(10), SynthesisOptions::fast(Watts(6.0))),
+//!     SynthesisRequest::new(zoo::alexnet_cifar(10), SynthesisOptions::fast(Watts(0.01))),
+//! ]);
+//! assert!(batch[0].is_ok());
+//! assert!(batch[1].is_err());
+//! # let _ = result;
+//! ```
+//!
 //! The companion crates expose the substrates: [`pimsyn_model`] (CNNs),
 //! [`pimsyn_arch`] (hardware), [`pimsyn_ir`] (dataflow IR), [`pimsyn_sim`]
 //! (simulators) and [`pimsyn_dse`] (search).
@@ -35,16 +75,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod error;
+mod events;
 mod options;
 mod report;
+mod request;
+mod summary;
 mod synthesis;
 
+pub use engine::{SynthesisEngine, SynthesisJob};
 pub use error::SynthesisError;
+pub use events::{CallbackSink, ChannelSink, CollectingSink, EventSink, NullSink, SynthesisEvent};
 pub use options::{Effort, SynthesisOptions};
+pub use request::SynthesisRequest;
+pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use pimsyn_arch::{Architecture, MacroMode, Watts};
-pub use pimsyn_dse::{DesignSpace, Objective, WtDupStrategy};
+pub use pimsyn_dse::{
+    CancelToken, DesignPoint, DesignSpace, Objective, StopReason, SynthesisStage, WtDupStrategy,
+};
 pub use pimsyn_sim::SimReport;

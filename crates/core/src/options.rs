@@ -1,8 +1,12 @@
 //! Synthesis options: everything a user can configure about the flow, with
 //! paper-faithful defaults.
 
+use std::time::Duration;
+
 use pimsyn_arch::{HardwareParams, MacroMode, Watts};
-use pimsyn_dse::{DesignSpace, DseConfig, EaConfig, Objective, SaConfig, WtDupStrategy};
+use pimsyn_dse::{
+    DesignSpace, DseConfig, EaConfig, ExploreBudget, Objective, SaConfig, WtDupStrategy,
+};
 
 /// How much search effort to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -60,9 +64,21 @@ pub struct SynthesisOptions {
     /// Images streamed through the pipeline during cycle validation (>= 1;
     /// more images sharpen the steady-state throughput estimate).
     pub cycle_images: usize,
+    /// Wall-clock budget for the exploration. When it expires the search
+    /// stops gracefully and returns the best implementation found so far.
+    pub time_budget: Option<Duration>,
+    /// Maximum candidate-architecture evaluations across the whole
+    /// exploration; like [`time_budget`](Self::time_budget), exhaustion
+    /// stops the search gracefully.
+    pub max_evaluations: Option<usize>,
 }
 
 impl SynthesisOptions {
+    /// Default base RNG seed. The whole flow is deterministic given the
+    /// seed: two runs with identical options (and models) produce identical
+    /// architectures, even with `parallel = true`.
+    pub const DEFAULT_SEED: u64 = 0x9127_51AE;
+
     /// Paper-faithful options under the given power constraint.
     pub fn new(power_budget: Watts) -> Self {
         Self {
@@ -75,15 +91,21 @@ impl SynthesisOptions {
             macro_mode: MacroMode::Specialized,
             allow_macro_sharing: true,
             parallel: true,
-            seed: 0x9127_51AE,
+            seed: Self::DEFAULT_SEED,
             cycle_validation: false,
             cycle_images: 3,
+            time_budget: None,
+            max_evaluations: None,
         }
     }
 
     /// Fast-effort options (reduced space, small metaheuristic budgets).
     pub fn fast(power_budget: Watts) -> Self {
-        Self { effort: Effort::Fast, parallel: false, ..Self::new(power_budget) }
+        Self {
+            effort: Effort::Fast,
+            parallel: false,
+            ..Self::new(power_budget)
+        }
     }
 
     /// Sets the search effort.
@@ -142,6 +164,32 @@ impl SynthesisOptions {
         self
     }
 
+    /// Bounds exploration wall-clock time; on expiry the search returns the
+    /// best implementation found so far.
+    pub fn with_time_budget(mut self, limit: Duration) -> Self {
+        self.time_budget = Some(limit);
+        self
+    }
+
+    /// Bounds total candidate-architecture evaluations.
+    pub fn with_max_evaluations(mut self, n: usize) -> Self {
+        self.max_evaluations = Some(n);
+        self
+    }
+
+    /// Lowers the configured budgets to the DSE layer (deadline anchored at
+    /// the moment of the call).
+    pub(crate) fn to_explore_budget(&self) -> ExploreBudget {
+        let mut budget = ExploreBudget::unlimited();
+        if let Some(limit) = self.time_budget {
+            budget = budget.with_timeout(limit);
+        }
+        if let Some(n) = self.max_evaluations {
+            budget = budget.with_max_evaluations(n);
+        }
+        budget
+    }
+
     /// Lowers to the DSE-layer configuration.
     pub(crate) fn to_dse_config(&self) -> DseConfig {
         let (space, sa, ea) = match self.effort {
@@ -154,7 +202,10 @@ impl SynthesisOptions {
             hw: self.hw.clone(),
             space,
             strategy: self.strategy.clone(),
-            sa: SaConfig { seed: self.seed ^ 0x5A, ..sa },
+            sa: SaConfig {
+                seed: self.seed ^ 0x5A,
+                ..sa
+            },
             ea: EaConfig {
                 seed: self.seed ^ 0xEA,
                 allow_sharing: self.allow_macro_sharing,

@@ -77,7 +77,11 @@ pub(crate) fn render(result: &SynthesisResult) -> String {
 
     let _ = writeln!(out);
     let _ = writeln!(out, "--- evaluation ---");
-    let _ = writeln!(out, "peak efficiency: {:.3} TOPS/W", result.peak_efficiency());
+    let _ = writeln!(
+        out,
+        "peak efficiency: {:.3} TOPS/W",
+        result.peak_efficiency()
+    );
     let _ = writeln!(out, "analytic : {}", result.analytic);
     if let Some(cycle) = &result.cycle {
         let _ = writeln!(out, "cycle    : {cycle}");

@@ -1,0 +1,58 @@
+//! Synthesis job descriptions: what to synthesize and under which options.
+
+use pimsyn_model::Model;
+
+use crate::options::SynthesisOptions;
+
+/// One unit of work for a [`SynthesisEngine`](crate::SynthesisEngine): a
+/// model plus the options to synthesize it under.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn::{SynthesisOptions, SynthesisRequest};
+/// use pimsyn_arch::Watts;
+/// use pimsyn_model::zoo;
+///
+/// let req = SynthesisRequest::new(
+///     zoo::alexnet_cifar(10),
+///     SynthesisOptions::fast(Watts(6.0)),
+/// )
+/// .with_label("alexnet-smoke");
+/// assert_eq!(req.display_label(), "alexnet-smoke");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthesisRequest {
+    /// The CNN to synthesize an accelerator for.
+    pub model: Model,
+    /// Flow configuration (power budget, effort, seeds, budgets, ...).
+    pub options: SynthesisOptions,
+    /// Optional human-readable label, used in batch progress reporting.
+    pub label: Option<String>,
+}
+
+impl SynthesisRequest {
+    /// A request synthesizing `model` under `options`.
+    pub fn new(model: Model, options: SynthesisOptions) -> Self {
+        Self {
+            model,
+            options,
+            label: None,
+        }
+    }
+
+    /// Attaches a label for progress reporting.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The label to show for this request: the explicit label when set, the
+    /// model name otherwise.
+    pub fn display_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.model.name().to_string())
+    }
+}

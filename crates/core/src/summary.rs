@@ -1,0 +1,225 @@
+//! Machine-readable synthesis summaries: a flat, stable record of one
+//! synthesis run, serializable to JSON for scripting and service
+//! integration (`pimsyn --output json`).
+//!
+//! No external serialization framework is available offline, so the JSON
+//! encoding is hand-rolled on top of the workspace's own
+//! [`JsonValue`](pimsyn_model::json::JsonValue) document model (the same
+//! one the model/hardware ingestion parsers use).
+
+use std::fmt;
+
+use pimsyn_dse::StopReason;
+use pimsyn_model::json::JsonValue;
+
+use crate::synthesis::SynthesisResult;
+
+/// A flat summary of one synthesis run, designed for JSON output.
+///
+/// # Example
+///
+/// ```
+/// use pimsyn::{SynthesisOptions, SynthesisSummary, Synthesizer};
+/// use pimsyn_arch::Watts;
+/// use pimsyn_model::zoo;
+///
+/// # fn main() -> Result<(), pimsyn::SynthesisError> {
+/// let model = zoo::alexnet_cifar(10);
+/// let opts = SynthesisOptions::fast(Watts(6.0)).with_seed(3);
+/// let result = Synthesizer::new(opts).synthesize(&model)?;
+/// let summary = SynthesisSummary::from_result(&result);
+/// let json = summary.to_json().to_string();
+/// assert!(json.contains("\"model\""));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisSummary {
+    /// Model name.
+    pub model: String,
+    /// Total power constraint in watts.
+    pub power_budget_w: f64,
+    /// Analytic power efficiency in TOPS/W (the optimized objective).
+    pub efficiency_tops_per_watt: f64,
+    /// Peak power efficiency in TOPS/W (Table IV metric).
+    pub peak_efficiency_tops_per_watt: f64,
+    /// Effective throughput in ops/s.
+    pub throughput_ops: f64,
+    /// Single-inference latency in seconds.
+    pub latency_s: f64,
+    /// Crossbar size (rows = columns).
+    pub crossbar_size: usize,
+    /// ReRAM cell resolution in bits.
+    pub cell_bits: u32,
+    /// DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Share of power given to ReRAM arrays.
+    pub ratio_rram: f64,
+    /// Number of macros.
+    pub macro_count: usize,
+    /// Total crossbars.
+    pub crossbar_count: usize,
+    /// Per-layer weight-duplication factors.
+    pub wt_dup: Vec<usize>,
+    /// Candidate architectures evaluated during exploration.
+    pub evaluations: usize,
+    /// Wall-clock synthesis time in seconds.
+    pub elapsed_s: f64,
+    /// Why the exploration ended.
+    pub stop_reason: StopReason,
+    /// Whether a cycle-accurate validation report is included.
+    pub cycle_validated: bool,
+    /// Cycle-accurate efficiency (TOPS/W), when validated.
+    pub cycle_efficiency_tops_per_watt: Option<f64>,
+}
+
+impl SynthesisSummary {
+    /// Summarizes a synthesis result.
+    pub fn from_result(result: &SynthesisResult) -> Self {
+        let arch = &result.architecture;
+        Self {
+            model: result.model.name().to_string(),
+            power_budget_w: arch.power_budget.value(),
+            efficiency_tops_per_watt: result.analytic.efficiency_tops_per_watt(),
+            peak_efficiency_tops_per_watt: result.peak_efficiency(),
+            throughput_ops: result.analytic.throughput_ops,
+            latency_s: result.analytic.latency.value(),
+            crossbar_size: arch.crossbar.size(),
+            cell_bits: arch.crossbar.cell_bits(),
+            dac_bits: arch.dac.bits(),
+            ratio_rram: arch.ratio_rram,
+            macro_count: arch.macro_count(),
+            crossbar_count: arch.crossbar_count(),
+            wt_dup: result.wt_dup.clone(),
+            evaluations: result.evaluations,
+            elapsed_s: result.elapsed.as_secs_f64(),
+            stop_reason: result.stop_reason,
+            cycle_validated: result.cycle.is_some(),
+            cycle_efficiency_tops_per_watt: result
+                .cycle
+                .as_ref()
+                .map(|r| r.efficiency_tops_per_watt()),
+        }
+    }
+
+    /// Renders the summary as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("model".into(), JsonValue::String(self.model.clone())),
+            (
+                "power_budget_w".into(),
+                JsonValue::Number(self.power_budget_w),
+            ),
+            (
+                "efficiency_tops_per_watt".into(),
+                JsonValue::Number(self.efficiency_tops_per_watt),
+            ),
+            (
+                "peak_efficiency_tops_per_watt".into(),
+                JsonValue::Number(self.peak_efficiency_tops_per_watt),
+            ),
+            (
+                "throughput_ops".into(),
+                JsonValue::Number(self.throughput_ops),
+            ),
+            ("latency_s".into(), JsonValue::Number(self.latency_s)),
+            (
+                "crossbar_size".into(),
+                JsonValue::Number(self.crossbar_size as f64),
+            ),
+            ("cell_bits".into(), JsonValue::Number(self.cell_bits as f64)),
+            ("dac_bits".into(), JsonValue::Number(self.dac_bits as f64)),
+            ("ratio_rram".into(), JsonValue::Number(self.ratio_rram)),
+            (
+                "macro_count".into(),
+                JsonValue::Number(self.macro_count as f64),
+            ),
+            (
+                "crossbar_count".into(),
+                JsonValue::Number(self.crossbar_count as f64),
+            ),
+            (
+                "wt_dup".into(),
+                JsonValue::Array(
+                    self.wt_dup
+                        .iter()
+                        .map(|&d| JsonValue::Number(d as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "evaluations".into(),
+                JsonValue::Number(self.evaluations as f64),
+            ),
+            ("elapsed_s".into(), JsonValue::Number(self.elapsed_s)),
+            (
+                "stop_reason".into(),
+                JsonValue::String(self.stop_reason.to_string()),
+            ),
+            (
+                "cycle_validated".into(),
+                JsonValue::Bool(self.cycle_validated),
+            ),
+        ];
+        if let Some(eff) = self.cycle_efficiency_tops_per_watt {
+            fields.push((
+                "cycle_efficiency_tops_per_watt".into(),
+                JsonValue::Number(eff),
+            ));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+impl fmt::Display for SynthesisSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SynthesisOptions;
+    use crate::synthesis::Synthesizer;
+    use pimsyn_arch::Watts;
+    use pimsyn_model::zoo;
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let model = zoo::alexnet_cifar(10);
+        let opts = SynthesisOptions::fast(Watts(6.0)).with_seed(3);
+        let result = Synthesizer::new(opts).synthesize(&model).unwrap();
+        let summary = SynthesisSummary::from_result(&result);
+        let text = summary.to_string();
+        let parsed = JsonValue::parse(&text).expect("summary is valid JSON");
+        assert_eq!(
+            parsed.get("model").and_then(JsonValue::as_str),
+            Some("alexnet-cifar")
+        );
+        assert_eq!(
+            parsed.get("stop_reason").and_then(JsonValue::as_str),
+            Some("completed")
+        );
+        assert!(
+            parsed
+                .get("efficiency_tops_per_watt")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(
+            parsed
+                .get("wt_dup")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            model.weight_layer_count()
+        );
+        assert_eq!(
+            parsed.get("cycle_validated").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+        assert!(parsed.get("cycle_efficiency_tops_per_watt").is_none());
+    }
+}

@@ -1,17 +1,20 @@
 //! The end-to-end synthesis flow (Fig. 3): CNN + power constraint in,
 //! architecture + dataflow schedule + evaluation out.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pimsyn_arch::Architecture;
-use pimsyn_dse::{run_dse, PointResult};
+use pimsyn_dse::{CancelToken, PointResult, StopReason};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
-use pimsyn_sim::{simulate, SimReport};
+use pimsyn_sim::SimReport;
 
+use crate::engine::SynthesisEngine;
 use crate::error::SynthesisError;
+use crate::events::NullSink;
 use crate::options::SynthesisOptions;
 use crate::report;
+use crate::request::SynthesisRequest;
 
 /// The PIMSYN synthesizer: turn-key transformation of CNN applications into
 /// PIM accelerator implementations.
@@ -51,6 +54,11 @@ impl Synthesizer {
     /// embedded DSE flow, returning the power-efficiency-optimal
     /// implementation found.
     ///
+    /// This is the one-call facade over a single-job
+    /// [`SynthesisEngine`](crate::SynthesisEngine) run with no observer; use
+    /// the engine directly for progress events, cancellation, budgets, or
+    /// batches.
+    ///
     /// # Errors
     ///
     /// - [`SynthesisError::InvalidOptions`] for inconsistent options.
@@ -58,35 +66,8 @@ impl Synthesizer {
     ///   the power constraint.
     /// - [`SynthesisError::Sim`] if the optional cycle validation fails.
     pub fn synthesize(&self, model: &Model) -> Result<SynthesisResult, SynthesisError> {
-        if self.options.cycle_validation && self.options.cycle_images == 0 {
-            return Err(SynthesisError::InvalidOptions {
-                detail: "cycle validation needs at least one image".to_string(),
-            });
-        }
-        let started = Instant::now();
-        let cfg = self.options.to_dse_config();
-        let outcome = run_dse(model, &cfg)?;
-        let cycle = if self.options.cycle_validation {
-            Some(simulate(
-                model,
-                &outcome.dataflow,
-                &outcome.architecture,
-                self.options.cycle_images,
-            )?)
-        } else {
-            None
-        };
-        Ok(SynthesisResult {
-            model: model.clone(),
-            architecture: outcome.architecture,
-            dataflow: outcome.dataflow,
-            wt_dup: outcome.wt_dup,
-            analytic: outcome.report,
-            cycle,
-            evaluations: outcome.evaluations,
-            history: outcome.history,
-            elapsed: started.elapsed(),
-        })
+        let request = SynthesisRequest::new(model.clone(), self.options.clone());
+        SynthesisEngine::new().run(&request, &NullSink, &CancelToken::new())
     }
 }
 
@@ -109,6 +90,9 @@ pub struct SynthesisResult {
     pub evaluations: usize,
     /// Per-design-point exploration history.
     pub history: Vec<PointResult>,
+    /// Whether the search ran to completion or stopped on a time /
+    /// evaluation budget.
+    pub stop_reason: StopReason,
     /// Wall-clock synthesis time.
     pub elapsed: Duration,
 }
@@ -124,7 +108,8 @@ impl SynthesisResult {
     /// precision (the paper's Table IV metric).
     pub fn peak_efficiency(&self) -> f64 {
         let p = self.model.precision();
-        self.architecture.peak_power_efficiency(p.activation_bits(), p.weight_bits())
+        self.architecture
+            .peak_power_efficiency(p.activation_bits(), p.weight_bits())
     }
 
     /// Renders the full human-readable synthesis report.
@@ -191,13 +176,57 @@ mod tests {
 
     #[test]
     fn effort_presets_differ_in_evaluations() {
+        // The two presets must lower to genuinely different search scales:
+        // Paper traverses a strictly larger design space with strictly
+        // larger metaheuristic budgets (Table I: 36 outer points, 30 SA
+        // candidates; the fast preset is a reduced smoke configuration).
+        let fast = SynthesisOptions::fast(Watts(6.0)).to_dse_config();
+        let paper = SynthesisOptions::new(Watts(6.0)).to_dse_config();
+        assert!(
+            paper.space.outer_len() > fast.space.outer_len(),
+            "paper space ({}) must exceed fast space ({})",
+            paper.space.outer_len(),
+            fast.space.outer_len()
+        );
+        assert_eq!(paper.space.outer_len(), 36);
+        assert!(paper.space.dacs().len() > fast.space.dacs().len());
+        assert!(paper.sa.candidates > fast.sa.candidates);
+        assert!(paper.sa.iterations > fast.sa.iterations);
+        assert!(paper.ea.population > fast.ea.population);
+        assert!(paper.ea.generations > fast.ea.generations);
+
+        // Both lower coherently: the explicit effort field is what decides
+        // the space, and shared knobs (power, seed) survive the lowering.
+        for (opts, cfg) in [
+            (SynthesisOptions::fast(Watts(6.0)), &fast),
+            (SynthesisOptions::new(Watts(6.0)), &paper),
+        ] {
+            assert_eq!(cfg.total_power, opts.power_budget);
+            assert_eq!(cfg.seed, opts.seed);
+            assert_eq!(cfg.ea.allow_sharing, opts.allow_macro_sharing);
+        }
+
+        // And the larger preset really evaluates more candidates end to
+        // end, on a space small enough to keep the test quick: pin a
+        // single-point space and scale only the metaheuristic budgets.
         let model = zoo::alexnet_cifar(10);
-        let fast = Synthesizer::new(fast_options()).synthesize(&model).unwrap();
-        // A (still reduced but larger) search must evaluate more candidates.
-        let mut more = fast_options();
-        more.effort = Effort::Fast;
-        let cfg = more.to_dse_config();
-        assert!(cfg.space.outer_len() >= 1);
-        assert!(fast.evaluations > 0);
+        let space = pimsyn_dse::DesignSpace::single(
+            0.3,
+            pimsyn_arch::CrossbarConfig::new(128, 2).unwrap(),
+            1,
+        );
+        let small = Synthesizer::new(fast_options().with_design_space(space.clone()))
+            .synthesize(&model)
+            .unwrap();
+        let mut larger_opts = fast_options().with_design_space(space);
+        larger_opts.effort = Effort::Paper;
+        larger_opts.max_evaluations = Some(small.evaluations * 3);
+        let larger = Synthesizer::new(larger_opts).synthesize(&model).unwrap();
+        assert!(
+            larger.evaluations > small.evaluations,
+            "paper-effort run ({}) must evaluate more than fast run ({})",
+            larger.evaluations,
+            small.evaluations
+        );
     }
 }

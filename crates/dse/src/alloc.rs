@@ -57,20 +57,16 @@ fn workload(df: &Dataflow, layer: usize, kind: ComponentKind) -> f64 {
 pub fn physical_macros(macros: &[usize], shares: &[Option<usize>]) -> usize {
     let mut total = 0usize;
     for (i, &m) in macros.iter().enumerate() {
-        match shares[i] {
-            None => {
-                // Group size is the max over this root and its sharers.
-                let group_max =
-                    shares.iter().enumerate().fold(m, |acc, (k, &s)| {
-                        if s == Some(i) {
-                            acc.max(macros[k])
-                        } else {
-                            acc
-                        }
-                    });
-                total += group_max;
-            }
-            Some(_) => {}
+        if shares[i].is_none() {
+            // Group size is the max over this root and its sharers.
+            let group_max = shares.iter().enumerate().fold(m, |acc, (k, &s)| {
+                if s == Some(i) {
+                    acc.max(macros[k])
+                } else {
+                    acc
+                }
+            });
+            total += group_max;
         }
     }
     total
@@ -102,7 +98,11 @@ pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseEr
         .collect();
     if req.macro_mode == MacroMode::Identical {
         // Identical macros must carry the worst-case converter.
-        let max_bits = adcs.iter().map(AdcConfig::bits).max().unwrap_or(hw.adc_min_bits);
+        let max_bits = adcs
+            .iter()
+            .map(AdcConfig::bits)
+            .max()
+            .unwrap_or(hw.adc_min_bits);
         adcs = vec![AdcConfig::new(max_bits, hw); l];
     }
 
@@ -116,23 +116,27 @@ pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseEr
 
     let periph_budget = req.total_power * (1.0 - req.point.ratio_rram) - fixed;
     if periph_budget.value() <= 0.0 {
-        return Err(DseError::NoPeripheralPower { remaining: periph_budget.value() });
+        return Err(DseError::NoPeripheralPower {
+            remaining: periph_budget.value(),
+        });
     }
 
     // Eq. (6): D = sum_ic (P_c W_ic / F_c) / budget; n_ic = W_ic / (F_c D).
     let mut denom = 0.0f64;
-    for i in 0..l {
+    for (i, &adc) in adcs.iter().enumerate() {
         for kind in ComponentKind::ALL {
             let w = workload(df, i, kind);
             if w > 0.0 {
-                let p = kind.unit_power(adcs[i], hw).value();
-                let f = kind.unit_rate(adcs[i], hw).value();
+                let p = kind.unit_power(adc, hw).value();
+                let f = kind.unit_rate(adc, hw).value();
                 denom += p * w / f;
             }
         }
     }
     if denom <= 0.0 {
-        return Err(DseError::NoPeripheralPower { remaining: periph_budget.value() });
+        return Err(DseError::NoPeripheralPower {
+            remaining: periph_budget.value(),
+        });
     }
     let delay = denom / periph_budget.value();
 
@@ -163,7 +167,7 @@ pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseEr
                     let n = counts[i].count(kind) as f64;
                     let f = kind.unit_rate(adcs[i], hw).value();
                     let d = w / (f * n);
-                    if worst.map_or(true, |(_, _, wd)| d > wd) {
+                    if worst.is_none_or(|(_, _, wd)| d > wd) {
                         worst = Some((i, kind, d));
                     }
                 }
@@ -185,7 +189,15 @@ pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseEr
     }
 
     if req.macro_mode == MacroMode::Identical {
-        homogenize(&mut counts, req.macros, n_macros, &adcs, hw, periph_budget, df);
+        homogenize(
+            &mut counts,
+            req.macros,
+            n_macros,
+            &adcs,
+            hw,
+            periph_budget,
+            df,
+        );
     }
 
     let layers: Vec<LayerHardware> = df
@@ -256,8 +268,11 @@ fn homogenize(
     for (i, c) in counts.iter_mut().enumerate() {
         for kind in ComponentKind::ALL {
             let needed = workload(df, i, kind) > 0.0;
-            *c.count_mut(kind) =
-                if needed { (per_macro.count(kind) * macros[i]).max(1) } else { 0 };
+            *c.count_mut(kind) = if needed {
+                (per_macro.count(kind) * macros[i]).max(1)
+            } else {
+                0
+            };
         }
     }
 }
@@ -274,8 +289,17 @@ mod tests {
         let dac = DacConfig::new(1).unwrap();
         let dup = vec![1; model.weight_layer_count()];
         let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
-        let point = DesignPoint { ratio_rram: 0.3, crossbar: xb };
-        (model, df, point, Watts(total_power), HardwareParams::date24())
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        (
+            model,
+            df,
+            point,
+            Watts(total_power),
+            HardwareParams::date24(),
+        )
     }
 
     #[test]
@@ -331,7 +355,12 @@ mod tests {
         };
         let arch = allocate_components(&req).unwrap();
         let pb = arch.power_breakdown();
-        assert!(pb.adc > pb.alu, "ADC power {} should dominate ALU {}", pb.adc, pb.alu);
+        assert!(
+            pb.adc > pb.alu,
+            "ADC power {} should dominate ALU {}",
+            pb.adc,
+            pb.alu
+        );
     }
 
     #[test]

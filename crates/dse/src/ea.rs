@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::alloc::{allocate_components, AllocRequest};
+use crate::ctx::ExploreContext;
 use crate::error::DseError;
 use crate::space::DesignPoint;
 
@@ -96,7 +97,11 @@ impl EaConfig {
 
     /// Cheap smoke-test configuration.
     pub fn fast() -> Self {
-        Self { population: 8, generations: 6, ..Self::paper() }
+        Self {
+            population: 8,
+            generations: 6,
+            ..Self::paper()
+        }
     }
 }
 
@@ -124,7 +129,10 @@ impl MacAllocGene {
             .zip(shares)
             .enumerate()
             .map(|(i, (&m, &s))| {
-                assert!(m >= 1 && m < GENE_BASE as usize, "macro count {m} out of range");
+                assert!(
+                    m >= 1 && m < GENE_BASE as usize,
+                    "macro count {m} out of range"
+                );
                 let owner = match s {
                     None => i,
                     Some(j) => {
@@ -181,6 +189,10 @@ fn max_macros(df: &Dataflow) -> Vec<usize> {
         .collect()
 }
 
+/// One EA population member: fitness, gene, and (for feasible genes) the
+/// completed architecture with its evaluation.
+type Individual = (f64, MacAllocGene, Option<(Architecture, SimReport)>);
+
 struct Evaluator<'a> {
     model: &'a Model,
     df: &'a Dataflow,
@@ -190,11 +202,13 @@ struct Evaluator<'a> {
     hw: &'a pimsyn_arch::HardwareParams,
     objective: Objective,
     evaluations: usize,
+    ctx: &'a ExploreContext<'a>,
 }
 
 impl Evaluator<'_> {
     fn fitness(&mut self, gene: &MacAllocGene) -> (f64, Option<(Architecture, SimReport)>) {
         self.evaluations += 1;
+        self.ctx.count_evaluations(1);
         let (macros, shares) = gene.decode();
         let req = AllocRequest {
             model: self.model,
@@ -236,6 +250,47 @@ pub fn explore_macro_partitioning(
     macro_mode: MacroMode,
     cfg: &EaConfig,
 ) -> Result<EaOutcome, DseError> {
+    let ctx = ExploreContext::unobserved();
+    explore_macro_partitioning_observed(model, df, point, total_power, hw, macro_mode, cfg, &ctx)
+}
+
+/// [`explore_macro_partitioning`] under an [`ExploreContext`]: every
+/// candidate evaluation is charged to the context's shared budget, and the
+/// generational loop stops early (returning the best gene so far) when the
+/// context says to stop.
+///
+/// # Errors
+///
+/// [`DseError::NoFeasibleSolution`] when no gene evaluated before the run
+/// ended produced a working accelerator.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_macro_partitioning_observed(
+    model: &Model,
+    df: &Dataflow,
+    point: DesignPoint,
+    total_power: Watts,
+    hw: &pimsyn_arch::HardwareParams,
+    macro_mode: MacroMode,
+    cfg: &EaConfig,
+    ctx: &ExploreContext<'_>,
+) -> Result<EaOutcome, DseError> {
+    run_ea_counted(model, df, point, total_power, hw, macro_mode, cfg, ctx).1
+}
+
+/// The EA body, additionally returning the candidate evaluations performed
+/// even when the run ends infeasible — so callers can keep their reported
+/// counts consistent with the budget counter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_ea_counted(
+    model: &Model,
+    df: &Dataflow,
+    point: DesignPoint,
+    total_power: Watts,
+    hw: &pimsyn_arch::HardwareParams,
+    macro_mode: MacroMode,
+    cfg: &EaConfig,
+    ctx: &ExploreContext<'_>,
+) -> (usize, Result<EaOutcome, DseError>) {
     let l = df.programs().len();
     let caps = max_macros(df);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -249,13 +304,14 @@ pub fn explore_macro_partitioning(
         objective: cfg.objective,
         evaluations: 0,
         hw,
+        ctx,
     };
 
     // Initialize: all-ones, a tile-proportional seed (one macro per ~96
     // crossbars, the ISAAC-class tiling — spreads communication-bound big
     // layers across macros from generation zero), plus random genes within
     // rule (c).
-    let mut population: Vec<(f64, MacAllocGene, Option<(Architecture, SimReport)>)> = Vec::new();
+    let mut population: Vec<Individual> = Vec::new();
     let ones = MacAllocGene::encode(&vec![1; l], &vec![None; l]);
     let (f, a) = eval.fitness(&ones);
     population.push((f, ones, a));
@@ -271,18 +327,26 @@ pub fn explore_macro_partitioning(
         population.push((f, gene, a));
     }
     while population.len() < cfg.population {
-        let macros: Vec<usize> =
-            (0..l).map(|i| rng.gen_range(1..=caps[i])).collect();
+        if ctx.should_stop() {
+            break;
+        }
+        let macros: Vec<usize> = (0..l).map(|i| rng.gen_range(1..=caps[i])).collect();
         let gene = MacAllocGene::encode(&macros, &vec![None; l]);
         let (f, a) = eval.fitness(&gene);
         population.push((f, gene, a));
     }
     sort_population(&mut population);
 
-    for _gen in 0..cfg.generations {
+    'generations: for _gen in 0..cfg.generations {
         let elite = 2.min(population.len());
         let mut children = Vec::new();
         while children.len() + elite < cfg.population {
+            if ctx.should_stop() {
+                population.truncate(elite);
+                population.extend(children);
+                sort_population(&mut population);
+                break 'generations;
+            }
             // Tournament selection (Alg. 2 line 4).
             let mut best_idx = rng.gen_range(0..population.len());
             for _ in 1..cfg.tournament {
@@ -312,8 +376,10 @@ pub fn explore_macro_partitioning(
     }
 
     let evaluations = eval.evaluations;
-    let best = population.into_iter().find(|(f, _, arch)| *f > 0.0 && arch.is_some());
-    match best {
+    let best = population
+        .into_iter()
+        .find(|(f, _, arch)| *f > 0.0 && arch.is_some());
+    let outcome = match best {
         Some((fitness, gene, Some((architecture, report)))) => Ok(EaOutcome {
             gene,
             architecture,
@@ -322,7 +388,8 @@ pub fn explore_macro_partitioning(
             evaluations,
         }),
         _ => Err(DseError::NoFeasibleSolution),
-    }
+    };
+    (evaluations, outcome)
 }
 
 /// Toggles sharing for a random layer, respecting the rules: the partner
@@ -338,8 +405,9 @@ fn mutate_share(shares: &mut [Option<usize>], rng: &mut StdRng, l: usize) {
     }
     // Candidate partners: earlier roots that nobody shares with yet.
     let taken: Vec<usize> = shares.iter().flatten().copied().collect();
-    let candidates: Vec<usize> =
-        (0..i).filter(|j| shares[*j].is_none() && !taken.contains(j)).collect();
+    let candidates: Vec<usize> = (0..i)
+        .filter(|j| shares[*j].is_none() && !taken.contains(j))
+        .collect();
     if candidates.is_empty() {
         return;
     }
@@ -347,7 +415,7 @@ fn mutate_share(shares: &mut [Option<usize>], rng: &mut StdRng, l: usize) {
     shares[i] = Some(j);
 }
 
-fn sort_population(pop: &mut [(f64, MacAllocGene, Option<(Architecture, SimReport)>)]) {
+fn sort_population(pop: &mut [Individual]) {
     pop.sort_by(|a, b| b.0.total_cmp(&a.0));
 }
 
@@ -363,7 +431,16 @@ mod tests {
         let dac = DacConfig::new(1).unwrap();
         let dup = vec![1; model.weight_layer_count()];
         let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
-        (model, df, DesignPoint { ratio_rram: 0.3, crossbar: xb }, Watts(9.0), HardwareParams::date24())
+        (
+            model,
+            df,
+            DesignPoint {
+                ratio_rram: 0.3,
+                crossbar: xb,
+            },
+            Watts(9.0),
+            HardwareParams::date24(),
+        )
     }
 
     #[test]
@@ -411,11 +488,23 @@ mod tests {
         let (model, df, point, power, hw) = setup();
         let cfg = EaConfig::fast();
         let a = explore_macro_partitioning(
-            &model, &df, point, power, &hw, MacroMode::Specialized, &cfg,
+            &model,
+            &df,
+            point,
+            power,
+            &hw,
+            MacroMode::Specialized,
+            &cfg,
         )
         .unwrap();
         let b = explore_macro_partitioning(
-            &model, &df, point, power, &hw, MacroMode::Specialized, &cfg,
+            &model,
+            &df,
+            point,
+            power,
+            &hw,
+            MacroMode::Specialized,
+            &cfg,
         )
         .unwrap();
         assert_eq!(a.gene, b.gene);
@@ -425,9 +514,18 @@ mod tests {
     #[test]
     fn sharing_disabled_produces_no_shares() {
         let (model, df, point, power, hw) = setup();
-        let cfg = EaConfig { allow_sharing: false, ..EaConfig::fast() };
+        let cfg = EaConfig {
+            allow_sharing: false,
+            ..EaConfig::fast()
+        };
         let out = explore_macro_partitioning(
-            &model, &df, point, power, &hw, MacroMode::Specialized, &cfg,
+            &model,
+            &df,
+            point,
+            power,
+            &hw,
+            MacroMode::Specialized,
+            &cfg,
         )
         .unwrap();
         let (_, shares) = out.gene.decode();

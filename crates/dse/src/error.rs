@@ -26,6 +26,9 @@ pub enum DseError {
     },
     /// No explored design point produced a working accelerator.
     NoFeasibleSolution,
+    /// The caller cancelled the exploration via
+    /// [`CancelToken::cancel`](crate::CancelToken::cancel).
+    Cancelled,
     /// Underlying architecture-model error.
     Arch(ArchError),
     /// Underlying IR-compilation error.
@@ -47,6 +50,7 @@ impl fmt::Display for DseError {
                 "no peripheral power left after fixed infrastructure ({remaining:.3} W remaining)"
             ),
             DseError::NoFeasibleSolution => write!(f, "no feasible accelerator found"),
+            DseError::Cancelled => write!(f, "exploration cancelled"),
             DseError::Arch(e) => write!(f, "architecture error: {e}"),
             DseError::Ir(e) => write!(f, "ir error: {e}"),
             DseError::Sim(e) => write!(f, "simulation error: {e}"),

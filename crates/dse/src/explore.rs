@@ -2,19 +2,26 @@
 //! (`RatioRram x ResRram x XbSize`), filter weight-duplication candidates
 //! with SA, and for each candidate and DAC resolution run the EA-based macro
 //! partitioning (which itself invokes components allocation and performance
-//! evaluation). Outer design points are independent, so they run on worker
-//! threads (crossbeam scoped threads) with per-point deterministic seeds.
+//! evaluation). Outer design points are independent, so they run on scoped
+//! worker threads with per-point deterministic seeds.
+//!
+//! Exploration is observable and controllable: [`run_dse_observed`] threads
+//! an [`ExploreContext`] through every stage, emitting typed
+//! [`ExploreEvent`](crate::ExploreEvent)s and honoring cancellation and
+//! wall-clock / evaluation budgets. [`run_dse`] is the blocking, unobserved
+//! wrapper.
 
 use std::sync::Mutex;
 
-use pimsyn_arch::{Architecture, HardwareParams, MacroMode, Watts};
+use pimsyn_arch::{Architecture, DacConfig, HardwareParams, MacroMode, Watts};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
 use pimsyn_sim::SimReport;
 
-use crate::ea::{explore_macro_partitioning, EaConfig};
+use crate::ctx::{ExploreContext, ExploreEvent, StopReason, SynthesisStage};
+use crate::ea::{run_ea_counted, EaConfig};
 use crate::error::DseError;
-use crate::sa::{no_duplication, woho_proportional, wt_dup_candidates, SaConfig};
+use crate::sa::{no_duplication, woho_proportional, wt_dup_candidates_observed, SaConfig};
 use crate::space::{DesignPoint, DesignSpace};
 
 /// How weight-duplication factors are chosen (stage 1 of the synthesis).
@@ -111,8 +118,11 @@ pub struct DseOutcome {
     pub report: SimReport,
     /// Total candidate evaluations across the whole flow.
     pub evaluations: usize,
-    /// Per-design-point summary (exploration history).
+    /// Per-design-point summary (exploration history). With an exhausted
+    /// budget, only the points actually explored appear here.
     pub history: Vec<PointResult>,
+    /// Whether the search ran to completion or stopped on a budget.
+    pub stop_reason: StopReason,
 }
 
 struct PointBest {
@@ -122,130 +132,260 @@ struct PointBest {
     report: SimReport,
 }
 
-/// Explores one outer design point (lines 6-12 of Alg. 1).
+/// Explores one outer design point (lines 6-12 of Alg. 1), emitting stage
+/// events for the four-phase flow of Fig. 3.
 fn explore_point(
     model: &Model,
     cfg: &DseConfig,
     point: DesignPoint,
     point_idx: usize,
+    ctx: &ExploreContext<'_>,
 ) -> (PointResult, Option<PointBest>) {
-    let mut result = PointResult { point, best_efficiency: 0.0, evaluations: 0 };
+    let mut result = PointResult {
+        point,
+        best_efficiency: 0.0,
+        evaluations: 0,
+    };
+    let finish_point = |result: &PointResult, ctx: &ExploreContext<'_>| {
+        ctx.record_fitness(point_idx, result.best_efficiency);
+        ctx.emit(ExploreEvent::DesignPointEvaluated {
+            point,
+            point_index: point_idx,
+            best_efficiency: result.best_efficiency,
+            evaluations: result.evaluations,
+        });
+    };
+
     // Eq. (3) bounds crossbars by ReRAM power alone, but every crossbar row
     // carries a DAC whose power must come out of the (1 - RatioRram) share.
     // Cap the crossbar count so DACs consume at most half that share,
     // leaving room for ADCs/ALUs (otherwise every near-budget duplication
     // candidate is peripherally infeasible and the point dies).
-    let eq3 = point.crossbar.budget(cfg.total_power, point.ratio_rram, &cfg.hw);
+    let eq3 = point
+        .crossbar
+        .budget(cfg.total_power, point.ratio_rram, &cfg.hw);
     let dac_min = cfg.hw.dac_power_lut[0].value() * point.crossbar.size() as f64;
-    let dac_cap =
-        (0.5 * (1.0 - point.ratio_rram) * cfg.total_power.value() / dac_min) as usize;
+    let dac_cap = (0.5 * (1.0 - point.ratio_rram) * cfg.total_power.value() / dac_min) as usize;
     // The cap is a pruning heuristic: never let it cut below one weight copy
     // (Eq. (3) via `eq3` remains the hard feasibility constraint).
     let one_copy: usize = model
         .weight_layers()
-        .map(|wl| point.crossbar.crossbar_set(wl, model.precision().weight_bits()))
+        .map(|wl| {
+            point
+                .crossbar
+                .crossbar_set(wl, model.precision().weight_bits())
+        })
         .sum();
     let budget = eq3.min(dac_cap.max(one_copy));
 
+    // Stage 1 — weight duplication.
+    ctx.emit(ExploreEvent::StageStarted {
+        point_index: point_idx,
+        stage: SynthesisStage::WeightDuplication,
+    });
     let candidates = match &cfg.strategy {
         WtDupStrategy::SimulatedAnnealing => {
-            let sa_cfg = SaConfig { seed: cfg.seed ^ (point_idx as u64) << 8, ..cfg.sa.clone() };
-            match wt_dup_candidates(model, point.crossbar, budget, &sa_cfg) {
-                Ok(c) => c,
-                Err(_) => return (result, None),
-            }
+            let sa_cfg = SaConfig {
+                seed: cfg.seed ^ (point_idx as u64) << 8,
+                ..cfg.sa.clone()
+            };
+            wt_dup_candidates_observed(model, point.crossbar, budget, &sa_cfg, ctx).ok()
         }
-        WtDupStrategy::WohoProportional => match woho_proportional(model, point.crossbar, budget)
-        {
-            Ok(c) => vec![c],
-            Err(_) => return (result, None),
-        },
-        WtDupStrategy::NoDuplication => match no_duplication(model, point.crossbar, budget) {
-            Ok(c) => vec![c],
-            Err(_) => return (result, None),
-        },
-        WtDupStrategy::Fixed(vs) => vs.clone(),
+        WtDupStrategy::WohoProportional => woho_proportional(model, point.crossbar, budget)
+            .ok()
+            .map(|c| vec![c]),
+        WtDupStrategy::NoDuplication => no_duplication(model, point.crossbar, budget)
+            .ok()
+            .map(|c| vec![c]),
+        WtDupStrategy::Fixed(vs) => Some(vs.clone()),
+    };
+    ctx.emit(ExploreEvent::StageFinished {
+        point_index: point_idx,
+        stage: SynthesisStage::WeightDuplication,
+    });
+    let Some(candidates) = candidates else {
+        finish_point(&result, ctx);
+        return (result, None);
     };
 
-    let mut best: Option<(f64, PointBest)> = None;
-    for (ci, dup) in candidates.iter().enumerate() {
+    // Stage 2 — dataflow compilation (every candidate x DAC resolution).
+    // Only the compilable combinations are kept, not the compiled IR: a
+    // paper-effort point has up to 30 x 3 of them, and retaining every
+    // Dataflow until stage 3 would multiply peak memory for nothing —
+    // recompiling one on demand costs microseconds.
+    ctx.emit(ExploreEvent::StageStarted {
+        point_index: point_idx,
+        stage: SynthesisStage::DataflowCompilation,
+    });
+    let mut compilable: Vec<(usize, &Vec<usize>, DacConfig)> = Vec::new();
+    'compile: for (ci, dup) in candidates.iter().enumerate() {
         for dac in cfg.space.dacs() {
-            let Ok(df) = Dataflow::compile(model, point.crossbar, dac, dup) else {
-                continue;
-            };
-            let ea_cfg = EaConfig {
-                seed: cfg.seed ^ ((point_idx as u64) << 20) ^ ((ci as u64) << 4) ^ dac.bits() as u64,
-                ..cfg.ea.clone()
-            };
-            match explore_macro_partitioning(
-                model,
-                &df,
-                point,
-                cfg.total_power,
-                &cfg.hw,
-                cfg.macro_mode,
-                &ea_cfg,
-            ) {
-                Ok(out) => {
-                    result.evaluations += out.evaluations;
-                    if best.as_ref().map_or(true, |(f, _)| out.fitness > *f) {
-                        result.best_efficiency = out.fitness;
-                        best = Some((
-                            out.fitness,
-                            PointBest {
-                                architecture: out.architecture,
-                                dataflow: df,
-                                wt_dup: dup.clone(),
-                                report: out.report,
-                            },
-                        ));
-                    }
-                }
-                Err(_) => {
-                    result.evaluations += 1;
-                }
+            if ctx.should_stop() {
+                break 'compile;
+            }
+            if Dataflow::compile(model, point.crossbar, dac, dup).is_ok() {
+                compilable.push((ci, dup, dac));
             }
         }
     }
+    ctx.emit(ExploreEvent::StageFinished {
+        point_index: point_idx,
+        stage: SynthesisStage::DataflowCompilation,
+    });
+
+    // Stage 3 — EA-based macro partitioning (components allocation and
+    // analytic evaluation run per candidate inside the EA loop).
+    ctx.emit(ExploreEvent::StageStarted {
+        point_index: point_idx,
+        stage: SynthesisStage::MacroPartitioning,
+    });
+    let mut best: Option<(f64, PointBest)> = None;
+    for (ci, dup, dac) in compilable {
+        if ctx.should_stop() {
+            break;
+        }
+        let Ok(df) = Dataflow::compile(model, point.crossbar, dac, dup) else {
+            continue; // compiled in stage 2; deterministic, so unreachable
+        };
+        let ea_cfg = EaConfig {
+            seed: cfg.seed ^ ((point_idx as u64) << 20) ^ ((ci as u64) << 4) ^ dac.bits() as u64,
+            ..cfg.ea.clone()
+        };
+        let (evaluations, outcome) = run_ea_counted(
+            model,
+            &df,
+            point,
+            cfg.total_power,
+            &cfg.hw,
+            cfg.macro_mode,
+            &ea_cfg,
+            ctx,
+        );
+        // Count what actually ran, feasible or not, so the reported totals
+        // agree with the budget counter.
+        result.evaluations += evaluations;
+        if let Ok(out) = outcome {
+            if best.as_ref().is_none_or(|(f, _)| out.fitness > *f) {
+                result.best_efficiency = out.fitness;
+                best = Some((
+                    out.fitness,
+                    PointBest {
+                        architecture: out.architecture,
+                        dataflow: df,
+                        wt_dup: dup.clone(),
+                        report: out.report,
+                    },
+                ));
+            }
+        }
+    }
+    ctx.emit(ExploreEvent::StageFinished {
+        point_index: point_idx,
+        stage: SynthesisStage::MacroPartitioning,
+    });
+
+    // Stage 4 — components allocation of the point winner (allocation ran
+    // per EA candidate; here the winning implementation is re-validated
+    // against the architecture template's structural rules).
+    ctx.emit(ExploreEvent::StageStarted {
+        point_index: point_idx,
+        stage: SynthesisStage::ComponentAllocation,
+    });
+    if let Some((_, b)) = &best {
+        if b.architecture.validate(model).is_err() {
+            best = None;
+            result.best_efficiency = 0.0;
+        }
+    }
+    ctx.emit(ExploreEvent::StageFinished {
+        point_index: point_idx,
+        stage: SynthesisStage::ComponentAllocation,
+    });
+
+    finish_point(&result, ctx);
     (result, best.map(|(_, b)| b))
 }
 
-/// Runs the complete Algorithm 1 flow for `model` under `cfg`.
+/// Runs the complete Algorithm 1 flow for `model` under `cfg`, blocking
+/// until done, with no observation, cancellation or budget.
 ///
 /// # Errors
 ///
 /// [`DseError::NoFeasibleSolution`] when no design point yields a working
 /// accelerator under the power constraint.
 pub fn run_dse(model: &Model, cfg: &DseConfig) -> Result<DseOutcome, DseError> {
+    let ctx = ExploreContext::unobserved();
+    run_dse_observed(model, cfg, &ctx)
+}
+
+/// Runs Algorithm 1 under an [`ExploreContext`]: progress events stream to
+/// the context's observer, cancellation is honored between stages and
+/// inside the metaheuristic loops, and budgets stop the search gracefully
+/// (the best architecture found before exhaustion is still returned, with
+/// [`DseOutcome::stop_reason`] recording why the run ended).
+///
+/// # Errors
+///
+/// - [`DseError::Cancelled`] when the context's token was cancelled.
+/// - [`DseError::NoFeasibleSolution`] when nothing feasible was found
+///   (including budgets that expire before the first feasible candidate).
+pub fn run_dse_observed(
+    model: &Model,
+    cfg: &DseConfig,
+    ctx: &ExploreContext<'_>,
+) -> Result<DseOutcome, DseError> {
     let points = cfg.space.points();
     let results: Mutex<Vec<(usize, PointResult, Option<PointBest>)>> =
         Mutex::new(Vec::with_capacity(points.len()));
 
     if cfg.parallel && points.len() > 1 {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let workers = workers.min(points.len());
-        crossbeam::thread::scope(|s| {
-            for w in 0..workers {
+        // Dynamic work queue rather than static striping: points differ
+        // wildly in cost (budget-infeasible ones die in the SA stage), so a
+        // fixed assignment would leave workers idle behind one slow point.
+        // Per-point seeds derive from the point index, so which worker runs
+        // a point never affects the result.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
                 let results = &results;
                 let points = &points;
-                s.spawn(move |_| {
-                    for (i, &point) in points.iter().enumerate() {
-                        if i % workers != w {
-                            continue;
-                        }
-                        let (res, best) = explore_point(model, cfg, point, i);
-                        results.lock().expect("result mutex").push((i, res, best));
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= points.len() || ctx.should_stop() {
+                        break;
                     }
+                    let (res, best) = explore_point(model, cfg, points[i], i, ctx);
+                    results.lock().expect("result mutex").push((i, res, best));
                 });
             }
-        })
-        .expect("exploration worker panicked");
+        });
     } else {
         for (i, &point) in points.iter().enumerate() {
-            let (res, best) = explore_point(model, cfg, point, i);
+            if ctx.should_stop() {
+                break;
+            }
+            let (res, best) = explore_point(model, cfg, point, i, ctx);
             results.lock().expect("result mutex").push((i, res, best));
         }
     }
+
+    // Cancellation always wins, even when it raced the natural finish: the
+    // caller asked for no result. Budget exhaustion only counts when a
+    // cooperative check actually curtailed the search — a budget that runs
+    // out exactly as the last point completes is still a completed run.
+    if ctx.cancel_token().is_cancelled() {
+        return Err(DseError::Cancelled);
+    }
+    let stop_reason = match ctx.observed_stop() {
+        Some(StopReason::Cancelled) => return Err(DseError::Cancelled),
+        Some(reason) => reason,
+        None => StopReason::Completed,
+    };
 
     let mut results = results.into_inner().expect("result mutex");
     results.sort_by_key(|(i, _, _)| *i);
@@ -277,6 +417,7 @@ pub fn run_dse(model: &Model, cfg: &DseConfig) -> Result<DseOutcome, DseError> {
             report: b.report,
             evaluations,
             history,
+            stop_reason,
         }),
         None => Err(DseError::NoFeasibleSolution),
     }
@@ -285,6 +426,7 @@ pub fn run_dse(model: &Model, cfg: &DseConfig) -> Result<DseOutcome, DseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::{CancelToken, ExploreBudget};
     use pimsyn_arch::CrossbarConfig;
     use pimsyn_model::zoo;
 
@@ -293,7 +435,11 @@ mod tests {
         cfg.space = DesignSpace::single(0.3, CrossbarConfig::new(128, 2).unwrap(), 1);
         cfg.sa.candidates = 2;
         cfg.sa.iterations = 150;
-        cfg.ea = EaConfig { population: 6, generations: 3, ..EaConfig::fast() };
+        cfg.ea = EaConfig {
+            population: 6,
+            generations: 3,
+            ..EaConfig::fast()
+        };
         cfg
     }
 
@@ -304,6 +450,7 @@ mod tests {
         assert!(out.report.efficiency_tops_per_watt() > 0.0);
         assert!(out.evaluations > 0);
         assert_eq!(out.history.len(), 1);
+        assert_eq!(out.stop_reason, StopReason::Completed);
         out.architecture.validate(&model).unwrap();
         assert_eq!(out.wt_dup.len(), model.weight_layer_count());
     }
@@ -314,7 +461,10 @@ mod tests {
         let a = run_dse(&model, &tiny_cfg()).unwrap();
         let b = run_dse(&model, &tiny_cfg()).unwrap();
         assert_eq!(a.wt_dup, b.wt_dup);
-        assert_eq!(a.report.efficiency_tops_per_watt(), b.report.efficiency_tops_per_watt());
+        assert_eq!(
+            a.report.efficiency_tops_per_watt(),
+            b.report.efficiency_tops_per_watt()
+        );
     }
 
     #[test]
@@ -339,7 +489,10 @@ mod tests {
         let model = zoo::vgg16();
         let mut cfg = tiny_cfg();
         cfg.total_power = Watts(0.01);
-        assert!(matches!(run_dse(&model, &cfg), Err(DseError::NoFeasibleSolution)));
+        assert!(matches!(
+            run_dse(&model, &cfg),
+            Err(DseError::NoFeasibleSolution)
+        ));
     }
 
     #[test]
@@ -357,6 +510,75 @@ mod tests {
             "large {} vs small {}",
             rl.report.throughput_ops,
             rs.report.throughput_ops
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_context_aborts_immediately() {
+        let model = zoo::alexnet_cifar(10);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = ExploreContext::new(
+            &crate::ctx::NullObserver,
+            cancel,
+            ExploreBudget::unlimited(),
+        );
+        assert!(matches!(
+            run_dse_observed(&model, &tiny_cfg(), &ctx),
+            Err(DseError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn evaluation_budget_stops_early_but_returns_best() {
+        let model = zoo::alexnet_cifar(10);
+        let mut cfg = tiny_cfg();
+        cfg.space = DesignSpace::reduced(); // 4 points
+                                            // Enough budget for roughly one point's EA, not for all four.
+        let ctx = ExploreContext::new(
+            &crate::ctx::NullObserver,
+            CancelToken::new(),
+            ExploreBudget::unlimited().with_max_evaluations(30),
+        );
+        match run_dse_observed(&model, &cfg, &ctx) {
+            Ok(out) => {
+                assert_eq!(out.stop_reason, StopReason::EvaluationBudgetReached);
+                assert!(out.history.len() < cfg.space.outer_len());
+                assert!(out.report.efficiency_tops_per_watt() > 0.0);
+            }
+            // A budget this tight may also legitimately stop before the
+            // first feasible candidate.
+            Err(e) => assert!(matches!(e, DseError::NoFeasibleSolution)),
+        }
+    }
+
+    #[test]
+    fn observed_run_emits_ordered_stage_events() {
+        use std::sync::Mutex;
+        let model = zoo::alexnet_cifar(10);
+        let events: Mutex<Vec<ExploreEvent>> = Mutex::new(Vec::new());
+        let observer = |ev: ExploreEvent| events.lock().unwrap().push(ev);
+        let ctx = ExploreContext::new(&observer, CancelToken::new(), ExploreBudget::unlimited());
+        run_dse_observed(&model, &tiny_cfg(), &ctx).unwrap();
+        let events = events.into_inner().unwrap();
+        // One point: the four stages in paper order, each started before
+        // finished, then the point summary.
+        let mut stages_seen = Vec::new();
+        for ev in &events {
+            if let ExploreEvent::StageStarted { stage, .. } = ev {
+                stages_seen.push(*stage);
+            }
+        }
+        assert_eq!(stages_seen, SynthesisStage::ALL.to_vec());
+        assert!(matches!(
+            events.last(),
+            Some(ExploreEvent::DesignPointEvaluated { .. })
+        ));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ExploreEvent::ImprovedBest { .. })),
+            "a feasible run must improve on the initial zero best"
         );
     }
 }

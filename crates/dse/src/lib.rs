@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alloc;
+mod ctx;
 mod ea;
 mod error;
 mod explore;
@@ -47,11 +48,19 @@ mod space;
 mod sweep;
 
 pub use alloc::{allocate_components, physical_macros, AllocRequest};
-pub use ea::{explore_macro_partitioning, EaConfig, EaOutcome, MacAllocGene, Objective, GENE_BASE};
+pub use ctx::{
+    CancelToken, ExploreBudget, ExploreContext, ExploreEvent, ExploreObserver, NullObserver,
+    StopReason, SynthesisStage,
+};
+pub use ea::{
+    explore_macro_partitioning, explore_macro_partitioning_observed, EaConfig, EaOutcome,
+    MacAllocGene, Objective, GENE_BASE,
+};
 pub use error::DseError;
-pub use explore::{run_dse, DseConfig, DseOutcome, PointResult, WtDupStrategy};
+pub use explore::{run_dse, run_dse_observed, DseConfig, DseOutcome, PointResult, WtDupStrategy};
 pub use sa::{
-    crossbars_used, no_duplication, sa_energy, woho_proportional, wt_dup_candidates, SaConfig,
+    crossbars_used, no_duplication, sa_energy, woho_proportional, wt_dup_candidates,
+    wt_dup_candidates_observed, SaConfig,
 };
 pub use space::{DesignPoint, DesignSpace, RATIO_RRAM_CHOICES};
 pub use sweep::{minimum_feasible_power, sweep_power, SweepPoint};

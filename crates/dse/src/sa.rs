@@ -8,6 +8,7 @@ use pimsyn_model::Model;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::ctx::ExploreContext;
 use crate::error::DseError;
 
 /// Configuration of the SA-based weight-duplication filter.
@@ -43,7 +44,11 @@ impl SaConfig {
 
     /// A cheap configuration for tests and smoke runs.
     pub fn fast() -> Self {
-        Self { iterations: 400, candidates: 6, ..Self::paper() }
+        Self {
+            iterations: 400,
+            candidates: 6,
+            ..Self::paper()
+        }
     }
 }
 
@@ -74,8 +79,12 @@ pub fn sa_energy(model: &Model, dup: &[usize], alpha: f64) -> f64 {
         .weight_layers()
         .zip(dup)
         .map(|(wl, &d)| wl.output_positions() as f64 / d.max(1) as f64);
-    let access = model.weight_layers().zip(dup).map(|(wl, &d)| wl.access_volume(d) as f64);
-    stdev(blocks.collect::<Vec<_>>().into_iter()) + alpha * stdev(access.collect::<Vec<_>>().into_iter())
+    let access = model
+        .weight_layers()
+        .zip(dup)
+        .map(|(wl, &d)| wl.access_volume(d) as f64);
+    stdev(blocks.collect::<Vec<_>>().into_iter())
+        + alpha * stdev(access.collect::<Vec<_>>().into_iter())
 }
 
 /// Crossbars consumed by a duplication vector: `sum WtDup_i x set_i` — the
@@ -101,7 +110,10 @@ pub fn woho_proportional(
     budget: usize,
 ) -> Result<Vec<usize>, DseError> {
     let base = no_duplication(model, crossbar, budget)?;
-    let caps: Vec<usize> = model.weight_layers().map(|wl| wl.output_positions()).collect();
+    let caps: Vec<usize> = model
+        .weight_layers()
+        .map(|wl| wl.output_positions())
+        .collect();
     let woho: Vec<f64> = caps.iter().map(|&p| p as f64).collect();
 
     // Binary search the proportionality constant.
@@ -141,7 +153,10 @@ pub fn no_duplication(
     let dup = vec![1usize; model.weight_layer_count()];
     let needed = crossbars_used(model, crossbar, &dup);
     if needed > budget {
-        return Err(DseError::BudgetTooSmall { needed, available: budget });
+        return Err(DseError::BudgetTooSmall {
+            needed,
+            available: budget,
+        });
     }
     Ok(dup)
 }
@@ -159,11 +174,33 @@ pub fn wt_dup_candidates(
     budget: usize,
     cfg: &SaConfig,
 ) -> Result<Vec<Vec<usize>>, DseError> {
+    let ctx = ExploreContext::unobserved();
+    wt_dup_candidates_observed(model, crossbar, budget, cfg, &ctx)
+}
+
+/// [`wt_dup_candidates`] under an [`ExploreContext`]: the annealing loop
+/// checks for cancellation / exhausted budgets every few iterations and, if
+/// told to stop, returns the candidates collected so far instead of
+/// finishing the walk.
+///
+/// # Errors
+///
+/// [`DseError::BudgetTooSmall`] if the budget cannot hold one copy per layer.
+pub fn wt_dup_candidates_observed(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+    cfg: &SaConfig,
+    ctx: &ExploreContext<'_>,
+) -> Result<Vec<Vec<usize>>, DseError> {
     let sets: Vec<usize> = model
         .weight_layers()
         .map(|wl| crossbar.crossbar_set(wl, model.precision().weight_bits()))
         .collect();
-    let caps: Vec<usize> = model.weight_layers().map(|wl| wl.output_positions()).collect();
+    let caps: Vec<usize> = model
+        .weight_layers()
+        .map(|wl| wl.output_positions())
+        .collect();
     let l = sets.len();
 
     let ones = no_duplication(model, crossbar, budget)?;
@@ -177,7 +214,7 @@ pub fn wt_dup_candidates(
         for i in 0..l {
             if state[i] < caps[i] && used + sets[i] <= budget {
                 let blocks = caps[i] as f64 / state[i] as f64;
-                if best.map_or(true, |(_, b)| blocks > b) {
+                if best.is_none_or(|(_, b)| blocks > b) {
                     best = Some((i, blocks));
                 }
             }
@@ -224,10 +261,19 @@ pub fn wt_dup_candidates(
         top.truncate(cfg.candidates);
     };
 
-    for _ in 0..cfg.iterations {
+    for iter in 0..cfg.iterations {
+        // Cooperative stop: cheap enough to check periodically without
+        // perturbing the (deterministic) annealing walk itself.
+        if iter % 32 == 0 && ctx.should_stop() {
+            break;
+        }
         let i = rng.gen_range(0..l);
         let step = (state[i] / 8).max(1);
-        let delta: isize = if rng.gen_bool(0.5) { step as isize } else { -(step as isize) };
+        let delta: isize = if rng.gen_bool(0.5) {
+            step as isize
+        } else {
+            -(step as isize)
+        };
         let proposed = state[i] as isize + delta;
         if proposed < 1 || proposed as usize > caps[i] {
             continue;
@@ -268,8 +314,10 @@ mod tests {
     fn energy_prefers_balanced_blocks() {
         let model = zoo::alexnet_cifar(10);
         let l = model.weight_layer_count();
-        let balanced: Vec<usize> =
-            model.weight_layers().map(|wl| wl.output_positions().max(1)).collect();
+        let balanced: Vec<usize> = model
+            .weight_layers()
+            .map(|wl| wl.output_positions().max(1))
+            .collect();
         let skewed = vec![1usize; l];
         // Fully-duplicated layers all have exactly one block: zero stdev in
         // the first term.
@@ -299,7 +347,10 @@ mod tests {
         for c in &cands {
             assert_eq!(c.len(), model.weight_layer_count());
             assert!(c.iter().all(|&d| d >= 1));
-            assert!(crossbars_used(&model, xb(), c) <= budget, "candidate exceeds budget");
+            assert!(
+                crossbars_used(&model, xb(), c) <= budget,
+                "candidate exceeds budget"
+            );
         }
         for (i, a) in cands.iter().enumerate() {
             for b in &cands[i + 1..] {
@@ -313,7 +364,10 @@ mod tests {
         let model = zoo::alexnet_cifar(10);
         let cfg = SaConfig::fast();
         let cands = wt_dup_candidates(&model, xb(), 8000, &cfg).unwrap();
-        let energies: Vec<f64> = cands.iter().map(|c| sa_energy(&model, c, cfg.alpha)).collect();
+        let energies: Vec<f64> = cands
+            .iter()
+            .map(|c| sa_energy(&model, c, cfg.alpha))
+            .collect();
         for w in energies.windows(2) {
             assert!(w[0] <= w[1] + 1e-9, "energies not sorted: {energies:?}");
         }
@@ -345,6 +399,9 @@ mod tests {
         let model = zoo::alexnet_cifar(10);
         let cands = wt_dup_candidates(&model, xb(), 20_000, &SaConfig::fast()).unwrap();
         let best = &cands[0];
-        assert!(best.iter().sum::<usize>() > model.weight_layer_count(), "{best:?}");
+        assert!(
+            best.iter().sum::<usize>() > model.weight_layer_count(),
+            "{best:?}"
+        );
     }
 }

@@ -73,7 +73,12 @@ impl DesignSpace {
         cell_bits: Vec<u32>,
         dac_bits: Vec<u32>,
     ) -> Self {
-        Self { ratios, xb_sizes, cell_bits, dac_bits }
+        Self {
+            ratios,
+            xb_sizes,
+            cell_bits,
+            dac_bits,
+        }
     }
 
     /// A single-point space, useful to pin the PIM variables and explore
@@ -95,7 +100,10 @@ impl DesignSpace {
                 for &size in &self.xb_sizes {
                     let crossbar = CrossbarConfig::new(size, bits)
                         .expect("design space holds only legal values");
-                    out.push(DesignPoint { ratio_rram: ratio, crossbar });
+                    out.push(DesignPoint {
+                        ratio_rram: ratio,
+                        crossbar,
+                    });
                 }
             }
         }

@@ -34,7 +34,10 @@ pub fn sweep_power(model: &Model, base: &DseConfig, powers: &[Watts]) -> Vec<Swe
     powers
         .iter()
         .map(|&power| {
-            let cfg = DseConfig { total_power: power, ..base.clone() };
+            let cfg = DseConfig {
+                total_power: power,
+                ..base.clone()
+            };
             match run_dse(model, &cfg) {
                 Ok(outcome) => SweepPoint {
                     power,
@@ -68,7 +71,16 @@ pub fn minimum_feasible_power(
     hi: f64,
     resolution: f64,
 ) -> Result<Watts, DseError> {
-    let feasible = |w: f64| run_dse(model, &DseConfig { total_power: Watts(w), ..base.clone() }).is_ok();
+    let feasible = |w: f64| {
+        run_dse(
+            model,
+            &DseConfig {
+                total_power: Watts(w),
+                ..base.clone()
+            },
+        )
+        .is_ok()
+    };
     if !feasible(hi) {
         return Err(DseError::NoFeasibleSolution);
     }
@@ -98,19 +110,23 @@ mod tests {
     fn tiny_cfg() -> DseConfig {
         let mut cfg = DseConfig::fast(Watts(6.0));
         cfg.space = DesignSpace::single(0.3, CrossbarConfig::new(128, 2).unwrap(), 1);
-        cfg.sa = SaConfig { candidates: 2, iterations: 100, ..SaConfig::fast() };
-        cfg.ea = EaConfig { population: 6, generations: 2, ..EaConfig::fast() };
+        cfg.sa = SaConfig {
+            candidates: 2,
+            iterations: 100,
+            ..SaConfig::fast()
+        };
+        cfg.ea = EaConfig {
+            population: 6,
+            generations: 2,
+            ..EaConfig::fast()
+        };
         cfg
     }
 
     #[test]
     fn sweep_marks_infeasible_levels() {
         let model = zoo::alexnet_cifar(10);
-        let points = sweep_power(
-            &model,
-            &tiny_cfg(),
-            &[Watts(0.5), Watts(6.0), Watts(12.0)],
-        );
+        let points = sweep_power(&model, &tiny_cfg(), &[Watts(0.5), Watts(6.0), Watts(12.0)]);
         assert_eq!(points.len(), 3);
         assert!(!points[0].feasible, "0.5 W cannot hold one weight copy");
         assert!(points[1].feasible);

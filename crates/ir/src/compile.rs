@@ -60,7 +60,10 @@ impl Dataflow {
     ) -> Result<Self, IrError> {
         let layer_count = model.weight_layer_count();
         if wt_dup.len() != layer_count {
-            return Err(IrError::WtDupArity { got: wt_dup.len(), expected: layer_count });
+            return Err(IrError::WtDupArity {
+                got: wt_dup.len(),
+                expected: layer_count,
+            });
         }
         if let Some(zero) = wt_dup.iter().position(|&d| d == 0) {
             return Err(IrError::ZeroDuplication { layer: zero });
@@ -96,8 +99,16 @@ impl Dataflow {
                 load_elems: dup * wl.filter_rows(),
                 store_elems: dup * wl.out_channels,
                 act_ops: if wl.relu { dup * wl.out_channels } else { 0 },
-                pool_ops: if wl.pool.is_some() { dup * wl.out_channels } else { 0 },
-                eltwise_ops: if wl.feeds_add { dup * wl.out_channels } else { 0 },
+                pool_ops: if wl.pool.is_some() {
+                    dup * wl.out_channels
+                } else {
+                    0
+                },
+                eltwise_ops: if wl.feeds_add {
+                    dup * wl.out_channels
+                } else {
+                    0
+                },
                 pool: wl.pool,
                 out_height: wl.out_height,
                 out_width: wl.out_width,
@@ -239,7 +250,10 @@ mod tests {
         let m = tiny_model();
         assert!(matches!(
             Dataflow::compile(&m, xb(), dac(), &[1]),
-            Err(IrError::WtDupArity { got: 1, expected: 2 })
+            Err(IrError::WtDupArity {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -271,7 +285,10 @@ mod tests {
         let df4 = Dataflow::compile(&m, xb(), dac(), &[4, 1]).unwrap();
         assert_eq!(df4.program(0).adc_samples, 4 * df1.program(0).adc_samples);
         // Total samples per inference are duplication-invariant.
-        assert_eq!(df4.program(0).total_adc_samples(), df1.program(0).total_adc_samples());
+        assert_eq!(
+            df4.program(0).total_adc_samples(),
+            df1.program(0).total_adc_samples()
+        );
     }
 
     #[test]
@@ -308,7 +325,13 @@ mod tests {
         let dup = vec![1; m.weight_layer_count()];
         let df = Dataflow::compile(&m, xb(), DacConfig::new(1).unwrap(), &dup).unwrap();
         let est = df.dag_node_estimate();
-        assert!(est > 1_000_000, "VGG16 at dup 1 should exceed 1M nodes, got {est}");
-        assert!(matches!(df.build_dag(100_000), Err(IrError::DagTooLarge { .. })));
+        assert!(
+            est > 1_000_000,
+            "VGG16 at dup 1 should exceed 1M nodes, got {est}"
+        );
+        assert!(matches!(
+            df.build_dag(100_000),
+            Err(IrError::DagTooLarge { .. })
+        ));
     }
 }

@@ -67,10 +67,17 @@ impl IrDag {
     pub(crate) fn build(df: &Dataflow, node_limit: usize) -> Result<Self, IrError> {
         let estimate = df.dag_node_estimate();
         if estimate > node_limit {
-            return Err(IrError::DagTooLarge { nodes: estimate, limit: node_limit });
+            return Err(IrError::DagTooLarge {
+                nodes: estimate,
+                limit: node_limit,
+            });
         }
 
-        let mut dag = IrDag { nodes: Vec::with_capacity(estimate), succs: Vec::new(), edge_count: 0 };
+        let mut dag = IrDag {
+            nodes: Vec::with_capacity(estimate),
+            succs: Vec::new(),
+            edge_count: 0,
+        };
 
         // store node id per (layer, block), for inter-layer edges.
         let mut store_ids: Vec<Vec<u32>> = Vec::with_capacity(df.programs().len());
@@ -81,7 +88,11 @@ impl IrDag {
             let mut prev_block_last_mvm: Option<u32> = None;
 
             for cnt in 0..prog.blocks {
-                let load = dag.push(IrOp::Load { layer: prog.layer, cnt, vec_width: prog.load_elems });
+                let load = dag.push(IrOp::Load {
+                    layer: prog.layer,
+                    cnt,
+                    vec_width: prog.load_elems,
+                });
                 // Inter-block: the scratchpad port issues loads in order.
                 if let Some(p) = prev_load {
                     dag.link(p, load, DepKind::InterBlock);
@@ -177,8 +188,11 @@ impl IrDag {
                     dag.link(tail, elt, DepKind::InterOp);
                     tail = elt;
                 }
-                let store =
-                    dag.push(IrOp::Store { layer: prog.layer, cnt, vec_width: prog.store_elems });
+                let store = dag.push(IrOp::Store {
+                    layer: prog.layer,
+                    cnt,
+                    vec_width: prog.store_elems,
+                });
                 dag.link(tail, store, DepKind::InterOp);
                 layer_stores.push(store);
             }
@@ -362,7 +376,10 @@ mod tests {
         let dag = df.build_dag(1_000_000).unwrap();
         let (comp, intra, inter) = dag.category_counts();
         assert_eq!(comp + intra + inter, dag.node_count());
-        assert_eq!(inter, 0, "communication IRs appear after macro partitioning");
+        assert_eq!(
+            inter, 0,
+            "communication IRs appear after macro partitioning"
+        );
         assert!(comp > intra);
     }
 

@@ -33,13 +33,19 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::WtDupArity { got, expected } => {
-                write!(f, "weight duplication vector has {got} entries, model has {expected} layers")
+                write!(
+                    f,
+                    "weight duplication vector has {got} entries, model has {expected} layers"
+                )
             }
             IrError::ZeroDuplication { layer } => {
                 write!(f, "layer {layer} has zero weight duplication")
             }
             IrError::DagTooLarge { nodes, limit } => {
-                write!(f, "IR DAG needs {nodes} nodes, exceeding the {limit}-node limit")
+                write!(
+                    f,
+                    "IR DAG needs {nodes} nodes, exceeding the {limit}-node limit"
+                )
             }
         }
     }
@@ -59,7 +65,14 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(IrError::WtDupArity { got: 3, expected: 16 }.to_string().contains("16"));
-        assert!(IrError::ZeroDuplication { layer: 2 }.to_string().contains("layer 2"));
+        assert!(IrError::WtDupArity {
+            got: 3,
+            expected: 16
+        }
+        .to_string()
+        .contains("16"));
+        assert!(IrError::ZeroDuplication { layer: 2 }
+            .to_string()
+            .contains("layer 2"));
     }
 }

@@ -156,23 +156,56 @@ impl IrOp {
 impl fmt::Display for IrOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            IrOp::Mvm { layer, cnt, bit, xb_num } => {
+            IrOp::Mvm {
+                layer,
+                cnt,
+                bit,
+                xb_num,
+            } => {
                 write!(f, "MVM[l{layer} c{cnt} b{bit} xb{xb_num}]")
             }
-            IrOp::Adc { layer, cnt, bit, vec_width } => {
+            IrOp::Adc {
+                layer,
+                cnt,
+                bit,
+                vec_width,
+            } => {
                 write!(f, "ADC[l{layer} c{cnt} b{bit} w{vec_width}]")
             }
-            IrOp::Alu { aluop, layer, cnt, bit, vec_width } => {
+            IrOp::Alu {
+                aluop,
+                layer,
+                cnt,
+                bit,
+                vec_width,
+            } => {
                 write!(f, "ALU[{aluop} l{layer} c{cnt} b{bit} w{vec_width}]")
             }
-            IrOp::Load { layer, cnt, vec_width } => write!(f, "load[l{layer} c{cnt} w{vec_width}]"),
-            IrOp::Store { layer, cnt, vec_width } => {
+            IrOp::Load {
+                layer,
+                cnt,
+                vec_width,
+            } => write!(f, "load[l{layer} c{cnt} w{vec_width}]"),
+            IrOp::Store {
+                layer,
+                cnt,
+                vec_width,
+            } => {
                 write!(f, "store[l{layer} c{cnt} w{vec_width}]")
             }
-            IrOp::Merge { layer, macro_num, vec_width } => {
+            IrOp::Merge {
+                layer,
+                macro_num,
+                vec_width,
+            } => {
                 write!(f, "merge[l{layer} m{macro_num} w{vec_width}]")
             }
-            IrOp::Transfer { layer, src, dst, vec_width } => {
+            IrOp::Transfer {
+                layer,
+                src,
+                dst,
+                vec_width,
+            } => {
                 write!(f, "transfer[l{layer} {src}->{dst} w{vec_width}]")
             }
         }
@@ -207,9 +240,23 @@ mod tests {
 
     #[test]
     fn categories_match_table2() {
-        let mvm = IrOp::Mvm { layer: 0, cnt: 0, bit: 0, xb_num: 4 };
-        let load = IrOp::Load { layer: 0, cnt: 0, vec_width: 27 };
-        let xfer = IrOp::Transfer { layer: 0, src: 0, dst: 1, vec_width: 64 };
+        let mvm = IrOp::Mvm {
+            layer: 0,
+            cnt: 0,
+            bit: 0,
+            xb_num: 4,
+        };
+        let load = IrOp::Load {
+            layer: 0,
+            cnt: 0,
+            vec_width: 27,
+        };
+        let xfer = IrOp::Transfer {
+            layer: 0,
+            src: 0,
+            dst: 1,
+            vec_width: 64,
+        };
         assert_eq!(mvm.category(), IrCategory::Computation);
         assert_eq!(load.category(), IrCategory::IntraMacro);
         assert_eq!(xfer.category(), IrCategory::InterMacro);
@@ -217,16 +264,31 @@ mod tests {
 
     #[test]
     fn layer_and_cnt_accessors() {
-        let adc = IrOp::Adc { layer: 3, cnt: 7, bit: 1, vec_width: 64 };
+        let adc = IrOp::Adc {
+            layer: 3,
+            cnt: 7,
+            bit: 1,
+            vec_width: 64,
+        };
         assert_eq!(adc.layer(), 3);
         assert_eq!(adc.cnt(), Some(7));
-        let merge = IrOp::Merge { layer: 2, macro_num: 4, vec_width: 16 };
+        let merge = IrOp::Merge {
+            layer: 2,
+            macro_num: 4,
+            vec_width: 16,
+        };
         assert_eq!(merge.cnt(), None);
     }
 
     #[test]
     fn display_is_compact() {
-        let op = IrOp::Alu { aluop: AluOp::ShiftAdd, layer: 1, cnt: 2, bit: 3, vec_width: 64 };
+        let op = IrOp::Alu {
+            aluop: AluOp::ShiftAdd,
+            layer: 1,
+            cnt: 2,
+            bit: 3,
+            vec_width: 64,
+        };
         assert_eq!(op.to_string(), "ALU[s&a l1 c2 b3 w64]");
     }
 }

@@ -46,7 +46,9 @@ pub fn producer_blocks_needed(
     let scale = producer.out_height as f64 / consumer.in_height.max(1) as f64;
     let prod_rows = ((in_rows as f64 * scale).ceil() as usize).min(producer.out_height);
     let prod_positions = prod_rows * producer.out_width;
-    prod_positions.div_ceil(producer_dup.max(1)).min(producer_blocks)
+    prod_positions
+        .div_ceil(producer_dup.max(1))
+        .min(producer_blocks)
 }
 
 /// Producer blocks needed before the consumer's *first* block — the pipeline
@@ -142,7 +144,10 @@ mod tests {
         b.linear("fc", f, 10);
         let m = b.build().unwrap();
         let (p, c) = (m.weight_layer(0).clone(), m.weight_layer(1).clone());
-        assert_eq!(producer_blocks_needed(&c, 1, 0, &p, 4), p.output_positions().div_ceil(4));
+        assert_eq!(
+            producer_blocks_needed(&c, 1, 0, &p, 4),
+            p.output_positions().div_ceil(4)
+        );
     }
 
     #[test]
@@ -160,6 +165,9 @@ mod tests {
     #[test]
     fn fill_blocks_matches_block_zero() {
         let (p, c) = stacked();
-        assert_eq!(fill_blocks(&c, 2, &p, 8), producer_blocks_needed(&c, 2, 0, &p, 8));
+        assert_eq!(
+            fill_blocks(&c, 2, &p, 8),
+            producer_blocks_needed(&c, 2, 0, &p, 8)
+        );
     }
 }

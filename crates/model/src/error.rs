@@ -74,7 +74,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::Ingest { detail } => write!(f, "model ingestion error: {detail}"),
             ModelError::InvalidPrecision { bits } => {
-                write!(f, "invalid quantization precision: {bits} bits (expected 1..=32)")
+                write!(
+                    f,
+                    "invalid quantization precision: {bits} bits (expected 1..=32)"
+                )
             }
         }
     }

@@ -49,7 +49,10 @@ impl JsonValue {
     /// Returns [`ModelError::Parse`] with a byte offset on any syntax error,
     /// including trailing garbage after the top-level value.
     pub fn parse(text: &str) -> Result<Self, ModelError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -182,7 +185,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, detail: impl Into<String>) -> ModelError {
-        ModelError::Parse { offset: self.pos, detail: detail.into() }
+        ModelError::Parse {
+            offset: self.pos,
+            detail: detail.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -342,8 +348,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ModelError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error("truncated unicode escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.error("invalid hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated unicode escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -412,8 +422,14 @@ mod tests {
         assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
         assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
         assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
-        assert_eq!(JsonValue::parse("-3.5e2").unwrap(), JsonValue::Number(-350.0));
-        assert_eq!(JsonValue::parse("\"hi\"").unwrap(), JsonValue::String("hi".into()));
+        assert_eq!(
+            JsonValue::parse("-3.5e2").unwrap(),
+            JsonValue::Number(-350.0)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
     }
 
     #[test]
@@ -451,7 +467,18 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["{", "[1,", "\"abc", "01", "1.", "1e", "tru", "{\"a\" 1}", "", "+1"] {
+        for bad in [
+            "{",
+            "[1,",
+            "\"abc",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "{\"a\" 1}",
+            "",
+            "+1",
+        ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
     }

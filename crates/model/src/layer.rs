@@ -107,8 +107,14 @@ impl LayerKind {
         match self {
             LayerKind::Conv2d { .. } => "conv",
             LayerKind::Linear { .. } => "fc",
-            LayerKind::Pool { kind: PoolKind::Max, .. } => "maxpool",
-            LayerKind::Pool { kind: PoolKind::Avg, .. } => "avgpool",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                ..
+            } => "maxpool",
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                ..
+            } => "avgpool",
             LayerKind::GlobalAvgPool => "gap",
             LayerKind::Relu => "relu",
             LayerKind::BatchNorm => "bn",
@@ -121,11 +127,20 @@ impl LayerKind {
 impl fmt::Display for LayerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayerKind::Conv2d { out_channels, kernel, stride, padding } => {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 write!(f, "conv {out_channels}o k{kernel} s{stride} p{padding}")
             }
             LayerKind::Linear { out_features } => write!(f, "fc {out_features}o"),
-            LayerKind::Pool { kind, kernel, stride } => {
+            LayerKind::Pool {
+                kind,
+                kernel,
+                stride,
+            } => {
                 write!(f, "{kind}pool k{kernel} s{stride}")
             }
             other => write!(f, "{}", other.mnemonic()),
@@ -151,8 +166,13 @@ mod tests {
 
     #[test]
     fn weight_bearing_kinds() {
-        assert!(LayerKind::Conv2d { out_channels: 64, kernel: 3, stride: 1, padding: 1 }
-            .bears_weights());
+        assert!(LayerKind::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1
+        }
+        .bears_weights());
         assert!(LayerKind::Linear { out_features: 1000 }.bears_weights());
         assert!(!LayerKind::Relu.bears_weights());
         assert!(!LayerKind::Add.bears_weights());
@@ -167,7 +187,12 @@ mod tests {
 
     #[test]
     fn display_conv() {
-        let k = LayerKind::Conv2d { out_channels: 128, kernel: 3, stride: 2, padding: 1 };
+        let k = LayerKind::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(k.to_string(), "conv 128o k3 s2 p1");
     }
 

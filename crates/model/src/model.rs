@@ -39,17 +39,26 @@ impl Precision {
                 return Err(ModelError::InvalidPrecision { bits });
             }
         }
-        Ok(Self { weight_bits, activation_bits })
+        Ok(Self {
+            weight_bits,
+            activation_bits,
+        })
     }
 
     /// The paper's default: 16-bit weights and activations.
     pub fn int16() -> Self {
-        Self { weight_bits: 16, activation_bits: 16 }
+        Self {
+            weight_bits: 16,
+            activation_bits: 16,
+        }
     }
 
     /// 8-bit weights and activations (PRIME's native quantification).
     pub fn int8() -> Self {
-        Self { weight_bits: 8, activation_bits: 8 }
+        Self {
+            weight_bits: 8,
+            activation_bits: 8,
+        }
     }
 
     /// Weight bit width (`PrecWt` in the paper's Eq. (1)).
@@ -308,7 +317,12 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// Starts a model with the given name and input tensor shape.
     pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
-        Self { name: name.into(), input, layers: Vec::new(), precision: Precision::int16() }
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+            precision: Precision::int16(),
+        }
     }
 
     /// Sets the quantization metadata (defaults to 16-bit).
@@ -326,7 +340,11 @@ impl ModelBuilder {
         inputs: Vec<LayerId>,
     ) -> LayerId {
         let id = LayerId(self.layers.len());
-        self.layers.push(Layer { name: name.into(), kind, inputs });
+        self.layers.push(Layer {
+            name: name.into(),
+            kind,
+            inputs,
+        });
         id
     }
 
@@ -342,7 +360,12 @@ impl ModelBuilder {
     ) -> LayerId {
         self.layer(
             name,
-            LayerKind::Conv2d { out_channels, kernel, stride, padding },
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            },
             input.into_iter().collect(),
         )
     }
@@ -375,7 +398,15 @@ impl ModelBuilder {
         kernel: usize,
         stride: usize,
     ) -> LayerId {
-        self.layer(name, LayerKind::Pool { kind: PoolKind::Max, kernel, stride }, vec![input])
+        self.layer(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel,
+                stride,
+            },
+            vec![input],
+        )
     }
 
     /// Adds an average-pooling layer.
@@ -386,7 +417,15 @@ impl ModelBuilder {
         kernel: usize,
         stride: usize,
     ) -> LayerId {
-        self.layer(name, LayerKind::Pool { kind: PoolKind::Avg, kernel, stride }, vec![input])
+        self.layer(
+            name,
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                kernel,
+                stride,
+            },
+            vec![input],
+        )
     }
 
     /// Adds a global-average-pooling layer.
@@ -452,7 +491,9 @@ fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>
     for (i, layer) in layers.iter().enumerate() {
         for &LayerId(p) in &layer.inputs {
             if p >= i {
-                return Err(ModelError::UnknownLayer { reference: format!("L{p}") });
+                return Err(ModelError::UnknownLayer {
+                    reference: format!("L{p}"),
+                });
             }
         }
         let in_shape = match layer.inputs.first() {
@@ -460,7 +501,12 @@ fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>
             None => input,
         };
         let out = match layer.kind {
-            LayerKind::Conv2d { out_channels, kernel, stride, padding } => {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 let h = pooled_extent(in_shape.height, kernel, stride, padding);
                 let w = pooled_extent(in_shape.width, kernel, stride, padding);
                 match (h, w) {
@@ -537,9 +583,12 @@ fn extract_weight_layers(
             None => input,
         };
         let (kernel, stride, in_channels, out_channels) = match layer.kind {
-            LayerKind::Conv2d { out_channels, kernel, stride, .. } => {
-                (kernel, stride, in_shape.channels, out_channels)
-            }
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                ..
+            } => (kernel, stride, in_shape.channels, out_channels),
             LayerKind::Linear { out_features } => (1, 1, in_shape.elements(), out_features),
             _ => continue,
         };
@@ -709,7 +758,10 @@ mod tests {
         let a = b.conv("a", None, 8, 3, 1, 1);
         let c = b.conv("b", None, 16, 3, 1, 1);
         b.add("add", a, c);
-        assert!(matches!(b.build().unwrap_err(), ModelError::AddShapeMismatch { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::AddShapeMismatch { .. }
+        ));
     }
 
     #[test]

@@ -50,8 +50,8 @@
 use std::collections::HashMap;
 
 use crate::json::JsonValue;
-use crate::{LayerId, Model, ModelBuilder, ModelError, Precision, TensorShape};
 use crate::{Layer, LayerKind, PoolKind};
+use crate::{LayerId, Model, ModelBuilder, ModelError, Precision, TensorShape};
 
 /// Parses an ONNX-style JSON model description into a validated [`Model`].
 ///
@@ -93,7 +93,10 @@ pub fn to_json(model: &Model) -> String {
     }
     let input = model.input_shape();
     let doc = JsonValue::Object(vec![
-        ("name".to_string(), JsonValue::String(model.name().to_string())),
+        (
+            "name".to_string(),
+            JsonValue::String(model.name().to_string()),
+        ),
         (
             "input".to_string(),
             JsonValue::Object(vec![(
@@ -126,7 +129,12 @@ pub fn to_json(model: &Model) -> String {
 fn op_and_attrs(layer: &Layer) -> (&'static str, Vec<(String, JsonValue)>) {
     let num = |n: usize| JsonValue::Number(n as f64);
     match layer.kind {
-        LayerKind::Conv2d { out_channels, kernel, stride, padding } => (
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => (
             "Conv",
             vec![
                 ("out_channels".to_string(), num(out_channels)),
@@ -135,15 +143,23 @@ fn op_and_attrs(layer: &Layer) -> (&'static str, Vec<(String, JsonValue)>) {
                 ("padding".to_string(), num(padding)),
             ],
         ),
-        LayerKind::Linear { out_features } => {
-            ("Gemm", vec![("out_features".to_string(), num(out_features))])
-        }
-        LayerKind::Pool { kind, kernel, stride } => (
+        LayerKind::Linear { out_features } => (
+            "Gemm",
+            vec![("out_features".to_string(), num(out_features))],
+        ),
+        LayerKind::Pool {
+            kind,
+            kernel,
+            stride,
+        } => (
             match kind {
                 PoolKind::Max => "MaxPool",
                 PoolKind::Avg => "AveragePool",
             },
-            vec![("kernel".to_string(), num(kernel)), ("stride".to_string(), num(stride))],
+            vec![
+                ("kernel".to_string(), num(kernel)),
+                ("stride".to_string(), num(stride)),
+            ],
         ),
         LayerKind::GlobalAvgPool => ("GlobalAveragePool", vec![]),
         LayerKind::Relu => ("Relu", vec![]),
@@ -154,11 +170,14 @@ fn op_and_attrs(layer: &Layer) -> (&'static str, Vec<(String, JsonValue)>) {
 }
 
 fn ingest_err(detail: impl Into<String>) -> ModelError {
-    ModelError::Ingest { detail: detail.into() }
+    ModelError::Ingest {
+        detail: detail.into(),
+    }
 }
 
 fn required<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a JsonValue, ModelError> {
-    obj.get(key).ok_or_else(|| ingest_err(format!("missing `{key}` in {ctx}")))
+    obj.get(key)
+        .ok_or_else(|| ingest_err(format!("missing `{key}` in {ctx}")))
 }
 
 fn required_usize(obj: &JsonValue, key: &str, ctx: &str) -> Result<usize, ModelError> {
@@ -177,7 +196,10 @@ fn optional_usize(obj: &JsonValue, key: &str, default: usize) -> Result<usize, M
 }
 
 fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
-    let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("imported");
+    let name = doc
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("imported");
     let input = required(doc, "input", "document")?;
     let shape = required(input, "shape", "input")?
         .as_array()
@@ -190,7 +212,10 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
     }
     let dims: Vec<usize> = shape
         .iter()
-        .map(|v| v.as_usize().ok_or_else(|| ingest_err("input dimensions must be integers")))
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| ingest_err("input dimensions must be integers"))
+        })
         .collect::<Result<_, _>>()?;
     let input_shape = TensorShape::new(dims[0], dims[1], dims[2]);
 
@@ -235,10 +260,17 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
             }
             match ids.get(*n) {
                 Some(&id) => resolved.push(id),
-                None => return Err(ModelError::UnknownLayer { reference: (*n).to_string() }),
+                None => {
+                    return Err(ModelError::UnknownLayer {
+                        reference: (*n).to_string(),
+                    })
+                }
             }
         }
-        let attrs = node.get("attrs").cloned().unwrap_or(JsonValue::Object(vec![]));
+        let attrs = node
+            .get("attrs")
+            .cloned()
+            .unwrap_or(JsonValue::Object(vec![]));
         let actx = format!("attrs of `{node_name}`");
         let kind = match op {
             "Conv" => LayerKind::Conv2d {
@@ -247,11 +279,15 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
                 stride: optional_usize(&attrs, "stride", 1)?,
                 padding: optional_usize(&attrs, "padding", 0)?,
             },
-            "Gemm" | "MatMul" => {
-                LayerKind::Linear { out_features: required_usize(&attrs, "out_features", &actx)? }
-            }
+            "Gemm" | "MatMul" => LayerKind::Linear {
+                out_features: required_usize(&attrs, "out_features", &actx)?,
+            },
             "MaxPool" | "AveragePool" => LayerKind::Pool {
-                kind: if op == "MaxPool" { PoolKind::Max } else { PoolKind::Avg },
+                kind: if op == "MaxPool" {
+                    PoolKind::Max
+                } else {
+                    PoolKind::Avg
+                },
                 kernel: required_usize(&attrs, "kernel", &actx)?,
                 stride: optional_usize(&attrs, "stride", 1)?,
             },
@@ -261,7 +297,9 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
             "Add" => LayerKind::Add,
             "Flatten" | "Reshape" => LayerKind::Flatten,
             other => {
-                return Err(ingest_err(format!("unsupported op `{other}` at node `{node_name}`")))
+                return Err(ingest_err(format!(
+                    "unsupported op `{other}` at node `{node_name}`"
+                )))
             }
         };
         let id = builder.layer(node_name.clone(), kind, resolved);
@@ -316,7 +354,10 @@ mod tests {
           "input": {"shape": [3, 8, 8]},
           "nodes": [{"op": "Relu", "name": "r", "inputs": ["ghost"]}]
         }"#;
-        assert!(matches!(parse_model(bad).unwrap_err(), ModelError::UnknownLayer { .. }));
+        assert!(matches!(
+            parse_model(bad).unwrap_err(),
+            ModelError::UnknownLayer { .. }
+        ));
     }
 
     #[test]
@@ -348,11 +389,21 @@ mod tests {
 
     #[test]
     fn zoo_models_round_trip_through_json() {
-        for model in [zoo::alexnet(), zoo::vgg16(), zoo::resnet18(), zoo::alexnet_cifar(10)] {
+        for model in [
+            zoo::alexnet(),
+            zoo::vgg16(),
+            zoo::resnet18(),
+            zoo::alexnet_cifar(10),
+        ] {
             let text = to_json(&model);
             let back = parse_model(&text).unwrap();
             assert_eq!(back.name(), model.name());
-            assert_eq!(back.layers(), model.layers(), "layer graphs differ for {}", model.name());
+            assert_eq!(
+                back.layers(),
+                model.layers(),
+                "layer graphs differ for {}",
+                model.name()
+            );
             assert_eq!(back.precision(), model.precision());
             assert_eq!(back.input_shape(), model.input_shape());
             assert_eq!(back.stats(), model.stats());

@@ -25,13 +25,21 @@ pub struct TensorShape {
 impl TensorShape {
     /// Creates a shape from channel count and spatial extents.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Creates a flat (vector) shape as produced by `Flatten` or `Linear`
     /// layers: `C x 1 x 1`.
     pub fn flat(elements: usize) -> Self {
-        Self { channels: elements, height: 1, width: 1 }
+        Self {
+            channels: elements,
+            height: 1,
+            width: 1,
+        }
     }
 
     /// Total number of scalar elements in the tensor.
@@ -64,7 +72,11 @@ impl fmt::Display for TensorShape {
 
 impl From<(usize, usize, usize)> for TensorShape {
     fn from((channels, height, width): (usize, usize, usize)) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 }
 

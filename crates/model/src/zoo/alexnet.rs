@@ -89,7 +89,14 @@ mod tests {
 
     #[test]
     fn cifar_classifier_width_follows_classes() {
-        assert_eq!(alexnet_cifar(100).weight_layers().last().unwrap().out_channels, 100);
+        assert_eq!(
+            alexnet_cifar(100)
+                .weight_layers()
+                .last()
+                .unwrap()
+                .out_channels,
+            100
+        );
     }
 
     #[test]

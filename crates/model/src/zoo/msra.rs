@@ -71,6 +71,9 @@ mod tests {
         // MSRA model A is notably heavier than VGG16 (~19 vs ~15.5 GMACs).
         let msra_macs = msra().stats().total_macs;
         let vgg16_macs = super::super::vgg16().stats().total_macs;
-        assert!(msra_macs > vgg16_macs, "msra {msra_macs} vs vgg16 {vgg16_macs}");
+        assert!(
+            msra_macs > vgg16_macs,
+            "msra {msra_macs} vs vgg16 {vgg16_macs}"
+        );
     }
 }

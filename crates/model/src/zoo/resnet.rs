@@ -52,7 +52,14 @@ pub fn resnet18() -> Model {
     for (stage, channels) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512)] {
         for block in 1..=2usize {
             let stride = if stage > 1 && block == 1 { 2 } else { 1 };
-            cur = basic_block(&mut b, &format!("s{stage}b{block}"), cur, width, channels, stride);
+            cur = basic_block(
+                &mut b,
+                &format!("s{stage}b{block}"),
+                cur,
+                width,
+                channels,
+                stride,
+            );
             width = channels;
         }
     }
@@ -78,7 +85,14 @@ pub fn resnet18_cifar(classes: usize) -> Model {
     for (stage, channels) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512)] {
         for block in 1..=2usize {
             let stride = if stage > 1 && block == 1 { 2 } else { 1 };
-            cur = basic_block(&mut b, &format!("s{stage}b{block}"), cur, width, channels, stride);
+            cur = basic_block(
+                &mut b,
+                &format!("s{stage}b{block}"),
+                cur,
+                width,
+                channels,
+                stride,
+            );
             width = channels;
         }
     }
@@ -87,7 +101,8 @@ pub fn resnet18_cifar(classes: usize) -> Model {
     let f = b.flatten("flatten", gap);
     b.linear("fc", f, classes);
 
-    b.build().expect("static resnet18-cifar definition is valid")
+    b.build()
+        .expect("static resnet18-cifar definition is valid")
 }
 
 #[cfg(test)]
@@ -106,8 +121,11 @@ mod tests {
     #[test]
     fn downsample_projections_exist() {
         let m = resnet18();
-        let downs: Vec<_> =
-            m.weight_layers().filter(|w| w.name.ends_with("_down")).map(|w| w.kernel).collect();
+        let downs: Vec<_> = m
+            .weight_layers()
+            .filter(|w| w.name.ends_with("_down"))
+            .map(|w| w.kernel)
+            .collect();
         assert_eq!(downs, vec![1, 1, 1]);
     }
 

@@ -15,7 +15,12 @@ fn vgg_stage(
         let r = b.relu(format!("relu{stage}_{i}"), c);
         cur = Some(r);
     }
-    b.max_pool(format!("pool{stage}"), cur.expect("stage has at least one conv"), 2, 2)
+    b.max_pool(
+        format!("pool{stage}"),
+        cur.expect("stage has at least one conv"),
+        2,
+        2,
+    )
 }
 
 fn vgg_classifier(b: &mut ModelBuilder, input: LayerId, hidden: usize, classes: usize) {

@@ -1,63 +1,110 @@
 //! Property tests for the from-scratch JSON parser: arbitrary documents
 //! must round-trip through `Display` -> `parse`, and the parser must never
 //! panic on arbitrary input bytes.
+//!
+//! Cases are drawn from a seeded RNG (no external property-test framework
+//! is available offline), so every run exercises the same deterministic
+//! sample of the input space; failures reproduce exactly.
 
 use pimsyn_model::json::JsonValue;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy for arbitrary JSON values of bounded depth/size.
-fn arb_json() -> impl Strategy<Value = JsonValue> {
-    let leaf = prop_oneof![
-        Just(JsonValue::Null),
-        any::<bool>().prop_map(JsonValue::Bool),
-        // Finite numbers only: JSON has no NaN/inf.
-        (-1e15f64..1e15f64).prop_map(JsonValue::Number),
-        "[a-zA-Z0-9 _\\-\\.\\n\\t\"\\\\éß😀]{0,24}".prop_map(JsonValue::String),
-    ];
-    leaf.prop_recursive(3, 48, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
-            prop::collection::vec(("[a-z]{1,8}", inner), 0..6)
-                .prop_map(|pairs| JsonValue::Object(
-                    pairs.into_iter().map(|(k, v)| (k, v)).collect()
-                )),
-        ]
-    })
+const CASES: usize = 256;
+
+/// Characters exercising escapes, unicode, and whitespace in strings.
+const STRING_POOL: &[char] = &[
+    'a', 'Z', '0', '9', ' ', '_', '-', '.', '\n', '\t', '"', '\\', 'é', 'ß', '😀',
+];
+
+fn arb_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0usize..=max_len);
+    (0..len)
+        .map(|_| STRING_POOL[rng.gen_range(0usize..STRING_POOL.len())])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_key(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..=8);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0u32..26) as u8) as char)
+        .collect()
+}
 
-    #[test]
-    fn display_parse_round_trip(v in arb_json()) {
-        let text = v.to_string();
-        let back = JsonValue::parse(&text)
-            .unwrap_or_else(|e| panic!("reparse failed for {text:?}: {e}"));
-        prop_assert!(json_eq(&v, &back), "{v:?} != {back:?} via {text:?}");
+/// Arbitrary JSON value of bounded depth. Finite numbers only: JSON has no
+/// NaN/inf.
+fn arb_json(rng: &mut StdRng, depth: usize) -> JsonValue {
+    let leaf_only = depth == 0;
+    match rng.gen_range(0usize..if leaf_only { 4 } else { 6 }) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.gen_bool(0.5)),
+        2 => JsonValue::Number(rng.gen_range(-1e15f64..1e15)),
+        3 => JsonValue::String(arb_string(rng, 24)),
+        4 => {
+            let n = rng.gen_range(0usize..6);
+            JsonValue::Array((0..n).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..6);
+            JsonValue::Object(
+                (0..n)
+                    .map(|_| (arb_key(rng), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(s in "\\PC{0,64}") {
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x150_0001);
+    for _ in 0..CASES {
+        let v = arb_json(&mut rng, 3);
+        let text = v.to_string();
+        let back =
+            JsonValue::parse(&text).unwrap_or_else(|e| panic!("reparse failed for {text:?}: {e}"));
+        assert!(json_eq(&v, &back), "{v:?} != {back:?} via {text:?}");
+    }
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let mut rng = StdRng::seed_from_u64(0x150_0002);
+    for _ in 0..CASES {
+        // Arbitrary printable-ish unicode, including multi-byte chars.
+        let len = rng.gen_range(0usize..64);
+        let s: String = (0..len)
+            .map(|_| char::from_u32(rng.gen_range(1u32..0xD7FF)).unwrap_or('x'))
+            .collect();
         let _ = JsonValue::parse(&s); // may Err, must not panic
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_json_like_text(
-        s in "[\\{\\}\\[\\]\",:0-9a-z\\\\ \\.eE+-]{0,48}"
-    ) {
+#[test]
+fn parser_never_panics_on_json_like_text() {
+    const POOL: &[u8] = b"{}[]\",:0123456789abcxyz\\ .eE+-";
+    let mut rng = StdRng::seed_from_u64(0x150_0003);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..48);
+        let s: String = (0..len)
+            .map(|_| POOL[rng.gen_range(0usize..POOL.len())] as char)
+            .collect();
         let _ = JsonValue::parse(&s);
     }
+}
 
-    #[test]
-    fn numbers_round_trip_exactly(n in -1e15f64..1e15f64) {
+#[test]
+fn numbers_round_trip_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x150_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(-1e15f64..1e15);
         let v = JsonValue::Number(n);
         let back = JsonValue::parse(&v.to_string()).expect("number reparses");
         match back {
-            JsonValue::Number(m) => prop_assert!(
-                (m - n).abs() <= n.abs() * 1e-12 + 1e-12,
-                "{n} -> {m}"
-            ),
-            other => prop_assert!(false, "not a number: {other:?}"),
+            JsonValue::Number(m) => {
+                assert!((m - n).abs() <= n.abs() * 1e-12 + 1e-12, "{n} -> {m}")
+            }
+            other => panic!("not a number: {other:?}"),
         }
     }
 }
@@ -67,16 +114,16 @@ fn json_eq(a: &JsonValue, b: &JsonValue) -> bool {
     match (a, b) {
         (JsonValue::Null, JsonValue::Null) => true,
         (JsonValue::Bool(x), JsonValue::Bool(y)) => x == y,
-        (JsonValue::Number(x), JsonValue::Number(y)) => {
-            (x - y).abs() <= x.abs() * 1e-12 + 1e-12
-        }
+        (JsonValue::Number(x), JsonValue::Number(y)) => (x - y).abs() <= x.abs() * 1e-12 + 1e-12,
         (JsonValue::String(x), JsonValue::String(y)) => x == y,
         (JsonValue::Array(x), JsonValue::Array(y)) => {
             x.len() == y.len() && x.iter().zip(y).all(|(a, b)| json_eq(a, b))
         }
         (JsonValue::Object(x), JsonValue::Object(y)) => {
             x.len() == y.len()
-                && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && json_eq(va, vb))
         }
         _ => false,
     }

@@ -1,62 +1,80 @@
 //! Property tests for shape inference and weight-layer extraction.
+//!
+//! Cases are drawn from a seeded RNG (no external property-test framework
+//! is available offline), so every run exercises the same deterministic
+//! sample of the input space; failures reproduce exactly.
 
 use pimsyn_model::{ModelBuilder, TensorShape};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// Conv output extents always satisfy the textbook formula and MAC/weight
-    /// counts stay mutually consistent.
-    #[test]
-    fn conv_shape_formula_holds(
-        ci in 1usize..8,
-        extent in 4usize..32,
-        co in 1usize..32,
-        kernel in 1usize..5,
-        stride in 1usize..3,
-        padding in 0usize..3,
-    ) {
-        prop_assume!(kernel <= extent + 2 * padding);
+/// Conv output extents always satisfy the textbook formula and MAC/weight
+/// counts stay mutually consistent.
+#[test]
+fn conv_shape_formula_holds() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE_0001);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let ci = rng.gen_range(1usize..8);
+        let extent = rng.gen_range(4usize..32);
+        let co = rng.gen_range(1usize..32);
+        let kernel = rng.gen_range(1usize..5);
+        let stride = rng.gen_range(1usize..3);
+        let padding = rng.gen_range(0usize..3);
+        if kernel > extent + 2 * padding {
+            continue;
+        }
+        checked += 1;
         let mut b = ModelBuilder::new("t", TensorShape::new(ci, extent, extent));
         b.conv("c", None, co, kernel, stride, padding);
         let m = b.build().expect("valid conv");
         let wl = m.weight_layer(0);
         let expect = (extent + 2 * padding - kernel) / stride + 1;
-        prop_assert_eq!(wl.out_height, expect);
-        prop_assert_eq!(wl.out_width, expect);
-        prop_assert_eq!(wl.weights, (co * kernel * kernel * ci) as u64);
-        prop_assert_eq!(
-            wl.macs,
-            wl.weights * (wl.out_height * wl.out_width) as u64
-        );
-        prop_assert_eq!(wl.filter_rows(), kernel * kernel * ci);
+        assert_eq!(wl.out_height, expect);
+        assert_eq!(wl.out_width, expect);
+        assert_eq!(wl.weights, (co * kernel * kernel * ci) as u64);
+        assert_eq!(wl.macs, wl.weights * (wl.out_height * wl.out_width) as u64);
+        assert_eq!(wl.filter_rows(), kernel * kernel * ci);
     }
+}
 
-    /// Pooling never enlarges the tensor and preserves channels.
-    #[test]
-    fn pooling_contracts(
-        extent in 4usize..32,
-        ch in 1usize..16,
-        window in 2usize..4,
-        stride in 1usize..4,
-    ) {
-        prop_assume!(window <= extent);
+/// Pooling never enlarges the tensor and preserves channels.
+#[test]
+fn pooling_contracts() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE_0002);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let extent = rng.gen_range(4usize..32);
+        let ch = rng.gen_range(1usize..16);
+        let window = rng.gen_range(2usize..4);
+        let stride = rng.gen_range(1usize..4);
+        if window > extent {
+            continue;
+        }
+        checked += 1;
         let mut b = ModelBuilder::new("t", TensorShape::new(ch, extent, extent));
         let c = b.conv("c", None, ch, 1, 1, 0);
         b.max_pool("p", c, window, stride);
         let m = b.build().expect("valid");
         let out = m.output_shape(m.layer_by_name("p").expect("pool exists"));
-        prop_assert_eq!(out.channels, ch);
-        prop_assert!(out.height <= extent);
-        prop_assert!(out.width <= extent);
-        prop_assert!(out.height >= 1);
+        assert_eq!(out.channels, ch);
+        assert!(out.height <= extent);
+        assert!(out.width <= extent);
+        assert!(out.height >= 1);
     }
+}
 
-    /// Stacking convs: every layer's in_channels equals its producer's
-    /// out_channels, and producers/consumers are mutually consistent.
-    #[test]
-    fn producer_consumer_duality(widths in prop::collection::vec(1usize..16, 2..6)) {
+/// Stacking convs: every layer's in_channels equals its producer's
+/// out_channels, and producers/consumers are mutually consistent.
+#[test]
+fn producer_consumer_duality() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE_0003);
+    for _ in 0..CASES {
+        let widths: Vec<usize> = (0..rng.gen_range(2usize..6))
+            .map(|_| rng.gen_range(1usize..16))
+            .collect();
         let mut b = ModelBuilder::new("t", TensorShape::new(3, 16, 16));
         let mut cur = None;
         for (i, &w) in widths.iter().enumerate() {
@@ -66,22 +84,27 @@ proptest! {
         let m = b.build().expect("valid");
         for wl in m.weight_layers() {
             for &p in &wl.producers {
-                prop_assert_eq!(wl.in_channels, m.weight_layer(p).out_channels);
-                prop_assert!(
+                assert_eq!(wl.in_channels, m.weight_layer(p).out_channels);
+                assert!(
                     m.weight_layer(p).consumers.contains(&wl.index),
                     "consumer back-reference missing"
                 );
             }
         }
     }
+}
 
-    /// Access volume (Eq. (4)) is linear in the duplication factor.
-    #[test]
-    fn access_volume_linear(dup in 1usize..64, co in 1usize..64) {
+/// Access volume (Eq. (4)) is linear in the duplication factor.
+#[test]
+fn access_volume_linear() {
+    let mut rng = StdRng::seed_from_u64(0x5AFE_0004);
+    for _ in 0..CASES {
+        let dup = rng.gen_range(1usize..64);
+        let co = rng.gen_range(1usize..64);
         let mut b = ModelBuilder::new("t", TensorShape::new(3, 8, 8));
         b.conv("c", None, co, 3, 1, 1);
         let m = b.build().expect("valid");
         let wl = m.weight_layer(0);
-        prop_assert_eq!(wl.access_volume(dup), dup as u64 * wl.access_volume(1));
+        assert_eq!(wl.access_volume(dup), dup as u64 * wl.access_volume(1));
     }
 }

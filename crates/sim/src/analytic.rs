@@ -117,7 +117,11 @@ pub fn evaluate_analytic(
 
     let power = arch.power_breakdown().total();
     let macs = model.stats().total_macs as f64;
-    let throughput_ops = if steady > 0.0 { 2.0 * macs / steady } else { 0.0 };
+    let throughput_ops = if steady > 0.0 {
+        2.0 * macs / steady
+    } else {
+        0.0
+    };
 
     // Estimated busy fractions: each class's occupancy per block over the
     // layer's period, weighted by the layer's share of the makespan.
@@ -263,7 +267,10 @@ mod tests {
         let (model, df, arch) = setup([2, 2], 2);
         let r = evaluate_analytic(&model, &df, &arch).unwrap();
         assert!(r.per_layer[1].start > r.per_layer[0].start);
-        assert!(r.per_layer[1].start < r.per_layer[0].finish, "fine-grained pipeline overlap");
+        assert!(
+            r.per_layer[1].start < r.per_layer[0].finish,
+            "fine-grained pipeline overlap"
+        );
     }
 
     #[test]

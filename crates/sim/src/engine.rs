@@ -142,9 +142,9 @@ pub fn simulate(
     let mut waiters: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut queue: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
     let mut queued = vec![false; n];
-    for i in 0..n {
+    for (i, q) in queued.iter_mut().enumerate() {
         queue.push(Reverse((Key(0.0), i)));
-        queued[i] = true;
+        *q = true;
     }
 
     while let Some(Reverse((_, l))) = queue.pop() {
@@ -235,7 +235,11 @@ pub fn simulate(
                 layer: i,
                 period: Seconds(p),
                 busy: Seconds(st.busy_xbar.max(st.busy_adc)),
-                start: Seconds(if st.first_start.is_finite() { st.first_start } else { 0.0 }),
+                start: Seconds(if st.first_start.is_finite() {
+                    st.first_start
+                } else {
+                    0.0
+                }),
                 finish: Seconds(st.last_finish),
                 bottleneck: kind,
             }
@@ -251,7 +255,11 @@ pub fn simulate(
         .unwrap_or(0);
 
     let macs = model.stats().total_macs as f64;
-    let throughput_ops = if steady > 0.0 { 2.0 * macs / steady } else { 0.0 };
+    let throughput_ops = if steady > 0.0 {
+        2.0 * macs / steady
+    } else {
+        0.0
+    };
 
     // Busy fractions: average each class's per-layer busy time over the
     // makespan (layers own their crossbars/ALUs; ADC banks are per group).
@@ -259,8 +267,7 @@ pub fn simulate(
     let nl = layers.len().max(1) as f64;
     let utilization = Utilization {
         crossbar: layers.iter().map(|s| s.busy_xbar).sum::<f64>() / (nl * span),
-        adc: layers.iter().map(|s| s.busy_adc).sum::<f64>()
-            / (groups.len().max(1) as f64 * span),
+        adc: layers.iter().map(|s| s.busy_adc).sum::<f64>() / (groups.len().max(1) as f64 * span),
         shift_add: layers.iter().map(|s| s.busy_sa).sum::<f64>() / (nl * span),
         post: layers.iter().map(|s| s.busy_post).sum::<f64>() / (nl * span),
     };
@@ -423,7 +430,10 @@ mod tests {
     #[test]
     fn zero_images_rejected() {
         let (model, df, arch) = setup([2, 2], 2);
-        assert!(matches!(simulate(&model, &df, &arch, 0), Err(SimError::ZeroImages)));
+        assert!(matches!(
+            simulate(&model, &df, &arch, 0),
+            Err(SimError::ZeroImages)
+        ));
     }
 
     #[test]
@@ -509,7 +519,10 @@ mod tests {
             r.utilization.shift_add,
             r.utilization.post,
         ] {
-            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utilization {u} out of range"
+            );
         }
         assert!(r.utilization.adc > 0.0, "adc bank must have been busy");
     }

@@ -29,10 +29,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MissingComponent { layer, component } => {
-                write!(f, "layer {layer} has workload for `{component}` but zero units allocated")
+                write!(
+                    f,
+                    "layer {layer} has workload for `{component}` but zero units allocated"
+                )
             }
             SimError::LayerCountMismatch { arch, dataflow } => {
-                write!(f, "architecture has {arch} layers but dataflow has {dataflow}")
+                write!(
+                    f,
+                    "architecture has {arch} layers but dataflow has {dataflow}"
+                )
             }
             SimError::ZeroImages => write!(f, "at least one image must be simulated"),
         }
@@ -53,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_names_component() {
-        let e = SimError::MissingComponent { layer: 3, component: "adc" };
+        let e = SimError::MissingComponent {
+            layer: 3,
+            component: "adc",
+        };
         assert!(e.to_string().contains("adc"));
     }
 }

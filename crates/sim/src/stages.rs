@@ -106,14 +106,20 @@ pub fn compute_stages(df: &Dataflow, arch: &Architecture) -> Result<Vec<LayerSta
 
         let adc_units = arch.effective_adcs(prog.layer);
         if prog.adc_samples > 0 && adc_units == 0 {
-            return Err(SimError::MissingComponent { layer: prog.layer, component: "adc" });
+            return Err(SimError::MissingComponent {
+                layer: prog.layer,
+                component: "adc",
+            });
         }
         let adc_rate = lh.adc.sample_rate(hw).value();
         let adc_bit = prog.adc_samples as f64 / (adc_units.max(1) as f64 * adc_rate);
 
         let sa_units = lh.components.shift_add;
         if prog.shift_add_ops > 0 && sa_units == 0 {
-            return Err(SimError::MissingComponent { layer: prog.layer, component: "shift-add" });
+            return Err(SimError::MissingComponent {
+                layer: prog.layer,
+                component: "shift-add",
+            });
         }
         let sa_bit = prog.shift_add_ops as f64 / (sa_units.max(1) as f64 * clock);
 
@@ -125,7 +131,10 @@ pub fn compute_stages(df: &Dataflow, arch: &Architecture) -> Result<Vec<LayerSta
         ] {
             if ops > 0 {
                 if units == 0 {
-                    return Err(SimError::MissingComponent { layer: prog.layer, component });
+                    return Err(SimError::MissingComponent {
+                        layer: prog.layer,
+                        component,
+                    });
                 }
                 post += ops as f64 / (units as f64 * clock);
             }
@@ -256,7 +265,10 @@ mod tests {
         let (df, arch) = setup(0);
         assert!(matches!(
             compute_stages(&df, &arch),
-            Err(SimError::MissingComponent { component: "adc", .. })
+            Err(SimError::MissingComponent {
+                component: "adc",
+                ..
+            })
         ));
     }
 

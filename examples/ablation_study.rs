@@ -28,12 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== weight duplication (Fig. 7) ===");
     run("SA-based filter", base())?;
-    run("WOHO-proportional", base().with_strategy(WtDupStrategy::WohoProportional))?;
-    run("no duplication", base().with_strategy(WtDupStrategy::NoDuplication))?;
+    run(
+        "WOHO-proportional",
+        base().with_strategy(WtDupStrategy::WohoProportional),
+    )?;
+    run(
+        "no duplication",
+        base().with_strategy(WtDupStrategy::NoDuplication),
+    )?;
 
     println!("=== macro design (Fig. 8) ===");
     run("specialized macros", base())?;
-    run("identical macros", base().with_macro_mode(MacroMode::Identical))?;
+    run(
+        "identical macros",
+        base().with_macro_mode(MacroMode::Identical),
+    )?;
 
     println!("=== inter-layer macro sharing (Fig. 9) ===");
     run("with sharing", base())?;

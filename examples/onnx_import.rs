@@ -54,6 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = onnx::to_json(&resnet);
     let back = onnx::parse_model(&text)?;
     assert_eq!(back.layers(), resnet.layers());
-    println!("round-trip ok: {} ({} bytes of JSON)", back.name(), text.len());
+    println!(
+        "round-trip ok: {} ({} bytes of JSON)",
+        back.name(),
+        text.len()
+    );
     Ok(())
 }

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if p.feasible { "yes" } else { "no" },
             p.efficiency,
             p.throughput_ops / 1e12,
-            if p.feasible { p.latency * 1e3 } else { f64::NAN },
+            if p.feasible {
+                p.latency * 1e3
+            } else {
+                f64::NAN
+            },
         );
     }
 

@@ -10,7 +10,9 @@ use pimsyn_model::zoo;
 const POWER: Watts = Watts(12.0);
 
 fn synthesize(options: SynthesisOptions) -> pimsyn::SynthesisResult {
-    Synthesizer::new(options.with_seed(7)).synthesize(&zoo::alexnet_cifar(10)).expect("synthesis")
+    Synthesizer::new(options.with_seed(7))
+        .synthesize(&zoo::alexnet_cifar(10))
+        .expect("synthesis")
 }
 
 #[test]
@@ -83,7 +85,11 @@ fn baseline_inventories_are_ordered_like_table4() {
     // Every baseline must stay within 2.5x of its published figure.
     for (inv, (_, modeled)) in inventory::table4_inventories().iter().zip(&peaks) {
         let ratio = modeled / inv.published_tops_per_watt;
-        assert!((0.4..2.5).contains(&ratio), "{}: ratio {ratio:.2}", inv.name);
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "{}: ratio {ratio:.2}",
+            inv.name
+        );
     }
 }
 

@@ -21,8 +21,13 @@ fn synthesis_satisfies_eq2_crossbar_constraint() {
     let arch = &result.architecture;
     // sum WtDup_i x set_i <= #crossbar (Eq. (2) subject-to clause).
     let used = crossbars_used(&model, arch.crossbar, &result.wt_dup);
-    let budget = arch.crossbar.budget(arch.power_budget, arch.ratio_rram, &arch.hw);
-    assert!(used <= budget, "{used} crossbars exceed Eq. (3) budget {budget}");
+    let budget = arch
+        .crossbar
+        .budget(arch.power_budget, arch.ratio_rram, &arch.hw);
+    assert!(
+        used <= budget,
+        "{used} crossbars exceed Eq. (3) budget {budget}"
+    );
     assert_eq!(used, arch.crossbar_count());
 }
 
@@ -35,7 +40,10 @@ fn synthesis_respects_power_constraint() {
         "realized {realized} vs constraint {}",
         result.architecture.power_budget
     );
-    result.architecture.validate(&model).expect("architecture validates");
+    result
+        .architecture
+        .validate(&model)
+        .expect("architecture validates");
 }
 
 #[test]
@@ -100,7 +108,9 @@ fn imagenet_scale_synthesis_works() {
     let options = SynthesisOptions::fast(Watts(65.0))
         .with_design_space(DesignSpace::custom(vec![0.3], vec![512], vec![4], vec![1]))
         .with_seed(5);
-    let result = Synthesizer::new(options).synthesize(&model).expect("ImageNet synthesis");
+    let result = Synthesizer::new(options)
+        .synthesize(&model)
+        .expect("ImageNet synthesis");
     assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
     result.architecture.validate(&model).unwrap();
 }

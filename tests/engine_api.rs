@@ -1,0 +1,258 @@
+//! Integration tests for the job-oriented [`SynthesisEngine`] API: event
+//! streaming, cooperative cancellation, time / evaluation budgets, and
+//! batch synthesis with per-job failure isolation.
+
+use std::time::{Duration, Instant};
+
+use pimsyn::{
+    CancelToken, CollectingSink, Effort, NullSink, StopReason, SynthesisEngine, SynthesisError,
+    SynthesisEvent, SynthesisOptions, SynthesisRequest, SynthesisStage,
+};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+fn fast_request() -> SynthesisRequest {
+    SynthesisRequest::new(
+        zoo::alexnet_cifar(10),
+        SynthesisOptions::fast(Watts(6.0)).with_seed(3),
+    )
+}
+
+/// A paper-effort request: enough work (36 outer points, long SA anneals,
+/// big EA budgets) that cancellation and budgets have something to stop.
+fn heavy_request() -> SynthesisRequest {
+    let mut options = SynthesisOptions::new(Watts(15.0)).with_seed(3);
+    options.effort = Effort::Paper;
+    SynthesisRequest::new(zoo::vgg16_cifar(10), options)
+}
+
+#[test]
+fn event_stream_is_nonempty_and_stage_ordered() {
+    let engine = SynthesisEngine::new();
+    let sink = CollectingSink::new();
+    let result = engine
+        .run(&fast_request(), &sink, &CancelToken::new())
+        .unwrap();
+    assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+    assert_eq!(result.stop_reason, StopReason::Completed);
+
+    let events = sink.take();
+    assert!(!events.is_empty());
+    assert!(matches!(
+        events.first(),
+        Some(SynthesisEvent::JobStarted { job: 0, .. })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(SynthesisEvent::Finished { job: 0, efficiency: Some(e), .. }) if *e > 0.0
+    ));
+
+    // Per design point: stages start in paper order, every started stage
+    // finishes before the next one starts, and the point summary follows
+    // the last stage.
+    // The fast preset traverses the reduced design space.
+    let point_count = pimsyn::DesignSpace::reduced().outer_len();
+    let mut evaluated_points = 0;
+    for point in 0..point_count {
+        let for_point: Vec<&SynthesisEvent> = events
+            .iter()
+            .filter(|ev| match ev {
+                SynthesisEvent::StageStarted { point_index, .. }
+                | SynthesisEvent::StageFinished { point_index, .. }
+                | SynthesisEvent::DesignPointEvaluated { point_index, .. } => *point_index == point,
+                _ => false,
+            })
+            .collect();
+        let mut expected = Vec::new();
+        for stage in SynthesisStage::ALL {
+            expected.push(format!("started:{stage}"));
+            expected.push(format!("finished:{stage}"));
+        }
+        expected.push("evaluated".to_string());
+        let got: Vec<String> = for_point
+            .iter()
+            .map(|ev| match ev {
+                SynthesisEvent::StageStarted { stage, .. } => format!("started:{stage}"),
+                SynthesisEvent::StageFinished { stage, .. } => format!("finished:{stage}"),
+                SynthesisEvent::DesignPointEvaluated { .. } => "evaluated".to_string(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expected, "stage order at point {point}");
+        evaluated_points += 1;
+    }
+    assert!(evaluated_points > 0);
+
+    // A feasible run improves on the initial zero best at least once.
+    assert!(events
+        .iter()
+        .any(|ev| matches!(ev, SynthesisEvent::ImprovedBest { .. })));
+}
+
+#[test]
+fn cancellation_stops_a_running_job_promptly() {
+    let engine = SynthesisEngine::new();
+    let job = engine.spawn(heavy_request());
+
+    // Wait for evidence the job is actually exploring, then cancel.
+    let first = job
+        .events()
+        .recv_timeout(Duration::from_secs(30))
+        .expect("job must emit its first event");
+    assert!(matches!(first, SynthesisEvent::JobStarted { .. }));
+    job.cancel();
+    let cancelled_at = Instant::now();
+    let result = job.join();
+    let reaction = cancelled_at.elapsed();
+    assert!(
+        matches!(result, Err(SynthesisError::Cancelled)),
+        "{result:?}"
+    );
+    // "Promptly": worst case is one EA child evaluation plus a SA check
+    // interval, far below a full paper run (minutes).
+    assert!(
+        reaction < Duration::from_secs(20),
+        "took {reaction:?} to stop"
+    );
+}
+
+#[test]
+fn evaluation_budget_is_honored() {
+    let engine = SynthesisEngine::new();
+    let mut request = heavy_request();
+    request.options.max_evaluations = Some(200);
+    let sink = CollectingSink::new();
+    let outcome = engine.run(&request, &sink, &CancelToken::new());
+    match outcome {
+        Ok(result) => {
+            assert_eq!(result.stop_reason, StopReason::EvaluationBudgetReached);
+            // The budget is enforced cooperatively (checked between EA
+            // children), so allow bounded overshoot but nothing runaway.
+            assert!(
+                result.evaluations < 2_000,
+                "evaluations {} far beyond budget",
+                result.evaluations
+            );
+        }
+        Err(e) => {
+            // A 200-evaluation budget may legitimately stop the search
+            // before the first feasible candidate.
+            assert!(matches!(e, SynthesisError::Dse(_)), "{e}");
+        }
+    }
+    // Budget exhaustion must still deliver a finished event stream.
+    let events = sink.take();
+    assert!(matches!(
+        events.last(),
+        Some(SynthesisEvent::Finished { .. })
+    ));
+}
+
+#[test]
+fn time_budget_is_honored() {
+    let engine = SynthesisEngine::new();
+    let mut request = heavy_request();
+    request.options.time_budget = Some(Duration::from_millis(1500));
+    let started = Instant::now();
+    let outcome = engine.run(&request, &NullSink, &CancelToken::new());
+    let elapsed = started.elapsed();
+    // A full paper-effort vgg16-cifar run takes minutes; the deadline must
+    // cut that to roughly the budget (plus one cooperative-check interval).
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "deadline ignored: ran {elapsed:?}"
+    );
+    if let Ok(result) = outcome {
+        assert_eq!(result.stop_reason, StopReason::DeadlineReached);
+    }
+}
+
+#[test]
+fn batch_synthesis_isolates_per_job_failures() {
+    let engine = SynthesisEngine::new().with_batch_workers(2);
+    let sink = CollectingSink::new();
+    let requests = [
+        fast_request().with_label("feasible-alexnet"),
+        // 0.01 W cannot host one weight copy: this job must fail alone.
+        SynthesisRequest::new(
+            zoo::alexnet_cifar(10),
+            SynthesisOptions::fast(Watts(0.01)).with_seed(3),
+        )
+        .with_label("infeasible"),
+        SynthesisRequest::new(
+            zoo::vgg16_cifar(10),
+            SynthesisOptions::fast(Watts(15.0)).with_seed(3),
+        )
+        .with_label("feasible-vgg"),
+    ];
+    let results = engine.synthesize_batch_observed(&requests, &sink, &CancelToken::new());
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok(), "{:?}", results[0].as_ref().err());
+    assert!(matches!(results[1], Err(SynthesisError::Dse(_))));
+    assert!(results[2].is_ok(), "{:?}", results[2].as_ref().err());
+    // Distinct models actually ran: the two successes are different nets.
+    let a = results[0].as_ref().unwrap();
+    let b = results[2].as_ref().unwrap();
+    assert_eq!(a.model.name(), "alexnet-cifar");
+    assert_eq!(b.model.name(), "vgg16-cifar");
+
+    // Every job reported start and finish, tagged with its index.
+    let events = sink.take();
+    for job in 0..3 {
+        assert!(
+            events
+                .iter()
+                .any(|ev| matches!(ev, SynthesisEvent::JobStarted { job: j, .. } if *j == job)),
+            "missing JobStarted for job {job}"
+        );
+        let finished = events.iter().find_map(|ev| match ev {
+            SynthesisEvent::Finished {
+                job: j,
+                efficiency,
+                error,
+                ..
+            } if *j == job => Some((efficiency.is_some(), error.clone())),
+            _ => None,
+        });
+        let (ok, error) = finished.unwrap_or_else(|| panic!("missing Finished for job {job}"));
+        assert_eq!(ok, job != 1, "job {job} outcome mismatch ({error:?})");
+    }
+}
+
+#[test]
+fn batch_results_match_single_runs_deterministically() {
+    let engine = SynthesisEngine::new();
+    let single = engine
+        .run(&fast_request(), &NullSink, &CancelToken::new())
+        .unwrap();
+    let batch = engine.synthesize_batch(&[fast_request(), fast_request()]);
+    for result in &batch {
+        let result = result.as_ref().unwrap();
+        assert_eq!(result.wt_dup, single.wt_dup);
+        assert_eq!(
+            result.analytic.efficiency_tops_per_watt(),
+            single.analytic.efficiency_tops_per_watt()
+        );
+    }
+}
+
+#[test]
+fn spawned_job_reports_finished_state() {
+    let engine = SynthesisEngine::new();
+    let job = engine.spawn(fast_request());
+    // Drain the stream; it ends exactly when the job is done.
+    let events: Vec<SynthesisEvent> = job.events().iter().collect();
+    assert!(matches!(
+        events.last(),
+        Some(SynthesisEvent::Finished { .. })
+    ));
+    // The channel closing and the thread terminating race by a hair; give
+    // the thread a moment to finish exiting.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !job.is_finished() && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert!(job.is_finished());
+    let result = job.join().unwrap();
+    assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+}

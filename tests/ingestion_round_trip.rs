@@ -23,14 +23,24 @@ fn ingested_model_synthesizes_identically() {
 
 #[test]
 fn every_zoo_model_round_trips() {
-    for name in
-        ["alexnet", "vgg13", "vgg16", "msra", "resnet18", "alexnet-cifar", "resnet18-cifar"]
-    {
+    for name in [
+        "alexnet",
+        "vgg13",
+        "vgg16",
+        "msra",
+        "resnet18",
+        "alexnet-cifar",
+        "resnet18-cifar",
+    ] {
         let model = zoo::by_name(name).expect("registered");
         let back = onnx::parse_model(&onnx::to_json(&model)).expect("parses");
         assert_eq!(model.layers(), back.layers(), "{name} graph changed");
         assert_eq!(model.stats(), back.stats(), "{name} stats changed");
-        assert_eq!(model.precision(), back.precision(), "{name} precision changed");
+        assert_eq!(
+            model.precision(),
+            back.precision(),
+            "{name} precision changed"
+        );
     }
 }
 

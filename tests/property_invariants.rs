@@ -1,78 +1,95 @@
 //! Property-based cross-crate invariants: random small CNNs and design
 //! points must uphold the synthesis stack's structural laws.
+//!
+//! Cases are drawn from a seeded RNG (no external property-test framework
+//! is available offline), so every run exercises the same deterministic
+//! sample of the input space; failures reproduce exactly.
 
 use pimsyn_arch::{CrossbarConfig, DacConfig};
 use pimsyn_dse::{crossbars_used, sa_energy, wt_dup_candidates, SaConfig};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::{Model, ModelBuilder, TensorShape};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random conv stack (1-4 conv layers + optional pooling +
-/// classifier) on a small input.
-fn arb_model() -> impl Strategy<Value = Model> {
-    (
-        2usize..=4,              // input channels
-        8usize..=16,             // input extent
-        1usize..=4,              // conv layers
-        prop::collection::vec((4usize..=24, prop::bool::ANY), 4),
-        1usize..=10,             // classes
-    )
-        .prop_map(|(ci, extent, convs, specs, classes)| {
-            let mut b = ModelBuilder::new("prop", TensorShape::new(ci, extent, extent));
-            let mut cur = None;
-            let mut spatial = extent;
-            for (i, &(width, pool)) in specs.iter().take(convs).enumerate() {
-                let c = b.conv(format!("c{i}"), cur, width, 3, 1, 1);
-                let r = b.relu(format!("r{i}"), c);
-                cur = Some(if pool && spatial >= 4 {
-                    spatial /= 2;
-                    b.max_pool(format!("p{i}"), r, 2, 2)
-                } else {
-                    r
-                });
-            }
-            let f = b.flatten("flat", cur.expect("at least one conv"));
-            b.linear("fc", f, classes);
-            b.build().expect("generated model is valid")
-        })
+const CASES: usize = 48;
+
+/// A random conv stack (1-4 conv layers + optional pooling + classifier)
+/// on a small input.
+fn arb_model(rng: &mut StdRng) -> Model {
+    let ci = rng.gen_range(2usize..=4);
+    let extent = rng.gen_range(8usize..=16);
+    let convs = rng.gen_range(1usize..=4);
+    let specs: Vec<(usize, bool)> = (0..4)
+        .map(|_| (rng.gen_range(4usize..=24), rng.gen_bool(0.5)))
+        .collect();
+    let classes = rng.gen_range(1usize..=10);
+
+    let mut b = ModelBuilder::new("prop", TensorShape::new(ci, extent, extent));
+    let mut cur = None;
+    let mut spatial = extent;
+    for (i, &(width, pool)) in specs.iter().take(convs).enumerate() {
+        let c = b.conv(format!("c{i}"), cur, width, 3, 1, 1);
+        let r = b.relu(format!("r{i}"), c);
+        cur = Some(if pool && spatial >= 4 {
+            spatial /= 2;
+            b.max_pool(format!("p{i}"), r, 2, 2)
+        } else {
+            r
+        });
+    }
+    let f = b.flatten("flat", cur.expect("at least one conv"));
+    b.linear("fc", f, classes);
+    b.build().expect("generated model is valid")
 }
 
-fn arb_crossbar() -> impl Strategy<Value = CrossbarConfig> {
-    (prop::sample::select(vec![128usize, 256, 512]), prop::sample::select(vec![1u32, 2, 4]))
-        .prop_map(|(s, c)| CrossbarConfig::new(s, c).expect("legal by construction"))
+fn arb_crossbar(rng: &mut StdRng) -> CrossbarConfig {
+    let size = [128usize, 256, 512][rng.gen_range(0usize..3)];
+    let cell = [1u32, 2, 4][rng.gen_range(0usize..3)];
+    CrossbarConfig::new(size, cell).expect("legal by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sa_candidates_always_feasible(model in arb_model(), xb in arb_crossbar(), extra in 0usize..4000) {
+#[test]
+fn sa_candidates_always_feasible() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for _ in 0..CASES {
+        let model = arb_model(&mut rng);
+        let xb = arb_crossbar(&mut rng);
+        let extra = rng.gen_range(0usize..4000);
         let one_copy = crossbars_used(&model, xb, &vec![1; model.weight_layer_count()]);
         let budget = one_copy + extra;
         let cands = wt_dup_candidates(&model, xb, budget, &SaConfig::fast()).unwrap();
-        prop_assert!(!cands.is_empty());
+        assert!(!cands.is_empty());
         for c in &cands {
-            prop_assert!(crossbars_used(&model, xb, c) <= budget);
-            prop_assert!(c.iter().all(|&d| d >= 1));
+            assert!(crossbars_used(&model, xb, c) <= budget);
+            assert!(c.iter().all(|&d| d >= 1));
         }
     }
+}
 
-    #[test]
-    fn full_duplication_zeroes_block_imbalance(model in arb_model()) {
+#[test]
+fn full_duplication_zeroes_block_imbalance() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for _ in 0..CASES {
+        let model = arb_model(&mut rng);
         // If every layer is duplicated to one block, the first Eq. (4) term
         // vanishes, so energy at alpha=0 must be ~0.
-        let dup: Vec<usize> =
-            model.weight_layers().map(|wl| wl.output_positions()).collect();
+        let dup: Vec<usize> = model
+            .weight_layers()
+            .map(|wl| wl.output_positions())
+            .collect();
         let e = sa_energy(&model, &dup, 0.0);
-        prop_assert!(e.abs() < 1e-9, "energy {e}");
+        assert!(e.abs() < 1e-9, "energy {e}");
     }
+}
 
-    #[test]
-    fn dataflow_workloads_are_duplication_invariant_in_total(
-        model in arb_model(),
-        xb in arb_crossbar(),
-        dup_scale in 1usize..6,
-    ) {
+#[test]
+fn dataflow_workloads_are_duplication_invariant_in_total() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..CASES {
+        let model = arb_model(&mut rng);
+        let xb = arb_crossbar(&mut rng);
+        let dup_scale = rng.gen_range(1usize..6);
         let dac = DacConfig::new(1).expect("legal");
         let l = model.weight_layer_count();
         let base = Dataflow::compile(&model, xb, dac, &vec![1; l]).unwrap();
@@ -87,8 +104,8 @@ proptest! {
             // exceed positions by at most dup - 1 positions' worth).
             let per_position = a.total_adc_samples() / a.blocks.max(1) as u64;
             let slack = per_position * dup[a.layer] as u64;
-            prop_assert!(b.total_adc_samples() >= a.total_adc_samples());
-            prop_assert!(
+            assert!(b.total_adc_samples() >= a.total_adc_samples());
+            assert!(
                 b.total_adc_samples() <= a.total_adc_samples() + slack,
                 "layer {}: {} vs {} (+{slack})",
                 a.layer,
@@ -96,15 +113,17 @@ proptest! {
                 a.total_adc_samples()
             );
             // Crossbars scale exactly with the duplication factor.
-            prop_assert_eq!(b.crossbars, a.crossbars * dup[a.layer]);
+            assert_eq!(b.crossbars, a.crossbars * dup[a.layer]);
         }
     }
+}
 
-    #[test]
-    fn pipeline_dependencies_monotone_and_bounded(
-        model in arb_model(),
-        xb in arb_crossbar(),
-    ) {
+#[test]
+fn pipeline_dependencies_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..CASES {
+        let model = arb_model(&mut rng);
+        let xb = arb_crossbar(&mut rng);
         let dac = DacConfig::new(2).expect("legal");
         let l = model.weight_layer_count();
         let df = Dataflow::compile(&model, xb, dac, &vec![2; l]).unwrap();
@@ -114,34 +133,37 @@ proptest! {
                 let mut prev = 0;
                 for cnt in 0..df.program(consumer).blocks {
                     let need = df.producer_blocks_needed(consumer, cnt, producer);
-                    prop_assert!(need >= prev, "dependency must be monotone");
-                    prop_assert!(need <= producer_blocks, "dependency exceeds producer");
+                    assert!(need >= prev, "dependency must be monotone");
+                    assert!(need <= producer_blocks, "dependency exceeds producer");
                     prev = need;
                 }
                 // The last block needs (nearly) everything reachable.
-                prop_assert!(prev >= producer_blocks / 2);
+                assert!(prev >= producer_blocks / 2);
             }
         }
     }
+}
 
-    #[test]
-    fn dag_when_materializable_is_topological(model in arb_model(), xb in arb_crossbar()) {
+#[test]
+fn dag_when_materializable_is_topological() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    for _ in 0..CASES {
+        let model = arb_model(&mut rng);
+        let xb = arb_crossbar(&mut rng);
         let dac = DacConfig::new(4).expect("legal");
-        let l = model.weight_layer_count();
         let dup: Vec<usize> = model
             .weight_layers()
             .map(|wl| wl.output_positions().div_ceil(4).max(1))
             .collect();
         let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
         if let Ok(dag) = df.build_dag(200_000) {
-            prop_assert_eq!(dag.node_count(), df.dag_node_estimate());
+            assert_eq!(dag.node_count(), df.dag_node_estimate());
             for i in 0..dag.node_count() as u32 {
                 for &(succ, _) in dag.successors(i) {
-                    prop_assert!(succ > i);
+                    assert!(succ > i);
                 }
             }
-            prop_assert!(dag.depth() >= 4);
+            assert!(dag.depth() >= 4);
         }
-        let _ = l;
     }
 }

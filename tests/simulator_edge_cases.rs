@@ -81,7 +81,10 @@ fn full_duplication_gives_single_block_per_layer() {
     let c2 = b.conv("c2", Some(c1), 4, 3, 1, 1);
     b.conv("c3", Some(c2), 4, 3, 1, 1);
     let model = b.build().expect("valid");
-    let dup: Vec<usize> = model.weight_layers().map(|w| w.output_positions()).collect();
+    let dup: Vec<usize> = model
+        .weight_layers()
+        .map(|w| w.output_positions())
+        .collect();
     let df = Dataflow::compile(
         &model,
         CrossbarConfig::new(128, 1).expect("legal"),
@@ -137,7 +140,10 @@ fn starved_adc_bank_is_reported_not_hung() {
     arch.layers[0].components.adc = 0;
     assert!(matches!(
         simulate(&model, &df, &arch, 1),
-        Err(SimError::MissingComponent { component: "adc", .. })
+        Err(SimError::MissingComponent {
+            component: "adc",
+            ..
+        })
     ));
 }
 
