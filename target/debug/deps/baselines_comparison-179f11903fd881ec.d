@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-179f11903fd881ec.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/libbaselines_comparison-179f11903fd881ec.rmeta: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_comparison-85810c3c44c24edb.d: tests/baselines_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_comparison-85810c3c44c24edb.rmeta: tests/baselines_comparison.rs Cargo.toml
+
+tests/baselines_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

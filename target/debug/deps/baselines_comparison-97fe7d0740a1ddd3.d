@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_comparison-97fe7d0740a1ddd3.d: tests/baselines_comparison.rs
+
+/root/repo/target/debug/deps/baselines_comparison-97fe7d0740a1ddd3: tests/baselines_comparison.rs
+
+tests/baselines_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-46ee3ec7d2e08843.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-46ee3ec7d2e08843.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-87699a74bf01d954.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-87699a74bf01d954: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dse_sensitivity-0b9883463e5e5745.d: crates/bench/benches/dse_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse_sensitivity-0b9883463e5e5745.rmeta: crates/bench/benches/dse_sensitivity.rs Cargo.toml
+
+crates/bench/benches/dse_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dse_sensitivity-5c1fd88c37d7646e.d: crates/bench/benches/dse_sensitivity.rs
+
+/root/repo/target/debug/deps/libdse_sensitivity-5c1fd88c37d7646e.rmeta: crates/bench/benches/dse_sensitivity.rs
+
+crates/bench/benches/dse_sensitivity.rs:

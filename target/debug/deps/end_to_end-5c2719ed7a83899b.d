@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5c2719ed7a83899b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-5c2719ed7a83899b.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

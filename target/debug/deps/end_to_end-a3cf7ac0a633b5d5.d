@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a3cf7ac0a633b5d5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a3cf7ac0a633b5d5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_api-6e823ef8520a26a8.d: tests/engine_api.rs
+
+/root/repo/target/debug/deps/libengine_api-6e823ef8520a26a8.rmeta: tests/engine_api.rs
+
+tests/engine_api.rs:

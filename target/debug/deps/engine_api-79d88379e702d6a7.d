@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_api-79d88379e702d6a7.d: tests/engine_api.rs
+
+/root/repo/target/debug/deps/engine_api-79d88379e702d6a7: tests/engine_api.rs
+
+tests/engine_api.rs:

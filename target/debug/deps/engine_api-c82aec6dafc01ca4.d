@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_api-c82aec6dafc01ca4.d: tests/engine_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_api-c82aec6dafc01ca4.rmeta: tests/engine_api.rs Cargo.toml
+
+tests/engine_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

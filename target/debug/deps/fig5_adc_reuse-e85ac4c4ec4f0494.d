@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_adc_reuse-e85ac4c4ec4f0494.d: crates/bench/benches/fig5_adc_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_adc_reuse-e85ac4c4ec4f0494.rmeta: crates/bench/benches/fig5_adc_reuse.rs Cargo.toml
+
+crates/bench/benches/fig5_adc_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_adc_reuse-eee4a855cccad5c6.d: crates/bench/benches/fig5_adc_reuse.rs
+
+/root/repo/target/debug/deps/libfig5_adc_reuse-eee4a855cccad5c6.rmeta: crates/bench/benches/fig5_adc_reuse.rs
+
+crates/bench/benches/fig5_adc_reuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_effective-473b8223ec1e68ae.d: crates/bench/benches/fig6_effective.rs
+
+/root/repo/target/debug/deps/libfig6_effective-473b8223ec1e68ae.rmeta: crates/bench/benches/fig6_effective.rs
+
+crates/bench/benches/fig6_effective.rs:

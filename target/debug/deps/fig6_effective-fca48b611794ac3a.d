@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_effective-fca48b611794ac3a.d: crates/bench/benches/fig6_effective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_effective-fca48b611794ac3a.rmeta: crates/bench/benches/fig6_effective.rs Cargo.toml
+
+crates/bench/benches/fig6_effective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_wtdup-078bbafe109378f5.d: crates/bench/benches/fig7_wtdup.rs
+
+/root/repo/target/debug/deps/libfig7_wtdup-078bbafe109378f5.rmeta: crates/bench/benches/fig7_wtdup.rs
+
+crates/bench/benches/fig7_wtdup.rs:

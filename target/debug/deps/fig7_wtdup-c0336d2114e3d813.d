@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_wtdup-c0336d2114e3d813.d: crates/bench/benches/fig7_wtdup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_wtdup-c0336d2114e3d813.rmeta: crates/bench/benches/fig7_wtdup.rs Cargo.toml
+
+crates/bench/benches/fig7_wtdup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

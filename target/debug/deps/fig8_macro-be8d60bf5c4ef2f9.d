@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_macro-be8d60bf5c4ef2f9.d: crates/bench/benches/fig8_macro.rs
+
+/root/repo/target/debug/deps/libfig8_macro-be8d60bf5c4ef2f9.rmeta: crates/bench/benches/fig8_macro.rs
+
+crates/bench/benches/fig8_macro.rs:

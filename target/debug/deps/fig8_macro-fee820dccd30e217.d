@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_macro-fee820dccd30e217.d: crates/bench/benches/fig8_macro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_macro-fee820dccd30e217.rmeta: crates/bench/benches/fig8_macro.rs Cargo.toml
+
+crates/bench/benches/fig8_macro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

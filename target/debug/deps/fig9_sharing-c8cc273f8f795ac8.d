@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_sharing-c8cc273f8f795ac8.d: crates/bench/benches/fig9_sharing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_sharing-c8cc273f8f795ac8.rmeta: crates/bench/benches/fig9_sharing.rs Cargo.toml
+
+crates/bench/benches/fig9_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_sharing-ca1f9b3001904b4b.d: crates/bench/benches/fig9_sharing.rs
+
+/root/repo/target/debug/deps/libfig9_sharing-ca1f9b3001904b4b.rmeta: crates/bench/benches/fig9_sharing.rs
+
+crates/bench/benches/fig9_sharing.rs:

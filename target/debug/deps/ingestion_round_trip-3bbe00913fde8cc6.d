@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingestion_round_trip-3bbe00913fde8cc6.d: tests/ingestion_round_trip.rs
+
+/root/repo/target/debug/deps/libingestion_round_trip-3bbe00913fde8cc6.rmeta: tests/ingestion_round_trip.rs
+
+tests/ingestion_round_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingestion_round_trip-b73d5b06432fdaf3.d: tests/ingestion_round_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingestion_round_trip-b73d5b06432fdaf3.rmeta: tests/ingestion_round_trip.rs Cargo.toml
+
+tests/ingestion_round_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ingestion_round_trip-ba37a9cd21c4ca41.d: tests/ingestion_round_trip.rs
+
+/root/repo/target/debug/deps/ingestion_round_trip-ba37a9cd21c4ca41: tests/ingestion_round_trip.rs
+
+tests/ingestion_round_trip.rs:

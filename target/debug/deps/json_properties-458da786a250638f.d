@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/json_properties-458da786a250638f.d: crates/model/tests/json_properties.rs
+
+/root/repo/target/debug/deps/json_properties-458da786a250638f: crates/model/tests/json_properties.rs
+
+crates/model/tests/json_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/json_properties-5cb9daa7aaa2a6f6.d: crates/model/tests/json_properties.rs
+
+/root/repo/target/debug/deps/libjson_properties-5cb9daa7aaa2a6f6.rmeta: crates/model/tests/json_properties.rs
+
+crates/model/tests/json_properties.rs:

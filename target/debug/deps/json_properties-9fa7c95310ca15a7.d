@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/json_properties-9fa7c95310ca15a7.d: crates/model/tests/json_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjson_properties-9fa7c95310ca15a7.rmeta: crates/model/tests/json_properties.rs Cargo.toml
+
+crates/model/tests/json_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

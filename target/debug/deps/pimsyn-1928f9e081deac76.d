@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn-1928f9e081deac76.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/debug/deps/pimsyn-1928f9e081deac76: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

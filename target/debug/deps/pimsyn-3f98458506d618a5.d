@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn-3f98458506d618a5.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/debug/deps/libpimsyn-3f98458506d618a5.rmeta: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

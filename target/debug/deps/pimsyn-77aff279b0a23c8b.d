@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pimsyn-77aff279b0a23c8b.d: crates/core/src/bin/pimsyn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn-77aff279b0a23c8b.rmeta: crates/core/src/bin/pimsyn.rs Cargo.toml
+
+crates/core/src/bin/pimsyn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pimsyn-8bdd165580f0b41b.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/debug/deps/libpimsyn-8bdd165580f0b41b.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/debug/deps/libpimsyn-8bdd165580f0b41b.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/events.rs:
+crates/core/src/options.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/summary.rs:
+crates/core/src/synthesis.rs:

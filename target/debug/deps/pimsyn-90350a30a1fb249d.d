@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn-90350a30a1fb249d.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/debug/deps/pimsyn-90350a30a1fb249d: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn-a9ae38b9306e0c94.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/debug/deps/libpimsyn-a9ae38b9306e0c94.rmeta: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

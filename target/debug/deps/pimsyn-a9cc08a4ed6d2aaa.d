@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pimsyn-a9cc08a4ed6d2aaa.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn-a9cc08a4ed6d2aaa.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/events.rs:
+crates/core/src/options.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/summary.rs:
+crates/core/src/synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

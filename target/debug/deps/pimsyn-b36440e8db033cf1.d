@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pimsyn-b36440e8db033cf1.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/debug/deps/libpimsyn-b36440e8db033cf1.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/events.rs:
+crates/core/src/options.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/summary.rs:
+crates/core/src/synthesis.rs:

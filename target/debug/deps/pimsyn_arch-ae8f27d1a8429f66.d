@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pimsyn_arch-ae8f27d1a8429f66.d: crates/arch/src/lib.rs crates/arch/src/architecture.rs crates/arch/src/components.rs crates/arch/src/converters.rs crates/arch/src/crossbar.rs crates/arch/src/error.rs crates/arch/src/hardware_config.rs crates/arch/src/memory.rs crates/arch/src/noc.rs crates/arch/src/params.rs crates/arch/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_arch-ae8f27d1a8429f66.rmeta: crates/arch/src/lib.rs crates/arch/src/architecture.rs crates/arch/src/components.rs crates/arch/src/converters.rs crates/arch/src/crossbar.rs crates/arch/src/error.rs crates/arch/src/hardware_config.rs crates/arch/src/memory.rs crates/arch/src/noc.rs crates/arch/src/params.rs crates/arch/src/units.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/architecture.rs:
+crates/arch/src/components.rs:
+crates/arch/src/converters.rs:
+crates/arch/src/crossbar.rs:
+crates/arch/src/error.rs:
+crates/arch/src/hardware_config.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/noc.rs:
+crates/arch/src/params.rs:
+crates/arch/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pimsyn_baselines-5073cc5d76094b95.d: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/debug/deps/libpimsyn_baselines-5073cc5d76094b95.rlib: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/debug/deps/libpimsyn_baselines-5073cc5d76094b95.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gibbon.rs:
+crates/baselines/src/heuristics.rs:
+crates/baselines/src/inventory.rs:
+crates/baselines/src/isaac.rs:
+crates/baselines/src/published.rs:

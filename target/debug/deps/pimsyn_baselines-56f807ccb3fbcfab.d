@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pimsyn_baselines-56f807ccb3fbcfab.d: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/debug/deps/libpimsyn_baselines-56f807ccb3fbcfab.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gibbon.rs:
+crates/baselines/src/heuristics.rs:
+crates/baselines/src/inventory.rs:
+crates/baselines/src/isaac.rs:
+crates/baselines/src/published.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pimsyn_baselines-d408cc4b28cf58b6.d: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_baselines-d408cc4b28cf58b6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gibbon.rs:
+crates/baselines/src/heuristics.rs:
+crates/baselines/src/inventory.rs:
+crates/baselines/src/isaac.rs:
+crates/baselines/src/published.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_bench-7bdb2aa1df9fa498.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_bench-7bdb2aa1df9fa498.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

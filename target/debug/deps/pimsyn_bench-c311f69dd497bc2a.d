@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_bench-c311f69dd497bc2a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_bench-c311f69dd497bc2a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pimsyn_bench-ed9b70bd0728c7e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_bench-ed9b70bd0728c7e4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_bench-ed9b70bd0728c7e4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

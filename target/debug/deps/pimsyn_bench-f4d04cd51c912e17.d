@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_bench-f4d04cd51c912e17.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pimsyn_bench-f4d04cd51c912e17: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

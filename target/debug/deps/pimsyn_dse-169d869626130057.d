@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pimsyn_dse-169d869626130057.d: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs
+
+/root/repo/target/debug/deps/libpimsyn_dse-169d869626130057.rmeta: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/alloc.rs:
+crates/dse/src/ctx.rs:
+crates/dse/src/ea.rs:
+crates/dse/src/error.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/sa.rs:
+crates/dse/src/space.rs:
+crates/dse/src/sweep.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pimsyn_dse-ba246bd4d10870f0.d: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_dse-ba246bd4d10870f0.rmeta: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs Cargo.toml
+
+crates/dse/src/lib.rs:
+crates/dse/src/alloc.rs:
+crates/dse/src/ctx.rs:
+crates/dse/src/ea.rs:
+crates/dse/src/error.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/sa.rs:
+crates/dse/src/space.rs:
+crates/dse/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pimsyn_ir-11feb9e786219424.d: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+/root/repo/target/debug/deps/libpimsyn_ir-11feb9e786219424.rmeta: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/compile.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pipeline.rs:
+crates/ir/src/program.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pimsyn_ir-8e72d66be85fe270.d: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_ir-8e72d66be85fe270.rmeta: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/compile.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pipeline.rs:
+crates/ir/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pimsyn_model-8586ef92474576f1.d: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+/root/repo/target/debug/deps/pimsyn_model-8586ef92474576f1: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+crates/model/src/lib.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/layer.rs:
+crates/model/src/model.rs:
+crates/model/src/onnx.rs:
+crates/model/src/tensor.rs:
+crates/model/src/zoo/mod.rs:
+crates/model/src/zoo/alexnet.rs:
+crates/model/src/zoo/msra.rs:
+crates/model/src/zoo/resnet.rs:
+crates/model/src/zoo/vgg.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pimsyn_model-f37c44c10fa6180d.d: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+/root/repo/target/debug/deps/libpimsyn_model-f37c44c10fa6180d.rlib: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+/root/repo/target/debug/deps/libpimsyn_model-f37c44c10fa6180d.rmeta: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+crates/model/src/lib.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/layer.rs:
+crates/model/src/model.rs:
+crates/model/src/onnx.rs:
+crates/model/src/tensor.rs:
+crates/model/src/zoo/mod.rs:
+crates/model/src/zoo/alexnet.rs:
+crates/model/src/zoo/msra.rs:
+crates/model/src/zoo/resnet.rs:
+crates/model/src/zoo/vgg.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pimsyn_model-f9fb72d5d40302f8.d: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_model-f9fb72d5d40302f8.rmeta: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/layer.rs:
+crates/model/src/model.rs:
+crates/model/src/onnx.rs:
+crates/model/src/tensor.rs:
+crates/model/src/zoo/mod.rs:
+crates/model/src/zoo/alexnet.rs:
+crates/model/src/zoo/msra.rs:
+crates/model/src/zoo/resnet.rs:
+crates/model/src/zoo/vgg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pimsyn_repro-1a9e03973522aa36.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_repro-1a9e03973522aa36.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_repro-1a9e03973522aa36.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_repro-1ebf93bb75c21600.d: src/lib.rs
+
+/root/repo/target/debug/deps/pimsyn_repro-1ebf93bb75c21600: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pimsyn_repro-61d2dffca909ef06.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_repro-61d2dffca909ef06.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

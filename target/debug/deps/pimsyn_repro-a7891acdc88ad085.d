@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_repro-a7891acdc88ad085.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_repro-a7891acdc88ad085.rmeta: src/lib.rs
+
+src/lib.rs:

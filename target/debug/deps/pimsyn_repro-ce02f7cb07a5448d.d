@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pimsyn_repro-ce02f7cb07a5448d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpimsyn_repro-ce02f7cb07a5448d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pimsyn_sim-1a155b412a21d1dc.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+/root/repo/target/debug/deps/libpimsyn_sim-1a155b412a21d1dc.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stages.rs:

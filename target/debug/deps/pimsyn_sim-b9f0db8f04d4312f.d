@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pimsyn_sim-b9f0db8f04d4312f.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+/root/repo/target/debug/deps/libpimsyn_sim-b9f0db8f04d4312f.rlib: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+/root/repo/target/debug/deps/libpimsyn_sim-b9f0db8f04d4312f.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stages.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pimsyn_sim-f7810ff301f8394b.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpimsyn_sim-f7810ff301f8394b.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

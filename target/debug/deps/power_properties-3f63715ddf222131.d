@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_properties-3f63715ddf222131.d: crates/arch/tests/power_properties.rs
+
+/root/repo/target/debug/deps/libpower_properties-3f63715ddf222131.rmeta: crates/arch/tests/power_properties.rs
+
+crates/arch/tests/power_properties.rs:

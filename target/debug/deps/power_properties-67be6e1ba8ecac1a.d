@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_properties-67be6e1ba8ecac1a.d: crates/arch/tests/power_properties.rs
+
+/root/repo/target/debug/deps/power_properties-67be6e1ba8ecac1a: crates/arch/tests/power_properties.rs
+
+crates/arch/tests/power_properties.rs:

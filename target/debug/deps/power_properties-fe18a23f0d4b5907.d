@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_properties-fe18a23f0d4b5907.d: crates/arch/tests/power_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_properties-fe18a23f0d4b5907.rmeta: crates/arch/tests/power_properties.rs Cargo.toml
+
+crates/arch/tests/power_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

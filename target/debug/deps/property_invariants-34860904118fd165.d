@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-34860904118fd165.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-34860904118fd165: tests/property_invariants.rs
+
+tests/property_invariants.rs:

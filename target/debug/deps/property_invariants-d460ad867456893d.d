@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-d460ad867456893d.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/libproperty_invariants-d460ad867456893d.rmeta: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-84e1c3702c3126c4.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-84e1c3702c3126c4: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

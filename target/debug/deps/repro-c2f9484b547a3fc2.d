@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c2f9484b547a3fc2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-c2f9484b547a3fc2.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

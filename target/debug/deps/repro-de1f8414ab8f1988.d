@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-de1f8414ab8f1988.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-de1f8414ab8f1988: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

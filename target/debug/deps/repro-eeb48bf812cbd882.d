@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-eeb48bf812cbd882.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-eeb48bf812cbd882.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

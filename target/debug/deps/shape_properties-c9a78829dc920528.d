@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_properties-c9a78829dc920528.d: crates/model/tests/shape_properties.rs
+
+/root/repo/target/debug/deps/libshape_properties-c9a78829dc920528.rmeta: crates/model/tests/shape_properties.rs
+
+crates/model/tests/shape_properties.rs:

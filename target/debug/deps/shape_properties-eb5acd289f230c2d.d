@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_properties-eb5acd289f230c2d.d: crates/model/tests/shape_properties.rs
+
+/root/repo/target/debug/deps/shape_properties-eb5acd289f230c2d: crates/model/tests/shape_properties.rs
+
+crates/model/tests/shape_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape_properties-ebcc283bcfd89204.d: crates/model/tests/shape_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape_properties-ebcc283bcfd89204.rmeta: crates/model/tests/shape_properties.rs Cargo.toml
+
+crates/model/tests/shape_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

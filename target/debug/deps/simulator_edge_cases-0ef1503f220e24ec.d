@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_edge_cases-0ef1503f220e24ec.d: tests/simulator_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_edge_cases-0ef1503f220e24ec.rmeta: tests/simulator_edge_cases.rs Cargo.toml
+
+tests/simulator_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

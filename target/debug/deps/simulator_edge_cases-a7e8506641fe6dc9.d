@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_edge_cases-a7e8506641fe6dc9.d: tests/simulator_edge_cases.rs
+
+/root/repo/target/debug/deps/libsimulator_edge_cases-a7e8506641fe6dc9.rmeta: tests/simulator_edge_cases.rs
+
+tests/simulator_edge_cases.rs:

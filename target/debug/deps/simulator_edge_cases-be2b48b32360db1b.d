@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_edge_cases-be2b48b32360db1b.d: tests/simulator_edge_cases.rs
+
+/root/repo/target/debug/deps/simulator_edge_cases-be2b48b32360db1b: tests/simulator_edge_cases.rs
+
+tests/simulator_edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthesis_stages-13aad55b89d2a8bc.d: crates/bench/benches/synthesis_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthesis_stages-13aad55b89d2a8bc.rmeta: crates/bench/benches/synthesis_stages.rs Cargo.toml
+
+crates/bench/benches/synthesis_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthesis_stages-9133ad0ff7bcaa7e.d: crates/bench/benches/synthesis_stages.rs
+
+/root/repo/target/debug/deps/libsynthesis_stages-9133ad0ff7bcaa7e.rmeta: crates/bench/benches/synthesis_stages.rs
+
+crates/bench/benches/synthesis_stages.rs:

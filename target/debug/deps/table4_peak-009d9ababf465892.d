@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_peak-009d9ababf465892.d: crates/bench/benches/table4_peak.rs
+
+/root/repo/target/debug/deps/libtable4_peak-009d9ababf465892.rmeta: crates/bench/benches/table4_peak.rs
+
+crates/bench/benches/table4_peak.rs:

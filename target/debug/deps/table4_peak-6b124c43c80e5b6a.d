@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_peak-6b124c43c80e5b6a.d: crates/bench/benches/table4_peak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_peak-6b124c43c80e5b6a.rmeta: crates/bench/benches/table4_peak.rs Cargo.toml
+
+crates/bench/benches/table4_peak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

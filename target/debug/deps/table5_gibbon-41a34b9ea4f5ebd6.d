@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_gibbon-41a34b9ea4f5ebd6.d: crates/bench/benches/table5_gibbon.rs
+
+/root/repo/target/debug/deps/libtable5_gibbon-41a34b9ea4f5ebd6.rmeta: crates/bench/benches/table5_gibbon.rs
+
+crates/bench/benches/table5_gibbon.rs:

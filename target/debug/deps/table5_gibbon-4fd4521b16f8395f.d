@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_gibbon-4fd4521b16f8395f.d: crates/bench/benches/table5_gibbon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_gibbon-4fd4521b16f8395f.rmeta: crates/bench/benches/table5_gibbon.rs Cargo.toml
+
+crates/bench/benches/table5_gibbon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_study-13e164c6cbd7408e.d: examples/ablation_study.rs
+
+/root/repo/target/debug/examples/libablation_study-13e164c6cbd7408e.rmeta: examples/ablation_study.rs
+
+examples/ablation_study.rs:

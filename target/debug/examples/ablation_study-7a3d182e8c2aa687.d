@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_study-7a3d182e8c2aa687.d: examples/ablation_study.rs
+
+/root/repo/target/debug/examples/ablation_study-7a3d182e8c2aa687: examples/ablation_study.rs
+
+examples/ablation_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablation_study-a4972003874a240e.d: examples/ablation_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation_study-a4972003874a240e.rmeta: examples/ablation_study.rs Cargo.toml
+
+examples/ablation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

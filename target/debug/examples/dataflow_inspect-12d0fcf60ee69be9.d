@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataflow_inspect-12d0fcf60ee69be9.d: examples/dataflow_inspect.rs
+
+/root/repo/target/debug/examples/libdataflow_inspect-12d0fcf60ee69be9.rmeta: examples/dataflow_inspect.rs
+
+examples/dataflow_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataflow_inspect-b285ad6c8f182ac9.d: examples/dataflow_inspect.rs
+
+/root/repo/target/debug/examples/dataflow_inspect-b285ad6c8f182ac9: examples/dataflow_inspect.rs
+
+examples/dataflow_inspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataflow_inspect-f30f5fa1a75af613.d: examples/dataflow_inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataflow_inspect-f30f5fa1a75af613.rmeta: examples/dataflow_inspect.rs Cargo.toml
+
+examples/dataflow_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

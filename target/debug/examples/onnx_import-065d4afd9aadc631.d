@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/onnx_import-065d4afd9aadc631.d: examples/onnx_import.rs
+
+/root/repo/target/debug/examples/onnx_import-065d4afd9aadc631: examples/onnx_import.rs
+
+examples/onnx_import.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/onnx_import-43040b12054c1756.d: examples/onnx_import.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonnx_import-43040b12054c1756.rmeta: examples/onnx_import.rs Cargo.toml
+
+examples/onnx_import.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/onnx_import-5b2a4509d0902fbd.d: examples/onnx_import.rs
+
+/root/repo/target/debug/examples/libonnx_import-5b2a4509d0902fbd.rmeta: examples/onnx_import.rs
+
+examples/onnx_import.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_sweep-3157ad72de0ff796.d: examples/power_sweep.rs
+
+/root/repo/target/debug/examples/libpower_sweep-3157ad72de0ff796.rmeta: examples/power_sweep.rs
+
+examples/power_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_sweep-57d50bfe81c53ceb.d: examples/power_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_sweep-57d50bfe81c53ceb.rmeta: examples/power_sweep.rs Cargo.toml
+
+examples/power_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_sweep-e69258e8e9252239.d: examples/power_sweep.rs
+
+/root/repo/target/debug/examples/power_sweep-e69258e8e9252239: examples/power_sweep.rs
+
+examples/power_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-585d6d1dbfdd993f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-585d6d1dbfdd993f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f21b92ed34241467.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f21b92ed34241467: examples/quickstart.rs
+
+examples/quickstart.rs:

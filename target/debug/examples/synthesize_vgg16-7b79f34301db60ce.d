@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/synthesize_vgg16-7b79f34301db60ce.d: examples/synthesize_vgg16.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsynthesize_vgg16-7b79f34301db60ce.rmeta: examples/synthesize_vgg16.rs Cargo.toml
+
+examples/synthesize_vgg16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synthesize_vgg16-9747b70d33d8b785.d: examples/synthesize_vgg16.rs
+
+/root/repo/target/debug/examples/libsynthesize_vgg16-9747b70d33d8b785.rmeta: examples/synthesize_vgg16.rs
+
+examples/synthesize_vgg16.rs:

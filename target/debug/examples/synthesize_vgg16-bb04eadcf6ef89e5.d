@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synthesize_vgg16-bb04eadcf6ef89e5.d: examples/synthesize_vgg16.rs
+
+/root/repo/target/debug/examples/synthesize_vgg16-bb04eadcf6ef89e5: examples/synthesize_vgg16.rs
+
+examples/synthesize_vgg16.rs:

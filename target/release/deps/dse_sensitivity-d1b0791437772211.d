@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dse_sensitivity-d1b0791437772211.d: crates/bench/benches/dse_sensitivity.rs
+
+/root/repo/target/release/deps/dse_sensitivity-d1b0791437772211: crates/bench/benches/dse_sensitivity.rs
+
+crates/bench/benches/dse_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_adc_reuse-b03a4ceafe0d5567.d: crates/bench/benches/fig5_adc_reuse.rs
+
+/root/repo/target/release/deps/fig5_adc_reuse-b03a4ceafe0d5567: crates/bench/benches/fig5_adc_reuse.rs
+
+crates/bench/benches/fig5_adc_reuse.rs:

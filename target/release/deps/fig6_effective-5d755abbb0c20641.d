@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_effective-5d755abbb0c20641.d: crates/bench/benches/fig6_effective.rs
+
+/root/repo/target/release/deps/fig6_effective-5d755abbb0c20641: crates/bench/benches/fig6_effective.rs
+
+crates/bench/benches/fig6_effective.rs:

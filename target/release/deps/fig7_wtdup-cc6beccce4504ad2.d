@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_wtdup-cc6beccce4504ad2.d: crates/bench/benches/fig7_wtdup.rs
+
+/root/repo/target/release/deps/fig7_wtdup-cc6beccce4504ad2: crates/bench/benches/fig7_wtdup.rs
+
+crates/bench/benches/fig7_wtdup.rs:

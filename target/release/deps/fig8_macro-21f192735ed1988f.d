@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_macro-21f192735ed1988f.d: crates/bench/benches/fig8_macro.rs
+
+/root/repo/target/release/deps/fig8_macro-21f192735ed1988f: crates/bench/benches/fig8_macro.rs
+
+crates/bench/benches/fig8_macro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_sharing-376a9c33349bfe12.d: crates/bench/benches/fig9_sharing.rs
+
+/root/repo/target/release/deps/fig9_sharing-376a9c33349bfe12: crates/bench/benches/fig9_sharing.rs
+
+crates/bench/benches/fig9_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pimsyn-346870e913fe582b.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/release/deps/pimsyn-346870e913fe582b: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pimsyn-5034fb401b27251b.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/release/deps/pimsyn-5034fb401b27251b: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/events.rs:
+crates/core/src/options.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/summary.rs:
+crates/core/src/synthesis.rs:

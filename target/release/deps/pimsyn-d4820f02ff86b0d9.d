@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pimsyn-d4820f02ff86b0d9.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/release/deps/libpimsyn-d4820f02ff86b0d9.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+/root/repo/target/release/deps/libpimsyn-d4820f02ff86b0d9.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/options.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/summary.rs crates/core/src/synthesis.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/events.rs:
+crates/core/src/options.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/summary.rs:
+crates/core/src/synthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pimsyn-f805fb85d9fa392d.d: crates/core/src/bin/pimsyn.rs
+
+/root/repo/target/release/deps/pimsyn-f805fb85d9fa392d: crates/core/src/bin/pimsyn.rs
+
+crates/core/src/bin/pimsyn.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pimsyn_arch-40fd9f2070189369.d: crates/arch/src/lib.rs crates/arch/src/architecture.rs crates/arch/src/components.rs crates/arch/src/converters.rs crates/arch/src/crossbar.rs crates/arch/src/error.rs crates/arch/src/hardware_config.rs crates/arch/src/memory.rs crates/arch/src/noc.rs crates/arch/src/params.rs crates/arch/src/units.rs
+
+/root/repo/target/release/deps/pimsyn_arch-40fd9f2070189369: crates/arch/src/lib.rs crates/arch/src/architecture.rs crates/arch/src/components.rs crates/arch/src/converters.rs crates/arch/src/crossbar.rs crates/arch/src/error.rs crates/arch/src/hardware_config.rs crates/arch/src/memory.rs crates/arch/src/noc.rs crates/arch/src/params.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/architecture.rs:
+crates/arch/src/components.rs:
+crates/arch/src/converters.rs:
+crates/arch/src/crossbar.rs:
+crates/arch/src/error.rs:
+crates/arch/src/hardware_config.rs:
+crates/arch/src/memory.rs:
+crates/arch/src/noc.rs:
+crates/arch/src/params.rs:
+crates/arch/src/units.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pimsyn_baselines-0d58df79b0a87c3a.d: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/release/deps/pimsyn_baselines-0d58df79b0a87c3a: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gibbon.rs:
+crates/baselines/src/heuristics.rs:
+crates/baselines/src/inventory.rs:
+crates/baselines/src/isaac.rs:
+crates/baselines/src/published.rs:

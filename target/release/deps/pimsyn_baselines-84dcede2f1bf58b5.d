@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pimsyn_baselines-84dcede2f1bf58b5.d: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/release/deps/libpimsyn_baselines-84dcede2f1bf58b5.rlib: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+/root/repo/target/release/deps/libpimsyn_baselines-84dcede2f1bf58b5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gibbon.rs crates/baselines/src/heuristics.rs crates/baselines/src/inventory.rs crates/baselines/src/isaac.rs crates/baselines/src/published.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gibbon.rs:
+crates/baselines/src/heuristics.rs:
+crates/baselines/src/inventory.rs:
+crates/baselines/src/isaac.rs:
+crates/baselines/src/published.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pimsyn_bench-26823a036364c469.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/pimsyn_bench-26823a036364c469: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

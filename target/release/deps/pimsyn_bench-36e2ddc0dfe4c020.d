@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pimsyn_bench-36e2ddc0dfe4c020.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpimsyn_bench-36e2ddc0dfe4c020.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpimsyn_bench-36e2ddc0dfe4c020.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pimsyn_dse-15fa36c268616cdb.d: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs
+
+/root/repo/target/release/deps/libpimsyn_dse-15fa36c268616cdb.rlib: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs
+
+/root/repo/target/release/deps/libpimsyn_dse-15fa36c268616cdb.rmeta: crates/dse/src/lib.rs crates/dse/src/alloc.rs crates/dse/src/ctx.rs crates/dse/src/ea.rs crates/dse/src/error.rs crates/dse/src/explore.rs crates/dse/src/sa.rs crates/dse/src/space.rs crates/dse/src/sweep.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/alloc.rs:
+crates/dse/src/ctx.rs:
+crates/dse/src/ea.rs:
+crates/dse/src/error.rs:
+crates/dse/src/explore.rs:
+crates/dse/src/sa.rs:
+crates/dse/src/space.rs:
+crates/dse/src/sweep.rs:

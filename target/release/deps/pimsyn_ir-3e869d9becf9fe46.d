@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pimsyn_ir-3e869d9becf9fe46.d: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+/root/repo/target/release/deps/libpimsyn_ir-3e869d9becf9fe46.rlib: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+/root/repo/target/release/deps/libpimsyn_ir-3e869d9becf9fe46.rmeta: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/compile.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pipeline.rs:
+crates/ir/src/program.rs:

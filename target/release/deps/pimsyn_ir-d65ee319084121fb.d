@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pimsyn_ir-d65ee319084121fb.d: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+/root/repo/target/release/deps/pimsyn_ir-d65ee319084121fb: crates/ir/src/lib.rs crates/ir/src/compile.rs crates/ir/src/dag.rs crates/ir/src/error.rs crates/ir/src/op.rs crates/ir/src/pipeline.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/compile.rs:
+crates/ir/src/dag.rs:
+crates/ir/src/error.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pipeline.rs:
+crates/ir/src/program.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pimsyn_model-6b1287fdabc3f08a.d: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+/root/repo/target/release/deps/libpimsyn_model-6b1287fdabc3f08a.rlib: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+/root/repo/target/release/deps/libpimsyn_model-6b1287fdabc3f08a.rmeta: crates/model/src/lib.rs crates/model/src/error.rs crates/model/src/json.rs crates/model/src/layer.rs crates/model/src/model.rs crates/model/src/onnx.rs crates/model/src/tensor.rs crates/model/src/zoo/mod.rs crates/model/src/zoo/alexnet.rs crates/model/src/zoo/msra.rs crates/model/src/zoo/resnet.rs crates/model/src/zoo/vgg.rs
+
+crates/model/src/lib.rs:
+crates/model/src/error.rs:
+crates/model/src/json.rs:
+crates/model/src/layer.rs:
+crates/model/src/model.rs:
+crates/model/src/onnx.rs:
+crates/model/src/tensor.rs:
+crates/model/src/zoo/mod.rs:
+crates/model/src/zoo/alexnet.rs:
+crates/model/src/zoo/msra.rs:
+crates/model/src/zoo/resnet.rs:
+crates/model/src/zoo/vgg.rs:

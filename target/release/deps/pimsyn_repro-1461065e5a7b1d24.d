@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pimsyn_repro-1461065e5a7b1d24.d: src/lib.rs
+
+/root/repo/target/release/deps/pimsyn_repro-1461065e5a7b1d24: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pimsyn_repro-8b1e1e56e86ebbb5.d: src/lib.rs
+
+/root/repo/target/release/deps/libpimsyn_repro-8b1e1e56e86ebbb5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpimsyn_repro-8b1e1e56e86ebbb5.rmeta: src/lib.rs
+
+src/lib.rs:

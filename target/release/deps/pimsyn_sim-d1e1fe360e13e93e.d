@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pimsyn_sim-d1e1fe360e13e93e.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+/root/repo/target/release/deps/libpimsyn_sim-d1e1fe360e13e93e.rlib: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+/root/repo/target/release/deps/libpimsyn_sim-d1e1fe360e13e93e.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/stages.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/stages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-70619cf9dc4336c6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-70619cf9dc4336c6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-73d82cab051a8b1d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-73d82cab051a8b1d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

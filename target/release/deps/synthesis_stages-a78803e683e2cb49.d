@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synthesis_stages-a78803e683e2cb49.d: crates/bench/benches/synthesis_stages.rs
+
+/root/repo/target/release/deps/synthesis_stages-a78803e683e2cb49: crates/bench/benches/synthesis_stages.rs
+
+crates/bench/benches/synthesis_stages.rs:

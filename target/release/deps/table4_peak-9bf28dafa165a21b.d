@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_peak-9bf28dafa165a21b.d: crates/bench/benches/table4_peak.rs
+
+/root/repo/target/release/deps/table4_peak-9bf28dafa165a21b: crates/bench/benches/table4_peak.rs
+
+crates/bench/benches/table4_peak.rs:

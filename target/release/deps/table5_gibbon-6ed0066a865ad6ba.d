@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_gibbon-6ed0066a865ad6ba.d: crates/bench/benches/table5_gibbon.rs
+
+/root/repo/target/release/deps/table5_gibbon-6ed0066a865ad6ba: crates/bench/benches/table5_gibbon.rs
+
+crates/bench/benches/table5_gibbon.rs:
