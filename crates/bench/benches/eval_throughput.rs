@@ -1,0 +1,140 @@
+//! Evaluator-throughput benchmark: candidates scored per second with the
+//! memo cache on vs off, on a repeated-gene workload (the shape EA
+//! generations actually produce — tournament winners resurface unmutated,
+//! and mutations frequently recreate previously seen genes).
+//!
+//! Besides the criterion timings, the bench computes both arms' throughput
+//! directly and prints a `BENCH_eval` JSON summary; set
+//! `PIMSYN_BENCH_SAVE=<path>` to also write it to a file (the committed
+//! `BENCH_eval.json` baseline was recorded this way). Pass `--quick` (the
+//! CI smoke mode) to run a single small round that merely proves the hot
+//! path compiles and executes.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
+use pimsyn_dse::{
+    CandidateEvaluator, DesignPoint, EvalCacheConfig, ExploreContext, MacAllocGene, Objective,
+};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::{zoo, Model};
+
+const POWER: Watts = Watts(9.0);
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+struct Workload {
+    model: Model,
+    hw: HardwareParams,
+    df: Dataflow,
+    point: DesignPoint,
+    genes: Vec<MacAllocGene>,
+}
+
+/// A deterministic repeated-gene workload: `distinct` feasible genes, the
+/// whole set scored `repeats` times (so a perfect memo converges to a
+/// `(repeats - 1) / repeats` hit rate).
+fn workload(distinct: usize, repeats: usize) -> Workload {
+    let model = zoo::alexnet_cifar(10);
+    let hw = HardwareParams::date24();
+    let xb = CrossbarConfig::new(128, 2).expect("legal");
+    let dac = DacConfig::new(1).expect("legal");
+    let dup = vec![1usize; model.weight_layer_count()];
+    let df = Dataflow::compile(&model, xb, dac, &dup).expect("compiles");
+    let point = DesignPoint {
+        ratio_rram: 0.3,
+        crossbar: xb,
+    };
+    let l = model.weight_layer_count();
+    let caps: Vec<usize> = df
+        .programs()
+        .iter()
+        .map(|p| (p.wt_dup * p.row_groups).clamp(1, 4))
+        .collect();
+    let mut genes = Vec::with_capacity(distinct * repeats);
+    let distinct_genes: Vec<MacAllocGene> = (0..distinct)
+        .map(|g| {
+            // A cheap deterministic spread over small macro counts (no RNG
+            // so the workload is identical across runs and machines).
+            let macros: Vec<usize> = (0..l).map(|i| 1 + (g * 13 + i * 7) % caps[i]).collect();
+            MacAllocGene::encode(&macros, &vec![None; l])
+        })
+        .collect();
+    for _ in 0..repeats {
+        genes.extend(distinct_genes.iter().cloned());
+    }
+    Workload {
+        model,
+        hw,
+        df,
+        point,
+        genes,
+    }
+}
+
+fn evaluator<'a>(w: &'a Workload, config: EvalCacheConfig) -> CandidateEvaluator<'a> {
+    CandidateEvaluator::new(
+        &w.model,
+        POWER,
+        &w.hw,
+        MacroMode::Specialized,
+        Objective::PowerEfficiency,
+        config,
+    )
+}
+
+/// Scores the whole workload once on a fresh evaluator; candidates/second.
+fn throughput(w: &Workload, config: EvalCacheConfig) -> f64 {
+    let eval = evaluator(w, config);
+    let ctx = ExploreContext::unobserved();
+    let start = Instant::now();
+    for gene in &w.genes {
+        black_box(eval.score(&w.df, w.point, gene, &ctx));
+    }
+    w.genes.len() as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+fn bench_eval_throughput(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (distinct, repeats, samples) = if quick { (4, 2, 1) } else { (16, 8, 10) };
+    let w = workload(distinct, repeats);
+
+    let mut group = c.benchmark_group("eval_throughput");
+    group.sample_size(samples);
+    group.bench_function("cache_on", |b| {
+        b.iter(|| throughput(&w, EvalCacheConfig::enabled()))
+    });
+    group.bench_function("cache_off", |b| {
+        b.iter(|| throughput(&w, EvalCacheConfig::disabled()))
+    });
+    group.finish();
+
+    // Direct throughput comparison (best of a few rounds per arm, so the
+    // JSON baseline is stable against scheduler noise).
+    let rounds = if quick { 1 } else { 3 };
+    let best = |config: EvalCacheConfig| {
+        (0..rounds)
+            .map(|_| throughput(&w, config))
+            .fold(0.0f64, f64::max)
+    };
+    let on = best(EvalCacheConfig::enabled());
+    let off = best(EvalCacheConfig::disabled());
+    let speedup = on / off.max(1e-12);
+    let json = format!(
+        "{{\n  \"bench\": \"eval_throughput\",\n  \"model\": \"alexnet-cifar\",\n  \
+         \"distinct_genes\": {distinct},\n  \"repeats\": {repeats},\n  \
+         \"cache_on_candidates_per_sec\": {on:.1},\n  \
+         \"cache_off_candidates_per_sec\": {off:.1},\n  \"speedup\": {speedup:.2}\n}}"
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("PIMSYN_BENCH_SAVE") {
+        std::fs::write(&path, format!("{json}\n")).expect("write bench baseline");
+        println!("(baseline written to {path})");
+    }
+}
+
+criterion_group!(benches, bench_eval_throughput);
+criterion_main!(benches);

@@ -23,8 +23,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use pimsyn::{
-    CancelToken, ChannelSink, Effort, MacroMode, Objective, SynthesisEngine, SynthesisError,
-    SynthesisEvent, SynthesisOptions, SynthesisRequest, SynthesisResult, SynthesisSummary,
+    CancelToken, ChannelSink, Effort, EvalCacheConfig, EvaluatorStats, MacroMode, Objective,
+    SynthesisEngine, SynthesisError, SynthesisEvent, SynthesisOptions, SynthesisRequest,
+    SynthesisResult, SynthesisSummary,
 };
 use pimsyn_arch::Watts;
 use pimsyn_model::json::JsonValue;
@@ -52,6 +53,8 @@ struct Args {
     cycle_images: usize,
     timeout: Option<Duration>,
     max_evals: Option<usize>,
+    eval_cache: bool,
+    eval_cache_capacity: Option<usize>,
     output: OutputFormat,
     quiet: bool,
     help: bool,
@@ -106,6 +109,9 @@ OPTIONS:
   --timeout <secs>      stop exploring after this long, keeping the best
                         implementation found so far
   --max-evals <n>       bound candidate-architecture evaluations
+  --eval-cache <on|off> memoize candidate evaluations (default: on; results
+                        are bit-identical either way, off recomputes all)
+  --eval-cache-capacity <n>  bound memo-cache entries (default: 65536)
   --output <text|json>  report format on stdout (default: text)
   --quiet               suppress live progress on stderr
   --help                print this message";
@@ -126,6 +132,8 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         cycle_images: 0,
         timeout: None,
         max_evals: None,
+        eval_cache: true,
+        eval_cache_capacity: None,
         output: OutputFormat::Text,
         quiet: false,
         help: false,
@@ -172,6 +180,22 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                     return Err("--max-evals must be at least 1".to_string());
                 }
                 args.max_evals = Some(n);
+            }
+            "--eval-cache" => {
+                args.eval_cache = match value("--eval-cache")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("unknown --eval-cache value `{other}`")),
+                }
+            }
+            "--eval-cache-capacity" => {
+                let n: usize = value("--eval-cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --eval-cache-capacity: {e}"))?;
+                if n == 0 {
+                    return Err("--eval-cache-capacity must be at least 1".to_string());
+                }
+                args.eval_cache_capacity = Some(n);
             }
             "--output" => {
                 args.output = match value("--output")?.as_str() {
@@ -289,6 +313,15 @@ fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String
     if let Some(n) = args.max_evals {
         options = options.with_max_evaluations(n);
     }
+    let mut cache = if args.eval_cache {
+        EvalCacheConfig::enabled()
+    } else {
+        EvalCacheConfig::disabled()
+    };
+    if let Some(capacity) = args.eval_cache_capacity {
+        cache = cache.with_capacity(capacity);
+    }
+    options = options.with_eval_cache(cache);
     if let Some(path) = &args.hw_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let hw =
@@ -466,8 +499,22 @@ fn progress_line(event: &SynthesisEvent, objective: Objective) -> Option<String>
                 (None, None) => format!("[job {job}] failed"),
             })
         }
+        // Per-point cumulative snapshots are too chatty for the CLI; the
+        // final snapshot is summarized after the job (see `stats_line`).
+        SynthesisEvent::EvaluatorStats { .. } => None,
         SynthesisEvent::StageStarted { .. } | SynthesisEvent::StageFinished { .. } => None,
     }
+}
+
+/// Renders the job's final evaluator snapshot for stderr.
+fn stats_line(stats: &EvaluatorStats) -> String {
+    format!(
+        "evaluator: {} candidates scored, {} unique evaluations, {} cache hits ({:.0}% hit rate)",
+        stats.scored,
+        stats.unique_evaluations,
+        stats.cache_hits,
+        stats.hit_rate() * 100.0
+    )
 }
 
 /// The job index an event belongs to.
@@ -478,6 +525,7 @@ fn event_job(event: &SynthesisEvent) -> usize {
         | SynthesisEvent::StageFinished { job, .. }
         | SynthesisEvent::DesignPointEvaluated { job, .. }
         | SynthesisEvent::ImprovedBest { job, .. }
+        | SynthesisEvent::EvaluatorStats { job, .. }
         | SynthesisEvent::Finished { job, .. } => *job,
     }
 }
@@ -551,11 +599,20 @@ fn run_single(args: &Args) -> ExitCode {
 
     let engine = SynthesisEngine::new();
     let job = engine.spawn(SynthesisRequest::new(model, options));
+    let mut last_stats: Option<EvaluatorStats> = None;
     for event in job.events() {
+        if let SynthesisEvent::EvaluatorStats { stats, .. } = &event {
+            last_stats = Some(*stats);
+        }
         if !args.quiet {
             if let Some(line) = progress_line(&event, args.objective) {
                 eprintln!("{line}");
             }
+        }
+    }
+    if !args.quiet {
+        if let Some(stats) = &last_stats {
+            eprintln!("{}", stats_line(stats));
         }
     }
     match job.join() {
@@ -753,6 +810,70 @@ mod tests {
         let job = JsonValue::parse(r#"{"model": "alexnet-cifar"}"#).unwrap();
         let err = batch_job_request(&job, &bare, 0).unwrap_err();
         assert!(err.contains("--power"), "{err}");
+    }
+
+    #[test]
+    fn eval_cache_flags_parse() {
+        let args = parse(&["--model", "vgg16", "--power", "9"]).unwrap();
+        assert!(args.eval_cache, "cache must default on");
+        assert_eq!(args.eval_cache_capacity, None);
+        let args = parse(&["--model", "vgg16", "--power", "9", "--eval-cache", "off"]).unwrap();
+        assert!(!args.eval_cache);
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-capacity",
+            "1024",
+        ])
+        .unwrap();
+        assert_eq!(args.eval_cache_capacity, Some(1024));
+        let err =
+            parse(&["--model", "vgg16", "--power", "9", "--eval-cache", "maybe"]).unwrap_err();
+        assert!(err.contains("--eval-cache"), "{err}");
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-capacity",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn eval_cache_flags_reach_options() {
+        let args = parse(&["--model", "vgg16", "--power", "9", "--eval-cache", "off"]).unwrap();
+        let options = options_from_args(&args, args.power).unwrap();
+        assert!(!options.eval_cache.enabled);
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-capacity",
+            "77",
+        ])
+        .unwrap();
+        let options = options_from_args(&args, args.power).unwrap();
+        assert!(options.eval_cache.enabled);
+        assert_eq!(options.eval_cache.capacity, 77);
+    }
+
+    #[test]
+    fn stats_line_summarizes_hit_rate() {
+        let line = stats_line(&EvaluatorStats {
+            scored: 200,
+            unique_evaluations: 150,
+            cache_hits: 50,
+            ..EvaluatorStats::default()
+        });
+        assert!(line.contains("200 candidates scored"), "{line}");
+        assert!(line.contains("150 unique"), "{line}");
+        assert!(line.contains("25% hit rate"), "{line}");
     }
 
     #[test]

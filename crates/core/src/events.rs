@@ -11,7 +11,7 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use pimsyn_dse::{DesignPoint, ExploreEvent, StopReason, SynthesisStage};
+use pimsyn_dse::{DesignPoint, EvaluatorStats, ExploreEvent, StopReason, SynthesisStage};
 
 /// Progress events emitted while a synthesis job runs.
 ///
@@ -71,6 +71,18 @@ pub enum SynthesisEvent {
         point_index: usize,
         /// The new best fitness.
         fitness: f64,
+    },
+    /// Cumulative candidate-evaluator throughput counters (scored
+    /// candidates, unique evaluations, cache hits), snapshotted as each
+    /// design point finishes. Stats are job-wide and monotonic; the last
+    /// snapshot before [`Finished`](Self::Finished) summarizes the job.
+    EvaluatorStats {
+        /// Index of the request in the batch (0 for single jobs).
+        job: usize,
+        /// Outer design-point index whose completion triggered the snapshot.
+        point_index: usize,
+        /// Job-wide evaluator counters at snapshot time.
+        stats: EvaluatorStats,
     },
     /// The job finished (the terminal event of every job).
     Finished {
@@ -209,6 +221,11 @@ pub(crate) fn lift(job: usize, event: ExploreEvent) -> SynthesisEvent {
             job,
             point_index,
             fitness,
+        },
+        ExploreEvent::EvaluatorStats { point_index, stats } => SynthesisEvent::EvaluatorStats {
+            job,
+            point_index,
+            stats,
         },
     }
 }

@@ -95,6 +95,7 @@ pub use synthesis::{SynthesisResult, Synthesizer};
 // Re-export the vocabulary types users need at the API boundary.
 pub use pimsyn_arch::{Architecture, MacroMode, Watts};
 pub use pimsyn_dse::{
-    CancelToken, DesignPoint, DesignSpace, Objective, StopReason, SynthesisStage, WtDupStrategy,
+    CancelToken, DesignPoint, DesignSpace, EvalCacheConfig, EvaluatorStats, Objective, StopReason,
+    SynthesisStage, WtDupStrategy,
 };
 pub use pimsyn_sim::SimReport;

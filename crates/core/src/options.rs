@@ -5,7 +5,8 @@ use std::time::Duration;
 
 use pimsyn_arch::{HardwareParams, MacroMode, Watts};
 use pimsyn_dse::{
-    DesignSpace, DseConfig, EaConfig, ExploreBudget, Objective, SaConfig, WtDupStrategy,
+    DesignSpace, DseConfig, EaConfig, EvalCacheConfig, ExploreBudget, Objective, SaConfig,
+    WtDupStrategy,
 };
 
 /// How much search effort to spend.
@@ -71,6 +72,11 @@ pub struct SynthesisOptions {
     /// exploration; like [`time_budget`](Self::time_budget), exhaustion
     /// stops the search gracefully.
     pub max_evaluations: Option<usize>,
+    /// Candidate-evaluation memoization (on by default). Caching is
+    /// transparent: cached and uncached runs produce bit-identical results;
+    /// hit statistics stream as
+    /// [`SynthesisEvent::EvaluatorStats`](crate::SynthesisEvent::EvaluatorStats).
+    pub eval_cache: EvalCacheConfig,
 }
 
 impl SynthesisOptions {
@@ -96,6 +102,7 @@ impl SynthesisOptions {
             cycle_images: 3,
             time_budget: None,
             max_evaluations: None,
+            eval_cache: EvalCacheConfig::default(),
         }
     }
 
@@ -177,6 +184,12 @@ impl SynthesisOptions {
         self
     }
 
+    /// Configures (or disables) the candidate-evaluation memo caches.
+    pub fn with_eval_cache(mut self, cache: EvalCacheConfig) -> Self {
+        self.eval_cache = cache;
+        self
+    }
+
     /// Lowers the configured budgets to the DSE layer (deadline anchored at
     /// the moment of the call).
     pub(crate) fn to_explore_budget(&self) -> ExploreBudget {
@@ -214,6 +227,7 @@ impl SynthesisOptions {
             },
             macro_mode: self.macro_mode,
             parallel: self.parallel,
+            eval_cache: self.eval_cache,
             seed: self.seed,
         }
     }

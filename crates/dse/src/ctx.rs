@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::eval::EvaluatorStats;
 use crate::space::DesignPoint;
 
 /// The four synthesis stages of the paper's Fig. 3 flow, as they execute at
@@ -184,6 +185,17 @@ pub enum ExploreEvent {
         /// The new best fitness (TOPS/W under the default objective).
         fitness: f64,
     },
+    /// Cumulative candidate-evaluator throughput counters, emitted as each
+    /// design point finishes (immediately before its
+    /// [`DesignPointEvaluated`](Self::DesignPointEvaluated) summary). Stats
+    /// are run-wide, not per point: with parallel exploration, successive
+    /// snapshots from different points are each monotonically larger.
+    EvaluatorStats {
+        /// Outer design-point index whose completion triggered the snapshot.
+        point_index: usize,
+        /// Run-wide evaluator counters at snapshot time.
+        stats: EvaluatorStats,
+    },
 }
 
 /// Receives [`ExploreEvent`]s. Implementations must be cheap and
@@ -229,6 +241,9 @@ pub struct ExploreContext<'a> {
     /// distinguishes "the search was curtailed" from "the budget happened
     /// to run out exactly as the search finished".
     observed: AtomicU8,
+    /// Serializes evaluator-stats snapshot + emission (see
+    /// [`emit_evaluator_stats`](Self::emit_evaluator_stats)).
+    stats_emit: Mutex<()>,
 }
 
 impl fmt::Debug for ExploreContext<'_> {
@@ -252,6 +267,7 @@ impl<'a> ExploreContext<'a> {
             evaluations: AtomicUsize::new(0),
             best: Mutex::new(0.0),
             observed: AtomicU8::new(0),
+            stats_emit: Mutex::new(()),
         }
     }
 
@@ -287,6 +303,20 @@ impl<'a> ExploreContext<'a> {
     /// Total candidate evaluations recorded so far.
     pub fn evaluations(&self) -> usize {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots evaluator throughput counters and emits
+    /// [`ExploreEvent::EvaluatorStats`] atomically: the snapshot is taken
+    /// and delivered inside one critical section, so observers see
+    /// monotonically increasing counters even when parallel workers finish
+    /// design points concurrently (the same discipline as
+    /// [`record_fitness`](Self::record_fitness)).
+    pub fn emit_evaluator_stats(&self, point_index: usize, snapshot: &dyn Fn() -> EvaluatorStats) {
+        let _serialized = self.stats_emit.lock().expect("stats-emit mutex");
+        self.emit(ExploreEvent::EvaluatorStats {
+            point_index,
+            stats: snapshot(),
+        });
     }
 
     /// Records a point-level fitness and emits [`ExploreEvent::ImprovedBest`]

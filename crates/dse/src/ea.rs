@@ -11,13 +11,13 @@
 use pimsyn_arch::{Architecture, MacroMode, Watts};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
-use pimsyn_sim::{evaluate_analytic, SimReport};
+use pimsyn_sim::SimReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::alloc::{allocate_components, AllocRequest};
 use crate::ctx::ExploreContext;
 use crate::error::DseError;
+use crate::eval::{CandidateEvaluator, CandidateScore, EvalCacheConfig};
 use crate::space::DesignPoint;
 
 /// The paper's gene encoding base: `MacAlloc_i = owner * 1000 + #macros`.
@@ -76,6 +76,13 @@ pub struct EaConfig {
     pub allow_sharing: bool,
     /// What the fitness function maximizes.
     pub objective: Objective,
+    /// Score each generation's batch over a scoped thread pool. For runs
+    /// that complete (no mid-batch stop), outcomes are identical either way
+    /// (deterministic reduction); where a cancellation or budget stop lands
+    /// mid-batch is timing-dependent, exactly as with parallel outer design
+    /// points. Enable when the outer design-point loop is not already
+    /// saturating the cores.
+    pub parallel_batch: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -91,6 +98,7 @@ impl EaConfig {
             mutate_share_prob: 0.3,
             allow_sharing: true,
             objective: Objective::default(),
+            parallel_batch: false,
             seed: 0xEA5E,
         }
     }
@@ -189,49 +197,8 @@ fn max_macros(df: &Dataflow) -> Vec<usize> {
         .collect()
 }
 
-/// One EA population member: fitness, gene, and (for feasible genes) the
-/// completed architecture with its evaluation.
-type Individual = (f64, MacAllocGene, Option<(Architecture, SimReport)>);
-
-struct Evaluator<'a> {
-    model: &'a Model,
-    df: &'a Dataflow,
-    point: DesignPoint,
-    total_power: Watts,
-    macro_mode: MacroMode,
-    hw: &'a pimsyn_arch::HardwareParams,
-    objective: Objective,
-    evaluations: usize,
-    ctx: &'a ExploreContext<'a>,
-}
-
-impl Evaluator<'_> {
-    fn fitness(&mut self, gene: &MacAllocGene) -> (f64, Option<(Architecture, SimReport)>) {
-        self.evaluations += 1;
-        self.ctx.count_evaluations(1);
-        let (macros, shares) = gene.decode();
-        let req = AllocRequest {
-            model: self.model,
-            dataflow: self.df,
-            point: self.point,
-            total_power: self.total_power,
-            hw: self.hw,
-            macros: &macros,
-            shares: &shares,
-            macro_mode: self.macro_mode,
-        };
-        let Ok(arch) = allocate_components(&req) else {
-            return (0.0, None);
-        };
-        match evaluate_analytic(self.model, self.df, &arch) {
-            Ok(report) => {
-                let f = self.objective.fitness(&report);
-                (f, Some((arch, report)))
-            }
-            Err(_) => (0.0, None),
-        }
-    }
-}
+/// One EA population member: its gene and its slim score.
+type Individual = (MacAllocGene, CandidateScore);
 
 /// Explores macro partitioning with the EA of Alg. 2 and returns the best
 /// completed architecture.
@@ -254,6 +221,26 @@ pub fn explore_macro_partitioning(
     explore_macro_partitioning_observed(model, df, point, total_power, hw, macro_mode, cfg, &ctx)
 }
 
+/// [`explore_macro_partitioning_observed`] scoring through a caller-provided
+/// [`CandidateEvaluator`] — the form [`run_dse_observed`](crate::run_dse_observed)
+/// uses so one memo cache spans every EA invocation of a synthesis run. The
+/// evaluator's objective must match `cfg.objective` (its cached fitness
+/// values are what the EA ranks by).
+///
+/// # Errors
+///
+/// [`DseError::NoFeasibleSolution`] when no gene evaluated before the run
+/// ended produced a working accelerator.
+pub fn explore_macro_partitioning_evaluated(
+    df: &Dataflow,
+    point: DesignPoint,
+    cfg: &EaConfig,
+    ctx: &ExploreContext<'_>,
+    evaluator: &CandidateEvaluator<'_>,
+) -> Result<EaOutcome, DseError> {
+    run_ea_counted(df, point, cfg, ctx, evaluator).1
+}
+
 /// [`explore_macro_partitioning`] under an [`ExploreContext`]: every
 /// candidate evaluation is charged to the context's shared budget, and the
 /// generational loop stops early (returning the best gene so far) when the
@@ -274,88 +261,76 @@ pub fn explore_macro_partitioning_observed(
     cfg: &EaConfig,
     ctx: &ExploreContext<'_>,
 ) -> Result<EaOutcome, DseError> {
-    run_ea_counted(model, df, point, total_power, hw, macro_mode, cfg, ctx).1
+    let evaluator = CandidateEvaluator::new(
+        model,
+        total_power,
+        hw,
+        macro_mode,
+        cfg.objective,
+        EvalCacheConfig::default(),
+    );
+    run_ea_counted(df, point, cfg, ctx, &evaluator).1
 }
 
 /// The EA body, additionally returning the candidate evaluations performed
 /// even when the run ends infeasible — so callers can keep their reported
-/// counts consistent with the budget counter.
-#[allow(clippy::too_many_arguments)]
+/// counts consistent with the budget counter. All scoring goes through
+/// `evaluator` (whose objective must match `cfg.objective`); generations are
+/// scored as batches with deterministic reduction.
 pub(crate) fn run_ea_counted(
-    model: &Model,
     df: &Dataflow,
     point: DesignPoint,
-    total_power: Watts,
-    hw: &pimsyn_arch::HardwareParams,
-    macro_mode: MacroMode,
     cfg: &EaConfig,
     ctx: &ExploreContext<'_>,
+    evaluator: &CandidateEvaluator<'_>,
 ) -> (usize, Result<EaOutcome, DseError>) {
     let l = df.programs().len();
     let caps = max_macros(df);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    let mut eval = Evaluator {
-        model,
-        df,
-        point,
-        total_power,
-        macro_mode,
-        objective: cfg.objective,
-        evaluations: 0,
-        hw,
-        ctx,
-    };
+    let mut evaluations = 0usize;
 
     // Initialize: all-ones, a tile-proportional seed (one macro per ~96
     // crossbars, the ISAAC-class tiling — spreads communication-bound big
     // layers across macros from generation zero), plus random genes within
     // rule (c).
-    let mut population: Vec<Individual> = Vec::new();
-    let ones = MacAllocGene::encode(&vec![1; l], &vec![None; l]);
-    let (f, a) = eval.fitness(&ones);
-    population.push((f, ones, a));
-    if population.len() < cfg.population {
+    let mut genes: Vec<MacAllocGene> = vec![MacAllocGene::encode(&vec![1; l], &vec![None; l])];
+    if genes.len() < cfg.population {
         let tiled: Vec<usize> = df
             .programs()
             .iter()
             .enumerate()
             .map(|(i, p)| p.crossbars.div_ceil(96).clamp(1, caps[i]))
             .collect();
-        let gene = MacAllocGene::encode(&tiled, &vec![None; l]);
-        let (f, a) = eval.fitness(&gene);
-        population.push((f, gene, a));
+        genes.push(MacAllocGene::encode(&tiled, &vec![None; l]));
     }
-    while population.len() < cfg.population {
+    while genes.len() < cfg.population {
         if ctx.should_stop() {
             break;
         }
         let macros: Vec<usize> = (0..l).map(|i| rng.gen_range(1..=caps[i])).collect();
-        let gene = MacAllocGene::encode(&macros, &vec![None; l]);
-        let (f, a) = eval.fitness(&gene);
-        population.push((f, gene, a));
+        genes.push(MacAllocGene::encode(&macros, &vec![None; l]));
     }
+    let (scores, charged) = evaluator.score_batch(df, point, &genes, cfg.parallel_batch, ctx);
+    evaluations += charged;
+    let mut population: Vec<Individual> = genes.into_iter().zip(scores).collect();
     sort_population(&mut population);
 
-    'generations: for _gen in 0..cfg.generations {
+    for _gen in 0..cfg.generations {
+        if ctx.should_stop() {
+            break;
+        }
         let elite = 2.min(population.len());
-        let mut children = Vec::new();
-        while children.len() + elite < cfg.population {
-            if ctx.should_stop() {
-                population.truncate(elite);
-                population.extend(children);
-                sort_population(&mut population);
-                break 'generations;
-            }
+        let mut child_genes: Vec<MacAllocGene> = Vec::new();
+        while child_genes.len() + elite < cfg.population {
             // Tournament selection (Alg. 2 line 4).
             let mut best_idx = rng.gen_range(0..population.len());
             for _ in 1..cfg.tournament {
                 let c = rng.gen_range(0..population.len());
-                if population[c].0 > population[best_idx].0 {
+                if population[c].1.fitness > population[best_idx].1.fitness {
                     best_idx = c;
                 }
             }
-            let (mut macros, mut shares) = population[best_idx].1.decode();
+            let (mut macros, mut shares) = population[best_idx].0.decode();
 
             // mutate_num (Alg. 2 line 5).
             if rng.gen_bool(cfg.mutate_num_prob) {
@@ -366,28 +341,36 @@ pub(crate) fn run_ea_counted(
             if cfg.allow_sharing && rng.gen_bool(cfg.mutate_share_prob) {
                 mutate_share(&mut shares, &mut rng, l);
             }
-            let gene = MacAllocGene::encode(&macros, &shares);
-            let (f, a) = eval.fitness(&gene);
-            children.push((f, gene, a));
+            child_genes.push(MacAllocGene::encode(&macros, &shares));
         }
+        let (child_scores, charged) =
+            evaluator.score_batch(df, point, &child_genes, cfg.parallel_batch, ctx);
+        evaluations += charged;
         population.truncate(elite);
-        population.extend(children);
+        population.extend(child_genes.into_iter().zip(child_scores));
         sort_population(&mut population);
     }
 
-    let evaluations = eval.evaluations;
     let best = population
         .into_iter()
-        .find(|(f, _, arch)| *f > 0.0 && arch.is_some());
+        .find(|(_, score)| score.fitness > 0.0 && score.feasible);
     let outcome = match best {
-        Some((fitness, gene, Some((architecture, report)))) => Ok(EaOutcome {
-            gene,
-            architecture,
-            report,
-            fitness,
-            evaluations,
-        }),
-        _ => Err(DseError::NoFeasibleSolution),
+        Some((gene, score)) => {
+            // Scores are slim (the memo holds no architectures); the single
+            // winner is realized once — a pure recomputation, uncharged.
+            match evaluator.realize(df, point, &gene) {
+                Some((architecture, report)) => Ok(EaOutcome {
+                    gene,
+                    architecture,
+                    report,
+                    fitness: score.fitness,
+                    evaluations,
+                }),
+                // Unreachable: realization recomputes a feasible score.
+                None => Err(DseError::NoFeasibleSolution),
+            }
+        }
+        None => Err(DseError::NoFeasibleSolution),
     };
     (evaluations, outcome)
 }
@@ -416,7 +399,7 @@ fn mutate_share(shares: &mut [Option<usize>], rng: &mut StdRng, l: usize) {
 }
 
 fn sort_population(pop: &mut [Individual]) {
-    pop.sort_by(|a, b| b.0.total_cmp(&a.0));
+    pop.sort_by(|a, b| b.1.fitness.total_cmp(&a.1.fitness));
 }
 
 #[cfg(test)]

@@ -1,0 +1,626 @@
+//! The unified candidate-evaluation pipeline shared by all four synthesis
+//! stages.
+//!
+//! Algorithm 1 spends essentially all of its time scoring candidates: every
+//! SA weight-duplication probe, every EA macro-partitioning gene and every
+//! outer design point runs dataflow compilation, components allocation and
+//! the analytic performance model. The [`CandidateEvaluator`] centralizes
+//! that scoring:
+//!
+//! - a **memo cache** keyed by the canonicalized candidate (design point,
+//!   DAC resolution, duplication vector, `MacAlloc` gene) — the SA and EA
+//!   metaheuristics revisit many identical candidates, and a hit returns the
+//!   previously computed architecture/report without recomputation;
+//! - **per-layer analytic cost memoization** (via
+//!   [`pimsyn_sim::LayerCostCache`]) so a gene that changes one layer's
+//!   allocation only recomputes that layer's contribution on a miss;
+//! - a **batch interface** ([`CandidateEvaluator::score_batch`]) that scores
+//!   an EA generation across a scoped thread pool with deterministic
+//!   reduction (results in input order), replacing ad-hoc serial loops;
+//! - an **SA energy memo** for the weight-duplication filter's Eq. (4)
+//!   probes.
+//!
+//! Caching is *transparent*: evaluation is a pure function of the candidate,
+//! so cached and uncached runs produce bit-identical outcomes, and every
+//! scored candidate — hit or miss — is charged to the
+//! [`ExploreContext`] budget exactly as before. Unique evaluations and
+//! cache hits are reported separately through [`EvaluatorStats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pimsyn_arch::{Architecture, CrossbarConfig, HardwareParams, MacroMode, Watts};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::Model;
+use pimsyn_sim::{evaluate_analytic, evaluate_analytic_cached, LayerCostCache, SimReport};
+
+use crate::alloc::{allocate_components, AllocRequest};
+use crate::ctx::ExploreContext;
+use crate::ea::{MacAllocGene, Objective};
+use crate::sa::sa_energy;
+use crate::space::DesignPoint;
+
+/// Configuration of the evaluator's memo caches (candidate memo, SA energy
+/// memo, per-layer analytic costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalCacheConfig {
+    /// Master switch; disabled, every candidate is computed from scratch.
+    pub enabled: bool,
+    /// Maximum entries per memo map; once full, new results are returned
+    /// without being stored (no eviction, so memory stays bounded and
+    /// resident entries keep hitting).
+    pub capacity: usize,
+}
+
+impl EvalCacheConfig {
+    /// Default capacity: roomy for a paper-scale run while bounding worst-
+    /// case memory (one entry holds an [`Architecture`] + [`SimReport`]).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Caching on, default capacity (the default).
+    pub fn enabled() -> Self {
+        Self::default()
+    }
+
+    /// Caching off: every candidate recomputed (for ablations and the
+    /// throughput benchmark's baseline arm).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Overrides the per-map entry bound.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+impl Default for EvalCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// Cumulative evaluator throughput counters, reported through
+/// [`ExploreEvent::EvaluatorStats`](crate::ExploreEvent::EvaluatorStats).
+///
+/// `scored` counts every candidate scoring request (and matches what the
+/// budget counter was charged); `unique_evaluations + cache_hits == scored`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvaluatorStats {
+    /// Candidate scoring requests (cache hits included).
+    pub scored: usize,
+    /// Full compile → allocate → analytic-model evaluations actually run.
+    pub unique_evaluations: usize,
+    /// Requests served from the candidate memo.
+    pub cache_hits: usize,
+    /// SA energy-function probes (weight-duplication stage).
+    pub sa_probes: usize,
+    /// SA probes served from the energy memo.
+    pub sa_cache_hits: usize,
+    /// Per-layer base-cost lookups served from the layer memo.
+    pub layer_hits: usize,
+    /// Per-layer base costs computed from scratch.
+    pub layer_misses: usize,
+}
+
+impl EvaluatorStats {
+    /// Fraction of candidate scoring requests served from the memo.
+    pub fn hit_rate(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.scored as f64
+        }
+    }
+}
+
+/// Canonical identity of one candidate within a synthesis run. The model,
+/// power constraint, hardware constants, macro mode and objective are fixed
+/// per evaluator, so the key only carries what varies between candidates.
+#[derive(Debug, Hash, PartialEq, Eq, Clone)]
+struct CandidateKey {
+    /// `RatioRram` (bit pattern — the grid values are exact constants).
+    ratio_bits: u64,
+    crossbar: CrossbarConfig,
+    dac_bits: u32,
+    /// Shared across every key of a batch (hash/eq see through the `Arc`).
+    wt_dup: Arc<Vec<usize>>,
+    /// The `MacAlloc` gene in the paper's canonical `owner*1000 + n`
+    /// encoding (macro counts and sharing in one vector).
+    gene: Vec<u32>,
+}
+
+/// Fitness and feasibility of one scored candidate.
+///
+/// Deliberately slim (two words): the memo cache holds one of these per
+/// unique candidate, so it stores no architecture or report —
+/// [`CandidateEvaluator::realize`] recomputes a winner's full implementation
+/// on demand (cheap, since it hits the per-layer cost memo).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// Objective fitness (0 for infeasible candidates).
+    pub fitness: f64,
+    /// Whether the candidate allocated and evaluated successfully.
+    pub feasible: bool,
+}
+
+impl CandidateScore {
+    /// A candidate that failed allocation or evaluation — also the
+    /// placeholder for candidates skipped after a cooperative stop.
+    pub const INFEASIBLE: Self = Self {
+        fitness: 0.0,
+        feasible: false,
+    };
+}
+
+/// The shared evaluation layer: scores macro-partitioning candidates
+/// (components allocation + analytic model) and SA duplication probes, with
+/// memoization, per-layer incremental costs and batch parallelism.
+///
+/// One evaluator spans one synthesis run (fixed model, power budget,
+/// hardware constants, macro mode and objective); worker threads share it by
+/// reference. Construction is cheap, so standalone stages (e.g.
+/// [`explore_macro_partitioning`](crate::explore_macro_partitioning)) build
+/// their own.
+pub struct CandidateEvaluator<'a> {
+    model: &'a Model,
+    total_power: Watts,
+    hw: &'a HardwareParams,
+    macro_mode: MacroMode,
+    objective: Objective,
+    config: EvalCacheConfig,
+    candidates: Mutex<HashMap<CandidateKey, CandidateScore>>,
+    energies: Mutex<HashMap<(Vec<usize>, u64), f64>>,
+    layer_costs: LayerCostCache,
+    scored: AtomicUsize,
+    unique: AtomicUsize,
+    hits: AtomicUsize,
+    sa_probes: AtomicUsize,
+    sa_hits: AtomicUsize,
+}
+
+impl std::fmt::Debug for CandidateEvaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateEvaluator")
+            .field("config", &self.config)
+            .field("objective", &self.objective)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> CandidateEvaluator<'a> {
+    /// An evaluator for one synthesis run.
+    pub fn new(
+        model: &'a Model,
+        total_power: Watts,
+        hw: &'a HardwareParams,
+        macro_mode: MacroMode,
+        objective: Objective,
+        config: EvalCacheConfig,
+    ) -> Self {
+        let layer_capacity = if config.enabled { config.capacity } else { 0 };
+        Self {
+            model,
+            total_power,
+            hw,
+            macro_mode,
+            objective,
+            config,
+            candidates: Mutex::new(HashMap::new()),
+            energies: Mutex::new(HashMap::new()),
+            layer_costs: LayerCostCache::with_capacity(layer_capacity),
+            scored: AtomicUsize::new(0),
+            unique: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            sa_probes: AtomicUsize::new(0),
+            sa_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The objective this evaluator's fitness values maximize.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The Eq. (4) SA energy of a duplication vector, memoized. Identical to
+    /// [`sa_energy`] (the memo is transparent).
+    pub fn sa_energy(&self, dup: &[usize], alpha: f64) -> f64 {
+        self.sa_probes.fetch_add(1, Ordering::Relaxed);
+        if !self.config.enabled {
+            return sa_energy(self.model, dup, alpha);
+        }
+        let key = (dup.to_vec(), alpha.to_bits());
+        if let Some(&e) = self.energies.lock().expect("energy memo").get(&key) {
+            self.sa_hits.fetch_add(1, Ordering::Relaxed);
+            return e;
+        }
+        let e = sa_energy(self.model, dup, alpha);
+        let mut map = self.energies.lock().expect("energy memo");
+        if map.len() < self.config.capacity {
+            map.insert(key, e);
+        }
+        e
+    }
+
+    /// Scores one macro-partitioning candidate: components allocation plus
+    /// the analytic model, memoized on the canonical candidate key.
+    ///
+    /// Every call — hit or miss — charges one evaluation to `ctx`'s budget
+    /// counter, so cached and uncached runs stop at identical points.
+    pub fn score(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        ctx: &ExploreContext<'_>,
+    ) -> CandidateScore {
+        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
+        self.score_with(df, point, gene, &wt_dup, ctx)
+    }
+
+    /// [`score`](Self::score) with the batch-invariant key prefix hoisted:
+    /// `wt_dup` is the dataflow's duplication vector, shared by every key of
+    /// a batch instead of re-collected per candidate.
+    fn score_with(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        wt_dup: &Arc<Vec<usize>>,
+        ctx: &ExploreContext<'_>,
+    ) -> CandidateScore {
+        ctx.count_evaluations(1);
+        self.scored.fetch_add(1, Ordering::Relaxed);
+        if !self.config.enabled {
+            self.unique.fetch_add(1, Ordering::Relaxed);
+            let (fitness, completed) = self.compute(df, point, gene);
+            return CandidateScore {
+                fitness,
+                feasible: completed.is_some(),
+            };
+        }
+        let key = CandidateKey {
+            ratio_bits: point.ratio_rram.to_bits(),
+            crossbar: point.crossbar,
+            dac_bits: df.dac().bits(),
+            wt_dup: Arc::clone(wt_dup),
+            gene: gene.as_slice().to_vec(),
+        };
+        if let Some(hit) = self
+            .candidates
+            .lock()
+            .expect("candidate memo")
+            .get(&key)
+            .copied()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.unique.fetch_add(1, Ordering::Relaxed);
+        let (fitness, completed) = self.compute(df, point, gene);
+        let score = CandidateScore {
+            fitness,
+            feasible: completed.is_some(),
+        };
+        let mut map = self.candidates.lock().expect("candidate memo");
+        if map.len() < self.config.capacity {
+            map.insert(key, score);
+        }
+        score
+    }
+
+    /// Scores a whole generation of candidates, returning `(scores,
+    /// charged)`: scores in input order (deterministic reduction) and the
+    /// number of candidates actually scored and charged to the budget.
+    ///
+    /// The loop checks `ctx` cooperatively before every candidate; once a
+    /// stop (cancellation, deadline, exhausted budget) is observed, the
+    /// remaining candidates come back as [`CandidateScore::INFEASIBLE`]
+    /// placeholders without being computed or charged — cancellation stays
+    /// as prompt as a serial per-child loop. With `parallel`, the batch
+    /// spreads over scoped worker threads; completed (un-stopped) runs are
+    /// identical either way — only wall-clock differs.
+    pub fn score_batch(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        genes: &[MacAllocGene],
+        parallel: bool,
+        ctx: &ExploreContext<'_>,
+    ) -> (Vec<CandidateScore>, usize) {
+        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
+        let score_chunk = |chunk: &[MacAllocGene]| -> (Vec<CandidateScore>, usize) {
+            let mut out = Vec::with_capacity(chunk.len());
+            let mut charged = 0usize;
+            for gene in chunk {
+                if ctx.should_stop() {
+                    out.resize(chunk.len(), CandidateScore::INFEASIBLE);
+                    break;
+                }
+                out.push(self.score_with(df, point, gene, &wt_dup, ctx));
+                charged += 1;
+            }
+            (out, charged)
+        };
+        if !parallel || genes.len() < 2 {
+            return score_chunk(genes);
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(genes.len());
+        let chunk = genes.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(genes.len());
+        let mut charged = 0usize;
+        let score_chunk = &score_chunk;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = genes
+                .chunks(chunk)
+                .map(|chunk_genes| s.spawn(move || score_chunk(chunk_genes)))
+                .collect();
+            // Chunks joined in submission order: the reduction is
+            // deterministic regardless of thread scheduling.
+            for handle in handles {
+                let (scores, n) = handle.join().expect("batch scorer panicked");
+                out.extend(scores);
+                charged += n;
+            }
+        });
+        (out, charged)
+    }
+
+    /// Recomputes the completed architecture and analytic report of a
+    /// previously scored, feasible candidate (typically the winner). Not
+    /// charged to the exploration budget and not counted as a scored
+    /// candidate: the memo stores only slim scores, so realization
+    /// re-derives what an unmemoized pipeline would have kept — per-layer
+    /// memo hits keep it cheap. Returns `None` for infeasible candidates.
+    pub fn realize(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+    ) -> Option<(Architecture, SimReport)> {
+        self.compute(df, point, gene).1
+    }
+
+    /// Snapshot of the cumulative throughput counters.
+    pub fn stats(&self) -> EvaluatorStats {
+        let layer = self.layer_costs.stats();
+        EvaluatorStats {
+            scored: self.scored.load(Ordering::Relaxed),
+            unique_evaluations: self.unique.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            sa_probes: self.sa_probes.load(Ordering::Relaxed),
+            sa_cache_hits: self.sa_hits.load(Ordering::Relaxed),
+            layer_hits: layer.hits,
+            layer_misses: layer.misses,
+        }
+    }
+
+    /// The full scoring pipeline for one candidate (allocation + analytic
+    /// model); pure, so memoization is transparent.
+    fn compute(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+    ) -> (f64, Option<(Architecture, SimReport)>) {
+        let (macros, shares) = gene.decode();
+        let req = AllocRequest {
+            model: self.model,
+            dataflow: df,
+            point,
+            total_power: self.total_power,
+            hw: self.hw,
+            macros: &macros,
+            shares: &shares,
+            macro_mode: self.macro_mode,
+        };
+        let Ok(arch) = allocate_components(&req) else {
+            return (0.0, None);
+        };
+        let evaluated = if self.config.enabled {
+            evaluate_analytic_cached(self.model, df, &arch, &self.layer_costs)
+        } else {
+            evaluate_analytic(self.model, df, &arch)
+        };
+        match evaluated {
+            Ok(report) => (self.objective.fitness(&report), Some((arch, report))),
+            Err(_) => (0.0, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_arch::{DacConfig, HardwareParams};
+    use pimsyn_model::zoo;
+
+    fn setup() -> (Model, Dataflow, DesignPoint) {
+        let model = zoo::alexnet_cifar(10);
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        let dac = DacConfig::new(1).unwrap();
+        let dup = vec![1; model.weight_layer_count()];
+        let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        (model, df, point)
+    }
+
+    fn evaluator<'a>(
+        model: &'a Model,
+        hw: &'a HardwareParams,
+        config: EvalCacheConfig,
+    ) -> CandidateEvaluator<'a> {
+        CandidateEvaluator::new(
+            model,
+            Watts(9.0),
+            hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            config,
+        )
+    }
+
+    fn gene(l: usize, macros: usize) -> MacAllocGene {
+        MacAllocGene::encode(&vec![macros; l], &vec![None; l])
+    }
+
+    #[test]
+    fn repeated_scores_hit_the_memo_and_match() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::unobserved();
+        let a = eval.score(&df, point, &gene(l, 1), &ctx);
+        let b = eval.score(&df, point, &gene(l, 1), &ctx);
+        assert_eq!(a, b, "hit must return the stored score verbatim");
+        let stats = eval.stats();
+        assert_eq!(stats.scored, 2);
+        assert_eq!(stats.unique_evaluations, 1);
+        assert_eq!(stats.cache_hits, 1);
+        // Both requests were charged to the budget (cache-transparent).
+        assert_eq!(ctx.evaluations(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_but_matches() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let cached = evaluator(&model, &hw, EvalCacheConfig::default());
+        let plain = evaluator(&model, &hw, EvalCacheConfig::disabled());
+        let ctx = ExploreContext::unobserved();
+        let g = gene(l, 2);
+        let a = cached.score(&df, point, &g, &ctx);
+        let b = plain.score(&df, point, &g, &ctx);
+        assert_eq!(a, b);
+        // Realized implementations (full architecture + report) also agree
+        // bit-for-bit between the layer-memoized and plain pipelines.
+        match (
+            cached.realize(&df, point, &g),
+            plain.realize(&df, point, &g),
+        ) {
+            (Some((aa, ar)), Some((ba, br))) => {
+                assert_eq!(aa, ba);
+                assert_eq!(ar, br);
+            }
+            (None, None) => assert!(!a.feasible),
+            _ => panic!("cached and uncached disagree on feasibility"),
+        }
+        assert_eq!(plain.stats().cache_hits, 0);
+        assert_eq!(plain.stats().unique_evaluations, 1);
+    }
+
+    #[test]
+    fn batch_parallel_matches_serial_in_order() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let genes: Vec<MacAllocGene> = (1..=4).map(|m| gene(l, m)).collect();
+        let ctx = ExploreContext::unobserved();
+        let hw = HardwareParams::date24();
+        let serial = evaluator(&model, &hw, EvalCacheConfig::default());
+        let parallel = evaluator(&model, &hw, EvalCacheConfig::default());
+        let (a, a_charged) = serial.score_batch(&df, point, &genes, false, &ctx);
+        let (b, b_charged) = parallel.score_batch(&df, point, &genes, true, &ctx);
+        assert_eq!(a, b);
+        assert_eq!(a_charged, genes.len());
+        assert_eq!(b_charged, genes.len());
+    }
+
+    #[test]
+    fn score_batch_stops_cooperatively_mid_batch() {
+        use crate::ctx::{CancelToken, ExploreBudget, NullObserver};
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::new(
+            &NullObserver,
+            CancelToken::new(),
+            ExploreBudget::unlimited().with_max_evaluations(2),
+        );
+        let genes: Vec<MacAllocGene> = (1..=5).map(|m| gene(l, m)).collect();
+        let (scores, charged) = eval.score_batch(&df, point, &genes, false, &ctx);
+        // The budget trips after two candidates; the rest are skipped
+        // placeholders and nothing further is charged.
+        assert_eq!(scores.len(), genes.len());
+        assert_eq!(charged, 2);
+        assert_eq!(ctx.evaluations(), 2);
+        assert_eq!(scores[2], CandidateScore::INFEASIBLE);
+        assert_eq!(scores[4], CandidateScore::INFEASIBLE);
+    }
+
+    #[test]
+    fn realize_reconstructs_a_feasible_winner() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::unobserved();
+        let g = gene(l, 1);
+        let score = eval.score(&df, point, &g, &ctx);
+        assert!(score.feasible);
+        let (arch, report) = eval.realize(&df, point, &g).expect("feasible");
+        arch.validate(&model).expect("realized winner validates");
+        assert_eq!(eval.objective().fitness(&report), score.fitness);
+        // Realization is free: neither scored nor budget-charged.
+        assert_eq!(eval.stats().scored, 1);
+        assert_eq!(ctx.evaluations(), 1);
+    }
+
+    #[test]
+    fn sa_energy_memo_is_transparent() {
+        let (model, _, _) = setup();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let dup = vec![2; model.weight_layer_count()];
+        let direct = sa_energy(&model, &dup, 0.5);
+        assert_eq!(eval.sa_energy(&dup, 0.5), direct);
+        assert_eq!(eval.sa_energy(&dup, 0.5), direct);
+        let stats = eval.stats();
+        assert_eq!(stats.sa_probes, 2);
+        assert_eq!(stats.sa_cache_hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default().with_capacity(0));
+        let ctx = ExploreContext::unobserved();
+        eval.score(&df, point, &gene(l, 1), &ctx);
+        eval.score(&df, point, &gene(l, 1), &ctx);
+        let stats = eval.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.unique_evaluations, 2);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = EvaluatorStats {
+            scored: 4,
+            unique_evaluations: 3,
+            cache_hits: 1,
+            ..EvaluatorStats::default()
+        };
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(EvaluatorStats::default().hit_rate(), 0.0);
+    }
+}

@@ -21,7 +21,8 @@ use pimsyn_sim::SimReport;
 use crate::ctx::{ExploreContext, ExploreEvent, StopReason, SynthesisStage};
 use crate::ea::{run_ea_counted, EaConfig};
 use crate::error::DseError;
-use crate::sa::{no_duplication, woho_proportional, wt_dup_candidates_observed, SaConfig};
+use crate::eval::{CandidateEvaluator, EvalCacheConfig};
+use crate::sa::{no_duplication, woho_proportional, wt_dup_candidates_cached, SaConfig};
 use crate::space::{DesignPoint, DesignSpace};
 
 /// How weight-duplication factors are chosen (stage 1 of the synthesis).
@@ -61,6 +62,10 @@ pub struct DseConfig {
     pub macro_mode: MacroMode,
     /// Run outer design points on worker threads.
     pub parallel: bool,
+    /// Memoization of candidate scoring (the [`CandidateEvaluator`]'s
+    /// caches). Enabled by default; caching is transparent — cached and
+    /// uncached runs produce bit-identical outcomes.
+    pub eval_cache: EvalCacheConfig,
     /// Base seed; every stochastic stage derives its own deterministic seed
     /// from it, so results are reproducible even with `parallel = true`.
     pub seed: u64,
@@ -78,6 +83,7 @@ impl DseConfig {
             ea: EaConfig::paper(),
             macro_mode: MacroMode::Specialized,
             parallel: true,
+            eval_cache: EvalCacheConfig::default(),
             seed: 0x9127_51AE,
         }
     }
@@ -140,6 +146,7 @@ fn explore_point(
     point: DesignPoint,
     point_idx: usize,
     ctx: &ExploreContext<'_>,
+    evaluator: &CandidateEvaluator<'_>,
 ) -> (PointResult, Option<PointBest>) {
     let mut result = PointResult {
         point,
@@ -148,6 +155,7 @@ fn explore_point(
     };
     let finish_point = |result: &PointResult, ctx: &ExploreContext<'_>| {
         ctx.record_fitness(point_idx, result.best_efficiency);
+        ctx.emit_evaluator_stats(point_idx, &|| evaluator.stats());
         ctx.emit(ExploreEvent::DesignPointEvaluated {
             point,
             point_index: point_idx,
@@ -189,7 +197,7 @@ fn explore_point(
                 seed: cfg.seed ^ (point_idx as u64) << 8,
                 ..cfg.sa.clone()
             };
-            wt_dup_candidates_observed(model, point.crossbar, budget, &sa_cfg, ctx).ok()
+            wt_dup_candidates_cached(model, point.crossbar, budget, &sa_cfg, ctx, evaluator).ok()
         }
         WtDupStrategy::WohoProportional => woho_proportional(model, point.crossbar, budget)
             .ok()
@@ -251,16 +259,7 @@ fn explore_point(
             seed: cfg.seed ^ ((point_idx as u64) << 20) ^ ((ci as u64) << 4) ^ dac.bits() as u64,
             ..cfg.ea.clone()
         };
-        let (evaluations, outcome) = run_ea_counted(
-            model,
-            &df,
-            point,
-            cfg.total_power,
-            &cfg.hw,
-            cfg.macro_mode,
-            &ea_cfg,
-            ctx,
-        );
+        let (evaluations, outcome) = run_ea_counted(&df, point, &ea_cfg, ctx, evaluator);
         // Count what actually ran, feasible or not, so the reported totals
         // agree with the budget counter.
         result.evaluations += evaluations;
@@ -335,6 +334,16 @@ pub fn run_dse_observed(
     ctx: &ExploreContext<'_>,
 ) -> Result<DseOutcome, DseError> {
     let points = cfg.space.points();
+    // One evaluator (and memo cache) spans every stage of every design
+    // point; worker threads share it by reference.
+    let evaluator = CandidateEvaluator::new(
+        model,
+        cfg.total_power,
+        &cfg.hw,
+        cfg.macro_mode,
+        cfg.ea.objective,
+        cfg.eval_cache,
+    );
     let results: Mutex<Vec<(usize, PointResult, Option<PointBest>)>> =
         Mutex::new(Vec::with_capacity(points.len()));
 
@@ -354,12 +363,13 @@ pub fn run_dse_observed(
                 let results = &results;
                 let points = &points;
                 let next = &next;
+                let evaluator = &evaluator;
                 s.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= points.len() || ctx.should_stop() {
                         break;
                     }
-                    let (res, best) = explore_point(model, cfg, points[i], i, ctx);
+                    let (res, best) = explore_point(model, cfg, points[i], i, ctx, evaluator);
                     results.lock().expect("result mutex").push((i, res, best));
                 });
             }
@@ -369,7 +379,7 @@ pub fn run_dse_observed(
             if ctx.should_stop() {
                 break;
             }
-            let (res, best) = explore_point(model, cfg, point, i, ctx);
+            let (res, best) = explore_point(model, cfg, point, i, ctx, &evaluator);
             results.lock().expect("result mutex").push((i, res, best));
         }
     }
@@ -482,6 +492,72 @@ mod tests {
             a.report.efficiency_tops_per_watt(),
             b.report.efficiency_tops_per_watt()
         );
+    }
+
+    #[test]
+    fn eval_cache_is_transparent_bit_identical() {
+        let model = zoo::alexnet_cifar(10);
+        let cached = tiny_cfg();
+        assert!(cached.eval_cache.enabled, "cache must default on");
+        let mut plain = tiny_cfg();
+        plain.eval_cache = EvalCacheConfig::disabled();
+        let a = run_dse(&model, &cached).unwrap();
+        let b = run_dse(&model, &plain).unwrap();
+        assert_eq!(a.wt_dup, b.wt_dup);
+        assert_eq!(a.architecture, b.architecture);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.stop_reason, b.stop_reason);
+    }
+
+    #[test]
+    fn parallel_batch_scoring_matches_serial() {
+        let model = zoo::alexnet_cifar(10);
+        let mut serial = tiny_cfg();
+        serial.space = DesignSpace::reduced();
+        serial.parallel = false;
+        let mut batch = serial.clone();
+        batch.ea.parallel_batch = true;
+        let a = run_dse(&model, &serial).unwrap();
+        let b = run_dse(&model, &batch).unwrap();
+        assert_eq!(a.wt_dup, b.wt_dup);
+        assert_eq!(a.architecture, b.architecture);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn evaluator_stats_report_cache_hits() {
+        use std::sync::Mutex;
+        let model = zoo::alexnet_cifar(10);
+        let last: Mutex<Option<crate::EvaluatorStats>> = Mutex::new(None);
+        let observer = |ev: ExploreEvent| {
+            if let ExploreEvent::EvaluatorStats { stats, .. } = ev {
+                *last.lock().unwrap() = Some(stats);
+            }
+        };
+        let ctx = ExploreContext::new(&observer, CancelToken::new(), ExploreBudget::unlimited());
+        let mut cfg = tiny_cfg();
+        // A few extra generations so unmutated tournament winners (identical
+        // genes) reliably resurface.
+        cfg.ea.generations = 6;
+        let out = run_dse_observed(&model, &cfg, &ctx).unwrap();
+        let stats = last.lock().unwrap().expect("stats event must be emitted");
+        assert_eq!(stats.scored, out.evaluations, "scored == budget-charged");
+        assert_eq!(stats.unique_evaluations + stats.cache_hits, stats.scored);
+        assert!(
+            stats.cache_hits > 0,
+            "metaheuristics revisit genes; expected hits, got {stats:?}"
+        );
+        assert!(stats.unique_evaluations < stats.scored);
+        assert!(stats.hit_rate() > 0.0);
+        assert!(
+            stats.sa_probes > 0,
+            "SA probes must route through the evaluator"
+        );
+        assert!(stats.layer_misses > 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod alloc;
 mod ctx;
 mod ea;
 mod error;
+mod eval;
 mod explore;
 mod sa;
 mod space;
@@ -53,10 +54,11 @@ pub use ctx::{
     StopReason, SynthesisStage,
 };
 pub use ea::{
-    explore_macro_partitioning, explore_macro_partitioning_observed, EaConfig, EaOutcome,
-    MacAllocGene, Objective, GENE_BASE,
+    explore_macro_partitioning, explore_macro_partitioning_evaluated,
+    explore_macro_partitioning_observed, EaConfig, EaOutcome, MacAllocGene, Objective, GENE_BASE,
 };
 pub use error::DseError;
+pub use eval::{CandidateEvaluator, CandidateScore, EvalCacheConfig, EvaluatorStats};
 pub use explore::{run_dse, run_dse_observed, DseConfig, DseOutcome, PointResult, WtDupStrategy};
 pub use sa::{
     crossbars_used, no_duplication, sa_energy, woho_proportional, wt_dup_candidates,

@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::ctx::ExploreContext;
 use crate::error::DseError;
+use crate::eval::CandidateEvaluator;
 
 /// Configuration of the SA-based weight-duplication filter.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,15 +59,24 @@ impl Default for SaConfig {
     }
 }
 
-/// Population standard deviation (the paper's `stdev`).
-fn stdev(values: impl Iterator<Item = f64> + Clone) -> f64 {
-    let n = values.clone().count();
-    if n == 0 {
-        return 0.0;
+/// Population standard deviation (the paper's `stdev`), computed in a
+/// single pass with Welford's online algorithm — the evaluation hot path
+/// calls this for every SA probe, so no cloning or re-iteration.
+pub(crate) fn stdev(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut n = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    for v in values {
+        n += 1;
+        let delta = v - mean;
+        mean += delta / n as f64;
+        m2 += delta * (v - mean);
     }
-    let mean = values.clone().sum::<f64>() / n as f64;
-    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-    var.sqrt()
+    if n == 0 {
+        0.0
+    } else {
+        (m2 / n as f64).sqrt()
+    }
 }
 
 /// The Eq. (4) energy: `stdev_i(WO*HO / WtDup_i) + alpha *
@@ -83,8 +93,7 @@ pub fn sa_energy(model: &Model, dup: &[usize], alpha: f64) -> f64 {
         .weight_layers()
         .zip(dup)
         .map(|(wl, &d)| wl.access_volume(d) as f64);
-    stdev(blocks.collect::<Vec<_>>().into_iter())
-        + alpha * stdev(access.collect::<Vec<_>>().into_iter())
+    stdev(blocks) + alpha * stdev(access)
 }
 
 /// Crossbars consumed by a duplication vector: `sum WtDup_i x set_i` — the
@@ -193,6 +202,40 @@ pub fn wt_dup_candidates_observed(
     cfg: &SaConfig,
     ctx: &ExploreContext<'_>,
 ) -> Result<Vec<Vec<usize>>, DseError> {
+    let alpha = cfg.alpha;
+    anneal(model, crossbar, budget, cfg, ctx, &mut |s| {
+        sa_energy(model, s, alpha)
+    })
+}
+
+/// [`wt_dup_candidates_observed`] with every Eq. (4) probe routed through
+/// the shared [`CandidateEvaluator`] (memoized energies, probe statistics).
+/// The memo is transparent, so candidates are identical to the unevaluated
+/// variant.
+pub(crate) fn wt_dup_candidates_cached(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+    cfg: &SaConfig,
+    ctx: &ExploreContext<'_>,
+    evaluator: &CandidateEvaluator<'_>,
+) -> Result<Vec<Vec<usize>>, DseError> {
+    let alpha = cfg.alpha;
+    anneal(model, crossbar, budget, cfg, ctx, &mut |s| {
+        evaluator.sa_energy(s, alpha)
+    })
+}
+
+/// The SA walk shared by the plain and evaluator-routed entry points;
+/// `energy` scores a duplication vector (lower is better).
+fn anneal(
+    model: &Model,
+    crossbar: CrossbarConfig,
+    budget: usize,
+    cfg: &SaConfig,
+    ctx: &ExploreContext<'_>,
+    energy_fn: &mut dyn FnMut(&[usize]) -> f64,
+) -> Result<Vec<Vec<usize>>, DseError> {
     let sets: Vec<usize> = model
         .weight_layers()
         .map(|wl| crossbar.crossbar_set(wl, model.precision().weight_bits()))
@@ -229,7 +272,7 @@ pub fn wt_dup_candidates_observed(
     }
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut energy = sa_energy(model, &state, cfg.alpha);
+    let mut energy = energy_fn(&state);
     let mut temperature = cfg.initial_temperature * energy.max(1.0);
 
     // Top-K distinct candidates, kept sorted by energy. Besides the SA
@@ -238,11 +281,11 @@ pub fn wt_dup_candidates_observed(
     // under tight peripheral power the downstream stages may legitimately
     // prefer a lighter duplication than the budget-filling optimum.
     let mut top: Vec<(f64, Vec<usize>)> = vec![(energy, state.clone())];
-    let seed_candidate = |s: Vec<usize>, top: &mut Vec<(f64, Vec<usize>)>| {
+    let mut seed_candidate = |s: Vec<usize>, top: &mut Vec<(f64, Vec<usize>)>| {
         if top.iter().any(|(_, existing)| *existing == s) {
             return;
         }
-        let e = sa_energy(model, &s, cfg.alpha);
+        let e = energy_fn(&s);
         let pos = top.partition_point(|(te, _)| *te <= e);
         top.insert(pos, (e, s));
     };
@@ -285,7 +328,7 @@ pub fn wt_dup_candidates_observed(
         }
         let old = state[i];
         state[i] = proposed;
-        let new_energy = sa_energy(model, &state, cfg.alpha);
+        let new_energy = energy_fn(&state);
         let accept = new_energy <= energy
             || rng.gen::<f64>() < ((energy - new_energy) / temperature.max(1e-12)).exp();
         if accept {

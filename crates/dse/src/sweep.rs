@@ -30,6 +30,12 @@ pub struct SweepPoint {
 /// Infeasible levels (below the single-copy floor) are reported with
 /// `feasible = false` rather than failing the sweep, so callers can plot the
 /// feasibility cliff the paper's Eq. (2)/(3) interplay creates.
+///
+/// Candidate scoring at every level goes through the unified
+/// [`CandidateEvaluator`](crate::CandidateEvaluator) (configured by
+/// `base.eval_cache`). Each level builds its own evaluator: candidate memo
+/// keys assume a fixed power constraint, so a cache must not span sweep
+/// levels.
 pub fn sweep_power(model: &Model, base: &DseConfig, powers: &[Watts]) -> Vec<SweepPoint> {
     powers
         .iter()

@@ -10,13 +10,209 @@
 //! (Fig. 5a). The cycle-accurate engine ([`crate::simulate`]) refines these
 //! numbers for final reporting.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
 use pimsyn_arch::{Architecture, Joules, Seconds};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
 
 use crate::error::SimError;
 use crate::metrics::{LayerPerf, SimReport, StageKind, Utilization};
-use crate::stages::{compute_stages, LayerStages};
+use crate::stages::{
+    assemble_stages, compute_layer_base, compute_layer_dynamic, compute_stages, LayerBaseCosts,
+    LayerStages,
+};
+
+/// Hit/miss counters of a [`LayerCostCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerCacheStats {
+    /// Per-layer base-cost lookups served from the cache.
+    pub hits: usize,
+    /// Per-layer base costs computed from scratch.
+    pub misses: usize,
+}
+
+/// Memo key for one layer's NoC-independent base costs: the dataflow
+/// fingerprint plus every layer-local hardware input of
+/// [`compute_layer_base`].
+#[derive(Debug, Hash, PartialEq, Eq, Clone)]
+struct LayerCostKey {
+    fingerprint: u64,
+    layer: usize,
+    macros: usize,
+    effective_adcs: usize,
+    adc_rate_bits: u64,
+    shift_add: usize,
+    pool: usize,
+    activation: usize,
+    eltwise: usize,
+}
+
+struct LayerCostState {
+    map: HashMap<LayerCostKey, LayerBaseCosts>,
+    stats: LayerCacheStats,
+}
+
+/// Per-layer incremental cost memo for [`evaluate_analytic_cached`].
+///
+/// The analytic model decomposes into per-layer stage occupancies that are
+/// recombined by the pipeline schedule. The expensive half of each layer's
+/// occupancies depends only on that layer's hardware assignment (macro
+/// count, ADC bank, component counts) — so a candidate that changes one
+/// layer's allocation only recomputes that layer's contribution; every other
+/// layer's base costs come from this cache. The NoC-coupled `merge` /
+/// `transfer` terms and the schedule itself are recomputed per candidate,
+/// keeping cached evaluations bit-identical to uncached ones.
+///
+/// The cache is `Sync` (interior mutex) so batch evaluators can share it
+/// across worker threads. Entries are keyed by a dataflow + hardware-params
+/// fingerprint, so one cache serves many dataflows of one synthesis run; do
+/// not reuse a cache across *models* (the intended scope is one model per
+/// cache). The fingerprint is a 64-bit hash of the inputs, not the inputs
+/// themselves: two distinct dataflows colliding would silently reuse wrong
+/// base costs. At ~10^4 dataflows per run the collision probability is
+/// ~10^-12 — accepted and documented rather than paid for with per-entry
+/// input storage.
+pub struct LayerCostCache {
+    inner: Mutex<LayerCostState>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for LayerCostCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("LayerCostCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl Default for LayerCostCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LayerCostCache {
+    /// Default entry bound: generous for one synthesis run while keeping the
+    /// worst case bounded (entries are a handful of `f64`s each).
+    pub const DEFAULT_CAPACITY: usize = 1 << 17;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` entries; once full, further
+    /// base costs are computed without being stored.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LayerCostState {
+                map: HashMap::new(),
+                stats: LayerCacheStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> LayerCacheStats {
+        self.inner.lock().expect("layer-cost cache").stats
+    }
+
+    /// Fingerprint covering every dataflow-side and hardware-constant input
+    /// of [`compute_layer_base`]; two (dataflow, hardware) pairs with equal
+    /// fingerprints produce identical base costs for identical layer
+    /// hardware.
+    fn fingerprint(df: &Dataflow, arch: &Architecture) -> u64 {
+        let mut h = DefaultHasher::new();
+        df.crossbar().hash(&mut h);
+        df.dac().bits().hash(&mut h);
+        df.activation_bits().hash(&mut h);
+        for p in df.programs() {
+            p.wt_dup.hash(&mut h);
+            p.bits.hash(&mut h);
+            p.load_elems.hash(&mut h);
+            p.store_elems.hash(&mut h);
+            p.adc_samples.hash(&mut h);
+            p.shift_add_ops.hash(&mut h);
+            p.act_ops.hash(&mut h);
+            p.pool_ops.hash(&mut h);
+            p.eltwise_ops.hash(&mut h);
+        }
+        let hw = &arch.hw;
+        hw.clock.value().to_bits().hash(&mut h);
+        hw.mvm_latency.value().to_bits().hash(&mut h);
+        let spm = pimsyn_arch::ScratchpadSpec::from_params(hw);
+        spm.bandwidth().to_bits().hash(&mut h);
+        spm.read_latency(0).value().to_bits().hash(&mut h);
+        h.finish()
+    }
+
+    /// Every layer's stage occupancies, base parts served from the memo.
+    /// Bit-identical to [`compute_stages`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`compute_stages`].
+    pub fn stages(&self, df: &Dataflow, arch: &Architecture) -> Result<Vec<LayerStages>, SimError> {
+        if arch.layers.len() != df.programs().len() {
+            return Err(SimError::LayerCountMismatch {
+                arch: arch.layers.len(),
+                dataflow: df.programs().len(),
+            });
+        }
+        let fingerprint = Self::fingerprint(df, arch);
+        let noc = arch.noc();
+        let mut out = Vec::with_capacity(df.programs().len());
+        for layer in 0..df.programs().len() {
+            let lh = &arch.layers[layer];
+            let key = LayerCostKey {
+                fingerprint,
+                layer,
+                macros: lh.macros,
+                effective_adcs: arch.effective_adcs(layer),
+                adc_rate_bits: lh.adc.sample_rate(&arch.hw).value().to_bits(),
+                shift_add: lh.components.shift_add,
+                pool: lh.components.pool,
+                activation: lh.components.activation,
+                eltwise: lh.components.eltwise,
+            };
+            let cached = {
+                let mut inner = self.inner.lock().expect("layer-cost cache");
+                let found = inner.map.get(&key).copied();
+                match found {
+                    Some(base) => {
+                        inner.stats.hits += 1;
+                        Some(base)
+                    }
+                    None => {
+                        inner.stats.misses += 1;
+                        None
+                    }
+                }
+            };
+            let base = match cached {
+                Some(base) => base,
+                None => {
+                    let base = compute_layer_base(df, arch, layer)?;
+                    let mut inner = self.inner.lock().expect("layer-cost cache");
+                    if inner.map.len() < self.capacity {
+                        inner.map.insert(key, base);
+                    }
+                    base
+                }
+            };
+            let (merge, transfer) = compute_layer_dynamic(df, arch, layer, &noc);
+            out.push(assemble_stages(base, merge, transfer));
+        }
+        Ok(out)
+    }
+}
 
 /// Evaluates `arch` running `df` (compiled from `model`) analytically.
 ///
@@ -35,17 +231,46 @@ pub fn evaluate_analytic(
     arch: &Architecture,
 ) -> Result<SimReport, SimError> {
     let stages = compute_stages(df, arch)?;
+    evaluate_from_stages(model, df, arch, &stages)
+}
+
+/// [`evaluate_analytic`] with per-layer base costs memoized in `cache`:
+/// candidates that differ from previously evaluated ones in only a few
+/// layers' hardware recompute only those layers' base occupancies. Results
+/// are bit-identical to [`evaluate_analytic`].
+///
+/// # Errors
+///
+/// Same as [`evaluate_analytic`].
+pub fn evaluate_analytic_cached(
+    model: &Model,
+    df: &Dataflow,
+    arch: &Architecture,
+    cache: &LayerCostCache,
+) -> Result<SimReport, SimError> {
+    let stages = cache.stages(df, arch)?;
+    evaluate_from_stages(model, df, arch, &stages)
+}
+
+/// The schedule / contention / report half of the analytic model, shared by
+/// the cached and uncached entry points so both produce identical floats.
+fn evaluate_from_stages(
+    model: &Model,
+    df: &Dataflow,
+    arch: &Architecture,
+    stages: &[LayerStages],
+) -> Result<SimReport, SimError> {
     let n = stages.len();
 
     // First pass: periods, starts and finishes without sharing contention.
     let mut periods: Vec<f64> = Vec::with_capacity(n);
     let mut bottlenecks: Vec<StageKind> = Vec::with_capacity(n);
-    for s in &stages {
+    for s in stages {
         let (p, k) = s.period();
         periods.push(p);
         bottlenecks.push(k);
     }
-    let (mut starts, mut finishes) = schedule(df, &stages, &periods);
+    let (mut starts, mut finishes) = schedule(df, stages, &periods);
 
     // Second pass: inter-layer ADC reuse. Layers sharing a macro group share
     // its physical ADC bank: when their active windows overlap, the bank
@@ -92,7 +317,7 @@ pub fn evaluate_analytic(
         }
     }
     if adjusted != periods {
-        let (s2, f2) = schedule(df, &stages, &adjusted);
+        let (s2, f2) = schedule(df, stages, &adjusted);
         starts = s2;
         finishes = f2;
         periods = adjusted;
@@ -293,6 +518,49 @@ mod tests {
         let (model, df, mut arch) = setup([2, 2], 2);
         arch.layers[0].components.adc = 0;
         assert_eq!(efficiency_or_zero(&model, &df, &arch), 0.0);
+    }
+
+    #[test]
+    fn cached_evaluation_is_bit_identical() {
+        let (model, df, arch) = setup([2, 2], 2);
+        let cache = LayerCostCache::new();
+        let plain = evaluate_analytic(&model, &df, &arch).unwrap();
+        let cold = evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        assert_eq!(plain, cold);
+        // The warm pass serves both layers from the memo and still matches
+        // the uncached evaluation exactly.
+        let warm = evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        assert_eq!(plain, warm);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn layer_cache_recomputes_only_the_changed_layer() {
+        let (model, df, arch) = setup([2, 2], 2);
+        let cache = LayerCostCache::new();
+        evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        let mut changed = arch.clone();
+        changed.layers[1].components.shift_add = 16;
+        let plain = evaluate_analytic(&model, &df, &changed).unwrap();
+        let cached = evaluate_analytic_cached(&model, &df, &changed, &cache).unwrap();
+        assert_eq!(plain, cached);
+        let stats = cache.stats();
+        // Layer 0 was reused; only layer 1's base costs were recomputed.
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn layer_cache_capacity_zero_still_evaluates_correctly() {
+        let (model, df, arch) = setup([2, 2], 2);
+        let cache = LayerCostCache::with_capacity(0);
+        let a = evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        let b = evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]

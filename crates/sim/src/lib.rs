@@ -41,8 +41,13 @@ mod error;
 mod metrics;
 mod stages;
 
-pub use analytic::{efficiency_or_zero, evaluate_analytic};
+pub use analytic::{
+    efficiency_or_zero, evaluate_analytic, evaluate_analytic_cached, LayerCacheStats,
+    LayerCostCache,
+};
 pub use engine::simulate;
 pub use error::SimError;
 pub use metrics::{LayerPerf, SimReport, StageKind, Utilization};
-pub use stages::{compute_stages, LayerStages};
+pub use stages::{
+    compute_layer_base, compute_layer_dynamic, compute_stages, LayerBaseCosts, LayerStages,
+};

@@ -73,6 +73,180 @@ impl LayerStages {
     }
 }
 
+/// The NoC-independent part of one layer's stage occupancies: everything in
+/// [`LayerStages`] except `merge` and `transfer`.
+///
+/// These costs depend only on the layer's own hardware assignment (macro
+/// count, effective ADC bank, component counts) and its compiled program —
+/// not on the accelerator-wide NoC sizing — so candidate evaluators can
+/// memoize them per layer and recombine them across candidates that differ
+/// elsewhere (see [`crate::LayerCostCache`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerBaseCosts {
+    /// Input-bit iterations per block.
+    pub bits: usize,
+    /// Scratchpad load occupancy per block.
+    pub load: f64,
+    /// Crossbar occupancy per bit iteration.
+    pub mvm_bit: f64,
+    /// ADC-bank occupancy per bit iteration.
+    pub adc_bit: f64,
+    /// Shift-and-add occupancy per bit iteration.
+    pub sa_bit: f64,
+    /// Post-op occupancy per block.
+    pub post: f64,
+    /// Scratchpad store occupancy per block.
+    pub store: f64,
+}
+
+/// Computes the NoC-independent occupancies of layer `layer`.
+///
+/// # Errors
+///
+/// - [`SimError::LayerCountMismatch`] if `arch` and `df` disagree on layer
+///   count or `layer` is out of range.
+/// - [`SimError::MissingComponent`] if the layer has workload for a
+///   component family with zero allocated units.
+pub fn compute_layer_base(
+    df: &Dataflow,
+    arch: &Architecture,
+    layer: usize,
+) -> Result<LayerBaseCosts, SimError> {
+    if arch.layers.len() != df.programs().len() || layer >= arch.layers.len() {
+        return Err(SimError::LayerCountMismatch {
+            arch: arch.layers.len(),
+            dataflow: df.programs().len(),
+        });
+    }
+    let hw = &arch.hw;
+    let spm = ScratchpadSpec::from_params(hw);
+    let act_bytes = (df.activation_bits() as usize).div_ceil(8);
+    let clock = hw.clock.value();
+    let prog = df.program(layer);
+    let lh = &arch.layers[prog.layer];
+    let n_mac = lh.macros.max(1) as f64;
+    let spm_bw = spm.bandwidth() * n_mac;
+
+    let load_bytes = prog.load_elems * act_bytes;
+    let load = load_bytes as f64 / spm_bw + spm.read_latency(0).value();
+
+    let mvm_bit = hw.mvm_latency.value();
+
+    let adc_units = arch.effective_adcs(prog.layer);
+    if prog.adc_samples > 0 && adc_units == 0 {
+        return Err(SimError::MissingComponent {
+            layer: prog.layer,
+            component: "adc",
+        });
+    }
+    let adc_rate = lh.adc.sample_rate(hw).value();
+    let adc_bit = prog.adc_samples as f64 / (adc_units.max(1) as f64 * adc_rate);
+
+    let sa_units = lh.components.shift_add;
+    if prog.shift_add_ops > 0 && sa_units == 0 {
+        return Err(SimError::MissingComponent {
+            layer: prog.layer,
+            component: "shift-add",
+        });
+    }
+    let sa_bit = prog.shift_add_ops as f64 / (sa_units.max(1) as f64 * clock);
+
+    let mut post = 0.0;
+    for (ops, units, component) in [
+        (prog.act_ops, lh.components.activation, "activation"),
+        (prog.pool_ops, lh.components.pool, "pool"),
+        (prog.eltwise_ops, lh.components.eltwise, "eltwise"),
+    ] {
+        if ops > 0 {
+            if units == 0 {
+                return Err(SimError::MissingComponent {
+                    layer: prog.layer,
+                    component,
+                });
+            }
+            post += ops as f64 / (units as f64 * clock);
+        }
+    }
+
+    let store_bytes = prog.store_elems * act_bytes;
+    let store = store_bytes as f64 / spm_bw + spm.read_latency(0).value();
+
+    Ok(LayerBaseCosts {
+        bits: prog.bits,
+        load,
+        mvm_bit,
+        adc_bit,
+        sa_bit,
+        post,
+        store,
+    })
+}
+
+/// Computes the NoC-dependent `(merge, transfer)` occupancies of layer
+/// `layer` under the given NoC sizing. Cheap relative to
+/// [`compute_layer_base`]; recomputed for every candidate because the NoC is
+/// sized from the accelerator-wide macro count.
+///
+/// # Panics
+///
+/// Panics if `arch` and `df` disagree on layer count or `layer` is out of
+/// range — validate with [`compute_layer_base`] (or use [`compute_stages`],
+/// which checks) first.
+pub fn compute_layer_dynamic(
+    df: &Dataflow,
+    arch: &Architecture,
+    layer: usize,
+    noc: &pimsyn_arch::NocConfig,
+) -> (f64, f64) {
+    let hw = &arch.hw;
+    let act_bytes = (df.activation_bits() as usize).div_ceil(8);
+    let prog = df.program(layer);
+    let lh = &arch.layers[prog.layer];
+    let n_mac = lh.macros.max(1) as f64;
+
+    // Partial sums cross macros only when the layer both splits its
+    // filter rows and spans multiple macros.
+    let merge = if prog.row_groups > 1 && lh.macros > 1 {
+        let frac = (prog.row_groups - 1) as f64 / prog.row_groups as f64;
+        let bytes = prog.store_elems as f64 * PARTIAL_SUM_BYTES as f64 * frac;
+        bytes / (noc.link_bandwidth() * n_mac) + 2.0 * hw.noc_hop_latency.value()
+    } else {
+        0.0
+    };
+
+    let store_bytes = prog.store_elems * act_bytes;
+    // Activations travel the NoC unless every consumer lives in the same
+    // macro group.
+    let my_group = lh.shares_macros_with.unwrap_or(prog.layer);
+    let needs_transfer = prog.consumers.iter().any(|&c| {
+        let cg = arch.layers[c].shares_macros_with.unwrap_or(c);
+        cg != my_group
+    });
+    let transfer = if needs_transfer {
+        store_bytes as f64 / (noc.link_bandwidth() * n_mac)
+            + noc.average_hops() * hw.noc_hop_latency.value()
+    } else {
+        0.0
+    };
+
+    (merge, transfer)
+}
+
+/// Assembles full [`LayerStages`] from the two halves.
+pub(crate) fn assemble_stages(base: LayerBaseCosts, merge: f64, transfer: f64) -> LayerStages {
+    LayerStages {
+        bits: base.bits,
+        load: base.load,
+        mvm_bit: base.mvm_bit,
+        adc_bit: base.adc_bit,
+        sa_bit: base.sa_bit,
+        post: base.post,
+        merge,
+        store: base.store,
+        transfer,
+    }
+}
+
 /// Computes every layer's stage occupancies for `arch` running `df`.
 ///
 /// # Errors
@@ -87,97 +261,12 @@ pub fn compute_stages(df: &Dataflow, arch: &Architecture) -> Result<Vec<LayerSta
             dataflow: df.programs().len(),
         });
     }
-    let hw = &arch.hw;
-    let spm = ScratchpadSpec::from_params(hw);
     let noc = arch.noc();
-    let act_bytes = (df.activation_bits() as usize).div_ceil(8);
-    let clock = hw.clock.value();
-
     let mut out = Vec::with_capacity(df.programs().len());
-    for prog in df.programs() {
-        let lh = &arch.layers[prog.layer];
-        let n_mac = lh.macros.max(1) as f64;
-        let spm_bw = spm.bandwidth() * n_mac;
-
-        let load_bytes = prog.load_elems * act_bytes;
-        let load = load_bytes as f64 / spm_bw + spm.read_latency(0).value();
-
-        let mvm_bit = hw.mvm_latency.value();
-
-        let adc_units = arch.effective_adcs(prog.layer);
-        if prog.adc_samples > 0 && adc_units == 0 {
-            return Err(SimError::MissingComponent {
-                layer: prog.layer,
-                component: "adc",
-            });
-        }
-        let adc_rate = lh.adc.sample_rate(hw).value();
-        let adc_bit = prog.adc_samples as f64 / (adc_units.max(1) as f64 * adc_rate);
-
-        let sa_units = lh.components.shift_add;
-        if prog.shift_add_ops > 0 && sa_units == 0 {
-            return Err(SimError::MissingComponent {
-                layer: prog.layer,
-                component: "shift-add",
-            });
-        }
-        let sa_bit = prog.shift_add_ops as f64 / (sa_units.max(1) as f64 * clock);
-
-        let mut post = 0.0;
-        for (ops, units, component) in [
-            (prog.act_ops, lh.components.activation, "activation"),
-            (prog.pool_ops, lh.components.pool, "pool"),
-            (prog.eltwise_ops, lh.components.eltwise, "eltwise"),
-        ] {
-            if ops > 0 {
-                if units == 0 {
-                    return Err(SimError::MissingComponent {
-                        layer: prog.layer,
-                        component,
-                    });
-                }
-                post += ops as f64 / (units as f64 * clock);
-            }
-        }
-
-        // Partial sums cross macros only when the layer both splits its
-        // filter rows and spans multiple macros.
-        let merge = if prog.row_groups > 1 && lh.macros > 1 {
-            let frac = (prog.row_groups - 1) as f64 / prog.row_groups as f64;
-            let bytes = prog.store_elems as f64 * PARTIAL_SUM_BYTES as f64 * frac;
-            bytes / (noc.link_bandwidth() * n_mac) + 2.0 * hw.noc_hop_latency.value()
-        } else {
-            0.0
-        };
-
-        let store_bytes = prog.store_elems * act_bytes;
-        let store = store_bytes as f64 / spm_bw + spm.read_latency(0).value();
-
-        // Activations travel the NoC unless every consumer lives in the same
-        // macro group.
-        let my_group = lh.shares_macros_with.unwrap_or(prog.layer);
-        let needs_transfer = prog.consumers.iter().any(|&c| {
-            let cg = arch.layers[c].shares_macros_with.unwrap_or(c);
-            cg != my_group
-        });
-        let transfer = if needs_transfer {
-            store_bytes as f64 / (noc.link_bandwidth() * n_mac)
-                + noc.average_hops() * hw.noc_hop_latency.value()
-        } else {
-            0.0
-        };
-
-        out.push(LayerStages {
-            bits: prog.bits,
-            load,
-            mvm_bit,
-            adc_bit,
-            sa_bit,
-            post,
-            merge,
-            store,
-            transfer,
-        });
+    for layer in 0..df.programs().len() {
+        let base = compute_layer_base(df, arch, layer)?;
+        let (merge, transfer) = compute_layer_dynamic(df, arch, layer, &noc);
+        out.push(assemble_stages(base, merge, transfer));
     }
     Ok(out)
 }

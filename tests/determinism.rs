@@ -1,7 +1,7 @@
 //! Reproducibility: the whole flow is deterministic given a seed, including
-//! under parallel exploration.
+//! under parallel exploration and with candidate-evaluation memoization.
 
-use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn::{EvalCacheConfig, SynthesisOptions, Synthesizer};
 use pimsyn_arch::Watts;
 use pimsyn_model::zoo;
 
@@ -29,6 +29,40 @@ fn different_seeds_may_differ_but_stay_feasible() {
             .expect("synthesis");
         r.architecture.validate(&model).expect("feasible");
         assert!(r.analytic.efficiency_tops_per_watt() > 0.0);
+    }
+}
+
+/// The evaluator's memo caches are transparent: for several models and
+/// seeds, a cached run's complete outcome — architecture, analytic report,
+/// evaluation counts and per-point history — is bit-identical to an
+/// uncached run's.
+#[test]
+fn eval_cache_runs_are_bit_identical_to_uncached() {
+    let cases = [
+        (zoo::alexnet_cifar(10), Watts(9.0)),
+        (zoo::vgg16_cifar(10), Watts(15.0)),
+    ];
+    for (model, power) in &cases {
+        for seed in [3u64, 17] {
+            let base = SynthesisOptions::fast(*power).with_seed(seed);
+            let cached = Synthesizer::new(base.clone())
+                .synthesize(model)
+                .expect("cached synthesis");
+            let uncached = Synthesizer::new(base.with_eval_cache(EvalCacheConfig::disabled()))
+                .synthesize(model)
+                .expect("uncached synthesis");
+            assert_eq!(cached.wt_dup, uncached.wt_dup, "{model} seed {seed}");
+            assert_eq!(
+                cached.architecture, uncached.architecture,
+                "{model} seed {seed}"
+            );
+            assert_eq!(cached.analytic, uncached.analytic, "{model} seed {seed}");
+            assert_eq!(
+                cached.evaluations, uncached.evaluations,
+                "{model} seed {seed}"
+            );
+            assert_eq!(cached.history, uncached.history, "{model} seed {seed}");
+        }
     }
 }
 

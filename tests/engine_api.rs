@@ -89,6 +89,37 @@ fn event_stream_is_nonempty_and_stage_ordered() {
         .any(|ev| matches!(ev, SynthesisEvent::ImprovedBest { .. })));
 }
 
+/// Evaluator throughput streams through the engine API: snapshots appear
+/// per design point, the final one accounts for every scored candidate, and
+/// the metaheuristics' revisits show up as cache hits.
+#[test]
+fn evaluator_stats_stream_reports_cache_hits() {
+    let engine = SynthesisEngine::new();
+    let sink = CollectingSink::new();
+    let result = engine
+        .run(&fast_request(), &sink, &CancelToken::new())
+        .unwrap();
+    let snapshots: Vec<_> = sink
+        .take()
+        .into_iter()
+        .filter_map(|ev| match ev {
+            SynthesisEvent::EvaluatorStats { stats, .. } => Some(stats),
+            _ => None,
+        })
+        .collect();
+    assert!(!snapshots.is_empty(), "stats must be emitted per point");
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.scored, result.evaluations);
+    assert_eq!(last.unique_evaluations + last.cache_hits, last.scored);
+    assert!(last.cache_hits > 0, "expected memo hits: {last:?}");
+    assert!(last.unique_evaluations < last.scored);
+    // Serial fast run: cumulative snapshots are monotonic.
+    for pair in snapshots.windows(2) {
+        assert!(pair[1].scored >= pair[0].scored);
+        assert!(pair[1].cache_hits >= pair[0].cache_hits);
+    }
+}
+
 #[test]
 fn cancellation_stops_a_running_job_promptly() {
     let engine = SynthesisEngine::new();
