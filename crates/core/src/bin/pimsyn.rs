@@ -23,8 +23,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use pimsyn::{
-    CancelToken, ChannelSink, Effort, EvalCacheConfig, EvaluatorStats, MacroMode, Objective,
-    SynthesisEngine, SynthesisError, SynthesisEvent, SynthesisOptions, SynthesisRequest,
+    BackendKind, CancelToken, ChannelSink, Effort, EvalCacheConfig, EvaluatorStats, MacroMode,
+    Objective, SynthesisEngine, SynthesisError, SynthesisEvent, SynthesisOptions, SynthesisRequest,
     SynthesisResult, SynthesisSummary,
 };
 use pimsyn_arch::Watts;
@@ -53,8 +53,11 @@ struct Args {
     cycle_images: usize,
     timeout: Option<Duration>,
     max_evals: Option<usize>,
+    max_unique_evals: Option<usize>,
     eval_cache: bool,
     eval_cache_capacity: Option<usize>,
+    eval_cache_file: Option<String>,
+    backend: BackendKind,
     output: OutputFormat,
     quiet: bool,
     help: bool,
@@ -109,12 +112,25 @@ OPTIONS:
   --timeout <secs>      stop exploring after this long, keeping the best
                         implementation found so far
   --max-evals <n>       bound candidate-architecture evaluations
+  --max-unique-evals <n>  bound unique evaluations (memo misses; with a warm
+                        cache, far fewer than scored candidates)
   --eval-cache <on|off> memoize candidate evaluations (default: on; results
                         are bit-identical either way, off recomputes all)
   --eval-cache-capacity <n>  bound memo-cache entries (default: 65536)
+  --eval-cache-file <path>  persist the evaluation memo across runs: loaded
+                        before the search when its fingerprint (model, hw,
+                        power, objective) matches, rewritten afterwards
+  --backend <spec>      where candidate scoring runs: inline (default),
+                        threads[:N] (scoped thread pool), or subprocess[:N]
+                        (pimsyn --worker child processes); results are
+                        bit-identical across backends
   --output <text|json>  report format on stdout (default: text)
   --quiet               suppress live progress on stderr
-  --help                print this message";
+  --help                print this message
+
+`pimsyn --worker` (no other flags) runs the evaluation-worker protocol on
+stdin/stdout; it is spawned by `--backend subprocess` and not meant for
+interactive use.";
 
 fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut args = Args {
@@ -132,8 +148,11 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         cycle_images: 0,
         timeout: None,
         max_evals: None,
+        max_unique_evals: None,
         eval_cache: true,
         eval_cache_capacity: None,
+        eval_cache_file: None,
+        backend: BackendKind::Inline,
         output: OutputFormat::Text,
         quiet: false,
         help: false,
@@ -181,6 +200,20 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                 }
                 args.max_evals = Some(n);
             }
+            "--max-unique-evals" => {
+                let n: usize = value("--max-unique-evals")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-unique-evals: {e}"))?;
+                if n == 0 {
+                    return Err("--max-unique-evals must be at least 1".to_string());
+                }
+                args.max_unique_evals = Some(n);
+            }
+            "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
+            "--backend" => {
+                args.backend = BackendKind::parse(&value("--backend")?)
+                    .map_err(|e| format!("bad --backend: {e}"))?
+            }
             "--eval-cache" => {
                 args.eval_cache = match value("--eval-cache")?.as_str() {
                     "on" => true,
@@ -211,6 +244,13 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    // Persistence serializes the memo; with the memo off there is nothing
+    // to load or save, so the combination is a mistake, not a no-op.
+    if !args.eval_cache && args.eval_cache_file.is_some() {
+        return Err(
+            "--eval-cache-file requires the evaluation cache (drop `--eval-cache off`)".to_string(),
+        );
     }
     if args.batch_file.is_some() {
         if args.model.is_some() || args.model_file.is_some() {
@@ -313,6 +353,9 @@ fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String
     if let Some(n) = args.max_evals {
         options = options.with_max_evaluations(n);
     }
+    if let Some(n) = args.max_unique_evals {
+        options = options.with_max_unique_evaluations(n);
+    }
     let mut cache = if args.eval_cache {
         EvalCacheConfig::enabled()
     } else {
@@ -322,6 +365,10 @@ fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String
         cache = cache.with_capacity(capacity);
     }
     options = options.with_eval_cache(cache);
+    options = options.with_backend(args.backend);
+    if let Some(path) = &args.eval_cache_file {
+        options = options.with_eval_cache_file(path);
+    }
     if let Some(path) = &args.hw_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let hw =
@@ -345,7 +392,8 @@ fn batch_job_request(
     for (key, _) in obj {
         match key.as_str() {
             "model" | "model-file" | "power" | "effort" | "strategy" | "objective" | "macros"
-            | "sharing" | "seed" | "cycle" | "timeout" | "max-evals" | "label" => {}
+            | "sharing" | "seed" | "cycle" | "timeout" | "max-evals" | "max-unique-evals"
+            | "label" => {}
             other => return Err(at(format!("unknown field `{other}`"))),
         }
     }
@@ -436,6 +484,14 @@ fn batch_job_request(
         }
         job_args.max_evals = Some(n as usize);
     }
+    if let Some(n) = get_num("max-unique-evals")? {
+        if n < 1.0 || n.fract() != 0.0 {
+            return Err(at(
+                "field `max-unique-evals` must be a positive integer".to_string()
+            ));
+        }
+        job_args.max_unique_evals = Some(n as usize);
+    }
 
     let options = options_from_args(&job_args, power).map_err(at)?;
     let mut request = SynthesisRequest::new(model, options);
@@ -506,15 +562,23 @@ fn progress_line(event: &SynthesisEvent, objective: Objective) -> Option<String>
     }
 }
 
-/// Renders the job's final evaluator snapshot for stderr.
+/// Renders the job's final evaluator snapshot for stderr. Printed only
+/// without `--quiet`, like every other progress line.
 fn stats_line(stats: &EvaluatorStats) -> String {
-    format!(
+    let mut line = format!(
         "evaluator: {} candidates scored, {} unique evaluations, {} cache hits ({:.0}% hit rate)",
         stats.scored,
         stats.unique_evaluations,
         stats.cache_hits,
         stats.hit_rate() * 100.0
-    )
+    );
+    if stats.preloaded > 0 {
+        line.push_str(&format!(
+            ", {} entries warm-started from the cache file",
+            stats.preloaded
+        ));
+    }
+    line
 }
 
 /// The job index an event belongs to.
@@ -678,6 +742,11 @@ fn run_batch(args: &Args) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Worker mode short-circuits everything else: the process is a child of
+    // `--backend subprocess` speaking the JSON-lines protocol on stdio.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return pimsyn::run_worker_stdio();
+    }
     let args = match parse_args_from(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -861,6 +930,63 @@ mod tests {
         let options = options_from_args(&args, args.power).unwrap();
         assert!(options.eval_cache.enabled);
         assert_eq!(options.eval_cache.capacity, 77);
+    }
+
+    #[test]
+    fn backend_flags_parse_and_reach_options() {
+        let args = parse(&["--model", "vgg16", "--power", "9"]).unwrap();
+        assert_eq!(args.backend, BackendKind::Inline);
+        assert!(args.eval_cache_file.is_none());
+        assert!(args.max_unique_evals.is_none());
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--backend",
+            "subprocess:2",
+            "--eval-cache-file",
+            "/tmp/c.json",
+            "--max-unique-evals",
+            "40",
+        ])
+        .unwrap();
+        assert_eq!(args.backend, BackendKind::Subprocess { workers: 2 });
+        assert_eq!(args.eval_cache_file.as_deref(), Some("/tmp/c.json"));
+        assert_eq!(args.max_unique_evals, Some(40));
+        let options = options_from_args(&args, args.power).unwrap();
+        assert_eq!(options.backend.kind, BackendKind::Subprocess { workers: 2 });
+        assert_eq!(
+            options.backend.cache_file.as_deref(),
+            Some(std::path::Path::new("/tmp/c.json"))
+        );
+        assert_eq!(options.max_unique_evaluations, Some(40));
+
+        let err = parse(&["--model", "vgg16", "--power", "9", "--backend", "gpu"]).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--max-unique-evals",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Persistence without a memo to persist is rejected, not ignored.
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache",
+            "off",
+            "--eval-cache-file",
+            "/tmp/c.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--eval-cache-file"), "{err}");
     }
 
     #[test]

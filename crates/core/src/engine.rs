@@ -171,6 +171,18 @@ impl SynthesisEngine {
                 0,
             );
         }
+        // Persistence snapshots the memo; with the memo disabled there is
+        // nothing to load or save — reject instead of silently dropping the
+        // cache file (the CLI enforces the same rule at arg level).
+        if !options.eval_cache.enabled && options.backend.cache_file.is_some() {
+            return (
+                Err(SynthesisError::InvalidOptions {
+                    detail: "an eval-cache file requires the evaluation cache to be enabled"
+                        .to_string(),
+                }),
+                0,
+            );
+        }
         let started = Instant::now();
         let cfg = options.to_dse_config();
         let adapter = SinkAdapter { sink, job };

@@ -83,6 +83,7 @@ mod report;
 mod request;
 mod summary;
 mod synthesis;
+mod worker;
 
 pub use engine::{SynthesisEngine, SynthesisJob};
 pub use error::SynthesisError;
@@ -91,11 +92,12 @@ pub use options::{Effort, SynthesisOptions};
 pub use request::SynthesisRequest;
 pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};
+pub use worker::{run_worker, run_worker_stdio};
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use pimsyn_arch::{Architecture, MacroMode, Watts};
 pub use pimsyn_dse::{
-    CancelToken, DesignPoint, DesignSpace, EvalCacheConfig, EvaluatorStats, Objective, StopReason,
-    SynthesisStage, WtDupStrategy,
+    BackendKind, BackendStats, CancelToken, DesignPoint, DesignSpace, EvalBackendConfig,
+    EvalCacheConfig, EvaluatorStats, Objective, StopReason, SynthesisStage, WtDupStrategy,
 };
 pub use pimsyn_sim::SimReport;

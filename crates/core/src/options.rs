@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use pimsyn_arch::{HardwareParams, MacroMode, Watts};
 use pimsyn_dse::{
-    DesignSpace, DseConfig, EaConfig, EvalCacheConfig, ExploreBudget, Objective, SaConfig,
-    WtDupStrategy,
+    BackendKind, DesignSpace, DseConfig, EaConfig, EvalBackendConfig, EvalCacheConfig,
+    ExploreBudget, Objective, SaConfig, WtDupStrategy,
 };
 
 /// How much search effort to spend.
@@ -72,11 +72,20 @@ pub struct SynthesisOptions {
     /// exploration; like [`time_budget`](Self::time_budget), exhaustion
     /// stops the search gracefully.
     pub max_evaluations: Option<usize>,
+    /// Maximum *unique* evaluations (memo misses that actually run the
+    /// scoring pipeline). With high cache-hit rates the scored-candidate
+    /// budget and the work actually done diverge; this bounds the work.
+    pub max_unique_evaluations: Option<usize>,
     /// Candidate-evaluation memoization (on by default). Caching is
     /// transparent: cached and uncached runs produce bit-identical results;
     /// hit statistics stream as
     /// [`SynthesisEvent::EvaluatorStats`](crate::SynthesisEvent::EvaluatorStats).
     pub eval_cache: EvalCacheConfig,
+    /// Evaluation backend: where candidate scoring runs (inline by default,
+    /// a thread pool, or `pimsyn --worker` subprocesses) plus the optional
+    /// persistent cache file that warm-starts repeated runs. Every backend
+    /// produces bit-identical results; only wall-clock differs.
+    pub backend: EvalBackendConfig,
 }
 
 impl SynthesisOptions {
@@ -102,7 +111,9 @@ impl SynthesisOptions {
             cycle_images: 3,
             time_budget: None,
             max_evaluations: None,
+            max_unique_evaluations: None,
             eval_cache: EvalCacheConfig::default(),
+            backend: EvalBackendConfig::default(),
         }
     }
 
@@ -184,9 +195,35 @@ impl SynthesisOptions {
         self
     }
 
+    /// Bounds unique candidate evaluations (memo misses).
+    pub fn with_max_unique_evaluations(mut self, n: usize) -> Self {
+        self.max_unique_evaluations = Some(n);
+        self
+    }
+
     /// Configures (or disables) the candidate-evaluation memo caches.
     pub fn with_eval_cache(mut self, cache: EvalCacheConfig) -> Self {
         self.eval_cache = cache;
+        self
+    }
+
+    /// Selects the evaluation backend (inline, thread pool, subprocess).
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend.kind = kind;
+        self
+    }
+
+    /// Persists the evaluation memo to `path` across runs: loaded (when its
+    /// fingerprint matches the run) before the search, rewritten after it.
+    pub fn with_eval_cache_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.backend.cache_file = Some(path.into());
+        self
+    }
+
+    /// Overrides the subprocess worker executable (tests and embeddings;
+    /// the CLI defaults to its own binary).
+    pub fn with_worker_command(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.backend.worker_command = Some(path.into());
         self
     }
 
@@ -199,6 +236,9 @@ impl SynthesisOptions {
         }
         if let Some(n) = self.max_evaluations {
             budget = budget.with_max_evaluations(n);
+        }
+        if let Some(n) = self.max_unique_evaluations {
+            budget = budget.with_max_unique_evaluations(n);
         }
         budget
     }
@@ -228,6 +268,7 @@ impl SynthesisOptions {
             macro_mode: self.macro_mode,
             parallel: self.parallel,
             eval_cache: self.eval_cache,
+            backend: self.backend.clone(),
             seed: self.seed,
         }
     }
@@ -251,6 +292,26 @@ mod tests {
         assert!(o.cycle_validation);
         assert_eq!(o.cycle_images, 5);
         assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn backend_options_lower_to_dse_config_and_budget() {
+        let o = SynthesisOptions::fast(Watts(8.0))
+            .with_backend(BackendKind::Subprocess { workers: 2 })
+            .with_eval_cache_file("/tmp/pimsyn-cache.json")
+            .with_max_unique_evaluations(10);
+        let cfg = o.to_dse_config();
+        assert_eq!(cfg.backend.kind, BackendKind::Subprocess { workers: 2 });
+        assert_eq!(
+            cfg.backend.cache_file.as_deref(),
+            Some(std::path::Path::new("/tmp/pimsyn-cache.json"))
+        );
+        let budget = o.to_explore_budget();
+        assert_eq!(budget.max_unique_evaluations, Some(10));
+        // Defaults stay inline with no persistence.
+        let d = SynthesisOptions::new(Watts(8.0));
+        assert_eq!(d.backend.kind, BackendKind::Inline);
+        assert!(d.backend.cache_file.is_none());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The `pimsyn --worker` evaluation server.
+//!
+//! A worker is a child process of the
+//! [`SubprocessBackend`](pimsyn_dse::SubprocessBackend): it reads the
+//! versioned JSON-lines protocol of [`pimsyn_dse::backend::protocol`] from
+//! stdin — one `init` message fixing the run's model, hardware, power,
+//! macro mode and objective, then a stream of `score` requests — and
+//! answers each request with the candidate's score on stdout. Scoring runs
+//! the same [`EvalCore`] pipeline as in-process evaluation, so worker
+//! scores are bit-identical to inline ones (floats cross the pipe as
+//! `f64::to_bits` hex).
+//!
+//! The worker exits when its stdin closes (the parent dropped it) and on
+//! the first malformed message (after writing a diagnostic `error` line the
+//! parent surfaces); the parent recomputes any in-flight work inline, so a
+//! dying worker never changes results.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use pimsyn_arch::{hardware_config, CrossbarConfig, DacConfig, Watts};
+use pimsyn_dse::backend::protocol::{error_line, ready_line, ScoreResponse, WorkerRequest};
+use pimsyn_dse::{CandidateScore, DesignPoint, EvalCacheConfig, EvalCore, MacAllocGene};
+use pimsyn_ir::Dataflow;
+use pimsyn_model::onnx;
+
+/// Dataflow-identity of a score request: `(xb_size, cell_bits, dac_bits,
+/// wt_dup)` — everything `Dataflow::compile` consumes besides the model.
+type DataflowKey = (usize, u32, u32, Vec<usize>);
+
+/// Serves one worker session over the given streams; returns the protocol
+/// error that ended it, if any.
+///
+/// # Errors
+///
+/// A human-readable message (already reported to the peer as an `error`
+/// line) for malformed messages or an un-ingestable init payload.
+pub fn run_worker(input: impl BufRead, mut output: impl Write) -> Result<(), String> {
+    let fail = |output: &mut dyn Write, detail: String| -> Result<(), String> {
+        let _ = writeln!(output, "{}", error_line(&detail));
+        let _ = output.flush();
+        Err(detail)
+    };
+
+    let mut lines = input.lines();
+    let first = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(format!("stdin read failed: {e}")),
+        None => return Ok(()), // empty session: nothing to do
+    };
+    let init = match WorkerRequest::parse(first.trim()) {
+        Ok(WorkerRequest::Init(init)) => init,
+        Ok(_) => return fail(&mut output, "first message must be `init`".to_string()),
+        Err(e) => return fail(&mut output, e),
+    };
+    let model = match onnx::parse_model(&init.model_json) {
+        Ok(m) => m,
+        Err(e) => return fail(&mut output, format!("cannot ingest model: {e}")),
+    };
+    let hw = match hardware_config::from_json_exact(&init.hw_json) {
+        Ok(hw) => hw,
+        Err(e) => return fail(&mut output, format!("cannot ingest hardware params: {e}")),
+    };
+    let core = EvalCore::new(
+        &model,
+        Watts(f64::from_bits(init.power_bits)),
+        &hw,
+        init.macro_mode,
+        init.objective,
+        EvalCacheConfig::default(),
+    );
+    writeln!(output, "{}", ready_line()).map_err(|e| format!("stdout write failed: {e}"))?;
+    output
+        .flush()
+        .map_err(|e| format!("stdout flush failed: {e}"))?;
+
+    // Requests of one batch share a dataflow; cache the last compiled one.
+    let mut compiled: Option<(DataflowKey, Dataflow)> = None;
+    for line in lines {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match WorkerRequest::parse(line.trim()) {
+            Ok(WorkerRequest::Score(r)) => r,
+            Ok(_) => return fail(&mut output, "unexpected second `init`".to_string()),
+            Err(e) => return fail(&mut output, e),
+        };
+        let score = (|| -> Option<CandidateScore> {
+            let crossbar = CrossbarConfig::new(request.xb_size, request.cell_bits).ok()?;
+            let dac = DacConfig::new(request.dac_bits).ok()?;
+            let df_key = (
+                request.xb_size,
+                request.cell_bits,
+                request.dac_bits,
+                request.wt_dup.clone(),
+            );
+            if compiled.as_ref().map(|(k, _)| k) != Some(&df_key) {
+                let df = Dataflow::compile(&model, crossbar, dac, &request.wt_dup).ok()?;
+                compiled = Some((df_key, df));
+            }
+            let (_, df) = compiled.as_ref().expect("just compiled");
+            let gene = MacAllocGene::from_raw(request.gene.clone()).ok()?;
+            let point = DesignPoint {
+                ratio_rram: f64::from_bits(request.ratio_bits),
+                crossbar,
+            };
+            Some(core.score(df, point, &gene))
+        })()
+        .unwrap_or(CandidateScore::INFEASIBLE);
+        let response = ScoreResponse {
+            id: request.id,
+            score,
+        };
+        writeln!(output, "{}", response.to_line())
+            .map_err(|e| format!("stdout write failed: {e}"))?;
+        output
+            .flush()
+            .map_err(|e| format!("stdout flush failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The `pimsyn --worker` entry point: serves stdin/stdout until EOF.
+pub fn run_worker_stdio() -> ExitCode {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    match run_worker(stdin, stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(_) => ExitCode::FAILURE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimsyn_arch::{HardwareParams, MacroMode};
+    use pimsyn_dse::backend::protocol::{parse_ready, ScoreRequest, WorkerInit};
+    use pimsyn_dse::Objective;
+    use pimsyn_model::zoo;
+
+    fn init_line(model_power: f64) -> String {
+        let model = zoo::alexnet_cifar(10);
+        WorkerInit {
+            model_json: onnx::to_json(&model),
+            hw_json: hardware_config::to_json_exact(&HardwareParams::date24()),
+            power_bits: model_power.to_bits(),
+            macro_mode: MacroMode::Specialized,
+            objective: Objective::PowerEfficiency,
+        }
+        .to_line()
+    }
+
+    #[test]
+    fn worker_session_scores_bit_identically_to_inline() {
+        let model = zoo::alexnet_cifar(10);
+        let hw = HardwareParams::date24();
+        let l = model.weight_layer_count();
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        let dac = DacConfig::new(1).unwrap();
+        let dup = vec![1usize; l];
+        let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        let genes: Vec<MacAllocGene> = (1..=3)
+            .map(|m| MacAllocGene::encode(&vec![m; l], &vec![None; l]))
+            .collect();
+
+        // Drive a full session through in-memory pipes.
+        let mut session = String::new();
+        session.push_str(&init_line(9.0));
+        session.push('\n');
+        for (id, gene) in genes.iter().enumerate() {
+            let request = ScoreRequest {
+                id: id as u64,
+                ratio_bits: point.ratio_rram.to_bits(),
+                xb_size: xb.size(),
+                cell_bits: xb.cell_bits(),
+                dac_bits: dac.bits(),
+                wt_dup: dup.clone(),
+                gene: gene.as_slice().to_vec(),
+            };
+            session.push_str(&request.to_line());
+            session.push('\n');
+        }
+        let mut output = Vec::new();
+        run_worker(session.as_bytes(), &mut output).expect("clean session");
+        let text = String::from_utf8(output).unwrap();
+        let mut lines = text.lines();
+        parse_ready(lines.next().expect("ready line")).expect("valid ready");
+
+        // Compare against in-process scoring, bit for bit.
+        let core = EvalCore::new(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+        );
+        for (id, gene) in genes.iter().enumerate() {
+            let response = ScoreResponse::parse(lines.next().expect("score line")).unwrap();
+            assert_eq!(response.id, id as u64);
+            let expect = core.score(&df, point, gene);
+            assert_eq!(response.score.fitness.to_bits(), expect.fitness.to_bits());
+            assert_eq!(response.score.feasible, expect.feasible);
+        }
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn worker_rejects_garbage_with_an_error_line() {
+        let mut output = Vec::new();
+        let err = run_worker("not json\n".as_bytes(), &mut output).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("\"error\""), "{text}");
+
+        // A score before init is rejected too.
+        let mut output = Vec::new();
+        let premature = r#"{"type":"score","id":0,"ratio":"0","xb":128,"cell":2,"dac":1,"wt_dup":[],"gene":[]}"#;
+        let err = run_worker(format!("{premature}\n").as_bytes(), &mut output).unwrap_err();
+        assert!(err.contains("init"), "{err}");
+    }
+
+    #[test]
+    fn worker_answers_infeasible_for_uncompilable_requests() {
+        let mut session = String::new();
+        session.push_str(&init_line(9.0));
+        session.push('\n');
+        // Wrong wt_dup arity: the dataflow cannot compile.
+        let bad = ScoreRequest {
+            id: 5,
+            ratio_bits: 0.3f64.to_bits(),
+            xb_size: 128,
+            cell_bits: 2,
+            dac_bits: 1,
+            wt_dup: vec![1],
+            gene: vec![1],
+        };
+        session.push_str(&bad.to_line());
+        session.push('\n');
+        let mut output = Vec::new();
+        run_worker(session.as_bytes(), &mut output).expect("session survives");
+        let text = String::from_utf8(output).unwrap();
+        let response = ScoreResponse::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(response.id, 5);
+        assert_eq!(response.score, CandidateScore::INFEASIBLE);
+    }
+
+    #[test]
+    fn empty_session_is_clean() {
+        let mut output = Vec::new();
+        run_worker("".as_bytes(), &mut output).expect("empty session");
+        assert!(output.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! The inline backend: candidate scoring on the calling thread, exactly the
+//! analytic path the synthesis flow has always used. The default, and the
+//! reference every other backend must match bit for bit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::eval::{CandidateScore, EvalCore};
+
+use super::{BackendStats, EvalBackend, EvalJob, StopCheck};
+
+/// Scores candidates on the calling thread.
+#[derive(Debug, Default)]
+pub struct InlineBackend {
+    batches: AtomicUsize,
+    jobs: AtomicUsize,
+}
+
+impl EvalBackend for InlineBackend {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn score_batch(
+        &self,
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        stop: StopCheck<'_>,
+    ) -> Vec<CandidateScore> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(jobs.len(), Ordering::Relaxed);
+        jobs.iter()
+            .map(|job| {
+                if stop() {
+                    CandidateScore::INFEASIBLE
+                } else {
+                    core.score(job.df, job.point, job.gene)
+                }
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            ..BackendStats::default()
+        }
+    }
+}

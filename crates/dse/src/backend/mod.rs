@@ -1,0 +1,324 @@
+//! Pluggable candidate-scoring backends.
+//!
+//! The synthesis loop spends virtually all of its time scoring candidates:
+//! every EA macro-partitioning gene and every outer design point runs
+//! components allocation plus the analytic performance model. This module
+//! isolates that work behind the [`EvalBackend`] trait so the
+//! [`CandidateEvaluator`](crate::CandidateEvaluator) — which owns the memo
+//! caches, budget charging and statistics — composes with *where* the
+//! scoring runs:
+//!
+//! - [`InlineBackend`] — on the calling thread (the default);
+//! - [`ThreadPoolBackend`] — across scoped worker threads with
+//!   deterministic input-order reduction;
+//! - [`SubprocessBackend`] — across a pool of `pimsyn --worker` child
+//!   processes speaking the versioned JSON-lines [`protocol`], with
+//!   per-worker failure isolation (a crashed worker is respawned and its
+//!   in-flight jobs recomputed inline).
+//!
+//! Scoring is a pure function of the candidate, so every backend produces
+//! bit-identical scores; only wall-clock and process placement differ. A
+//! [`PersistentEvalCache`] can be layered over any backend to warm-start
+//! repeated runs from a cache file.
+
+mod inline;
+mod persist;
+pub mod protocol;
+mod subprocess;
+mod threads;
+
+pub use inline::InlineBackend;
+pub use persist::{CacheSnapshot, PersistentEvalCache, EVAL_CACHE_SCHEMA};
+pub use subprocess::SubprocessBackend;
+pub use threads::ThreadPoolBackend;
+
+use std::path::PathBuf;
+
+use pimsyn_ir::Dataflow;
+
+use crate::ea::MacAllocGene;
+use crate::eval::{CandidateScore, EvalCore};
+use crate::space::DesignPoint;
+
+/// One candidate to score: the compiled dataflow it runs on, the outer
+/// design point, and the macro-partitioning gene.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalJob<'a> {
+    /// Compiled dataflow (fixes DAC resolution and weight duplication).
+    pub df: &'a Dataflow,
+    /// Outer design point (`RatioRram`, crossbar configuration).
+    pub point: DesignPoint,
+    /// The `MacAlloc` gene in the paper's encoding.
+    pub gene: &'a MacAllocGene,
+}
+
+/// Cumulative counters of one backend instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// `score_batch` invocations.
+    pub batches: usize,
+    /// Jobs scored (across all batches).
+    pub jobs: usize,
+    /// Jobs scored by worker processes (subprocess backend only).
+    pub remote_jobs: usize,
+    /// Jobs recomputed inline after a worker failure.
+    pub fallback_jobs: usize,
+    /// Worker processes (re)spawned.
+    pub worker_spawns: usize,
+}
+
+/// A cooperative cancellation probe handed to backends: `true` means the
+/// caller no longer wants the results and remaining jobs may be skipped
+/// (skipped jobs come back as [`CandidateScore::INFEASIBLE`] placeholders).
+/// Budget and deadline stops are *not* routed through this — they are
+/// accounted before dispatch, and every dispatched job must still compute
+/// so that charged candidates always receive real scores.
+pub type StopCheck<'a> = &'a (dyn Fn() -> bool + Sync);
+
+/// A [`StopCheck`] that never stops (for callers outside a cancellable
+/// context).
+pub const NEVER_STOP: StopCheck<'static> = &|| false;
+
+/// Where candidate scoring runs.
+///
+/// Implementations must be deterministic: scoring is a pure function of the
+/// candidate, and [`score_batch`](Self::score_batch) must return scores in
+/// input order regardless of internal scheduling, so that every backend is
+/// bit-identical to [`InlineBackend`]. Implementations should poll `stop`
+/// between jobs (or at least between chunks) so cancellation stays prompt
+/// even inside a large batch.
+pub trait EvalBackend: Send + Sync + std::fmt::Debug {
+    /// Short identifier (`"inline"`, `"threads"`, `"subprocess"`).
+    fn name(&self) -> &'static str;
+
+    /// Scores `jobs`, returning one score per job in input order; jobs
+    /// skipped after `stop` turns `true` come back as
+    /// [`CandidateScore::INFEASIBLE`].
+    fn score_batch(
+        &self,
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        stop: StopCheck<'_>,
+    ) -> Vec<CandidateScore>;
+
+    /// Scores a single job (default: a one-element batch, never skipped).
+    fn score(&self, core: &EvalCore<'_>, job: &EvalJob<'_>) -> CandidateScore {
+        self.score_batch(core, std::slice::from_ref(job), NEVER_STOP)
+            .pop()
+            .unwrap_or(CandidateScore::INFEASIBLE)
+    }
+
+    /// Snapshot of the backend's throughput counters.
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+
+    /// Releases buffered state (worker pipes, pending writes). Called once
+    /// when a synthesis run finishes; a no-op for stateless backends.
+    fn flush(&self) {}
+}
+
+/// Sizes a worker pool for one batch: `configured` workers (`0` = one per
+/// available core), never more than there are jobs, never less than one.
+pub(crate) fn pool_width(configured: usize, jobs: usize) -> usize {
+    let width = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        configured
+    };
+    width.clamp(1, jobs.max(1))
+}
+
+/// A `u64` (typically `f64::to_bits`) as the 16-digit hex string used by
+/// both the worker protocol and the persistent cache file.
+pub(crate) fn u64_hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parses a [`u64_hex`] bit pattern back.
+pub(crate) fn parse_u64_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Which [`EvalBackend`] implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Score on the calling thread (the default).
+    #[default]
+    Inline,
+    /// Score batches across scoped threads; `workers == 0` means one per
+    /// available core.
+    ThreadPool {
+        /// Worker-thread count (0 = auto).
+        workers: usize,
+    },
+    /// Score batches across `pimsyn --worker` child processes; `workers ==
+    /// 0` means one per available core.
+    Subprocess {
+        /// Worker-process count (0 = auto).
+        workers: usize,
+    },
+}
+
+impl BackendKind {
+    /// Parses the CLI spelling: `inline`, `threads[:N]`, `subprocess[:N]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown names or malformed counts.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let count = |arg: Option<&str>| -> Result<usize, String> {
+            match arg {
+                None => Ok(0),
+                Some(t) => match t.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(n),
+                    _ => Err(format!("worker count `{t}` must be a positive integer")),
+                },
+            }
+        };
+        match name {
+            "inline" => match arg {
+                None => Ok(BackendKind::Inline),
+                Some(_) => Err("`inline` takes no worker count".to_string()),
+            },
+            "threads" => Ok(BackendKind::ThreadPool {
+                workers: count(arg)?,
+            }),
+            "subprocess" => Ok(BackendKind::Subprocess {
+                workers: count(arg)?,
+            }),
+            other => Err(format!(
+                "unknown backend `{other}` (expected inline, threads[:N] or subprocess[:N])"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Inline => write!(f, "inline"),
+            BackendKind::ThreadPool { workers: 0 } => write!(f, "threads"),
+            BackendKind::ThreadPool { workers } => write!(f, "threads:{workers}"),
+            BackendKind::Subprocess { workers: 0 } => write!(f, "subprocess"),
+            BackendKind::Subprocess { workers } => write!(f, "subprocess:{workers}"),
+        }
+    }
+}
+
+/// Full evaluation-backend configuration: the backend kind plus the
+/// cross-run persistence and worker-command overrides.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalBackendConfig {
+    /// Which backend scores candidates.
+    pub kind: BackendKind,
+    /// Persistent evaluation-cache file: loaded (when its fingerprint
+    /// matches the run) before the search and rewritten after it, so
+    /// repeated invocations and sweeps warm-start.
+    pub cache_file: Option<PathBuf>,
+    /// Override of the worker executable for [`BackendKind::Subprocess`]
+    /// (default: the current executable, which is the `pimsyn` CLI when
+    /// launched from it). Tests point this at a built `pimsyn` binary.
+    pub worker_command: Option<PathBuf>,
+}
+
+impl EvalBackendConfig {
+    /// The default inline configuration.
+    pub fn inline() -> Self {
+        Self::default()
+    }
+
+    /// Configuration for the given backend kind.
+    pub fn new(kind: BackendKind) -> Self {
+        Self {
+            kind,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the persistent cache file.
+    #[must_use]
+    pub fn with_cache_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_file = Some(path.into());
+        self
+    }
+
+    /// Overrides the subprocess worker executable.
+    #[must_use]
+    pub fn with_worker_command(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_command = Some(path.into());
+        self
+    }
+
+    /// Instantiates the configured backend.
+    pub fn build(&self) -> Box<dyn EvalBackend> {
+        match self.kind {
+            BackendKind::Inline => Box::new(InlineBackend::default()),
+            BackendKind::ThreadPool { workers } => Box::new(ThreadPoolBackend::new(workers)),
+            BackendKind::Subprocess { workers } => {
+                Box::new(SubprocessBackend::new(workers, self.worker_command.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses_cli_spellings() {
+        assert_eq!(BackendKind::parse("inline").unwrap(), BackendKind::Inline);
+        assert_eq!(
+            BackendKind::parse("threads").unwrap(),
+            BackendKind::ThreadPool { workers: 0 }
+        );
+        assert_eq!(
+            BackendKind::parse("threads:3").unwrap(),
+            BackendKind::ThreadPool { workers: 3 }
+        );
+        assert_eq!(
+            BackendKind::parse("subprocess:2").unwrap(),
+            BackendKind::Subprocess { workers: 2 }
+        );
+        assert!(BackendKind::parse("inline:2").is_err());
+        assert!(BackendKind::parse("subprocess:0").is_err());
+        assert!(BackendKind::parse("subprocess:x").is_err());
+        assert!(BackendKind::parse("gpu").is_err());
+    }
+
+    #[test]
+    fn backend_kind_displays_round_trip() {
+        for kind in [
+            BackendKind::Inline,
+            BackendKind::ThreadPool { workers: 0 },
+            BackendKind::ThreadPool { workers: 4 },
+            BackendKind::Subprocess { workers: 2 },
+        ] {
+            assert_eq!(BackendKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn config_builds_the_configured_backend() {
+        assert_eq!(EvalBackendConfig::inline().build().name(), "inline");
+        assert_eq!(
+            EvalBackendConfig::new(BackendKind::ThreadPool { workers: 2 })
+                .build()
+                .name(),
+            "threads"
+        );
+        assert_eq!(
+            EvalBackendConfig::new(BackendKind::Subprocess { workers: 1 })
+                .build()
+                .name(),
+            "subprocess"
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The versioned JSON-lines protocol between the [`SubprocessBackend`]
+//! (client) and `pimsyn --worker` child processes (server).
+//!
+//! Every message is one JSON object per line. The session opens with an
+//! [`WorkerInit`] fixing everything that is constant for a synthesis run
+//! (model, hardware parameters, power budget, macro mode, objective); the
+//! worker answers with a `ready` line, then serves [`ScoreRequest`]s with
+//! [`ScoreResponse`]s until its stdin closes. Floats travel as
+//! `f64::to_bits` hex strings, so a worker's scores are *bit-identical* to
+//! inline scoring — JSON number formatting never enters the loop.
+//!
+//! ```text
+//! > {"type":"init","pimsyn_worker":1,"model":"{...}","hw":"{...}",
+//!    "power":"4022000000000000","macro_mode":"specialized","objective":"eff"}
+//! < {"type":"ready","pimsyn_worker":1}
+//! > {"type":"score","id":0,"ratio":"3fd3333333333333","xb":128,"cell":2,
+//!    "dac":1,"wt_dup":[1,1],"gene":[1,1001]}
+//! < {"type":"score","id":0,"fitness":"3ff8a3d70a3d70a4","feasible":true}
+//! ```
+//!
+//! Version negotiation is strict: an init whose `pimsyn_worker` field does
+//! not equal [`PROTOCOL_VERSION`] is rejected, and the backend falls back to
+//! inline scoring rather than risking a silent mismatch.
+//!
+//! [`SubprocessBackend`]: super::SubprocessBackend
+
+use pimsyn_arch::MacroMode;
+use pimsyn_model::json::JsonValue;
+
+use crate::ea::Objective;
+use crate::eval::CandidateScore;
+
+/// Wire-format version; bumped on any incompatible message change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+fn hex_bits(v: f64) -> JsonValue {
+    JsonValue::String(super::u64_hex(v.to_bits()))
+}
+
+fn parse_bits(v: Option<&JsonValue>, key: &str) -> Result<f64, String> {
+    let s = v
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing bit-pattern field `{key}`"))?;
+    super::parse_u64_hex(s)
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("`{key}` is not a hex bit pattern"))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+fn usize_array(v: &JsonValue, key: &str) -> Result<Vec<usize>, String> {
+    v.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing array field `{key}`"))?
+        .iter()
+        .map(|x| {
+            x.as_usize()
+                .ok_or_else(|| format!("`{key}` entries must be non-negative integers"))
+        })
+        .collect()
+}
+
+/// Stable string tag of a [`MacroMode`].
+pub fn macro_mode_tag(mode: MacroMode) -> &'static str {
+    match mode {
+        MacroMode::Specialized => "specialized",
+        MacroMode::Identical => "identical",
+    }
+}
+
+/// Parses a [`macro_mode_tag`] back.
+///
+/// # Errors
+///
+/// A message naming the unknown tag.
+pub fn parse_macro_mode(s: &str) -> Result<MacroMode, String> {
+    match s {
+        "specialized" => Ok(MacroMode::Specialized),
+        "identical" => Ok(MacroMode::Identical),
+        other => Err(format!("unknown macro mode `{other}`")),
+    }
+}
+
+/// Stable string tag of an [`Objective`].
+pub fn objective_tag(objective: Objective) -> &'static str {
+    match objective {
+        Objective::PowerEfficiency => "eff",
+        Objective::EnergyDelayProduct => "edp",
+    }
+}
+
+/// Parses an [`objective_tag`] back.
+///
+/// # Errors
+///
+/// A message naming the unknown tag.
+pub fn parse_objective(s: &str) -> Result<Objective, String> {
+    match s {
+        "eff" => Ok(Objective::PowerEfficiency),
+        "edp" => Ok(Objective::EnergyDelayProduct),
+        other => Err(format!("unknown objective `{other}`")),
+    }
+}
+
+/// Session-opening message: everything constant across one synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerInit {
+    /// The CNN in the ONNX-style JSON of `pimsyn_model::onnx` (lossless for
+    /// the layer graph, which is all-integer).
+    pub model_json: String,
+    /// Hardware parameters in the *bit-exact* format of
+    /// `pimsyn_arch::hardware_config::to_json_exact`.
+    pub hw_json: String,
+    /// Total power constraint, `f64::to_bits`.
+    pub power_bits: u64,
+    /// Identical vs specialized macros.
+    pub macro_mode: MacroMode,
+    /// What fitness maximizes.
+    pub objective: Objective,
+}
+
+impl WorkerInit {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("init".into())),
+            (
+                "pimsyn_worker".into(),
+                JsonValue::Number(PROTOCOL_VERSION as f64),
+            ),
+            ("model".into(), JsonValue::String(self.model_json.clone())),
+            ("hw".into(), JsonValue::String(self.hw_json.clone())),
+            (
+                "power".into(),
+                JsonValue::String(super::u64_hex(self.power_bits)),
+            ),
+            (
+                "macro_mode".into(),
+                JsonValue::String(macro_mode_tag(self.macro_mode).into()),
+            ),
+            (
+                "objective".into(),
+                JsonValue::String(objective_tag(self.objective).into()),
+            ),
+        ])
+        .to_string()
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let version = doc
+            .get("pimsyn_worker")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| "missing `pimsyn_worker` version".to_string())?;
+        if version != PROTOCOL_VERSION as usize {
+            return Err(format!(
+                "protocol version mismatch: peer speaks {version}, this build speaks {PROTOCOL_VERSION}"
+            ));
+        }
+        let text = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        Ok(Self {
+            model_json: text("model")?,
+            hw_json: text("hw")?,
+            power_bits: super::parse_u64_hex(&text("power")?)
+                .ok_or_else(|| "`power` is not a hex bit pattern".to_string())?,
+            macro_mode: parse_macro_mode(&text("macro_mode")?)?,
+            objective: parse_objective(&text("objective")?)?,
+        })
+    }
+}
+
+/// One candidate to score, fully serialized (the worker recompiles the
+/// dataflow from `(crossbar, dac, wt_dup)` — compilation is deterministic
+/// and costs microseconds, and consecutive requests reuse the compiled
+/// dataflow through a worker-side cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreRequest {
+    /// Request id, echoed in the response.
+    pub id: u64,
+    /// `RatioRram` as `f64::to_bits`.
+    pub ratio_bits: u64,
+    /// Crossbar rows/columns.
+    pub xb_size: usize,
+    /// ReRAM cell resolution in bits.
+    pub cell_bits: u32,
+    /// DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Per-layer weight duplication (fixes the dataflow).
+    pub wt_dup: Vec<usize>,
+    /// The `MacAlloc` gene (`owner*1000 + n` encoding).
+    pub gene: Vec<u32>,
+}
+
+impl ScoreRequest {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("score".into())),
+            ("id".into(), JsonValue::Number(self.id as f64)),
+            (
+                "ratio".into(),
+                JsonValue::String(super::u64_hex(self.ratio_bits)),
+            ),
+            ("xb".into(), JsonValue::Number(self.xb_size as f64)),
+            ("cell".into(), JsonValue::Number(self.cell_bits as f64)),
+            ("dac".into(), JsonValue::Number(self.dac_bits as f64)),
+            (
+                "wt_dup".into(),
+                JsonValue::Array(
+                    self.wt_dup
+                        .iter()
+                        .map(|&d| JsonValue::Number(d as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "gene".into(),
+                JsonValue::Array(
+                    self.gene
+                        .iter()
+                        .map(|&g| JsonValue::Number(g as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let ratio = doc
+            .get("ratio")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing `ratio`".to_string())?;
+        Ok(Self {
+            id: field_usize(doc, "id")? as u64,
+            ratio_bits: super::parse_u64_hex(ratio)
+                .ok_or_else(|| "`ratio` is not a hex bit pattern".to_string())?,
+            xb_size: field_usize(doc, "xb")?,
+            cell_bits: field_usize(doc, "cell")? as u32,
+            dac_bits: field_usize(doc, "dac")? as u32,
+            wt_dup: usize_array(doc, "wt_dup")?,
+            gene: usize_array(doc, "gene")?
+                .into_iter()
+                .map(|g| g as u32)
+                .collect(),
+        })
+    }
+}
+
+/// Any message a worker may receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerRequest {
+    /// Session setup (must be the first message).
+    Init(WorkerInit),
+    /// A candidate to score.
+    Score(ScoreRequest),
+}
+
+impl WorkerRequest {
+    /// Parses one received line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed JSON, unknown message types or
+    /// missing fields.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        match doc.get("type").and_then(JsonValue::as_str) {
+            Some("init") => WorkerInit::from_json(&doc).map(WorkerRequest::Init),
+            Some("score") => ScoreRequest::from_json(&doc).map(WorkerRequest::Score),
+            Some(other) => Err(format!("unknown request type `{other}`")),
+            None => Err("missing request `type`".to_string()),
+        }
+    }
+}
+
+/// The worker's `ready` acknowledgment after a successful init.
+pub fn ready_line() -> String {
+    JsonValue::Object(vec![
+        ("type".into(), JsonValue::String("ready".into())),
+        (
+            "pimsyn_worker".into(),
+            JsonValue::Number(PROTOCOL_VERSION as f64),
+        ),
+    ])
+    .to_string()
+}
+
+/// Checks a received `ready` line (type and version).
+///
+/// # Errors
+///
+/// A human-readable message when the line is not a matching `ready`.
+pub fn parse_ready(line: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(line).map_err(|e| format!("malformed ready line: {e}"))?;
+    if doc.get("type").and_then(JsonValue::as_str) != Some("ready") {
+        return Err(format!("expected a ready line, got: {line}"));
+    }
+    match doc.get("pimsyn_worker").and_then(JsonValue::as_usize) {
+        Some(v) if v == PROTOCOL_VERSION as usize => Ok(()),
+        Some(v) => Err(format!(
+            "protocol version mismatch: worker speaks {v}, this build speaks {PROTOCOL_VERSION}"
+        )),
+        None => Err("ready line lacks a version".to_string()),
+    }
+}
+
+/// An error report from the worker (also usable before exiting).
+pub fn error_line(detail: &str) -> String {
+    JsonValue::Object(vec![
+        ("type".into(), JsonValue::String("error".into())),
+        ("detail".into(), JsonValue::String(detail.to_string())),
+    ])
+    .to_string()
+}
+
+/// One scored candidate, keyed back to its request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreResponse {
+    /// The request id this answers.
+    pub id: u64,
+    /// The score (fitness bit pattern survives the wire exactly).
+    pub score: CandidateScore,
+}
+
+impl ScoreResponse {
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("score".into())),
+            ("id".into(), JsonValue::Number(self.id as f64)),
+            ("fitness".into(), hex_bits(self.score.fitness)),
+            ("feasible".into(), JsonValue::Bool(self.score.feasible)),
+        ])
+        .to_string()
+    }
+
+    /// Parses one received line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed or non-`score` lines (an
+    /// `error` line's detail is surfaced as the message).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let doc = JsonValue::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        match doc.get("type").and_then(JsonValue::as_str) {
+            Some("score") => {}
+            Some("error") => {
+                let detail = doc
+                    .get("detail")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unspecified");
+                return Err(format!("worker reported an error: {detail}"));
+            }
+            _ => return Err(format!("expected a score line, got: {line}")),
+        }
+        Ok(Self {
+            id: field_usize(&doc, "id")? as u64,
+            score: CandidateScore {
+                fitness: parse_bits(doc.get("fitness"), "fitness")?,
+                feasible: doc
+                    .get("feasible")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or_else(|| "missing `feasible`".to_string())?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_round_trips() {
+        let init = WorkerInit {
+            model_json: r#"{"name":"m"}"#.to_string(),
+            hw_json: r#"{"clock":"0"}"#.to_string(),
+            power_bits: 9.0f64.to_bits(),
+            macro_mode: MacroMode::Identical,
+            objective: Objective::EnergyDelayProduct,
+        };
+        match WorkerRequest::parse(&init.to_line()).unwrap() {
+            WorkerRequest::Init(back) => assert_eq!(back, init),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_request_round_trips() {
+        let req = ScoreRequest {
+            id: 42,
+            ratio_bits: 0.3f64.to_bits(),
+            xb_size: 128,
+            cell_bits: 2,
+            dac_bits: 1,
+            wt_dup: vec![1, 2, 3],
+            gene: vec![1, 1001, 2002],
+        };
+        match WorkerRequest::parse(&req.to_line()).unwrap() {
+            WorkerRequest::Score(back) => assert_eq!(back, req),
+            other => panic!("parsed as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_response_round_trips_awkward_floats() {
+        // Bit patterns JSON number formatting could disturb.
+        for fitness in [0.1 + 0.2, 1.0000000000000002, f64::MIN_POSITIVE, 0.0] {
+            let resp = ScoreResponse {
+                id: 7,
+                score: CandidateScore {
+                    fitness,
+                    feasible: true,
+                },
+            };
+            let back = ScoreResponse::parse(&resp.to_line()).unwrap();
+            assert_eq!(back.score.fitness.to_bits(), fitness.to_bits());
+            assert_eq!(back.id, 7);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let line = r#"{"type":"init","pimsyn_worker":999,"model":"{}","hw":"{}","power":"0","macro_mode":"specialized","objective":"eff"}"#;
+        let err = WorkerRequest::parse(line).unwrap_err();
+        assert!(err.contains("version mismatch"), "{err}");
+        assert!(parse_ready(r#"{"type":"ready","pimsyn_worker":2}"#).is_err());
+        assert!(parse_ready(&ready_line()).is_ok());
+    }
+
+    #[test]
+    fn error_lines_surface_their_detail() {
+        let err = ScoreResponse::parse(&error_line("boom")).unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+        assert!(WorkerRequest::parse("not json").is_err());
+        assert!(WorkerRequest::parse(r#"{"type":"dance"}"#).is_err());
+    }
+}

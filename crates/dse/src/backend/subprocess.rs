@@ -1,0 +1,409 @@
+//! The subprocess backend: a pool of `pimsyn --worker` child processes
+//! scoring candidates over the JSON-lines [`protocol`](super::protocol).
+//!
+//! Workers are spawned lazily on the first batch (the init payload needs
+//! the run's model and hardware parameters), kept alive across batches, and
+//! isolated per failure: a worker that dies, hangs up or answers garbage is
+//! dropped, its in-flight chunk is recomputed inline (scoring is a pure
+//! function, so results are unaffected), and the slot respawns on the next
+//! batch. If no worker can be spawned at all — missing executable, resource
+//! exhaustion — every batch silently degrades to inline scoring; the
+//! [`BackendStats::fallback_jobs`](super::BackendStats) counter records it.
+//!
+//! Floats cross the process boundary as `f64::to_bits` hex, and the worker
+//! runs the same analytic pipeline as this process, so subprocess scores
+//! are bit-identical to inline ones.
+//!
+//! **Known limitation:** pipe reads have no timeout (std-only, no async
+//! runtime), so a worker that *stalls without closing its pipes* — e.g. a
+//! `SIGSTOP`ped child — blocks its chunk until the process resumes or dies.
+//! The worker is this same trusted binary whose loop cannot block between
+//! reading a request and answering it, so in practice stalls mean death
+//! (covered by the EOF/error path). A future remote backend should carry
+//! deadlines in the transport instead.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use crate::eval::{CandidateScore, EvalCore};
+
+use super::protocol::{parse_ready, ScoreRequest, ScoreResponse, WorkerInit};
+use super::{pool_width, BackendStats, EvalBackend, EvalJob, StopCheck};
+
+/// One live worker process with its pipe endpoints.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Deterministic teardown even for a wedged child: kill, then reap.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Pool {
+    /// Session init line, built from the first batch's [`EvalCore`].
+    init_line: Option<String>,
+    /// Workers idle between batches.
+    idle: Vec<Worker>,
+    /// Workers alive in total — idle plus checked out to in-flight batches.
+    /// The configured worker count caps this *globally*: concurrent
+    /// design-point threads share one pool instead of each spawning their
+    /// own complement.
+    live: usize,
+    /// Set when a spawn attempt fails (missing executable, bad handshake):
+    /// further batches stop retrying and score inline instead of paying
+    /// the spawn/handshake cost over and over.
+    broken: bool,
+    /// Monotonic request-id allocator (ids never repeat within a run).
+    next_id: u64,
+}
+
+/// Scores batches across `pimsyn --worker` child processes.
+pub struct SubprocessBackend {
+    workers: usize,
+    command: Option<PathBuf>,
+    pool: Mutex<Pool>,
+    batches: AtomicUsize,
+    jobs: AtomicUsize,
+    remote: AtomicUsize,
+    fallback: AtomicUsize,
+    spawns: AtomicUsize,
+}
+
+impl std::fmt::Debug for SubprocessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubprocessBackend")
+            .field("workers", &self.workers)
+            .field("command", &self.command)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubprocessBackend {
+    /// A pool of `workers` child processes (`0` = one per available core),
+    /// running `command` (`None` = the current executable, which is the
+    /// `pimsyn` CLI when launched from it).
+    pub fn new(workers: usize, command: Option<PathBuf>) -> Self {
+        Self {
+            workers,
+            command,
+            pool: Mutex::new(Pool {
+                init_line: None,
+                idle: Vec::new(),
+                live: 0,
+                broken: false,
+                next_id: 0,
+            }),
+            batches: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+            fallback: AtomicUsize::new(0),
+            spawns: AtomicUsize::new(0),
+        }
+    }
+
+    /// How long a freshly spawned worker gets to answer the init handshake.
+    /// Guards against a `worker_command` (or `current_exe` in a non-CLI
+    /// embedder) that ignores the protocol and never answers: after the
+    /// timeout the child is killed and the pool marks itself broken, so the
+    /// run degrades to inline scoring instead of hanging.
+    const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Spawns and handshakes one worker; `None` when the executable is
+    /// unavailable or the handshake fails or times out (the caller degrades
+    /// to inline).
+    fn spawn_worker(&self, init_line: &str) -> Option<Worker> {
+        let command = self
+            .command
+            .clone()
+            .or_else(|| std::env::current_exe().ok())?;
+        let mut child = Command::new(command)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .ok()?;
+        let mut stdin = child.stdin.take()?;
+        let mut stdout = BufReader::new(child.stdout.take()?);
+        self.spawns.fetch_add(1, Ordering::Relaxed);
+        if writeln!(stdin, "{init_line}").is_err() || stdin.flush().is_err() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return None;
+        }
+        // Read the ready line on a helper thread so the handshake can time
+        // out (std pipes have no read timeout). On timeout the child is
+        // killed, which unblocks the reader.
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut line = String::new();
+            let ok = matches!(stdout.read_line(&mut line), Ok(n) if n > 0);
+            let _ = tx.send((ok, line, stdout));
+        });
+        let handshake = rx.recv_timeout(Self::HANDSHAKE_TIMEOUT);
+        match handshake {
+            Ok((true, line, stdout)) if parse_ready(line.trim()).is_ok() => {
+                let _ = reader.join();
+                Some(Worker {
+                    child,
+                    stdin,
+                    stdout,
+                })
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = reader.join();
+                let _ = child.wait();
+                None
+            }
+        }
+    }
+
+    /// Scores one chunk on one worker: writes every request, then reads the
+    /// matching responses.
+    fn score_remote(
+        worker: &mut Worker,
+        jobs: &[EvalJob<'_>],
+        id_base: u64,
+    ) -> Result<Vec<CandidateScore>, String> {
+        let mut payload = String::new();
+        for (k, job) in jobs.iter().enumerate() {
+            let request = ScoreRequest {
+                id: id_base + k as u64,
+                ratio_bits: job.point.ratio_rram.to_bits(),
+                xb_size: job.point.crossbar.size(),
+                cell_bits: job.point.crossbar.cell_bits(),
+                dac_bits: job.df.dac().bits(),
+                wt_dup: job.df.programs().iter().map(|p| p.wt_dup).collect(),
+                gene: job.gene.as_slice().to_vec(),
+            };
+            payload.push_str(&request.to_line());
+            payload.push('\n');
+        }
+        worker
+            .stdin
+            .write_all(payload.as_bytes())
+            .map_err(|e| format!("worker write failed: {e}"))?;
+        worker
+            .stdin
+            .flush()
+            .map_err(|e| format!("worker flush failed: {e}"))?;
+        let mut out: Vec<Option<CandidateScore>> = vec![None; jobs.len()];
+        for _ in 0..jobs.len() {
+            let mut line = String::new();
+            let n = worker
+                .stdout
+                .read_line(&mut line)
+                .map_err(|e| format!("worker read failed: {e}"))?;
+            if n == 0 {
+                return Err("worker closed its output mid-batch".to_string());
+            }
+            let response = ScoreResponse::parse(line.trim())?;
+            let index = response
+                .id
+                .checked_sub(id_base)
+                .filter(|&i| (i as usize) < jobs.len())
+                .ok_or_else(|| format!("worker answered unknown id {}", response.id))?
+                as usize;
+            if out[index].replace(response.score).is_some() {
+                return Err(format!("worker answered id {} twice", response.id));
+            }
+        }
+        Ok(out.into_iter().map(|s| s.expect("all ids seen")).collect())
+    }
+
+    /// Scores one chunk, falling back to inline compute when the worker is
+    /// missing or fails mid-chunk. Returns the scores, the still-healthy
+    /// worker (if any), and the (remote, fallback) job counts. Cancellation
+    /// is checked once per chunk (a dispatched chunk runs to completion).
+    fn run_chunk(
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        worker: Option<Worker>,
+        id_base: u64,
+        stop: StopCheck<'_>,
+    ) -> (Vec<CandidateScore>, Option<Worker>, usize, usize) {
+        if stop() {
+            return (vec![CandidateScore::INFEASIBLE; jobs.len()], worker, 0, 0);
+        }
+        if let Some(mut worker) = worker {
+            match Self::score_remote(&mut worker, jobs, id_base) {
+                Ok(scores) => return (scores, Some(worker), jobs.len(), 0),
+                Err(_) => drop(worker), // failure isolation: chunk recomputes inline
+            }
+        }
+        let scores = jobs
+            .iter()
+            .map(|job| {
+                if stop() {
+                    CandidateScore::INFEASIBLE
+                } else {
+                    core.score(job.df, job.point, job.gene)
+                }
+            })
+            .collect();
+        (scores, None, 0, jobs.len())
+    }
+}
+
+impl EvalBackend for SubprocessBackend {
+    fn name(&self) -> &'static str {
+        "subprocess"
+    }
+
+    fn score_batch(
+        &self,
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        stop: StopCheck<'_>,
+    ) -> Vec<CandidateScore> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(jobs.len(), Ordering::Relaxed);
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let width = pool_width(self.workers, jobs.len());
+        let chunk = jobs.len().div_ceil(width);
+        let chunks: Vec<&[EvalJob<'_>]> = jobs.chunks(chunk).collect();
+
+        // Take idle workers, reserve spawn slots and an id range under the
+        // lock; spawn the missing workers *outside* it — the handshake
+        // blocks on the child, and other design-point threads must not wait
+        // behind it. The configured worker count caps live workers
+        // globally: concurrent design-point threads share one complement
+        // instead of each spawning their own.
+        let (init, mut workers, taken, to_spawn, id_base) = {
+            let mut pool = self.pool.lock().expect("subprocess pool");
+            if pool.init_line.is_none() {
+                pool.init_line = Some(
+                    WorkerInit {
+                        model_json: pimsyn_model::onnx::to_json(core.model()),
+                        hw_json: pimsyn_arch::hardware_config::to_json_exact(core.hw()),
+                        power_bits: core.total_power().value().to_bits(),
+                        macro_mode: core.macro_mode(),
+                        objective: core.objective(),
+                    }
+                    .to_line(),
+                );
+            }
+            let init = pool.init_line.clone().expect("just set");
+            let mut workers: Vec<Option<Worker>> = Vec::with_capacity(chunks.len());
+            for _ in 0..chunks.len() {
+                workers.push(pool.idle.pop());
+            }
+            let taken = workers.iter().filter(|w| w.is_some()).count();
+            let missing = chunks.len() - taken;
+            let cap = pool_width(self.workers, usize::MAX);
+            let to_spawn = if pool.broken {
+                0
+            } else {
+                missing.min(cap.saturating_sub(pool.live))
+            };
+            pool.live += to_spawn; // reserve; released below if unused
+            let id_base = pool.next_id;
+            pool.next_id += jobs.len() as u64;
+            (init, workers, taken, to_spawn, id_base)
+        };
+        let mut spawned = 0usize;
+        let mut spawn_failed = false;
+        for slot in &mut workers {
+            if spawned == to_spawn || spawn_failed || stop() {
+                break;
+            }
+            if slot.is_none() {
+                match self.spawn_worker(&init) {
+                    Some(worker) => {
+                        *slot = Some(worker);
+                        spawned += 1;
+                    }
+                    // One failure is enough evidence: stop retrying for the
+                    // rest of the run (chunks without workers score inline).
+                    None => spawn_failed = true,
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut survivors: Vec<Worker> = Vec::new();
+        let mut remote = 0usize;
+        let mut fallback = 0usize;
+        if chunks.len() == 1 {
+            let (scores, worker, r, f) =
+                Self::run_chunk(core, chunks[0], workers[0].take(), id_base, stop);
+            out.extend(scores);
+            survivors.extend(worker);
+            remote += r;
+            fallback += f;
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .zip(workers.iter_mut())
+                    .enumerate()
+                    .map(|(ci, (chunk_jobs, slot))| {
+                        let worker = slot.take();
+                        let base = id_base + (ci * chunk) as u64;
+                        s.spawn(move || Self::run_chunk(core, chunk_jobs, worker, base, stop))
+                    })
+                    .collect();
+                // Chunks joined in submission order: deterministic reduction.
+                for handle in handles {
+                    let (scores, worker, r, f) = handle.join().expect("chunk scorer panicked");
+                    out.extend(scores);
+                    survivors.extend(worker);
+                    remote += r;
+                    fallback += f;
+                }
+            });
+        }
+        self.remote.fetch_add(remote, Ordering::Relaxed);
+        self.fallback.fetch_add(fallback, Ordering::Relaxed);
+
+        let mut pool = self.pool.lock().expect("subprocess pool");
+        // Release unused spawn reservations (and failed attempts), then
+        // account worker deaths: live covers exactly idle + checked-out.
+        let checked_out = taken + spawned;
+        pool.live -= (to_spawn - spawned) + (checked_out - survivors.len());
+        if spawn_failed {
+            pool.broken = true;
+        }
+        pool.idle.extend(survivors);
+        out
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            remote_jobs: self.remote.load(Ordering::Relaxed),
+            fallback_jobs: self.fallback.load(Ordering::Relaxed),
+            worker_spawns: self.spawns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tears the worker pool down (children see EOF/kill and exit); the
+    /// next batch would respawn.
+    fn flush(&self) {
+        let mut pool = self.pool.lock().expect("subprocess pool");
+        let torn_down = pool.idle.len();
+        pool.live -= torn_down;
+        pool.idle.clear();
+    }
+}
+
+impl Drop for SubprocessBackend {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}

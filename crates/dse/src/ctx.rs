@@ -75,6 +75,8 @@ pub enum StopReason {
     DeadlineReached,
     /// The [`ExploreBudget::max_evaluations`] budget was spent.
     EvaluationBudgetReached,
+    /// The [`ExploreBudget::max_unique_evaluations`] budget was spent.
+    UniqueEvaluationBudgetReached,
 }
 
 impl fmt::Display for StopReason {
@@ -84,6 +86,7 @@ impl fmt::Display for StopReason {
             StopReason::Cancelled => "cancelled",
             StopReason::DeadlineReached => "deadline reached",
             StopReason::EvaluationBudgetReached => "evaluation budget reached",
+            StopReason::UniqueEvaluationBudgetReached => "unique-evaluation budget reached",
         };
         f.write_str(name)
     }
@@ -120,6 +123,11 @@ pub struct ExploreBudget {
     pub deadline: Option<Instant>,
     /// Maximum candidate-architecture evaluations across all design points.
     pub max_evaluations: Option<usize>,
+    /// Maximum *unique* candidate evaluations (memo misses that actually run
+    /// the compile → allocate → evaluate pipeline). With high cache-hit
+    /// rates, scored-candidate and wall-clock budgets diverge from the work
+    /// actually done; this budget bounds the work itself.
+    pub max_unique_evaluations: Option<usize>,
 }
 
 impl ExploreBudget {
@@ -139,6 +147,13 @@ impl ExploreBudget {
     #[must_use]
     pub fn with_max_evaluations(mut self, n: usize) -> Self {
         self.max_evaluations = Some(n);
+        self
+    }
+
+    /// Bounds unique candidate evaluations (memo misses).
+    #[must_use]
+    pub fn with_max_unique_evaluations(mut self, n: usize) -> Self {
+        self.max_unique_evaluations = Some(n);
         self
     }
 }
@@ -232,6 +247,7 @@ pub struct ExploreContext<'a> {
     cancel: CancelToken,
     budget: ExploreBudget,
     evaluations: AtomicUsize,
+    unique_evaluations: AtomicUsize,
     /// Best fitness seen so far. A mutex (not an atomic CAS) so the
     /// `ImprovedBest` emission happens inside the critical section:
     /// observers then see strictly increasing bests even with parallel
@@ -265,6 +281,7 @@ impl<'a> ExploreContext<'a> {
             cancel,
             budget,
             evaluations: AtomicUsize::new(0),
+            unique_evaluations: AtomicUsize::new(0),
             best: Mutex::new(0.0),
             observed: AtomicU8::new(0),
             stats_emit: Mutex::new(()),
@@ -303,6 +320,16 @@ impl<'a> ExploreContext<'a> {
     /// Total candidate evaluations recorded so far.
     pub fn evaluations(&self) -> usize {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` *unique* evaluations (memo misses) to the shared counter.
+    pub fn count_unique_evaluations(&self, n: usize) {
+        self.unique_evaluations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total unique candidate evaluations (memo misses) recorded so far.
+    pub fn unique_evaluations(&self) -> usize {
+        self.unique_evaluations.load(Ordering::Relaxed)
     }
 
     /// Snapshots evaluator throughput counters and emits
@@ -353,6 +380,11 @@ impl<'a> ExploreContext<'a> {
                 return Some(StopReason::EvaluationBudgetReached);
             }
         }
+        if let Some(max) = self.budget.max_unique_evaluations {
+            if self.unique_evaluations() >= max {
+                return Some(StopReason::UniqueEvaluationBudgetReached);
+            }
+        }
         None
     }
 
@@ -368,6 +400,7 @@ impl<'a> ExploreContext<'a> {
                     StopReason::Cancelled => 1,
                     StopReason::DeadlineReached => 2,
                     StopReason::EvaluationBudgetReached => 3,
+                    StopReason::UniqueEvaluationBudgetReached => 4,
                 };
                 // First observation wins.
                 let _ =
@@ -386,6 +419,7 @@ impl<'a> ExploreContext<'a> {
             1 => Some(StopReason::Cancelled),
             2 => Some(StopReason::DeadlineReached),
             3 => Some(StopReason::EvaluationBudgetReached),
+            4 => Some(StopReason::UniqueEvaluationBudgetReached),
             _ => None,
         }
     }
@@ -427,6 +461,25 @@ mod tests {
     }
 
     #[test]
+    fn unique_evaluation_budget_trips_on_misses_only() {
+        let ctx = ExploreContext::new(
+            &NullObserver,
+            CancelToken::new(),
+            ExploreBudget::unlimited().with_max_unique_evaluations(2),
+        );
+        // Scored-candidate charges alone never trip the unique budget.
+        ctx.count_evaluations(100);
+        assert_eq!(ctx.stop_reason(), None);
+        ctx.count_unique_evaluations(1);
+        assert_eq!(ctx.stop_reason(), None);
+        ctx.count_unique_evaluations(1);
+        assert_eq!(
+            ctx.stop_reason(),
+            Some(StopReason::UniqueEvaluationBudgetReached)
+        );
+    }
+
+    #[test]
     fn deadline_trips() {
         let ctx = ExploreContext::new(
             &NullObserver,
@@ -434,6 +487,7 @@ mod tests {
             ExploreBudget {
                 deadline: Some(Instant::now() - Duration::from_millis(1)),
                 max_evaluations: None,
+                max_unique_evaluations: None,
             },
         );
         assert_eq!(ctx.stop_reason(), Some(StopReason::DeadlineReached));

@@ -76,13 +76,6 @@ pub struct EaConfig {
     pub allow_sharing: bool,
     /// What the fitness function maximizes.
     pub objective: Objective,
-    /// Score each generation's batch over a scoped thread pool. For runs
-    /// that complete (no mid-batch stop), outcomes are identical either way
-    /// (deterministic reduction); where a cancellation or budget stop lands
-    /// mid-batch is timing-dependent, exactly as with parallel outer design
-    /// points. Enable when the outer design-point loop is not already
-    /// saturating the cores.
-    pub parallel_batch: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -98,7 +91,6 @@ impl EaConfig {
             mutate_share_prob: 0.3,
             allow_sharing: true,
             objective: Objective::default(),
-            parallel_batch: false,
             seed: 0xEA5E,
         }
     }
@@ -169,6 +161,30 @@ impl MacAllocGene {
     /// Raw encoded vector (`i*1000 + #macros` per layer).
     pub fn as_slice(&self) -> &[u32] {
         &self.0
+    }
+
+    /// Reconstructs a gene from its raw encoded vector (the wire and
+    /// persistence format), validating the encoding invariants instead of
+    /// panicking like [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for zero macro counts or forward/self-
+    /// inconsistent sharing.
+    pub fn from_raw(raw: Vec<u32>) -> Result<Self, String> {
+        for (i, &g) in raw.iter().enumerate() {
+            let owner = (g / GENE_BASE) as usize;
+            let macros = g % GENE_BASE;
+            if macros == 0 {
+                return Err(format!("layer {i}: macro count must be >= 1"));
+            }
+            if owner > i {
+                return Err(format!(
+                    "layer {i}: sharing must point to an earlier layer, got {owner}"
+                ));
+            }
+        }
+        Ok(Self(raw))
     }
 }
 
@@ -276,7 +292,8 @@ pub fn explore_macro_partitioning_observed(
 /// even when the run ends infeasible — so callers can keep their reported
 /// counts consistent with the budget counter. All scoring goes through
 /// `evaluator` (whose objective must match `cfg.objective`); generations are
-/// scored as batches with deterministic reduction.
+/// scored as batches with deterministic reduction, parallelized by whichever
+/// [`EvalBackend`](crate::backend::EvalBackend) the evaluator composes.
 pub(crate) fn run_ea_counted(
     df: &Dataflow,
     point: DesignPoint,
@@ -310,7 +327,7 @@ pub(crate) fn run_ea_counted(
         let macros: Vec<usize> = (0..l).map(|i| rng.gen_range(1..=caps[i])).collect();
         genes.push(MacAllocGene::encode(&macros, &vec![None; l]));
     }
-    let (scores, charged) = evaluator.score_batch(df, point, &genes, cfg.parallel_batch, ctx);
+    let (scores, charged) = evaluator.score_batch(df, point, &genes, ctx);
     evaluations += charged;
     let mut population: Vec<Individual> = genes.into_iter().zip(scores).collect();
     sort_population(&mut population);
@@ -343,8 +360,7 @@ pub(crate) fn run_ea_counted(
             }
             child_genes.push(MacAllocGene::encode(&macros, &shares));
         }
-        let (child_scores, charged) =
-            evaluator.score_batch(df, point, &child_genes, cfg.parallel_batch, ctx);
+        let (child_scores, charged) = evaluator.score_batch(df, point, &child_genes, ctx);
         evaluations += charged;
         population.truncate(elite);
         population.extend(child_genes.into_iter().zip(child_scores));

@@ -4,27 +4,30 @@
 //! Algorithm 1 spends essentially all of its time scoring candidates: every
 //! SA weight-duplication probe, every EA macro-partitioning gene and every
 //! outer design point runs dataflow compilation, components allocation and
-//! the analytic performance model. The [`CandidateEvaluator`] centralizes
-//! that scoring:
+//! the analytic performance model. Evaluation is layered:
 //!
-//! - a **memo cache** keyed by the canonicalized candidate (design point,
-//!   DAC resolution, duplication vector, `MacAlloc` gene) — the SA and EA
-//!   metaheuristics revisit many identical candidates, and a hit returns the
-//!   previously computed architecture/report without recomputation;
-//! - **per-layer analytic cost memoization** (via
-//!   [`pimsyn_sim::LayerCostCache`]) so a gene that changes one layer's
-//!   allocation only recomputes that layer's contribution on a miss;
-//! - a **batch interface** ([`CandidateEvaluator::score_batch`]) that scores
-//!   an EA generation across a scoped thread pool with deterministic
-//!   reduction (results in input order), replacing ad-hoc serial loops;
-//! - an **SA energy memo** for the weight-duplication filter's Eq. (4)
-//!   probes.
+//! - [`EvalCore`] is the *pure scoring pipeline* — components allocation
+//!   plus the analytic model (with per-layer base-cost memoization via
+//!   [`pimsyn_sim::LayerCostCache`]) for one run's fixed model, power,
+//!   hardware, macro mode and objective. It holds no policy: scoring a
+//!   candidate through it is a pure function.
+//! - An [`EvalBackend`](crate::backend::EvalBackend) decides *where* core
+//!   scoring runs: inline on the calling thread, across a scoped thread
+//!   pool, or on `pimsyn --worker` child processes. All backends are
+//!   bit-identical; only wall-clock differs.
+//! - The [`CandidateEvaluator`] composes a core and a backend with the
+//!   *caching and accounting* layers: a memo keyed by the canonicalized
+//!   candidate, an SA energy memo, budget charging, statistics, and an
+//!   optional [`PersistentEvalCache`](crate::backend::PersistentEvalCache)
+//!   that warm-starts the memo from a cache file and writes it back when
+//!   the run finishes.
 //!
-//! Caching is *transparent*: evaluation is a pure function of the candidate,
-//! so cached and uncached runs produce bit-identical outcomes, and every
-//! scored candidate — hit or miss — is charged to the
-//! [`ExploreContext`] budget exactly as before. Unique evaluations and
-//! cache hits are reported separately through [`EvaluatorStats`].
+//! Caching is *transparent*: evaluation is a pure function of the
+//! candidate, so cached and uncached (and warm- and cold-started) runs
+//! produce bit-identical outcomes, and every scored candidate — hit or miss
+//! — is charged to the [`ExploreContext`] budget exactly as before. Unique
+//! evaluations (memo misses) are charged to the separate
+//! `max_unique_evaluations` budget and reported through [`EvaluatorStats`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +39,9 @@ use pimsyn_model::Model;
 use pimsyn_sim::{evaluate_analytic, evaluate_analytic_cached, LayerCostCache, SimReport};
 
 use crate::alloc::{allocate_components, AllocRequest};
+use crate::backend::{
+    BackendStats, CacheSnapshot, EvalBackend, EvalBackendConfig, EvalJob, PersistentEvalCache,
+};
 use crate::ctx::ExploreContext;
 use crate::ea::{MacAllocGene, Objective};
 use crate::sa::sa_energy;
@@ -55,7 +61,7 @@ pub struct EvalCacheConfig {
 
 impl EvalCacheConfig {
     /// Default capacity: roomy for a paper-scale run while bounding worst-
-    /// case memory (one entry holds an [`Architecture`] + [`SimReport`]).
+    /// case memory (one entry holds a [`CandidateScore`], two words).
     pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
     /// Caching on, default capacity (the default).
@@ -110,6 +116,8 @@ pub struct EvaluatorStats {
     pub layer_hits: usize,
     /// Per-layer base costs computed from scratch.
     pub layer_misses: usize,
+    /// Memo entries warm-started from a persistent cache file.
+    pub preloaded: usize,
 }
 
 impl EvaluatorStats {
@@ -126,17 +134,22 @@ impl EvaluatorStats {
 /// Canonical identity of one candidate within a synthesis run. The model,
 /// power constraint, hardware constants, macro mode and objective are fixed
 /// per evaluator, so the key only carries what varies between candidates.
+/// This is also the serialized identity in persistent cache files (see
+/// [`CacheSnapshot`]).
 #[derive(Debug, Hash, PartialEq, Eq, Clone)]
-struct CandidateKey {
+pub struct CandidateKey {
     /// `RatioRram` (bit pattern — the grid values are exact constants).
-    ratio_bits: u64,
-    crossbar: CrossbarConfig,
-    dac_bits: u32,
-    /// Shared across every key of a batch (hash/eq see through the `Arc`).
-    wt_dup: Arc<Vec<usize>>,
+    pub ratio_bits: u64,
+    /// Crossbar size and cell resolution.
+    pub crossbar: CrossbarConfig,
+    /// DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Per-layer weight duplication; shared across every key of a batch
+    /// (hash/eq see through the `Arc`).
+    pub wt_dup: Arc<Vec<usize>>,
     /// The `MacAlloc` gene in the paper's canonical `owner*1000 + n`
     /// encoding (macro counts and sharing in one vector).
-    gene: Vec<u32>,
+    pub gene: Vec<u32>,
 }
 
 /// Fitness and feasibility of one scored candidate.
@@ -162,255 +175,89 @@ impl CandidateScore {
     };
 }
 
-/// The shared evaluation layer: scores macro-partitioning candidates
-/// (components allocation + analytic model) and SA duplication probes, with
-/// memoization, per-layer incremental costs and batch parallelism.
+/// The pure scoring pipeline for one synthesis run: fixed model, power
+/// budget, hardware constants, macro mode and objective, plus the per-layer
+/// base-cost memo. Backends receive a reference to this when they score.
 ///
-/// One evaluator spans one synthesis run (fixed model, power budget,
-/// hardware constants, macro mode and objective); worker threads share it by
-/// reference. Construction is cheap, so standalone stages (e.g.
-/// [`explore_macro_partitioning`](crate::explore_macro_partitioning)) build
-/// their own.
-pub struct CandidateEvaluator<'a> {
+/// [`compute`](Self::compute) and [`score`](Self::score) are pure functions
+/// of the candidate (the layer memo is transparent), which is what makes
+/// memoization, thread pools, worker processes and persistent caches all
+/// bit-identical to plain inline evaluation.
+pub struct EvalCore<'a> {
     model: &'a Model,
     total_power: Watts,
     hw: &'a HardwareParams,
     macro_mode: MacroMode,
     objective: Objective,
-    config: EvalCacheConfig,
-    candidates: Mutex<HashMap<CandidateKey, CandidateScore>>,
-    energies: Mutex<HashMap<(Vec<usize>, u64), f64>>,
+    layer_cache_enabled: bool,
     layer_costs: LayerCostCache,
-    scored: AtomicUsize,
-    unique: AtomicUsize,
-    hits: AtomicUsize,
-    sa_probes: AtomicUsize,
-    sa_hits: AtomicUsize,
 }
 
-impl std::fmt::Debug for CandidateEvaluator<'_> {
+impl std::fmt::Debug for EvalCore<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CandidateEvaluator")
-            .field("config", &self.config)
+        f.debug_struct("EvalCore")
             .field("objective", &self.objective)
-            .field("stats", &self.stats())
+            .field("macro_mode", &self.macro_mode)
+            .field("total_power", &self.total_power)
             .finish_non_exhaustive()
     }
 }
 
-impl<'a> CandidateEvaluator<'a> {
-    /// An evaluator for one synthesis run.
+impl<'a> EvalCore<'a> {
+    /// A scoring core for one synthesis run.
     pub fn new(
         model: &'a Model,
         total_power: Watts,
         hw: &'a HardwareParams,
         macro_mode: MacroMode,
         objective: Objective,
-        config: EvalCacheConfig,
+        cache: EvalCacheConfig,
     ) -> Self {
-        let layer_capacity = if config.enabled { config.capacity } else { 0 };
+        let layer_capacity = if cache.enabled { cache.capacity } else { 0 };
         Self {
             model,
             total_power,
             hw,
             macro_mode,
             objective,
-            config,
-            candidates: Mutex::new(HashMap::new()),
-            energies: Mutex::new(HashMap::new()),
+            layer_cache_enabled: cache.enabled,
             layer_costs: LayerCostCache::with_capacity(layer_capacity),
-            scored: AtomicUsize::new(0),
-            unique: AtomicUsize::new(0),
-            hits: AtomicUsize::new(0),
-            sa_probes: AtomicUsize::new(0),
-            sa_hits: AtomicUsize::new(0),
         }
     }
 
-    /// The objective this evaluator's fitness values maximize.
+    /// The CNN being synthesized.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// The run's total power constraint.
+    pub fn total_power(&self) -> Watts {
+        self.total_power
+    }
+
+    /// The run's hardware parameters.
+    pub fn hw(&self) -> &HardwareParams {
+        self.hw
+    }
+
+    /// Identical vs specialized macros.
+    pub fn macro_mode(&self) -> MacroMode {
+        self.macro_mode
+    }
+
+    /// What fitness maximizes.
     pub fn objective(&self) -> Objective {
         self.objective
     }
 
-    /// The Eq. (4) SA energy of a duplication vector, memoized. Identical to
-    /// [`sa_energy`] (the memo is transparent).
-    pub fn sa_energy(&self, dup: &[usize], alpha: f64) -> f64 {
-        self.sa_probes.fetch_add(1, Ordering::Relaxed);
-        if !self.config.enabled {
-            return sa_energy(self.model, dup, alpha);
-        }
-        let key = (dup.to_vec(), alpha.to_bits());
-        if let Some(&e) = self.energies.lock().expect("energy memo").get(&key) {
-            self.sa_hits.fetch_add(1, Ordering::Relaxed);
-            return e;
-        }
-        let e = sa_energy(self.model, dup, alpha);
-        let mut map = self.energies.lock().expect("energy memo");
-        if map.len() < self.config.capacity {
-            map.insert(key, e);
-        }
-        e
-    }
-
-    /// Scores one macro-partitioning candidate: components allocation plus
-    /// the analytic model, memoized on the canonical candidate key.
-    ///
-    /// Every call — hit or miss — charges one evaluation to `ctx`'s budget
-    /// counter, so cached and uncached runs stop at identical points.
-    pub fn score(
-        &self,
-        df: &Dataflow,
-        point: DesignPoint,
-        gene: &MacAllocGene,
-        ctx: &ExploreContext<'_>,
-    ) -> CandidateScore {
-        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
-        self.score_with(df, point, gene, &wt_dup, ctx)
-    }
-
-    /// [`score`](Self::score) with the batch-invariant key prefix hoisted:
-    /// `wt_dup` is the dataflow's duplication vector, shared by every key of
-    /// a batch instead of re-collected per candidate.
-    fn score_with(
-        &self,
-        df: &Dataflow,
-        point: DesignPoint,
-        gene: &MacAllocGene,
-        wt_dup: &Arc<Vec<usize>>,
-        ctx: &ExploreContext<'_>,
-    ) -> CandidateScore {
-        ctx.count_evaluations(1);
-        self.scored.fetch_add(1, Ordering::Relaxed);
-        if !self.config.enabled {
-            self.unique.fetch_add(1, Ordering::Relaxed);
-            let (fitness, completed) = self.compute(df, point, gene);
-            return CandidateScore {
-                fitness,
-                feasible: completed.is_some(),
-            };
-        }
-        let key = CandidateKey {
-            ratio_bits: point.ratio_rram.to_bits(),
-            crossbar: point.crossbar,
-            dac_bits: df.dac().bits(),
-            wt_dup: Arc::clone(wt_dup),
-            gene: gene.as_slice().to_vec(),
-        };
-        if let Some(hit) = self
-            .candidates
-            .lock()
-            .expect("candidate memo")
-            .get(&key)
-            .copied()
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
-        }
-        self.unique.fetch_add(1, Ordering::Relaxed);
-        let (fitness, completed) = self.compute(df, point, gene);
-        let score = CandidateScore {
-            fitness,
-            feasible: completed.is_some(),
-        };
-        let mut map = self.candidates.lock().expect("candidate memo");
-        if map.len() < self.config.capacity {
-            map.insert(key, score);
-        }
-        score
-    }
-
-    /// Scores a whole generation of candidates, returning `(scores,
-    /// charged)`: scores in input order (deterministic reduction) and the
-    /// number of candidates actually scored and charged to the budget.
-    ///
-    /// The loop checks `ctx` cooperatively before every candidate; once a
-    /// stop (cancellation, deadline, exhausted budget) is observed, the
-    /// remaining candidates come back as [`CandidateScore::INFEASIBLE`]
-    /// placeholders without being computed or charged — cancellation stays
-    /// as prompt as a serial per-child loop. With `parallel`, the batch
-    /// spreads over scoped worker threads; completed (un-stopped) runs are
-    /// identical either way — only wall-clock differs.
-    pub fn score_batch(
-        &self,
-        df: &Dataflow,
-        point: DesignPoint,
-        genes: &[MacAllocGene],
-        parallel: bool,
-        ctx: &ExploreContext<'_>,
-    ) -> (Vec<CandidateScore>, usize) {
-        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
-        let score_chunk = |chunk: &[MacAllocGene]| -> (Vec<CandidateScore>, usize) {
-            let mut out = Vec::with_capacity(chunk.len());
-            let mut charged = 0usize;
-            for gene in chunk {
-                if ctx.should_stop() {
-                    out.resize(chunk.len(), CandidateScore::INFEASIBLE);
-                    break;
-                }
-                out.push(self.score_with(df, point, gene, &wt_dup, ctx));
-                charged += 1;
-            }
-            (out, charged)
-        };
-        if !parallel || genes.len() < 2 {
-            return score_chunk(genes);
-        }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(genes.len());
-        let chunk = genes.len().div_ceil(workers);
-        let mut out = Vec::with_capacity(genes.len());
-        let mut charged = 0usize;
-        let score_chunk = &score_chunk;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = genes
-                .chunks(chunk)
-                .map(|chunk_genes| s.spawn(move || score_chunk(chunk_genes)))
-                .collect();
-            // Chunks joined in submission order: the reduction is
-            // deterministic regardless of thread scheduling.
-            for handle in handles {
-                let (scores, n) = handle.join().expect("batch scorer panicked");
-                out.extend(scores);
-                charged += n;
-            }
-        });
-        (out, charged)
-    }
-
-    /// Recomputes the completed architecture and analytic report of a
-    /// previously scored, feasible candidate (typically the winner). Not
-    /// charged to the exploration budget and not counted as a scored
-    /// candidate: the memo stores only slim scores, so realization
-    /// re-derives what an unmemoized pipeline would have kept — per-layer
-    /// memo hits keep it cheap. Returns `None` for infeasible candidates.
-    pub fn realize(
-        &self,
-        df: &Dataflow,
-        point: DesignPoint,
-        gene: &MacAllocGene,
-    ) -> Option<(Architecture, SimReport)> {
-        self.compute(df, point, gene).1
-    }
-
-    /// Snapshot of the cumulative throughput counters.
-    pub fn stats(&self) -> EvaluatorStats {
-        let layer = self.layer_costs.stats();
-        EvaluatorStats {
-            scored: self.scored.load(Ordering::Relaxed),
-            unique_evaluations: self.unique.load(Ordering::Relaxed),
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            sa_probes: self.sa_probes.load(Ordering::Relaxed),
-            sa_cache_hits: self.sa_hits.load(Ordering::Relaxed),
-            layer_hits: layer.hits,
-            layer_misses: layer.misses,
-        }
+    /// The per-layer base-cost memo.
+    pub fn layer_costs(&self) -> &LayerCostCache {
+        &self.layer_costs
     }
 
     /// The full scoring pipeline for one candidate (allocation + analytic
     /// model); pure, so memoization is transparent.
-    fn compute(
+    pub fn compute(
         &self,
         df: &Dataflow,
         point: DesignPoint,
@@ -430,7 +277,7 @@ impl<'a> CandidateEvaluator<'a> {
         let Ok(arch) = allocate_components(&req) else {
             return (0.0, None);
         };
-        let evaluated = if self.config.enabled {
+        let evaluated = if self.layer_cache_enabled {
             evaluate_analytic_cached(self.model, df, &arch, &self.layer_costs)
         } else {
             evaluate_analytic(self.model, df, &arch)
@@ -440,11 +287,425 @@ impl<'a> CandidateEvaluator<'a> {
             Err(_) => (0.0, None),
         }
     }
+
+    /// [`compute`](Self::compute) reduced to the slim score.
+    pub fn score(&self, df: &Dataflow, point: DesignPoint, gene: &MacAllocGene) -> CandidateScore {
+        let (fitness, completed) = self.compute(df, point, gene);
+        CandidateScore {
+            fitness,
+            feasible: completed.is_some(),
+        }
+    }
+}
+
+/// The shared evaluation layer: scores macro-partitioning candidates
+/// (components allocation + analytic model) and SA duplication probes, with
+/// memoization, per-layer incremental costs, batch parallelism through a
+/// pluggable [`EvalBackend`] and optional cross-run persistence.
+///
+/// One evaluator spans one synthesis run (fixed model, power budget,
+/// hardware constants, macro mode and objective); worker threads share it by
+/// reference. Construction is cheap, so standalone stages (e.g.
+/// [`explore_macro_partitioning`](crate::explore_macro_partitioning)) build
+/// their own.
+pub struct CandidateEvaluator<'a> {
+    core: EvalCore<'a>,
+    backend: Box<dyn EvalBackend>,
+    config: EvalCacheConfig,
+    persist: Option<PersistentEvalCache>,
+    candidates: Mutex<HashMap<CandidateKey, CandidateScore>>,
+    energies: Mutex<HashMap<(Vec<usize>, u64), f64>>,
+    scored: AtomicUsize,
+    unique: AtomicUsize,
+    hits: AtomicUsize,
+    sa_probes: AtomicUsize,
+    sa_hits: AtomicUsize,
+    preloaded: usize,
+}
+
+impl std::fmt::Debug for CandidateEvaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateEvaluator")
+            .field("config", &self.config)
+            .field("backend", &self.backend.name())
+            .field("objective", &self.core.objective())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> CandidateEvaluator<'a> {
+    /// An evaluator for one synthesis run, scoring inline with no cross-run
+    /// persistence (the historical default).
+    pub fn new(
+        model: &'a Model,
+        total_power: Watts,
+        hw: &'a HardwareParams,
+        macro_mode: MacroMode,
+        objective: Objective,
+        config: EvalCacheConfig,
+    ) -> Self {
+        Self::with_backend(
+            model,
+            total_power,
+            hw,
+            macro_mode,
+            objective,
+            config,
+            &EvalBackendConfig::inline(),
+        )
+    }
+
+    /// An evaluator scoring through the configured backend, warm-started
+    /// from the configured persistent cache file when its fingerprint
+    /// matches this run.
+    pub fn with_backend(
+        model: &'a Model,
+        total_power: Watts,
+        hw: &'a HardwareParams,
+        macro_mode: MacroMode,
+        objective: Objective,
+        config: EvalCacheConfig,
+        backend_cfg: &EvalBackendConfig,
+    ) -> Self {
+        let core = EvalCore::new(model, total_power, hw, macro_mode, objective, config);
+        let backend = backend_cfg.build();
+        let mut evaluator = Self {
+            core,
+            backend,
+            config,
+            persist: None,
+            candidates: Mutex::new(HashMap::new()),
+            energies: Mutex::new(HashMap::new()),
+            scored: AtomicUsize::new(0),
+            unique: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            sa_probes: AtomicUsize::new(0),
+            sa_hits: AtomicUsize::new(0),
+            preloaded: 0,
+        };
+        if let Some(path) = &backend_cfg.cache_file {
+            if config.enabled {
+                let persist = PersistentEvalCache::for_run(
+                    path,
+                    model,
+                    total_power,
+                    hw,
+                    macro_mode,
+                    objective,
+                );
+                if let Some(snapshot) = persist.load() {
+                    evaluator.preloaded = evaluator.preload(snapshot);
+                }
+                evaluator.persist = Some(persist);
+            }
+        }
+        evaluator
+    }
+
+    /// Seeds the memo maps from a loaded snapshot, respecting the capacity
+    /// bound; returns how many candidate scores were installed.
+    fn preload(&self, snapshot: CacheSnapshot) -> usize {
+        let mut map = self.candidates.lock().expect("candidate memo");
+        let mut inserted = 0;
+        for (key, score) in snapshot.scores {
+            if map.len() >= self.config.capacity {
+                break;
+            }
+            map.insert(key, score);
+            inserted += 1;
+        }
+        drop(map);
+        self.core.layer_costs.preload(snapshot.layer_costs);
+        inserted
+    }
+
+    /// The objective this evaluator's fitness values maximize.
+    pub fn objective(&self) -> Objective {
+        self.core.objective()
+    }
+
+    /// The pure scoring core (what backends execute).
+    pub fn core(&self) -> &EvalCore<'a> {
+        &self.core
+    }
+
+    /// The backend scoring runs on.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Snapshot of the backend's own counters (batches, remote/fallback
+    /// jobs, worker spawns).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Memo entries warm-started from the persistent cache file.
+    pub fn preloaded_entries(&self) -> usize {
+        self.preloaded
+    }
+
+    /// The Eq. (4) SA energy of a duplication vector, memoized. Identical to
+    /// [`sa_energy`] (the memo is transparent).
+    pub fn sa_energy(&self, dup: &[usize], alpha: f64) -> f64 {
+        self.sa_probes.fetch_add(1, Ordering::Relaxed);
+        if !self.config.enabled {
+            return sa_energy(self.core.model, dup, alpha);
+        }
+        let key = (dup.to_vec(), alpha.to_bits());
+        if let Some(&e) = self.energies.lock().expect("energy memo").get(&key) {
+            self.sa_hits.fetch_add(1, Ordering::Relaxed);
+            return e;
+        }
+        let e = sa_energy(self.core.model, dup, alpha);
+        let mut map = self.energies.lock().expect("energy memo");
+        if map.len() < self.config.capacity {
+            map.insert(key, e);
+        }
+        e
+    }
+
+    fn make_key(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        wt_dup: &Arc<Vec<usize>>,
+    ) -> CandidateKey {
+        CandidateKey {
+            ratio_bits: point.ratio_rram.to_bits(),
+            crossbar: point.crossbar,
+            dac_bits: df.dac().bits(),
+            wt_dup: Arc::clone(wt_dup),
+            gene: gene.as_slice().to_vec(),
+        }
+    }
+
+    fn store(&self, key: CandidateKey, score: CandidateScore) {
+        let mut map = self.candidates.lock().expect("candidate memo");
+        if map.len() < self.config.capacity {
+            map.insert(key, score);
+        }
+    }
+
+    /// Scores one macro-partitioning candidate: components allocation plus
+    /// the analytic model, memoized on the canonical candidate key.
+    ///
+    /// Every call — hit or miss — charges one evaluation to `ctx`'s budget
+    /// counter, so cached and uncached runs stop at identical points; only
+    /// misses charge the unique-evaluation budget.
+    pub fn score(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        ctx: &ExploreContext<'_>,
+    ) -> CandidateScore {
+        ctx.count_evaluations(1);
+        self.scored.fetch_add(1, Ordering::Relaxed);
+        let job = EvalJob { df, point, gene };
+        if !self.config.enabled {
+            self.unique.fetch_add(1, Ordering::Relaxed);
+            ctx.count_unique_evaluations(1);
+            return self.backend.score(&self.core, &job);
+        }
+        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
+        let key = self.make_key(df, point, gene, &wt_dup);
+        if let Some(hit) = self
+            .candidates
+            .lock()
+            .expect("candidate memo")
+            .get(&key)
+            .copied()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.unique.fetch_add(1, Ordering::Relaxed);
+        ctx.count_unique_evaluations(1);
+        let score = self.backend.score(&self.core, &job);
+        self.store(key, score);
+        score
+    }
+
+    /// Scores a whole generation of candidates, returning `(scores,
+    /// charged)`: scores in input order (deterministic reduction) and the
+    /// number of candidates actually scored and charged to the budget.
+    ///
+    /// The accounting pass is serial and cooperative: each candidate checks
+    /// `ctx` before being charged, and once a stop (cancellation, deadline,
+    /// exhausted budget) is observed the remaining candidates come back as
+    /// [`CandidateScore::INFEASIBLE`] placeholders without being computed
+    /// or charged. The memo misses that survive the pass are then scored by
+    /// the backend as one batch — inline, thread pool and subprocess
+    /// backends all return bit-identical scores, so completed runs are
+    /// identical across backends; only wall-clock differs. Duplicates
+    /// *within* a batch are computed once and counted as cache hits (the
+    /// serial path would have found them in the memo).
+    ///
+    /// Cancellation additionally short-circuits *inside* the backend batch
+    /// (per job for inline/threads, per chunk for subprocess), so
+    /// `CancelToken::cancel` stays prompt even mid-generation; the
+    /// resulting placeholders are never stored in the memo (a cancelled
+    /// run's results are discarded anyway). Budget and deadline stops are
+    /// observed only by the accounting pass: once a candidate has been
+    /// charged it is always genuinely computed.
+    pub fn score_batch(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        genes: &[MacAllocGene],
+        ctx: &ExploreContext<'_>,
+    ) -> (Vec<CandidateScore>, usize) {
+        let n = genes.len();
+        let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
+        let mut out = vec![CandidateScore::INFEASIBLE; n];
+        let mut charged = 0usize;
+        // Misses pending backend scoring: the unique key (None with caching
+        // disabled) and every input index it resolves.
+        let mut pending: Vec<(Option<CandidateKey>, Vec<usize>)> = Vec::new();
+        let mut pending_index: HashMap<CandidateKey, usize> = HashMap::new();
+
+        for (i, gene) in genes.iter().enumerate() {
+            if ctx.should_stop() {
+                break;
+            }
+            ctx.count_evaluations(1);
+            self.scored.fetch_add(1, Ordering::Relaxed);
+            charged += 1;
+            if !self.config.enabled {
+                self.unique.fetch_add(1, Ordering::Relaxed);
+                ctx.count_unique_evaluations(1);
+                pending.push((None, vec![i]));
+                continue;
+            }
+            let key = self.make_key(df, point, gene, &wt_dup);
+            if let Some(hit) = self
+                .candidates
+                .lock()
+                .expect("candidate memo")
+                .get(&key)
+                .copied()
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = hit;
+                continue;
+            }
+            if let Some(&p) = pending_index.get(&key) {
+                // Duplicate of an in-flight miss: one computation serves
+                // both, and the duplicate counts as the hit the serial
+                // path would have recorded.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                pending[p].1.push(i);
+                continue;
+            }
+            self.unique.fetch_add(1, Ordering::Relaxed);
+            ctx.count_unique_evaluations(1);
+            pending_index.insert(key.clone(), pending.len());
+            pending.push((Some(key), vec![i]));
+        }
+
+        if !pending.is_empty() {
+            let jobs: Vec<EvalJob<'_>> = pending
+                .iter()
+                .map(|(_, indices)| EvalJob {
+                    df,
+                    point,
+                    gene: &genes[indices[0]],
+                })
+                .collect();
+            // Only cancellation is routed into the backend: charged
+            // candidates must compute under budget/deadline stops, but a
+            // cancelled run's scores are discarded, so skipping is safe.
+            let cancel = ctx.cancel_token();
+            let scores = self
+                .backend
+                .score_batch(&self.core, &jobs, &|| cancel.is_cancelled());
+            // Enforce the batch contract even for misbehaving third-party
+            // backends: a short (or long) result vector is a backend
+            // failure, and the whole batch recomputes inline rather than
+            // silently discarding candidates.
+            let scores = if scores.len() == jobs.len() {
+                scores
+            } else {
+                jobs.iter()
+                    .map(|job| self.core.score(job.df, job.point, job.gene))
+                    .collect()
+            };
+            // A cancellation observed during the batch may have left
+            // INFEASIBLE placeholders in `scores`; storing those would
+            // poison the memo (and, via flush, the persistent cache file).
+            let poisoned = cancel.is_cancelled();
+            for ((key, indices), score) in pending.into_iter().zip(scores) {
+                for i in indices {
+                    out[i] = score;
+                }
+                if let (Some(key), false) = (key, poisoned) {
+                    self.store(key, score);
+                }
+            }
+        }
+        (out, charged)
+    }
+
+    /// Recomputes the completed architecture and analytic report of a
+    /// previously scored, feasible candidate (typically the winner). Not
+    /// charged to the exploration budget and not counted as a scored
+    /// candidate: the memo stores only slim scores, so realization
+    /// re-derives what an unmemoized pipeline would have kept — per-layer
+    /// memo hits keep it cheap. Always computed in-process (the full
+    /// architecture never crosses a backend boundary). Returns `None` for
+    /// infeasible candidates.
+    pub fn realize(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+    ) -> Option<(Architecture, SimReport)> {
+        self.core.compute(df, point, gene).1
+    }
+
+    /// Snapshot of the cumulative throughput counters.
+    pub fn stats(&self) -> EvaluatorStats {
+        let layer = self.core.layer_costs.stats();
+        EvaluatorStats {
+            scored: self.scored.load(Ordering::Relaxed),
+            unique_evaluations: self.unique.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            sa_probes: self.sa_probes.load(Ordering::Relaxed),
+            sa_cache_hits: self.sa_hits.load(Ordering::Relaxed),
+            layer_hits: layer.hits,
+            layer_misses: layer.misses,
+            preloaded: self.preloaded,
+        }
+    }
+
+    /// Finishes the run: releases backend resources (worker processes) and,
+    /// when a persistent cache file is configured, writes the memo maps
+    /// back to it (best-effort; IO failures never fail a synthesis run).
+    /// Returns whether a cache file was written.
+    pub fn flush(&self) -> bool {
+        self.backend.flush();
+        let Some(persist) = &self.persist else {
+            return false;
+        };
+        let scores: Vec<(CandidateKey, CandidateScore)> = {
+            let map = self.candidates.lock().expect("candidate memo");
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        };
+        let snapshot = CacheSnapshot {
+            scores,
+            layer_costs: self.core.layer_costs.entries(),
+        };
+        persist.save(&snapshot)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendKind;
     use pimsyn_arch::{DacConfig, HardwareParams};
     use pimsyn_model::zoo;
 
@@ -494,8 +755,10 @@ mod tests {
         assert_eq!(stats.scored, 2);
         assert_eq!(stats.unique_evaluations, 1);
         assert_eq!(stats.cache_hits, 1);
-        // Both requests were charged to the budget (cache-transparent).
+        // Both requests were charged to the budget (cache-transparent); the
+        // miss alone was charged to the unique counter.
         assert_eq!(ctx.evaluations(), 2);
+        assert_eq!(ctx.unique_evaluations(), 1);
     }
 
     #[test]
@@ -528,19 +791,49 @@ mod tests {
     }
 
     #[test]
-    fn batch_parallel_matches_serial_in_order() {
+    fn thread_pool_backend_matches_inline_in_order() {
         let (model, df, point) = setup();
         let l = model.weight_layer_count();
         let genes: Vec<MacAllocGene> = (1..=4).map(|m| gene(l, m)).collect();
         let ctx = ExploreContext::unobserved();
         let hw = HardwareParams::date24();
-        let serial = evaluator(&model, &hw, EvalCacheConfig::default());
-        let parallel = evaluator(&model, &hw, EvalCacheConfig::default());
-        let (a, a_charged) = serial.score_batch(&df, point, &genes, false, &ctx);
-        let (b, b_charged) = parallel.score_batch(&df, point, &genes, true, &ctx);
+        let inline = evaluator(&model, &hw, EvalCacheConfig::default());
+        let threads = CandidateEvaluator::with_backend(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &EvalBackendConfig::new(BackendKind::ThreadPool { workers: 2 }),
+        );
+        let (a, a_charged) = inline.score_batch(&df, point, &genes, &ctx);
+        let (b, b_charged) = threads.score_batch(&df, point, &genes, &ctx);
         assert_eq!(a, b);
         assert_eq!(a_charged, genes.len());
         assert_eq!(b_charged, genes.len());
+        assert_eq!(threads.backend_name(), "threads");
+        assert!(threads.backend_stats().jobs >= genes.len());
+    }
+
+    #[test]
+    fn duplicate_genes_within_a_batch_compute_once() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::unobserved();
+        let genes = vec![gene(l, 1), gene(l, 2), gene(l, 1), gene(l, 2), gene(l, 1)];
+        let (scores, charged) = eval.score_batch(&df, point, &genes, &ctx);
+        assert_eq!(charged, 5);
+        assert_eq!(scores[0], scores[2]);
+        assert_eq!(scores[0], scores[4]);
+        assert_eq!(scores[1], scores[3]);
+        let stats = eval.stats();
+        assert_eq!(stats.scored, 5);
+        assert_eq!(stats.unique_evaluations, 2);
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(ctx.unique_evaluations(), 2);
     }
 
     #[test]
@@ -556,7 +849,7 @@ mod tests {
             ExploreBudget::unlimited().with_max_evaluations(2),
         );
         let genes: Vec<MacAllocGene> = (1..=5).map(|m| gene(l, m)).collect();
-        let (scores, charged) = eval.score_batch(&df, point, &genes, false, &ctx);
+        let (scores, charged) = eval.score_batch(&df, point, &genes, &ctx);
         // The budget trips after two candidates; the rest are skipped
         // placeholders and nothing further is charged.
         assert_eq!(scores.len(), genes.len());
@@ -564,6 +857,67 @@ mod tests {
         assert_eq!(ctx.evaluations(), 2);
         assert_eq!(scores[2], CandidateScore::INFEASIBLE);
         assert_eq!(scores[4], CandidateScore::INFEASIBLE);
+    }
+
+    #[test]
+    fn unique_evaluation_budget_stops_the_batch_on_misses() {
+        use crate::ctx::{CancelToken, ExploreBudget, NullObserver, StopReason};
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::new(
+            &NullObserver,
+            CancelToken::new(),
+            ExploreBudget::unlimited().with_max_unique_evaluations(2),
+        );
+        // Two distinct genes exhaust the unique budget; the rest of the
+        // batch comes back as skipped placeholders, uncharged.
+        let genes = vec![gene(l, 1), gene(l, 2), gene(l, 3), gene(l, 1)];
+        let (scores, charged) = eval.score_batch(&df, point, &genes, &ctx);
+        assert_eq!(charged, 2);
+        assert_eq!(ctx.unique_evaluations(), 2);
+        assert_eq!(scores[2], CandidateScore::INFEASIBLE);
+        assert_eq!(scores[3], CandidateScore::INFEASIBLE);
+        assert_eq!(
+            ctx.observed_stop(),
+            Some(StopReason::UniqueEvaluationBudgetReached)
+        );
+    }
+
+    #[test]
+    fn cancellation_short_circuits_inside_a_backend_batch() {
+        use crate::backend::{EvalBackend, EvalJob, InlineBackend};
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let core = EvalCore::new(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+        );
+        let genes: Vec<MacAllocGene> = (1..=4).map(|m| gene(l, m)).collect();
+        let jobs: Vec<EvalJob<'_>> = genes
+            .iter()
+            .map(|gene| EvalJob {
+                df: &df,
+                point,
+                gene,
+            })
+            .collect();
+        // Stop flips true from the third poll on: the first two jobs
+        // compute, the rest come back as skipped placeholders.
+        let polls = AtomicUsize::new(0);
+        let stop = || polls.fetch_add(1, Ordering::Relaxed) >= 2;
+        let scores = InlineBackend::default().score_batch(&core, &jobs, &stop);
+        assert_eq!(scores.len(), 4);
+        assert_ne!(scores[0], CandidateScore::INFEASIBLE);
+        assert_ne!(scores[1], CandidateScore::INFEASIBLE);
+        assert_eq!(scores[2], CandidateScore::INFEASIBLE);
+        assert_eq!(scores[3], CandidateScore::INFEASIBLE);
     }
 
     #[test]
@@ -610,6 +964,70 @@ mod tests {
         let stats = eval.stats();
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.unique_evaluations, 2);
+    }
+
+    #[test]
+    fn persistent_cache_warm_starts_with_identical_scores() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let path =
+            std::env::temp_dir().join(format!("pimsyn-eval-warm-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = EvalBackendConfig::inline().with_cache_file(&path);
+
+        // Cold run: score, then flush to disk.
+        let cold = CandidateEvaluator::with_backend(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &cfg,
+        );
+        let ctx = ExploreContext::unobserved();
+        let genes: Vec<MacAllocGene> = (1..=3).map(|m| gene(l, m)).collect();
+        let (cold_scores, _) = cold.score_batch(&df, point, &genes, &ctx);
+        assert_eq!(cold.preloaded_entries(), 0);
+        assert!(cold.flush(), "cache file must be written");
+
+        // Warm run: the memo preloads, every request is a hit, scores are
+        // bit-identical.
+        let warm = CandidateEvaluator::with_backend(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &cfg,
+        );
+        assert_eq!(warm.preloaded_entries(), 3);
+        let ctx2 = ExploreContext::unobserved();
+        let (warm_scores, charged) = warm.score_batch(&df, point, &genes, &ctx2);
+        assert_eq!(charged, 3, "hits still charge the scored budget");
+        for (a, b) in cold_scores.iter().zip(&warm_scores) {
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+            assert_eq!(a.feasible, b.feasible);
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.unique_evaluations, 0);
+        assert!(stats.hit_rate() >= 0.5, "warm start must report >=50% hits");
+
+        // A different power budget must not reuse the file.
+        let mismatched = CandidateEvaluator::with_backend(
+            &model,
+            Watts(10.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &cfg,
+        );
+        assert_eq!(mismatched.preloaded_entries(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alloc;
+pub mod backend;
 mod ctx;
 mod ea;
 mod error;
@@ -49,6 +50,10 @@ mod space;
 mod sweep;
 
 pub use alloc::{allocate_components, physical_macros, AllocRequest};
+pub use backend::{
+    BackendKind, BackendStats, EvalBackend, EvalBackendConfig, EvalJob, InlineBackend,
+    PersistentEvalCache, SubprocessBackend, ThreadPoolBackend,
+};
 pub use ctx::{
     CancelToken, ExploreBudget, ExploreContext, ExploreEvent, ExploreObserver, NullObserver,
     StopReason, SynthesisStage,
@@ -58,7 +63,9 @@ pub use ea::{
     explore_macro_partitioning_observed, EaConfig, EaOutcome, MacAllocGene, Objective, GENE_BASE,
 };
 pub use error::DseError;
-pub use eval::{CandidateEvaluator, CandidateScore, EvalCacheConfig, EvaluatorStats};
+pub use eval::{
+    CandidateEvaluator, CandidateKey, CandidateScore, EvalCacheConfig, EvalCore, EvaluatorStats,
+};
 pub use explore::{run_dse, run_dse_observed, DseConfig, DseOutcome, PointResult, WtDupStrategy};
 pub use sa::{
     crossbars_used, no_duplication, sa_energy, woho_proportional, wt_dup_candidates,

@@ -38,17 +38,32 @@ pub struct LayerCacheStats {
 /// Memo key for one layer's NoC-independent base costs: the dataflow
 /// fingerprint plus every layer-local hardware input of
 /// [`compute_layer_base`].
+///
+/// Public (with public fields) so evaluation layers can serialize cache
+/// entries — see [`LayerCostCache::entries`] / [`LayerCostCache::preload`];
+/// the fields are opaque cache-key material, not a stable API for deriving
+/// hardware meaning.
 #[derive(Debug, Hash, PartialEq, Eq, Clone)]
-struct LayerCostKey {
-    fingerprint: u64,
-    layer: usize,
-    macros: usize,
-    effective_adcs: usize,
-    adc_rate_bits: u64,
-    shift_add: usize,
-    pool: usize,
-    activation: usize,
-    eltwise: usize,
+pub struct LayerCostKey {
+    /// Dataflow + hardware-constant fingerprint (see
+    /// [`LayerCostCache::stages`]).
+    pub fingerprint: u64,
+    /// Layer index within the dataflow.
+    pub layer: usize,
+    /// Macro count assigned to the layer.
+    pub macros: usize,
+    /// Effective ADC units serving the layer.
+    pub effective_adcs: usize,
+    /// Bit pattern of the layer ADC's sample rate.
+    pub adc_rate_bits: u64,
+    /// Shift-and-add units.
+    pub shift_add: usize,
+    /// Pooling units.
+    pub pool: usize,
+    /// Activation units.
+    pub activation: usize,
+    /// Elementwise-add units.
+    pub eltwise: usize,
 }
 
 struct LayerCostState {
@@ -122,6 +137,31 @@ impl LayerCostCache {
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> LayerCacheStats {
         self.inner.lock().expect("layer-cost cache").stats
+    }
+
+    /// Snapshot of every resident entry, for cross-run persistence.
+    pub fn entries(&self) -> Vec<(LayerCostKey, LayerBaseCosts)> {
+        let inner = self.inner.lock().expect("layer-cost cache");
+        inner.map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Seeds the cache with previously exported entries (up to the capacity
+    /// bound), returning how many were inserted. Preloads are not counted as
+    /// hits or misses — the stats keep describing this run's lookups only.
+    pub fn preload(
+        &self,
+        entries: impl IntoIterator<Item = (LayerCostKey, LayerBaseCosts)>,
+    ) -> usize {
+        let mut inner = self.inner.lock().expect("layer-cost cache");
+        let mut inserted = 0;
+        for (key, base) in entries {
+            if inner.map.len() >= self.capacity {
+                break;
+            }
+            inner.map.insert(key, base);
+            inserted += 1;
+        }
+        inserted
     }
 
     /// Fingerprint covering every dataflow-side and hardware-constant input
@@ -561,6 +601,24 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn entries_preload_round_trip_warm_starts() {
+        let (model, df, arch) = setup([2, 2], 2);
+        let cache = LayerCostCache::new();
+        let expect = evaluate_analytic_cached(&model, &df, &arch, &cache).unwrap();
+        let exported = cache.entries();
+        assert_eq!(exported.len(), 2);
+        let warm = LayerCostCache::new();
+        assert_eq!(warm.preload(exported), 2);
+        // Preloads are invisible in the stats; the first evaluation on the
+        // warmed cache is all hits and still bit-identical.
+        assert_eq!(warm.stats(), LayerCacheStats::default());
+        let r = evaluate_analytic_cached(&model, &df, &arch, &warm).unwrap();
+        assert_eq!(r, expect);
+        assert_eq!(warm.stats().hits, 2);
+        assert_eq!(warm.stats().misses, 0);
     }
 
     #[test]

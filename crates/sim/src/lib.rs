@@ -43,7 +43,7 @@ mod stages;
 
 pub use analytic::{
     efficiency_or_zero, evaluate_analytic, evaluate_analytic_cached, LayerCacheStats,
-    LayerCostCache,
+    LayerCostCache, LayerCostKey,
 };
 pub use engine::simulate;
 pub use error::SimError;

@@ -1,7 +1,10 @@
 //! Reproducibility: the whole flow is deterministic given a seed, including
-//! under parallel exploration and with candidate-evaluation memoization.
+//! under parallel exploration, with candidate-evaluation memoization, and
+//! across evaluation backends (inline, thread pool; the subprocess backend
+//! is covered end-to-end in the `pimsyn` crate's `backend_worker` tests,
+//! which have access to the built CLI binary).
 
-use pimsyn::{EvalCacheConfig, SynthesisOptions, Synthesizer};
+use pimsyn::{BackendKind, EvalCacheConfig, SynthesisOptions, Synthesizer};
 use pimsyn_arch::Watts;
 use pimsyn_model::zoo;
 
@@ -64,6 +67,81 @@ fn eval_cache_runs_are_bit_identical_to_uncached() {
             assert_eq!(cached.history, uncached.history, "{model} seed {seed}");
         }
     }
+}
+
+/// The evaluation backend decides only *where* scoring runs: inline and
+/// thread-pool backends must produce bit-identical outcomes — best design,
+/// evaluation counts and per-point history — for several models and seeds.
+#[test]
+fn thread_pool_backend_equals_inline_bit_identically() {
+    let cases = [
+        (zoo::alexnet_cifar(10), Watts(9.0)),
+        (zoo::vgg16_cifar(10), Watts(15.0)),
+    ];
+    for (model, power) in &cases {
+        for seed in [7u64, 23] {
+            let base = SynthesisOptions::fast(*power).with_seed(seed);
+            let inline = Synthesizer::new(base.clone())
+                .synthesize(model)
+                .expect("inline synthesis");
+            let threads = Synthesizer::new(
+                base.clone()
+                    .with_backend(BackendKind::ThreadPool { workers: 2 }),
+            )
+            .synthesize(model)
+            .expect("thread-pool synthesis");
+            assert_eq!(inline.wt_dup, threads.wt_dup, "{model} seed {seed}");
+            assert_eq!(
+                inline.architecture, threads.architecture,
+                "{model} seed {seed}"
+            );
+            assert_eq!(inline.analytic, threads.analytic, "{model} seed {seed}");
+            assert_eq!(
+                inline.evaluations, threads.evaluations,
+                "{model} seed {seed}"
+            );
+            assert_eq!(inline.history, threads.history, "{model} seed {seed}");
+            assert_eq!(
+                inline.stop_reason, threads.stop_reason,
+                "{model} seed {seed}"
+            );
+        }
+    }
+}
+
+/// A second run warm-started from a persistent cache file is bit-identical
+/// to its cold predecessor, and a mismatched fingerprint (different power)
+/// falls back cleanly to cold scoring.
+#[test]
+fn persistent_cache_warm_start_is_transparent() {
+    let model = zoo::alexnet_cifar(10);
+    let path = std::env::temp_dir().join(format!(
+        "pimsyn-determinism-warm-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let base = SynthesisOptions::fast(Watts(9.0))
+        .with_seed(5)
+        .with_eval_cache_file(&path);
+    let cold = Synthesizer::new(base.clone()).synthesize(&model).unwrap();
+    assert!(path.exists(), "run must write the cache file");
+    let warm = Synthesizer::new(base.clone()).synthesize(&model).unwrap();
+    assert_eq!(cold.wt_dup, warm.wt_dup);
+    assert_eq!(cold.architecture, warm.architecture);
+    assert_eq!(cold.analytic, warm.analytic);
+    assert_eq!(cold.evaluations, warm.evaluations);
+    assert_eq!(cold.history, warm.history);
+    // A different power budget must not reuse the stale entries — and must
+    // still synthesize successfully (invalidation is silent).
+    let other = Synthesizer::new(
+        SynthesisOptions::fast(Watts(8.0))
+            .with_seed(5)
+            .with_eval_cache_file(&path),
+    )
+    .synthesize(&model)
+    .unwrap();
+    assert!(other.analytic.efficiency_tops_per_watt() > 0.0);
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
