@@ -24,8 +24,8 @@ use std::time::Duration;
 
 use pimsyn::{
     BackendKind, CancelToken, ChannelSink, Effort, EvalCacheConfig, EvaluatorStats, MacroMode,
-    Objective, SynthesisEngine, SynthesisError, SynthesisEvent, SynthesisOptions, SynthesisRequest,
-    SynthesisResult, SynthesisSummary,
+    Objective, ServiceClient, ServiceConfig, SynthesisEngine, SynthesisError, SynthesisEvent,
+    SynthesisOptions, SynthesisRequest, SynthesisResult, SynthesisService, SynthesisSummary,
 };
 use pimsyn_arch::Watts;
 use pimsyn_model::json::JsonValue;
@@ -57,6 +57,7 @@ struct Args {
     eval_cache: bool,
     eval_cache_capacity: Option<usize>,
     eval_cache_file: Option<String>,
+    eval_cache_max_entries: Option<usize>,
     backend: BackendKind,
     output: OutputFormat,
     quiet: bool,
@@ -89,6 +90,12 @@ USAGE:
   pimsyn --model <zoo-name> --power <watts> [options]
   pimsyn --model-file <net.json> --power <watts> [options]
   pimsyn --batch <jobs.json> [options]
+  pimsyn serve --listen <host:port> [--job-slots N] [--queue-depth N]
+               [--backend <spec>] [--eval-cache-file <path>]
+               [--eval-cache-max-entries <n>] [--quiet]
+  pimsyn submit --connect <host:port> --model <name> --power <watts> [options]
+  pimsyn status|result|cancel --connect <host:port> --id <job-id>
+  pimsyn shutdown --connect <host:port>
 
 OPTIONS:
   --model <name>        zoo model (alexnet, vgg13, vgg16, msra, resnet18,
@@ -120,6 +127,9 @@ OPTIONS:
   --eval-cache-file <path>  persist the evaluation memo across runs: loaded
                         before the search when its fingerprint (model, hw,
                         power, objective) matches, rewritten afterwards
+  --eval-cache-max-entries <n>  cap candidate-score entries written per run
+                        section of the cache file (oldest trimmed first), so
+                        long sweeps stop growing the file without bound
   --backend <spec>      where candidate scoring runs: inline (default),
                         threads[:N] (scoped thread pool), or subprocess[:N]
                         (pimsyn --worker child processes); results are
@@ -127,6 +137,13 @@ OPTIONS:
   --output <text|json>  report format on stdout (default: text)
   --quiet               suppress live progress on stderr
   --help                print this message
+
+`pimsyn serve` runs a long-lived synthesis daemon: submitted jobs queue
+behind a bounded FIFO, share one subprocess worker pool and one warm
+evaluation cache, and are addressed by id through the submit/status/
+result/cancel/shutdown subcommands (a versioned JSON-lines TCP protocol).
+The daemon's --backend / --eval-cache-file flags decide where every
+submitted job's scoring runs; submit-side flags describe the job itself.
 
 `pimsyn --worker` (no other flags) runs the evaluation-worker protocol on
 stdin/stdout; it is spawned by `--backend subprocess` and not meant for
@@ -152,6 +169,7 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         eval_cache: true,
         eval_cache_capacity: None,
         eval_cache_file: None,
+        eval_cache_max_entries: None,
         backend: BackendKind::Inline,
         output: OutputFormat::Text,
         quiet: false,
@@ -210,6 +228,15 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                 args.max_unique_evals = Some(n);
             }
             "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
+            "--eval-cache-max-entries" => {
+                let n: usize = value("--eval-cache-max-entries")?
+                    .parse()
+                    .map_err(|e| format!("bad --eval-cache-max-entries: {e}"))?;
+                if n == 0 {
+                    return Err("--eval-cache-max-entries must be at least 1".to_string());
+                }
+                args.eval_cache_max_entries = Some(n);
+            }
             "--backend" => {
                 args.backend = BackendKind::parse(&value("--backend")?)
                     .map_err(|e| format!("bad --backend: {e}"))?
@@ -251,6 +278,11 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         return Err(
             "--eval-cache-file requires the evaluation cache (drop `--eval-cache off`)".to_string(),
         );
+    }
+    // The entry cap trims what is written to the cache file; without a file
+    // it caps nothing.
+    if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
+        return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
     }
     if args.batch_file.is_some() {
         if args.model.is_some() || args.model_file.is_some() {
@@ -368,6 +400,9 @@ fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String
     options = options.with_backend(args.backend);
     if let Some(path) = &args.eval_cache_file {
         options = options.with_eval_cache_file(path);
+    }
+    if let Some(cap) = args.eval_cache_max_entries {
+        options.backend.cache_max_entries = Some(cap);
     }
     if let Some(path) = &args.hw_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -741,13 +776,267 @@ fn run_batch(args: &Args) -> ExitCode {
     }
 }
 
+/// Flags of the `serve` subcommand: where to listen, queue sizing, and the
+/// server-side evaluation policy overlaid onto every submitted job.
+#[derive(Debug, Clone)]
+struct ServeArgs {
+    listen: String,
+    job_slots: Option<usize>,
+    queue_depth: Option<usize>,
+    backend: BackendKind,
+    eval_cache_file: Option<String>,
+    eval_cache_max_entries: Option<usize>,
+    quiet: bool,
+}
+
+fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        listen: String::new(),
+        job_slots: None,
+        queue_depth: None,
+        backend: BackendKind::Inline,
+        eval_cache_file: None,
+        eval_cache_max_entries: None,
+        quiet: false,
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let positive = |name: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("{name} must be a positive integer")),
+            }
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--job-slots" => args.job_slots = Some(positive("--job-slots", value("--job-slots")?)?),
+            "--queue-depth" => {
+                args.queue_depth = Some(positive("--queue-depth", value("--queue-depth")?)?)
+            }
+            "--backend" => {
+                args.backend = BackendKind::parse(&value("--backend")?)
+                    .map_err(|e| format!("bad --backend: {e}"))?
+            }
+            "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
+            "--eval-cache-max-entries" => {
+                args.eval_cache_max_entries = Some(positive(
+                    "--eval-cache-max-entries",
+                    value("--eval-cache-max-entries")?,
+                )?)
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err("serve requires --listen <host:port>".to_string());
+    }
+    if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
+        return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
+    }
+    Ok(args)
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    let args = match parse_serve_args(argv.iter().cloned()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = ServiceConfig::default();
+    if let Some(slots) = args.job_slots {
+        config = config.with_job_slots(slots);
+    }
+    if let Some(depth) = args.queue_depth {
+        config = config.with_queue_depth(depth);
+    }
+    let service = std::sync::Arc::new(SynthesisService::new(config));
+    let overlay_args = args.clone();
+    // Server-side policy: the daemon decides where scoring runs and which
+    // cache file (if any) persists it; clients describe only the job. The
+    // cache policy only applies to jobs that kept the eval cache on: a job
+    // that disabled it has nothing to persist, and forcing a file onto it
+    // would reject an otherwise valid submission.
+    let overlay = move |request: &mut SynthesisRequest| {
+        request.options.backend.kind = overlay_args.backend;
+        if request.options.eval_cache.enabled {
+            if let Some(path) = &overlay_args.eval_cache_file {
+                request.options.backend.cache_file = Some(path.into());
+            }
+            request.options.backend.cache_max_entries = overlay_args.eval_cache_max_entries;
+        }
+    };
+    match pimsyn::serve(listener, service, overlay, args.quiet) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `--connect <addr>` (required) and `--id <n>` (when `with_id`) out
+/// of a client subcommand's argv, returning the remaining flags untouched.
+fn split_client_args(
+    argv: &[String],
+    with_id: bool,
+) -> Result<(String, Option<u64>, Vec<String>), String> {
+    let mut connect = None;
+    let mut id = None;
+    let mut rest = Vec::new();
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for --connect".to_string())?,
+                )
+            }
+            "--id" if with_id => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "missing value for --id".to_string())?;
+                id = Some(raw.parse().map_err(|e| format!("bad --id: {e}"))?);
+            }
+            _ => rest.push(flag),
+        }
+    }
+    let connect = connect.ok_or_else(|| "missing --connect <host:port>".to_string())?;
+    if with_id && id.is_none() {
+        return Err("missing --id <job-id>".to_string());
+    }
+    Ok((connect, id, rest))
+}
+
+/// Prints a protocol reply and maps it to an exit code (`ok: false` replies
+/// — queue full, unknown job, failed job — are structured JSON on stdout
+/// with a non-zero exit).
+fn finish_client(reply: Result<JsonValue, String>) -> ExitCode {
+    match reply {
+        Ok(doc) => {
+            println!("{doc}");
+            if doc.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client(command: &str, argv: &[String]) -> ExitCode {
+    let with_id = matches!(command, "status" | "result" | "cancel");
+    let (connect, id, rest) = match split_client_args(argv, with_id) {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let client = ServiceClient::new(connect);
+    match command {
+        "submit" => {
+            let args = match parse_args_from(rest) {
+                Ok(a) if a.batch_file.is_none() => a,
+                Ok(_) => {
+                    eprintln!("error: submit sends one job; --batch is not supported\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            // Where scoring runs and which cache file persists it are the
+            // daemon's policy (its own serve flags); rejecting these beats
+            // silently dropping them from the wire format.
+            if args.backend != BackendKind::Inline
+                || args.eval_cache_file.is_some()
+                || args.eval_cache_max_entries.is_some()
+            {
+                eprintln!(
+                    "error: --backend / --eval-cache-file / --eval-cache-max-entries are \
+                     daemon policy; set them on `pimsyn serve`, not `pimsyn submit`\n\n{USAGE}"
+                );
+                return ExitCode::from(2);
+            }
+            let model = match &args.model {
+                Some(name) => load_named_model(name),
+                None => load_model_file(args.model_file.as_ref().expect("validated")),
+            };
+            let request = model
+                .and_then(|model| {
+                    options_from_args(&args, args.power)
+                        .map(|options| SynthesisRequest::new(model, options))
+                })
+                .map_err(|e| e.to_string());
+            match request {
+                Ok(request) => finish_client(client.submit(&request)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "status" => finish_client(client.status(id.expect("validated"))),
+        "cancel" => finish_client(client.cancel(id.expect("validated"))),
+        "result" => {
+            // On success print only the summary document, so a socket-fetched
+            // result diffs cleanly against a direct `pimsyn --output json` run.
+            match client.result(id.expect("validated")) {
+                Ok(doc) if doc.get("ok").and_then(JsonValue::as_bool) == Some(true) => {
+                    match doc.get("summary") {
+                        Some(summary) => {
+                            println!("{summary}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("error: reply lacks a summary: {doc}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                other => finish_client(other),
+            }
+        }
+        "shutdown" => finish_client(client.shutdown()),
+        other => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     // Worker mode short-circuits everything else: the process is a child of
     // `--backend subprocess` speaking the JSON-lines protocol on stdio.
     if std::env::args().nth(1).as_deref() == Some("--worker") {
         return pimsyn::run_worker_stdio();
     }
-    let args = match parse_args_from(std::env::args().skip(1)) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return run_serve(&argv[1..]),
+        Some(cmd @ ("submit" | "status" | "result" | "cancel" | "shutdown")) => {
+            return run_client(cmd, &argv[1..]);
+        }
+        _ => {}
+    }
+    let args = match parse_args_from(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -987,6 +1276,107 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--eval-cache-file"), "{err}");
+    }
+
+    #[test]
+    fn eval_cache_max_entries_parses_and_requires_a_file() {
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-file",
+            "/tmp/c.json",
+            "--eval-cache-max-entries",
+            "100",
+        ])
+        .unwrap();
+        assert_eq!(args.eval_cache_max_entries, Some(100));
+        let options = options_from_args(&args, args.power).unwrap();
+        assert_eq!(options.backend.cache_max_entries, Some(100));
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-max-entries",
+            "100",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--eval-cache-file"), "{err}");
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--eval-cache-file",
+            "/tmp/c.json",
+            "--eval-cache-max-entries",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    fn parse_serve(args: &[&str]) -> Result<ServeArgs, String> {
+        parse_serve_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let args = parse_serve(&[
+            "--listen",
+            "127.0.0.1:7741",
+            "--job-slots",
+            "2",
+            "--queue-depth",
+            "8",
+            "--backend",
+            "subprocess:2",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(args.listen, "127.0.0.1:7741");
+        assert_eq!(args.job_slots, Some(2));
+        assert_eq!(args.queue_depth, Some(8));
+        assert_eq!(args.backend, BackendKind::Subprocess { workers: 2 });
+        assert!(args.quiet);
+
+        let err = parse_serve(&[]).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = parse_serve(&["--listen", "x", "--job-slots", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_serve(&["--listen", "x", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown serve flag"), "{err}");
+        let err = parse_serve(&["--listen", "x", "--eval-cache-max-entries", "5"]).unwrap_err();
+        assert!(err.contains("--eval-cache-file"), "{err}");
+    }
+
+    #[test]
+    fn client_args_split_connect_and_id() {
+        let argv: Vec<String> = ["--connect", "127.0.0.1:7741", "--id", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (connect, id, rest) = split_client_args(&argv, true).unwrap();
+        assert_eq!(connect, "127.0.0.1:7741");
+        assert_eq!(id, Some(3));
+        assert!(rest.is_empty());
+
+        let argv: Vec<String> = ["--connect", "h:1", "--model", "vgg16", "--power", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (connect, id, rest) = split_client_args(&argv, false).unwrap();
+        assert_eq!(connect, "h:1");
+        assert_eq!(id, None);
+        assert_eq!(rest, vec!["--model", "vgg16", "--power", "9"]);
+
+        let err = split_client_args(&[], true).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let argv: Vec<String> = vec!["--connect".into(), "h:1".into()];
+        let err = split_client_args(&argv, true).unwrap_err();
+        assert!(err.contains("--id"), "{err}");
     }
 
     #[test]

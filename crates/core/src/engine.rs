@@ -118,7 +118,9 @@ impl SynthesisEngine {
         self.run_job(0, request, sink, cancel)
     }
 
-    fn run_job(
+    /// Runs one job with its events tagged as `job` (the batch index or a
+    /// service job id); the `SynthesisService` job slots call this too.
+    pub(crate) fn run_job(
         &self,
         job: usize,
         request: &SynthesisRequest,
@@ -179,6 +181,16 @@ impl SynthesisEngine {
                 Err(SynthesisError::InvalidOptions {
                     detail: "an eval-cache file requires the evaluation cache to be enabled"
                         .to_string(),
+                }),
+                0,
+            );
+        }
+        // The entry cap trims what is written to the cache file; without a
+        // file it caps nothing — reject the mistake instead of ignoring it.
+        if options.backend.cache_max_entries.is_some() && options.backend.cache_file.is_none() {
+            return (
+                Err(SynthesisError::InvalidOptions {
+                    detail: "an eval-cache entry cap requires an eval-cache file".to_string(),
                 }),
                 0,
             );
@@ -248,6 +260,13 @@ impl SynthesisEngine {
     /// jobs share `cancel` (cancelling it stops the whole batch) and
     /// deliver their events — tagged with the job index in `JobStarted` /
     /// `Finished` — to the shared `sink`.
+    ///
+    /// Internally the batch is a thin client of a private
+    /// [`SynthesisService`](crate::SynthesisService): the requests are
+    /// submitted in order to a queue drained by `batch_workers` job slots,
+    /// so they also share the service's worker pool and cache-snapshot
+    /// store (transparently — results are bit-identical to standalone
+    /// runs).
     pub fn synthesize_batch_observed(
         &self,
         requests: &[SynthesisRequest],
@@ -264,38 +283,37 @@ impl SynthesisEngine {
             .batch_workers
             .unwrap_or(default_workers)
             .min(requests.len());
-        let results: std::sync::Mutex<Vec<(usize, Result<SynthesisResult, SynthesisError>)>> =
-            std::sync::Mutex::new(Vec::with_capacity(requests.len()));
-
-        // Dynamic work queue rather than static striping: jobs differ
-        // wildly in cost, and a fixed assignment would idle workers behind
-        // one long-running job.
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        thread::scope(|s| {
-            for _ in 0..workers {
-                let results = &results;
-                let next = &next;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(request) = requests.get(i) else {
-                        break;
-                    };
-                    let result = if cancel.is_cancelled() {
-                        Err(SynthesisError::Cancelled)
-                    } else {
-                        self.run_job(i, request, sink, cancel)
-                    };
-                    results
-                        .lock()
-                        .expect("batch result mutex")
-                        .push((i, result));
-                });
-            }
-        });
-
-        let mut results = results.into_inner().expect("batch result mutex");
-        results.sort_by_key(|(i, _)| *i);
-        results.into_iter().map(|(_, r)| r).collect()
+        let service = crate::SynthesisService::new(
+            crate::ServiceConfig::default()
+                .with_job_slots(workers)
+                .with_queue_depth(requests.len()),
+        );
+        // Jobs deliver their (already job-tagged) events into one channel;
+        // this thread forwards them to the caller's borrowed sink. The
+        // channel closes once every job has finished (each job's sender
+        // drops with its work), which ends the forwarding loop.
+        let (tx, events) = mpsc::channel();
+        let handles: Vec<crate::JobHandle> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                service
+                    .submit_tagged(
+                        request.clone(),
+                        i,
+                        std::sync::Arc::new(ChannelSink::new(tx.clone())),
+                        cancel.clone(),
+                    )
+                    .expect("batch queue is sized to the batch")
+            })
+            .collect();
+        drop(tx);
+        for event in events {
+            sink.emit(event);
+        }
+        let results = handles.iter().map(crate::JobHandle::await_result).collect();
+        service.shutdown();
+        results
     }
 
     /// [`synthesize_batch_observed`](Self::synthesize_batch_observed)

@@ -66,6 +66,19 @@
 //! # let _ = result;
 //! ```
 //!
+//! # Service mode
+//!
+//! For sweep-shaped workloads (power sweeps, model zoos, objective grids),
+//! [`SynthesisService`] runs as a long-lived daemon: a bounded FIFO job
+//! queue drained by concurrent job slots, whose jobs share one subprocess
+//! worker pool (leased and re-sessioned per job) and one warm
+//! evaluation-cache snapshot store. [`serve`] exposes it over a versioned
+//! JSON-lines TCP protocol (`pimsyn serve` / `pimsyn submit|status|result|
+//! cancel|shutdown` on the CLI); [`ServiceClient`] speaks that protocol.
+//! [`SynthesisEngine::synthesize_batch`] is a thin client of a private
+//! service, so batches get the shared resources for free — transparently:
+//! results stay bit-identical to standalone runs.
+//!
 //! The companion crates expose the substrates: [`pimsyn_model`] (CNNs),
 //! [`pimsyn_arch`] (hardware), [`pimsyn_ir`] (dataflow IR), [`pimsyn_sim`]
 //! (simulators) and [`pimsyn_dse`] (search).
@@ -81,6 +94,7 @@ mod events;
 mod options;
 mod report;
 mod request;
+mod service;
 mod summary;
 mod synthesis;
 mod worker;
@@ -90,6 +104,10 @@ pub use error::SynthesisError;
 pub use events::{CallbackSink, ChannelSink, CollectingSink, EventSink, NullSink, SynthesisEvent};
 pub use options::{Effort, SynthesisOptions};
 pub use request::SynthesisRequest;
+pub use service::{
+    event_to_json, serve, serve_in_background, JobHandle, JobStatus, ServeHandle, ServiceClient,
+    ServiceConfig, ServiceError, SynthesisService, SERVICE_PROTOCOL_VERSION,
+};
 pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};
 pub use worker::{run_worker, run_worker_stdio};
@@ -98,6 +116,7 @@ pub use worker::{run_worker, run_worker_stdio};
 pub use pimsyn_arch::{Architecture, MacroMode, Watts};
 pub use pimsyn_dse::{
     BackendKind, BackendStats, CancelToken, DesignPoint, DesignSpace, EvalBackendConfig,
-    EvalCacheConfig, EvaluatorStats, Objective, StopReason, SynthesisStage, WtDupStrategy,
+    EvalCacheConfig, EvaluatorStats, Objective, SharedEvalResources, StopReason, SynthesisStage,
+    WtDupStrategy,
 };
 pub use pimsyn_sim::SimReport;

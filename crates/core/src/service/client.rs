@@ -1,0 +1,140 @@
+//! A client for the served [`SynthesisService`] protocol.
+//!
+//! One [`ServiceClient`] addresses one daemon; every call opens a fresh
+//! connection, sends one request line and reads the reply (the `events`
+//! verb reads a stream). Replies come back as parsed [`JsonValue`]
+//! documents — check the `ok` field; error replies carry a machine-readable
+//! `code` and a human-readable `error`. Transport failures (daemon
+//! unreachable, connection dropped) surface as `Err` strings.
+//!
+//! [`SynthesisService`]: super::SynthesisService
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use pimsyn_model::json::JsonValue;
+
+use crate::request::SynthesisRequest;
+
+use super::wire;
+
+/// A thin TCP client speaking the versioned service protocol.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: String,
+}
+
+impl ServiceClient {
+    /// A client addressing the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        TcpStream::connect(&self.addr).map_err(|e| format!("cannot connect to {}: {e}", self.addr))
+    }
+
+    /// Sends one request line and reads one reply line.
+    fn call(&self, line: &str) -> Result<JsonValue, String> {
+        let mut stream = self.connect()?;
+        writeln!(stream, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+        stream
+            .flush()
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 => {}
+            Ok(_) => return Err("daemon closed the connection without replying".to_string()),
+            Err(e) => return Err(format!("cannot read reply: {e}")),
+        }
+        JsonValue::parse(reply.trim()).map_err(|e| format!("malformed reply: {e}"))
+    }
+
+    /// Submits a request; the reply carries the assigned job `id` on
+    /// success.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or request features the wire format cannot carry
+    /// (design-space overrides, fixed duplication vectors).
+    pub fn submit(&self, request: &SynthesisRequest) -> Result<JsonValue, String> {
+        let payload = wire::encode_request(request)?;
+        self.call(&wire::submit_line(payload))
+    }
+
+    /// Polls a job's lifecycle phase (`status` field: `queued` / `running`
+    /// / `finished`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn status(&self, id: u64) -> Result<JsonValue, String> {
+        self.call(&wire::request_line("status", Some(id)))
+    }
+
+    /// Blocks until the job finishes; the reply carries its `summary` (the
+    /// same JSON document `pimsyn --output json` prints) or a `job_failed`
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn result(&self, id: u64) -> Result<JsonValue, String> {
+        self.call(&wire::request_line("result", Some(id)))
+    }
+
+    /// Requests cooperative cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn cancel(&self, id: u64) -> Result<JsonValue, String> {
+        self.call(&wire::request_line("cancel", Some(id)))
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&self) -> Result<JsonValue, String> {
+        self.call(&wire::request_line("shutdown", None))
+    }
+
+    /// Streams a job's events from the beginning until it finishes,
+    /// returning the event documents in order. A single error reply (e.g.
+    /// `unknown_job`) comes back as the one-element stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn events(&self, id: u64) -> Result<Vec<JsonValue>, String> {
+        let mut stream = self.connect()?;
+        let line = wire::request_line("events", Some(id));
+        writeln!(stream, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
+        stream
+            .flush()
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for line in reader.lines() {
+            let line = line.map_err(|e| format!("cannot read event stream: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc =
+                JsonValue::parse(line.trim()).map_err(|e| format!("malformed event line: {e}"))?;
+            if doc.get("done").and_then(JsonValue::as_bool) == Some(true) {
+                break;
+            }
+            out.push(doc);
+        }
+        Ok(out)
+    }
+}

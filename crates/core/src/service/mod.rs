@@ -1,0 +1,724 @@
+//! The long-lived [`SynthesisService`]: a multi-job queue over a shared
+//! worker pool.
+//!
+//! Where a [`SynthesisEngine`](crate::SynthesisEngine) models one ephemeral
+//! run (or one throwaway batch), the service models a *daemon*: clients
+//! [`submit`](SynthesisService::submit) requests into a bounded FIFO queue,
+//! a fixed number of job slots drain it, and every job shares the service's
+//! process-wide resources — one `pimsyn --worker` subprocess pool (leased
+//! and re-sessioned per job instead of spawned per run) and one in-memory
+//! evaluation-cache snapshot store (so jobs with the same fingerprint
+//! warm-start each other without touching the cache file). Sharing is
+//! transparent: results are bit-identical to standalone runs. (One caveat,
+//! inherited from the cache file itself: a job curtailed by a
+//! `max_unique_evaluations` budget stops by work actually done, so its
+//! stopping point depends on what warm-started its memo — see
+//! [`SharedEvalResources`] for the full statement.)
+//!
+//! Each submission returns a [`JobHandle`] exposing
+//! [`status`](JobHandle::status) / [`await_result`](JobHandle::await_result)
+//! / [`cancel`](JobHandle::cancel) / [`events`](JobHandle::events), built on
+//! the same [`CancelToken`] / [`EventSink`] machinery as the engine.
+//!
+//! The service is also reachable over a socket: [`serve`] runs it behind a
+//! versioned JSON-lines TCP protocol (`submit` / `status` / `events` /
+//! `cancel` / `result` / `shutdown`), and [`ServiceClient`] speaks that
+//! protocol — the `pimsyn serve` / `pimsyn submit|status|result|cancel|
+//! shutdown` CLI subcommands are thin wrappers over the two.
+//!
+//! # Example
+//!
+//! ```
+//! use pimsyn::{ServiceConfig, SynthesisOptions, SynthesisRequest, SynthesisService};
+//! use pimsyn_arch::Watts;
+//! use pimsyn_model::zoo;
+//!
+//! let service = SynthesisService::new(ServiceConfig::default().with_job_slots(2));
+//! let job = service
+//!     .submit(SynthesisRequest::new(
+//!         zoo::alexnet_cifar(10),
+//!         SynthesisOptions::fast(Watts(6.0)).with_seed(3),
+//!     ))
+//!     .expect("queue has room");
+//! let result = job.await_result().expect("alexnet at 6 W is feasible");
+//! assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+//! service.shutdown();
+//! ```
+
+mod client;
+mod serve;
+mod wire;
+
+pub use client::ServiceClient;
+pub use serve::{serve, serve_in_background, ServeHandle};
+pub use wire::{event_to_json, SERVICE_PROTOCOL_VERSION};
+
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+use pimsyn_dse::{CancelToken, SharedEvalResources};
+
+use crate::engine::SynthesisEngine;
+use crate::error::SynthesisError;
+use crate::events::{ChannelSink, EventSink, SynthesisEvent};
+use crate::request::SynthesisRequest;
+use crate::synthesis::SynthesisResult;
+
+/// Sizing policy of a [`SynthesisService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Concurrent job slots (worker threads draining the queue).
+    pub job_slots: usize,
+    /// Maximum jobs *waiting* in the queue (running jobs do not count).
+    /// A submit beyond this depth returns [`ServiceError::QueueFull`]
+    /// instead of blocking.
+    pub queue_depth: usize,
+    /// How many *finished* jobs stay addressable by id (their results
+    /// fetchable through [`SynthesisService::await_result_by_id`] and the
+    /// socket `result` verb). Beyond this, the oldest finished records are
+    /// dropped — a long-lived daemon must not grow without bound. Live
+    /// [`JobHandle`]s are unaffected by eviction.
+    pub finished_retention: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            job_slots: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_depth: Self::DEFAULT_QUEUE_DEPTH,
+            finished_retention: Self::DEFAULT_FINISHED_RETENTION,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default bound on waiting jobs.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+    /// Default bound on retained finished-job records.
+    pub const DEFAULT_FINISHED_RETENTION: usize = 256;
+
+    /// Overrides the number of concurrent job slots (at least one).
+    #[must_use]
+    pub fn with_job_slots(mut self, slots: usize) -> Self {
+        self.job_slots = slots.max(1);
+        self
+    }
+
+    /// Overrides the queue depth (at least one waiting job).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides how many finished jobs stay addressable by id (at least
+    /// one).
+    #[must_use]
+    pub fn with_finished_retention(mut self, retained: usize) -> Self {
+        self.finished_retention = retained.max(1);
+        self
+    }
+}
+
+/// Errors from the service's queueing layer (job *outcomes* travel through
+/// [`JobHandle::await_result`] as [`SynthesisError`]s instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded queue already holds `depth` waiting jobs; the submit was
+    /// rejected rather than blocked. Retry after a job finishes.
+    QueueFull {
+        /// The configured queue depth that was hit.
+        depth: usize,
+    },
+    /// The service is shutting down and accepts no new jobs.
+    ShutDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { depth } => {
+                write!(f, "job queue is full ({depth} jobs waiting)")
+            }
+            ServiceError::ShutDown => write!(f, "the synthesis service is shut down"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+/// Lifecycle phase of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// Occupying a job slot.
+    Running,
+    /// Finished; the result is available without blocking.
+    Finished,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Finished => "finished",
+        })
+    }
+}
+
+enum JobPhase {
+    Queued,
+    Running,
+    // Boxed: a SynthesisResult is hundreds of bytes, and every queued job
+    // carries a phase.
+    Finished(Box<Result<SynthesisResult, SynthesisError>>),
+}
+
+/// Everything a job needs to run, taken by the slot that executes it (and
+/// dropped afterwards, which closes the job's event channel).
+struct JobWork {
+    request: SynthesisRequest,
+    sink: TeeSink,
+}
+
+/// Fans one event stream out to several sinks (the handle's channel plus an
+/// optional external sink such as a batch aggregator or a socket log).
+struct TeeSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl EventSink for TeeSink {
+    fn emit(&self, event: SynthesisEvent) {
+        let mut rest = self.sinks.iter();
+        let Some(first) = rest.next() else { return };
+        for sink in rest {
+            sink.emit(event.clone());
+        }
+        first.emit(event);
+    }
+}
+
+struct JobState {
+    id: u64,
+    /// The `job` tag stamped on this job's events (the batch index for
+    /// batch submissions, the job id otherwise).
+    event_tag: usize,
+    cancel: CancelToken,
+    work: Mutex<Option<JobWork>>,
+    phase: Mutex<JobPhase>,
+    done: Condvar,
+}
+
+impl JobState {
+    fn status(&self) -> JobStatus {
+        match *self.phase.lock().expect("job phase") {
+            JobPhase::Queued => JobStatus::Queued,
+            JobPhase::Running => JobStatus::Running,
+            JobPhase::Finished(_) => JobStatus::Finished,
+        }
+    }
+
+    fn finish(&self, result: Result<SynthesisResult, SynthesisError>) {
+        *self.phase.lock().expect("job phase") = JobPhase::Finished(Box::new(result));
+        self.done.notify_all();
+    }
+
+    fn await_result(&self) -> Result<SynthesisResult, SynthesisError> {
+        let mut phase = self.phase.lock().expect("job phase");
+        loop {
+            if let JobPhase::Finished(result) = &*phase {
+                return (**result).clone();
+            }
+            phase = self.done.wait(phase).expect("job phase");
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Arc<JobState>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    engine: SynthesisEngine,
+    shared: Arc<SharedEvalResources>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    /// Finished-job ids in completion order; the retention bound evicts
+    /// from the front.
+    finished: Mutex<VecDeque<u64>>,
+    next_id: AtomicU64,
+}
+
+impl Inner {
+    /// Records a job's completion and evicts the oldest finished records
+    /// beyond the retention bound: a daemon processing thousands of jobs
+    /// must not retain every result and job state forever. Handles keep
+    /// their own `Arc<JobState>`, so eviction only ends by-id addressing.
+    fn record_finished(&self, id: u64) {
+        let evict: Vec<u64> = {
+            let mut finished = self.finished.lock().expect("finished jobs");
+            finished.push_back(id);
+            let excess = finished
+                .len()
+                .saturating_sub(self.config.finished_retention);
+            finished.drain(..excess).collect()
+        };
+        if !evict.is_empty() {
+            let mut jobs = self.jobs.lock().expect("service jobs");
+            for id in evict {
+                jobs.remove(&id);
+            }
+        }
+    }
+
+    fn run_slot(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut state = self.queue.lock().expect("service queue");
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if let Some(job) = state.queue.pop_front() {
+                        break job;
+                    }
+                    state = self.available.wait(state).expect("service queue");
+                }
+            };
+            *job.phase.lock().expect("job phase") = JobPhase::Running;
+            let work = job.work.lock().expect("job work").take();
+            let result = match work {
+                // A job cancelled while still queued never runs (and emits
+                // no events) — the same contract the engine's batch path
+                // has always had for pre-cancelled jobs.
+                Some(work) if !job.cancel.is_cancelled() => {
+                    let JobWork { mut request, sink } = work;
+                    // Every job shares the service's worker pool and
+                    // snapshot store unless the request brought its own.
+                    if request.options.backend.shared.is_none() {
+                        request.options.backend.shared = Some(Arc::clone(&self.shared));
+                    }
+                    self.engine
+                        .run_job(job.event_tag, &request, &sink, &job.cancel)
+                }
+                _ => Err(SynthesisError::Cancelled),
+            };
+            job.finish(result);
+            self.record_finished(job.id);
+        }
+    }
+}
+
+/// A long-lived, thread-safe synthesis daemon: a bounded FIFO job queue
+/// drained by a fixed number of slots, with process-wide shared evaluation
+/// resources. See the [module docs](self) for the full picture.
+pub struct SynthesisService {
+    inner: Arc<Inner>,
+    slots: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for SynthesisService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let queue = self.inner.queue.lock().expect("service queue");
+        f.debug_struct("SynthesisService")
+            .field("config", &self.inner.config)
+            .field("queued", &queue.queue.len())
+            .field("shutdown", &queue.shutdown)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SynthesisService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl SynthesisService {
+    /// Starts a service: `config.job_slots` worker threads begin draining
+    /// the (initially empty) queue immediately.
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            config,
+            engine: SynthesisEngine::new(),
+            shared: SharedEvalResources::new(),
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            finished: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+        });
+        let slots = (0..inner.config.job_slots)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || inner.run_slot())
+            })
+            .collect();
+        Self {
+            inner,
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// The sizing policy this service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// The shared evaluation resources every job of this service leases
+    /// from (worker pool, snapshot store).
+    pub fn shared_resources(&self) -> Arc<SharedEvalResources> {
+        Arc::clone(&self.inner.shared)
+    }
+
+    /// Worker processes spawned by the service's shared pool so far. N jobs
+    /// through a service spawn at most the configured pool width of
+    /// workers, not N × width.
+    pub fn worker_spawns(&self) -> usize {
+        self.inner.shared.worker_spawns()
+    }
+
+    /// Jobs currently waiting in the queue (excluding running ones).
+    pub fn queued_jobs(&self) -> usize {
+        self.inner.queue.lock().expect("service queue").queue.len()
+    }
+
+    /// Submits a request into the queue.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServiceError::QueueFull`] when `queue_depth` jobs are already
+    ///   waiting (the call never blocks on a full queue).
+    /// - [`ServiceError::ShutDown`] after [`shutdown`](Self::shutdown).
+    pub fn submit(&self, request: SynthesisRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, None, None, None)
+    }
+
+    /// Batch-path submission: events are tagged with `tag` (the batch
+    /// index), tee'd into `external`, and all jobs share `cancel`.
+    pub(crate) fn submit_tagged(
+        &self,
+        request: SynthesisRequest,
+        tag: usize,
+        external: Arc<dyn EventSink>,
+        cancel: CancelToken,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, Some(tag), Some(external), Some(cancel))
+    }
+
+    /// Socket-path submission: events are additionally tee'd into
+    /// `external` (the per-job event log the `events` verb replays).
+    pub(crate) fn submit_observed(
+        &self,
+        request: SynthesisRequest,
+        external: Arc<dyn EventSink>,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, None, Some(external), None)
+    }
+
+    fn submit_inner(
+        &self,
+        request: SynthesisRequest,
+        tag: Option<usize>,
+        external: Option<Arc<dyn EventSink>>,
+        cancel: Option<CancelToken>,
+    ) -> Result<JobHandle, ServiceError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (channel, events) = ChannelSink::pair();
+        let mut sinks: Vec<Arc<dyn EventSink>> = vec![Arc::new(channel)];
+        sinks.extend(external);
+        let state = Arc::new(JobState {
+            id,
+            event_tag: tag.unwrap_or(id as usize),
+            cancel: cancel.unwrap_or_default(),
+            work: Mutex::new(Some(JobWork {
+                request,
+                sink: TeeSink { sinks },
+            })),
+            phase: Mutex::new(JobPhase::Queued),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.inner.queue.lock().expect("service queue");
+            if queue.shutdown {
+                return Err(ServiceError::ShutDown);
+            }
+            if queue.queue.len() >= self.inner.config.queue_depth {
+                return Err(ServiceError::QueueFull {
+                    depth: self.inner.config.queue_depth,
+                });
+            }
+            queue.queue.push_back(Arc::clone(&state));
+        }
+        self.inner.available.notify_one();
+        self.inner
+            .jobs
+            .lock()
+            .expect("service jobs")
+            .insert(id, Arc::clone(&state));
+        Ok(JobHandle { state, events })
+    }
+
+    /// The status of a job by id (`None` for unknown ids, including
+    /// finished jobs evicted past
+    /// [`finished_retention`](ServiceConfig::finished_retention)).
+    pub fn status_of(&self, id: u64) -> Option<JobStatus> {
+        self.job(id).map(|job| job.status())
+    }
+
+    /// Cancels a job by id; returns whether the id was known.
+    pub fn cancel_by_id(&self, id: u64) -> bool {
+        match self.job(id) {
+            Some(job) => {
+                job.cancel.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until the job finishes and returns (a clone of) its result;
+    /// `None` for unknown ids. Results stay fetchable until the job is
+    /// evicted past [`finished_retention`](ServiceConfig::finished_retention)
+    /// (a [`JobHandle`] keeps its result reachable regardless).
+    pub fn await_result_by_id(&self, id: u64) -> Option<Result<SynthesisResult, SynthesisError>> {
+        self.job(id).map(|job| job.await_result())
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<JobState>> {
+        self.inner
+            .jobs
+            .lock()
+            .expect("service jobs")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Shuts the service down: no further submits are accepted, jobs still
+    /// waiting in the queue finish as [`SynthesisError::Cancelled`] without
+    /// running, running jobs are cancelled cooperatively, and every job
+    /// slot is joined before this returns.
+    pub fn shutdown(&self) {
+        let drained: Vec<Arc<JobState>> = {
+            let mut queue = self.inner.queue.lock().expect("service queue");
+            queue.shutdown = true;
+            queue.queue.drain(..).collect()
+        };
+        self.inner.available.notify_all();
+        for job in drained {
+            job.finish(Err(SynthesisError::Cancelled));
+            self.inner.record_finished(job.id);
+        }
+        // Cancel only unfinished jobs: a finished job's token may be shared
+        // with the caller (batch submissions share one), and cancelling it
+        // after the fact would leak into the caller's token.
+        for job in self.inner.jobs.lock().expect("service jobs").values() {
+            if job.status() != JobStatus::Finished {
+                job.cancel.cancel();
+            }
+        }
+        let slots = std::mem::take(&mut *self.slots.lock().expect("service slots"));
+        for slot in slots {
+            let _ = slot.join();
+        }
+    }
+}
+
+impl Drop for SynthesisService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handle to one submitted job: status polling, the live event stream, a
+/// cancellation lever, and the eventual result.
+pub struct JobHandle {
+    state: Arc<JobState>,
+    events: mpsc::Receiver<SynthesisEvent>,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.state.id)
+            .field("status", &self.state.status())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// The service-wide job id (what the socket protocol's verbs address).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The job's current lifecycle phase.
+    pub fn status(&self) -> JobStatus {
+        self.state.status()
+    }
+
+    /// Whether the result is available without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.status() == JobStatus::Finished
+    }
+
+    /// The job's event stream. Iterating blocks until the next event and
+    /// ends when the job finishes (the last event is
+    /// [`SynthesisEvent::Finished`]); a job cancelled before it ran emits
+    /// nothing.
+    pub fn events(&self) -> &mpsc::Receiver<SynthesisEvent> {
+        &self.events
+    }
+
+    /// A clone of the job's cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
+    }
+
+    /// Requests cooperative cancellation: a queued job never runs, a
+    /// running one returns [`SynthesisError::Cancelled`] shortly after.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+    }
+
+    /// Blocks until the job finishes and returns (a clone of) its result.
+    /// Callable repeatedly; the handle stays usable.
+    pub fn await_result(&self) -> Result<SynthesisResult, SynthesisError> {
+        self.state.await_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SynthesisOptions;
+    use pimsyn_arch::Watts;
+    use pimsyn_model::zoo;
+
+    fn fast_request(seed: u64) -> SynthesisRequest {
+        SynthesisRequest::new(
+            zoo::alexnet_cifar(10),
+            SynthesisOptions::fast(Watts(6.0)).with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn submit_runs_and_streams_events() {
+        let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+        let job = service.submit(fast_request(3)).unwrap();
+        let events: Vec<SynthesisEvent> = job.events().iter().collect();
+        assert!(matches!(
+            events.first(),
+            Some(SynthesisEvent::JobStarted { .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(SynthesisEvent::Finished { .. })
+        ));
+        let result = job.await_result().unwrap();
+        assert!(result.analytic.efficiency_tops_per_watt() > 0.0);
+        assert_eq!(job.status(), JobStatus::Finished);
+        // Results stay fetchable, by handle and by id.
+        assert!(job.await_result().is_ok());
+        assert!(service.await_result_by_id(job.id()).unwrap().is_ok());
+        assert_eq!(service.status_of(job.id()), Some(JobStatus::Finished));
+        assert_eq!(service.status_of(999), None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queued_job_cancelled_before_running_never_runs() {
+        let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+        // Occupy the only slot with a job we keep alive until the victim is
+        // cancelled, so the victim is guaranteed still queued.
+        let blocker = service.submit(fast_request(3)).unwrap();
+        let victim = service.submit(fast_request(4)).unwrap();
+        victim.cancel();
+        assert!(matches!(
+            victim.await_result(),
+            Err(SynthesisError::Cancelled)
+        ));
+        assert_eq!(victim.events().iter().count(), 0, "never ran, no events");
+        assert!(blocker.await_result().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+        service.shutdown();
+        assert_eq!(
+            service.submit(fast_request(3)).unwrap_err(),
+            ServiceError::ShutDown
+        );
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+        let running = service.submit(fast_request(3)).unwrap();
+        let queued = service.submit(fast_request(4)).unwrap();
+        service.shutdown();
+        assert!(matches!(
+            queued.await_result(),
+            Err(SynthesisError::Cancelled)
+        ));
+        // The running job either completed or was cancelled, but the
+        // service joined its slot either way.
+        let _ = running.await_result();
+    }
+
+    #[test]
+    fn finished_jobs_evict_past_the_retention_bound() {
+        let service = SynthesisService::new(
+            ServiceConfig::default()
+                .with_job_slots(1)
+                .with_finished_retention(2),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|i| service.submit(fast_request(3 + i)).unwrap())
+            .collect();
+        for handle in &handles {
+            assert!(handle.await_result().is_ok());
+        }
+        // With one serial slot, job 3 finishing implies job 2's completion
+        // was recorded, which evicted job 0 (retention 2).
+        assert_eq!(
+            service.status_of(handles[0].id()),
+            None,
+            "oldest finished record must evict"
+        );
+        assert!(service.status_of(handles[3].id()).is_some());
+        // Handles keep their own state: an evicted job's result is still
+        // reachable through its handle.
+        assert!(handles[0].await_result().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_error_displays() {
+        assert!(ServiceError::QueueFull { depth: 4 }
+            .to_string()
+            .contains("4"));
+        assert!(ServiceError::ShutDown.to_string().contains("shut down"));
+        assert_eq!(JobStatus::Queued.to_string(), "queued");
+        assert_eq!(JobStatus::Running.to_string(), "running");
+        assert_eq!(JobStatus::Finished.to_string(), "finished");
+    }
+}

@@ -3,12 +3,19 @@
 //! A worker is a child process of the
 //! [`SubprocessBackend`](pimsyn_dse::SubprocessBackend): it reads the
 //! versioned JSON-lines protocol of [`pimsyn_dse::backend::protocol`] from
-//! stdin — one `init` message fixing the run's model, hardware, power,
-//! macro mode and objective, then a stream of `score` requests — and
-//! answers each request with the candidate's score on stdout. Scoring runs
-//! the same [`EvalCore`] pipeline as in-process evaluation, so worker
-//! scores are bit-identical to inline ones (floats cross the pipe as
-//! `f64::to_bits` hex).
+//! stdin — an `init` message fixing a run's model, hardware, power, macro
+//! mode and objective, then a stream of `score` requests — and answers each
+//! request with the candidate's score on stdout. Scoring runs the same
+//! [`EvalCore`] pipeline as in-process evaluation, so worker scores are
+//! bit-identical to inline ones (floats cross the pipe as `f64::to_bits`
+//! hex).
+//!
+//! A worker process outlives any single run: a later `init` message
+//! *re-opens the session* — the model/hardware/power are re-ingested, a
+//! fresh `ready` line acknowledges them, and scoring continues under the
+//! new run's parameters. This is what lets a long-lived
+//! [`WorkerPool`](pimsyn_dse::WorkerPool) recycle processes across
+//! synthesis jobs instead of spawning a fresh complement per run.
 //!
 //! The worker exits when its stdin closes (the parent dropped it) and on
 //! the first malformed message (after writing a diagnostic `error` line the
@@ -19,7 +26,9 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use pimsyn_arch::{hardware_config, CrossbarConfig, DacConfig, Watts};
-use pimsyn_dse::backend::protocol::{error_line, ready_line, ScoreResponse, WorkerRequest};
+use pimsyn_dse::backend::protocol::{
+    error_line, ready_line, ScoreResponse, WorkerInit, WorkerRequest,
+};
 use pimsyn_dse::{CandidateScore, DesignPoint, EvalCacheConfig, EvalCore, MacAllocGene};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::onnx;
@@ -29,7 +38,9 @@ use pimsyn_model::onnx;
 type DataflowKey = (usize, u32, u32, Vec<usize>);
 
 /// Serves one worker session over the given streams; returns the protocol
-/// error that ended it, if any.
+/// error that ended it, if any. Repeated `init` messages re-open the
+/// session with new run parameters (each acknowledged by its own `ready`
+/// line).
 ///
 /// # Errors
 ///
@@ -48,75 +59,92 @@ pub fn run_worker(input: impl BufRead, mut output: impl Write) -> Result<(), Str
         Some(Err(e)) => return Err(format!("stdin read failed: {e}")),
         None => return Ok(()), // empty session: nothing to do
     };
-    let init = match WorkerRequest::parse(first.trim()) {
-        Ok(WorkerRequest::Init(init)) => init,
+    let mut pending = match WorkerRequest::parse(first.trim()) {
+        Ok(WorkerRequest::Init(init)) => Some(init),
         Ok(_) => return fail(&mut output, "first message must be `init`".to_string()),
         Err(e) => return fail(&mut output, e),
     };
-    let model = match onnx::parse_model(&init.model_json) {
-        Ok(m) => m,
-        Err(e) => return fail(&mut output, format!("cannot ingest model: {e}")),
-    };
-    let hw = match hardware_config::from_json_exact(&init.hw_json) {
-        Ok(hw) => hw,
-        Err(e) => return fail(&mut output, format!("cannot ingest hardware params: {e}")),
-    };
-    let core = EvalCore::new(
-        &model,
-        Watts(f64::from_bits(init.power_bits)),
-        &hw,
-        init.macro_mode,
-        init.objective,
-        EvalCacheConfig::default(),
-    );
-    writeln!(output, "{}", ready_line()).map_err(|e| format!("stdout write failed: {e}"))?;
-    output
-        .flush()
-        .map_err(|e| format!("stdout flush failed: {e}"))?;
 
-    // Requests of one batch share a dataflow; cache the last compiled one.
-    let mut compiled: Option<(DataflowKey, Dataflow)> = None;
-    for line in lines {
-        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match WorkerRequest::parse(line.trim()) {
-            Ok(WorkerRequest::Score(r)) => r,
-            Ok(_) => return fail(&mut output, "unexpected second `init`".to_string()),
-            Err(e) => return fail(&mut output, e),
+    // One iteration per session: ingest the init, acknowledge, then score
+    // until stdin closes or another init re-opens the session.
+    while let Some(init) = pending.take() {
+        let WorkerInit {
+            model_json,
+            hw_json,
+            power_bits,
+            macro_mode,
+            objective,
+        } = init;
+        let model = match onnx::parse_model(&model_json) {
+            Ok(m) => m,
+            Err(e) => return fail(&mut output, format!("cannot ingest model: {e}")),
         };
-        let score = (|| -> Option<CandidateScore> {
-            let crossbar = CrossbarConfig::new(request.xb_size, request.cell_bits).ok()?;
-            let dac = DacConfig::new(request.dac_bits).ok()?;
-            let df_key = (
-                request.xb_size,
-                request.cell_bits,
-                request.dac_bits,
-                request.wt_dup.clone(),
-            );
-            if compiled.as_ref().map(|(k, _)| k) != Some(&df_key) {
-                let df = Dataflow::compile(&model, crossbar, dac, &request.wt_dup).ok()?;
-                compiled = Some((df_key, df));
-            }
-            let (_, df) = compiled.as_ref().expect("just compiled");
-            let gene = MacAllocGene::from_raw(request.gene.clone()).ok()?;
-            let point = DesignPoint {
-                ratio_rram: f64::from_bits(request.ratio_bits),
-                crossbar,
-            };
-            Some(core.score(df, point, &gene))
-        })()
-        .unwrap_or(CandidateScore::INFEASIBLE);
-        let response = ScoreResponse {
-            id: request.id,
-            score,
+        let hw = match hardware_config::from_json_exact(&hw_json) {
+            Ok(hw) => hw,
+            Err(e) => return fail(&mut output, format!("cannot ingest hardware params: {e}")),
         };
-        writeln!(output, "{}", response.to_line())
-            .map_err(|e| format!("stdout write failed: {e}"))?;
+        let core = EvalCore::new(
+            &model,
+            Watts(f64::from_bits(power_bits)),
+            &hw,
+            macro_mode,
+            objective,
+            EvalCacheConfig::default(),
+        );
+        writeln!(output, "{}", ready_line()).map_err(|e| format!("stdout write failed: {e}"))?;
         output
             .flush()
             .map_err(|e| format!("stdout flush failed: {e}"))?;
+
+        // Requests of one batch share a dataflow; cache the last compiled
+        // one (per session — the model changed, so it cannot carry over).
+        let mut compiled: Option<(DataflowKey, Dataflow)> = None;
+        for line in &mut lines {
+            let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match WorkerRequest::parse(line.trim()) {
+                Ok(WorkerRequest::Score(r)) => r,
+                Ok(WorkerRequest::Init(next)) => {
+                    // Session re-open: a new run leased this process.
+                    pending = Some(next);
+                    break;
+                }
+                Err(e) => return fail(&mut output, e),
+            };
+            let score = (|| -> Option<CandidateScore> {
+                let crossbar = CrossbarConfig::new(request.xb_size, request.cell_bits).ok()?;
+                let dac = DacConfig::new(request.dac_bits).ok()?;
+                let df_key = (
+                    request.xb_size,
+                    request.cell_bits,
+                    request.dac_bits,
+                    request.wt_dup.clone(),
+                );
+                if compiled.as_ref().map(|(k, _)| k) != Some(&df_key) {
+                    let df = Dataflow::compile(&model, crossbar, dac, &request.wt_dup).ok()?;
+                    compiled = Some((df_key, df));
+                }
+                let (_, df) = compiled.as_ref().expect("just compiled");
+                let gene = MacAllocGene::from_raw(request.gene.clone()).ok()?;
+                let point = DesignPoint {
+                    ratio_rram: f64::from_bits(request.ratio_bits),
+                    crossbar,
+                };
+                Some(core.score(df, point, &gene))
+            })()
+            .unwrap_or(CandidateScore::INFEASIBLE);
+            let response = ScoreResponse {
+                id: request.id,
+                score,
+            };
+            writeln!(output, "{}", response.to_line())
+                .map_err(|e| format!("stdout write failed: {e}"))?;
+            output
+                .flush()
+                .map_err(|e| format!("stdout flush failed: {e}"))?;
+        }
     }
     Ok(())
 }
@@ -135,7 +163,7 @@ pub fn run_worker_stdio() -> ExitCode {
 mod tests {
     use super::*;
     use pimsyn_arch::{HardwareParams, MacroMode};
-    use pimsyn_dse::backend::protocol::{parse_ready, ScoreRequest, WorkerInit};
+    use pimsyn_dse::backend::protocol::{parse_ready, ScoreRequest};
     use pimsyn_dse::Objective;
     use pimsyn_model::zoo;
 
@@ -149,6 +177,31 @@ mod tests {
             objective: Objective::PowerEfficiency,
         }
         .to_line()
+    }
+
+    fn score_request(id: u64, macros: usize) -> (ScoreRequest, DesignPoint, Vec<usize>) {
+        let model = zoo::alexnet_cifar(10);
+        let l = model.weight_layer_count();
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        let dup = vec![1usize; l];
+        let gene = MacAllocGene::encode(&vec![macros; l], &vec![None; l]);
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        (
+            ScoreRequest {
+                id,
+                ratio_bits: point.ratio_rram.to_bits(),
+                xb_size: xb.size(),
+                cell_bits: xb.cell_bits(),
+                dac_bits: 1,
+                wt_dup: dup.clone(),
+                gene: gene.as_slice().to_vec(),
+            },
+            point,
+            dup,
+        )
     }
 
     #[test]
@@ -204,6 +257,50 @@ mod tests {
             let response = ScoreResponse::parse(lines.next().expect("score line")).unwrap();
             assert_eq!(response.id, id as u64);
             let expect = core.score(&df, point, gene);
+            assert_eq!(response.score.fitness.to_bits(), expect.fitness.to_bits());
+            assert_eq!(response.score.feasible, expect.feasible);
+        }
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn second_init_reopens_the_session() {
+        // Two back-to-back sessions at different power levels on one worker
+        // process: each init is acknowledged by its own ready line, and the
+        // same candidate scores differently under the different budgets —
+        // each bit-identical to in-process scoring at that power.
+        let model = zoo::alexnet_cifar(10);
+        let hw = HardwareParams::date24();
+        let (request_a, point, dup) = score_request(0, 2);
+        let (request_b, _, _) = score_request(7, 2);
+        let mut session = String::new();
+        for (power, request) in [(9.0, &request_a), (15.0, &request_b)] {
+            session.push_str(&init_line(power));
+            session.push('\n');
+            session.push_str(&request.to_line());
+            session.push('\n');
+        }
+        let mut output = Vec::new();
+        run_worker(session.as_bytes(), &mut output).expect("clean two-session run");
+        let text = String::from_utf8(output).unwrap();
+        let mut lines = text.lines();
+
+        let df =
+            Dataflow::compile(&model, point.crossbar, DacConfig::new(1).unwrap(), &dup).unwrap();
+        let gene = MacAllocGene::from_raw(request_a.gene.clone()).unwrap();
+        for (power, id) in [(9.0, 0u64), (15.0, 7)] {
+            parse_ready(lines.next().expect("ready line")).expect("valid ready");
+            let response = ScoreResponse::parse(lines.next().expect("score line")).unwrap();
+            assert_eq!(response.id, id);
+            let core = EvalCore::new(
+                &model,
+                Watts(power),
+                &hw,
+                MacroMode::Specialized,
+                Objective::PowerEfficiency,
+                EvalCacheConfig::default(),
+            );
+            let expect = core.score(&df, point, &gene);
             assert_eq!(response.score.fitness.to_bits(), expect.fitness.to_bits());
             assert_eq!(response.score.feasible, expect.feasible);
         }

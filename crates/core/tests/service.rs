@@ -1,0 +1,271 @@
+//! End-to-end exercise of the [`SynthesisService`]: shared worker-pool
+//! amortization across jobs, queue back-pressure, concurrent-job
+//! determinism, and the socket serve/submit surface.
+//!
+//! These tests live in the `pimsyn` crate so `CARGO_BIN_EXE_pimsyn` points
+//! at the real CLI binary (which doubles as the `--worker` executable).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pimsyn::{
+    serve_in_background, BackendKind, JobStatus, ServiceClient, ServiceConfig, ServiceError,
+    SynthesisError, SynthesisOptions, SynthesisRequest, SynthesisService, SynthesisSummary,
+    Synthesizer,
+};
+use pimsyn_arch::Watts;
+use pimsyn_model::json::JsonValue;
+use pimsyn_model::zoo;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_pimsyn");
+
+fn fast_request(seed: u64) -> SynthesisRequest {
+    SynthesisRequest::new(
+        zoo::alexnet_cifar(10),
+        SynthesisOptions::fast(Watts(9.0)).with_seed(seed),
+    )
+}
+
+/// N sequential jobs through one service spawn at most the configured pool
+/// width of worker processes — the pool is leased and re-sessioned per job,
+/// not re-spawned — and every job stays bit-identical to an inline run.
+#[test]
+fn service_jobs_reuse_the_shared_worker_pool() {
+    const POOL_WIDTH: usize = 2;
+    const JOBS: usize = 3;
+    let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+    assert_eq!(service.worker_spawns(), 0);
+    let subprocess_request = |seed: u64| {
+        let mut request = fast_request(seed);
+        request.options = request
+            .options
+            .with_backend(BackendKind::Subprocess {
+                workers: POOL_WIDTH,
+            })
+            .with_worker_command(WORKER_BIN);
+        request
+    };
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| {
+            service
+                .submit(subprocess_request(7 + i as u64))
+                .expect("queue has room")
+        })
+        .collect();
+    for (i, handle) in handles.iter().enumerate() {
+        let via_service = handle.await_result().expect("feasible");
+        // Each job's result is bit-identical to a standalone inline run:
+        // the leased workers re-opened a session with this job's model and
+        // power, so recycling processes never leaks stale run state.
+        let inline = Synthesizer::new(fast_request(7 + i as u64).options)
+            .synthesize(&zoo::alexnet_cifar(10))
+            .expect("inline synthesis");
+        assert_eq!(via_service.wt_dup, inline.wt_dup, "job {i}");
+        assert_eq!(via_service.architecture, inline.architecture, "job {i}");
+        assert_eq!(via_service.analytic, inline.analytic, "job {i}");
+        assert_eq!(via_service.evaluations, inline.evaluations, "job {i}");
+        assert_eq!(via_service.history, inline.history, "job {i}");
+    }
+    let spawns = service.worker_spawns();
+    assert!(spawns >= 1, "subprocess jobs must actually use the pool");
+    assert!(
+        spawns <= POOL_WIDTH,
+        "{JOBS} jobs spawned {spawns} workers; the shared pool must cap at \
+         the pool width ({POOL_WIDTH}), not jobs x width"
+    );
+    service.shutdown();
+}
+
+/// A submit beyond the bounded queue depth returns a typed
+/// [`ServiceError::QueueFull`] promptly — it never blocks or panics.
+#[test]
+fn submit_beyond_queue_depth_returns_queue_full() {
+    let service = SynthesisService::new(
+        ServiceConfig::default()
+            .with_job_slots(1)
+            .with_queue_depth(1),
+    );
+    // Occupy the single slot with a long job (paper effort; cancelled at
+    // the end of the test), then fill the one queue slot.
+    let mut blocker_options = SynthesisOptions::new(Watts(15.0)).with_seed(3);
+    blocker_options.effort = pimsyn::Effort::Paper;
+    let blocker = service
+        .submit(SynthesisRequest::new(zoo::vgg16_cifar(10), blocker_options))
+        .unwrap();
+    // Wait until the blocker actually occupies the slot, so the next submit
+    // is deterministically the only queued job.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while blocker.status() == JobStatus::Queued && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(blocker.status(), JobStatus::Running, "blocker must start");
+    let queued = service.submit(fast_request(4)).unwrap();
+    let started = Instant::now();
+    let overflow = service.submit(fast_request(5));
+    assert_eq!(
+        overflow.unwrap_err(),
+        ServiceError::QueueFull { depth: 1 },
+        "the queue holds one job; the second waiting submit must be rejected"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "queue-full rejection must not block"
+    );
+    blocker.cancel();
+    queued.cancel();
+    assert!(matches!(
+        blocker.await_result(),
+        Err(SynthesisError::Cancelled)
+    ));
+    service.shutdown();
+}
+
+/// Two jobs submitted concurrently to a two-slot service produce results
+/// bit-identical to the same requests run serially through the blocking
+/// API (the determinism-suite comparison, field by field).
+#[test]
+fn concurrent_service_jobs_match_serial_runs_bit_identically() {
+    let requests = [fast_request(11), fast_request(23)];
+    let serial: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            Synthesizer::new(request.options.clone())
+                .synthesize(&request.model)
+                .expect("serial synthesis")
+        })
+        .collect();
+
+    let service = SynthesisService::new(ServiceConfig::default().with_job_slots(2));
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|request| service.submit(request.clone()).expect("queue has room"))
+        .collect();
+    for (i, (handle, serial)) in handles.iter().zip(&serial).enumerate() {
+        let concurrent = handle.await_result().expect("service synthesis");
+        assert_eq!(concurrent.wt_dup, serial.wt_dup, "job {i}");
+        assert_eq!(concurrent.architecture, serial.architecture, "job {i}");
+        assert_eq!(concurrent.analytic, serial.analytic, "job {i}");
+        assert_eq!(concurrent.evaluations, serial.evaluations, "job {i}");
+        assert_eq!(concurrent.history, serial.history, "job {i}");
+        assert_eq!(concurrent.stop_reason, serial.stop_reason, "job {i}");
+    }
+    service.shutdown();
+}
+
+/// Summary fields modulo the wall-clock one, keyed for comparison.
+fn summary_without_elapsed(doc: &JsonValue) -> Vec<(String, String)> {
+    doc.as_object()
+        .expect("summary is an object")
+        .iter()
+        .filter(|(k, _)| k != "elapsed_s")
+        .map(|(k, v)| (k.clone(), v.to_string()))
+        .collect()
+}
+
+/// The full socket round trip against an in-process daemon: submit a job,
+/// poll status, stream events, fetch the result, and compare it — modulo
+/// elapsed time — with a direct in-process run; then shut down cleanly.
+#[test]
+fn socket_round_trip_matches_direct_run_and_shuts_down() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let service = Arc::new(SynthesisService::new(
+        ServiceConfig::default().with_job_slots(1),
+    ));
+    let handle = serve_in_background(listener, service, |_request| {}, true).expect("serve");
+    let client = ServiceClient::new(handle.addr().to_string());
+
+    // Unknown ids are typed errors, not hangs.
+    let reply = client.status(999).expect("transport");
+    assert_eq!(reply.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        reply.get("code").and_then(JsonValue::as_str),
+        Some("unknown_job")
+    );
+
+    let request = fast_request(7);
+    let reply = client.submit(&request).expect("transport");
+    assert_eq!(
+        reply.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "{reply}"
+    );
+    let id = reply.get("id").and_then(JsonValue::as_usize).expect("id") as u64;
+
+    let status = client.status(id).expect("transport");
+    let phase = status.get("status").and_then(JsonValue::as_str).unwrap();
+    assert!(
+        ["queued", "running", "finished"].contains(&phase),
+        "{status}"
+    );
+
+    let result = client.result(id).expect("transport");
+    assert_eq!(
+        result.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "{result}"
+    );
+    let served_summary = result.get("summary").expect("summary").clone();
+    let direct = Synthesizer::new(request.options.clone())
+        .synthesize(&request.model)
+        .expect("direct synthesis");
+    let direct_summary = SynthesisSummary::from_result(&direct).to_json();
+    assert_eq!(
+        summary_without_elapsed(&served_summary),
+        summary_without_elapsed(&direct_summary),
+        "socket-submitted job must match the direct run modulo elapsed_s"
+    );
+
+    // The events verb replays the job's stream from the beginning even
+    // after it finished: job_started first, finished last.
+    let events = client.events(id).expect("transport");
+    assert!(!events.is_empty());
+    let event_type = |doc: &JsonValue| {
+        doc.get("event")
+            .and_then(|e| e.get("type"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(
+        event_type(events.first().unwrap()).as_deref(),
+        Some("job_started")
+    );
+    assert_eq!(
+        event_type(events.last().unwrap()).as_deref(),
+        Some("finished")
+    );
+
+    let reply = client.shutdown().expect("transport");
+    assert_eq!(reply.get("ok").and_then(JsonValue::as_bool), Some(true));
+    handle.join().expect("serve loop exits cleanly");
+}
+
+/// A peer speaking the wrong protocol version gets an explicit
+/// `version_mismatch` error reply, never a guess.
+#[test]
+fn version_mismatch_is_answered_with_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let service = Arc::new(SynthesisService::new(
+        ServiceConfig::default().with_job_slots(1),
+    ));
+    let handle = serve_in_background(listener, service, |_request| {}, true).expect("serve");
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    writeln!(stream, r#"{{"verb":"status","pimsyn_service":99,"id":0}}"#).unwrap();
+    stream.flush().unwrap();
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply).unwrap();
+    let doc = JsonValue::parse(reply.trim()).expect("valid JSON reply");
+    assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(false));
+    assert_eq!(
+        doc.get("code").and_then(JsonValue::as_str),
+        Some("version_mismatch")
+    );
+    drop(stream);
+
+    ServiceClient::new(handle.addr().to_string())
+        .shutdown()
+        .expect("transport");
+    handle.join().expect("serve loop exits cleanly");
+}

@@ -24,15 +24,18 @@
 mod inline;
 mod persist;
 pub mod protocol;
+mod shared;
 mod subprocess;
 mod threads;
 
 pub use inline::InlineBackend;
 pub use persist::{CacheSnapshot, PersistentEvalCache, EVAL_CACHE_SCHEMA};
-pub use subprocess::SubprocessBackend;
+pub use shared::SharedEvalResources;
+pub use subprocess::{SubprocessBackend, WorkerPool};
 pub use threads::ThreadPoolBackend;
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use pimsyn_ir::Dataflow;
 
@@ -213,8 +216,8 @@ impl std::fmt::Display for BackendKind {
 }
 
 /// Full evaluation-backend configuration: the backend kind plus the
-/// cross-run persistence and worker-command overrides.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// cross-run persistence, sharing and worker-command overrides.
+#[derive(Debug, Clone, Default)]
 pub struct EvalBackendConfig {
     /// Which backend scores candidates.
     pub kind: BackendKind,
@@ -222,10 +225,39 @@ pub struct EvalBackendConfig {
     /// matches the run) before the search and rewritten after it, so
     /// repeated invocations and sweeps warm-start.
     pub cache_file: Option<PathBuf>,
+    /// Flush-time cap on candidate-score entries written per run section of
+    /// the cache file: the oldest (first-inserted) entries are trimmed
+    /// first, so paper-scale sweeps stop growing the file without bound.
+    /// `None` writes every memo entry. Only meaningful with
+    /// [`cache_file`](Self::cache_file).
+    pub cache_max_entries: Option<usize>,
     /// Override of the worker executable for [`BackendKind::Subprocess`]
     /// (default: the current executable, which is the `pimsyn` CLI when
     /// launched from it). Tests point this at a built `pimsyn` binary.
     pub worker_command: Option<PathBuf>,
+    /// Resources shared across runs: one subprocess worker pool (leased and
+    /// re-sessioned per run instead of spawned per run) and one in-memory
+    /// evaluation-cache snapshot store. Sharing is transparent — outcomes
+    /// are bit-identical with or without it. Set by `sweep_power` and the
+    /// synthesis service; `None` keeps every resource private to the run.
+    pub shared: Option<Arc<SharedEvalResources>>,
+}
+
+/// Configurations compare by value, except the shared-resource handle which
+/// compares by identity (two configs sharing the *same* pool are equal;
+/// equal-but-distinct pools are not interchangeable).
+impl PartialEq for EvalBackendConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.cache_file == other.cache_file
+            && self.cache_max_entries == other.cache_max_entries
+            && self.worker_command == other.worker_command
+            && match (&self.shared, &other.shared) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl EvalBackendConfig {
@@ -249,6 +281,14 @@ impl EvalBackendConfig {
         self
     }
 
+    /// Caps candidate-score entries written per cache-file run section
+    /// (oldest trimmed first at flush time).
+    #[must_use]
+    pub fn with_cache_max_entries(mut self, cap: usize) -> Self {
+        self.cache_max_entries = Some(cap);
+        self
+    }
+
     /// Overrides the subprocess worker executable.
     #[must_use]
     pub fn with_worker_command(mut self, path: impl Into<PathBuf>) -> Self {
@@ -256,14 +296,27 @@ impl EvalBackendConfig {
         self
     }
 
-    /// Instantiates the configured backend.
+    /// Attaches cross-run shared resources (worker pool, snapshot store).
+    #[must_use]
+    pub fn with_shared_resources(mut self, shared: Arc<SharedEvalResources>) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Instantiates the configured backend. With shared resources attached,
+    /// a subprocess backend leases processes from the shared pool (created
+    /// on first use) instead of owning a private one.
     pub fn build(&self) -> Box<dyn EvalBackend> {
         match self.kind {
             BackendKind::Inline => Box::new(InlineBackend::default()),
             BackendKind::ThreadPool { workers } => Box::new(ThreadPoolBackend::new(workers)),
-            BackendKind::Subprocess { workers } => {
-                Box::new(SubprocessBackend::new(workers, self.worker_command.clone()))
-            }
+            BackendKind::Subprocess { workers } => match &self.shared {
+                Some(shared) => Box::new(SubprocessBackend::with_pool(
+                    workers,
+                    shared.worker_pool(workers, self.worker_command.clone()),
+                )),
+                None => Box::new(SubprocessBackend::new(workers, self.worker_command.clone())),
+            },
         }
     }
 }

@@ -1,13 +1,28 @@
-//! The subprocess backend: a pool of `pimsyn --worker` child processes
-//! scoring candidates over the JSON-lines [`protocol`](super::protocol).
+//! The subprocess backend: `pimsyn --worker` child processes scoring
+//! candidates over the JSON-lines [`protocol`](super::protocol).
 //!
-//! Workers are spawned lazily on the first batch (the init payload needs
-//! the run's model and hardware parameters), kept alive across batches, and
-//! isolated per failure: a worker that dies, hangs up or answers garbage is
-//! dropped, its in-flight chunk is recomputed inline (scoring is a pure
-//! function, so results are unaffected), and the slot respawns on the next
-//! batch. If no worker can be spawned at all — missing executable, resource
-//! exhaustion — every batch silently degrades to inline scoring; the
+//! Process ownership and per-run session state are separate layers:
+//!
+//! - A [`WorkerPool`] owns the child *processes*. It caps how many may be
+//!   alive at once (globally, across every run that leases from it), hands
+//!   idle processes out, takes survivors back, and kills whatever is still
+//!   idle when it drops. A pool can be private to one backend (the classic
+//!   per-run behavior) or shared across many runs through
+//!   [`SharedEvalResources`](super::SharedEvalResources) — a long-lived
+//!   service amortizes process spawn cost over its whole lifetime.
+//! - A [`SubprocessBackend`] holds one run's *session*: the init line fixing
+//!   the run's model/hardware/power/objective, and the leased workers that
+//!   have already acknowledged that init. Leasing a process from the pool
+//!   re-opens the session on it (a fresh `init` → `ready` handshake), so a
+//!   process recycled from another run still ships the right model.
+//!
+//! Failure isolation is per worker: one that dies, hangs up or answers
+//! garbage is dropped, its in-flight chunk is recomputed inline (scoring is
+//! a pure function, so results are unaffected), and the slot is re-leased on
+//! the next batch. If no worker can be spawned at all — missing executable,
+//! resource exhaustion, handshake timeout — the pool backs off from further
+//! spawn attempts for a bounded window and batches silently degrade to
+//! inline scoring meanwhile; the
 //! [`BackendStats::fallback_jobs`](super::BackendStats) counter records it.
 //!
 //! Floats cross the process boundary as `f64::to_bits` hex, and the worker
@@ -19,14 +34,14 @@
 //! `SIGSTOP`ped child — blocks its chunk until the process resumes or dies.
 //! The worker is this same trusted binary whose loop cannot block between
 //! reading a request and answering it, so in practice stalls mean death
-//! (covered by the EOF/error path). A future remote backend should carry
-//! deadlines in the transport instead.
+//! (covered by the EOF/error path). The session-opening handshake *is*
+//! timeout-guarded (a helper thread reads the ready line).
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use crate::eval::{CandidateScore, EvalCore};
@@ -34,11 +49,13 @@ use crate::eval::{CandidateScore, EvalCore};
 use super::protocol::{parse_ready, ScoreRequest, ScoreResponse, WorkerInit};
 use super::{pool_width, BackendStats, EvalBackend, EvalJob, StopCheck};
 
-/// One live worker process with its pipe endpoints.
+/// One live worker process with its pipe endpoints. The stdout reader is
+/// optional only because session handshakes temporarily move it onto a
+/// helper thread (std pipes have no read timeout).
 struct Worker {
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    stdout: Option<BufReader<ChildStdout>>,
 }
 
 impl Drop for Worker {
@@ -49,80 +66,164 @@ impl Drop for Worker {
     }
 }
 
-struct Pool {
-    /// Session init line, built from the first batch's [`EvalCore`].
-    init_line: Option<String>,
-    /// Workers idle between batches.
-    idle: Vec<Worker>,
-    /// Workers alive in total — idle plus checked out to in-flight batches.
-    /// The configured worker count caps this *globally*: concurrent
-    /// design-point threads share one pool instead of each spawning their
-    /// own complement.
-    live: usize,
-    /// Set when a spawn attempt fails (missing executable, bad handshake):
-    /// further batches stop retrying and score inline instead of paying
-    /// the spawn/handshake cost over and over.
-    broken: bool,
-    /// Monotonic request-id allocator (ids never repeat within a run).
-    next_id: u64,
-}
+/// How long a worker gets to answer a session-opening handshake. Guards
+/// against an executable that ignores the protocol and never answers: after
+/// the timeout the child is killed and the pool marks itself broken, so the
+/// run degrades to inline scoring instead of hanging.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Scores batches across `pimsyn --worker` child processes.
-pub struct SubprocessBackend {
-    workers: usize,
-    command: Option<PathBuf>,
-    pool: Mutex<Pool>,
-    batches: AtomicUsize,
-    jobs: AtomicUsize,
-    remote: AtomicUsize,
-    fallback: AtomicUsize,
-    spawns: AtomicUsize,
-}
-
-impl std::fmt::Debug for SubprocessBackend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SubprocessBackend")
-            .field("workers", &self.workers)
-            .field("command", &self.command)
-            .field("stats", &self.stats())
-            .finish_non_exhaustive()
+/// Opens (or re-opens) a run session on a worker: writes the init line and
+/// waits for the matching `ready` acknowledgment. Consumes the worker and
+/// returns it only when the handshake succeeds; a worker that fails it is
+/// killed. Used both for freshly spawned processes and for processes
+/// recycled from another run's session.
+fn open_session(mut worker: Worker, init_line: &str) -> Option<Worker> {
+    if writeln!(worker.stdin, "{init_line}").is_err() || worker.stdin.flush().is_err() {
+        return None; // Drop kills and reaps
+    }
+    let mut stdout = worker.stdout.take()?;
+    // Read the ready line on a helper thread so the handshake can time out
+    // (std pipes have no read timeout). On timeout the child is killed,
+    // which unblocks the reader.
+    let (tx, rx) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut line = String::new();
+        let ok = matches!(stdout.read_line(&mut line), Ok(n) if n > 0);
+        let _ = tx.send((ok, line, stdout));
+    });
+    match rx.recv_timeout(HANDSHAKE_TIMEOUT) {
+        Ok((true, line, stdout)) if parse_ready(line.trim()).is_ok() => {
+            let _ = reader.join();
+            worker.stdout = Some(stdout);
+            Some(worker)
+        }
+        _ => {
+            let _ = worker.child.kill();
+            let _ = reader.join();
+            None // Drop reaps
+        }
     }
 }
 
-impl SubprocessBackend {
-    /// A pool of `workers` child processes (`0` = one per available core),
-    /// running `command` (`None` = the current executable, which is the
-    /// `pimsyn` CLI when launched from it).
-    pub fn new(workers: usize, command: Option<PathBuf>) -> Self {
+struct PoolState {
+    /// Processes idle between runs/batches. Their last session (if any) may
+    /// belong to a different run; leasing re-opens the session.
+    idle: Vec<Worker>,
+    /// Processes alive in total — idle plus checked out to in-flight
+    /// batches. The configured worker count caps this *globally*: every
+    /// run and design-point thread leasing from this pool shares one
+    /// complement instead of each spawning its own.
+    live: usize,
+    /// Until when spawn attempts are suspended after a spawn or handshake
+    /// failure (missing executable, bad protocol, transient fork failure):
+    /// leases inside the window stop retrying and callers score inline
+    /// instead of paying the spawn/handshake cost over and over. Bounded
+    /// rather than permanent, so a long-lived shared pool (a serve daemon)
+    /// recovers from transient resource pressure instead of degrading to
+    /// inline scoring until restart.
+    backoff_until: Option<std::time::Instant>,
+}
+
+/// A pool of `pimsyn --worker` child *processes*, shareable across runs.
+///
+/// The pool knows nothing about any particular synthesis run: it spawns,
+/// stores and caps raw processes. Run-specific state (the init line, which
+/// workers have acknowledged it) lives in the [`SubprocessBackend`] leasing
+/// from it. Dropping the pool kills every idle process.
+pub struct WorkerPool {
+    /// Configured cap on live processes (`0` = one per available core).
+    configured: usize,
+    command: Option<PathBuf>,
+    state: Mutex<PoolState>,
+    /// Cumulative processes spawned over the pool's lifetime — the measure
+    /// of how well a shared pool amortizes spawn cost across runs.
+    spawns: AtomicUsize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("worker pool");
+        f.debug_struct("WorkerPool")
+            .field("configured", &self.configured)
+            .field("command", &self.command)
+            .field("idle", &state.idle.len())
+            .field("live", &state.live)
+            .field("backing_off", &state.backoff_until.is_some())
+            .field("spawns", &self.spawns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool capped at `configured` live processes (`0` = one per
+    /// available core), running `command` (`None` = the current executable,
+    /// which is the `pimsyn` CLI when launched from it).
+    pub fn new(configured: usize, command: Option<PathBuf>) -> Self {
         Self {
-            workers,
+            configured,
             command,
-            pool: Mutex::new(Pool {
-                init_line: None,
+            state: Mutex::new(PoolState {
                 idle: Vec::new(),
                 live: 0,
-                broken: false,
-                next_id: 0,
+                backoff_until: None,
             }),
-            batches: AtomicUsize::new(0),
-            jobs: AtomicUsize::new(0),
-            remote: AtomicUsize::new(0),
-            fallback: AtomicUsize::new(0),
             spawns: AtomicUsize::new(0),
         }
     }
 
-    /// How long a freshly spawned worker gets to answer the init handshake.
-    /// Guards against a `worker_command` (or `current_exe` in a non-CLI
-    /// embedder) that ignores the protocol and never answers: after the
-    /// timeout the child is killed and the pool marks itself broken, so the
-    /// run degrades to inline scoring instead of hanging.
-    const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+    /// How long spawn attempts stay suspended after a failure. Within one
+    /// short synthesis run this effectively means "give up after the first
+    /// failure" (the prior behavior); a long-lived daemon retries once the
+    /// window passes.
+    const SPAWN_BACKOFF: Duration = Duration::from_secs(30);
 
-    /// Spawns and handshakes one worker; `None` when the executable is
-    /// unavailable or the handshake fails or times out (the caller degrades
-    /// to inline).
-    fn spawn_worker(&self, init_line: &str) -> Option<Worker> {
+    /// Processes spawned over the pool's lifetime (never decremented).
+    pub fn spawn_count(&self) -> usize {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// Processes currently alive (idle + checked out).
+    pub fn live_workers(&self) -> usize {
+        self.state.lock().expect("worker pool").live
+    }
+
+    /// The global live-process cap.
+    fn cap(&self) -> usize {
+        pool_width(self.configured, usize::MAX)
+    }
+
+    /// Takes up to `want` idle processes and reserves spawn slots for the
+    /// shortfall under the global cap (reservations count as live until
+    /// [`release_reservations`](Self::release_reservations) or a death is
+    /// recorded). Returns `(processes, reservations)`; both may fall short
+    /// of `want` when the pool is saturated or backing off after a spawn
+    /// failure.
+    fn checkout(&self, want: usize) -> (Vec<Worker>, usize) {
+        let mut state = self.state.lock().expect("worker pool");
+        let mut taken = Vec::new();
+        while taken.len() < want {
+            match state.idle.pop() {
+                Some(worker) => taken.push(worker),
+                None => break,
+            }
+        }
+        let backing_off = state
+            .backoff_until
+            .is_some_and(|until| std::time::Instant::now() < until);
+        let reserved = if backing_off {
+            0
+        } else {
+            (want - taken.len()).min(self.cap().saturating_sub(state.live))
+        };
+        state.live += reserved;
+        (taken, reserved)
+    }
+
+    /// Spawns one raw process against an earlier reservation (no session is
+    /// opened; the caller handshakes). `None` when the executable cannot be
+    /// started — the caller should release the reservation and
+    /// [`mark_broken`](Self::mark_broken).
+    fn spawn_process(&self) -> Option<Worker> {
         let command = self
             .command
             .clone()
@@ -134,39 +235,109 @@ impl SubprocessBackend {
             .stderr(Stdio::null())
             .spawn()
             .ok()?;
-        let mut stdin = child.stdin.take()?;
-        let mut stdout = BufReader::new(child.stdout.take()?);
+        let stdin = child.stdin.take()?;
+        let stdout = BufReader::new(child.stdout.take()?);
         self.spawns.fetch_add(1, Ordering::Relaxed);
-        if writeln!(stdin, "{init_line}").is_err() || stdin.flush().is_err() {
-            let _ = child.kill();
-            let _ = child.wait();
-            return None;
+        Some(Worker {
+            child,
+            stdin,
+            stdout: Some(stdout),
+        })
+    }
+
+    /// Releases `n` unused spawn reservations.
+    fn release_reservations(&self, n: usize) {
+        if n > 0 {
+            self.state.lock().expect("worker pool").live -= n;
         }
-        // Read the ready line on a helper thread so the handshake can time
-        // out (std pipes have no read timeout). On timeout the child is
-        // killed, which unblocks the reader.
-        let (tx, rx) = mpsc::channel();
-        let reader = std::thread::spawn(move || {
-            let mut line = String::new();
-            let ok = matches!(stdout.read_line(&mut line), Ok(n) if n > 0);
-            let _ = tx.send((ok, line, stdout));
-        });
-        let handshake = rx.recv_timeout(Self::HANDSHAKE_TIMEOUT);
-        match handshake {
-            Ok((true, line, stdout)) if parse_ready(line.trim()).is_ok() => {
-                let _ = reader.join();
-                Some(Worker {
-                    child,
-                    stdin,
-                    stdout,
-                })
-            }
-            _ => {
-                let _ = child.kill();
-                let _ = reader.join();
-                let _ = child.wait();
-                None
-            }
+    }
+
+    /// Records `n` worker deaths (checked-out or reserved-then-failed).
+    fn record_deaths(&self, n: usize) {
+        if n > 0 {
+            self.state.lock().expect("worker pool").live -= n;
+        }
+    }
+
+    /// Returns still-alive processes to the idle set (their session state is
+    /// considered stale; the next lease re-opens it).
+    fn checkin(&self, workers: Vec<Worker>) {
+        if workers.is_empty() {
+            return;
+        }
+        self.state.lock().expect("worker pool").idle.extend(workers);
+    }
+
+    /// Suspends spawn attempts for [`SPAWN_BACKOFF`](Self::SPAWN_BACKOFF):
+    /// one failure is enough evidence to stop retrying for a while, without
+    /// condemning a long-lived pool forever.
+    fn mark_broken(&self) {
+        self.state.lock().expect("worker pool").backoff_until =
+            Some(std::time::Instant::now() + Self::SPAWN_BACKOFF);
+    }
+}
+
+/// One run's session over the pool: the init line fixing the run's model
+/// and hardware, the leased workers that already acknowledged it, and the
+/// monotonic request-id allocator.
+struct RunSession {
+    init_line: Option<String>,
+    /// Workers inited for *this* run, idle between batches.
+    ready: Vec<Worker>,
+    next_id: u64,
+}
+
+/// Scores batches across `pimsyn --worker` child processes leased from a
+/// [`WorkerPool`].
+pub struct SubprocessBackend {
+    workers: usize,
+    pool: Arc<WorkerPool>,
+    session: Mutex<RunSession>,
+    batches: AtomicUsize,
+    jobs: AtomicUsize,
+    remote: AtomicUsize,
+    fallback: AtomicUsize,
+    spawns: AtomicUsize,
+}
+
+impl std::fmt::Debug for SubprocessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubprocessBackend")
+            .field("workers", &self.workers)
+            .field("pool", &self.pool)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubprocessBackend {
+    /// A backend with a *private* pool of `workers` child processes (`0` =
+    /// one per available core), running `command` (`None` = the current
+    /// executable). The processes die with the backend — the classic
+    /// per-run behavior.
+    pub fn new(workers: usize, command: Option<PathBuf>) -> Self {
+        Self::with_pool(workers, Arc::new(WorkerPool::new(workers, command)))
+    }
+
+    /// A backend leasing processes from an existing (typically shared)
+    /// pool. Sessions are still per run: every leased process re-handshakes
+    /// with this run's init line, so model and hardware always ship
+    /// correctly; the processes themselves outlive the run and return to
+    /// the pool on [`flush`](EvalBackend::flush).
+    pub fn with_pool(workers: usize, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            workers,
+            pool,
+            session: Mutex::new(RunSession {
+                init_line: None,
+                ready: Vec::new(),
+                next_id: 0,
+            }),
+            batches: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+            fallback: AtomicUsize::new(0),
+            spawns: AtomicUsize::new(0),
         }
     }
 
@@ -199,11 +370,11 @@ impl SubprocessBackend {
             .stdin
             .flush()
             .map_err(|e| format!("worker flush failed: {e}"))?;
+        let stdout = worker.stdout.as_mut().ok_or("worker lost its stdout")?;
         let mut out: Vec<Option<CandidateScore>> = vec![None; jobs.len()];
         for _ in 0..jobs.len() {
             let mut line = String::new();
-            let n = worker
-                .stdout
+            let n = stdout
                 .read_line(&mut line)
                 .map_err(|e| format!("worker read failed: {e}"))?;
             if n == 0 {
@@ -255,6 +426,64 @@ impl SubprocessBackend {
             .collect();
         (scores, None, 0, jobs.len())
     }
+
+    /// Fills the `None` slots of `slots` with sessioned workers: processes
+    /// leased from the pool (sessions re-opened with this run's init line)
+    /// plus freshly spawned ones under the pool's spawn reservations.
+    /// Handles all pool bookkeeping for failures.
+    fn lease_missing(&self, slots: &mut [Option<Worker>], init: &str, stop: StopCheck<'_>) {
+        let missing = slots.iter().filter(|s| s.is_none()).count();
+        if missing == 0 {
+            return;
+        }
+        let (mut leased, reserved) = self.pool.checkout(missing);
+        let mut opened: Vec<Worker> = Vec::with_capacity(missing);
+        let mut deaths = 0usize;
+        // Re-open sessions on recycled processes; a process that fails the
+        // handshake is dead (its slot can still be covered by a spawn).
+        while let Some(worker) = leased.pop() {
+            if stop() || opened.len() == missing {
+                leased.push(worker);
+                break;
+            }
+            match open_session(worker, init) {
+                Some(worker) => opened.push(worker),
+                None => deaths += 1,
+            }
+        }
+        // Spawn fresh processes against the reservations for what is still
+        // missing. One failure is enough evidence: back the pool off so
+        // nearby batches stop retrying (chunks without workers score
+        // inline).
+        let mut used = 0usize;
+        while opened.len() < missing && used < reserved && !stop() {
+            used += 1;
+            let worker = self.pool.spawn_process().and_then(|w| {
+                self.spawns.fetch_add(1, Ordering::Relaxed);
+                open_session(w, init)
+            });
+            match worker {
+                Some(worker) => opened.push(worker),
+                None => {
+                    deaths += 1;
+                    self.pool.mark_broken();
+                    break;
+                }
+            }
+        }
+        self.pool.release_reservations(reserved - used);
+        self.pool.record_deaths(deaths);
+        self.pool.checkin(leased); // un-needed leases go back unopened
+        let mut opened = opened.into_iter();
+        for slot in slots.iter_mut() {
+            if slot.is_none() {
+                match opened.next() {
+                    Some(worker) => *slot = Some(worker),
+                    None => break,
+                }
+            }
+        }
+    }
 }
 
 impl EvalBackend for SubprocessBackend {
@@ -277,16 +506,14 @@ impl EvalBackend for SubprocessBackend {
         let chunk = jobs.len().div_ceil(width);
         let chunks: Vec<&[EvalJob<'_>]> = jobs.chunks(chunk).collect();
 
-        // Take idle workers, reserve spawn slots and an id range under the
-        // lock; spawn the missing workers *outside* it — the handshake
-        // blocks on the child, and other design-point threads must not wait
-        // behind it. The configured worker count caps live workers
-        // globally: concurrent design-point threads share one complement
-        // instead of each spawning their own.
-        let (init, mut workers, taken, to_spawn, id_base) = {
-            let mut pool = self.pool.lock().expect("subprocess pool");
-            if pool.init_line.is_none() {
-                pool.init_line = Some(
+        // Take this run's already-sessioned workers and an id range under
+        // the session lock; lease/handshake the missing workers *outside*
+        // it — the handshake blocks on the child, and other design-point
+        // threads must not wait behind it.
+        let (init, mut workers, id_base) = {
+            let mut session = self.session.lock().expect("subprocess session");
+            if session.init_line.is_none() {
+                session.init_line = Some(
                     WorkerInit {
                         model_json: pimsyn_model::onnx::to_json(core.model()),
                         hw_json: pimsyn_arch::hardware_config::to_json_exact(core.hw()),
@@ -297,42 +524,18 @@ impl EvalBackend for SubprocessBackend {
                     .to_line(),
                 );
             }
-            let init = pool.init_line.clone().expect("just set");
+            let init = session.init_line.clone().expect("just set");
             let mut workers: Vec<Option<Worker>> = Vec::with_capacity(chunks.len());
             for _ in 0..chunks.len() {
-                workers.push(pool.idle.pop());
+                workers.push(session.ready.pop());
             }
-            let taken = workers.iter().filter(|w| w.is_some()).count();
-            let missing = chunks.len() - taken;
-            let cap = pool_width(self.workers, usize::MAX);
-            let to_spawn = if pool.broken {
-                0
-            } else {
-                missing.min(cap.saturating_sub(pool.live))
-            };
-            pool.live += to_spawn; // reserve; released below if unused
-            let id_base = pool.next_id;
-            pool.next_id += jobs.len() as u64;
-            (init, workers, taken, to_spawn, id_base)
+            let id_base = session.next_id;
+            session.next_id += jobs.len() as u64;
+            (init, workers, id_base)
         };
-        let mut spawned = 0usize;
-        let mut spawn_failed = false;
-        for slot in &mut workers {
-            if spawned == to_spawn || spawn_failed || stop() {
-                break;
-            }
-            if slot.is_none() {
-                match self.spawn_worker(&init) {
-                    Some(worker) => {
-                        *slot = Some(worker);
-                        spawned += 1;
-                    }
-                    // One failure is enough evidence: stop retrying for the
-                    // rest of the run (chunks without workers score inline).
-                    None => spawn_failed = true,
-                }
-            }
-        }
+        self.lease_missing(&mut workers, &init, stop);
+        // Every worker entering the batch; deaths are reconciled after it.
+        let checked_out = workers.iter().filter(|w| w.is_some()).count();
 
         let mut out = Vec::with_capacity(jobs.len());
         let mut survivors: Vec<Worker> = Vec::new();
@@ -370,15 +573,14 @@ impl EvalBackend for SubprocessBackend {
         self.remote.fetch_add(remote, Ordering::Relaxed);
         self.fallback.fetch_add(fallback, Ordering::Relaxed);
 
-        let mut pool = self.pool.lock().expect("subprocess pool");
-        // Release unused spawn reservations (and failed attempts), then
-        // account worker deaths: live covers exactly idle + checked-out.
-        let checked_out = taken + spawned;
-        pool.live -= (to_spawn - spawned) + (checked_out - survivors.len());
-        if spawn_failed {
-            pool.broken = true;
-        }
-        pool.idle.extend(survivors);
+        // Workers that died mid-chunk come off the pool's live count; the
+        // healthy ones stay sessioned for this run's next batch.
+        self.pool.record_deaths(checked_out - survivors.len());
+        self.session
+            .lock()
+            .expect("subprocess session")
+            .ready
+            .extend(survivors);
         out
     }
 
@@ -392,13 +594,13 @@ impl EvalBackend for SubprocessBackend {
         }
     }
 
-    /// Tears the worker pool down (children see EOF/kill and exit); the
-    /// next batch would respawn.
+    /// Ends this run's session: its workers return to the pool alive (a
+    /// later run re-opens its own session on them). With a private pool the
+    /// processes die when the backend — and with it the pool — drops; with
+    /// a shared pool they persist and amortize spawn cost across runs.
     fn flush(&self) {
-        let mut pool = self.pool.lock().expect("subprocess pool");
-        let torn_down = pool.idle.len();
-        pool.live -= torn_down;
-        pool.idle.clear();
+        let survivors = std::mem::take(&mut self.session.lock().expect("subprocess session").ready);
+        self.pool.checkin(survivors);
     }
 }
 

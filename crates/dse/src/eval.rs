@@ -41,6 +41,7 @@ use pimsyn_sim::{evaluate_analytic, evaluate_analytic_cached, LayerCostCache, Si
 use crate::alloc::{allocate_components, AllocRequest};
 use crate::backend::{
     BackendStats, CacheSnapshot, EvalBackend, EvalBackendConfig, EvalJob, PersistentEvalCache,
+    SharedEvalResources,
 };
 use crate::ctx::ExploreContext;
 use crate::ea::{MacAllocGene, Objective};
@@ -298,6 +299,27 @@ impl<'a> EvalCore<'a> {
     }
 }
 
+/// The candidate memo: scores keyed by canonical candidate, stamped with a
+/// monotonically increasing insertion sequence so flush-time trimming (and
+/// the serialized cache file) can order entries oldest-first.
+#[derive(Default)]
+struct CandidateMemo {
+    map: HashMap<CandidateKey, (CandidateScore, u64)>,
+    next_seq: u64,
+}
+
+impl CandidateMemo {
+    fn get(&self, key: &CandidateKey) -> Option<CandidateScore> {
+        self.map.get(key).map(|(score, _)| *score)
+    }
+
+    fn insert(&mut self, key: CandidateKey, score: CandidateScore) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(key, (score, seq));
+    }
+}
+
 /// The shared evaluation layer: scores macro-partitioning candidates
 /// (components allocation + analytic model) and SA duplication probes, with
 /// memoization, per-layer incremental costs, batch parallelism through a
@@ -313,7 +335,13 @@ pub struct CandidateEvaluator<'a> {
     backend: Box<dyn EvalBackend>,
     config: EvalCacheConfig,
     persist: Option<PersistentEvalCache>,
-    candidates: Mutex<HashMap<CandidateKey, CandidateScore>>,
+    /// Flush-time cap on persisted candidate-score entries (oldest trimmed
+    /// first); `None` persists the whole memo.
+    persist_cap: Option<usize>,
+    /// Cross-run shared resources: consulted before the cache file on
+    /// preload, published to on flush.
+    shared: Option<Arc<SharedEvalResources>>,
+    candidates: Mutex<CandidateMemo>,
     energies: Mutex<HashMap<(Vec<usize>, u64), f64>>,
     scored: AtomicUsize,
     unique: AtomicUsize,
@@ -375,7 +403,9 @@ impl<'a> CandidateEvaluator<'a> {
             backend,
             config,
             persist: None,
-            candidates: Mutex::new(HashMap::new()),
+            persist_cap: backend_cfg.cache_max_entries,
+            shared: backend_cfg.shared.clone(),
+            candidates: Mutex::new(CandidateMemo::default()),
             energies: Mutex::new(HashMap::new()),
             scored: AtomicUsize::new(0),
             unique: AtomicUsize::new(0),
@@ -394,7 +424,17 @@ impl<'a> CandidateEvaluator<'a> {
                     macro_mode,
                     objective,
                 );
-                if let Some(snapshot) = persist.load() {
+                // A snapshot published by an earlier (or concurrent) run
+                // sharing our resources beats re-reading the file: it is at
+                // least as fresh, and concurrent jobs warm-start each other
+                // before anything is flushed to disk.
+                let snapshot = evaluator
+                    .shared
+                    .as_ref()
+                    .and_then(|shared| shared.snapshot(persist.fingerprint()))
+                    .map(|snapshot| (*snapshot).clone())
+                    .or_else(|| persist.load());
+                if let Some(snapshot) = snapshot {
                     evaluator.preloaded = evaluator.preload(snapshot);
                 }
                 evaluator.persist = Some(persist);
@@ -404,18 +444,20 @@ impl<'a> CandidateEvaluator<'a> {
     }
 
     /// Seeds the memo maps from a loaded snapshot, respecting the capacity
-    /// bound; returns how many candidate scores were installed.
+    /// bound; returns how many candidate scores were installed. Snapshot
+    /// order is preserved as insertion order, so a preloaded entry counts
+    /// as older than anything scored in this run.
     fn preload(&self, snapshot: CacheSnapshot) -> usize {
-        let mut map = self.candidates.lock().expect("candidate memo");
+        let mut memo = self.candidates.lock().expect("candidate memo");
         let mut inserted = 0;
         for (key, score) in snapshot.scores {
-            if map.len() >= self.config.capacity {
+            if memo.map.len() >= self.config.capacity {
                 break;
             }
-            map.insert(key, score);
+            memo.insert(key, score);
             inserted += 1;
         }
-        drop(map);
+        drop(memo);
         self.core.layer_costs.preload(snapshot.layer_costs);
         inserted
     }
@@ -483,9 +525,9 @@ impl<'a> CandidateEvaluator<'a> {
     }
 
     fn store(&self, key: CandidateKey, score: CandidateScore) {
-        let mut map = self.candidates.lock().expect("candidate memo");
-        if map.len() < self.config.capacity {
-            map.insert(key, score);
+        let mut memo = self.candidates.lock().expect("candidate memo");
+        if memo.map.len() < self.config.capacity {
+            memo.insert(key, score);
         }
     }
 
@@ -512,13 +554,7 @@ impl<'a> CandidateEvaluator<'a> {
         }
         let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
         let key = self.make_key(df, point, gene, &wt_dup);
-        if let Some(hit) = self
-            .candidates
-            .lock()
-            .expect("candidate memo")
-            .get(&key)
-            .copied()
-        {
+        if let Some(hit) = self.candidates.lock().expect("candidate memo").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -581,13 +617,7 @@ impl<'a> CandidateEvaluator<'a> {
                 continue;
             }
             let key = self.make_key(df, point, gene, &wt_dup);
-            if let Some(hit) = self
-                .candidates
-                .lock()
-                .expect("candidate memo")
-                .get(&key)
-                .copied()
-            {
+            if let Some(hit) = self.candidates.lock().expect("candidate memo").get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 out[i] = hit;
                 continue;
@@ -681,23 +711,37 @@ impl<'a> CandidateEvaluator<'a> {
         }
     }
 
-    /// Finishes the run: releases backend resources (worker processes) and,
-    /// when a persistent cache file is configured, writes the memo maps
-    /// back to it (best-effort; IO failures never fail a synthesis run).
-    /// Returns whether a cache file was written.
+    /// Finishes the run: releases backend resources (worker processes
+    /// return to their pool) and, when a persistent cache file is
+    /// configured, writes the memo maps back to it (best-effort; IO
+    /// failures never fail a synthesis run) — insertion-ordered, trimmed
+    /// oldest-first to `cache_max_entries` when a cap is configured, and
+    /// published to the shared snapshot store so sibling runs warm-start
+    /// from memory. Returns whether a cache file was written.
     pub fn flush(&self) -> bool {
         self.backend.flush();
         let Some(persist) = &self.persist else {
             return false;
         };
-        let scores: Vec<(CandidateKey, CandidateScore)> = {
-            let map = self.candidates.lock().expect("candidate memo");
-            map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        let mut scores: Vec<(CandidateKey, CandidateScore, u64)> = {
+            let memo = self.candidates.lock().expect("candidate memo");
+            memo.map
+                .iter()
+                .map(|(k, (score, seq))| (k.clone(), *score, *seq))
+                .collect()
         };
+        scores.sort_by_key(|(_, _, seq)| *seq);
+        if let Some(cap) = self.persist_cap {
+            let excess = scores.len().saturating_sub(cap);
+            scores.drain(..excess); // oldest first
+        }
         let snapshot = CacheSnapshot {
-            scores,
+            scores: scores.into_iter().map(|(k, score, _)| (k, score)).collect(),
             layer_costs: self.core.layer_costs.entries(),
         };
+        if let Some(shared) = &self.shared {
+            shared.publish(persist.fingerprint(), snapshot.clone());
+        }
         persist.save(&snapshot)
     }
 }
@@ -1027,6 +1071,103 @@ mod tests {
             &cfg,
         );
         assert_eq!(mismatched.preloaded_entries(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_trims_oldest_score_entries_to_the_configured_cap() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let path =
+            std::env::temp_dir().join(format!("pimsyn-eval-trim-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = EvalBackendConfig::inline()
+            .with_cache_file(&path)
+            .with_cache_max_entries(2);
+        let eval = CandidateEvaluator::with_backend(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &cfg,
+        );
+        let ctx = ExploreContext::unobserved();
+        // Four unique candidates in a known insertion order.
+        for m in 1..=4 {
+            eval.score(&df, point, &gene(l, m), &ctx);
+        }
+        assert!(eval.flush(), "cache file must be written");
+
+        // The file holds only the newest two entries (genes 3 and 4): the
+        // two oldest were trimmed first.
+        let warm = CandidateEvaluator::with_backend(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+            &cfg,
+        );
+        assert_eq!(warm.preloaded_entries(), 2);
+        let ctx2 = ExploreContext::unobserved();
+        warm.score(&df, point, &gene(l, 3), &ctx2);
+        warm.score(&df, point, &gene(l, 4), &ctx2);
+        assert_eq!(warm.stats().cache_hits, 2, "newest entries survive");
+        warm.score(&df, point, &gene(l, 1), &ctx2);
+        assert_eq!(
+            warm.stats().unique_evaluations,
+            1,
+            "oldest entry was trimmed, so gene 1 must recompute"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_snapshot_store_warm_starts_without_rereading_the_file() {
+        use crate::backend::SharedEvalResources;
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        // The cache path is never written: the file stays absent, so any
+        // warm start can only have come from the shared in-memory store.
+        let path =
+            std::env::temp_dir().join(format!("pimsyn-eval-shared-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let shared = SharedEvalResources::new();
+        let cfg = EvalBackendConfig::inline()
+            .with_cache_file(&path)
+            .with_shared_resources(Arc::clone(&shared));
+        let build = || {
+            CandidateEvaluator::with_backend(
+                &model,
+                Watts(9.0),
+                &hw,
+                MacroMode::Specialized,
+                Objective::PowerEfficiency,
+                EvalCacheConfig::default(),
+                &cfg,
+            )
+        };
+        let first = build();
+        let ctx = ExploreContext::unobserved();
+        let cold = first.score(&df, point, &gene(l, 2), &ctx);
+        assert!(first.flush());
+        std::fs::remove_file(&path).expect("flush wrote the file; remove it");
+
+        let second = build();
+        assert_eq!(
+            second.preloaded_entries(),
+            1,
+            "snapshot must come from the shared store, not the deleted file"
+        );
+        let ctx2 = ExploreContext::unobserved();
+        let warm = second.score(&df, point, &gene(l, 2), &ctx2);
+        assert_eq!(warm.fitness.to_bits(), cold.fitness.to_bits());
+        assert_eq!(second.stats().cache_hits, 1);
         let _ = std::fs::remove_file(&path);
     }
 

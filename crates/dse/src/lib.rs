@@ -52,7 +52,7 @@ mod sweep;
 pub use alloc::{allocate_components, physical_macros, AllocRequest};
 pub use backend::{
     BackendKind, BackendStats, EvalBackend, EvalBackendConfig, EvalJob, InlineBackend,
-    PersistentEvalCache, SubprocessBackend, ThreadPoolBackend,
+    PersistentEvalCache, SharedEvalResources, SubprocessBackend, ThreadPoolBackend, WorkerPool,
 };
 pub use ctx::{
     CancelToken, ExploreBudget, ExploreContext, ExploreEvent, ExploreObserver, NullObserver,
