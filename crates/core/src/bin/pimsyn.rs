@@ -59,6 +59,7 @@ struct Args {
     eval_cache_file: Option<String>,
     eval_cache_max_entries: Option<usize>,
     backend: BackendKind,
+    remote_token_file: Option<String>,
     output: OutputFormat,
     quiet: bool,
     help: bool,
@@ -91,11 +92,15 @@ USAGE:
   pimsyn --model-file <net.json> --power <watts> [options]
   pimsyn --batch <jobs.json> [options]
   pimsyn serve --listen <host:port> [--job-slots N] [--queue-depth N]
-               [--backend <spec>] [--eval-cache-file <path>]
-               [--eval-cache-max-entries <n>] [--quiet]
+               [--backend <spec>] [--remote-token-file <path>]
+               [--eval-cache-file <path>] [--eval-cache-max-entries <n>]
+               [--quiet]
   pimsyn submit --connect <host:port> --model <name> --power <watts> [options]
   pimsyn status|result|cancel --connect <host:port> --id <job-id>
   pimsyn shutdown --connect <host:port>
+  pimsyn worker-serve --listen <host:port> [--slots N]
+                      [--auth-token-file <path>] [--quiet]
+  pimsyn worker-stop --connect <host:port> [--auth-token-file <path>]
 
 OPTIONS:
   --model <name>        zoo model (alexnet, vgg13, vgg16, msra, resnet18,
@@ -131,9 +136,13 @@ OPTIONS:
                         section of the cache file (oldest trimmed first), so
                         long sweeps stop growing the file without bound
   --backend <spec>      where candidate scoring runs: inline (default),
-                        threads[:N] (scoped thread pool), or subprocess[:N]
-                        (pimsyn --worker child processes); results are
-                        bit-identical across backends
+                        threads[:N] (scoped thread pool), subprocess[:N]
+                        (pimsyn --worker child processes), or
+                        remote:host:port[,host:port...] (pimsyn worker-serve
+                        daemons over TCP); results are bit-identical across
+                        backends
+  --remote-token-file <path>  shared auth token presented to the remote
+                        worker daemons (requires --backend remote:...)
   --output <text|json>  report format on stdout (default: text)
   --quiet               suppress live progress on stderr
   --help                print this message
@@ -144,6 +153,13 @@ evaluation cache, and are addressed by id through the submit/status/
 result/cancel/shutdown subcommands (a versioned JSON-lines TCP protocol).
 The daemon's --backend / --eval-cache-file flags decide where every
 submitted job's scoring runs; submit-side flags describe the job itself.
+
+`pimsyn worker-serve` runs a long-lived evaluation-worker daemon: each
+accepted TCP connection (version-checked, optionally token-authenticated,
+up to --slots concurrently) serves one worker session for a `--backend
+remote:...` run on another machine. The actually-bound address — including
+the resolved port for --listen HOST:0 — prints to stderr on startup;
+`pimsyn worker-stop` asks the daemon to exit.
 
 `pimsyn --worker` (no other flags) runs the evaluation-worker protocol on
 stdin/stdout; it is spawned by `--backend subprocess` and not meant for
@@ -171,6 +187,7 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
         eval_cache_file: None,
         eval_cache_max_entries: None,
         backend: BackendKind::Inline,
+        remote_token_file: None,
         output: OutputFormat::Text,
         quiet: false,
         help: false,
@@ -241,6 +258,7 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
                 args.backend = BackendKind::parse(&value("--backend")?)
                     .map_err(|e| format!("bad --backend: {e}"))?
             }
+            "--remote-token-file" => args.remote_token_file = Some(value("--remote-token-file")?),
             "--eval-cache" => {
                 args.eval_cache = match value("--eval-cache")?.as_str() {
                     "on" => true,
@@ -283,6 +301,16 @@ fn parse_args_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, Stri
     // it caps nothing.
     if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
         return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
+    }
+    // The token authenticates remote worker connections; without a remote
+    // roster there is nothing to authenticate. In batch mode individual
+    // jobs may select a remote backend through their `backend` field, so
+    // the flag is accepted there regardless of the top-level backend.
+    if args.remote_token_file.is_some()
+        && args.batch_file.is_none()
+        && !matches!(args.backend, BackendKind::Remote { .. })
+    {
+        return Err("--remote-token-file requires --backend remote:host:port[,...]".to_string());
     }
     if args.batch_file.is_some() {
         if args.model.is_some() || args.model_file.is_some() {
@@ -397,7 +425,10 @@ fn options_from_args(args: &Args, power: f64) -> Result<SynthesisOptions, String
         cache = cache.with_capacity(capacity);
     }
     options = options.with_eval_cache(cache);
-    options = options.with_backend(args.backend);
+    options = options.with_backend(args.backend.clone());
+    if let Some(path) = &args.remote_token_file {
+        options = options.with_remote_token_file(path);
+    }
     if let Some(path) = &args.eval_cache_file {
         options = options.with_eval_cache_file(path);
     }
@@ -428,7 +459,7 @@ fn batch_job_request(
         match key.as_str() {
             "model" | "model-file" | "power" | "effort" | "strategy" | "objective" | "macros"
             | "sharing" | "seed" | "cycle" | "timeout" | "max-evals" | "max-unique-evals"
-            | "label" => {}
+            | "backend" | "label" => {}
             other => return Err(at(format!("unknown field `{other}`"))),
         }
     }
@@ -526,6 +557,10 @@ fn batch_job_request(
             ));
         }
         job_args.max_unique_evals = Some(n as usize);
+    }
+    if let Some(s) = get_str("backend")? {
+        job_args.backend =
+            BackendKind::parse(s).map_err(|e| at(format!("field `backend`: {e}")))?;
     }
 
     let options = options_from_args(&job_args, power).map_err(at)?;
@@ -784,6 +819,7 @@ struct ServeArgs {
     job_slots: Option<usize>,
     queue_depth: Option<usize>,
     backend: BackendKind,
+    remote_token_file: Option<String>,
     eval_cache_file: Option<String>,
     eval_cache_max_entries: Option<usize>,
     quiet: bool,
@@ -795,6 +831,7 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
         job_slots: None,
         queue_depth: None,
         backend: BackendKind::Inline,
+        remote_token_file: None,
         eval_cache_file: None,
         eval_cache_max_entries: None,
         quiet: false,
@@ -818,6 +855,7 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
                 args.backend = BackendKind::parse(&value("--backend")?)
                     .map_err(|e| format!("bad --backend: {e}"))?
             }
+            "--remote-token-file" => args.remote_token_file = Some(value("--remote-token-file")?),
             "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
             "--eval-cache-max-entries" => {
                 args.eval_cache_max_entries = Some(positive(
@@ -834,6 +872,9 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
     }
     if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
         return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
+    }
+    if args.remote_token_file.is_some() && !matches!(args.backend, BackendKind::Remote { .. }) {
+        return Err("--remote-token-file requires --backend remote:host:port[,...]".to_string());
     }
     Ok(args)
 }
@@ -868,7 +909,9 @@ fn run_serve(argv: &[String]) -> ExitCode {
     // that disabled it has nothing to persist, and forcing a file onto it
     // would reject an otherwise valid submission.
     let overlay = move |request: &mut SynthesisRequest| {
-        request.options.backend.kind = overlay_args.backend;
+        request.options.backend.kind = overlay_args.backend.clone();
+        request.options.backend.remote_token_file =
+            overlay_args.remote_token_file.as_ref().map(Into::into);
         if request.options.eval_cache.enabled {
             if let Some(path) = &overlay_args.eval_cache_file {
                 request.options.backend.cache_file = Some(path.into());
@@ -880,6 +923,134 @@ fn run_serve(argv: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags of the `worker-serve` subcommand: where to listen, how many
+/// concurrent worker sessions to serve, and the optional shared auth token.
+#[derive(Debug, Clone)]
+struct WorkerServeArgs {
+    listen: String,
+    slots: usize,
+    auth_token_file: Option<String>,
+    quiet: bool,
+}
+
+fn parse_worker_serve_args<I: IntoIterator<Item = String>>(
+    argv: I,
+) -> Result<WorkerServeArgs, String> {
+    let mut args = WorkerServeArgs {
+        listen: String::new(),
+        slots: 0,
+        auth_token_file: None,
+        quiet: false,
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--slots" => {
+                args.slots = match value("--slots")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--slots must be a positive integer".to_string()),
+                }
+            }
+            "--auth-token-file" => args.auth_token_file = Some(value("--auth-token-file")?),
+            "--quiet" | "-q" => args.quiet = true,
+            other => return Err(format!("unknown worker-serve flag `{other}`")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err("worker-serve requires --listen <host:port>".to_string());
+    }
+    Ok(args)
+}
+
+/// Reads a shared-token file through the library's single normalizing
+/// reader, so the daemon and every client trim tokens identically.
+fn read_token_file(path: &str) -> Result<String, String> {
+    pimsyn::read_token_file(std::path::Path::new(path))
+}
+
+fn run_worker_serve(argv: &[String]) -> ExitCode {
+    let args = match parse_worker_serve_args(argv.iter().cloned()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let token = match &args.auth_token_file {
+        Some(path) => match read_token_file(path) {
+            Ok(token) => Some(token),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = pimsyn::WorkerServeConfig {
+        slots: args.slots,
+        token,
+        quiet: args.quiet,
+    };
+    match pimsyn::serve_workers(listener, config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: worker-serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_worker_stop(argv: &[String]) -> ExitCode {
+    let mut connect = None;
+    let mut token_file = None;
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let parsed = match flag.as_str() {
+            "--connect" => value("--connect").map(|v| connect = Some(v)),
+            "--auth-token-file" => value("--auth-token-file").map(|v| token_file = Some(v)),
+            other => Err(format!("unknown worker-stop flag `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let Some(connect) = connect else {
+        eprintln!("error: worker-stop requires --connect <host:port>\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let token = match &token_file {
+        Some(path) => match read_token_file(path) {
+            Ok(token) => Some(token),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    match pimsyn::stop_worker_server(&connect, token.as_deref()) {
+        Ok(()) => {
+            println!("worker daemon at {connect} is stopping");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -1031,6 +1202,8 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return run_serve(&argv[1..]),
+        Some("worker-serve") => return run_worker_serve(&argv[1..]),
+        Some("worker-stop") => return run_worker_stop(&argv[1..]),
         Some(cmd @ ("submit" | "status" | "result" | "cancel" | "shutdown")) => {
             return run_client(cmd, &argv[1..]);
         }
@@ -1316,6 +1489,64 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn remote_token_file_needs_a_remote_roster_except_in_batch_mode() {
+        // Single-job mode: pointless without a remote backend.
+        let err = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--remote-token-file",
+            "/tmp/tok",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--remote-token-file"), "{err}");
+        // With a roster it parses and reaches the options.
+        let args = parse(&[
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+            "--backend",
+            "remote:h:1",
+            "--remote-token-file",
+            "/tmp/tok",
+        ])
+        .unwrap();
+        let options = options_from_args(&args, args.power).unwrap();
+        assert_eq!(
+            options.backend.remote_token_file.as_deref(),
+            Some(std::path::Path::new("/tmp/tok"))
+        );
+        // Batch mode: individual jobs may select remote via their
+        // `backend` field, so the flag is accepted up front...
+        let cli = parse(&["--batch", "jobs.json", "--remote-token-file", "/tmp/tok"]).unwrap();
+        // ... and flows into a job that does.
+        let job =
+            JsonValue::parse(r#"{"model": "alexnet-cifar", "power": 9, "backend": "remote:h:1"}"#)
+                .unwrap();
+        let request = batch_job_request(&job, &cli, 0).unwrap();
+        assert_eq!(
+            request.options.backend.kind,
+            BackendKind::Remote {
+                endpoints: vec!["h:1".to_string()]
+            }
+        );
+        assert_eq!(
+            request.options.backend.remote_token_file.as_deref(),
+            Some(std::path::Path::new("/tmp/tok"))
+        );
+        // A malformed per-job backend is named in the error.
+        let bad = JsonValue::parse(r#"{"model": "alexnet-cifar", "power": 9, "backend": "gpu"}"#)
+            .unwrap();
+        let err = batch_job_request(&bad, &cli, 2).unwrap_err();
+        assert!(
+            err.contains("batch job 2") && err.contains("backend"),
+            "{err}"
+        );
     }
 
     fn parse_serve(args: &[&str]) -> Result<ServeArgs, String> {

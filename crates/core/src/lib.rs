@@ -110,13 +110,16 @@ pub use service::{
 };
 pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};
-pub use worker::{run_worker, run_worker_stdio};
+pub use worker::{
+    run_worker, run_worker_stdio, serve_workers, serve_workers_in_background, stop_worker_server,
+    WorkerServeConfig, WorkerServeHandle,
+};
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use pimsyn_arch::{Architecture, MacroMode, Watts};
 pub use pimsyn_dse::{
-    BackendKind, BackendStats, CancelToken, DesignPoint, DesignSpace, EvalBackendConfig,
-    EvalCacheConfig, EvaluatorStats, Objective, SharedEvalResources, StopReason, SynthesisStage,
-    WtDupStrategy,
+    parse_remote_roster, read_token_file, BackendKind, BackendStats, CancelToken, DesignPoint,
+    DesignSpace, EvalBackendConfig, EvalCacheConfig, EvaluatorStats, Objective,
+    SharedEvalResources, StopReason, SynthesisStage, WtDupStrategy,
 };
 pub use pimsyn_sim::SimReport;

@@ -227,6 +227,14 @@ impl SynthesisOptions {
         self
     }
 
+    /// Sets the file holding the shared token
+    /// [`BackendKind::Remote`](pimsyn_dse::BackendKind::Remote) connections
+    /// authenticate with (`pimsyn worker-serve --auth-token-file`).
+    pub fn with_remote_token_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.backend.remote_token_file = Some(path.into());
+        self
+    }
+
     /// Lowers the configured budgets to the DSE layer (deadline anchored at
     /// the moment of the call).
     pub(crate) fn to_explore_budget(&self) -> ExploreBudget {

@@ -324,7 +324,16 @@ impl Inner {
 
 /// A long-lived, thread-safe synthesis daemon: a bounded FIFO job queue
 /// drained by a fixed number of slots, with process-wide shared evaluation
-/// resources. See the [module docs](self) for the full picture.
+/// resources.
+///
+/// [`submit`](Self::submit) enqueues a [`SynthesisRequest`] and returns a
+/// [`JobHandle`] (or [`ServiceError::QueueFull`] — it never blocks); jobs
+/// share one subprocess worker pool and one in-memory evaluation-cache
+/// snapshot store through [`SharedEvalResources`], so N jobs spawn at most
+/// the pool width of workers and same-fingerprint jobs warm-start each
+/// other. Sharing is transparent: results are bit-identical to standalone
+/// runs. [`serve`] exposes a service over TCP; [`ServiceClient`] is the
+/// matching client (see `docs/PROTOCOLS.md` for the wire format).
 pub struct SynthesisService {
     inner: Arc<Inner>,
     slots: Mutex<Vec<thread::JoinHandle<()>>>,

@@ -68,6 +68,11 @@ impl ServerShared {
 /// (evaluation backend, cache file) onto every submitted request — socket
 /// clients describe *what* to synthesize, the daemon decides *how*.
 ///
+/// On startup the actually-bound address — including the kernel-resolved
+/// port when the listener was bound to port 0 — is printed to stderr as
+/// `pimsyn serve: listening on <addr>` regardless of `quiet`, so scripts
+/// and tests can bind port 0 instead of racing for free ports.
+///
 /// # Errors
 ///
 /// Propagates listener-level IO errors (failure to read the local address
@@ -90,7 +95,8 @@ where
         addr,
         quiet,
     });
-    shared.note(&format!("listening on {addr}"));
+    // Unconditional: the script-facing bound-address line (see above).
+    eprintln!("pimsyn serve: listening on {addr}");
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -249,7 +255,7 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
             shared.stop.store(true, Ordering::SeqCst);
             shared.service.shutdown();
             // Unblock the accept loop so `serve` can observe the stop flag.
-            let _ = TcpStream::connect(shared.addr);
+            crate::worker::poke_listener(shared.addr);
         }
     }
 }

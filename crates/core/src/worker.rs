@@ -21,13 +21,24 @@
 //! the first malformed message (after writing a diagnostic `error` line the
 //! parent surfaces); the parent recomputes any in-flight work inline, so a
 //! dying worker never changes results.
+//!
+//! Sessions are also reachable over TCP: [`serve_workers`] runs the same
+//! loop behind `pimsyn worker-serve`, one session per accepted connection,
+//! guarded by the protocol's transport handshake (version check plus an
+//! optional shared auth token). The
+//! [`RemoteBackend`](pimsyn_dse::RemoteBackend) is the dialing side.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use pimsyn_arch::{hardware_config, CrossbarConfig, DacConfig, Watts};
 use pimsyn_dse::backend::protocol::{
-    error_line, ready_line, ScoreResponse, WorkerInit, WorkerRequest,
+    bye_line, error_line, parse_bye, parse_handshake, ready_line, stop_line, welcome_line,
+    ScoreResponse, TcpHandshake, WorkerInit, WorkerRequest, NO_FREE_SLOTS,
 };
 use pimsyn_dse::{CandidateScore, DesignPoint, EvalCacheConfig, EvalCore, MacAllocGene};
 use pimsyn_ir::Dataflow;
@@ -156,6 +167,275 @@ pub fn run_worker_stdio() -> ExitCode {
     match run_worker(stdin, stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(_) => ExitCode::FAILURE,
+    }
+}
+
+/// Configuration of a [`serve_workers`] daemon.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerServeConfig {
+    /// Concurrent worker sessions served (`0` = one per available core).
+    /// Connections past the cap are answered with an `error` frame and
+    /// closed; the dialing backend scores those chunks inline.
+    pub slots: usize,
+    /// Shared auth token. When set, a `hello` (or `stop`) frame must carry
+    /// the same token or the connection is rejected.
+    pub token: Option<String>,
+    /// Suppress per-connection log lines on stderr. The one `listening on
+    /// <addr>` startup line prints regardless — it is the script-facing
+    /// way to learn the bound port when listening on port 0.
+    pub quiet: bool,
+}
+
+impl WorkerServeConfig {
+    fn resolved_slots(&self) -> usize {
+        if self.slots == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.slots
+        }
+    }
+}
+
+/// How long a dialing peer gets to send its handshake frame before the
+/// connection is dropped (keeps port scanners and wedged peers from
+/// pinning sessions open).
+const TCP_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bounded dial for [`stop_worker_server`], matching the remote backend's
+/// own connect timeout.
+const STOP_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Per-read idle bound on an open worker session. A healthy dialer sends
+/// batches continuously while a run is live and closes the connection when
+/// it ends, so a session silent this long is a half-open peer (power-
+/// failed client, NAT silently dropping the flow) — without the bound it
+/// would pin one of the daemon's slots until restart. A dialer that does
+/// trip it just reconnects and re-opens its session on the next batch;
+/// scoring is pure, so results are unaffected.
+const SESSION_IDLE_TIMEOUT: Duration = Duration::from_secs(15 * 60);
+
+struct WorkerServeState {
+    slots: usize,
+    token: Option<String>,
+    quiet: bool,
+    addr: SocketAddr,
+    active: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl WorkerServeState {
+    fn note(&self, message: &str) {
+        if !self.quiet {
+            eprintln!("pimsyn worker-serve: {message}");
+        }
+    }
+}
+
+fn reply_frame(stream: &mut TcpStream, line: &str) {
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// Self-connects to a listener to unblock its blocking accept loop after a
+/// stop flag was set. A wildcard bind address (`0.0.0.0` / `::`) is not
+/// connectable on every platform, so it is rewritten to the matching
+/// loopback address first.
+pub(crate) fn poke_listener(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    if TcpStream::connect(target).is_err() {
+        eprintln!(
+            "pimsyn: cannot poke the listener on {addr} to finish shutdown; \
+             it will stop on its next accepted connection"
+        );
+    }
+}
+
+/// Serves evaluation-worker sessions over TCP until a `stop` frame
+/// arrives, blocking the calling thread. Each accepted connection is
+/// handshaked (protocol version, optional auth token, free-slot check) and
+/// then handed to [`run_worker`] on its own thread — one connection is one
+/// worker session, ended by the peer closing the socket.
+///
+/// On startup the actually-bound address — including the kernel-resolved
+/// port when the listener was bound to port 0 — is printed to stderr as
+/// `pimsyn worker-serve: listening on <addr>` regardless of `quiet`, so
+/// scripts and tests can bind port 0 instead of racing for free ports.
+///
+/// A `stop` ends the accept loop only; sessions still in flight are cut
+/// when the process exits, and their dialing backends recompute the
+/// affected chunks inline (results are unaffected — scoring is pure).
+///
+/// # Errors
+///
+/// Propagates listener-level IO errors (failure to read the local address
+/// or accept connections); per-connection errors only drop that
+/// connection.
+pub fn serve_workers(listener: TcpListener, config: WorkerServeConfig) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let state = Arc::new(WorkerServeState {
+        slots: config.resolved_slots(),
+        token: config.token,
+        quiet: config.quiet,
+        addr,
+        active: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    });
+    // Unconditional: the script-facing bound-address line (see above).
+    eprintln!("pimsyn worker-serve: listening on {addr}");
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || handle_worker_connection(&state, stream));
+    }
+    state.note("stopped");
+    Ok(())
+}
+
+/// Decrements the active-session counter even if the session panics.
+struct SessionGuard<'a>(&'a WorkerServeState);
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_worker_connection(state: &Arc<WorkerServeState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TCP_HANDSHAKE_TIMEOUT));
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(peer);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => {}
+        _ => return, // peer hung up (or stalled) before the handshake
+    }
+    let handshake = match parse_handshake(line.trim()) {
+        Ok(handshake) => handshake,
+        Err(detail) => {
+            reply_frame(&mut stream, &error_line(&detail));
+            return;
+        }
+    };
+    let token = match &handshake {
+        TcpHandshake::Hello { token } | TcpHandshake::Stop { token } => token,
+    };
+    if state.token.is_some() && state.token != *token {
+        state.note("rejected a connection: bad or missing auth token");
+        reply_frame(
+            &mut stream,
+            &error_line("authentication failed: bad or missing token"),
+        );
+        return;
+    }
+    match handshake {
+        TcpHandshake::Stop { .. } => {
+            state.note("stop requested");
+            reply_frame(&mut stream, &bye_line());
+            state.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so `serve_workers` observes the flag.
+            poke_listener(state.addr);
+        }
+        TcpHandshake::Hello { .. } => {
+            let prior = state.active.fetch_add(1, Ordering::SeqCst);
+            if prior >= state.slots {
+                state.active.fetch_sub(1, Ordering::SeqCst);
+                reply_frame(
+                    &mut stream,
+                    &error_line(&format!("{NO_FREE_SLOTS} ({} in use)", state.slots)),
+                );
+                return;
+            }
+            let _guard = SessionGuard(state);
+            // Advertise the sessions still available to this peer at
+            // handshake time (including this one), so a daemon shared by
+            // several runs throttles each to what actually remains
+            // instead of inviting rejections.
+            reply_frame(&mut stream, &welcome_line(state.slots - prior));
+            // Sessions get a generous idle bound instead of no timeout:
+            // healthy backends send batches continuously, and a half-open
+            // peer must not pin this slot forever.
+            let _ = stream.set_read_timeout(Some(SESSION_IDLE_TIMEOUT));
+            state.note("session opened");
+            let _ = run_worker(reader, &mut stream);
+            state.note("session closed");
+        }
+    }
+}
+
+/// Handle to a worker daemon running on a background thread (in-process
+/// embeddings and tests; the CLI's `pimsyn worker-serve` blocks on
+/// [`serve_workers`] directly).
+#[derive(Debug)]
+pub struct WorkerServeHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl WorkerServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to stop (a `stop` frame) and returns its exit
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked (a bug).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("worker-serve thread panicked")
+    }
+}
+
+/// [`serve_workers`] on a background thread, returning immediately with a
+/// handle.
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn serve_workers_in_background(
+    listener: TcpListener,
+    config: WorkerServeConfig,
+) -> std::io::Result<WorkerServeHandle> {
+    let addr = listener.local_addr()?;
+    let thread = std::thread::spawn(move || serve_workers(listener, config));
+    Ok(WorkerServeHandle { addr, thread })
+}
+
+/// Asks the worker daemon at `addr` to stop, authenticating with `token`
+/// when given (required when the daemon was started with an auth token).
+///
+/// # Errors
+///
+/// Transport failures, or the daemon's refusal (bad token).
+pub fn stop_worker_server(addr: &str, token: Option<&str>) -> Result<(), String> {
+    // Bounded connect (trying every resolved address), so a script
+    // sweeping a roster of daemons never hangs on a dead host for the OS
+    // default TCP timeout.
+    let mut stream = pimsyn_dse::backend::dial_bounded(addr, STOP_CONNECT_TIMEOUT)?;
+    let _ = stream.set_read_timeout(Some(TCP_HANDSHAKE_TIMEOUT));
+    writeln!(stream, "{}", stop_line(token))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send stop to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => parse_bye(line.trim()),
+        Ok(_) => Err(format!("{addr} closed the connection without replying")),
+        Err(e) => Err(format!("cannot read the stop reply from {addr}: {e}")),
     }
 }
 

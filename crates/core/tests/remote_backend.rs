@@ -1,0 +1,264 @@
+//! End-to-end exercise of the remote evaluation backend: `--backend
+//! remote:HOST:PORT` against a live `pimsyn worker-serve` daemon must be
+//! bit-identical to inline scoring, a daemon killed mid-run must degrade
+//! gracefully to the same results, authentication failures must fall back
+//! inline with a single clear stderr warning, and both daemons must print
+//! their actually-bound address so port 0 is usable.
+//!
+//! These tests live in the `pimsyn` crate so `CARGO_BIN_EXE_pimsyn` points
+//! at the real CLI binary for the subprocess-spawned arms; the in-process
+//! arms drive `serve_workers_in_background` directly.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+use pimsyn::{
+    serve_workers_in_background, stop_worker_server, BackendKind, SynthesisOptions, Synthesizer,
+    Watts, WorkerServeConfig,
+};
+use pimsyn_model::json::JsonValue;
+use pimsyn_model::zoo;
+
+const PIMSYN_BIN: &str = env!("CARGO_BIN_EXE_pimsyn");
+
+fn base_options() -> SynthesisOptions {
+    SynthesisOptions::fast(Watts(9.0)).with_seed(7)
+}
+
+fn remote_options(addr: &str) -> SynthesisOptions {
+    base_options().with_backend(BackendKind::Remote {
+        endpoints: vec![addr.to_string()],
+    })
+}
+
+fn loopback_daemon(config: WorkerServeConfig) -> pimsyn::WorkerServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+    serve_workers_in_background(listener, config).expect("start worker daemon")
+}
+
+fn assert_identical(a: &pimsyn::SynthesisResult, b: &pimsyn::SynthesisResult) {
+    assert_eq!(a.wt_dup, b.wt_dup);
+    assert_eq!(a.architecture, b.architecture);
+    assert_eq!(a.analytic, b.analytic);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.history, b.history);
+    assert_eq!(a.stop_reason, b.stop_reason);
+}
+
+#[test]
+fn remote_backend_is_bit_identical_to_inline() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    let daemon = loopback_daemon(WorkerServeConfig {
+        slots: 2,
+        token: None,
+        quiet: true,
+    });
+    let addr = daemon.addr().to_string();
+    let remote = Synthesizer::new(remote_options(&addr))
+        .synthesize(&model)
+        .unwrap();
+    assert_identical(&inline, &remote);
+    stop_worker_server(&addr, None).expect("daemon stops cleanly");
+    daemon.join().expect("daemon exits cleanly");
+}
+
+#[test]
+fn daemon_killed_mid_run_degrades_to_identical_results() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    // A real child process, so killing it actually cuts live sessioned
+    // connections (an in-process stop only ends the accept loop): in-flight
+    // chunks hit the exchange-failure path mid-run and recompute inline,
+    // later reconnects fail — the outcome must not change whatever the
+    // interleaving.
+    let (mut child, addr) = spawn_worker_serve_cli(&["--quiet"]);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+    let remote = Synthesizer::new(remote_options(&addr))
+        .synthesize(&model)
+        .unwrap();
+    killer.join().unwrap();
+    assert_identical(&inline, &remote);
+}
+
+#[test]
+fn unreachable_roster_degrades_to_identical_results() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    // Bind a port, learn its address, then close it again: connecting to it
+    // must fail, and the whole run must fall back to inline scoring.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let remote = Synthesizer::new(remote_options(&dead_addr))
+        .synthesize(&model)
+        .unwrap();
+    assert_identical(&inline, &remote);
+}
+
+#[test]
+fn wrong_token_is_rejected_and_daemon_survives() {
+    let daemon = loopback_daemon(WorkerServeConfig {
+        slots: 1,
+        token: Some("s3cret".to_string()),
+        quiet: true,
+    });
+    let addr = daemon.addr().to_string();
+    // A stop without (or with the wrong) token must be refused...
+    let err = stop_worker_server(&addr, None).expect_err("tokenless stop must fail");
+    assert!(err.contains("authentication"), "{err}");
+    let err = stop_worker_server(&addr, Some("wrong")).expect_err("bad-token stop must fail");
+    assert!(err.contains("authentication"), "{err}");
+    // ... and the right token still works afterwards.
+    stop_worker_server(&addr, Some("s3cret")).expect("authenticated stop");
+    daemon.join().expect("daemon exits cleanly");
+}
+
+/// Spawns `pimsyn worker-serve` on port 0 and returns the child plus the
+/// bound address parsed from its startup stderr line — the script-facing
+/// contract the `:0` fix exists for.
+fn spawn_worker_serve_cli(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(PIMSYN_BIN)
+        .args(["worker-serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn worker-serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("worker-serve exited before announcing its address")
+            .expect("readable stderr");
+        if let Some(addr) = line.strip_prefix("pimsyn worker-serve: listening on ") {
+            break addr.trim().to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(PIMSYN_BIN)
+        .args(args)
+        .output()
+        .expect("CLI run");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Drops the wall-clock field, the only summary field allowed to differ
+/// between repeated runs.
+fn summary_without_elapsed(stdout: &str) -> Vec<(String, String)> {
+    let doc = JsonValue::parse(stdout.trim()).expect("summary is valid JSON");
+    doc.as_object()
+        .expect("summary is an object")
+        .iter()
+        .filter(|(k, _)| k != "elapsed_s")
+        .map(|(k, v)| (k.clone(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn cli_auth_failure_warns_once_and_matches_inline_summary() {
+    let token_path =
+        std::env::temp_dir().join(format!("pimsyn-worker-token-{}.txt", std::process::id()));
+    std::fs::write(&token_path, "s3cret\n").unwrap();
+    let (mut child, addr) =
+        spawn_worker_serve_cli(&["--auth-token-file", token_path.to_str().unwrap(), "--quiet"]);
+
+    let common = [
+        "--model",
+        "alexnet-cifar",
+        "--power",
+        "9",
+        "--seed",
+        "7",
+        "--output",
+        "json",
+        "--quiet",
+    ];
+    let (inline_out, _, ok) = run_cli(&common);
+    assert!(ok, "inline run failed");
+
+    // No token on the dialing side: every handshake is rejected, the run
+    // degrades to inline scoring with a single clear warning, and the
+    // summary is unchanged.
+    let spec = format!("remote:{addr}");
+    let mut with_remote: Vec<&str> = common.to_vec();
+    with_remote.extend(["--backend", &spec]);
+    let (remote_out, remote_err, ok) = run_cli(&with_remote);
+    assert!(ok, "remote run failed: {remote_err}");
+    assert_eq!(
+        summary_without_elapsed(&inline_out),
+        summary_without_elapsed(&remote_out),
+        "auth-failed remote run must equal the inline one"
+    );
+    let warnings: Vec<&str> = remote_err
+        .lines()
+        .filter(|l| l.contains("remote evaluation degraded"))
+        .collect();
+    assert_eq!(
+        warnings.len(),
+        1,
+        "exactly one degradation warning expected, got: {remote_err}"
+    );
+    assert!(
+        warnings[0].contains("authentication failed"),
+        "the warning must name the cause: {}",
+        warnings[0]
+    );
+
+    // With the right token the same daemon serves the run remotely.
+    let mut with_token: Vec<&str> = with_remote.clone();
+    with_token.extend(["--remote-token-file", token_path.to_str().unwrap()]);
+    let (auth_out, auth_err, ok) = run_cli(&with_token);
+    assert!(ok, "authenticated remote run failed: {auth_err}");
+    assert_eq!(
+        summary_without_elapsed(&inline_out),
+        summary_without_elapsed(&auth_out),
+        "authenticated remote run must equal the inline one"
+    );
+    assert!(
+        !auth_err.contains("remote evaluation degraded"),
+        "authenticated run must not warn: {auth_err}"
+    );
+
+    // Clean shutdown through the CLI, authenticated.
+    let (_, _, ok) = run_cli(&[
+        "worker-stop",
+        "--connect",
+        &addr,
+        "--auth-token-file",
+        token_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "worker-stop failed");
+    let status = child.wait().expect("worker-serve exits");
+    assert!(status.success(), "worker-serve must exit cleanly: {status}");
+    let _ = std::fs::remove_file(&token_path);
+}
+
+#[test]
+fn remote_token_file_without_remote_backend_is_rejected() {
+    let (_, stderr, ok) = run_cli(&[
+        "--model",
+        "alexnet-cifar",
+        "--power",
+        "9",
+        "--remote-token-file",
+        "/tmp/whatever",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--remote-token-file"), "{stderr}");
+}

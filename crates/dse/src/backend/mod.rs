@@ -14,7 +14,11 @@
 //! - [`SubprocessBackend`] — across a pool of `pimsyn --worker` child
 //!   processes speaking the versioned JSON-lines [`protocol`], with
 //!   per-worker failure isolation (a crashed worker is respawned and its
-//!   in-flight jobs recomputed inline).
+//!   in-flight jobs recomputed inline);
+//! - [`RemoteBackend`] — across `pimsyn worker-serve` daemons on other
+//!   machines, speaking the same protocol over TCP with latency-aware
+//!   chunking and the same failure isolation (a dead daemon's chunks
+//!   recompute inline).
 //!
 //! Scoring is a pure function of the candidate, so every backend produces
 //! bit-identical scores; only wall-clock and process placement differ. A
@@ -24,12 +28,15 @@
 mod inline;
 mod persist;
 pub mod protocol;
+mod remote;
+mod session;
 mod shared;
 mod subprocess;
 mod threads;
 
 pub use inline::InlineBackend;
 pub use persist::{CacheSnapshot, PersistentEvalCache, EVAL_CACHE_SCHEMA};
+pub use remote::RemoteBackend;
 pub use shared::SharedEvalResources;
 pub use subprocess::{SubprocessBackend, WorkerPool};
 pub use threads::ThreadPoolBackend;
@@ -62,11 +69,13 @@ pub struct BackendStats {
     pub batches: usize,
     /// Jobs scored (across all batches).
     pub jobs: usize,
-    /// Jobs scored by worker processes (subprocess backend only).
+    /// Jobs scored by out-of-process workers (subprocess children or
+    /// remote daemons).
     pub remote_jobs: usize,
     /// Jobs recomputed inline after a worker failure.
     pub fallback_jobs: usize,
-    /// Worker processes (re)spawned.
+    /// Worker processes spawned (subprocess) or connections opened
+    /// (remote).
     pub worker_spawns: usize,
 }
 
@@ -91,7 +100,8 @@ pub const NEVER_STOP: StopCheck<'static> = &|| false;
 /// between jobs (or at least between chunks) so cancellation stays prompt
 /// even inside a large batch.
 pub trait EvalBackend: Send + Sync + std::fmt::Debug {
-    /// Short identifier (`"inline"`, `"threads"`, `"subprocess"`).
+    /// Short identifier (`"inline"`, `"threads"`, `"subprocess"`,
+    /// `"remote"`).
     fn name(&self) -> &'static str;
 
     /// Scores `jobs`, returning one score per job in input order; jobs
@@ -146,7 +156,7 @@ pub(crate) fn parse_u64_hex(s: &str) -> Option<u64> {
 }
 
 /// Which [`EvalBackend`] implementation to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum BackendKind {
     /// Score on the calling thread (the default).
     #[default]
@@ -163,14 +173,103 @@ pub enum BackendKind {
         /// Worker-process count (0 = auto).
         workers: usize,
     },
+    /// Score batches across `pimsyn worker-serve` daemons over TCP.
+    Remote {
+        /// The worker-daemon roster, `host:port` each (validated by
+        /// [`parse_remote_roster`]).
+        endpoints: Vec<String>,
+    },
+}
+
+/// Resolves `addr` and dials every resolved address in turn, each with a
+/// bounded connect timeout — like `TcpStream::connect` (a dual-stack host
+/// often lists `::1` before `127.0.0.1`), but never blocking for the OS
+/// default TCP timeout on a dead host. Shared by the remote backend and
+/// the `worker-stop` client.
+///
+/// # Errors
+///
+/// A human-readable message for resolution failures, an empty resolution,
+/// or the last connect failure.
+pub fn dial_bounded(
+    addr: &str,
+    timeout: std::time::Duration,
+) -> Result<std::net::TcpStream, String> {
+    use std::net::ToSocketAddrs;
+    let mut last_err: Option<std::io::Error> = None;
+    for sockaddr in addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+    {
+        match std::net::TcpStream::connect_timeout(&sockaddr, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(match last_err {
+        Some(e) => format!("cannot connect to {addr}: {e}"),
+        None => format!("{addr} resolves to no address"),
+    })
+}
+
+/// Reads a shared-auth-token file, trimming surrounding whitespace (the
+/// trailing newline every editor appends would otherwise corrupt the
+/// JSON-lines handshake frame). The single reader for every surface that
+/// takes a token file — `RemoteBackend`, `worker-serve`, `worker-stop` —
+/// so token normalization can never diverge between them.
+///
+/// # Errors
+///
+/// A human-readable message naming the unreadable path.
+pub fn read_token_file(path: &std::path::Path) -> Result<String, String> {
+    std::fs::read_to_string(path)
+        .map(|text| text.trim().to_string())
+        .map_err(|e| format!("cannot read token file {}: {e}", path.display()))
+}
+
+/// Validates a remote worker roster: a non-empty, duplicate-free,
+/// comma-separated list of `host:port` endpoints.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending endpoint.
+pub fn parse_remote_roster(spec: &str) -> Result<Vec<String>, String> {
+    let mut endpoints: Vec<String> = Vec::new();
+    for raw in spec.split(',') {
+        let endpoint = raw.trim();
+        if endpoint.is_empty() {
+            return Err("remote roster contains an empty endpoint".to_string());
+        }
+        let (host, port) = endpoint
+            .rsplit_once(':')
+            .ok_or_else(|| format!("remote endpoint `{endpoint}` must be host:port"))?;
+        if host.is_empty() {
+            return Err(format!("remote endpoint `{endpoint}` lacks a host"));
+        }
+        match port.parse::<u16>() {
+            Ok(p) if p > 0 => {}
+            _ => {
+                return Err(format!(
+                    "remote endpoint `{endpoint}` has an invalid port `{port}`"
+                ))
+            }
+        }
+        if endpoints.iter().any(|e| e == endpoint) {
+            return Err(format!("duplicate remote endpoint `{endpoint}`"));
+        }
+        endpoints.push(endpoint.to_string());
+    }
+    Ok(endpoints)
 }
 
 impl BackendKind {
-    /// Parses the CLI spelling: `inline`, `threads[:N]`, `subprocess[:N]`.
+    /// Parses the CLI spelling: `inline`, `threads[:N]`, `subprocess[:N]`,
+    /// or `remote:host:port[,host:port...]`.
     ///
     /// # Errors
     ///
-    /// A human-readable message for unknown names or malformed counts.
+    /// A human-readable message for unknown names, malformed counts, or an
+    /// invalid remote roster.
     pub fn parse(s: &str) -> Result<Self, String> {
         let (name, arg) = match s.split_once(':') {
             Some((n, a)) => (n, Some(a)),
@@ -196,8 +295,18 @@ impl BackendKind {
             "subprocess" => Ok(BackendKind::Subprocess {
                 workers: count(arg)?,
             }),
+            "remote" => match arg {
+                Some(spec) => Ok(BackendKind::Remote {
+                    endpoints: parse_remote_roster(spec)?,
+                }),
+                None => Err(
+                    "`remote` requires a worker roster: remote:host:port[,host:port...]"
+                        .to_string(),
+                ),
+            },
             other => Err(format!(
-                "unknown backend `{other}` (expected inline, threads[:N] or subprocess[:N])"
+                "unknown backend `{other}` (expected inline, threads[:N], subprocess[:N] or \
+                 remote:host:port[,...])"
             )),
         }
     }
@@ -211,6 +320,7 @@ impl std::fmt::Display for BackendKind {
             BackendKind::ThreadPool { workers } => write!(f, "threads:{workers}"),
             BackendKind::Subprocess { workers: 0 } => write!(f, "subprocess"),
             BackendKind::Subprocess { workers } => write!(f, "subprocess:{workers}"),
+            BackendKind::Remote { endpoints } => write!(f, "remote:{}", endpoints.join(",")),
         }
     }
 }
@@ -235,6 +345,13 @@ pub struct EvalBackendConfig {
     /// (default: the current executable, which is the `pimsyn` CLI when
     /// launched from it). Tests point this at a built `pimsyn` binary.
     pub worker_command: Option<PathBuf>,
+    /// File holding the shared auth token [`BackendKind::Remote`] presents
+    /// to `pimsyn worker-serve` daemons started with `--auth-token-file`
+    /// (whitespace-trimmed; `None` connects unauthenticated). An
+    /// unreadable file degrades to an unauthenticated connection with one
+    /// stderr warning — like every other remote failure, scoring falls
+    /// back inline and results are unaffected.
+    pub remote_token_file: Option<PathBuf>,
     /// Resources shared across runs: one subprocess worker pool (leased and
     /// re-sessioned per run instead of spawned per run) and one in-memory
     /// evaluation-cache snapshot store. Sharing is transparent — outcomes
@@ -252,6 +369,7 @@ impl PartialEq for EvalBackendConfig {
             && self.cache_file == other.cache_file
             && self.cache_max_entries == other.cache_max_entries
             && self.worker_command == other.worker_command
+            && self.remote_token_file == other.remote_token_file
             && match (&self.shared, &other.shared) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -296,6 +414,14 @@ impl EvalBackendConfig {
         self
     }
 
+    /// Sets the file holding the shared token remote connections
+    /// authenticate with.
+    #[must_use]
+    pub fn with_remote_token_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.remote_token_file = Some(path.into());
+        self
+    }
+
     /// Attaches cross-run shared resources (worker pool, snapshot store).
     #[must_use]
     pub fn with_shared_resources(mut self, shared: Arc<SharedEvalResources>) -> Self {
@@ -307,16 +433,32 @@ impl EvalBackendConfig {
     /// a subprocess backend leases processes from the shared pool (created
     /// on first use) instead of owning a private one.
     pub fn build(&self) -> Box<dyn EvalBackend> {
-        match self.kind {
+        match &self.kind {
             BackendKind::Inline => Box::new(InlineBackend::default()),
-            BackendKind::ThreadPool { workers } => Box::new(ThreadPoolBackend::new(workers)),
+            BackendKind::ThreadPool { workers } => Box::new(ThreadPoolBackend::new(*workers)),
             BackendKind::Subprocess { workers } => match &self.shared {
                 Some(shared) => Box::new(SubprocessBackend::with_pool(
-                    workers,
-                    shared.worker_pool(workers, self.worker_command.clone()),
+                    *workers,
+                    shared.worker_pool(*workers, self.worker_command.clone()),
                 )),
-                None => Box::new(SubprocessBackend::new(workers, self.worker_command.clone())),
+                None => Box::new(SubprocessBackend::new(
+                    *workers,
+                    self.worker_command.clone(),
+                )),
             },
+            BackendKind::Remote { endpoints } => {
+                let token = self
+                    .remote_token_file
+                    .as_ref()
+                    .and_then(|path| match read_token_file(path) {
+                        Ok(token) => Some(token),
+                        Err(e) => {
+                            eprintln!("pimsyn: {e}; connecting without a token");
+                            None
+                        }
+                    });
+                Box::new(RemoteBackend::new(endpoints.clone(), token))
+            }
         }
     }
 }
@@ -344,6 +486,54 @@ mod tests {
         assert!(BackendKind::parse("subprocess:0").is_err());
         assert!(BackendKind::parse("subprocess:x").is_err());
         assert!(BackendKind::parse("gpu").is_err());
+    }
+
+    #[test]
+    fn remote_rosters_parse() {
+        assert_eq!(
+            BackendKind::parse("remote:127.0.0.1:7801").unwrap(),
+            BackendKind::Remote {
+                endpoints: vec!["127.0.0.1:7801".to_string()]
+            }
+        );
+        assert_eq!(
+            BackendKind::parse("remote:alpha:1,beta:2").unwrap(),
+            BackendKind::Remote {
+                endpoints: vec!["alpha:1".to_string(), "beta:2".to_string()]
+            }
+        );
+        // Whitespace around endpoints is tolerated.
+        assert_eq!(
+            parse_remote_roster("a:1, b:2").unwrap(),
+            vec!["a:1".to_string(), "b:2".to_string()]
+        );
+    }
+
+    #[test]
+    fn bad_remote_rosters_are_rejected() {
+        for (spec, needle) in [
+            ("remote", "roster"),                  // no roster at all
+            ("remote:", "empty endpoint"),         // empty roster
+            ("remote:a:1,,b:2", "empty endpoint"), // empty entry
+            ("remote:justahost", "host:port"),     // no port
+            ("remote::7801", "lacks a host"),      // no host
+            ("remote:h:0", "invalid port"),        // port 0 is not dialable
+            ("remote:h:x", "invalid port"),        // non-numeric port
+            ("remote:h:70000", "invalid port"),    // beyond u16
+            ("remote:h:1,h:1", "duplicate"),       // duplicate endpoint
+        ] {
+            let err = BackendKind::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "`{spec}` -> `{err}`");
+        }
+    }
+
+    #[test]
+    fn remote_display_round_trips() {
+        for spec in ["remote:127.0.0.1:7801", "remote:a:1,b:2,c:3"] {
+            let kind = BackendKind::parse(spec).unwrap();
+            assert_eq!(kind.to_string(), spec);
+            assert_eq!(BackendKind::parse(&kind.to_string()).unwrap(), kind);
+        }
     }
 
     #[test]

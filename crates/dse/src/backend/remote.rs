@@ -1,0 +1,536 @@
+//! The remote backend: scoring candidates on `pimsyn worker-serve` daemons
+//! over TCP, speaking the same versioned JSON-lines
+//! [`protocol`](super::protocol) as the subprocess backend.
+//!
+//! A [`RemoteBackend`] is configured with a fixed *roster* of endpoints
+//! (`host:port`, CLI spelling `--backend remote:host1:port,host2:port`).
+//! Each connection it opens is one worker *slot* on a daemon:
+//!
+//! 1. **Transport handshake** (once per connection): a `hello` frame
+//!    carrying the protocol version and, when configured, a shared auth
+//!    token; the daemon answers `welcome` (advertising how many sessions
+//!    remain available to this backend, which caps how many connections
+//!    it opens to that endpoint) or an `error` frame and a close.
+//! 2. **Session** (once per run, re-opened when a connection is recycled):
+//!    the stock `init` → `ready` exchange fixing the run's model,
+//!    hardware, power, macro mode and objective.
+//! 3. **Scoring**: `score` requests and responses, floats as
+//!    `f64::to_bits` hex — remote scores are bit-identical to inline ones.
+//!
+//! **Chunking is latency-aware.** The subprocess backend splits every
+//! batch across all workers because pipes are cheap; a network round trip
+//! is not, so small batches would drown in per-chunk latency. The remote
+//! backend instead targets at least [`MIN_CHUNK`] jobs per connection and
+//! splits the batch into *count-balanced* chunks (sizes differing by at
+//! most one) across however many connections that justifies — one
+//! connection scores a small batch whole, large batches fan out across the
+//! roster.
+//!
+//! **Failure isolation matches the subprocess backend.** A connection that
+//! dies, answers garbage or fails the handshake (including a version
+//! mismatch or rejected token) is dropped, its in-flight chunk is
+//! recomputed inline, and the endpoint backs off from reconnection
+//! attempts for [`RECONNECT_BACKOFF`]. With no reachable endpoint at all,
+//! whole batches silently degrade to inline scoring — results are
+//! bit-identical either way, so a daemon killed mid-run never changes a
+//! synthesis outcome. The first degradation prints a single stderr
+//! warning (the only diagnostic; every later failure is silent).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::eval::{CandidateScore, EvalCore};
+
+use super::protocol::{hello_line, parse_welcome, NO_FREE_SLOTS};
+use super::{session, BackendStats, EvalBackend, EvalJob, StopCheck};
+
+/// Resolving + dialing an endpoint that does not answer must not stall the
+/// search; connects beyond this are treated as endpoint failures.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the daemon gets to answer the `hello` → `welcome` handshake
+/// and the `init` → `ready` session opening.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Socket read timeout while waiting for score responses. Scoring a chunk
+/// is CPU-bound work on the daemon, so this is generous; it exists so a
+/// wedged daemon stalls its chunk for a bounded time (the chunk then
+/// recomputes inline) instead of hanging the run forever.
+const SCORE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// How long an endpoint is skipped after a connect/handshake/session
+/// failure before reconnection is attempted again.
+pub(crate) const RECONNECT_BACKOFF: Duration = Duration::from_secs(30);
+
+/// Minimum jobs per remote chunk: a network round trip is only worth
+/// paying when it carries enough work. Batches smaller than `2 *
+/// MIN_CHUNK` go to a single connection whole.
+const MIN_CHUNK: usize = 8;
+
+/// One live TCP connection: transport handshake done, possibly sessioned.
+struct RemoteConn {
+    /// Index into the backend's endpoint roster.
+    endpoint: usize,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Per-endpoint connection accounting.
+struct EndpointHealth {
+    /// Our connection cap for this endpoint, derived from the capacity
+    /// the daemon advertised in its last `welcome` (`1` until the first
+    /// successful handshake).
+    slots: usize,
+    /// Connections currently open (sessioned or checked out to a batch).
+    live: usize,
+    /// Until when reconnection attempts are suspended after a failure.
+    backoff_until: Option<Instant>,
+}
+
+struct Endpoint {
+    addr: String,
+    health: Mutex<EndpointHealth>,
+}
+
+/// One run's session over the connections: the init line plus the
+/// connections that have already acknowledged it, idle between batches.
+struct RunSession {
+    init_line: Option<String>,
+    ready: Vec<RemoteConn>,
+    next_id: u64,
+}
+
+/// Scores batches across `pimsyn worker-serve` daemons over TCP.
+pub struct RemoteBackend {
+    endpoints: Vec<Endpoint>,
+    token: Option<String>,
+    session: Mutex<RunSession>,
+    /// Round-robin cursor so consecutive leases spread across the roster.
+    rotate: AtomicUsize,
+    warned: AtomicBool,
+    batches: AtomicUsize,
+    jobs: AtomicUsize,
+    remote: AtomicUsize,
+    fallback: AtomicUsize,
+    connects: AtomicUsize,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field(
+                "endpoints",
+                &self.endpoints.iter().map(|e| &e.addr).collect::<Vec<_>>(),
+            )
+            .field("authenticated", &self.token.is_some())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteBackend {
+    /// A backend scoring against the given worker-daemon roster
+    /// (`host:port` each), authenticating every connection with `token`
+    /// when one is given.
+    pub fn new(endpoints: Vec<String>, token: Option<String>) -> Self {
+        Self {
+            endpoints: endpoints
+                .into_iter()
+                .map(|addr| Endpoint {
+                    addr,
+                    health: Mutex::new(EndpointHealth {
+                        slots: 1,
+                        live: 0,
+                        backoff_until: None,
+                    }),
+                })
+                .collect(),
+            token,
+            session: Mutex::new(RunSession {
+                init_line: None,
+                ready: Vec::new(),
+                next_id: 0,
+            }),
+            rotate: AtomicUsize::new(0),
+            warned: AtomicBool::new(false),
+            batches: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+            fallback: AtomicUsize::new(0),
+            connects: AtomicUsize::new(0),
+        }
+    }
+
+    /// Prints the one-and-only degradation warning: remote scoring is an
+    /// optimization, so failures are quiet after the first diagnostic.
+    fn warn_once(&self, detail: &str) {
+        if !self.warned.swap(true, Ordering::SeqCst) {
+            eprintln!("pimsyn: remote evaluation degraded: {detail}; affected chunks are scored inline (results are unaffected)");
+        }
+    }
+
+    /// Dials one endpoint and runs the transport handshake. On success the
+    /// connection's read timeout is left at [`SCORE_TIMEOUT`].
+    fn connect(&self, index: usize) -> Result<RemoteConn, String> {
+        let addr = &self.endpoints[index].addr;
+        let writer = super::dial_bounded(addr, CONNECT_TIMEOUT)?;
+        let _ = writer.set_nodelay(true);
+        writer
+            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+            .map_err(|e| format!("cannot configure {addr}: {e}"))?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| format!("cannot clone the {addr} stream: {e}"))?;
+        let mut conn = RemoteConn {
+            endpoint: index,
+            writer,
+            reader: BufReader::new(reader),
+        };
+        writeln!(conn.writer, "{}", hello_line(self.token.as_deref()))
+            .and_then(|()| conn.writer.flush())
+            .map_err(|e| format!("handshake write to {addr} failed: {e}"))?;
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            Ok(_) => return Err(format!("{addr} closed the connection during handshake")),
+            Err(e) => return Err(format!("handshake read from {addr} failed: {e}")),
+        }
+        let advertised = parse_welcome(line.trim()).map_err(|e| format!("{addr}: {e}"))?;
+        conn.writer
+            .set_read_timeout(Some(SCORE_TIMEOUT))
+            .map_err(|e| format!("cannot configure {addr}: {e}"))?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        {
+            // `welcome` advertises the sessions still available to *us* at
+            // handshake time, including this one — so a daemon shared by
+            // several runs throttles each to what actually remains. Our
+            // per-endpoint cap is what we already hold (`live` includes
+            // this connection's reservation) plus what remains beyond it.
+            let mut health = self.endpoints[index].health.lock().expect("endpoint");
+            health.slots = (health.live + advertised).saturating_sub(1).max(1);
+        }
+        Ok(conn)
+    }
+
+    /// Records a connection death and backs its endpoint off from
+    /// reconnection attempts.
+    fn drop_conn(&self, conn: RemoteConn, detail: &str) {
+        let index = conn.endpoint;
+        drop(conn);
+        self.fail_reservation(index, detail);
+    }
+
+    /// Reserves a connection slot on the next endpoint that is neither
+    /// backing off nor at its advertised capacity. The reservation counts
+    /// as live until released or converted into a real connection.
+    fn reserve_slot(&self) -> Option<usize> {
+        let n = self.endpoints.len();
+        let start = self.rotate.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        for k in 0..n {
+            let index = (start + k) % n;
+            let mut health = self.endpoints[index].health.lock().expect("endpoint");
+            let backing_off = health.backoff_until.is_some_and(|until| now < until);
+            if !backing_off && health.live < health.slots {
+                health.live += 1;
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// Dials one reserved endpoint, runs the transport handshake and opens
+    /// the run session.
+    fn open_endpoint(&self, index: usize, init: &str) -> Result<RemoteConn, String> {
+        let mut conn = self.connect(index)?;
+        // The session opening shares the handshake's bounded patience (the
+        // daemon answers `ready` from memory).
+        let _ = conn.writer.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        session::open_session_io(&mut conn.writer, &mut conn.reader, init)?;
+        let _ = conn.writer.set_read_timeout(Some(SCORE_TIMEOUT));
+        Ok(conn)
+    }
+
+    /// Releases a reservation whose dial/handshake failed and backs its
+    /// endpoint off.
+    fn fail_reservation(&self, index: usize, detail: &str) {
+        let mut health = self.endpoints[index].health.lock().expect("endpoint");
+        health.live -= 1;
+        health.backoff_until = Some(Instant::now() + RECONNECT_BACKOFF);
+        drop(health);
+        self.warn_once(detail);
+    }
+
+    /// Opens sessioned connections until `conns` holds `want` of them (or
+    /// the roster is exhausted): reserve slots, then dial + handshake +
+    /// open the run session on every reservation *concurrently*, so a
+    /// roster with several dead endpoints stalls for one connect timeout,
+    /// not one per endpoint. Failures release their slot and back the
+    /// endpoint off.
+    fn lease_missing(
+        &self,
+        conns: &mut Vec<RemoteConn>,
+        want: usize,
+        init: &str,
+        stop: StopCheck<'_>,
+    ) {
+        if stop() {
+            return;
+        }
+        let mut reserved = Vec::new();
+        while conns.len() + reserved.len() < want {
+            match self.reserve_slot() {
+                Some(index) => reserved.push(index),
+                None => break,
+            }
+        }
+        match reserved.len() {
+            0 => {}
+            1 => match self.open_endpoint(reserved[0], init) {
+                Ok(conn) => conns.push(conn),
+                Err(detail) => self.handshake_failed(reserved[0], &detail),
+            },
+            _ => std::thread::scope(|s| {
+                let handles: Vec<_> = reserved
+                    .iter()
+                    .map(|&index| s.spawn(move || (index, self.open_endpoint(index, init))))
+                    .collect();
+                for handle in handles {
+                    match handle.join().expect("endpoint dialer panicked") {
+                        (_, Ok(conn)) => conns.push(conn),
+                        (index, Err(detail)) => self.handshake_failed(index, &detail),
+                    }
+                }
+            }),
+        }
+    }
+
+    /// Routes a failed dial/handshake. A polite [`NO_FREE_SLOTS`] decline
+    /// means the daemon is healthy but fully subscribed (by other runs,
+    /// or by our own concurrent dials racing the advertised capacity):
+    /// shrink our cap to what we actually hold and move on — no warning,
+    /// no backoff. Everything else is a real failure.
+    fn handshake_failed(&self, index: usize, detail: &str) {
+        if detail.contains(NO_FREE_SLOTS) {
+            let mut health = self.endpoints[index].health.lock().expect("endpoint");
+            health.live -= 1;
+            health.slots = health.slots.min(health.live.max(1));
+        } else {
+            self.fail_reservation(index, detail);
+        }
+    }
+
+    /// Scores one chunk on one connection, recomputing inline when the
+    /// connection is missing or fails mid-chunk. Returns the scores, the
+    /// still-healthy connection (if any), and the (remote, fallback)
+    /// counts.
+    fn run_chunk(
+        &self,
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        conn: Option<RemoteConn>,
+        id_base: u64,
+        stop: StopCheck<'_>,
+    ) -> (Vec<CandidateScore>, Option<RemoteConn>, usize, usize) {
+        if stop() {
+            return (vec![CandidateScore::INFEASIBLE; jobs.len()], conn, 0, 0);
+        }
+        if let Some(mut conn) = conn {
+            let exchanged =
+                session::exchange_scores(&mut conn.writer, &mut conn.reader, jobs, id_base);
+            match exchanged {
+                Ok(scores) => return (scores, Some(conn), jobs.len(), 0),
+                Err(detail) => {
+                    let addr = self.endpoints[conn.endpoint].addr.clone();
+                    self.drop_conn(conn, &format!("{addr}: {detail}"));
+                }
+            }
+        }
+        let scores = jobs
+            .iter()
+            .map(|job| {
+                if stop() {
+                    CandidateScore::INFEASIBLE
+                } else {
+                    core.score(job.df, job.point, job.gene)
+                }
+            })
+            .collect();
+        (scores, None, 0, jobs.len())
+    }
+
+    /// How many connections a batch of `jobs` jobs is worth, before the
+    /// roster caps it: at least [`MIN_CHUNK`] jobs per network round trip.
+    fn target_connections(jobs: usize) -> usize {
+        (jobs / MIN_CHUNK).max(1)
+    }
+}
+
+impl EvalBackend for RemoteBackend {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn score_batch(
+        &self,
+        core: &EvalCore<'_>,
+        jobs: &[EvalJob<'_>],
+        stop: StopCheck<'_>,
+    ) -> Vec<CandidateScore> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(jobs.len(), Ordering::Relaxed);
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let want = Self::target_connections(jobs.len());
+
+        // Take this run's sessioned connections and an id range under the
+        // session lock; dial/handshake the missing connections outside it.
+        let (init, mut conns, id_base) = {
+            let mut session = self.session.lock().expect("remote session");
+            if session.init_line.is_none() {
+                session.init_line = Some(session::init_line_for(core));
+            }
+            let init = session.init_line.clone().expect("just set");
+            let take = want.min(session.ready.len());
+            let conns: Vec<RemoteConn> = session.ready.drain(..take).collect();
+            let id_base = session.next_id;
+            session.next_id += jobs.len() as u64;
+            (init, conns, id_base)
+        };
+        self.lease_missing(&mut conns, want, &init, stop);
+
+        // Count-balanced chunks, one per connection: sizes differ by at
+        // most one, so every round trip carries its fair share. With no
+        // connection at all the batch runs inline whole.
+        let width = conns.len().clamp(1, jobs.len());
+        let base = jobs.len() / width;
+        let extra = jobs.len() % width;
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(width);
+        let mut offset = 0usize;
+        for k in 0..width {
+            let len = base + usize::from(k < extra);
+            ranges.push((offset, offset + len));
+            offset += len;
+        }
+
+        let mut slots: Vec<Option<RemoteConn>> = conns.into_iter().map(Some).collect();
+        slots.resize_with(width, || None);
+
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut survivors: Vec<RemoteConn> = Vec::new();
+        let mut remote = 0usize;
+        let mut fallback = 0usize;
+        if width == 1 {
+            let (lo, hi) = ranges[0];
+            let (scores, conn, r, f) =
+                self.run_chunk(core, &jobs[lo..hi], slots[0].take(), id_base, stop);
+            out.extend(scores);
+            survivors.extend(conn);
+            remote += r;
+            fallback += f;
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .zip(slots.iter_mut())
+                    .map(|(&(lo, hi), slot)| {
+                        let conn = slot.take();
+                        let chunk_base = id_base + lo as u64;
+                        s.spawn(move || self.run_chunk(core, &jobs[lo..hi], conn, chunk_base, stop))
+                    })
+                    .collect();
+                // Chunks joined in submission order: deterministic
+                // input-order reduction.
+                for handle in handles {
+                    let (scores, conn, r, f) = handle.join().expect("chunk scorer panicked");
+                    out.extend(scores);
+                    survivors.extend(conn);
+                    remote += r;
+                    fallback += f;
+                }
+            });
+        }
+        self.remote.fetch_add(remote, Ordering::Relaxed);
+        self.fallback.fetch_add(fallback, Ordering::Relaxed);
+        self.session
+            .lock()
+            .expect("remote session")
+            .ready
+            .extend(survivors);
+        out
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            remote_jobs: self.remote.load(Ordering::Relaxed),
+            fallback_jobs: self.fallback.load(Ordering::Relaxed),
+            worker_spawns: self.connects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ends this run's session: every connection is closed (the daemon's
+    /// slot frees when it sees EOF) and endpoint accounting is reset.
+    fn flush(&self) {
+        let conns = std::mem::take(&mut self.session.lock().expect("remote session").ready);
+        for conn in conns {
+            self.endpoints[conn.endpoint]
+                .health
+                .lock()
+                .expect("endpoint")
+                .live -= 1;
+        }
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_target_is_latency_aware() {
+        // Small batches stay on one connection; larger batches earn one
+        // connection per MIN_CHUNK jobs.
+        assert_eq!(RemoteBackend::target_connections(1), 1);
+        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK - 1), 1);
+        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK * 3), 3);
+        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK * 3 + 1), 3);
+    }
+
+    #[test]
+    fn unreachable_roster_reserves_and_releases_slots() {
+        // Port 1 on loopback is almost surely closed; and even if a connect
+        // somehow succeeded, no handshake answer arrives. Either way the
+        // lease must fail cleanly, release its reservation and back off.
+        let backend = RemoteBackend::new(vec!["127.0.0.1:1".to_string()], None);
+        let mut conns = Vec::new();
+        backend.lease_missing(&mut conns, 1, "ignored", &|| false);
+        assert!(conns.is_empty());
+        let health = backend.endpoints[0].health.lock().unwrap();
+        assert_eq!(health.live, 0, "failed lease must release its slot");
+        assert!(health.backoff_until.is_some(), "endpoint must back off");
+    }
+
+    #[test]
+    fn backing_off_endpoint_is_skipped() {
+        let backend = RemoteBackend::new(vec!["127.0.0.1:1".to_string()], None);
+        backend.endpoints[0].health.lock().unwrap().backoff_until =
+            Some(Instant::now() + RECONNECT_BACKOFF);
+        assert!(backend.reserve_slot().is_none());
+        // An expired backoff admits reservations again.
+        backend.endpoints[0].health.lock().unwrap().backoff_until =
+            Some(Instant::now() - Duration::from_secs(1));
+        assert_eq!(backend.reserve_slot(), Some(0));
+    }
+}

@@ -46,8 +46,8 @@ use std::time::Duration;
 
 use crate::eval::{CandidateScore, EvalCore};
 
-use super::protocol::{parse_ready, ScoreRequest, ScoreResponse, WorkerInit};
-use super::{pool_width, BackendStats, EvalBackend, EvalJob, StopCheck};
+use super::protocol::parse_ready;
+use super::{pool_width, session, BackendStats, EvalBackend, EvalJob, StopCheck};
 
 /// One live worker process with its pipe endpoints. The stdout reader is
 /// optional only because session handshakes temporarily move it onto a
@@ -341,57 +341,15 @@ impl SubprocessBackend {
         }
     }
 
-    /// Scores one chunk on one worker: writes every request, then reads the
-    /// matching responses.
+    /// Scores one chunk on one worker via the shared
+    /// [`session`](super::session) exchange.
     fn score_remote(
         worker: &mut Worker,
         jobs: &[EvalJob<'_>],
         id_base: u64,
     ) -> Result<Vec<CandidateScore>, String> {
-        let mut payload = String::new();
-        for (k, job) in jobs.iter().enumerate() {
-            let request = ScoreRequest {
-                id: id_base + k as u64,
-                ratio_bits: job.point.ratio_rram.to_bits(),
-                xb_size: job.point.crossbar.size(),
-                cell_bits: job.point.crossbar.cell_bits(),
-                dac_bits: job.df.dac().bits(),
-                wt_dup: job.df.programs().iter().map(|p| p.wt_dup).collect(),
-                gene: job.gene.as_slice().to_vec(),
-            };
-            payload.push_str(&request.to_line());
-            payload.push('\n');
-        }
-        worker
-            .stdin
-            .write_all(payload.as_bytes())
-            .map_err(|e| format!("worker write failed: {e}"))?;
-        worker
-            .stdin
-            .flush()
-            .map_err(|e| format!("worker flush failed: {e}"))?;
         let stdout = worker.stdout.as_mut().ok_or("worker lost its stdout")?;
-        let mut out: Vec<Option<CandidateScore>> = vec![None; jobs.len()];
-        for _ in 0..jobs.len() {
-            let mut line = String::new();
-            let n = stdout
-                .read_line(&mut line)
-                .map_err(|e| format!("worker read failed: {e}"))?;
-            if n == 0 {
-                return Err("worker closed its output mid-batch".to_string());
-            }
-            let response = ScoreResponse::parse(line.trim())?;
-            let index = response
-                .id
-                .checked_sub(id_base)
-                .filter(|&i| (i as usize) < jobs.len())
-                .ok_or_else(|| format!("worker answered unknown id {}", response.id))?
-                as usize;
-            if out[index].replace(response.score).is_some() {
-                return Err(format!("worker answered id {} twice", response.id));
-            }
-        }
-        Ok(out.into_iter().map(|s| s.expect("all ids seen")).collect())
+        session::exchange_scores(&mut worker.stdin, stdout, jobs, id_base)
     }
 
     /// Scores one chunk, falling back to inline compute when the worker is
@@ -513,16 +471,7 @@ impl EvalBackend for SubprocessBackend {
         let (init, mut workers, id_base) = {
             let mut session = self.session.lock().expect("subprocess session");
             if session.init_line.is_none() {
-                session.init_line = Some(
-                    WorkerInit {
-                        model_json: pimsyn_model::onnx::to_json(core.model()),
-                        hw_json: pimsyn_arch::hardware_config::to_json_exact(core.hw()),
-                        power_bits: core.total_power().value().to_bits(),
-                        macro_mode: core.macro_mode(),
-                        objective: core.objective(),
-                    }
-                    .to_line(),
-                );
+                session.init_line = Some(session::init_line_for(core));
             }
             let init = session.init_line.clone().expect("just set");
             let mut workers: Vec<Option<Worker>> = Vec::with_capacity(chunks.len());

@@ -389,9 +389,10 @@ impl<'a> ExploreContext<'a> {
     }
 
     /// Whether the run should stop now (cancelled or out of budget). A
-    /// `true` answer is also recorded, so [`observed_stop`]
-    /// (Self::observed_stop) can later distinguish a curtailed search from
-    /// one whose budget ran out exactly as it finished naturally.
+    /// `true` answer is also recorded, so
+    /// [`observed_stop`](Self::observed_stop) can later distinguish a
+    /// curtailed search from one whose budget ran out exactly as it
+    /// finished naturally.
     pub fn should_stop(&self) -> bool {
         match self.stop_reason() {
             Some(reason) => {

@@ -51,8 +51,9 @@ mod sweep;
 
 pub use alloc::{allocate_components, physical_macros, AllocRequest};
 pub use backend::{
-    BackendKind, BackendStats, EvalBackend, EvalBackendConfig, EvalJob, InlineBackend,
-    PersistentEvalCache, SharedEvalResources, SubprocessBackend, ThreadPoolBackend, WorkerPool,
+    dial_bounded, parse_remote_roster, read_token_file, BackendKind, BackendStats, EvalBackend,
+    EvalBackendConfig, EvalJob, InlineBackend, PersistentEvalCache, RemoteBackend,
+    SharedEvalResources, SubprocessBackend, ThreadPoolBackend, WorkerPool,
 };
 pub use ctx::{
     CancelToken, ExploreBudget, ExploreContext, ExploreEvent, ExploreObserver, NullObserver,

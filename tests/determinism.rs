@@ -109,6 +109,46 @@ fn thread_pool_backend_equals_inline_bit_identically() {
     }
 }
 
+/// The remote backend decides only *where* scoring runs, like every other
+/// backend: a run scored against a live in-process `worker-serve` daemon
+/// must produce a bit-identical outcome — best design, evaluation counts
+/// and per-point history — to an inline run, for several seeds over one
+/// daemon (sessions are re-opened per run on recycled connections).
+#[test]
+fn remote_backend_equals_inline_bit_identically() {
+    let model = zoo::alexnet_cifar(10);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+    let daemon = pimsyn::serve_workers_in_background(
+        listener,
+        pimsyn::WorkerServeConfig {
+            slots: 2,
+            token: None,
+            quiet: true,
+        },
+    )
+    .expect("start worker daemon");
+    let addr = daemon.addr().to_string();
+    for seed in [7u64, 23] {
+        let base = SynthesisOptions::fast(Watts(9.0)).with_seed(seed);
+        let inline = Synthesizer::new(base.clone())
+            .synthesize(&model)
+            .expect("inline synthesis");
+        let remote = Synthesizer::new(base.with_backend(BackendKind::Remote {
+            endpoints: vec![addr.clone()],
+        }))
+        .synthesize(&model)
+        .expect("remote synthesis");
+        assert_eq!(inline.wt_dup, remote.wt_dup, "seed {seed}");
+        assert_eq!(inline.architecture, remote.architecture, "seed {seed}");
+        assert_eq!(inline.analytic, remote.analytic, "seed {seed}");
+        assert_eq!(inline.evaluations, remote.evaluations, "seed {seed}");
+        assert_eq!(inline.history, remote.history, "seed {seed}");
+        assert_eq!(inline.stop_reason, remote.stop_reason, "seed {seed}");
+    }
+    pimsyn::stop_worker_server(&addr, None).expect("daemon stops cleanly");
+    daemon.join().expect("daemon exits cleanly");
+}
+
 /// A second run warm-started from a persistent cache file is bit-identical
 /// to its cold predecessor, and a mismatched fingerprint (different power)
 /// falls back cleanly to cold scoring.
