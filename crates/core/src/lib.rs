@@ -105,8 +105,10 @@ pub use events::{CallbackSink, ChannelSink, CollectingSink, EventSink, NullSink,
 pub use options::{Effort, SynthesisOptions};
 pub use request::SynthesisRequest;
 pub use service::{
-    event_to_json, serve, serve_in_background, JobHandle, JobStatus, ServeHandle, ServiceClient,
-    ServiceConfig, ServiceError, SynthesisService, SERVICE_PROTOCOL_VERSION,
+    encode_job_payload, event_to_json, parse_job_payload, serve, serve_in_background, JobHandle,
+    JobStatus, SchedulingPolicy, ServeHandle, ServeOptions, ServiceClient, ServiceConfig,
+    ServiceError, ServiceSnapshot, SynthesisService, TenantCounts, TenantPolicy,
+    SERVICE_PROTOCOL_VERSION,
 };
 pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};

@@ -22,17 +22,34 @@ use super::wire;
 #[derive(Debug, Clone)]
 pub struct ServiceClient {
     addr: String,
+    token: Option<String>,
 }
 
 impl ServiceClient {
     /// A client addressing the daemon at `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self {
+            addr: addr.into(),
+            token: None,
+        }
+    }
+
+    /// Attaches the daemon's shared auth token to every request (daemons
+    /// started with `--auth-token-file` reject token-less requests with an
+    /// `auth_failed` error reply).
+    #[must_use]
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
     }
 
     /// The daemon address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    fn token(&self) -> Option<&str> {
+        self.token.as_deref()
     }
 
     fn connect(&self) -> Result<TcpStream, String> {
@@ -64,8 +81,8 @@ impl ServiceClient {
     /// Transport failures, or request features the wire format cannot carry
     /// (design-space overrides, fixed duplication vectors).
     pub fn submit(&self, request: &SynthesisRequest) -> Result<JsonValue, String> {
-        let payload = wire::encode_request(request)?;
-        self.call(&wire::submit_line(payload))
+        let payload = wire::encode_job_payload(request)?;
+        self.call(&wire::submit_line(payload, self.token()))
     }
 
     /// Polls a job's lifecycle phase (`status` field: `queued` / `running`
@@ -75,7 +92,7 @@ impl ServiceClient {
     ///
     /// Transport failures.
     pub fn status(&self, id: u64) -> Result<JsonValue, String> {
-        self.call(&wire::request_line("status", Some(id)))
+        self.call(&wire::request_line("status", Some(id), self.token()))
     }
 
     /// Blocks until the job finishes; the reply carries its `summary` (the
@@ -86,7 +103,7 @@ impl ServiceClient {
     ///
     /// Transport failures.
     pub fn result(&self, id: u64) -> Result<JsonValue, String> {
-        self.call(&wire::request_line("result", Some(id)))
+        self.call(&wire::request_line("result", Some(id), self.token()))
     }
 
     /// Requests cooperative cancellation of a job.
@@ -95,7 +112,18 @@ impl ServiceClient {
     ///
     /// Transport failures.
     pub fn cancel(&self, id: u64) -> Result<JsonValue, String> {
-        self.call(&wire::request_line("cancel", Some(id)))
+        self.call(&wire::request_line("cancel", Some(id), self.token()))
+    }
+
+    /// Asks the daemon to drain gracefully: stop accepting new jobs,
+    /// finish every queued and running one, then exit with code 0. The
+    /// acknowledgment returns immediately; the drain proceeds behind it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn drain(&self) -> Result<JsonValue, String> {
+        self.call(&wire::request_line("drain", None, self.token()))
     }
 
     /// Asks the daemon to shut down cleanly.
@@ -104,7 +132,7 @@ impl ServiceClient {
     ///
     /// Transport failures.
     pub fn shutdown(&self) -> Result<JsonValue, String> {
-        self.call(&wire::request_line("shutdown", None))
+        self.call(&wire::request_line("shutdown", None, self.token()))
     }
 
     /// Streams a job's events from the beginning until it finishes,
@@ -116,7 +144,7 @@ impl ServiceClient {
     /// Transport failures.
     pub fn events(&self, id: u64) -> Result<Vec<JsonValue>, String> {
         let mut stream = self.connect()?;
-        let line = wire::request_line("events", Some(id));
+        let line = wire::request_line("events", Some(id), self.token());
         writeln!(stream, "{line}").map_err(|e| format!("cannot send request: {e}"))?;
         stream
             .flush()

@@ -3,8 +3,11 @@
 //!
 //! Where a [`SynthesisEngine`](crate::SynthesisEngine) models one ephemeral
 //! run (or one throwaway batch), the service models a *daemon*: clients
-//! [`submit`](SynthesisService::submit) requests into a bounded FIFO queue,
-//! a fixed number of job slots drain it, and every job shares the service's
+//! [`submit`](SynthesisService::submit) requests into a bounded queue, a
+//! fixed number of job slots drain it under a pluggable
+//! [`SchedulingPolicy`] (global FIFO by default; weighted deficit
+//! round-robin across [`TenantPolicy`] lanes for multi-tenant front ends
+//! such as the HTTP gateway), and every job shares the service's
 //! process-wide resources — one `pimsyn --worker` subprocess pool (leased
 //! and re-sessioned per job instead of spawned per run) and one in-memory
 //! evaluation-cache snapshot store (so jobs with the same fingerprint
@@ -46,12 +49,14 @@
 //! ```
 
 mod client;
+mod sched;
 mod serve;
 mod wire;
 
 pub use client::ServiceClient;
-pub use serve::{serve, serve_in_background, ServeHandle};
-pub use wire::{event_to_json, SERVICE_PROTOCOL_VERSION};
+pub use sched::SchedulingPolicy;
+pub use serve::{serve, serve_in_background, ServeHandle, ServeOptions};
+pub use wire::{encode_job_payload, event_to_json, parse_job_payload, SERVICE_PROTOCOL_VERSION};
 
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
@@ -83,6 +88,12 @@ pub struct ServiceConfig {
     /// dropped — a long-lived daemon must not grow without bound. Live
     /// [`JobHandle`]s are unaffected by eviction.
     pub finished_retention: usize,
+    /// Which policy orders waiting jobs: global FIFO (the default) or
+    /// weighted deficit round-robin across tenants. With a single tenant —
+    /// or no tenants at all — both policies dispatch in submission order,
+    /// and every job's result is bit-identical under either (scheduling
+    /// reorders dispatch, never a job's own computation).
+    pub scheduling: SchedulingPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +104,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(4),
             queue_depth: Self::DEFAULT_QUEUE_DEPTH,
             finished_retention: Self::DEFAULT_FINISHED_RETENTION,
+            scheduling: SchedulingPolicy::default(),
         }
     }
 }
@@ -125,6 +137,111 @@ impl ServiceConfig {
         self.finished_retention = retained.max(1);
         self
     }
+
+    /// Overrides the queue-scheduling policy.
+    #[must_use]
+    pub fn with_scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling = policy;
+        self
+    }
+}
+
+/// Per-tenant scheduling identity and quotas, attached to submissions via
+/// [`SynthesisService::submit_with`].
+///
+/// The *name* keys everything: jobs submitted under the same name share one
+/// scheduling lane, one set of running/queued counts, and one quota budget.
+/// Submissions without a tenant share an anonymous weight-1 lane with no
+/// quotas (plain [`submit`](SynthesisService::submit) behaves exactly as it
+/// always has).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Tenant identity (lane key). Must be non-empty.
+    pub name: String,
+    /// Scheduling weight under [`SchedulingPolicy::WeightedFair`]: per
+    /// round-robin visit a tenant dispatches up to `weight` jobs, so two
+    /// flooding tenants get slots in weight proportion. Clamped to ≥ 1.
+    pub weight: u32,
+    /// Maximum jobs this tenant may have *waiting*; a submit beyond it
+    /// returns [`ServiceError::QuotaExceeded`] (the 429-style typed
+    /// rejection). `None`: only the global queue depth bounds it.
+    pub max_queued: Option<usize>,
+    /// Maximum jobs this tenant may have *running*; further jobs stay
+    /// queued (dispatch is deferred, never rejected) until one finishes.
+    pub max_running: Option<usize>,
+}
+
+impl TenantPolicy {
+    /// A weight-1 tenant with no quotas.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1,
+            max_queued: None,
+            max_running: None,
+        }
+    }
+
+    /// Overrides the fair-scheduling weight (clamped to at least 1).
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Caps this tenant's waiting jobs.
+    #[must_use]
+    pub fn with_max_queued(mut self, max: usize) -> Self {
+        self.max_queued = Some(max);
+        self
+    }
+
+    /// Caps this tenant's concurrently running jobs.
+    #[must_use]
+    pub fn with_max_running(mut self, max: usize) -> Self {
+        self.max_running = Some(max);
+        self
+    }
+}
+
+/// One tenant's queue occupancy in a [`ServiceSnapshot`] (anonymous
+/// submissions appear under the empty-string tenant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantCounts {
+    /// The tenant key.
+    pub tenant: String,
+    /// Jobs waiting in this tenant's lane.
+    pub queued: usize,
+    /// Jobs of this tenant currently occupying slots.
+    pub running: usize,
+}
+
+impl TenantCounts {
+    fn new(tenant: impl Into<String>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            queued: 0,
+            running: 0,
+        }
+    }
+}
+
+/// A point-in-time view of a service's queue, from
+/// [`SynthesisService::snapshot`] (the backing store of the gateway's
+/// `/metrics` gauges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Jobs waiting, total.
+    pub queued: usize,
+    /// Jobs occupying slots, total.
+    pub running: usize,
+    /// Whether a graceful drain is in progress.
+    pub draining: bool,
+    /// Whether the service has shut down.
+    pub shut_down: bool,
+    /// Per-tenant occupancy, sorted by tenant key; tenants with neither
+    /// queued nor running jobs are absent.
+    pub tenants: Vec<TenantCounts>,
 }
 
 /// Errors from the service's queueing layer (job *outcomes* travel through
@@ -138,6 +255,20 @@ pub enum ServiceError {
         /// The configured queue depth that was hit.
         depth: usize,
     },
+    /// The submitting tenant already has `limit` jobs waiting
+    /// ([`TenantPolicy::max_queued`]); the submit was rejected rather than
+    /// blocked. Retry after one of the tenant's jobs dispatches. This is
+    /// the typed per-tenant analogue of [`QueueFull`](Self::QueueFull) (an
+    /// HTTP front end maps it to `429 Too Many Requests`).
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// The configured `max_queued` bound.
+        limit: usize,
+    },
+    /// The service is draining ([`SynthesisService::begin_drain`]):
+    /// already-accepted jobs will finish, but no new jobs are accepted.
+    Draining,
     /// The service is shutting down and accepts no new jobs.
     ShutDown,
 }
@@ -147,6 +278,16 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::QueueFull { depth } => {
                 write!(f, "job queue is full ({depth} jobs waiting)")
+            }
+            ServiceError::QuotaExceeded { tenant, limit } => write!(
+                f,
+                "tenant `{tenant}` is at its queued-job quota ({limit} jobs waiting)"
+            ),
+            ServiceError::Draining => {
+                write!(
+                    f,
+                    "the synthesis service is draining and accepts no new jobs"
+                )
             }
             ServiceError::ShutDown => write!(f, "the synthesis service is shut down"),
         }
@@ -214,12 +355,29 @@ struct JobState {
     /// batch submissions, the job id otherwise).
     event_tag: usize,
     cancel: CancelToken,
+    /// Scheduling identity and quotas; `None` = anonymous lane.
+    tenant: Option<TenantPolicy>,
     work: Mutex<Option<JobWork>>,
     phase: Mutex<JobPhase>,
     done: Condvar,
 }
 
 impl JobState {
+    /// The scheduling-lane key ("" for anonymous submissions).
+    fn tenant_key(&self) -> &str {
+        self.tenant.as_ref().map_or("", |t| t.name.as_str())
+    }
+
+    /// Fair-scheduling weight (≥ 1).
+    fn weight(&self) -> u32 {
+        self.tenant.as_ref().map_or(1, |t| t.weight.max(1))
+    }
+
+    /// This job's tenant's running cap, if any.
+    fn max_running(&self) -> Option<usize> {
+        self.tenant.as_ref().and_then(|t| t.max_running)
+    }
+
     fn status(&self) -> JobStatus {
         match *self.phase.lock().expect("job phase") {
             JobPhase::Queued => JobStatus::Queued,
@@ -245,7 +403,15 @@ impl JobState {
 }
 
 struct QueueState {
-    queue: VecDeque<Arc<JobState>>,
+    /// Waiting jobs, ordered by the configured scheduling policy.
+    scheduler: Box<dyn sched::Scheduler>,
+    /// Jobs currently occupying slots, per tenant key (`max_running` caps
+    /// and introspection).
+    running: HashMap<String, usize>,
+    /// Jobs currently occupying slots, total.
+    running_total: usize,
+    /// Draining: accepted jobs finish, new submits are rejected.
+    draining: bool,
     shutdown: bool,
 }
 
@@ -292,7 +458,15 @@ impl Inner {
                     if state.shutdown {
                         return;
                     }
-                    if let Some(job) = state.queue.pop_front() {
+                    // Dispatch and the running-count increment are atomic
+                    // under the queue lock, so `max_running` caps hold.
+                    let queue_state = &mut *state;
+                    if let Some(job) = queue_state.scheduler.dequeue(&queue_state.running) {
+                        *queue_state
+                            .running
+                            .entry(job.tenant_key().to_string())
+                            .or_insert(0) += 1;
+                        queue_state.running_total += 1;
                         break job;
                     }
                     state = self.available.wait(state).expect("service queue");
@@ -317,6 +491,20 @@ impl Inner {
                 _ => Err(SynthesisError::Cancelled),
             };
             job.finish(result);
+            {
+                let mut state = self.queue.lock().expect("service queue");
+                let key = job.tenant_key();
+                if let Some(count) = state.running.get_mut(key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        state.running.remove(key);
+                    }
+                }
+                state.running_total -= 1;
+            }
+            // A freed slot may unblock a tenant at its running cap, and
+            // drain waiters recheck on every completion: wake everyone.
+            self.available.notify_all();
             self.record_finished(job.id);
         }
     }
@@ -344,7 +532,9 @@ impl fmt::Debug for SynthesisService {
         let queue = self.inner.queue.lock().expect("service queue");
         f.debug_struct("SynthesisService")
             .field("config", &self.inner.config)
-            .field("queued", &queue.queue.len())
+            .field("queued", &queue.scheduler.len())
+            .field("running", &queue.running_total)
+            .field("draining", &queue.draining)
             .field("shutdown", &queue.shutdown)
             .finish_non_exhaustive()
     }
@@ -361,13 +551,16 @@ impl SynthesisService {
     /// the (initially empty) queue immediately.
     pub fn new(config: ServiceConfig) -> Self {
         let inner = Arc::new(Inner {
-            config,
             engine: SynthesisEngine::new(),
             shared: SharedEvalResources::new(),
             queue: Mutex::new(QueueState {
-                queue: VecDeque::new(),
+                scheduler: sched::scheduler_for(config.scheduling),
+                running: HashMap::new(),
+                running_total: 0,
+                draining: false,
                 shutdown: false,
             }),
+            config,
             available: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
             finished: Mutex::new(VecDeque::new()),
@@ -405,7 +598,40 @@ impl SynthesisService {
 
     /// Jobs currently waiting in the queue (excluding running ones).
     pub fn queued_jobs(&self) -> usize {
-        self.inner.queue.lock().expect("service queue").queue.len()
+        self.inner
+            .queue
+            .lock()
+            .expect("service queue")
+            .scheduler
+            .len()
+    }
+
+    /// A point-in-time view of the queue: totals, drain state, and
+    /// per-tenant counts (for dashboards and the gateway's `/metrics`).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let queue = self.inner.queue.lock().expect("service queue");
+        let mut tenants: HashMap<String, TenantCounts> = HashMap::new();
+        for (name, queued) in queue.scheduler.tenant_counts() {
+            tenants
+                .entry(name.clone())
+                .or_insert_with(|| TenantCounts::new(name))
+                .queued = queued;
+        }
+        for (name, &running) in &queue.running {
+            tenants
+                .entry(name.clone())
+                .or_insert_with(|| TenantCounts::new(name.clone()))
+                .running = running;
+        }
+        let mut tenants: Vec<TenantCounts> = tenants.into_values().collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        ServiceSnapshot {
+            queued: queue.scheduler.len(),
+            running: queue.running_total,
+            draining: queue.draining,
+            shut_down: queue.shutdown,
+            tenants,
+        }
     }
 
     /// Submits a request into the queue.
@@ -416,7 +642,30 @@ impl SynthesisService {
     ///   waiting (the call never blocks on a full queue).
     /// - [`ServiceError::ShutDown`] after [`shutdown`](Self::shutdown).
     pub fn submit(&self, request: SynthesisRequest) -> Result<JobHandle, ServiceError> {
-        self.submit_inner(request, None, None, None)
+        self.submit_inner(request, None, None, None, None)
+    }
+
+    /// Submits a request under a tenant policy, optionally tee'ing its
+    /// events into an external sink (e.g. a replayable event log).
+    ///
+    /// The tenant's `name` keys its scheduling lane and quota budget; the
+    /// policy travels with the job, so the *submitter* decides quotas and
+    /// weights (a front end resolves them from its tenant registry).
+    /// `tenant: None` is exactly [`submit`](Self::submit) plus the sink.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](Self::submit) returns, plus
+    /// [`ServiceError::QuotaExceeded`] when the tenant is at its
+    /// [`max_queued`](TenantPolicy::max_queued) bound and
+    /// [`ServiceError::Draining`] while a drain is in progress.
+    pub fn submit_with(
+        &self,
+        request: SynthesisRequest,
+        tenant: Option<TenantPolicy>,
+        external: Option<Arc<dyn EventSink>>,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, None, tenant, external, None)
     }
 
     /// Batch-path submission: events are tagged with `tag` (the batch
@@ -428,7 +677,7 @@ impl SynthesisService {
         external: Arc<dyn EventSink>,
         cancel: CancelToken,
     ) -> Result<JobHandle, ServiceError> {
-        self.submit_inner(request, Some(tag), Some(external), Some(cancel))
+        self.submit_inner(request, Some(tag), None, Some(external), Some(cancel))
     }
 
     /// Socket-path submission: events are additionally tee'd into
@@ -438,13 +687,14 @@ impl SynthesisService {
         request: SynthesisRequest,
         external: Arc<dyn EventSink>,
     ) -> Result<JobHandle, ServiceError> {
-        self.submit_inner(request, None, Some(external), None)
+        self.submit_inner(request, None, None, Some(external), None)
     }
 
     fn submit_inner(
         &self,
         request: SynthesisRequest,
         tag: Option<usize>,
+        tenant: Option<TenantPolicy>,
         external: Option<Arc<dyn EventSink>>,
         cancel: Option<CancelToken>,
     ) -> Result<JobHandle, ServiceError> {
@@ -456,6 +706,7 @@ impl SynthesisService {
             id,
             event_tag: tag.unwrap_or(id as usize),
             cancel: cancel.unwrap_or_default(),
+            tenant,
             work: Mutex::new(Some(JobWork {
                 request,
                 sink: TeeSink { sinks },
@@ -468,12 +719,25 @@ impl SynthesisService {
             if queue.shutdown {
                 return Err(ServiceError::ShutDown);
             }
-            if queue.queue.len() >= self.inner.config.queue_depth {
+            if queue.draining {
+                return Err(ServiceError::Draining);
+            }
+            if queue.scheduler.len() >= self.inner.config.queue_depth {
                 return Err(ServiceError::QueueFull {
                     depth: self.inner.config.queue_depth,
                 });
             }
-            queue.queue.push_back(Arc::clone(&state));
+            if let Some(policy) = &state.tenant {
+                if let Some(limit) = policy.max_queued {
+                    if queue.scheduler.queued_for(&policy.name) >= limit {
+                        return Err(ServiceError::QuotaExceeded {
+                            tenant: policy.name.clone(),
+                            limit,
+                        });
+                    }
+                }
+            }
+            queue.scheduler.enqueue(Arc::clone(&state));
         }
         self.inner.available.notify_one();
         self.inner
@@ -519,6 +783,40 @@ impl SynthesisService {
             .cloned()
     }
 
+    /// Begins a graceful drain: from now on submits are rejected with
+    /// [`ServiceError::Draining`], while already-accepted jobs — queued
+    /// *and* running — proceed to completion (unlike
+    /// [`shutdown`](Self::shutdown), which cancels queued jobs). Status,
+    /// result and cancel calls keep working throughout. Idempotent.
+    pub fn begin_drain(&self) {
+        self.inner.queue.lock().expect("service queue").draining = true;
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.queue.lock().expect("service queue").draining
+    }
+
+    /// Blocks until no job is waiting or running. Usually preceded by
+    /// [`begin_drain`](Self::begin_drain) — without it new submits can keep
+    /// the queue busy indefinitely.
+    pub fn await_drained(&self) {
+        let mut queue = self.inner.queue.lock().expect("service queue");
+        while queue.scheduler.len() > 0 || queue.running_total > 0 {
+            queue = self.inner.available.wait(queue).expect("service queue");
+        }
+    }
+
+    /// Graceful drain, end to end: stop accepting new jobs, let every
+    /// queued and running job finish, then shut down (joining all slots).
+    /// The zero-downtime-restart path: a drained service exits with all
+    /// accepted work completed, never cancelled.
+    pub fn drain(&self) {
+        self.begin_drain();
+        self.await_drained();
+        self.shutdown();
+    }
+
     /// Shuts the service down: no further submits are accepted, jobs still
     /// waiting in the queue finish as [`SynthesisError::Cancelled`] without
     /// running, running jobs are cancelled cooperatively, and every job
@@ -527,7 +825,7 @@ impl SynthesisService {
         let drained: Vec<Arc<JobState>> = {
             let mut queue = self.inner.queue.lock().expect("service queue");
             queue.shutdown = true;
-            queue.queue.drain(..).collect()
+            queue.scheduler.drain_all()
         };
         self.inner.available.notify_all();
         for job in drained {
@@ -580,6 +878,12 @@ impl JobHandle {
     /// The job's current lifecycle phase.
     pub fn status(&self) -> JobStatus {
         self.state.status()
+    }
+
+    /// The tenant this job was submitted under
+    /// ([`SynthesisService::submit_with`]), if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.state.tenant.as_ref().map(|t| t.name.as_str())
     }
 
     /// Whether the result is available without blocking.

@@ -4,7 +4,9 @@
 //! connection carries one protocol request ([`wire`](super::wire)) and is
 //! handled on its own thread, so a blocking `result` fetch never starves
 //! `status` polls or new submits. A `shutdown` verb stops the loop (and the
-//! service) cleanly.
+//! service) cleanly; a `drain` verb stops it *gracefully* — no new jobs,
+//! every accepted one finishes first. [`ServeOptions`] adds an optional
+//! shared-token authentication check (parity with `pimsyn worker-serve`).
 //!
 //! Submitted jobs are tee'd into a per-job event log, so the `events` verb
 //! can replay a job's stream from the beginning at any time — including
@@ -46,6 +48,40 @@ impl EventSink for EventLog {
     }
 }
 
+/// Daemon-side serving policy, beyond the service itself.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Suppress per-connection log lines on stderr (the script-facing
+    /// `listening on <addr>` line prints regardless).
+    pub quiet: bool,
+    /// Shared-secret authentication: when set, every request line must
+    /// carry a matching `"token"` field; mismatches are answered with an
+    /// `auth_failed` error reply. `None` (the default) serves openly —
+    /// bind loopback or a trusted network.
+    pub token: Option<String>,
+}
+
+impl ServeOptions {
+    /// Open, chatty serving (the defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets stderr chattiness.
+    #[must_use]
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Requires this shared secret on every request.
+    #[must_use]
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
+    }
+}
+
 struct ServerShared {
     service: Arc<SynthesisService>,
     configure: Box<dyn Fn(&mut SynthesisRequest) + Send + Sync>,
@@ -53,6 +89,7 @@ struct ServerShared {
     stop: AtomicBool,
     addr: SocketAddr,
     quiet: bool,
+    token: Option<String>,
 }
 
 impl ServerShared {
@@ -63,15 +100,16 @@ impl ServerShared {
     }
 }
 
-/// Runs `service` behind `listener` until a `shutdown` verb arrives,
-/// blocking the calling thread. `configure` overlays server-side policy
-/// (evaluation backend, cache file) onto every submitted request — socket
-/// clients describe *what* to synthesize, the daemon decides *how*.
+/// Runs `service` behind `listener` until a `shutdown` or `drain` verb
+/// arrives, blocking the calling thread. `configure` overlays server-side
+/// policy (evaluation backend, cache file) onto every submitted request —
+/// socket clients describe *what* to synthesize, the daemon decides *how*.
 ///
 /// On startup the actually-bound address — including the kernel-resolved
 /// port when the listener was bound to port 0 — is printed to stderr as
-/// `pimsyn serve: listening on <addr>` regardless of `quiet`, so scripts
-/// and tests can bind port 0 instead of racing for free ports.
+/// `pimsyn serve: listening on <addr>` regardless of
+/// [`quiet`](ServeOptions::quiet), so scripts and tests can bind port 0
+/// instead of racing for free ports.
 ///
 /// # Errors
 ///
@@ -81,7 +119,7 @@ pub fn serve<F>(
     listener: TcpListener,
     service: Arc<SynthesisService>,
     configure: F,
-    quiet: bool,
+    options: ServeOptions,
 ) -> std::io::Result<()>
 where
     F: Fn(&mut SynthesisRequest) + Send + Sync + 'static,
@@ -93,7 +131,8 @@ where
         logs: Mutex::new(std::collections::HashMap::new()),
         stop: AtomicBool::new(false),
         addr,
-        quiet,
+        quiet: options.quiet,
+        token: options.token,
     });
     // Unconditional: the script-facing bound-address line (see above).
     eprintln!("pimsyn serve: listening on {addr}");
@@ -143,13 +182,13 @@ pub fn serve_in_background<F>(
     listener: TcpListener,
     service: Arc<SynthesisService>,
     configure: F,
-    quiet: bool,
+    options: ServeOptions,
 ) -> std::io::Result<ServeHandle>
 where
     F: Fn(&mut SynthesisRequest) + Send + Sync + 'static,
 {
     let addr = listener.local_addr()?;
-    let thread = thread::spawn(move || serve(listener, service, configure, quiet));
+    let thread = thread::spawn(move || serve(listener, service, configure, options));
     Ok(ServeHandle { addr, thread })
 }
 
@@ -168,14 +207,21 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
             _ => return, // peer hung up before sending anything
         }
     }
-    let verb = match wire::parse_verb(line.trim()) {
-        Ok(verb) => verb,
+    let (verb, peer_token) = match wire::parse_verb(line.trim()) {
+        Ok(parsed) => parsed,
         Err(e) => {
             let (code, detail) = e.reply_parts();
             reply(&mut stream, &wire::error_reply(code, &detail));
             return;
         }
     };
+    if shared.token.is_some() && shared.token != peer_token {
+        reply(
+            &mut stream,
+            &wire::error_reply("auth_failed", "bad or missing token"),
+        );
+        return;
+    }
     match verb {
         wire::WireVerb::Submit(request) => {
             let mut request = *request;
@@ -198,13 +244,17 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                     shared.note(&format!("job {id} submitted"));
                     reply(&mut stream, &wire::submit_reply(id));
                 }
-                Err(ServiceError::QueueFull { depth }) => reply(
+                Err(e @ ServiceError::QueueFull { .. }) => reply(
                     &mut stream,
-                    &wire::error_reply(
-                        "queue_full",
-                        &format!("job queue is full ({depth} jobs waiting)"),
-                    ),
+                    &wire::error_reply("queue_full", &e.to_string()),
                 ),
+                Err(e @ ServiceError::QuotaExceeded { .. }) => reply(
+                    &mut stream,
+                    &wire::error_reply("quota_exceeded", &e.to_string()),
+                ),
+                Err(e @ ServiceError::Draining) => {
+                    reply(&mut stream, &wire::error_reply("draining", &e.to_string()))
+                }
                 Err(e) => reply(&mut stream, &wire::error_reply("shut_down", &e.to_string())),
             }
         }
@@ -248,6 +298,17 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                     &wire::error_reply("unknown_job", &format!("no job with id {id}")),
                 ),
             }
+        }
+        wire::WireVerb::Drain => {
+            shared.note("drain requested");
+            reply(&mut stream, &wire::drain_reply());
+            // Blocks this connection's thread (not the accept loop) until
+            // every accepted job has finished: status/result/events
+            // connections keep being served throughout the drain.
+            shared.service.drain();
+            shared.note("drained");
+            shared.stop.store(true, Ordering::SeqCst);
+            crate::worker::poke_listener(shared.addr);
         }
         wire::WireVerb::Shutdown => {
             shared.note("shutdown requested");

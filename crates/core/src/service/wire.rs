@@ -11,24 +11,34 @@
 //! streams many reply lines, then closes). Verbs:
 //!
 //! ```text
-//! > {"verb":"submit","pimsyn_service":1,"job":{...}}
-//! < {"ok":true,"pimsyn_service":1,"id":0}
-//! > {"verb":"status","pimsyn_service":1,"id":0}
+//! > {"verb":"submit","pimsyn_service":2,"job":{...}}
+//! < {"ok":true,"pimsyn_service":2,"id":0}
+//! > {"verb":"status","pimsyn_service":2,"id":0}
 //! < {"ok":true,"id":0,"status":"running"}
-//! > {"verb":"events","pimsyn_service":1,"id":0}
+//! > {"verb":"events","pimsyn_service":2,"id":0}
 //! < {"ok":true,"event":{"type":"job_started",...}}   (one line per event)
 //! < {"ok":true,"done":true}
-//! > {"verb":"result","pimsyn_service":1,"id":0}      (blocks until finished)
+//! > {"verb":"result","pimsyn_service":2,"id":0}      (blocks until finished)
 //! < {"ok":true,"id":0,"summary":{...}}
-//! > {"verb":"cancel","pimsyn_service":1,"id":0}
+//! > {"verb":"cancel","pimsyn_service":2,"id":0}
 //! < {"ok":true,"id":0}
-//! > {"verb":"shutdown","pimsyn_service":1}
+//! > {"verb":"drain","pimsyn_service":2}
+//! < {"ok":true,"draining":true}
+//! > {"verb":"shutdown","pimsyn_service":2}
 //! < {"ok":true,"shutting_down":true}
 //! ```
 //!
+//! A daemon started with a shared auth token additionally requires a
+//! `"token":"<secret>"` field on every request; a bad or missing token is
+//! answered with an `auth_failed` error reply. `drain` asks the daemon to
+//! stop accepting new jobs, finish every queued and running one, and then
+//! exit cleanly (the zero-downtime-restart verb; `shutdown` cancels
+//! instead).
+//!
 //! Error replies are `{"ok":false,"code":"<slug>","error":"<detail>"}` with
-//! codes `version_mismatch`, `bad_request`, `queue_full`, `shut_down`,
-//! `unknown_job` and `job_failed`.
+//! codes `version_mismatch`, `bad_request`, `auth_failed`, `queue_full`,
+//! `quota_exceeded`, `draining`, `shut_down`, `unknown_job` and
+//! `job_failed`.
 //!
 //! The submit payload carries the *request*, not server policy: the model
 //! (ONNX-style JSON), bit-exact hardware parameters, the power budget as
@@ -52,8 +62,9 @@ use crate::events::SynthesisEvent;
 use crate::options::{Effort, SynthesisOptions};
 use crate::request::SynthesisRequest;
 
-/// Wire-format version; bumped on any incompatible message change.
-pub const SERVICE_PROTOCOL_VERSION: u32 = 1;
+/// Wire-format version; bumped on any incompatible message change (v2
+/// added the `drain` verb and the optional per-request `token` field).
+pub const SERVICE_PROTOCOL_VERSION: u32 = 2;
 
 fn u64_hex(v: u64) -> String {
     format!("{v:016x}")
@@ -117,13 +128,15 @@ fn parse_strategy(s: &str) -> Result<WtDupStrategy, String> {
     }
 }
 
-/// Encodes one synthesis request as the submit verb's `job` payload.
+/// Encodes one synthesis request as the submit verb's `job` payload (also
+/// the HTTP gateway's `POST /v1/jobs` body format — any front end speaking
+/// the job-payload schema of `docs/PROTOCOLS.md` can reuse this codec).
 ///
 /// # Errors
 ///
 /// A message for request features the wire format cannot carry (a pinned
 /// design-space override or fixed duplication vectors).
-pub(crate) fn encode_request(request: &SynthesisRequest) -> Result<JsonValue, String> {
+pub fn encode_job_payload(request: &SynthesisRequest) -> Result<JsonValue, String> {
     let options = &request.options;
     if options.space.is_some() {
         return Err("design-space overrides are not supported over the socket".to_string());
@@ -206,7 +219,7 @@ pub(crate) fn encode_request(request: &SynthesisRequest) -> Result<JsonValue, St
 /// # Errors
 ///
 /// A message naming the malformed or missing field.
-pub(crate) fn parse_request(doc: &JsonValue) -> Result<SynthesisRequest, String> {
+pub fn parse_job_payload(doc: &JsonValue) -> Result<SynthesisRequest, String> {
     let model = onnx::parse_model(&str_field(doc, "model")?)
         .map_err(|e| format!("cannot ingest model: {e}"))?;
     let hw = hardware_config::from_json_exact(&str_field(doc, "hw")?)
@@ -289,7 +302,10 @@ pub(crate) enum WireVerb {
         /// The job id being fetched.
         id: u64,
     },
-    /// Stop the daemon.
+    /// Gracefully drain the daemon: stop accepting, finish accepted jobs,
+    /// exit cleanly.
+    Drain,
+    /// Stop the daemon (cancels queued and running jobs).
     Shutdown,
 }
 
@@ -329,13 +345,19 @@ impl WireParseError {
 }
 
 /// Parses one received request line, enforcing the protocol version.
-pub(crate) fn parse_verb(line: &str) -> Result<WireVerb, WireParseError> {
+/// Returns the verb plus the request's optional auth `token` (the daemon
+/// compares it against its configured secret, if any).
+pub(crate) fn parse_verb(line: &str) -> Result<(WireVerb, Option<String>), WireParseError> {
     let doc = JsonValue::parse(line)
         .map_err(|e| WireParseError::Bad(format!("malformed request: {e}")))?;
     match doc.get("pimsyn_service").and_then(JsonValue::as_usize) {
         Some(v) if v == SERVICE_PROTOCOL_VERSION as usize => {}
         peer => return Err(WireParseError::VersionMismatch { peer }),
     }
+    let token = doc
+        .get("token")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
     let verb = doc
         .get("verb")
         .and_then(JsonValue::as_str)
@@ -345,25 +367,28 @@ pub(crate) fn parse_verb(line: &str) -> Result<WireVerb, WireParseError> {
             .map(|id| id as u64)
             .map_err(WireParseError::Bad)
     };
-    match verb {
+    let verb = match verb {
         "submit" => {
             let job = doc
                 .get("job")
                 .ok_or_else(|| WireParseError::Bad("missing `job` payload".to_string()))?;
-            let request = parse_request(job).map_err(WireParseError::Bad)?;
-            Ok(WireVerb::Submit(Box::new(request)))
+            let request = parse_job_payload(job).map_err(WireParseError::Bad)?;
+            WireVerb::Submit(Box::new(request))
         }
-        "status" => Ok(WireVerb::Status { id: id()? }),
-        "events" => Ok(WireVerb::Events { id: id()? }),
-        "cancel" => Ok(WireVerb::Cancel { id: id()? }),
-        "result" => Ok(WireVerb::Result { id: id()? }),
-        "shutdown" => Ok(WireVerb::Shutdown),
-        other => Err(WireParseError::Bad(format!("unknown verb `{other}`"))),
-    }
+        "status" => WireVerb::Status { id: id()? },
+        "events" => WireVerb::Events { id: id()? },
+        "cancel" => WireVerb::Cancel { id: id()? },
+        "result" => WireVerb::Result { id: id()? },
+        "drain" => WireVerb::Drain,
+        "shutdown" => WireVerb::Shutdown,
+        other => return Err(WireParseError::Bad(format!("unknown verb `{other}`"))),
+    };
+    Ok((verb, token))
 }
 
-/// Builds one request line for `verb` addressing `id` (version included).
-pub(crate) fn request_line(verb: &str, id: Option<u64>) -> String {
+/// Builds one request line for `verb` addressing `id` (version and, when
+/// given, the auth token included).
+pub(crate) fn request_line(verb: &str, id: Option<u64>, token: Option<&str>) -> String {
     let mut fields: Vec<(String, JsonValue)> = vec![
         ("verb".into(), JsonValue::String(verb.to_string())),
         (
@@ -374,20 +399,26 @@ pub(crate) fn request_line(verb: &str, id: Option<u64>) -> String {
     if let Some(id) = id {
         fields.push(("id".into(), JsonValue::Number(id as f64)));
     }
+    if let Some(token) = token {
+        fields.push(("token".into(), JsonValue::String(token.to_string())));
+    }
     JsonValue::Object(fields).to_string()
 }
 
 /// Builds the submit request line carrying an encoded job payload.
-pub(crate) fn submit_line(job: JsonValue) -> String {
-    JsonValue::Object(vec![
+pub(crate) fn submit_line(job: JsonValue, token: Option<&str>) -> String {
+    let mut fields = vec![
         ("verb".into(), JsonValue::String("submit".into())),
         (
             "pimsyn_service".into(),
             JsonValue::Number(SERVICE_PROTOCOL_VERSION as f64),
         ),
         ("job".into(), job),
-    ])
-    .to_string()
+    ];
+    if let Some(token) = token {
+        fields.push(("token".into(), JsonValue::String(token.to_string())));
+    }
+    JsonValue::Object(fields).to_string()
 }
 
 fn ok_reply(mut fields: Vec<(String, JsonValue)>) -> String {
@@ -445,6 +476,11 @@ pub(crate) fn result_reply(id: u64, summary: JsonValue) -> String {
 /// The acknowledgment sent before the daemon stops.
 pub(crate) fn shutdown_reply() -> String {
     ok_reply(vec![("shutting_down".into(), JsonValue::Bool(true))])
+}
+
+/// The acknowledgment that a graceful drain has begun.
+pub(crate) fn drain_reply() -> String {
+    ok_reply(vec![("draining".into(), JsonValue::Bool(true))])
 }
 
 /// One streamed event line of the `events` verb.
@@ -570,8 +606,8 @@ mod tests {
     #[test]
     fn submit_payload_round_trips_the_request() {
         let request = sample_request();
-        let encoded = encode_request(&request).unwrap();
-        let back = parse_request(&encoded).unwrap();
+        let encoded = encode_job_payload(&request).unwrap();
+        let back = parse_job_payload(&encoded).unwrap();
         // Options (including the > 2^53 seed and the bit-exact power) and
         // label survive; model structure survives the ONNX JSON round trip.
         assert_eq!(back.options, request.options);
@@ -586,21 +622,35 @@ mod tests {
     #[test]
     fn submit_line_parses_as_a_verb() {
         let request = sample_request();
-        let line = submit_line(encode_request(&request).unwrap());
+        let line = submit_line(encode_job_payload(&request).unwrap(), None);
         match parse_verb(&line).unwrap() {
-            WireVerb::Submit(back) => assert_eq!(back.options.seed, request.options.seed),
+            (WireVerb::Submit(back), None) => {
+                assert_eq!(back.options.seed, request.options.seed)
+            }
             other => panic!("parsed as {other:?}"),
         }
+    }
+
+    #[test]
+    fn tokens_travel_on_request_lines() {
+        let line = request_line("status", Some(3), Some("s3cret"));
+        let (_, token) = parse_verb(&line).unwrap();
+        assert_eq!(token.as_deref(), Some("s3cret"));
+        let request = sample_request();
+        let line = submit_line(encode_job_payload(&request).unwrap(), Some("s3cret"));
+        let (verb, token) = parse_verb(&line).unwrap();
+        assert!(matches!(verb, WireVerb::Submit(_)));
+        assert_eq!(token.as_deref(), Some("s3cret"));
     }
 
     #[test]
     fn unsupported_requests_are_rejected_at_encode_time() {
         let mut request = sample_request();
         request.options.strategy = WtDupStrategy::Fixed(vec![vec![1]]);
-        assert!(encode_request(&request).is_err());
+        assert!(encode_job_payload(&request).is_err());
         let mut request = sample_request();
         request.options.space = Some(pimsyn_dse::DesignSpace::reduced());
-        assert!(encode_request(&request).is_err());
+        assert!(encode_job_payload(&request).is_err());
     }
 
     #[test]
@@ -628,7 +678,7 @@ mod tests {
             ("cancel", 5),
             ("result", 6),
         ] {
-            match parse_verb(&request_line(verb, Some(want))).unwrap() {
+            match parse_verb(&request_line(verb, Some(want), None)).unwrap().0 {
                 WireVerb::Status { id }
                 | WireVerb::Events { id }
                 | WireVerb::Cancel { id }
@@ -637,15 +687,19 @@ mod tests {
             }
         }
         assert!(matches!(
-            parse_verb(&request_line("shutdown", None)).unwrap(),
+            parse_verb(&request_line("shutdown", None, None)).unwrap().0,
             WireVerb::Shutdown
+        ));
+        assert!(matches!(
+            parse_verb(&request_line("drain", None, None)).unwrap().0,
+            WireVerb::Drain
         ));
         assert!(matches!(
             parse_verb("not json"),
             Err(WireParseError::Bad(_))
         ));
         assert!(matches!(
-            parse_verb(&request_line("dance", None)),
+            parse_verb(&request_line("dance", None, None)),
             Err(WireParseError::Bad(_))
         ));
     }
@@ -658,6 +712,7 @@ mod tests {
             (cancel_reply(7), true),
             (result_reply(7, JsonValue::Object(vec![])), true),
             (shutdown_reply(), true),
+            (drain_reply(), true),
             (events_done_reply(), true),
             (error_reply("queue_full", "full"), false),
         ] {

@@ -94,10 +94,15 @@ USAGE:
   pimsyn serve --listen <host:port> [--job-slots N] [--queue-depth N]
                [--backend <spec>] [--remote-token-file <path>]
                [--eval-cache-file <path>] [--eval-cache-max-entries <n>]
-               [--quiet]
+               [--auth-token-file <path>] [--quiet]
+  pimsyn gateway --listen <host:port> [--keys <tenants.json>]
+                 [--scheduler <fifo|fair>] [--job-slots N] [--queue-depth N]
+                 [--backend <spec>] [--remote-token-file <path>]
+                 [--eval-cache-file <path>] [--eval-cache-max-entries <n>]
+                 [--quiet]
   pimsyn submit --connect <host:port> --model <name> --power <watts> [options]
   pimsyn status|result|cancel --connect <host:port> --id <job-id>
-  pimsyn shutdown --connect <host:port>
+  pimsyn shutdown|drain --connect <host:port>
   pimsyn worker-serve --listen <host:port> [--slots N]
                       [--auth-token-file <path>] [--quiet]
   pimsyn worker-stop --connect <host:port> [--auth-token-file <path>]
@@ -153,6 +158,17 @@ evaluation cache, and are addressed by id through the submit/status/
 result/cancel/shutdown subcommands (a versioned JSON-lines TCP protocol).
 The daemon's --backend / --eval-cache-file flags decide where every
 submitted job's scoring runs; submit-side flags describe the job itself.
+With --auth-token-file, every request must carry the shared token (clients
+pass the same flag); `pimsyn drain` stops intake, finishes queued and
+running jobs, and exits the daemon cleanly.
+
+`pimsyn gateway` runs the same daemon behind a plain HTTP/1.1 REST API
+(POST /v1/jobs, GET /v1/jobs/<id>[/result|/events], DELETE /v1/jobs/<id>,
+GET /metrics for Prometheus, POST /v1/drain) — see docs/PROTOCOLS.md.
+--keys installs per-tenant API keys (Authorization: Bearer), quotas and
+scheduling weights; the scheduler then defaults to weighted-fair
+round-robin across tenants instead of global FIFO (--scheduler overrides
+either way; results are bit-identical under both policies).
 
 `pimsyn worker-serve` runs a long-lived evaluation-worker daemon: each
 accepted TCP connection (version-checked, optionally token-authenticated,
@@ -822,6 +838,7 @@ struct ServeArgs {
     remote_token_file: Option<String>,
     eval_cache_file: Option<String>,
     eval_cache_max_entries: Option<usize>,
+    auth_token_file: Option<String>,
     quiet: bool,
 }
 
@@ -834,6 +851,7 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
         remote_token_file: None,
         eval_cache_file: None,
         eval_cache_max_entries: None,
+        auth_token_file: None,
         quiet: false,
     };
     let mut it = argv.into_iter();
@@ -863,6 +881,7 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
                     value("--eval-cache-max-entries")?,
                 )?)
             }
+            "--auth-token-file" => args.auth_token_file = Some(value("--auth-token-file")?),
             "--quiet" | "-q" => args.quiet = true,
             other => return Err(format!("unknown serve flag `{other}`")),
         }
@@ -919,10 +938,166 @@ fn run_serve(argv: &[String]) -> ExitCode {
             request.options.backend.cache_max_entries = overlay_args.eval_cache_max_entries;
         }
     };
-    match pimsyn::serve(listener, service, overlay, args.quiet) {
+    let mut options = pimsyn::ServeOptions::new().with_quiet(args.quiet);
+    if let Some(path) = &args.auth_token_file {
+        match read_token_file(path) {
+            Ok(token) => options = options.with_token(token),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match pimsyn::serve(listener, service, overlay, options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags of the `gateway` subcommand: the serve-side policy flags plus the
+/// tenant keys file and the scheduling policy.
+#[derive(Debug, Clone)]
+struct GatewayArgs {
+    listen: String,
+    keys: Option<String>,
+    scheduler: Option<pimsyn::SchedulingPolicy>,
+    job_slots: Option<usize>,
+    queue_depth: Option<usize>,
+    backend: BackendKind,
+    remote_token_file: Option<String>,
+    eval_cache_file: Option<String>,
+    eval_cache_max_entries: Option<usize>,
+    quiet: bool,
+}
+
+fn parse_gateway_args<I: IntoIterator<Item = String>>(argv: I) -> Result<GatewayArgs, String> {
+    let mut args = GatewayArgs {
+        listen: String::new(),
+        keys: None,
+        scheduler: None,
+        job_slots: None,
+        queue_depth: None,
+        backend: BackendKind::Inline,
+        remote_token_file: None,
+        eval_cache_file: None,
+        eval_cache_max_entries: None,
+        quiet: false,
+    };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        let positive = |name: &str, raw: String| -> Result<usize, String> {
+            match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("{name} must be a positive integer")),
+            }
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--keys" => args.keys = Some(value("--keys")?),
+            "--scheduler" => {
+                args.scheduler = Some(match value("--scheduler")?.as_str() {
+                    "fifo" => pimsyn::SchedulingPolicy::Fifo,
+                    "fair" => pimsyn::SchedulingPolicy::WeightedFair,
+                    other => return Err(format!("bad --scheduler `{other}` (fifo|fair)")),
+                })
+            }
+            "--job-slots" => args.job_slots = Some(positive("--job-slots", value("--job-slots")?)?),
+            "--queue-depth" => {
+                args.queue_depth = Some(positive("--queue-depth", value("--queue-depth")?)?)
+            }
+            "--backend" => {
+                args.backend = BackendKind::parse(&value("--backend")?)
+                    .map_err(|e| format!("bad --backend: {e}"))?
+            }
+            "--remote-token-file" => args.remote_token_file = Some(value("--remote-token-file")?),
+            "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
+            "--eval-cache-max-entries" => {
+                args.eval_cache_max_entries = Some(positive(
+                    "--eval-cache-max-entries",
+                    value("--eval-cache-max-entries")?,
+                )?)
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            other => return Err(format!("unknown gateway flag `{other}`")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err("gateway requires --listen <host:port>".to_string());
+    }
+    if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
+        return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
+    }
+    if args.remote_token_file.is_some() && !matches!(args.backend, BackendKind::Remote { .. }) {
+        return Err("--remote-token-file requires --backend remote:host:port[,...]".to_string());
+    }
+    Ok(args)
+}
+
+fn run_gateway(argv: &[String]) -> ExitCode {
+    let args = match parse_gateway_args(argv.iter().cloned()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let tenants = match &args.keys {
+        Some(path) => match pimsyn_gateway::TenantRegistry::load(path) {
+            Ok(registry) => registry,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => pimsyn_gateway::TenantRegistry::open(),
+    };
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Multi-tenant gateways default to fair scheduling; a keyless (single
+    // anonymous lane) gateway keeps service-identical FIFO order.
+    let scheduling = args.scheduler.unwrap_or(if tenants.requires_auth() {
+        pimsyn::SchedulingPolicy::WeightedFair
+    } else {
+        pimsyn::SchedulingPolicy::Fifo
+    });
+    let mut config = ServiceConfig::default().with_scheduling(scheduling);
+    if let Some(slots) = args.job_slots {
+        config = config.with_job_slots(slots);
+    }
+    if let Some(depth) = args.queue_depth {
+        config = config.with_queue_depth(depth);
+    }
+    let service = std::sync::Arc::new(SynthesisService::new(config));
+    let overlay_args = args.clone();
+    // The same server-side policy overlay as `pimsyn serve`: the daemon
+    // decides where scoring runs and which cache file persists it.
+    let overlay = move |request: &mut SynthesisRequest| {
+        request.options.backend.kind = overlay_args.backend.clone();
+        request.options.backend.remote_token_file =
+            overlay_args.remote_token_file.as_ref().map(Into::into);
+        if request.options.eval_cache.enabled {
+            if let Some(path) = &overlay_args.eval_cache_file {
+                request.options.backend.cache_file = Some(path.into());
+            }
+            request.options.backend.cache_max_entries = overlay_args.eval_cache_max_entries;
+        }
+    };
+    let gateway_config = pimsyn_gateway::GatewayConfig::new()
+        .with_tenants(tenants)
+        .with_quiet(args.quiet);
+    match pimsyn_gateway::serve_gateway(listener, service, overlay, gateway_config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: gateway failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -1056,14 +1231,16 @@ fn run_worker_stop(argv: &[String]) -> ExitCode {
     }
 }
 
+/// What `split_client_args` extracts: the `--connect` address, the `--id`
+/// value, the `--auth-token-file` path, and the untouched remaining flags.
+type ClientArgs = (String, Option<u64>, Option<String>, Vec<String>);
+
 /// Splits `--connect <addr>` (required) and `--id <n>` (when `with_id`) out
 /// of a client subcommand's argv, returning the remaining flags untouched.
-fn split_client_args(
-    argv: &[String],
-    with_id: bool,
-) -> Result<(String, Option<u64>, Vec<String>), String> {
+fn split_client_args(argv: &[String], with_id: bool) -> Result<ClientArgs, String> {
     let mut connect = None;
     let mut id = None;
+    let mut token_file = None;
     let mut rest = Vec::new();
     let mut it = argv.iter().cloned();
     while let Some(flag) = it.next() {
@@ -1080,6 +1257,12 @@ fn split_client_args(
                     .ok_or_else(|| "missing value for --id".to_string())?;
                 id = Some(raw.parse().map_err(|e| format!("bad --id: {e}"))?);
             }
+            "--auth-token-file" => {
+                token_file = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for --auth-token-file".to_string())?,
+                )
+            }
             _ => rest.push(flag),
         }
     }
@@ -1087,7 +1270,7 @@ fn split_client_args(
     if with_id && id.is_none() {
         return Err("missing --id <job-id>".to_string());
     }
-    Ok((connect, id, rest))
+    Ok((connect, id, token_file, rest))
 }
 
 /// Prints a protocol reply and maps it to an exit code (`ok: false` replies
@@ -1112,14 +1295,23 @@ fn finish_client(reply: Result<JsonValue, String>) -> ExitCode {
 
 fn run_client(command: &str, argv: &[String]) -> ExitCode {
     let with_id = matches!(command, "status" | "result" | "cancel");
-    let (connect, id, rest) = match split_client_args(argv, with_id) {
+    let (connect, id, token_file, rest) = match split_client_args(argv, with_id) {
         Ok(parts) => parts,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let client = ServiceClient::new(connect);
+    let mut client = ServiceClient::new(connect);
+    if let Some(path) = &token_file {
+        match read_token_file(path) {
+            Ok(token) => client = client.with_token(token),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match command {
         "submit" => {
             let args = match parse_args_from(rest) {
@@ -1186,6 +1378,7 @@ fn run_client(command: &str, argv: &[String]) -> ExitCode {
             }
         }
         "shutdown" => finish_client(client.shutdown()),
+        "drain" => finish_client(client.drain()),
         other => {
             eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
             ExitCode::from(2)
@@ -1202,9 +1395,10 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => return run_serve(&argv[1..]),
+        Some("gateway") => return run_gateway(&argv[1..]),
         Some("worker-serve") => return run_worker_serve(&argv[1..]),
         Some("worker-stop") => return run_worker_stop(&argv[1..]),
-        Some(cmd @ ("submit" | "status" | "result" | "cancel" | "shutdown")) => {
+        Some(cmd @ ("submit" | "status" | "result" | "cancel" | "shutdown" | "drain")) => {
             return run_client(cmd, &argv[1..]);
         }
         _ => {}
@@ -1581,6 +1775,47 @@ mod tests {
         assert!(err.contains("unknown serve flag"), "{err}");
         let err = parse_serve(&["--listen", "x", "--eval-cache-max-entries", "5"]).unwrap_err();
         assert!(err.contains("--eval-cache-file"), "{err}");
+        let args = parse_serve(&["--listen", "x", "--auth-token-file", "tok.txt"]).unwrap();
+        assert_eq!(args.auth_token_file.as_deref(), Some("tok.txt"));
+    }
+
+    fn parse_gateway(args: &[&str]) -> Result<GatewayArgs, String> {
+        parse_gateway_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn gateway_args_parse_and_validate() {
+        let args = parse_gateway(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--keys",
+            "tenants.json",
+            "--job-slots",
+            "2",
+            "--queue-depth",
+            "8",
+            "--scheduler",
+            "fair",
+        ])
+        .unwrap();
+        assert_eq!(args.listen, "127.0.0.1:0");
+        assert_eq!(args.keys.as_deref(), Some("tenants.json"));
+        assert_eq!(args.job_slots, Some(2));
+        assert_eq!(args.queue_depth, Some(8));
+        assert_eq!(args.scheduler, Some(pimsyn::SchedulingPolicy::WeightedFair));
+
+        // The scheduler default is decided later, from --keys presence.
+        let args = parse_gateway(&["--listen", "h:0"]).unwrap();
+        assert_eq!(args.scheduler, None);
+
+        let err = parse_gateway(&[]).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = parse_gateway(&["--listen", "x", "--scheduler", "lifo"]).unwrap_err();
+        assert!(err.contains("fifo|fair"), "{err}");
+        let err = parse_gateway(&["--listen", "x", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown gateway flag"), "{err}");
+        let err = parse_gateway(&["--listen", "x", "--eval-cache-max-entries", "5"]).unwrap_err();
+        assert!(err.contains("--eval-cache-file"), "{err}");
     }
 
     #[test]
@@ -1589,18 +1824,29 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (connect, id, rest) = split_client_args(&argv, true).unwrap();
+        let (connect, id, token_file, rest) = split_client_args(&argv, true).unwrap();
         assert_eq!(connect, "127.0.0.1:7741");
         assert_eq!(id, Some(3));
+        assert_eq!(token_file, None);
         assert!(rest.is_empty());
 
-        let argv: Vec<String> = ["--connect", "h:1", "--model", "vgg16", "--power", "9"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let (connect, id, rest) = split_client_args(&argv, false).unwrap();
+        let argv: Vec<String> = [
+            "--connect",
+            "h:1",
+            "--auth-token-file",
+            "tok.txt",
+            "--model",
+            "vgg16",
+            "--power",
+            "9",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (connect, id, token_file, rest) = split_client_args(&argv, false).unwrap();
         assert_eq!(connect, "h:1");
         assert_eq!(id, None);
+        assert_eq!(token_file.as_deref(), Some("tok.txt"));
         assert_eq!(rest, vec!["--model", "vgg16", "--power", "9"]);
 
         let err = split_client_args(&[], true).unwrap_err();

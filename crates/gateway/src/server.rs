@@ -1,0 +1,741 @@
+//! The gateway server: accept loop, routing, job registry, drain.
+//!
+//! One thread per connection, one request per connection (see
+//! [`crate::http`]). The gateway owns a job registry mapping service job
+//! ids to their tenant, replayable event log and submit timestamp; the
+//! [`SynthesisService`] underneath owns queueing, scheduling and
+//! execution. Routes:
+//!
+//! | Route                     | Verb   | Purpose                          |
+//! |---------------------------|--------|----------------------------------|
+//! | `/v1/jobs`                | POST   | submit a job (202 + id)          |
+//! | `/v1/jobs/{id}`           | GET    | status                           |
+//! | `/v1/jobs/{id}`           | DELETE | cancel                           |
+//! | `/v1/jobs/{id}/result`    | GET    | block for (or poll) the summary  |
+//! | `/v1/jobs/{id}/events`    | GET    | SSE / NDJSON event stream        |
+//! | `/v1/drain`               | POST   | graceful drain, then exit        |
+//! | `/metrics`                | GET    | Prometheus text exposition       |
+//! | `/healthz`                | GET    | liveness probe                   |
+//!
+//! With a tenant registry, `/v1/*` requires `Authorization: Bearer <key>`
+//! and jobs are invisible across tenants (404, not 403 — ids don't leak).
+//! `/metrics` and `/healthz` stay open for scrapers and probes.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pimsyn::{
+    event_to_json, EventSink, JobStatus, ServiceError, SynthesisEvent, SynthesisRequest,
+    SynthesisService, SynthesisSummary,
+};
+use pimsyn_model::json::JsonValue;
+
+use crate::http::{self, HttpParseError, HttpRequest};
+use crate::metrics::MetricsRegistry;
+use crate::payload;
+use crate::tenant::TenantRegistry;
+
+/// Gateway-level policy, beyond the service's own configuration.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayConfig {
+    /// API keys and per-tenant policies; empty = open (no auth, one
+    /// anonymous lane).
+    pub tenants: TenantRegistry,
+    /// Suppress per-request log lines on stderr (the script-facing
+    /// `listening on <addr>` line prints regardless).
+    pub quiet: bool,
+}
+
+impl GatewayConfig {
+    /// An open, chatty gateway.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a tenant registry (enables bearer-token auth).
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: TenantRegistry) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Sets request logging verbosity.
+    #[must_use]
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+}
+
+/// Buffers a job's events so late subscribers replay the full stream.
+struct EventLog {
+    events: Mutex<Vec<SynthesisEvent>>,
+    grown: Condvar,
+}
+
+impl EventLog {
+    fn new() -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            grown: Condvar::new(),
+        }
+    }
+
+    fn push(&self, event: SynthesisEvent) {
+        self.events.lock().expect("event log").push(event);
+        self.grown.notify_all();
+    }
+}
+
+/// What the gateway remembers about one submitted job.
+struct JobRecord {
+    /// Owning tenant ("" = anonymous); access control compares this.
+    tenant: String,
+    log: EventLog,
+    /// When the submit was accepted — the latency histogram measures from
+    /// here to the terminal event, queue wait included.
+    submitted: Instant,
+}
+
+/// The per-job event sink: logs every event for replay and folds terminal
+/// statistics into the metrics registry.
+struct JobSink {
+    record: Arc<JobRecord>,
+    metrics: Arc<MetricsRegistry>,
+    /// The latest evaluator-stats snapshot; the value at `Finished` time
+    /// summarizes the job (stats are job-wide and monotonic).
+    last_stats: Mutex<Option<(u64, u64, u64)>>,
+}
+
+impl EventSink for JobSink {
+    fn emit(&self, event: SynthesisEvent) {
+        match &event {
+            SynthesisEvent::EvaluatorStats { stats, .. } => {
+                *self.last_stats.lock().expect("job sink") = Some((
+                    stats.scored as u64,
+                    stats.unique_evaluations as u64,
+                    stats.cache_hits as u64,
+                ));
+            }
+            SynthesisEvent::Finished { .. } => {
+                let latency = self.record.submitted.elapsed().as_secs_f64();
+                self.metrics.record_finished(&self.record.tenant, latency);
+                if let Some((scored, unique, hits)) = *self.last_stats.lock().expect("job sink") {
+                    self.metrics.record_eval_stats(scored, unique, hits);
+                }
+            }
+            _ => {}
+        }
+        self.record.log.push(event);
+    }
+}
+
+struct GatewayShared {
+    service: Arc<SynthesisService>,
+    configure: Box<dyn Fn(&mut SynthesisRequest) + Send + Sync>,
+    tenants: TenantRegistry,
+    metrics: Arc<MetricsRegistry>,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    quiet: bool,
+}
+
+impl GatewayShared {
+    fn note(&self, message: &str) {
+        if !self.quiet {
+            eprintln!("pimsyn gateway [{}]: {message}", self.addr);
+        }
+    }
+}
+
+/// Runs the gateway behind `listener` until a `POST /v1/drain` completes,
+/// blocking the calling thread. `configure` overlays server-side policy
+/// (evaluation backend, cache file) onto every submitted request, exactly
+/// like [`pimsyn::serve`]'s overlay.
+///
+/// On startup the actually-bound address — including the kernel-resolved
+/// port when the listener was bound to port 0 — prints to stderr as
+/// `pimsyn gateway: listening on <addr>` regardless of
+/// [`quiet`](GatewayConfig::quiet), so scripts can bind port 0 instead of
+/// racing for free ports.
+///
+/// # Errors
+///
+/// Propagates listener-level IO errors; per-connection errors only drop
+/// that connection.
+pub fn serve_gateway<F>(
+    listener: TcpListener,
+    service: Arc<SynthesisService>,
+    configure: F,
+    config: GatewayConfig,
+) -> std::io::Result<()>
+where
+    F: Fn(&mut SynthesisRequest) + Send + Sync + 'static,
+{
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(GatewayShared {
+        service,
+        configure: Box::new(configure),
+        tenants: config.tenants,
+        metrics: Arc::new(MetricsRegistry::new()),
+        jobs: Mutex::new(HashMap::new()),
+        stop: AtomicBool::new(false),
+        addr,
+        quiet: config.quiet,
+    });
+    // Unconditional: the script-facing bound-address line (see above).
+    eprintln!("pimsyn gateway: listening on {addr}");
+    if shared.tenants.requires_auth() {
+        shared.note(&format!(
+            "bearer-token auth enabled ({} tenants)",
+            shared.tenants.len()
+        ));
+    }
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || handle_connection(&shared, stream));
+    }
+    shared.note("stopped");
+    Ok(())
+}
+
+/// Handle to a gateway running on a background thread.
+#[derive(Debug)]
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    thread: thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the gateway to stop (a completed drain) and returns its
+    /// exit result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gateway thread itself panicked (a bug).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("gateway thread panicked")
+    }
+}
+
+/// [`serve_gateway`] on a background thread, returning with a handle.
+///
+/// # Errors
+///
+/// Propagates the listener's local-address lookup failure.
+pub fn serve_gateway_in_background<F>(
+    listener: TcpListener,
+    service: Arc<SynthesisService>,
+    configure: F,
+    config: GatewayConfig,
+) -> std::io::Result<GatewayHandle>
+where
+    F: Fn(&mut SynthesisRequest) + Send + Sync + 'static,
+{
+    let addr = listener.local_addr()?;
+    let thread = thread::spawn(move || serve_gateway(listener, service, configure, config));
+    Ok(GatewayHandle { addr, thread })
+}
+
+/// Unblocks an accept loop that is waiting in `listener.incoming()` by
+/// making (and dropping) one throwaway connection.
+fn poke_listener(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn error_body(code: &str, detail: &str) -> Vec<u8> {
+    object(vec![
+        ("code", JsonValue::String(code.to_string())),
+        ("error", JsonValue::String(detail.to_string())),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+/// The response of one routed request: status, content type, extra
+/// headers, body. Streaming routes write the stream themselves and return
+/// `None`.
+struct Outcome {
+    status: u16,
+    content_type: &'static str,
+    extra: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Outcome {
+    fn json(status: u16, body: JsonValue) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    fn error(status: u16, code: &str, detail: &str) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: error_body(code, detail),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<GatewayShared>, mut stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let request = match http::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(HttpParseError::ConnectionClosed) => return,
+        Err(e @ HttpParseError::BodyTooLarge { .. }) => {
+            shared.metrics.record_http("(malformed)", 413);
+            let _ = http::write_response(
+                &mut stream,
+                413,
+                "application/json",
+                &[],
+                &error_body("body_too_large", &e.to_string()),
+            );
+            return;
+        }
+        Err(e) => {
+            shared.metrics.record_http("(malformed)", 400);
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[],
+                &error_body("bad_request", &e.to_string()),
+            );
+            return;
+        }
+    };
+    route(shared, &mut stream, &request);
+}
+
+/// Splits `/v1/jobs/{id}[/leaf]` into `(id, leaf)`.
+fn job_path(path: &str) -> Option<(u64, Option<&str>)> {
+    let rest = path.strip_prefix("/v1/jobs/")?;
+    let (id, leaf) = match rest.split_once('/') {
+        Some((id, leaf)) => (id, Some(leaf)),
+        None => (rest, None),
+    };
+    Some((id.parse().ok()?, leaf))
+}
+
+fn route(shared: &Arc<GatewayShared>, stream: &mut TcpStream, request: &HttpRequest) {
+    // Resolve authentication once; per-route code decides whether the
+    // route needs it. `Ok(None)` = open mode (no registry).
+    let auth: Result<Option<&pimsyn::TenantPolicy>, ()> = if shared.tenants.requires_auth() {
+        match request
+            .bearer_token()
+            .and_then(|k| shared.tenants.resolve(k))
+        {
+            Some(policy) => Ok(Some(policy)),
+            None => Err(()),
+        }
+    } else {
+        Ok(None)
+    };
+
+    let (pattern, outcome) = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ("/healthz", Some(handle_health(shared))),
+        ("GET", "/metrics") => ("/metrics", Some(handle_metrics(shared))),
+        ("POST", "/v1/jobs") => (
+            "/v1/jobs",
+            Some(match auth {
+                Ok(tenant) => handle_submit(shared, request, tenant),
+                Err(()) => unauthorized(),
+            }),
+        ),
+        ("POST", "/v1/drain") => (
+            "/v1/drain",
+            Some(match auth {
+                Ok(_) => handle_drain(shared),
+                Err(()) => unauthorized(),
+            }),
+        ),
+        (method, path) => match job_path(path) {
+            Some((id, leaf)) => {
+                let pattern = match leaf {
+                    None => "/v1/jobs/{id}",
+                    Some("result") => "/v1/jobs/{id}/result",
+                    Some("events") => "/v1/jobs/{id}/events",
+                    Some(_) => {
+                        respond(
+                            shared,
+                            stream,
+                            "/v1/jobs/{id}",
+                            Outcome::error(404, "not_found", "no such route"),
+                        );
+                        return;
+                    }
+                };
+                let tenant = match auth {
+                    Ok(tenant) => tenant,
+                    Err(()) => {
+                        respond(shared, stream, pattern, unauthorized());
+                        return;
+                    }
+                };
+                // A job is visible only to its submitting tenant.
+                let record = shared.jobs.lock().expect("gateway jobs").get(&id).cloned();
+                let record = record.filter(|r| r.tenant == tenant.map_or("", |t| &t.name));
+                let outcome = match (method, leaf, record) {
+                    (_, _, None) => Outcome::error(404, "not_found", "unknown job id"),
+                    ("GET", None, Some(_)) => handle_status(shared, id),
+                    ("DELETE", None, Some(_)) => handle_cancel(shared, id),
+                    ("GET", Some("result"), Some(_)) => handle_result(shared, request, id),
+                    ("GET", Some("events"), Some(record)) => {
+                        // Streaming: writes the response itself.
+                        shared.metrics.record_http(pattern, 200);
+                        stream_events(shared, stream, request, id, &record);
+                        return;
+                    }
+                    _ => Outcome::error(405, "method_not_allowed", "unsupported method"),
+                };
+                (pattern, Some(outcome))
+            }
+            None => (
+                "(unknown)",
+                Some(Outcome::error(404, "not_found", "no such route")),
+            ),
+        },
+    };
+    if let Some(outcome) = outcome {
+        respond(shared, stream, pattern, outcome);
+    }
+}
+
+fn respond(shared: &GatewayShared, stream: &mut TcpStream, pattern: &str, outcome: Outcome) {
+    shared.metrics.record_http(pattern, outcome.status);
+    shared.note(&format!("{} -> {}", pattern, outcome.status));
+    let _ = http::write_response(
+        stream,
+        outcome.status,
+        outcome.content_type,
+        &outcome.extra,
+        &outcome.body,
+    );
+}
+
+fn unauthorized() -> Outcome {
+    let mut outcome = Outcome::error(401, "auth_failed", "bad or missing bearer token");
+    outcome
+        .extra
+        .push(("WWW-Authenticate", "Bearer".to_string()));
+    outcome
+}
+
+fn handle_health(shared: &GatewayShared) -> Outcome {
+    let snapshot = shared.service.snapshot();
+    Outcome::json(
+        200,
+        object(vec![
+            ("ok", JsonValue::Bool(!snapshot.shut_down)),
+            ("draining", JsonValue::Bool(snapshot.draining)),
+        ]),
+    )
+}
+
+fn handle_submit(
+    shared: &Arc<GatewayShared>,
+    request: &HttpRequest,
+    tenant: Option<&pimsyn::TenantPolicy>,
+) -> Outcome {
+    let mut job = match payload::parse_http_job(&request.body) {
+        Ok(job) => job,
+        Err(detail) => return Outcome::error(400, "bad_job", &detail),
+    };
+    (shared.configure)(&mut job);
+    let record = Arc::new(JobRecord {
+        tenant: tenant.map_or(String::new(), |t| t.name.clone()),
+        log: EventLog::new(),
+        submitted: Instant::now(),
+    });
+    let sink: Arc<dyn EventSink> = Arc::new(JobSink {
+        record: Arc::clone(&record),
+        metrics: Arc::clone(&shared.metrics),
+        last_stats: Mutex::new(None),
+    });
+    let handle = match shared.service.submit_with(job, tenant.cloned(), Some(sink)) {
+        Ok(handle) => handle,
+        Err(ServiceError::QuotaExceeded { tenant, limit }) => {
+            let mut outcome = Outcome::json(
+                429,
+                object(vec![
+                    ("code", JsonValue::String("quota_exceeded".into())),
+                    ("tenant", JsonValue::String(tenant)),
+                    ("limit", JsonValue::Number(limit as f64)),
+                ]),
+            );
+            outcome.extra.push(("Retry-After", "1".to_string()));
+            return outcome;
+        }
+        Err(ServiceError::QueueFull { depth }) => {
+            let mut outcome = Outcome::json(
+                429,
+                object(vec![
+                    ("code", JsonValue::String("queue_full".into())),
+                    ("depth", JsonValue::Number(depth as f64)),
+                ]),
+            );
+            outcome.extra.push(("Retry-After", "1".to_string()));
+            return outcome;
+        }
+        Err(ServiceError::Draining) => {
+            return Outcome::error(503, "draining", "gateway is draining")
+        }
+        Err(e) => return Outcome::error(503, "shut_down", &e.to_string()),
+    };
+    let id = handle.id();
+    {
+        let mut jobs = shared.jobs.lock().expect("gateway jobs");
+        // The service evicts finished jobs past its retention bound;
+        // shed the matching gateway records so the registry stays
+        // bounded too.
+        jobs.retain(|known, _| shared.service.status_of(*known).is_some());
+        jobs.insert(id, record);
+    }
+    shared
+        .metrics
+        .record_submitted(tenant.map_or("", |t| &t.name));
+    Outcome::json(
+        202,
+        object(vec![
+            ("id", JsonValue::Number(id as f64)),
+            ("status", JsonValue::String("queued".into())),
+        ]),
+    )
+}
+
+fn handle_status(shared: &GatewayShared, id: u64) -> Outcome {
+    match shared.service.status_of(id) {
+        Some(status) => Outcome::json(
+            200,
+            object(vec![
+                ("id", JsonValue::Number(id as f64)),
+                ("status", JsonValue::String(status.to_string())),
+            ]),
+        ),
+        None => Outcome::error(404, "not_found", "unknown job id"),
+    }
+}
+
+fn handle_cancel(shared: &GatewayShared, id: u64) -> Outcome {
+    if shared.service.cancel_by_id(id) {
+        Outcome::json(
+            200,
+            object(vec![
+                ("id", JsonValue::Number(id as f64)),
+                ("cancelled", JsonValue::Bool(true)),
+            ]),
+        )
+    } else {
+        Outcome::error(404, "not_found", "unknown job id")
+    }
+}
+
+fn handle_result(shared: &GatewayShared, request: &HttpRequest, id: u64) -> Outcome {
+    // `?wait=0` polls: not-finished is 202 + current status instead of
+    // blocking the connection until the job completes.
+    if request.query_param("wait") == Some("0")
+        && shared.service.status_of(id) != Some(JobStatus::Finished)
+    {
+        return match shared.service.status_of(id) {
+            Some(status) => Outcome::json(
+                202,
+                object(vec![
+                    ("id", JsonValue::Number(id as f64)),
+                    ("status", JsonValue::String(status.to_string())),
+                ]),
+            ),
+            None => Outcome::error(404, "not_found", "unknown job id"),
+        };
+    }
+    match shared.service.await_result_by_id(id) {
+        Some(Ok(result)) => {
+            // The bare summary document — byte-comparable (modulo
+            // `elapsed_s`) with `pimsyn --output json`.
+            Outcome::json(200, SynthesisSummary::from_result(&result).to_json())
+        }
+        Some(Err(e)) => Outcome::error(500, "job_failed", &e.to_string()),
+        None => Outcome::error(404, "not_found", "unknown job id"),
+    }
+}
+
+fn handle_drain(shared: &Arc<GatewayShared>) -> Outcome {
+    shared.note("drain requested");
+    shared.service.begin_drain();
+    let background = Arc::clone(shared);
+    // Finish the queue off-thread so this request gets its 202 now; the
+    // accept loop exits once the last job completes.
+    thread::spawn(move || {
+        background.service.drain();
+        background.stop.store(true, Ordering::SeqCst);
+        poke_listener(background.addr);
+    });
+    Outcome::json(202, object(vec![("draining", JsonValue::Bool(true))]))
+}
+
+fn handle_metrics(shared: &GatewayShared) -> Outcome {
+    use std::fmt::Write as _;
+    let mut body = shared.metrics.render();
+    let snapshot = shared.service.snapshot();
+    let _ = writeln!(
+        body,
+        "# HELP pimsyn_gateway_queue_depth Jobs waiting in the service queue.\n\
+         # TYPE pimsyn_gateway_queue_depth gauge\n\
+         pimsyn_gateway_queue_depth {}",
+        snapshot.queued
+    );
+    let _ = writeln!(
+        body,
+        "# HELP pimsyn_gateway_running_jobs Jobs occupying service job slots.\n\
+         # TYPE pimsyn_gateway_running_jobs gauge\n\
+         pimsyn_gateway_running_jobs {}",
+        snapshot.running
+    );
+    let _ = writeln!(
+        body,
+        "# HELP pimsyn_gateway_draining Whether a graceful drain is in progress.\n\
+         # TYPE pimsyn_gateway_draining gauge\n\
+         pimsyn_gateway_draining {}",
+        u8::from(snapshot.draining)
+    );
+    body.push_str(
+        "# HELP pimsyn_gateway_tenant_queued Waiting jobs per tenant (empty = anonymous).\n\
+         # TYPE pimsyn_gateway_tenant_queued gauge\n",
+    );
+    for counts in &snapshot.tenants {
+        let _ = writeln!(
+            body,
+            "pimsyn_gateway_tenant_queued{{tenant=\"{}\"}} {}",
+            http::escape_label(&counts.tenant),
+            counts.queued
+        );
+    }
+    body.push_str(
+        "# HELP pimsyn_gateway_tenant_running Running jobs per tenant (empty = anonymous).\n\
+         # TYPE pimsyn_gateway_tenant_running gauge\n",
+    );
+    for counts in &snapshot.tenants {
+        let _ = writeln!(
+            body,
+            "pimsyn_gateway_tenant_running{{tenant=\"{}\"}} {}",
+            http::escape_label(&counts.tenant),
+            counts.running
+        );
+    }
+    let _ = writeln!(
+        body,
+        "# HELP pimsyn_gateway_worker_spawns_total Subprocess evaluation workers \
+         spawned by the shared pool.\n\
+         # TYPE pimsyn_gateway_worker_spawns_total counter\n\
+         pimsyn_gateway_worker_spawns_total {}",
+        shared.service.worker_spawns()
+    );
+    Outcome {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        extra: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
+/// Replays a job's event log from the start and follows it live until the
+/// job finishes. SSE frames by default; NDJSON lines with `?format=ndjson`
+/// (or `Accept: application/x-ndjson`).
+fn stream_events(
+    shared: &GatewayShared,
+    stream: &mut TcpStream,
+    request: &HttpRequest,
+    id: u64,
+    record: &JobRecord,
+) {
+    let ndjson = request.query_param("format") == Some("ndjson")
+        || request
+            .header("accept")
+            .is_some_and(|a| a.contains("application/x-ndjson"));
+    let content_type = if ndjson {
+        "application/x-ndjson"
+    } else {
+        "text/event-stream"
+    };
+    if http::write_stream_header(stream, 200, content_type).is_err() {
+        return;
+    }
+    shared.note(&format!("streaming events of job {id}"));
+    let mut cursor = 0usize;
+    loop {
+        let batch: Vec<SynthesisEvent> = {
+            let mut events = record.log.events.lock().expect("event log");
+            while events.len() == cursor
+                && shared.service.status_of(id) != Some(JobStatus::Finished)
+            {
+                // A bounded wait so a job that finishes *without* a final
+                // event (cancelled while queued) still ends the stream.
+                let (guard, _) = record
+                    .log
+                    .grown
+                    .wait_timeout(events, Duration::from_millis(100))
+                    .expect("event log");
+                events = guard;
+            }
+            events[cursor..].to_vec()
+        };
+        cursor += batch.len();
+        let mut finished = false;
+        for event in &batch {
+            finished |= matches!(event, SynthesisEvent::Finished { .. });
+            let json = event_to_json(event);
+            let written = if ndjson {
+                writeln!(stream, "{json}")
+            } else {
+                write!(stream, "data: {json}\n\n")
+            };
+            if written.is_err() {
+                return; // subscriber hung up
+            }
+        }
+        let _ = stream.flush();
+        if finished
+            || (batch.is_empty() && shared.service.status_of(id) == Some(JobStatus::Finished))
+        {
+            let _ = if ndjson {
+                writeln!(stream, "{}", object(vec![("done", JsonValue::Bool(true))]))
+            } else {
+                write!(stream, "event: done\ndata: {{}}\n\n")
+            };
+            let _ = stream.flush();
+            return;
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The service's shared subprocess worker pool, exercised end to end.
+//!
+//! This test lives in the `pimsyn-gateway` crate — the workspace's binary
+//! crate — so `CARGO_BIN_EXE_pimsyn` points at the real CLI binary (which
+//! doubles as the `--worker` executable).
+
+use pimsyn::{
+    BackendKind, ServiceConfig, SynthesisOptions, SynthesisRequest, SynthesisService, Synthesizer,
+};
+use pimsyn_arch::Watts;
+use pimsyn_model::zoo;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_pimsyn");
+
+fn fast_request(seed: u64) -> SynthesisRequest {
+    SynthesisRequest::new(
+        zoo::alexnet_cifar(10),
+        SynthesisOptions::fast(Watts(9.0)).with_seed(seed),
+    )
+}
+
+/// N sequential jobs through one service spawn at most the configured pool
+/// width of worker processes — the pool is leased and re-sessioned per job,
+/// not re-spawned — and every job stays bit-identical to an inline run.
+#[test]
+fn service_jobs_reuse_the_shared_worker_pool() {
+    const POOL_WIDTH: usize = 2;
+    const JOBS: usize = 3;
+    let service = SynthesisService::new(ServiceConfig::default().with_job_slots(1));
+    assert_eq!(service.worker_spawns(), 0);
+    let subprocess_request = |seed: u64| {
+        let mut request = fast_request(seed);
+        request.options = request
+            .options
+            .with_backend(BackendKind::Subprocess {
+                workers: POOL_WIDTH,
+            })
+            .with_worker_command(WORKER_BIN);
+        request
+    };
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| {
+            service
+                .submit(subprocess_request(7 + i as u64))
+                .expect("queue has room")
+        })
+        .collect();
+    for (i, handle) in handles.iter().enumerate() {
+        let via_service = handle.await_result().expect("feasible");
+        // Each job's result is bit-identical to a standalone inline run:
+        // the leased workers re-opened a session with this job's model and
+        // power, so recycling processes never leaks stale run state.
+        let inline = Synthesizer::new(fast_request(7 + i as u64).options)
+            .synthesize(&zoo::alexnet_cifar(10))
+            .expect("inline synthesis");
+        assert_eq!(via_service.wt_dup, inline.wt_dup, "job {i}");
+        assert_eq!(via_service.architecture, inline.architecture, "job {i}");
+        assert_eq!(via_service.analytic, inline.analytic, "job {i}");
+        assert_eq!(via_service.evaluations, inline.evaluations, "job {i}");
+        assert_eq!(via_service.history, inline.history, "job {i}");
+    }
+    let spawns = service.worker_spawns();
+    assert!(spawns >= 1, "subprocess jobs must actually use the pool");
+    assert!(
+        spawns <= POOL_WIDTH,
+        "{JOBS} jobs spawned {spawns} workers; the shared pool must cap at \
+         the pool width ({POOL_WIDTH}), not jobs x width"
+    );
+    service.shutdown();
+}

@@ -4,8 +4,9 @@
 //! cache must warm-start a second CLI invocation with an identical summary,
 //! and `--quiet` must silence every progress line on stderr.
 //!
-//! These tests live in the `pimsyn` crate so `CARGO_BIN_EXE_pimsyn` points
-//! at the real CLI binary (which doubles as the `--worker` executable).
+//! These tests live in the `pimsyn-gateway` crate — the workspace's binary
+//! crate — so `CARGO_BIN_EXE_pimsyn` points at the real CLI binary (which
+//! doubles as the `--worker` executable).
 
 use std::path::Path;
 use std::process::Command;

@@ -5,9 +5,10 @@
 //! inline with a single clear stderr warning, and both daemons must print
 //! their actually-bound address so port 0 is usable.
 //!
-//! These tests live in the `pimsyn` crate so `CARGO_BIN_EXE_pimsyn` points
-//! at the real CLI binary for the subprocess-spawned arms; the in-process
-//! arms drive `serve_workers_in_background` directly.
+//! These tests live in the `pimsyn-gateway` crate — the workspace's binary
+//! crate — so `CARGO_BIN_EXE_pimsyn` points at the real CLI binary for the
+//! subprocess-spawned arms; the in-process arms drive
+//! `serve_workers_in_background` directly.
 
 use std::io::{BufRead, BufReader};
 use std::net::TcpListener;

@@ -11,6 +11,7 @@
 //! - [`pimsyn_sim`] — cycle-accurate behavior-level simulator
 //! - [`pimsyn_dse`] — design-space exploration (SA filter, EA explorer, Alg. 1)
 //! - [`pimsyn_baselines`] — manually-designed accelerator models and heuristics
+//! - [`pimsyn_gateway`] — multi-tenant HTTP/REST front end over the service
 //!
 //! [examples]: https://github.com/example/pimsyn-repro/tree/main/examples
 
@@ -18,6 +19,7 @@ pub use pimsyn;
 pub use pimsyn_arch;
 pub use pimsyn_baselines;
 pub use pimsyn_dse;
+pub use pimsyn_gateway;
 pub use pimsyn_ir;
 pub use pimsyn_model;
 pub use pimsyn_sim;
