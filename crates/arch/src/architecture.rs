@@ -167,6 +167,97 @@ pub struct MacroGroup {
     pub macros: usize,
 }
 
+impl MacroGroup {
+    /// Builds the macro-sharing groups from per-layer `(layer, macros,
+    /// shares_macros_with)` assignments, in first-seen-root order. This is
+    /// the single implementation behind [`Architecture::macro_groups`];
+    /// candidate evaluators reuse it to derive groups straight from a gene
+    /// decoding without materializing an [`Architecture`].
+    pub fn build_from(
+        assignments: impl IntoIterator<Item = (usize, usize, Option<usize>)>,
+    ) -> Vec<MacroGroup> {
+        let mut groups: Vec<MacroGroup> = Vec::new();
+        for (layer, macros, shares) in assignments {
+            match shares {
+                None => groups.push(MacroGroup {
+                    root: layer,
+                    members: vec![layer],
+                    macros,
+                }),
+                Some(root) => {
+                    if let Some(g) = groups.iter_mut().find(|g| g.root == root) {
+                        g.members.push(layer);
+                        g.macros = g.macros.max(macros);
+                    } else {
+                        // Root not seen (defensive): treat as its own group.
+                        groups.push(MacroGroup {
+                            root: layer,
+                            members: vec![layer],
+                            macros,
+                        });
+                    }
+                }
+            }
+        }
+        groups
+    }
+}
+
+/// Power accounting from explicit parts instead of a full [`Architecture`]:
+/// `groups` are the candidate's macro-sharing groups (see
+/// [`MacroGroup::build_from`]), `macro_count` the physical macro total, and
+/// `layer_parts(m)` returns member `m`'s `(component counts, ADC bits)`.
+/// This is the single implementation behind
+/// [`Architecture::power_breakdown`]; both paths produce bit-identical
+/// floats by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn power_breakdown_from(
+    hw: &HardwareParams,
+    crossbar: CrossbarConfig,
+    dac: DacConfig,
+    crossbar_count: usize,
+    groups: &[MacroGroup],
+    macro_count: usize,
+    layer_parts: impl Fn(usize) -> (ComponentCounts, u32),
+) -> PowerBreakdown {
+    let mut out = PowerBreakdown::default();
+
+    let xb_power = crossbar.power(hw);
+    let n_xb = crossbar_count;
+    out.rram = xb_power * n_xb as f64;
+    out.dac = dac.power(hw) * (n_xb * crossbar.size()) as f64;
+
+    for group in groups {
+        let mut counts = ComponentCounts::default();
+        let mut adc_bits = 0u32;
+        for &m in &group.members {
+            let (member_counts, member_adc_bits) = layer_parts(m);
+            for kind in crate::components::ComponentKind::ALL {
+                let c = counts.count_mut(kind);
+                *c = (*c).max(member_counts.count(kind));
+            }
+            adc_bits = adc_bits.max(member_adc_bits);
+        }
+        let adc = AdcConfig::new(adc_bits.max(hw.adc_min_bits), hw);
+        out.adc += adc.power(hw) * counts.adc as f64;
+        let alu_units = counts.total_units() - counts.adc;
+        // Weighted by per-kind powers rather than a flat per-unit cost.
+        out.alu += hw.shift_add_power * counts.shift_add as f64
+            + hw.pool_power * counts.pool as f64
+            + hw.activation_power * counts.activation as f64
+            + hw.eltwise_power * counts.eltwise as f64;
+        debug_assert!(
+            alu_units == counts.shift_add + counts.pool + counts.activation + counts.eltwise
+        );
+    }
+
+    let n_macro = macro_count as f64;
+    out.scratchpad = hw.scratchpad_power * n_macro;
+    out.noc = hw.noc_router_power * n_macro;
+    out.register = hw.register_power * n_macro;
+    out
+}
+
 /// A fully-specified PIM accelerator: the output of synthesis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
@@ -192,30 +283,11 @@ impl Architecture {
     /// Macro-sharing groups: each group's macros are counted once even
     /// though several layers may use them at staggered times.
     pub fn macro_groups(&self) -> Vec<MacroGroup> {
-        let mut groups: Vec<MacroGroup> = Vec::new();
-        for lh in &self.layers {
-            match lh.shares_macros_with {
-                None => groups.push(MacroGroup {
-                    root: lh.layer,
-                    members: vec![lh.layer],
-                    macros: lh.macros,
-                }),
-                Some(root) => {
-                    if let Some(g) = groups.iter_mut().find(|g| g.root == root) {
-                        g.members.push(lh.layer);
-                        g.macros = g.macros.max(lh.macros);
-                    } else {
-                        // Root not seen (defensive): treat as its own group.
-                        groups.push(MacroGroup {
-                            root: lh.layer,
-                            members: vec![lh.layer],
-                            macros: lh.macros,
-                        });
-                    }
-                }
-            }
-        }
-        groups
+        MacroGroup::build_from(
+            self.layers
+                .iter()
+                .map(|lh| (lh.layer, lh.macros, lh.shares_macros_with)),
+        )
     }
 
     /// Physical macro count (shared macros counted once).
@@ -253,43 +325,16 @@ impl Architecture {
     /// the group contributes the per-kind *maximum* over members rather than
     /// the sum (this is exactly the ADC saving of Fig. 5b).
     pub fn power_breakdown(&self) -> PowerBreakdown {
-        let hw = &self.hw;
-        let mut out = PowerBreakdown::default();
-
-        let xb_power = self.crossbar.power(hw);
-        let n_xb = self.crossbar_count();
-        out.rram = xb_power * n_xb as f64;
-        out.dac = self.dac.power(hw) * (n_xb * self.crossbar.size()) as f64;
-
-        for group in self.macro_groups() {
-            let mut counts = ComponentCounts::default();
-            let mut adc_bits = 0u32;
-            for &m in &group.members {
-                let lh = &self.layers[m];
-                for kind in crate::components::ComponentKind::ALL {
-                    let c = counts.count_mut(kind);
-                    *c = (*c).max(lh.components.count(kind));
-                }
-                adc_bits = adc_bits.max(lh.adc.bits());
-            }
-            let adc = AdcConfig::new(adc_bits.max(hw.adc_min_bits), hw);
-            out.adc += adc.power(hw) * counts.adc as f64;
-            let alu_units = counts.total_units() - counts.adc;
-            // Weighted by per-kind powers rather than a flat per-unit cost.
-            out.alu += hw.shift_add_power * counts.shift_add as f64
-                + hw.pool_power * counts.pool as f64
-                + hw.activation_power * counts.activation as f64
-                + hw.eltwise_power * counts.eltwise as f64;
-            debug_assert!(
-                alu_units == counts.shift_add + counts.pool + counts.activation + counts.eltwise
-            );
-        }
-
-        let n_macro = self.macro_count() as f64;
-        out.scratchpad = hw.scratchpad_power * n_macro;
-        out.noc = hw.noc_router_power * n_macro;
-        out.register = hw.register_power * n_macro;
-        out
+        let groups = self.macro_groups();
+        power_breakdown_from(
+            &self.hw,
+            self.crossbar,
+            self.dac,
+            self.crossbar_count(),
+            &groups,
+            groups.iter().map(|g| g.macros).sum(),
+            |m| (self.layers[m].components, self.layers[m].adc.bits()),
+        )
     }
 
     /// Area accounting over every resource class.

@@ -47,7 +47,8 @@ mod params;
 mod units;
 
 pub use architecture::{
-    Architecture, AreaBreakdown, LayerHardware, MacroGroup, MacroMode, PowerBreakdown,
+    power_breakdown_from, Architecture, AreaBreakdown, LayerHardware, MacroGroup, MacroMode,
+    PowerBreakdown,
 };
 pub use components::{ComponentCounts, ComponentKind};
 pub use converters::{AdcConfig, DacConfig, RESDAC_CHOICES};

@@ -7,12 +7,19 @@
 //! binary) subprocess backends.
 //!
 //! Besides the criterion timings, the bench computes each arm's throughput
-//! directly and prints `BENCH_eval` / `BENCH_backend` JSON summaries; set
-//! `PIMSYN_BENCH_SAVE=<path>` / `PIMSYN_BENCH_SAVE_BACKEND=<path>` to also
-//! write them to files (the committed `BENCH_eval.json` /
-//! `BENCH_backend.json` baselines were recorded this way). Pass `--quick`
-//! (the CI smoke mode) to run a single small round that merely proves the
-//! hot paths compile and execute.
+//! directly and prints `BENCH_eval` / `BENCH_backend` / `BENCH_delta` JSON
+//! summaries; set `PIMSYN_BENCH_SAVE=<path>` /
+//! `PIMSYN_BENCH_SAVE_BACKEND=<path>` / `PIMSYN_BENCH_SAVE_DELTA=<path>` to
+//! also write them to files (the committed `BENCH_eval.json` /
+//! `BENCH_backend.json` / `BENCH_delta.json` baselines were recorded this
+//! way). Pass `--quick` (the CI smoke mode) to run a single small round
+//! that merely proves the hot paths compile and execute.
+//!
+//! The delta case scores a mutation *chain* — every gene differs from its
+//! predecessor in exactly one position, the per-child diff the EA hot loop
+//! produces — once through plain full scoring and once through
+//! parent-aware delta rescoring, with the memo cache off in both arms so
+//! the comparison isolates the incremental-recomputation win.
 
 use std::time::Instant;
 
@@ -141,6 +148,105 @@ fn bench_eval_throughput(c: &mut Criterion) {
     }
 }
 
+/// A deterministic mutation chain: gene `k+1` differs from gene `k` in
+/// exactly one position (no RNG, so the workload is identical across runs
+/// and machines).
+fn mutation_chain(w: &Workload, steps: usize) -> Vec<MacAllocGene> {
+    let l = w.model.weight_layer_count();
+    let caps: Vec<usize> =
+        w.df.programs()
+            .iter()
+            .map(|p| (p.wt_dup * p.row_groups).clamp(1, 4))
+            .collect();
+    let mut macros = vec![1usize; l];
+    let mut chain = Vec::with_capacity(steps + 1);
+    chain.push(MacAllocGene::encode(&macros, &vec![None; l]));
+    for k in 0..steps {
+        let i = k % l;
+        macros[i] = 1 + (macros[i] + k * 13) % caps[i];
+        chain.push(MacAllocGene::encode(&macros, &vec![None; l]));
+    }
+    chain
+}
+
+/// Scores the chain in EA-generation-sized batches (the evaluator's actual
+/// hot path: one delta session per batch), each candidate against its
+/// predecessor when `delta` is on (the first is self-parented, seeding
+/// retention); candidates/second. The memo cache stays off in both arms.
+fn chain_throughput(w: &Workload, chain: &[MacAllocGene], delta: bool) -> (f64, f64) {
+    const GENERATION: usize = 32;
+    let config = if delta {
+        EvalCacheConfig::disabled().with_delta(true)
+    } else {
+        EvalCacheConfig::disabled()
+    };
+    let eval = evaluator(w, config);
+    let ctx = ExploreContext::unobserved();
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < chain.len() {
+        let batch = &chain[done..chain.len().min(done + GENERATION)];
+        if delta {
+            let parents: Vec<Option<&MacAllocGene>> = (0..batch.len())
+                .map(|i| Some(&chain[(done + i).saturating_sub(1)]))
+                .collect();
+            black_box(eval.score_batch_with_parents(&w.df, w.point, batch, &parents, &ctx));
+        } else {
+            black_box(eval.score_batch(&w.df, w.point, batch, &ctx));
+        }
+        done += batch.len();
+    }
+    let per_sec = chain.len() as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    let stats = eval.stats();
+    let attempts = stats.delta_hits + stats.delta_fallbacks;
+    let fallback_rate = if attempts == 0 {
+        0.0
+    } else {
+        stats.delta_fallbacks as f64 / attempts as f64
+    };
+    (per_sec, fallback_rate)
+}
+
+fn bench_delta_rescoring(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (steps, samples) = if quick { (8, 1) } else { (256, 10) };
+    let w = workload(1, 1);
+    let chain = mutation_chain(&w, steps);
+
+    let mut group = c.benchmark_group("eval_delta");
+    group.sample_size(samples);
+    group.bench_function("full_chain", |b| {
+        b.iter(|| chain_throughput(&w, &chain, false))
+    });
+    group.bench_function("delta_chain", |b| {
+        b.iter(|| chain_throughput(&w, &chain, true))
+    });
+    group.finish();
+
+    let rounds = if quick { 1 } else { 3 };
+    let best = |delta: bool| {
+        (0..rounds)
+            .map(|_| chain_throughput(&w, &chain, delta))
+            .fold((0.0f64, 0.0f64), |acc, r| if r.0 > acc.0 { r } else { acc })
+    };
+    let (full, _) = best(false);
+    let (delta, fallback_rate) = best(true);
+    let speedup = delta / full.max(1e-12);
+    let json = format!(
+        "{{\n  \"bench\": \"eval_delta\",\n  \"model\": \"alexnet-cifar\",\n  \
+         \"chain_length\": {},\n  \
+         \"full_candidates_per_sec\": {full:.1},\n  \
+         \"delta_candidates_per_sec\": {delta:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \"delta_fallback_rate\": {fallback_rate:.4}\n}}",
+        chain.len()
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("PIMSYN_BENCH_SAVE_DELTA") {
+        std::fs::write(&path, format!("{json}\n")).expect("write delta baseline");
+        println!("(baseline written to {path})");
+    }
+}
+
 /// Scores the workload in EA-generation-sized batches through the given
 /// backend with the candidate memo off (every request computes), measuring
 /// the raw scoring path each backend parallelizes; candidates/second.
@@ -220,5 +326,10 @@ fn bench_backend_comparison(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_eval_throughput, bench_backend_comparison);
+criterion_group!(
+    benches,
+    bench_eval_throughput,
+    bench_delta_rescoring,
+    bench_backend_comparison
+);
 criterion_main!(benches);

@@ -72,6 +72,195 @@ pub fn physical_macros(macros: &[usize], shares: &[Option<usize>]) -> usize {
     total
 }
 
+/// One allocatable `(layer, component family)` with workload, with its
+/// precomputed unit power and rate. Kept in layer-major, [`ComponentKind::ALL`]
+/// order so [`AllocPlan::solve`] replays the exact float sequence of the
+/// historical single-pass allocator.
+#[derive(Debug, Clone, Copy)]
+struct AllocItem {
+    layer: usize,
+    kind: ComponentKind,
+    /// Per-image workload `W_ic`.
+    w: f64,
+    /// Unit power `P_c`, watts.
+    p: f64,
+    /// Unit rate `F_c`, per second.
+    f: f64,
+}
+
+/// The gene-independent half of components allocation for one `(model,
+/// dataflow, design point, power budget)` combination.
+///
+/// Under [`MacroMode::Specialized`] the water-filling solution of Eq. (6)
+/// depends on the `MacAlloc` gene only through the physical macro count
+/// (which scales the fixed infrastructure power): everything else — ADC
+/// resolutions, workloads, unit powers/rates, the Eq. (6) denominator — is
+/// shared across every candidate of an EA generation. Preparing a plan once
+/// and calling [`AllocPlan::solve`] per candidate is therefore equivalent to
+/// (and bit-identical with) running [`allocate_components`] from scratch,
+/// which is exactly how the delta evaluator amortizes allocation cost.
+#[derive(Debug, Clone)]
+pub struct AllocPlan {
+    /// Layer count.
+    l: usize,
+    /// Per-layer ADC configuration (minimum lossless; worst-case everywhere
+    /// in identical mode).
+    adcs: Vec<AdcConfig>,
+    items: Vec<AllocItem>,
+    /// `budget * (1 - RatioRram)` — the peripheral share before fixed costs.
+    budget_base: Watts,
+    /// Fixed DAC power (every crossbar row).
+    dac_power: Watts,
+    /// Fixed per-macro infrastructure power.
+    per_macro: Watts,
+    /// Eq. (6) denominator `sum_ic (P_c W_ic / F_c)`.
+    denom: f64,
+}
+
+impl AllocPlan {
+    /// Precomputes the gene-independent allocation state.
+    pub fn prepare(
+        model: &Model,
+        df: &Dataflow,
+        point: DesignPoint,
+        total_power: Watts,
+        hw: &HardwareParams,
+        macro_mode: MacroMode,
+    ) -> Self {
+        let l = df.programs().len();
+        let xb = point.crossbar;
+        let dac = df.dac();
+
+        // Per-layer minimum lossless ADC resolution (Sec. III).
+        let mut adcs: Vec<AdcConfig> = model
+            .weight_layers()
+            .map(|wl| {
+                let rows = wl.filter_rows().min(xb.size());
+                AdcConfig::minimum_lossless(rows, xb.cell_bits(), dac.bits(), hw)
+            })
+            .collect();
+        if macro_mode == MacroMode::Identical {
+            // Identical macros must carry the worst-case converter.
+            let max_bits = adcs
+                .iter()
+                .map(AdcConfig::bits)
+                .max()
+                .unwrap_or(hw.adc_min_bits);
+            adcs = vec![AdcConfig::new(max_bits, hw); l];
+        }
+
+        // Fixed (non-allocatable) power: DACs on every crossbar row plus the
+        // per-macro infrastructure.
+        let n_crossbars = df.total_crossbars();
+        let dac_power = dac.power(hw) * (n_crossbars * xb.size()) as f64;
+        let per_macro = hw.scratchpad_power + hw.noc_router_power + hw.register_power;
+
+        // Eq. (6): D = sum_ic (P_c W_ic / F_c) / budget; n_ic = W_ic / (F_c D).
+        let mut items = Vec::new();
+        let mut denom = 0.0f64;
+        for (i, &adc) in adcs.iter().enumerate() {
+            for kind in ComponentKind::ALL {
+                let w = workload(df, i, kind);
+                if w > 0.0 {
+                    let p = kind.unit_power(adc, hw).value();
+                    let f = kind.unit_rate(adc, hw).value();
+                    denom += p * w / f;
+                    items.push(AllocItem {
+                        layer: i,
+                        kind,
+                        w,
+                        p,
+                        f,
+                    });
+                }
+            }
+        }
+
+        AllocPlan {
+            l,
+            adcs,
+            items,
+            budget_base: total_power * (1.0 - point.ratio_rram),
+            dac_power,
+            per_macro,
+            denom,
+        }
+    }
+
+    /// Per-layer ADC configurations of the plan.
+    pub fn adcs(&self) -> &[AdcConfig] {
+        &self.adcs
+    }
+
+    /// The peripheral power left for allocatable components once `n_macros`
+    /// physical macros' fixed infrastructure is paid for. May be negative —
+    /// [`AllocPlan::solve`] turns that into [`DseError::NoPeripheralPower`].
+    pub fn periph_budget(&self, n_macros: usize) -> Watts {
+        let fixed = self.dac_power + self.per_macro * n_macros as f64;
+        self.budget_base - fixed
+    }
+
+    /// Solves Eq. (6) for a candidate with `n_macros` physical macros,
+    /// returning per-layer component counts. Bit-identical to the
+    /// corresponding slice of [`allocate_components`].
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::NoPeripheralPower`] when fixed infrastructure already
+    /// exceeds the peripheral budget (or nothing is allocatable).
+    pub fn solve(&self, n_macros: usize) -> Result<Vec<ComponentCounts>, DseError> {
+        let periph_budget = self.periph_budget(n_macros);
+        if periph_budget.value() <= 0.0 {
+            return Err(DseError::NoPeripheralPower {
+                remaining: periph_budget.value(),
+            });
+        }
+        if self.denom <= 0.0 {
+            return Err(DseError::NoPeripheralPower {
+                remaining: periph_budget.value(),
+            });
+        }
+        let delay = self.denom / periph_budget.value();
+
+        let mut counts = vec![ComponentCounts::default(); self.l];
+        let mut spent = 0.0f64;
+        for it in &self.items {
+            let ideal = it.w / (it.f * delay);
+            let n = (ideal.floor() as usize).max(1);
+            *counts[it.layer].count_mut(it.kind) = n;
+            spent += it.p * n as f64;
+        }
+
+        // Spend the rounding remainder on the current bottleneck, in bulk.
+        let mut remaining = periph_budget.value() - spent;
+        for _ in 0..(4 * self.l * ComponentKind::ALL.len()) {
+            // Find the (layer, kind) with the largest per-image delay.
+            let mut worst: Option<(usize, f64)> = None;
+            for (idx, it) in self.items.iter().enumerate() {
+                let n = counts[it.layer].count(it.kind) as f64;
+                let d = it.w / (it.f * n);
+                if worst.is_none_or(|(_, wd)| d > wd) {
+                    worst = Some((idx, d));
+                }
+            }
+            let Some((idx, _)) = worst else { break };
+            let it = self.items[idx];
+            if it.p > remaining {
+                break;
+            }
+            // Add enough units to bring this component near the runner-up
+            // delay, bounded by the power still available.
+            let n = counts[it.layer].count(it.kind);
+            let affordable = (remaining / it.p).floor() as usize;
+            let boost = (n / 4).clamp(1, affordable.max(1));
+            *counts[it.layer].count_mut(it.kind) = n + boost;
+            remaining -= it.p * boost as f64;
+        }
+
+        Ok(counts)
+    }
+}
+
 /// Runs components allocation and assembles the full [`Architecture`].
 ///
 /// # Errors
@@ -83,119 +272,25 @@ pub fn physical_macros(macros: &[usize], shares: &[Option<usize>]) -> usize {
 pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseError> {
     let hw = req.hw;
     let df = req.dataflow;
-    let l = df.programs().len();
-    let xb = req.point.crossbar;
-    let dac = df.dac();
-
-    // Per-layer minimum lossless ADC resolution (Sec. III).
-    let mut adcs: Vec<AdcConfig> = req
-        .model
-        .weight_layers()
-        .map(|wl| {
-            let rows = wl.filter_rows().min(xb.size());
-            AdcConfig::minimum_lossless(rows, xb.cell_bits(), dac.bits(), hw)
-        })
-        .collect();
-    if req.macro_mode == MacroMode::Identical {
-        // Identical macros must carry the worst-case converter.
-        let max_bits = adcs
-            .iter()
-            .map(AdcConfig::bits)
-            .max()
-            .unwrap_or(hw.adc_min_bits);
-        adcs = vec![AdcConfig::new(max_bits, hw); l];
-    }
-
-    // Fixed (non-allocatable) power: DACs on every crossbar row plus the
-    // per-macro infrastructure.
-    let n_crossbars = df.total_crossbars();
-    let dac_power = dac.power(hw) * (n_crossbars * xb.size()) as f64;
+    let plan = AllocPlan::prepare(
+        req.model,
+        df,
+        req.point,
+        req.total_power,
+        hw,
+        req.macro_mode,
+    );
     let n_macros = physical_macros(req.macros, req.shares);
-    let per_macro = hw.scratchpad_power + hw.noc_router_power + hw.register_power;
-    let fixed = dac_power + per_macro * n_macros as f64;
-
-    let periph_budget = req.total_power * (1.0 - req.point.ratio_rram) - fixed;
-    if periph_budget.value() <= 0.0 {
-        return Err(DseError::NoPeripheralPower {
-            remaining: periph_budget.value(),
-        });
-    }
-
-    // Eq. (6): D = sum_ic (P_c W_ic / F_c) / budget; n_ic = W_ic / (F_c D).
-    let mut denom = 0.0f64;
-    for (i, &adc) in adcs.iter().enumerate() {
-        for kind in ComponentKind::ALL {
-            let w = workload(df, i, kind);
-            if w > 0.0 {
-                let p = kind.unit_power(adc, hw).value();
-                let f = kind.unit_rate(adc, hw).value();
-                denom += p * w / f;
-            }
-        }
-    }
-    if denom <= 0.0 {
-        return Err(DseError::NoPeripheralPower {
-            remaining: periph_budget.value(),
-        });
-    }
-    let delay = denom / periph_budget.value();
-
-    let mut counts = vec![ComponentCounts::default(); l];
-    let mut spent = 0.0f64;
-    for i in 0..l {
-        for kind in ComponentKind::ALL {
-            let w = workload(df, i, kind);
-            if w > 0.0 {
-                let f = kind.unit_rate(adcs[i], hw).value();
-                let ideal = w / (f * delay);
-                let n = (ideal.floor() as usize).max(1);
-                *counts[i].count_mut(kind) = n;
-                spent += kind.unit_power(adcs[i], hw).value() * n as f64;
-            }
-        }
-    }
-
-    // Spend the rounding remainder on the current bottleneck, in bulk.
-    let mut remaining = periph_budget.value() - spent;
-    for _ in 0..(4 * l * ComponentKind::ALL.len()) {
-        // Find the (layer, kind) with the largest per-image delay.
-        let mut worst: Option<(usize, ComponentKind, f64)> = None;
-        for i in 0..l {
-            for kind in ComponentKind::ALL {
-                let w = workload(df, i, kind);
-                if w > 0.0 {
-                    let n = counts[i].count(kind) as f64;
-                    let f = kind.unit_rate(adcs[i], hw).value();
-                    let d = w / (f * n);
-                    if worst.is_none_or(|(_, _, wd)| d > wd) {
-                        worst = Some((i, kind, d));
-                    }
-                }
-            }
-        }
-        let Some((i, kind, d)) = worst else { break };
-        let unit_p = kind.unit_power(adcs[i], hw).value();
-        if unit_p > remaining {
-            break;
-        }
-        // Add enough units to bring this component near the runner-up delay,
-        // bounded by the power still available.
-        let n = counts[i].count(kind);
-        let affordable = (remaining / unit_p).floor() as usize;
-        let boost = (n / 4).clamp(1, affordable.max(1));
-        *counts[i].count_mut(kind) = n + boost;
-        remaining -= unit_p * boost as f64;
-        let _ = d;
-    }
+    let mut counts = plan.solve(n_macros)?;
 
     if req.macro_mode == MacroMode::Identical {
         homogenize(
             &mut counts,
             req.macros,
             n_macros,
-            &adcs,
+            &plan.adcs,
             hw,
-            periph_budget,
+            plan.periph_budget(n_macros),
             df,
         );
     }
@@ -211,15 +306,15 @@ pub fn allocate_components(req: &AllocRequest<'_>) -> Result<Architecture, DseEr
             crossbar_set: p.crossbar_set,
             macros: req.macros[i],
             shares_macros_with: req.shares[i],
-            adc: adcs[i],
+            adc: plan.adcs[i],
             components: counts[i],
         })
         .collect();
 
     Ok(Architecture {
         model_name: req.model.name().to_string(),
-        crossbar: xb,
-        dac,
+        crossbar: req.point.crossbar,
+        dac: df.dac(),
         ratio_rram: req.point.ratio_rram,
         power_budget: req.total_power,
         macro_mode: req.macro_mode,

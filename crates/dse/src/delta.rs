@@ -1,0 +1,708 @@
+//! Delta (incremental) candidate rescoring for the SA/EA hot loop.
+//!
+//! An EA child differs from its tournament parent in at most two gene
+//! entries (`mutate_num` + `mutate_share`), yet the full scoring pipeline
+//! recomputes every layer's allocation and stage occupancies from scratch.
+//! This module keeps, per scored candidate, the per-layer breakdown the
+//! analytic model is assembled from — component counts, base stage costs,
+//! NoC-coupled terms, realized power — and rescores a child by diffing its
+//! gene against the parent's, recomputing only what the touched entries can
+//! influence:
+//!
+//! - The Eq. (6) water-filling solution depends on the gene only through the
+//!   physical macro count ([`AllocPlan::solve`]), so solved component counts
+//!   are memoized per `n_macros`.
+//! - A layer's base stage costs ([`pimsyn_sim::compute_layer_base_with`])
+//!   are reused whenever its `(macros, effective ADCs, counts)` inputs are
+//!   unchanged from the parent.
+//! - The NoC-coupled `merge`/`transfer` terms are reused when the physical
+//!   macro count and sharing assignment are unchanged; otherwise all layers'
+//!   dynamics are recomputed (cheap relative to the base costs).
+//! - Realized power is reused when counts, sharing and macro count match.
+//!
+//! Every reused value was produced by *the same function* the full pipeline
+//! calls ([`AllocPlan::solve`], [`compute_layer_base_with`],
+//! [`compute_layer_dynamic_with`], [`power_breakdown_from`],
+//! [`solve_pipeline`], [`summarize_pipeline`]), so the delta path replays
+//! the exact float sequence of [`EvalCore::compute`] and is bit-identical
+//! to it by construction. Whenever that cannot be guaranteed — no retained
+//! parent breakdown, a gene diff wider than one mutation round, identical
+//! macro mode (whose homogenize pass is not replicated here) — the engine
+//! falls back to a full spec-path recomputation (still through the shared
+//! functions, and still retaining the result so the next generation can
+//! delta against it).
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, Mutex};
+
+use pimsyn_arch::{
+    power_breakdown_from, ComponentCounts, CrossbarConfig, MacroGroup, NocConfig, Watts,
+};
+use pimsyn_ir::Dataflow;
+use pimsyn_sim::{
+    assemble_stages, compute_layer_base_with, compute_layer_dynamic_with, solve_pipeline_into,
+    summarize_pipeline, LayerBaseCosts, LayerCostInputs, LayerStages, PipelineSolution,
+};
+
+use crate::alloc::{physical_macros, AllocPlan};
+use crate::ea::MacAllocGene;
+use crate::eval::{CandidateScore, EvalCore};
+use crate::space::DesignPoint;
+
+/// Widest gene diff the delta path accepts: one `mutate_num` plus one
+/// `mutate_share` per child. Anything wider (crossover-style edits, seeded
+/// genes) falls back to the full recomputation.
+const MAX_DELTA_DIFF: usize = 2;
+
+/// Retained breakdowns kept per plan (FIFO eviction). Sized for several EA
+/// generations of every design point sharing a dataflow.
+const RETAIN_CAP: usize = 4096;
+
+/// Entry bound of the per-plan base-cost memo; once full, further base
+/// costs are computed without being stored (no eviction, bounded memory).
+const BASE_MEMO_CAP: usize = 1 << 16;
+
+/// Multiplicative word hasher (the rustc/FxHash scheme) for the hot-loop
+/// memo maps. Their keys are a few machine words or a short `u32` gene
+/// slice, and at several lookups per candidate the default SipHash costs
+/// more than some of the arithmetic being memoized. Not DoS-resistant —
+/// fine here, the keys come from the EA itself, not from untrusted input.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Integer slices (the retained-gene keys) arrive here as one raw
+        // byte slice; fold eight bytes per round.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Memo key of one layer's base costs within one plan. Given the plan, the
+/// component counts are a pure function of `n_macros` (the memoized
+/// [`AllocPlan::solve`]), and the layer's ADC configuration is plan-
+/// constant — so `(layer, n_macros, macros, eff_adcs)` pins every input of
+/// [`compute_layer_base_with`] exactly.
+#[derive(Debug, Hash, PartialEq, Eq, Clone, Copy)]
+struct BaseKey {
+    layer: usize,
+    n_macros: usize,
+    macros: usize,
+    eff_adcs: usize,
+}
+
+/// Identity of the gene-independent half of the scoring pipeline: one entry
+/// per `(RatioRram, crossbar, DAC, weight duplication)` combination — the
+/// same inputs that fix a [`Dataflow`] and an [`AllocPlan`] within one
+/// evaluator's run.
+#[derive(Debug, Hash, PartialEq, Eq, Clone)]
+struct PlanKey {
+    ratio_bits: u64,
+    crossbar: CrossbarConfig,
+    dac_bits: u32,
+    wt_dup: Arc<Vec<usize>>,
+}
+
+/// One layer's slice of a retained breakdown, packed so the whole candidate
+/// retains as a single allocation.
+#[derive(Clone, Copy)]
+struct RetainedLayer {
+    macros: usize,
+    share: Option<usize>,
+    eff_adcs: usize,
+    base: LayerBaseCosts,
+    dynamic: (f64, f64),
+}
+
+/// The per-layer breakdown of one scored (feasible) candidate, retained so
+/// its children can rescore incrementally.
+struct Retained {
+    layers: Vec<RetainedLayer>,
+    macro_count: usize,
+    counts: Arc<Vec<ComponentCounts>>,
+    power: Watts,
+}
+
+/// Reusable per-candidate working buffers; contents are transient (each
+/// `score` call overwrites them), kept only to avoid reallocating a dozen
+/// short vectors per candidate in the hot loop.
+#[derive(Default)]
+struct Scratch {
+    macros: Vec<usize>,
+    shares: Vec<Option<usize>>,
+    root_adc: Vec<usize>,
+    eff_adcs: Vec<usize>,
+    base: Vec<LayerBaseCosts>,
+    dynamic: Vec<(f64, f64)>,
+    stages: Vec<LayerStages>,
+    groups: Vec<MacroGroup>,
+    solution: PipelineSolution,
+}
+
+/// Everything memoized for one [`PlanKey`].
+struct PlanState {
+    plan: AllocPlan,
+    /// `sum_i WtDup_i x set_i` — matches `Architecture::crossbar_count`.
+    crossbar_count: usize,
+    /// The model's MAC count (constant per run, cached to avoid re-deriving
+    /// model statistics per candidate).
+    total_macs: u64,
+    /// Eq. (6) solutions per physical macro count; `None` memoizes an
+    /// infeasible solve.
+    solves: FastMap<usize, Option<Arc<Vec<ComponentCounts>>>>,
+    /// Per-layer base costs keyed by their exact inputs (see [`BaseKey`]):
+    /// a mutated macro count changes the water-filling delay and with it
+    /// every layer's counts, but EA walks revisit the same few `n_macros`
+    /// values constantly, so the touched layers usually hit here too.
+    base_memo: FastMap<BaseKey, LayerBaseCosts>,
+    /// NoC-coupled `(merge, transfer)` terms keyed by `(layer, macros,
+    /// macro_count)` — exact only without sharing (the key then pins every
+    /// input of [`compute_layer_dynamic_with`]); sharing candidates always
+    /// recompute.
+    dyn_memo: FastMap<(usize, usize, usize), (f64, f64)>,
+    /// Realized power per physical macro count — exact only without sharing
+    /// (groups are then all singleton, counts fix the group terms, and
+    /// `macro_count == n_macros`); sharing candidates always recompute.
+    power_memo: FastMap<usize, Watts>,
+    retained: FastMap<Vec<u32>, Arc<Retained>>,
+    order: VecDeque<Vec<u32>>,
+    scratch: Scratch,
+}
+
+impl PlanState {
+    fn new(core: &EvalCore<'_>, df: &Dataflow, point: DesignPoint) -> Self {
+        Self {
+            plan: AllocPlan::prepare(
+                core.model(),
+                df,
+                point,
+                core.total_power(),
+                core.hw(),
+                core.macro_mode(),
+            ),
+            crossbar_count: df
+                .programs()
+                .iter()
+                .map(|p| p.wt_dup * p.crossbar_set)
+                .sum(),
+            total_macs: core.model().stats().total_macs,
+            solves: FastMap::default(),
+            base_memo: FastMap::default(),
+            dyn_memo: FastMap::default(),
+            power_memo: FastMap::default(),
+            retained: FastMap::default(),
+            order: VecDeque::new(),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Inserts a breakdown the caller has verified is not yet retained
+    /// (identical genes produce bit-identical breakdowns, so re-retaining a
+    /// seen gene would only churn allocations).
+    fn retain(&mut self, key: Vec<u32>, entry: Retained) {
+        self.order.push_back(key.clone());
+        self.retained.insert(key, Arc::new(entry));
+        while self.order.len() > RETAIN_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.retained.remove(&old);
+            }
+        }
+    }
+}
+
+/// Rebuilds `groups` in place with [`MacroGroup::build_from`]'s exact
+/// first-seen-root ordering and contents, reusing the member vectors'
+/// allocations across candidates.
+fn rebuild_groups(groups: &mut Vec<MacroGroup>, macros: &[usize], shares: &[Option<usize>]) {
+    let mut used = 0usize;
+    fn start_group(groups: &mut Vec<MacroGroup>, used: &mut usize, root: usize, macros: usize) {
+        if *used < groups.len() {
+            let g = &mut groups[*used];
+            g.root = root;
+            g.macros = macros;
+            g.members.clear();
+            g.members.push(root);
+        } else {
+            groups.push(MacroGroup {
+                root,
+                members: vec![root],
+                macros,
+            });
+        }
+        *used += 1;
+    }
+    for (i, (&m, &share)) in macros.iter().zip(shares).enumerate() {
+        match share {
+            None => start_group(groups, &mut used, i, m),
+            Some(root) => {
+                if let Some(g) = groups[..used].iter_mut().find(|g| g.root == root) {
+                    g.members.push(i);
+                    g.macros = g.macros.max(m);
+                } else {
+                    // Root not seen (defensive): its own group, as in
+                    // `build_from`.
+                    start_group(groups, &mut used, i, m);
+                }
+            }
+        }
+    }
+    groups.truncate(used);
+}
+
+/// What one engine scoring produced, and how.
+pub(crate) struct DeltaOutcome {
+    /// The slim score, bit-identical to [`EvalCore::score`].
+    pub score: CandidateScore,
+    /// Layers whose base costs were recomputed (0 for a pure reuse, the
+    /// full layer count for a fallback).
+    pub layers_recomputed: usize,
+    /// The candidate was rescored from the parent's retained breakdown.
+    pub used_delta: bool,
+    /// A parent was offered but the engine had to recompute everything
+    /// (missing retained breakdown or a too-wide gene diff).
+    pub fallback: bool,
+}
+
+/// The shared delta-rescoring state of one [`CandidateEvaluator`]
+/// (one map entry per design point / dataflow combination).
+///
+/// [`CandidateEvaluator`]: crate::CandidateEvaluator
+pub(crate) struct DeltaEngine {
+    plans: Mutex<FastMap<PlanKey, PlanState>>,
+}
+
+impl DeltaEngine {
+    pub(crate) fn new() -> Self {
+        Self {
+            plans: Mutex::new(FastMap::default()),
+        }
+    }
+
+    /// Checks out the plan state for one `(dataflow, design point)` so a
+    /// whole batch of candidates can be scored with a single map lookup.
+    /// The state is returned to the engine when the session drops.
+    pub(crate) fn session<'e, 'c, 'm>(
+        &'e self,
+        core: &'c EvalCore<'m>,
+        df: &'c Dataflow,
+        point: DesignPoint,
+        wt_dup: &Arc<Vec<usize>>,
+    ) -> DeltaSession<'e, 'c, 'm> {
+        let key = PlanKey {
+            ratio_bits: point.ratio_rram.to_bits(),
+            crossbar: point.crossbar,
+            dac_bits: df.dac().bits(),
+            wt_dup: Arc::clone(wt_dup),
+        };
+        let state = self
+            .plans
+            .lock()
+            .expect("delta engine")
+            .remove(&key)
+            .unwrap_or_else(|| PlanState::new(core, df, point));
+        DeltaSession {
+            engine: self,
+            core,
+            df,
+            point,
+            key,
+            state: Some(state),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeltaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let plans = self.plans.lock().expect("delta engine").len();
+        f.debug_struct("DeltaEngine")
+            .field("plans", &plans)
+            .finish()
+    }
+}
+
+/// A checked-out [`PlanState`]: scores candidates against their parents'
+/// retained breakdowns until dropped (which returns the state to the
+/// engine).
+pub(crate) struct DeltaSession<'e, 'c, 'm> {
+    engine: &'e DeltaEngine,
+    core: &'c EvalCore<'m>,
+    df: &'c Dataflow,
+    point: DesignPoint,
+    key: PlanKey,
+    state: Option<PlanState>,
+}
+
+impl Drop for DeltaSession<'_, '_, '_> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            self.engine
+                .plans
+                .lock()
+                .expect("delta engine")
+                .insert(self.key.clone(), state);
+        }
+    }
+}
+
+impl DeltaSession<'_, '_, '_> {
+    /// Scores one candidate, incrementally when `parent` has a retained
+    /// breakdown and the gene diff is narrow, with a full (but still
+    /// plan-memoized) recomputation otherwise. Bit-identical to
+    /// [`EvalCore::score`] in every case.
+    pub(crate) fn score(&mut self, gene: &MacAllocGene, parent: Option<&[u32]>) -> DeltaOutcome {
+        let raw = gene.as_slice();
+        let ps = self.state.as_mut().expect("plan state checked out");
+        let hw = self.core.hw();
+        let l = self.df.programs().len();
+
+        let parent_entry = parent.and_then(|p| ps.retained.get(p).map(Arc::clone));
+        let fallback_requested = parent.is_some();
+        let use_delta = match (&parent_entry, parent) {
+            (Some(_), Some(p)) => {
+                p.len() == raw.len()
+                    && raw.iter().zip(p).filter(|(a, b)| a != b).count() <= MAX_DELTA_DIFF
+            }
+            _ => false,
+        };
+        let outcome = |score, layers_recomputed, used_delta: bool| DeltaOutcome {
+            score,
+            layers_recomputed,
+            used_delta,
+            fallback: fallback_requested && !used_delta,
+        };
+
+        gene.decode_into(&mut ps.scratch.macros, &mut ps.scratch.shares);
+        let macros: &[usize] = &ps.scratch.macros;
+        let shares: &[Option<usize>] = &ps.scratch.shares;
+        let n_macros = physical_macros(macros, shares);
+        // Eq. (6) depends on the gene only through `n_macros`: memoize.
+        let counts = match ps.solves.get(&n_macros) {
+            Some(entry) => entry.clone(),
+            None => {
+                let solved = ps.plan.solve(n_macros).ok().map(Arc::new);
+                ps.solves.insert(n_macros, solved.clone());
+                solved
+            }
+        };
+        let Some(counts) = counts else {
+            // Allocation failure: the full pipeline returns INFEASIBLE too.
+            return outcome(CandidateScore::INFEASIBLE, 0, use_delta);
+        };
+        let no_sharing = shares.iter().all(Option::is_none);
+
+        // Macro groups and the quantities the full pipeline derives from the
+        // completed architecture — replicated from the gene decoding (the
+        // allocator assigns `layer: i` in program order, so group roots and
+        // sharing lookups are index-based on both paths).
+        rebuild_groups(&mut ps.scratch.groups, macros, shares);
+        let macro_count: usize = ps.scratch.groups.iter().map(|g| g.macros).sum();
+
+        // `Architecture::effective_adcs`: every layer sees the largest ADC
+        // bank among its root and the root's sharers (its own bank when
+        // nothing is shared).
+        ps.scratch.eff_adcs.clear();
+        if no_sharing {
+            ps.scratch.eff_adcs.extend(counts.iter().map(|c| c.adc));
+        } else {
+            ps.scratch.root_adc.clear();
+            ps.scratch.root_adc.extend(counts.iter().map(|c| c.adc));
+            for j in 0..l {
+                if let Some(r) = shares[j] {
+                    ps.scratch.root_adc[r] = ps.scratch.root_adc[r].max(counts[j].adc);
+                }
+            }
+            let root_adc = &ps.scratch.root_adc;
+            ps.scratch
+                .eff_adcs
+                .extend((0..l).map(|i| root_adc[shares[i].unwrap_or(i)]));
+        }
+        let eff_adcs: &[usize] = &ps.scratch.eff_adcs;
+
+        let parent_ref = if use_delta {
+            parent_entry.as_deref()
+        } else {
+            None
+        };
+        let same_counts = parent_ref.is_some_and(|p| Arc::ptr_eq(&counts, &p.counts));
+
+        // Base (NoC-independent) stage costs: reuse every layer whose
+        // inputs are unchanged from the parent, then try the exact-input
+        // memo, and only then recompute.
+        let mut recomputed = 0usize;
+        ps.scratch.base.clear();
+        for i in 0..l {
+            if let Some(p) = parent_ref {
+                let pl = &p.layers[i];
+                let unchanged = macros[i] == pl.macros
+                    && eff_adcs[i] == pl.eff_adcs
+                    && (same_counts || counts[i] == p.counts[i]);
+                if unchanged {
+                    ps.scratch.base.push(pl.base);
+                    continue;
+                }
+            }
+            let key = BaseKey {
+                layer: i,
+                n_macros,
+                macros: macros[i],
+                eff_adcs: eff_adcs[i],
+            };
+            if let Some(&b) = ps.base_memo.get(&key) {
+                ps.scratch.base.push(b);
+                continue;
+            }
+            let inputs = LayerCostInputs {
+                macros: macros[i],
+                effective_adcs: eff_adcs[i],
+                adc: ps.plan.adcs()[i],
+                shift_add: counts[i].shift_add,
+                pool: counts[i].pool,
+                activation: counts[i].activation,
+                eltwise: counts[i].eltwise,
+            };
+            match compute_layer_base_with(self.df, hw, i, &inputs) {
+                Ok(b) => {
+                    ps.scratch.base.push(b);
+                    recomputed += 1;
+                    if ps.base_memo.len() < BASE_MEMO_CAP {
+                        ps.base_memo.insert(key, b);
+                    }
+                }
+                // The full pipeline fails this candidate identically.
+                Err(_) => return outcome(CandidateScore::INFEASIBLE, recomputed, use_delta),
+            }
+        }
+
+        // NoC-coupled terms: parent reuse per layer when the macro count and
+        // sharing are unchanged; the `(layer, macros, macro_count)` memo
+        // otherwise (exact without sharing); full recomputation when shared.
+        let noc = NocConfig::for_macros(macro_count, hw);
+        let root_of = |x: usize| shares[x].unwrap_or(x);
+        let noc_same = parent_ref.is_some_and(|p| {
+            macro_count == p.macro_count
+                && p.layers.iter().zip(shares).all(|(pl, s)| pl.share == *s)
+        });
+        ps.scratch.dynamic.clear();
+        for (i, &m) in macros.iter().enumerate() {
+            if noc_same {
+                let pl = &parent_ref.expect("noc_same implies a parent").layers[i];
+                if m == pl.macros {
+                    ps.scratch.dynamic.push(pl.dynamic);
+                    continue;
+                }
+            }
+            if no_sharing {
+                let key = (i, m, macro_count);
+                if let Some(&d) = ps.dyn_memo.get(&key) {
+                    ps.scratch.dynamic.push(d);
+                    continue;
+                }
+                let d = compute_layer_dynamic_with(self.df, hw, i, m, root_of, &noc);
+                if ps.dyn_memo.len() < BASE_MEMO_CAP {
+                    ps.dyn_memo.insert(key, d);
+                }
+                ps.scratch.dynamic.push(d);
+            } else {
+                ps.scratch
+                    .dynamic
+                    .push(compute_layer_dynamic_with(self.df, hw, i, m, root_of, &noc));
+            }
+        }
+
+        ps.scratch.stages.clear();
+        for i in 0..l {
+            ps.scratch.stages.push(assemble_stages(
+                ps.scratch.base[i],
+                ps.scratch.dynamic[i].0,
+                ps.scratch.dynamic[i].1,
+            ));
+        }
+        solve_pipeline_into(
+            self.df,
+            &ps.scratch.stages,
+            &ps.scratch.groups,
+            &mut ps.scratch.solution,
+        );
+
+        // Realized power: counts, sharing and macro count fix it exactly —
+        // reuse the parent's, else (without sharing) the per-`n_macros`
+        // memo, else recompute.
+        let power = match parent_ref {
+            Some(p) if same_counts && noc_same => p.power,
+            _ => {
+                let memoized = if no_sharing {
+                    ps.power_memo.get(&n_macros).copied()
+                } else {
+                    None
+                };
+                match memoized {
+                    Some(w) => w,
+                    None => {
+                        let plan_adcs = ps.plan.adcs();
+                        let w = power_breakdown_from(
+                            hw,
+                            self.point.crossbar,
+                            self.df.dac(),
+                            ps.crossbar_count,
+                            &ps.scratch.groups,
+                            macro_count,
+                            |m| (counts[m], plan_adcs[m].bits()),
+                        )
+                        .total();
+                        if no_sharing && ps.power_memo.len() < BASE_MEMO_CAP {
+                            ps.power_memo.insert(n_macros, w);
+                        }
+                        w
+                    }
+                }
+            }
+        };
+
+        let summary = summarize_pipeline(self.df, &ps.scratch.solution, power, ps.total_macs);
+        let fitness = self.core.objective().fitness_of_summary(&summary);
+        let score = CandidateScore {
+            fitness,
+            feasible: true,
+        };
+
+        // Retention: identical genes rescore to bit-identical breakdowns,
+        // so an already-retained gene is left untouched (no allocation).
+        if !ps.retained.contains_key(raw) {
+            let scratch = &ps.scratch;
+            let layers: Vec<RetainedLayer> = (0..l)
+                .map(|i| RetainedLayer {
+                    macros: scratch.macros[i],
+                    share: scratch.shares[i],
+                    eff_adcs: scratch.eff_adcs[i],
+                    base: scratch.base[i],
+                    dynamic: scratch.dynamic[i],
+                })
+                .collect();
+            ps.retain(
+                raw.to_vec(),
+                Retained {
+                    layers,
+                    macro_count,
+                    counts,
+                    power,
+                },
+            );
+        }
+        outcome(score, recomputed, use_delta)
+    }
+}
+
+#[cfg(test)]
+mod profile {
+    use super::*;
+    use crate::ea::Objective;
+    use crate::eval::EvalCacheConfig;
+    use pimsyn_arch::{DacConfig, HardwareParams, MacroMode};
+    use pimsyn_model::zoo;
+    use std::time::Instant;
+
+    /// Rough single-threaded throughput check for the delta session; run with
+    /// `cargo test -p pimsyn-dse --release delta_throughput -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn delta_throughput() {
+        let model = zoo::alexnet_cifar(10);
+        let hw = HardwareParams::date24();
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        let dac = DacConfig::new(1).unwrap();
+        let dup = vec![1usize; model.weight_layer_count()];
+        let df = Dataflow::compile(&model, xb, dac, &dup).unwrap();
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        let core = EvalCore::new(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Specialized,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::disabled(),
+        );
+        let l = model.weight_layer_count();
+        let caps: Vec<usize> = df
+            .programs()
+            .iter()
+            .map(|p| (p.wt_dup * p.row_groups).clamp(1, 4))
+            .collect();
+        let mut macros_w = vec![1usize; l];
+        let mut chain = Vec::new();
+        chain.push(MacAllocGene::encode(&macros_w, &vec![None; l]));
+        for k in 0..256 {
+            let i = k % l;
+            macros_w[i] = 1 + (macros_w[i] + k * 13) % caps[i];
+            chain.push(MacAllocGene::encode(&macros_w, &vec![None; l]));
+        }
+        let engine = DeltaEngine::new();
+        let wt_dup = Arc::new(dup);
+        let mut session = engine.session(&core, &df, point, &wt_dup);
+        // Warm up memos and retention.
+        let mut prev: Option<&MacAllocGene> = None;
+        for g in &chain {
+            session.score(g, Some(prev.unwrap_or(g).as_slice()));
+            prev = Some(g);
+        }
+        let rounds = 400;
+        let wall = Instant::now();
+        for _ in 0..rounds {
+            let mut prev: Option<&MacAllocGene> = None;
+            for g in &chain {
+                let parent = prev.unwrap_or(g).as_slice();
+                let out = session.score(g, Some(parent));
+                std::hint::black_box(out.score.fitness);
+                prev = Some(g);
+            }
+        }
+        let total = wall.elapsed().as_secs_f64();
+        let n = (rounds * chain.len()) as f64;
+        eprintln!(
+            "candidates: {n}, {:.0} cand/s, {:.3} us/cand",
+            n / total,
+            total / n * 1e6
+        );
+    }
+}

@@ -11,7 +11,7 @@
 use pimsyn_arch::{Architecture, MacroMode, Watts};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
-use pimsyn_sim::SimReport;
+use pimsyn_sim::{AnalyticSummary, SimReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,6 +49,25 @@ impl Objective {
             Objective::PowerEfficiency => report.efficiency_tops_per_watt(),
             Objective::EnergyDelayProduct => {
                 let edp = report.edp_ms_mj();
+                if edp > 0.0 {
+                    1.0 / edp
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// [`fitness`](Self::fitness) from an [`AnalyticSummary`] instead of a
+    /// full report. Both derive their metrics through the same shared
+    /// expressions ([`pimsyn_sim`] metric helpers), so this is bit-identical
+    /// to scoring the corresponding report — the delta evaluator depends on
+    /// that.
+    pub fn fitness_of_summary(&self, summary: &AnalyticSummary) -> f64 {
+        match self {
+            Objective::PowerEfficiency => summary.efficiency_tops_per_watt(),
+            Objective::EnergyDelayProduct => {
+                let edp = summary.edp_ms_mj();
                 if edp > 0.0 {
                     1.0 / edp
                 } else {
@@ -150,12 +169,22 @@ impl MacAllocGene {
     pub fn decode(&self) -> (Vec<usize>, Vec<Option<usize>>) {
         let mut macros = Vec::with_capacity(self.0.len());
         let mut shares = Vec::with_capacity(self.0.len());
+        self.decode_into(&mut macros, &mut shares);
+        (macros, shares)
+    }
+
+    /// [`Self::decode`] into caller-owned buffers (cleared first), so hot
+    /// loops can reuse their allocations.
+    pub fn decode_into(&self, macros: &mut Vec<usize>, shares: &mut Vec<Option<usize>>) {
+        macros.clear();
+        shares.clear();
+        macros.reserve(self.0.len());
+        shares.reserve(self.0.len());
         for (i, &g) in self.0.iter().enumerate() {
             let owner = (g / GENE_BASE) as usize;
             macros.push((g % GENE_BASE) as usize);
             shares.push(if owner == i { None } else { Some(owner) });
         }
-        (macros, shares)
     }
 
     /// Raw encoded vector (`i*1000 + #macros` per layer).
@@ -338,6 +367,7 @@ pub(crate) fn run_ea_counted(
         }
         let elite = 2.min(population.len());
         let mut child_genes: Vec<MacAllocGene> = Vec::new();
+        let mut parent_idx: Vec<usize> = Vec::new();
         while child_genes.len() + elite < cfg.population {
             // Tournament selection (Alg. 2 line 4).
             let mut best_idx = rng.gen_range(0..population.len());
@@ -359,8 +389,15 @@ pub(crate) fn run_ea_counted(
                 mutate_share(&mut shares, &mut rng, l);
             }
             child_genes.push(MacAllocGene::encode(&macros, &shares));
+            parent_idx.push(best_idx);
         }
-        let (child_scores, charged) = evaluator.score_batch(df, point, &child_genes, ctx);
+        // Each child differs from its tournament parent by at most one
+        // mutate_num and one mutate_share — exactly what the evaluator's
+        // delta path rescores incrementally.
+        let parents: Vec<Option<&MacAllocGene>> =
+            parent_idx.iter().map(|&i| Some(&population[i].0)).collect();
+        let (child_scores, charged) =
+            evaluator.score_batch_with_parents(df, point, &child_genes, &parents, ctx);
         evaluations += charged;
         population.truncate(elite);
         population.extend(child_genes.into_iter().zip(child_scores));

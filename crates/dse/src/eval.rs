@@ -44,8 +44,9 @@ use crate::backend::{
     SharedEvalResources,
 };
 use crate::ctx::ExploreContext;
+use crate::delta::{DeltaEngine, DeltaOutcome};
 use crate::ea::{MacAllocGene, Objective};
-use crate::sa::sa_energy;
+use crate::sa::SaTable;
 use crate::space::DesignPoint;
 
 /// Configuration of the evaluator's memo caches (candidate memo, SA energy
@@ -58,6 +59,14 @@ pub struct EvalCacheConfig {
     /// without being stored (no eviction, so memory stays bounded and
     /// resident entries keep hitting).
     pub capacity: usize,
+    /// Delta (incremental) rescoring: memo misses whose EA parent has a
+    /// retained per-layer breakdown recompute only the layers the gene diff
+    /// touches (see [`crate::CandidateEvaluator::score_batch_with_parents`]).
+    /// Bit-identical to full scoring; independent of the memo switch so
+    /// ablations can isolate either mechanism. Only effective under
+    /// [`MacroMode::Specialized`] (the identical-macro homogenize pass is
+    /// not replicated incrementally).
+    pub delta: bool,
 }
 
 impl EvalCacheConfig {
@@ -71,11 +80,13 @@ impl EvalCacheConfig {
     }
 
     /// Caching off: every candidate recomputed (for ablations and the
-    /// throughput benchmark's baseline arm).
+    /// throughput benchmark's baseline arm). Also turns delta rescoring off,
+    /// so this is the all-mechanisms-off reference configuration.
     pub fn disabled() -> Self {
         Self {
             enabled: false,
             capacity: 0,
+            delta: false,
         }
     }
 
@@ -85,6 +96,14 @@ impl EvalCacheConfig {
         self.capacity = capacity;
         self
     }
+
+    /// Overrides the delta-rescoring switch (independent of the memo switch:
+    /// the throughput benchmark's delta arm runs memo-off, delta-on).
+    #[must_use]
+    pub fn with_delta(mut self, delta: bool) -> Self {
+        self.delta = delta;
+        self
+    }
 }
 
 impl Default for EvalCacheConfig {
@@ -92,6 +111,7 @@ impl Default for EvalCacheConfig {
         Self {
             enabled: true,
             capacity: Self::DEFAULT_CAPACITY,
+            delta: true,
         }
     }
 }
@@ -119,6 +139,17 @@ pub struct EvaluatorStats {
     pub layer_misses: usize,
     /// Memo entries warm-started from a persistent cache file.
     pub preloaded: usize,
+    /// Memo misses rescored incrementally from the parent's retained
+    /// per-layer breakdown (delta path).
+    pub delta_hits: usize,
+    /// Parent-offered candidates that fell back to a full recomputation
+    /// (no retained parent breakdown, or a gene diff wider than one
+    /// mutation round).
+    pub delta_fallbacks: usize,
+    /// Per-layer base-cost recomputations performed by the delta engine
+    /// (fallbacks recompute every layer; pure delta hits only the touched
+    /// ones).
+    pub layers_recomputed: usize,
 }
 
 impl EvaluatorStats {
@@ -343,11 +374,19 @@ pub struct CandidateEvaluator<'a> {
     shared: Option<Arc<SharedEvalResources>>,
     candidates: Mutex<CandidateMemo>,
     energies: Mutex<HashMap<(Vec<usize>, u64), f64>>,
+    /// Per-layer static Eq. (4) terms, so SA energy misses skip the model
+    /// walk.
+    sa_table: SaTable,
+    /// Retained per-layer breakdowns for incremental rescoring.
+    delta: DeltaEngine,
     scored: AtomicUsize,
     unique: AtomicUsize,
     hits: AtomicUsize,
     sa_probes: AtomicUsize,
     sa_hits: AtomicUsize,
+    delta_hits: AtomicUsize,
+    delta_fallbacks: AtomicUsize,
+    layers_recomputed: AtomicUsize,
     preloaded: usize,
 }
 
@@ -407,11 +446,16 @@ impl<'a> CandidateEvaluator<'a> {
             shared: backend_cfg.shared.clone(),
             candidates: Mutex::new(CandidateMemo::default()),
             energies: Mutex::new(HashMap::new()),
+            sa_table: SaTable::new(model),
+            delta: DeltaEngine::new(),
             scored: AtomicUsize::new(0),
             unique: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             sa_probes: AtomicUsize::new(0),
             sa_hits: AtomicUsize::new(0),
+            delta_hits: AtomicUsize::new(0),
+            delta_fallbacks: AtomicUsize::new(0),
+            layers_recomputed: AtomicUsize::new(0),
             preloaded: 0,
         };
         if let Some(path) = &backend_cfg.cache_file {
@@ -489,18 +533,19 @@ impl<'a> CandidateEvaluator<'a> {
     }
 
     /// The Eq. (4) SA energy of a duplication vector, memoized. Identical to
-    /// [`sa_energy`] (the memo is transparent).
+    /// [`crate::sa_energy`] (the memo and the precomputed per-layer table
+    /// are both transparent).
     pub fn sa_energy(&self, dup: &[usize], alpha: f64) -> f64 {
         self.sa_probes.fetch_add(1, Ordering::Relaxed);
         if !self.config.enabled {
-            return sa_energy(self.core.model, dup, alpha);
+            return self.sa_table.energy(dup, alpha);
         }
         let key = (dup.to_vec(), alpha.to_bits());
         if let Some(&e) = self.energies.lock().expect("energy memo").get(&key) {
             self.sa_hits.fetch_add(1, Ordering::Relaxed);
             return e;
         }
-        let e = sa_energy(self.core.model, dup, alpha);
+        let e = self.sa_table.energy(dup, alpha);
         let mut map = self.energies.lock().expect("energy memo");
         if map.len() < self.config.capacity {
             map.insert(key, e);
@@ -544,12 +589,35 @@ impl<'a> CandidateEvaluator<'a> {
         gene: &MacAllocGene,
         ctx: &ExploreContext<'_>,
     ) -> CandidateScore {
+        self.score_with_parent(df, point, gene, None, ctx)
+    }
+
+    /// [`score`](Self::score) with parent identity: when delta rescoring is
+    /// active and the parent's per-layer breakdown is retained, a memo miss
+    /// recomputes only the layers the gene diff touches instead of running
+    /// the full allocation + analytic pipeline. Bit-identical to a plain
+    /// [`score`](Self::score) call; budgets, memo accounting and statistics
+    /// are charged exactly as before, with the delta counters reported on
+    /// top.
+    pub fn score_with_parent(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        parent: Option<&MacAllocGene>,
+        ctx: &ExploreContext<'_>,
+    ) -> CandidateScore {
         ctx.count_evaluations(1);
         self.scored.fetch_add(1, Ordering::Relaxed);
-        let job = EvalJob { df, point, gene };
+        let parent = if self.delta_active() { parent } else { None };
         if !self.config.enabled {
             self.unique.fetch_add(1, Ordering::Relaxed);
             ctx.count_unique_evaluations(1);
+            if let Some(p) = parent {
+                let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
+                return self.delta_score_one(df, point, gene, p, &wt_dup);
+            }
+            let job = EvalJob { df, point, gene };
             return self.backend.score(&self.core, &job);
         }
         let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
@@ -560,9 +628,49 @@ impl<'a> CandidateEvaluator<'a> {
         }
         self.unique.fetch_add(1, Ordering::Relaxed);
         ctx.count_unique_evaluations(1);
-        let score = self.backend.score(&self.core, &job);
+        let score = if let Some(p) = parent {
+            self.delta_score_one(df, point, gene, p, &wt_dup)
+        } else {
+            let job = EvalJob { df, point, gene };
+            self.backend.score(&self.core, &job)
+        };
         self.store(key, score);
         score
+    }
+
+    /// Whether parent-aware calls route misses through the delta engine.
+    /// Identical macro mode homogenizes component counts across layers —
+    /// a global coupling the engine does not replicate — so delta stays
+    /// specialized-only.
+    fn delta_active(&self) -> bool {
+        self.config.delta && self.core.macro_mode() == MacroMode::Specialized
+    }
+
+    fn record_delta(&self, out: &DeltaOutcome) {
+        if out.used_delta {
+            self.delta_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if out.fallback {
+            self.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        if out.layers_recomputed > 0 {
+            self.layers_recomputed
+                .fetch_add(out.layers_recomputed, Ordering::Relaxed);
+        }
+    }
+
+    fn delta_score_one(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        gene: &MacAllocGene,
+        parent: &MacAllocGene,
+        wt_dup: &Arc<Vec<usize>>,
+    ) -> CandidateScore {
+        let mut session = self.delta.session(&self.core, df, point, wt_dup);
+        let out = session.score(gene, Some(parent.as_slice()));
+        self.record_delta(&out);
+        out.score
     }
 
     /// Scores a whole generation of candidates, returning `(scores,
@@ -594,6 +702,27 @@ impl<'a> CandidateEvaluator<'a> {
         genes: &[MacAllocGene],
         ctx: &ExploreContext<'_>,
     ) -> (Vec<CandidateScore>, usize) {
+        self.score_batch_with_parents(df, point, genes, &[], ctx)
+    }
+
+    /// [`score_batch`](Self::score_batch) with per-candidate parent
+    /// identity: `parents[i]` names the gene candidate `i` was mutated from
+    /// (missing or `None` entries score through the backend as before).
+    /// When delta rescoring is active, memo misses with a usable parent are
+    /// rescored incrementally during the accounting pass — the result lands
+    /// in the memo immediately, so in-batch duplicates hit it exactly where
+    /// the plain path would have counted a pending-duplicate hit. Scores,
+    /// budget charges, `evaluations` and memo contents are bit-identical to
+    /// [`score_batch`](Self::score_batch); only wall-clock (and the delta
+    /// counters in [`EvaluatorStats`]) differ.
+    pub fn score_batch_with_parents(
+        &self,
+        df: &Dataflow,
+        point: DesignPoint,
+        genes: &[MacAllocGene],
+        parents: &[Option<&MacAllocGene>],
+        ctx: &ExploreContext<'_>,
+    ) -> (Vec<CandidateScore>, usize) {
         let n = genes.len();
         let wt_dup = Arc::new(df.programs().iter().map(|p| p.wt_dup).collect::<Vec<_>>());
         let mut out = vec![CandidateScore::INFEASIBLE; n];
@@ -602,6 +731,12 @@ impl<'a> CandidateEvaluator<'a> {
         // disabled) and every input index it resolves.
         let mut pending: Vec<(Option<CandidateKey>, Vec<usize>)> = Vec::new();
         let mut pending_index: HashMap<CandidateKey, usize> = HashMap::new();
+        // One engine session serves the whole batch (single plan lookup).
+        let mut session = if self.delta_active() && parents.iter().any(|p| p.is_some()) {
+            Some(self.delta.session(&self.core, df, point, &wt_dup))
+        } else {
+            None
+        };
 
         for (i, gene) in genes.iter().enumerate() {
             if ctx.should_stop() {
@@ -610,10 +745,17 @@ impl<'a> CandidateEvaluator<'a> {
             ctx.count_evaluations(1);
             self.scored.fetch_add(1, Ordering::Relaxed);
             charged += 1;
+            let parent = parents.get(i).copied().flatten();
             if !self.config.enabled {
                 self.unique.fetch_add(1, Ordering::Relaxed);
                 ctx.count_unique_evaluations(1);
-                pending.push((None, vec![i]));
+                if let (Some(session), Some(p)) = (session.as_mut(), parent) {
+                    let o = session.score(gene, Some(p.as_slice()));
+                    self.record_delta(&o);
+                    out[i] = o.score;
+                } else {
+                    pending.push((None, vec![i]));
+                }
                 continue;
             }
             let key = self.make_key(df, point, gene, &wt_dup);
@@ -632,9 +774,20 @@ impl<'a> CandidateEvaluator<'a> {
             }
             self.unique.fetch_add(1, Ordering::Relaxed);
             ctx.count_unique_evaluations(1);
+            if let (Some(session), Some(p)) = (session.as_mut(), parent) {
+                // Delta-eligible miss: computed inline and stored at once,
+                // so a later in-batch duplicate becomes a memo hit — the
+                // same accounting the pending-duplicate path records.
+                let o = session.score(gene, Some(p.as_slice()));
+                self.record_delta(&o);
+                out[i] = o.score;
+                self.store(key, o.score);
+                continue;
+            }
             pending_index.insert(key.clone(), pending.len());
             pending.push((Some(key), vec![i]));
         }
+        drop(session);
 
         if !pending.is_empty() {
             let jobs: Vec<EvalJob<'_>> = pending
@@ -708,6 +861,9 @@ impl<'a> CandidateEvaluator<'a> {
             layer_hits: layer.hits,
             layer_misses: layer.misses,
             preloaded: self.preloaded,
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
+            layers_recomputed: self.layers_recomputed.load(Ordering::Relaxed),
         }
     }
 
@@ -750,6 +906,7 @@ impl<'a> CandidateEvaluator<'a> {
 mod tests {
     use super::*;
     use crate::backend::BackendKind;
+    use crate::sa::sa_energy;
     use pimsyn_arch::{DacConfig, HardwareParams};
     use pimsyn_model::zoo;
 
@@ -1169,6 +1326,126 @@ mod tests {
         assert_eq!(warm.fitness.to_bits(), cold.fitness.to_bits());
         assert_eq!(second.stats().cache_hits, 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Parent-aware scoring must be bit-identical to plain scoring, route
+    /// through the engine exactly when a parent is usable, and fall back
+    /// (with full retention) when the parent has no retained breakdown.
+    #[test]
+    fn delta_rescoring_matches_plain_scoring_bit_for_bit() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let delta = evaluator(&model, &hw, EvalCacheConfig::default());
+        let plain = evaluator(&model, &hw, EvalCacheConfig::default().with_delta(false));
+        let ctx = ExploreContext::unobserved();
+
+        let parent = gene(l, 1);
+        let mut m = vec![1usize; l];
+        m[0] = 2;
+        let child = MacAllocGene::encode(&m, &vec![None; l]);
+        m[1] = 2;
+        let grandchild = MacAllocGene::encode(&m, &vec![None; l]);
+
+        // Parent scores through the backend (no parent offered); the child
+        // miss is parented but the parent is not retained yet, so the
+        // engine recomputes fully (a fallback) and retains both.
+        let genes = [parent.clone(), child.clone()];
+        let parents = [None, Some(&parent)];
+        let (a, _) = delta.score_batch_with_parents(&df, point, &genes, &parents, &ctx);
+        let (b, _) = plain.score_batch(&df, point, &genes, &ctx);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fitness.to_bits(), y.fitness.to_bits());
+            assert_eq!(x.feasible, y.feasible);
+        }
+        assert_eq!(delta.stats().delta_fallbacks, 1);
+        assert_eq!(delta.stats().delta_hits, 0);
+
+        // The grandchild differs from the (now retained) child by one gene:
+        // a genuine delta hit, still bit-identical.
+        let (c, _) = delta.score_batch_with_parents(
+            &df,
+            point,
+            std::slice::from_ref(&grandchild),
+            &[Some(&child)],
+            &ctx,
+        );
+        let (d, _) = plain.score_batch(&df, point, &[grandchild], &ctx);
+        assert_eq!(c[0].fitness.to_bits(), d[0].fitness.to_bits());
+        assert_eq!(c[0].feasible, d[0].feasible);
+        let stats = delta.stats();
+        assert_eq!(stats.delta_hits, 1);
+        assert_eq!(stats.delta_fallbacks, 1);
+        // The fallback recomputed every layer; the delta hit only touched
+        // ones (the changed layer, plus any whose water-filled counts moved
+        // and missed the base memo).
+        assert!(stats.layers_recomputed > l);
+        assert!(stats.layers_recomputed < 3 * l);
+        // Both evaluators charged and memoized identically.
+        assert_eq!(
+            delta.stats().unique_evaluations,
+            plain.stats().unique_evaluations
+        );
+        assert_eq!(delta.stats().cache_hits, plain.stats().cache_hits);
+    }
+
+    /// A gene diff wider than one mutation round (more than two entries)
+    /// must not delta even when the parent is retained.
+    #[test]
+    fn delta_wide_diff_falls_back() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = evaluator(&model, &hw, EvalCacheConfig::default());
+        let ctx = ExploreContext::unobserved();
+
+        let parent = gene(l, 1);
+        // Retain the parent's breakdown (self-parented fallback).
+        eval.score_with_parent(&df, point, &parent, Some(&parent), &ctx);
+        assert_eq!(eval.stats().delta_fallbacks, 1);
+
+        let mut m = vec![1usize; l];
+        m[0] = 2;
+        m[1] = 2;
+        m[2] = 2;
+        let wide = MacAllocGene::encode(&m, &vec![None; l]);
+        let via_delta = eval.score_with_parent(&df, point, &wide, Some(&parent), &ctx);
+        let stats = eval.stats();
+        assert_eq!(stats.delta_fallbacks, 2, "3-gene diff must fall back");
+        assert_eq!(stats.delta_hits, 0);
+
+        let plain = evaluator(&model, &hw, EvalCacheConfig::default().with_delta(false));
+        let reference = plain.score(&df, point, &wide, &ctx);
+        assert_eq!(via_delta.fitness.to_bits(), reference.fitness.to_bits());
+        assert_eq!(via_delta.feasible, reference.feasible);
+    }
+
+    /// Identical macro mode homogenizes counts across layers — delta must
+    /// stay inactive there even when parents are offered.
+    #[test]
+    fn delta_is_inactive_for_identical_macro_mode() {
+        let (model, df, point) = setup();
+        let l = model.weight_layer_count();
+        let hw = HardwareParams::date24();
+        let eval = CandidateEvaluator::new(
+            &model,
+            Watts(9.0),
+            &hw,
+            MacroMode::Identical,
+            Objective::PowerEfficiency,
+            EvalCacheConfig::default(),
+        );
+        let ctx = ExploreContext::unobserved();
+        let parent = gene(l, 1);
+        let mut m = vec![1usize; l];
+        m[0] = 2;
+        let child = MacAllocGene::encode(&m, &vec![None; l]);
+        eval.score_with_parent(&df, point, &parent, Some(&parent), &ctx);
+        eval.score_with_parent(&df, point, &child, Some(&parent), &ctx);
+        let stats = eval.stats();
+        assert_eq!(stats.delta_hits, 0);
+        assert_eq!(stats.delta_fallbacks, 0);
+        assert_eq!(stats.unique_evaluations, 2);
     }
 
     #[test]

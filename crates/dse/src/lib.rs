@@ -41,6 +41,7 @@
 mod alloc;
 pub mod backend;
 mod ctx;
+mod delta;
 mod ea;
 mod error;
 mod eval;
@@ -49,7 +50,7 @@ mod sa;
 mod space;
 mod sweep;
 
-pub use alloc::{allocate_components, physical_macros, AllocRequest};
+pub use alloc::{allocate_components, physical_macros, AllocPlan, AllocRequest};
 pub use backend::{
     dial_bounded, parse_remote_roster, read_token_file, BackendKind, BackendStats, EvalBackend,
     EvalBackendConfig, EvalJob, InlineBackend, PersistentEvalCache, RemoteBackend,

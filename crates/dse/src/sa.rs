@@ -96,6 +96,47 @@ pub fn sa_energy(model: &Model, dup: &[usize], alpha: f64) -> f64 {
     stdev(blocks) + alpha * stdev(access)
 }
 
+/// Per-layer static factors of [`sa_energy`], precomputed once per model so
+/// the memoized-probe miss path skips the weight-layer walk: `WO*HO` and the
+/// unit access volume `WK²CI + CO`. [`SaTable::energy`] performs the exact
+/// integer and float operations of [`sa_energy`], so the two are
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub(crate) struct SaTable {
+    positions: Vec<usize>,
+    access_base: Vec<u64>,
+}
+
+impl SaTable {
+    pub(crate) fn new(model: &Model) -> Self {
+        Self {
+            positions: model
+                .weight_layers()
+                .map(|wl| wl.output_positions())
+                .collect(),
+            access_base: model
+                .weight_layers()
+                .map(|wl| wl.access_volume(1))
+                .collect(),
+        }
+    }
+
+    /// [`sa_energy`] from the precomputed tables.
+    pub(crate) fn energy(&self, dup: &[usize], alpha: f64) -> f64 {
+        let blocks = self
+            .positions
+            .iter()
+            .zip(dup)
+            .map(|(&p, &d)| p as f64 / d.max(1) as f64);
+        let access = self
+            .access_base
+            .iter()
+            .zip(dup)
+            .map(|(&b, &d)| (d as u64 * b) as f64);
+        stdev(blocks) + alpha * stdev(access)
+    }
+}
+
 /// Crossbars consumed by a duplication vector: `sum WtDup_i x set_i` — the
 /// constraint side of Eq. (2).
 pub fn crossbars_used(model: &Model, crossbar: CrossbarConfig, dup: &[usize]) -> usize {

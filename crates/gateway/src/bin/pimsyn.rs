@@ -664,6 +664,12 @@ fn stats_line(stats: &EvaluatorStats) -> String {
             stats.preloaded
         ));
     }
+    if stats.delta_hits > 0 || stats.delta_fallbacks > 0 {
+        line.push_str(&format!(
+            "; delta rescoring: {} incremental, {} fallbacks, {} layers recomputed",
+            stats.delta_hits, stats.delta_fallbacks, stats.layers_recomputed
+        ));
+    }
     line
 }
 

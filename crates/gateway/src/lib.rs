@@ -53,5 +53,7 @@ mod tenant;
 
 pub use metrics::MetricsRegistry;
 pub use payload::parse_http_job;
-pub use server::{serve_gateway, serve_gateway_in_background, GatewayConfig, GatewayHandle};
+pub use server::{
+    serve_gateway, serve_gateway_in_background, GatewayConfig, GatewayHandle, DEFAULT_HEARTBEAT,
+};
 pub use tenant::TenantRegistry;

@@ -72,6 +72,15 @@ pub struct MetricsRegistry {
     eval_unique: AtomicU64,
     /// Evaluation-cache hits, same provenance.
     eval_cache_hits: AtomicU64,
+    /// Candidates rescored incrementally by the delta engine, same
+    /// provenance.
+    eval_delta_hits: AtomicU64,
+    /// Delta attempts that fell back to a full recomputation, same
+    /// provenance.
+    eval_delta_fallbacks: AtomicU64,
+    /// Per-layer stage recomputations performed by the delta engine (hits
+    /// and fallbacks combined), same provenance.
+    eval_delta_layers_recomputed: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -104,11 +113,26 @@ impl MetricsRegistry {
     }
 
     /// Accumulates a finished job's terminal evaluator-stats counters.
-    pub fn record_eval_stats(&self, scored: u64, unique: u64, cache_hits: u64) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_eval_stats(
+        &self,
+        scored: u64,
+        unique: u64,
+        cache_hits: u64,
+        delta_hits: u64,
+        delta_fallbacks: u64,
+        layers_recomputed: u64,
+    ) {
         self.eval_scored.fetch_add(scored, Ordering::Relaxed);
         self.eval_unique.fetch_add(unique, Ordering::Relaxed);
         self.eval_cache_hits
             .fetch_add(cache_hits, Ordering::Relaxed);
+        self.eval_delta_hits
+            .fetch_add(delta_hits, Ordering::Relaxed);
+        self.eval_delta_fallbacks
+            .fetch_add(delta_fallbacks, Ordering::Relaxed);
+        self.eval_delta_layers_recomputed
+            .fetch_add(layers_recomputed, Ordering::Relaxed);
     }
 
     /// Renders the registry's counters and histograms in Prometheus text
@@ -202,6 +226,21 @@ impl MetricsRegistry {
                 "Evaluation-cache hits by finished jobs.",
                 self.eval_cache_hits.load(Ordering::Relaxed),
             ),
+            (
+                "pimsyn_gateway_eval_delta_hits_total",
+                "Candidates rescored incrementally (delta path) by finished jobs.",
+                self.eval_delta_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "pimsyn_gateway_eval_delta_fallbacks_total",
+                "Delta attempts that fell back to full rescoring in finished jobs.",
+                self.eval_delta_fallbacks.load(Ordering::Relaxed),
+            ),
+            (
+                "pimsyn_gateway_eval_delta_layers_recomputed_total",
+                "Per-layer stage recomputations by the delta engine in finished jobs.",
+                self.eval_delta_layers_recomputed.load(Ordering::Relaxed),
+            ),
         ] {
             let _ = writeln!(
                 out,
@@ -225,7 +264,7 @@ mod tests {
         registry.record_http("/v1/jobs/{id}", 404);
         registry.record_submitted("alice");
         registry.record_finished("alice", 0.3);
-        registry.record_eval_stats(100, 40, 60);
+        registry.record_eval_stats(100, 40, 60, 25, 5, 120);
         let text = registry.render();
         assert!(
             text.contains("pimsyn_gateway_http_requests_total{route=\"/v1/jobs\",code=\"202\"} 2")
@@ -237,6 +276,9 @@ mod tests {
         assert!(text.contains("pimsyn_gateway_jobs_finished_total{tenant=\"alice\"} 1"));
         assert!(text.contains("pimsyn_gateway_evaluations_scored_total 100"));
         assert!(text.contains("pimsyn_gateway_eval_cache_hits_total 60"));
+        assert!(text.contains("pimsyn_gateway_eval_delta_hits_total 25"));
+        assert!(text.contains("pimsyn_gateway_eval_delta_fallbacks_total 5"));
+        assert!(text.contains("pimsyn_gateway_eval_delta_layers_recomputed_total 120"));
     }
 
     #[test]

@@ -49,7 +49,16 @@ pub struct GatewayConfig {
     /// Suppress per-request log lines on stderr (the script-facing
     /// `listening on <addr>` line prints regardless).
     pub quiet: bool,
+    /// Interval between keep-alive frames on idle event streams. `None`
+    /// reads `PIMSYN_GATEWAY_HEARTBEAT_SECS` from the environment, falling
+    /// back to [`DEFAULT_HEARTBEAT`]; `Some(Duration::ZERO)` disables
+    /// heartbeats entirely.
+    pub heartbeat: Option<Duration>,
 }
+
+/// Default keep-alive interval for idle event streams: short enough that
+/// common reverse-proxy idle timeouts (30–60 s) never fire mid-job.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(15);
 
 impl GatewayConfig {
     /// An open, chatty gateway.
@@ -69,6 +78,26 @@ impl GatewayConfig {
     pub fn with_quiet(mut self, quiet: bool) -> Self {
         self.quiet = quiet;
         self
+    }
+
+    /// Sets the idle-stream keep-alive interval explicitly
+    /// (`Duration::ZERO` disables heartbeats).
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+
+    /// The effective heartbeat interval: the explicit setting, else the
+    /// `PIMSYN_GATEWAY_HEARTBEAT_SECS` environment variable (0 disables),
+    /// else [`DEFAULT_HEARTBEAT`].
+    fn heartbeat_interval(&self) -> Duration {
+        self.heartbeat.unwrap_or_else(|| {
+            std::env::var("PIMSYN_GATEWAY_HEARTBEAT_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map_or(DEFAULT_HEARTBEAT, Duration::from_secs)
+        })
     }
 }
 
@@ -109,24 +138,30 @@ struct JobSink {
     metrics: Arc<MetricsRegistry>,
     /// The latest evaluator-stats snapshot; the value at `Finished` time
     /// summarizes the job (stats are job-wide and monotonic).
-    last_stats: Mutex<Option<(u64, u64, u64)>>,
+    last_stats: Mutex<Option<[u64; 6]>>,
 }
 
 impl EventSink for JobSink {
     fn emit(&self, event: SynthesisEvent) {
         match &event {
             SynthesisEvent::EvaluatorStats { stats, .. } => {
-                *self.last_stats.lock().expect("job sink") = Some((
+                *self.last_stats.lock().expect("job sink") = Some([
                     stats.scored as u64,
                     stats.unique_evaluations as u64,
                     stats.cache_hits as u64,
-                ));
+                    stats.delta_hits as u64,
+                    stats.delta_fallbacks as u64,
+                    stats.layers_recomputed as u64,
+                ]);
             }
             SynthesisEvent::Finished { .. } => {
                 let latency = self.record.submitted.elapsed().as_secs_f64();
                 self.metrics.record_finished(&self.record.tenant, latency);
-                if let Some((scored, unique, hits)) = *self.last_stats.lock().expect("job sink") {
-                    self.metrics.record_eval_stats(scored, unique, hits);
+                if let Some([scored, unique, hits, delta_hits, fallbacks, layers]) =
+                    *self.last_stats.lock().expect("job sink")
+                {
+                    self.metrics
+                        .record_eval_stats(scored, unique, hits, delta_hits, fallbacks, layers);
                 }
             }
             _ => {}
@@ -144,6 +179,7 @@ struct GatewayShared {
     stop: AtomicBool,
     addr: SocketAddr,
     quiet: bool,
+    heartbeat: Duration,
 }
 
 impl GatewayShared {
@@ -179,6 +215,7 @@ where
     F: Fn(&mut SynthesisRequest) + Send + Sync + 'static,
 {
     let addr = listener.local_addr()?;
+    let heartbeat = config.heartbeat_interval();
     let shared = Arc::new(GatewayShared {
         service,
         configure: Box::new(configure),
@@ -188,6 +225,7 @@ where
         stop: AtomicBool::new(false),
         addr,
         quiet: config.quiet,
+        heartbeat,
     });
     // Unconditional: the script-facing bound-address line (see above).
     eprintln!("pimsyn gateway: listening on {addr}");
@@ -672,7 +710,9 @@ fn handle_metrics(shared: &GatewayShared) -> Outcome {
 
 /// Replays a job's event log from the start and follows it live until the
 /// job finishes. SSE frames by default; NDJSON lines with `?format=ndjson`
-/// (or `Accept: application/x-ndjson`).
+/// (or `Accept: application/x-ndjson`). Idle streams carry periodic
+/// keep-alive frames (SSE comments / `{"heartbeat":true}` lines) at the
+/// configured [`GatewayConfig::heartbeat`] interval.
 fn stream_events(
     shared: &GatewayShared,
     stream: &mut TcpStream,
@@ -693,6 +733,8 @@ fn stream_events(
         return;
     }
     shared.note(&format!("streaming events of job {id}"));
+    let heartbeat = shared.heartbeat;
+    let mut last_write = Instant::now();
     let mut cursor = 0usize;
     loop {
         let batch: Vec<SynthesisEvent> = {
@@ -700,18 +742,53 @@ fn stream_events(
             while events.len() == cursor
                 && shared.service.status_of(id) != Some(JobStatus::Finished)
             {
+                // Long-running stages emit nothing for a while; break out
+                // to send a keep-alive frame so proxies with idle timeouts
+                // don't sever the stream mid-job.
+                if !heartbeat.is_zero() && last_write.elapsed() >= heartbeat {
+                    break;
+                }
                 // A bounded wait so a job that finishes *without* a final
-                // event (cancelled while queued) still ends the stream.
+                // event (cancelled while queued) still ends the stream;
+                // capped below the heartbeat interval so short intervals
+                // (tests, aggressive proxies) are honored.
+                let mut tick = Duration::from_millis(100);
+                if !heartbeat.is_zero() {
+                    tick = tick.min(heartbeat);
+                }
                 let (guard, _) = record
                     .log
                     .grown
-                    .wait_timeout(events, Duration::from_millis(100))
+                    .wait_timeout(events, tick)
                     .expect("event log");
                 events = guard;
             }
             events[cursor..].to_vec()
         };
         cursor += batch.len();
+        if batch.is_empty()
+            && !heartbeat.is_zero()
+            && last_write.elapsed() >= heartbeat
+            && shared.service.status_of(id) != Some(JobStatus::Finished)
+        {
+            // SSE comment lines are ignored by `EventSource`; NDJSON
+            // consumers see a `{"heartbeat":true}` line to skip.
+            let written = if ndjson {
+                writeln!(
+                    stream,
+                    "{}",
+                    object(vec![("heartbeat", JsonValue::Bool(true))])
+                )
+            } else {
+                write!(stream, ": heartbeat\n\n")
+            };
+            if written.is_err() {
+                return; // subscriber hung up
+            }
+            let _ = stream.flush();
+            last_write = Instant::now();
+            continue;
+        }
         let mut finished = false;
         for event in &batch {
             finished |= matches!(event, SynthesisEvent::Finished { .. });
@@ -726,6 +803,9 @@ fn stream_events(
             }
         }
         let _ = stream.flush();
+        if !batch.is_empty() {
+            last_write = Instant::now();
+        }
         if finished
             || (batch.is_empty() && shared.service.status_of(id) == Some(JobStatus::Finished))
         {

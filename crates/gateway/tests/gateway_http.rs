@@ -54,6 +54,86 @@ fn json(body: &[u8]) -> JsonValue {
 
 const TINY_JOB: &str = r#"{"model": "alexnet-cifar", "power": 9, "seed": 7, "max_evals": 200}"#;
 
+/// A queued job's event stream is silent until the slot frees up; the
+/// gateway must keep such streams alive with periodic heartbeat frames
+/// (SSE comment lines / NDJSON `{"heartbeat":true}` objects) so reverse
+/// proxies with idle timeouts don't sever them, and heartbeats must never
+/// corrupt either framing.
+#[test]
+fn idle_event_streams_carry_heartbeats() {
+    let (handle, addr) = start_gateway(
+        GatewayConfig::new()
+            .with_quiet(true)
+            .with_heartbeat(std::time::Duration::from_millis(10)),
+        1,
+    );
+    // Fill the single slot's queue with enough work that the observed job
+    // stays queued — and its stream silent — for many heartbeat intervals.
+    const FILLER_JOB: &str =
+        r#"{"model": "vgg16-cifar", "power": 15, "seed": 3, "max_evals": 2000}"#;
+    for _ in 0..12 {
+        let (status, _, body) = request(&addr, "POST", "/v1/jobs", None, Some(FILLER_JOB));
+        assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    }
+    let (status, _, body) = request(&addr, "POST", "/v1/jobs", None, Some(TINY_JOB));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let queued = json(&body).get("id").and_then(JsonValue::as_usize).unwrap();
+
+    // Subscribe in both framings while the job is still queued; each read
+    // blocks until the stream completes (queue wait included).
+    let sse_addr = addr.clone();
+    let sse =
+        std::thread::spawn(move || get(&sse_addr, &format!("/v1/jobs/{queued}/events"), None));
+    let nd_addr = addr.clone();
+    let nd = std::thread::spawn(move || {
+        get(
+            &nd_addr,
+            &format!("/v1/jobs/{queued}/events?format=ndjson"),
+            None,
+        )
+    });
+
+    let (status, _, body) = sse.join().expect("sse subscriber");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).unwrap();
+    assert!(
+        text.contains(": heartbeat\n\n"),
+        "idle SSE stream must carry comment keep-alives: {text}"
+    );
+    assert!(text.contains("data: "), "{text}");
+    assert!(text.trim_end().ends_with("event: done\ndata: {}"), "{text}");
+
+    let (status, _, body) = nd.join().expect("ndjson subscriber");
+    assert_eq!(status, 200);
+    let lines: Vec<JsonValue> = std::str::from_utf8(&body)
+        .unwrap()
+        .lines()
+        .map(|l| JsonValue::parse(l).expect("every line stays valid JSON"))
+        .collect();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.get("heartbeat").and_then(JsonValue::as_bool) == Some(true)),
+        "idle NDJSON stream must carry heartbeat lines"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.get("type").and_then(JsonValue::as_str) == Some("finished")),
+        "real events must still arrive after heartbeats"
+    );
+    assert_eq!(
+        lines[lines.len() - 1]
+            .get("done")
+            .and_then(JsonValue::as_bool),
+        Some(true)
+    );
+
+    let (status, _, _) = request(&addr, "POST", "/v1/drain", None, None);
+    assert_eq!(status, 202);
+    handle.join().expect("gateway exits cleanly after drain");
+}
+
 /// Submit over raw HTTP, poll, block for the result, and compare it field
 /// by field (modulo `elapsed_s`) with a direct in-process run of the same
 /// payload; then stream the finished job's events in both framings.

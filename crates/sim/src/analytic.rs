@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use pimsyn_arch::{Architecture, Joules, Seconds};
+use pimsyn_arch::{Architecture, Joules, MacroGroup, Seconds, Watts};
 use pimsyn_ir::Dataflow;
 use pimsyn_model::Model;
 
@@ -292,32 +292,112 @@ pub fn evaluate_analytic_cached(
     evaluate_from_stages(model, df, arch, &stages)
 }
 
-/// The schedule / contention / report half of the analytic model, shared by
-/// the cached and uncached entry points so both produce identical floats.
-fn evaluate_from_stages(
-    model: &Model,
-    df: &Dataflow,
-    arch: &Architecture,
-    stages: &[LayerStages],
-) -> Result<SimReport, SimError> {
-    let n = stages.len();
+/// The pipeline schedule of one candidate: per-layer issue periods (after
+/// ADC-sharing contention), the limiting stage of each, and the start/finish
+/// instants of every layer's active window.
+///
+/// Produced by [`solve_pipeline`]; consumed by the full report assembly in
+/// [`evaluate_analytic`] and by delta evaluators that reassemble an
+/// [`AnalyticSummary`] from retained per-layer breakdowns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineSolution {
+    /// Block issue interval per layer, seconds.
+    pub periods: Vec<f64>,
+    /// The stage limiting each layer's period.
+    pub bottlenecks: Vec<StageKind>,
+    /// Pipeline start instant per layer, seconds.
+    pub starts: Vec<f64>,
+    /// Pipeline finish instant per layer, seconds.
+    pub finishes: Vec<f64>,
+}
 
+/// The handful of whole-accelerator numbers the DSE objectives consume,
+/// without the per-layer diagnostics a full [`SimReport`] carries. Delta
+/// evaluators reassemble this from a parent candidate's retained per-layer
+/// breakdown; the fields and derived metrics are float-identical to the
+/// corresponding [`SimReport`] fields by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticSummary {
+    /// End-to-end latency of one inference.
+    pub latency: Seconds,
+    /// Steady-state pipeline period (bottleneck layer's busy time).
+    pub steady_period: Seconds,
+    /// Index of the throughput-limiting layer.
+    pub bottleneck_layer: usize,
+    /// Sustained operations per second (2 x MACs / steady period).
+    pub throughput_ops: f64,
+    /// Realized total power.
+    pub power: Watts,
+    /// Energy per inference.
+    pub energy_per_image: Joules,
+}
+
+impl AnalyticSummary {
+    /// Effective power efficiency in TOPS/W — same expression as
+    /// [`SimReport::efficiency_tops_per_watt`].
+    pub fn efficiency_tops_per_watt(&self) -> f64 {
+        crate::metrics::efficiency_tops_per_watt(self.throughput_ops, self.power)
+    }
+
+    /// Energy-delay product in ms x mJ — same expression as
+    /// [`SimReport::edp_ms_mj`].
+    pub fn edp_ms_mj(&self) -> f64 {
+        crate::metrics::edp_ms_mj(self.latency, self.energy_per_image)
+    }
+}
+
+/// Solves the pipeline schedule for one candidate: first-pass periods from
+/// each layer's slowest stage, producer-fill start times, then the
+/// ADC-sharing contention pass over `groups` (re-scheduling when any period
+/// stretched). `groups` must be the candidate's macro groups in
+/// `Architecture::macro_groups` order.
+pub fn solve_pipeline(
+    df: &Dataflow,
+    stages: &[LayerStages],
+    groups: &[MacroGroup],
+) -> PipelineSolution {
+    let mut solution = PipelineSolution {
+        periods: Vec::new(),
+        bottlenecks: Vec::new(),
+        starts: Vec::new(),
+        finishes: Vec::new(),
+    };
+    solve_pipeline_into(df, stages, groups, &mut solution);
+    solution
+}
+
+/// [`solve_pipeline`] writing into a caller-owned solution so hot loops
+/// (delta rescoring) can reuse its buffers across candidates. Previous
+/// contents are discarded; the arithmetic is exactly [`solve_pipeline`]'s,
+/// so both entry points produce bit-identical solutions.
+pub fn solve_pipeline_into(
+    df: &Dataflow,
+    stages: &[LayerStages],
+    groups: &[MacroGroup],
+    out: &mut PipelineSolution,
+) {
     // First pass: periods, starts and finishes without sharing contention.
-    let mut periods: Vec<f64> = Vec::with_capacity(n);
-    let mut bottlenecks: Vec<StageKind> = Vec::with_capacity(n);
+    out.periods.clear();
+    out.bottlenecks.clear();
     for s in stages {
         let (p, k) = s.period();
-        periods.push(p);
-        bottlenecks.push(k);
+        out.periods.push(p);
+        out.bottlenecks.push(k);
     }
-    let (mut starts, mut finishes) = schedule(df, stages, &periods);
+    schedule_into(df, stages, &out.periods, &mut out.starts, &mut out.finishes);
 
     // Second pass: inter-layer ADC reuse. Layers sharing a macro group share
     // its physical ADC bank: when their active windows overlap, the bank
     // serves both, stretching whoever needs it (Fig. 5a shows the distance
-    // dependence of this penalty).
+    // dependence of this penalty). Candidates without sharing skip the pass
+    // outright (the loop below would leave `adjusted` untouched).
+    if !groups.iter().any(|g| g.members.len() >= 2) {
+        return;
+    }
+    let periods = &out.periods;
+    let (starts, finishes) = (&out.starts, &out.finishes);
     let mut adjusted = periods.clone();
-    for group in arch.macro_groups() {
+    for group in groups {
         if group.members.len() < 2 {
             continue;
         }
@@ -350,48 +430,79 @@ fn evaluate_from_stages(
                     let stretched_adc = demand_m * total / own_util.max(1e-30);
                     adjusted[m] = adjusted[m].max(stretched_adc);
                     if stretched_adc >= adjusted[m] {
-                        bottlenecks[m] = StageKind::Adc;
+                        out.bottlenecks[m] = StageKind::Adc;
                     }
                 }
             }
         }
     }
-    if adjusted != periods {
-        let (s2, f2) = schedule(df, stages, &adjusted);
-        starts = s2;
-        finishes = f2;
-        periods = adjusted;
+    if adjusted != out.periods {
+        schedule_into(df, stages, &adjusted, &mut out.starts, &mut out.finishes);
+        out.periods = adjusted;
     }
+}
 
-    let per_layer: Vec<LayerPerf> = (0..n)
-        .map(|i| LayerPerf {
-            layer: i,
-            period: Seconds(periods[i]),
-            busy: Seconds(df.program(i).blocks as f64 * periods[i]),
-            start: Seconds(starts[i]),
-            finish: Seconds(finishes[i]),
-            bottleneck: bottlenecks[i],
-        })
-        .collect();
-
-    let latency = finishes.iter().cloned().fold(0.0, f64::max);
+/// Reduces a solved pipeline to the whole-accelerator summary. `power` is
+/// the candidate's realized total power and `total_macs` the model's MAC
+/// count; both are inputs so delta evaluators can reuse memoized values.
+/// Float-identical to the corresponding [`SimReport`] fields.
+pub fn summarize_pipeline(
+    df: &Dataflow,
+    solution: &PipelineSolution,
+    power: Watts,
+    total_macs: u64,
+) -> AnalyticSummary {
+    let n = solution.periods.len();
+    let latency = solution.finishes.iter().cloned().fold(0.0, f64::max);
     let (bottleneck_layer, steady) = (0..n)
-        .map(|i| (i, df.program(i).blocks as f64 * periods[i]))
+        .map(|i| (i, df.program(i).blocks as f64 * solution.periods[i]))
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or((0, latency));
-
-    let power = arch.power_breakdown().total();
-    let macs = model.stats().total_macs as f64;
+    let macs = total_macs as f64;
     let throughput_ops = if steady > 0.0 {
         2.0 * macs / steady
     } else {
         0.0
     };
+    AnalyticSummary {
+        latency: Seconds(latency),
+        steady_period: Seconds(steady),
+        bottleneck_layer,
+        throughput_ops,
+        power,
+        energy_per_image: Joules(power.value() * latency),
+    }
+}
+
+/// The schedule / contention / report half of the analytic model, shared by
+/// the cached and uncached entry points so both produce identical floats.
+fn evaluate_from_stages(
+    model: &Model,
+    df: &Dataflow,
+    arch: &Architecture,
+    stages: &[LayerStages],
+) -> Result<SimReport, SimError> {
+    let n = stages.len();
+    let groups = arch.macro_groups();
+    let solution = solve_pipeline(df, stages, &groups);
+    let power = arch.power_breakdown().total();
+    let summary = summarize_pipeline(df, &solution, power, model.stats().total_macs);
+
+    let per_layer: Vec<LayerPerf> = (0..n)
+        .map(|i| LayerPerf {
+            layer: i,
+            period: Seconds(solution.periods[i]),
+            busy: Seconds(df.program(i).blocks as f64 * solution.periods[i]),
+            start: Seconds(solution.starts[i]),
+            finish: Seconds(solution.finishes[i]),
+            bottleneck: solution.bottlenecks[i],
+        })
+        .collect();
 
     // Estimated busy fractions: each class's occupancy per block over the
     // layer's period, weighted by the layer's share of the makespan.
-    let span = latency.max(1e-30);
-    let n_groups = arch.macro_groups().len().max(1) as f64;
+    let span = summary.latency.value().max(1e-30);
+    let n_groups = groups.len().max(1) as f64;
     let mut utilization = Utilization::default();
     for (i, s) in stages.iter().enumerate() {
         let blocks = df.program(i).blocks as f64;
@@ -402,12 +513,12 @@ fn evaluate_from_stages(
     }
 
     Ok(SimReport {
-        latency: Seconds(latency),
-        steady_period: Seconds(steady),
-        throughput_ops,
-        power,
-        energy_per_image: Joules(power.value() * latency),
-        bottleneck_layer,
+        latency: summary.latency,
+        steady_period: summary.steady_period,
+        throughput_ops: summary.throughput_ops,
+        power: summary.power,
+        energy_per_image: summary.energy_per_image,
+        bottleneck_layer: summary.bottleneck_layer,
         utilization,
         per_layer,
     })
@@ -416,10 +527,18 @@ fn evaluate_from_stages(
 /// Computes pipeline start/finish per layer: a layer starts once each
 /// producer has emitted the blocks its first block needs, and finishes after
 /// all its blocks plus the serial latency of the last one.
-fn schedule(df: &Dataflow, stages: &[LayerStages], periods: &[f64]) -> (Vec<f64>, Vec<f64>) {
+fn schedule_into(
+    df: &Dataflow,
+    stages: &[LayerStages],
+    periods: &[f64],
+    starts: &mut Vec<f64>,
+    finishes: &mut Vec<f64>,
+) {
     let n = stages.len();
-    let mut starts = vec![0.0f64; n];
-    let mut finishes = vec![0.0f64; n];
+    starts.clear();
+    starts.resize(n, 0.0);
+    finishes.clear();
+    finishes.resize(n, 0.0);
     for i in 0..n {
         let prog = df.program(i);
         let mut start: f64 = 0.0;
@@ -431,7 +550,6 @@ fn schedule(df: &Dataflow, stages: &[LayerStages], periods: &[f64]) -> (Vec<f64>
         starts[i] = start;
         finishes[i] = start + prog.blocks as f64 * periods[i] + stages[i].block_latency();
     }
-    (starts, finishes)
 }
 
 fn overlap_len(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {

@@ -42,12 +42,14 @@ mod metrics;
 mod stages;
 
 pub use analytic::{
-    efficiency_or_zero, evaluate_analytic, evaluate_analytic_cached, LayerCacheStats,
-    LayerCostCache, LayerCostKey,
+    efficiency_or_zero, evaluate_analytic, evaluate_analytic_cached, solve_pipeline,
+    solve_pipeline_into, summarize_pipeline, AnalyticSummary, LayerCacheStats, LayerCostCache,
+    LayerCostKey, PipelineSolution,
 };
 pub use engine::simulate;
 pub use error::SimError;
 pub use metrics::{LayerPerf, SimReport, StageKind, Utilization};
 pub use stages::{
-    compute_layer_base, compute_layer_dynamic, compute_stages, LayerBaseCosts, LayerStages,
+    assemble_stages, compute_layer_base, compute_layer_base_with, compute_layer_dynamic,
+    compute_layer_dynamic_with, compute_stages, LayerBaseCosts, LayerCostInputs, LayerStages,
 };

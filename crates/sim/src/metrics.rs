@@ -110,13 +110,25 @@ pub struct SimReport {
     pub per_layer: Vec<LayerPerf>,
 }
 
+/// Effective power efficiency in TOPS/W, shared by [`SimReport`] and the
+/// analytic summary so both compute the exact same float expression.
+pub(crate) fn efficiency_tops_per_watt(throughput_ops: f64, power: Watts) -> f64 {
+    if power.value() <= 0.0 {
+        return 0.0;
+    }
+    throughput_ops / 1e12 / power.value()
+}
+
+/// Energy-delay product in the paper's Table V unit (ms x mJ), shared by
+/// [`SimReport`] and the analytic summary.
+pub(crate) fn edp_ms_mj(latency: Seconds, energy_per_image: Joules) -> f64 {
+    latency.millis() * energy_per_image.value() * 1e3
+}
+
 impl SimReport {
     /// Effective power efficiency in TOPS/W (Fig. 6's left axis).
     pub fn efficiency_tops_per_watt(&self) -> f64 {
-        if self.power.value() <= 0.0 {
-            return 0.0;
-        }
-        self.throughput_ops / 1e12 / self.power.value()
+        efficiency_tops_per_watt(self.throughput_ops, self.power)
     }
 
     /// Throughput in TOPS (Fig. 6's right axis).
@@ -134,7 +146,7 @@ impl SimReport {
 
     /// Energy-delay product in the paper's Table V unit, ms x mJ.
     pub fn edp_ms_mj(&self) -> f64 {
-        self.latency.millis() * self.energy_per_image.value() * 1e3
+        edp_ms_mj(self.latency, self.energy_per_image)
     }
 }
 

@@ -6,7 +6,7 @@
 //! the largest per-block occupancy — the `min max` objective of the paper's
 //! Eq. (5).
 
-use pimsyn_arch::{Architecture, ScratchpadSpec};
+use pimsyn_arch::{AdcConfig, Architecture, HardwareParams, ScratchpadSpec};
 use pimsyn_ir::Dataflow;
 
 use crate::error::SimError;
@@ -99,6 +99,29 @@ pub struct LayerBaseCosts {
     pub store: f64,
 }
 
+/// The per-layer hardware facts [`compute_layer_base_with`] needs, decoupled
+/// from [`Architecture`] so delta evaluators can rescore a single layer from
+/// a candidate's component counts without materializing the whole
+/// architecture struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCostInputs {
+    /// Macros assigned to the layer (`MacAlloc` entry).
+    pub macros: usize,
+    /// ADC units effectively serving the layer (its own bank, or the
+    /// largest bank in its sharing group — see `Architecture::effective_adcs`).
+    pub effective_adcs: usize,
+    /// The layer's ADC configuration (decides the sample rate).
+    pub adc: AdcConfig,
+    /// Allocated shift-and-add units.
+    pub shift_add: usize,
+    /// Allocated pooling units.
+    pub pool: usize,
+    /// Allocated activation units.
+    pub activation: usize,
+    /// Allocated element-wise units.
+    pub eltwise: usize,
+}
+
 /// Computes the NoC-independent occupancies of layer `layer`.
 ///
 /// # Errors
@@ -118,13 +141,39 @@ pub fn compute_layer_base(
             dataflow: df.programs().len(),
         });
     }
-    let hw = &arch.hw;
+    let lh = &arch.layers[df.program(layer).layer];
+    let inputs = LayerCostInputs {
+        macros: lh.macros,
+        effective_adcs: arch.effective_adcs(df.program(layer).layer),
+        adc: lh.adc,
+        shift_add: lh.components.shift_add,
+        pool: lh.components.pool,
+        activation: lh.components.activation,
+        eltwise: lh.components.eltwise,
+    };
+    compute_layer_base_with(df, &arch.hw, layer, &inputs)
+}
+
+/// Computes the NoC-independent occupancies of layer `layer` from explicit
+/// per-layer hardware facts instead of a full [`Architecture`]. This is the
+/// single implementation behind [`compute_layer_base`]; both paths produce
+/// bit-identical floats by construction.
+///
+/// # Errors
+///
+/// [`SimError::MissingComponent`] if the layer has workload for a component
+/// family with zero allocated units.
+pub fn compute_layer_base_with(
+    df: &Dataflow,
+    hw: &HardwareParams,
+    layer: usize,
+    inputs: &LayerCostInputs,
+) -> Result<LayerBaseCosts, SimError> {
     let spm = ScratchpadSpec::from_params(hw);
     let act_bytes = (df.activation_bits() as usize).div_ceil(8);
     let clock = hw.clock.value();
     let prog = df.program(layer);
-    let lh = &arch.layers[prog.layer];
-    let n_mac = lh.macros.max(1) as f64;
+    let n_mac = inputs.macros.max(1) as f64;
     let spm_bw = spm.bandwidth() * n_mac;
 
     let load_bytes = prog.load_elems * act_bytes;
@@ -132,17 +181,17 @@ pub fn compute_layer_base(
 
     let mvm_bit = hw.mvm_latency.value();
 
-    let adc_units = arch.effective_adcs(prog.layer);
+    let adc_units = inputs.effective_adcs;
     if prog.adc_samples > 0 && adc_units == 0 {
         return Err(SimError::MissingComponent {
             layer: prog.layer,
             component: "adc",
         });
     }
-    let adc_rate = lh.adc.sample_rate(hw).value();
+    let adc_rate = inputs.adc.sample_rate(hw).value();
     let adc_bit = prog.adc_samples as f64 / (adc_units.max(1) as f64 * adc_rate);
 
-    let sa_units = lh.components.shift_add;
+    let sa_units = inputs.shift_add;
     if prog.shift_add_ops > 0 && sa_units == 0 {
         return Err(SimError::MissingComponent {
             layer: prog.layer,
@@ -153,9 +202,9 @@ pub fn compute_layer_base(
 
     let mut post = 0.0;
     for (ops, units, component) in [
-        (prog.act_ops, lh.components.activation, "activation"),
-        (prog.pool_ops, lh.components.pool, "pool"),
-        (prog.eltwise_ops, lh.components.eltwise, "eltwise"),
+        (prog.act_ops, inputs.activation, "activation"),
+        (prog.pool_ops, inputs.pool, "pool"),
+        (prog.eltwise_ops, inputs.eltwise, "eltwise"),
     ] {
         if ops > 0 {
             if units == 0 {
@@ -198,15 +247,38 @@ pub fn compute_layer_dynamic(
     layer: usize,
     noc: &pimsyn_arch::NocConfig,
 ) -> (f64, f64) {
-    let hw = &arch.hw;
+    let prog_layer = df.program(layer).layer;
+    compute_layer_dynamic_with(
+        df,
+        &arch.hw,
+        layer,
+        arch.layers[prog_layer].macros,
+        |l| arch.layers[l].shares_macros_with.unwrap_or(l),
+        noc,
+    )
+}
+
+/// Computes the NoC-dependent `(merge, transfer)` occupancies of layer
+/// `layer` from an explicit macro count and macro-group root lookup instead
+/// of a full [`Architecture`]. This is the single implementation behind
+/// [`compute_layer_dynamic`]; both paths produce bit-identical floats by
+/// construction. `root_of(l)` must return the macro-group root of layer `l`
+/// (the layer itself when it shares with nobody).
+pub fn compute_layer_dynamic_with(
+    df: &Dataflow,
+    hw: &HardwareParams,
+    layer: usize,
+    macros: usize,
+    root_of: impl Fn(usize) -> usize,
+    noc: &pimsyn_arch::NocConfig,
+) -> (f64, f64) {
     let act_bytes = (df.activation_bits() as usize).div_ceil(8);
     let prog = df.program(layer);
-    let lh = &arch.layers[prog.layer];
-    let n_mac = lh.macros.max(1) as f64;
+    let n_mac = macros.max(1) as f64;
 
     // Partial sums cross macros only when the layer both splits its
     // filter rows and spans multiple macros.
-    let merge = if prog.row_groups > 1 && lh.macros > 1 {
+    let merge = if prog.row_groups > 1 && macros > 1 {
         let frac = (prog.row_groups - 1) as f64 / prog.row_groups as f64;
         let bytes = prog.store_elems as f64 * PARTIAL_SUM_BYTES as f64 * frac;
         bytes / (noc.link_bandwidth() * n_mac) + 2.0 * hw.noc_hop_latency.value()
@@ -217,11 +289,8 @@ pub fn compute_layer_dynamic(
     let store_bytes = prog.store_elems * act_bytes;
     // Activations travel the NoC unless every consumer lives in the same
     // macro group.
-    let my_group = lh.shares_macros_with.unwrap_or(prog.layer);
-    let needs_transfer = prog.consumers.iter().any(|&c| {
-        let cg = arch.layers[c].shares_macros_with.unwrap_or(c);
-        cg != my_group
-    });
+    let my_group = root_of(prog.layer);
+    let needs_transfer = prog.consumers.iter().any(|&c| root_of(c) != my_group);
     let transfer = if needs_transfer {
         store_bytes as f64 / (noc.link_bandwidth() * n_mac)
             + noc.average_hops() * hw.noc_hop_latency.value()
@@ -233,7 +302,7 @@ pub fn compute_layer_dynamic(
 }
 
 /// Assembles full [`LayerStages`] from the two halves.
-pub(crate) fn assemble_stages(base: LayerBaseCosts, merge: f64, transfer: f64) -> LayerStages {
+pub fn assemble_stages(base: LayerBaseCosts, merge: f64, transfer: f64) -> LayerStages {
     LayerStages {
         bits: base.bits,
         load: base.load,

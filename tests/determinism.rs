@@ -184,6 +184,114 @@ fn persistent_cache_warm_start_is_transparent() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Seeded randomized mutation walks: starting from a baseline gene, each
+/// step applies one EA-style mutation (one `mutate_num`, sometimes plus one
+/// `mutate_share`) and scores the child against its parent through the
+/// delta engine. Every step must be bit-identical to a delta-free
+/// evaluator's full scoring, and the walk must actually exercise the delta
+/// path (not just fall back throughout).
+#[test]
+fn delta_rescoring_is_bit_identical_on_mutation_walks() {
+    use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode};
+    use pimsyn_dse::{CandidateEvaluator, DesignPoint, ExploreContext, MacAllocGene, Objective};
+    use pimsyn_ir::Dataflow;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let cases = [
+        (zoo::alexnet_cifar(10), Watts(9.0)),
+        (zoo::vgg16_cifar(10), Watts(15.0)),
+    ];
+    let hw = HardwareParams::date24();
+    for (model, power) in &cases {
+        let l = model.weight_layer_count();
+        let xb = CrossbarConfig::new(128, 2).unwrap();
+        let dac = DacConfig::new(1).unwrap();
+        let dup = vec![2; l];
+        let df = Dataflow::compile(model, xb, dac, &dup).unwrap();
+        let point = DesignPoint {
+            ratio_rram: 0.3,
+            crossbar: xb,
+        };
+        let caps: Vec<usize> = df
+            .programs()
+            .iter()
+            .map(|p| (p.wt_dup * p.row_groups).clamp(1, 64))
+            .collect();
+        for seed in [7u64, 21] {
+            let delta = CandidateEvaluator::new(
+                model,
+                *power,
+                &hw,
+                MacroMode::Specialized,
+                Objective::PowerEfficiency,
+                EvalCacheConfig::disabled().with_delta(true),
+            );
+            let full = CandidateEvaluator::new(
+                model,
+                *power,
+                &hw,
+                MacroMode::Specialized,
+                Objective::PowerEfficiency,
+                EvalCacheConfig::disabled(),
+            );
+            let ctx = ExploreContext::unobserved();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut macros = vec![1usize; l];
+            let mut shares: Vec<Option<usize>> = vec![None; l];
+            let mut parent = MacAllocGene::encode(&macros, &shares);
+            // Self-parented first score: a fallback that seeds retention.
+            let a = delta.score_with_parent(&df, point, &parent, Some(&parent), &ctx);
+            let b = full.score(&df, point, &parent, &ctx);
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+            for step in 0..40 {
+                // One mutate_num, sometimes plus one mutate_share — the
+                // exact per-child diff the EA hot loop produces.
+                let i = rng.gen_range(0..l);
+                macros[i] = rng.gen_range(1..=caps[i]);
+                if rng.gen_bool(0.3) {
+                    let i = rng.gen_range(1..l);
+                    if shares[i].is_some() {
+                        shares[i] = None;
+                    } else {
+                        let taken: Vec<usize> = shares.iter().flatten().copied().collect();
+                        let candidates: Vec<usize> = (0..i)
+                            .filter(|j| shares[*j].is_none() && !taken.contains(j))
+                            .collect();
+                        if !candidates.is_empty() {
+                            shares[i] = Some(candidates[rng.gen_range(0..candidates.len())]);
+                        }
+                    }
+                }
+                let child = MacAllocGene::encode(&macros, &shares);
+                let d = delta.score_with_parent(&df, point, &child, Some(&parent), &ctx);
+                let f = full.score(&df, point, &child, &ctx);
+                assert_eq!(
+                    d.fitness.to_bits(),
+                    f.fitness.to_bits(),
+                    "{model} seed {seed} step {step}"
+                );
+                assert_eq!(d.feasible, f.feasible, "{model} seed {seed} step {step}");
+                parent = child;
+            }
+            let stats = delta.stats();
+            assert!(
+                stats.delta_hits > 0,
+                "{model} seed {seed}: walk never exercised the delta path \
+                 ({} fallbacks)",
+                stats.delta_fallbacks
+            );
+            assert_eq!(
+                stats.delta_hits + stats.delta_fallbacks,
+                41,
+                "{model} seed {seed}: every parented score is a hit or a fallback"
+            );
+            assert_eq!(full.stats().delta_hits, 0);
+            assert_eq!(full.stats().delta_fallbacks, 0);
+        }
+    }
+}
+
 #[test]
 fn parallel_equals_serial() {
     let model = zoo::alexnet_cifar(10);
