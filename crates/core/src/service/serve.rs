@@ -242,6 +242,9 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                     logs.insert(id, log);
                     drop(logs);
                     shared.note(&format!("job {id} submitted"));
+                    if let Some(line) = fleet_summary(&shared.service) {
+                        shared.note(&line);
+                    }
                     reply(&mut stream, &wire::submit_reply(id));
                 }
                 Err(e @ ServiceError::QueueFull { .. }) => reply(
@@ -307,6 +310,9 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
             // connections keep being served throughout the drain.
             shared.service.drain();
             shared.note("drained");
+            if let Some(line) = fleet_summary(&shared.service) {
+                shared.note(&line);
+            }
             shared.stop.store(true, Ordering::SeqCst);
             crate::worker::poke_listener(shared.addr);
         }
@@ -319,6 +325,38 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
             crate::worker::poke_listener(shared.addr);
         }
     }
+}
+
+/// One stderr line summarizing the daemon's remote worker fleet: endpoint
+/// count, live/idle persistent connections, lifetime dials, and the last
+/// negotiated protocol version per endpoint. `None` until a remote backend
+/// has materialized the shared pool (inline/threads/subprocess daemons stay
+/// silent — there is no fleet to summarize).
+fn fleet_summary(service: &SynthesisService) -> Option<String> {
+    let fleet = service.shared_resources().remote_fleet()?;
+    let mut line = format!(
+        "fleet: {} endpoints, {} live + {} idle connections, {} dials",
+        fleet.endpoints.len(),
+        fleet.live_connections,
+        fleet.idle_connections,
+        fleet.connects
+    );
+    for endpoint in &fleet.endpoints {
+        let proto = match endpoint.protocol {
+            0 => "v?".to_string(),
+            v => format!("v{v}"),
+        };
+        let origin = if endpoint.discovered {
+            "registry"
+        } else {
+            "static"
+        };
+        line.push_str(&format!(
+            "; {} [{origin} {proto}, {} live]",
+            endpoint.addr, endpoint.live
+        ));
+    }
+    Some(line)
 }
 
 /// Replays a job's event log from the start and follows it live until the

@@ -32,13 +32,17 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+use crate::service::registry;
 
 use pimsyn_arch::{hardware_config, CrossbarConfig, DacConfig, Watts};
 use pimsyn_dse::backend::protocol::{
-    bye_line, error_line, parse_bye, parse_handshake, ready_line, stop_line, welcome_line,
-    ScoreResponse, TcpHandshake, WorkerInit, WorkerRequest, NO_FREE_SLOTS,
+    bye_line, decode_score_batch, encode_score_reply, error_line, parse_bye, parse_handshake,
+    peer_max_version, read_frame, ready_line, ready_line_with_max, stop_line, welcome_line,
+    write_frame, ScoreResponse, TcpHandshake, WorkerInit, WorkerRequest, FRAME_ERROR,
+    FRAME_SCORE_BATCH, FRAME_SCORE_REPLY, NO_FREE_SLOTS, PROTOCOL_VERSION, PROTOCOL_VERSION_MAX,
 };
 use pimsyn_dse::{CandidateScore, DesignPoint, EvalCacheConfig, EvalCore, MacAllocGene};
 use pimsyn_ir::Dataflow;
@@ -48,37 +52,107 @@ use pimsyn_model::onnx;
 /// wt_dup)` — everything `Dataflow::compile` consumes besides the model.
 type DataflowKey = (usize, u32, u32, Vec<usize>);
 
-/// Serves one worker session over the given streams; returns the protocol
-/// error that ended it, if any. Repeated `init` messages re-open the
-/// session with new run parameters (each acknowledged by its own `ready`
-/// line).
+/// One inbound protocol unit, distinguished by peeking the first byte: a
+/// JSON line starts with `{`, a v2 binary frame with a frame-kind byte
+/// (which never collides with `{`).
+enum Incoming {
+    /// The transport closed cleanly.
+    Eof,
+    /// One JSON protocol line (init, or a v1 score request).
+    Line(String),
+    /// One v2 binary frame.
+    Frame(u8, Vec<u8>),
+}
+
+/// Reads the next protocol unit. Frames are only recognized when
+/// `allow_frames` is set (a negotiated v2 session); otherwise every byte
+/// stream is treated as JSON lines, exactly like a v1-only build.
+fn read_incoming(input: &mut impl BufRead, allow_frames: bool) -> Result<Incoming, String> {
+    loop {
+        let first = {
+            let buf = input
+                .fill_buf()
+                .map_err(|e| format!("stdin read failed: {e}"))?;
+            if buf.is_empty() {
+                return Ok(Incoming::Eof);
+            }
+            buf[0]
+        };
+        if allow_frames && matches!(first, FRAME_SCORE_BATCH | FRAME_SCORE_REPLY | FRAME_ERROR) {
+            let (kind, payload) =
+                read_frame(input).map_err(|e| format!("frame read failed: {e}"))?;
+            return Ok(Incoming::Frame(kind, payload));
+        }
+        let mut line = String::new();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| format!("stdin read failed: {e}"))?;
+        if n == 0 {
+            return Ok(Incoming::Eof);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return Ok(Incoming::Line(line));
+    }
+}
+
+/// Serves one worker session over the given streams at the newest protocol
+/// version this build speaks; returns the protocol error that ended it, if
+/// any. Repeated `init` messages re-open the session with new run
+/// parameters (each acknowledged by its own `ready` line).
 ///
 /// # Errors
 ///
 /// A human-readable message (already reported to the peer as an `error`
-/// line) for malformed messages or an un-ingestable init payload.
-pub fn run_worker(input: impl BufRead, mut output: impl Write) -> Result<(), String> {
+/// line or frame) for malformed messages or an un-ingestable init payload.
+pub fn run_worker(input: impl BufRead, output: impl Write) -> Result<(), String> {
+    run_worker_with(input, output, PROTOCOL_VERSION_MAX)
+}
+
+/// [`run_worker`] capped at `max_version`: sessions negotiate down to at
+/// most this protocol version. `max_version = 1` reproduces a v1-only
+/// build bit-for-bit (plain `ready` lines, JSON score lines only) — used
+/// by downgrade tests and the v1-vs-v2 bench.
+///
+/// # Errors
+///
+/// Same as [`run_worker`].
+pub fn run_worker_with(
+    mut input: impl BufRead,
+    mut output: impl Write,
+    max_version: u32,
+) -> Result<(), String> {
     let fail = |output: &mut dyn Write, detail: String| -> Result<(), String> {
         let _ = writeln!(output, "{}", error_line(&detail));
         let _ = output.flush();
         Err(detail)
     };
+    // In a v2 session the peer reads frames, so errors must travel as an
+    // error *frame* — a JSON error line would be misread as a frame header.
+    let fail_frame = |output: &mut dyn Write, detail: String| -> Result<(), String> {
+        let _ = write_frame(output, FRAME_ERROR, detail.as_bytes());
+        let _ = output.flush();
+        Err(detail)
+    };
+    let own_max = max_version.clamp(PROTOCOL_VERSION, PROTOCOL_VERSION_MAX);
 
-    let mut lines = input.lines();
-    let first = match lines.next() {
-        Some(Ok(line)) => line,
-        Some(Err(e)) => return Err(format!("stdin read failed: {e}")),
-        None => return Ok(()), // empty session: nothing to do
+    // The first message is a JSON init line in every protocol version.
+    let first = match read_incoming(&mut input, false)? {
+        Incoming::Eof => return Ok(()), // empty session: nothing to do
+        Incoming::Line(line) => line,
+        Incoming::Frame(..) => unreachable!("frames are not recognized before init"),
     };
     let mut pending = match WorkerRequest::parse(first.trim()) {
-        Ok(WorkerRequest::Init(init)) => Some(init),
+        Ok(WorkerRequest::Init(init)) => Some((init, peer_max_version(first.trim()))),
         Ok(_) => return fail(&mut output, "first message must be `init`".to_string()),
         Err(e) => return fail(&mut output, e),
     };
 
     // One iteration per session: ingest the init, acknowledge, then score
     // until stdin closes or another init re-opens the session.
-    while let Some(init) = pending.take() {
+    while let Some((init, peer_max)) = pending.take() {
+        let version = peer_max.min(own_max);
         let WorkerInit {
             model_json,
             hw_json,
@@ -102,7 +176,14 @@ pub fn run_worker(input: impl BufRead, mut output: impl Write) -> Result<(), Str
             objective,
             EvalCacheConfig::default(),
         );
-        writeln!(output, "{}", ready_line()).map_err(|e| format!("stdout write failed: {e}"))?;
+        // A v1 peer (or a v1-capped build) gets the plain v1 ready; a v2
+        // session acknowledges with the negotiated version.
+        let ack = if version >= 2 {
+            ready_line_with_max(version)
+        } else {
+            ready_line()
+        };
+        writeln!(output, "{ack}").map_err(|e| format!("stdout write failed: {e}"))?;
         output
             .flush()
             .map_err(|e| format!("stdout flush failed: {e}"))?;
@@ -110,51 +191,102 @@ pub fn run_worker(input: impl BufRead, mut output: impl Write) -> Result<(), Str
         // Requests of one batch share a dataflow; cache the last compiled
         // one (per session — the model changed, so it cannot carry over).
         let mut compiled: Option<(DataflowKey, Dataflow)> = None;
-        for line in &mut lines {
-            let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let request = match WorkerRequest::parse(line.trim()) {
-                Ok(WorkerRequest::Score(r)) => r,
-                Ok(WorkerRequest::Init(next)) => {
-                    // Session re-open: a new run leased this process.
-                    pending = Some(next);
-                    break;
-                }
-                Err(e) => return fail(&mut output, e),
-            };
-            let score = (|| -> Option<CandidateScore> {
-                let crossbar = CrossbarConfig::new(request.xb_size, request.cell_bits).ok()?;
-                let dac = DacConfig::new(request.dac_bits).ok()?;
-                let df_key = (
-                    request.xb_size,
-                    request.cell_bits,
-                    request.dac_bits,
-                    request.wt_dup.clone(),
-                );
+        // Scores one candidate through the same pipeline as in-process
+        // evaluation; anything uncompilable is INFEASIBLE, never an error.
+        let score_one = |compiled: &mut Option<(DataflowKey, Dataflow)>,
+                         ratio_bits: u64,
+                         xb_size: usize,
+                         cell_bits: u32,
+                         dac_bits: u32,
+                         wt_dup: Vec<usize>,
+                         gene: Vec<u32>|
+         -> CandidateScore {
+            (|| -> Option<CandidateScore> {
+                let crossbar = CrossbarConfig::new(xb_size, cell_bits).ok()?;
+                let dac = DacConfig::new(dac_bits).ok()?;
+                let df_key = (xb_size, cell_bits, dac_bits, wt_dup);
                 if compiled.as_ref().map(|(k, _)| k) != Some(&df_key) {
-                    let df = Dataflow::compile(&model, crossbar, dac, &request.wt_dup).ok()?;
-                    compiled = Some((df_key, df));
+                    let df = Dataflow::compile(&model, crossbar, dac, &df_key.3).ok()?;
+                    *compiled = Some((df_key, df));
                 }
                 let (_, df) = compiled.as_ref().expect("just compiled");
-                let gene = MacAllocGene::from_raw(request.gene.clone()).ok()?;
+                let gene = MacAllocGene::from_raw(gene).ok()?;
                 let point = DesignPoint {
-                    ratio_rram: f64::from_bits(request.ratio_bits),
+                    ratio_rram: f64::from_bits(ratio_bits),
                     crossbar,
                 };
                 Some(core.score(df, point, &gene))
             })()
-            .unwrap_or(CandidateScore::INFEASIBLE);
-            let response = ScoreResponse {
-                id: request.id,
-                score,
-            };
-            writeln!(output, "{}", response.to_line())
-                .map_err(|e| format!("stdout write failed: {e}"))?;
-            output
-                .flush()
-                .map_err(|e| format!("stdout flush failed: {e}"))?;
+            .unwrap_or(CandidateScore::INFEASIBLE)
+        };
+        loop {
+            match read_incoming(&mut input, version >= 2)? {
+                Incoming::Eof => break,
+                Incoming::Line(line) => {
+                    match WorkerRequest::parse(line.trim()) {
+                        Ok(WorkerRequest::Score(request)) => {
+                            let score = score_one(
+                                &mut compiled,
+                                request.ratio_bits,
+                                request.xb_size,
+                                request.cell_bits,
+                                request.dac_bits,
+                                request.wt_dup,
+                                request.gene,
+                            );
+                            let response = ScoreResponse {
+                                id: request.id,
+                                score,
+                            };
+                            writeln!(output, "{}", response.to_line())
+                                .map_err(|e| format!("stdout write failed: {e}"))?;
+                            output
+                                .flush()
+                                .map_err(|e| format!("stdout flush failed: {e}"))?;
+                        }
+                        Ok(WorkerRequest::Init(next)) => {
+                            // Session re-open: a new run leased this
+                            // process. The re-init renegotiates the
+                            // version (the new run may be a v1 client).
+                            pending = Some((next, peer_max_version(line.trim())));
+                            break;
+                        }
+                        Err(e) => return fail(&mut output, e),
+                    }
+                }
+                Incoming::Frame(FRAME_SCORE_BATCH, payload) => {
+                    let (id_base, items) = match decode_score_batch(&payload) {
+                        Ok(batch) => batch,
+                        Err(e) => return fail_frame(&mut output, e),
+                    };
+                    let scores: Vec<CandidateScore> = items
+                        .into_iter()
+                        .map(|item| {
+                            score_one(
+                                &mut compiled,
+                                item.ratio_bits,
+                                item.xb_size as usize,
+                                item.cell_bits,
+                                item.dac_bits,
+                                item.wt_dup.into_iter().map(|d| d as usize).collect(),
+                                item.gene,
+                            )
+                        })
+                        .collect();
+                    write_frame(
+                        &mut output,
+                        FRAME_SCORE_REPLY,
+                        &encode_score_reply(id_base, &scores),
+                    )
+                    .map_err(|e| format!("stdout write failed: {e}"))?;
+                    output
+                        .flush()
+                        .map_err(|e| format!("stdout flush failed: {e}"))?;
+                }
+                Incoming::Frame(kind, _) => {
+                    return fail_frame(&mut output, format!("unexpected frame kind 0x{kind:02x}"))
+                }
+            }
         }
     }
     Ok(())
@@ -184,6 +316,15 @@ pub struct WorkerServeConfig {
     /// <addr>` startup line prints regardless — it is the script-facing
     /// way to learn the bound port when listening on port 0.
     pub quiet: bool,
+    /// Cap on the negotiated worker protocol version (`None` = the newest
+    /// this build speaks). `Some(1)` reproduces a v1-only daemon — for
+    /// downgrade tests and the v1-vs-v2 bench.
+    pub protocol_max: Option<u32>,
+    /// A worker registry (`HOST:PORT` of a `pimsyn serve`/`pimsyn gateway`
+    /// started with `--worker-registry`) to announce this daemon to. While
+    /// serving, a background thread keeps the registration alive with
+    /// heartbeats and deregisters gracefully when the daemon stops.
+    pub announce: Option<String>,
 }
 
 impl WorkerServeConfig {
@@ -221,6 +362,7 @@ struct WorkerServeState {
     token: Option<String>,
     quiet: bool,
     addr: SocketAddr,
+    protocol_max: u32,
     active: AtomicUsize,
     stop: AtomicBool,
 }
@@ -282,14 +424,28 @@ pub fn serve_workers(listener: TcpListener, config: WorkerServeConfig) -> std::i
     let addr = listener.local_addr()?;
     let state = Arc::new(WorkerServeState {
         slots: config.resolved_slots(),
-        token: config.token,
+        token: config.token.clone(),
         quiet: config.quiet,
         addr,
+        protocol_max: config
+            .protocol_max
+            .unwrap_or(PROTOCOL_VERSION_MAX)
+            .clamp(PROTOCOL_VERSION, PROTOCOL_VERSION_MAX),
         active: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
     });
     // Unconditional: the script-facing bound-address line (see above).
     eprintln!("pimsyn worker-serve: listening on {addr}");
+    let announcer = config.announce.map(|registry| {
+        start_announcer(
+            registry,
+            config.token,
+            addr,
+            state.slots,
+            state.protocol_max,
+            config.quiet,
+        )
+    });
     for stream in listener.incoming() {
         if state.stop.load(Ordering::SeqCst) {
             break;
@@ -298,8 +454,181 @@ pub fn serve_workers(listener: TcpListener, config: WorkerServeConfig) -> std::i
         let state = Arc::clone(&state);
         std::thread::spawn(move || handle_worker_connection(&state, stream));
     }
+    if let Some(announcer) = announcer {
+        announcer.stop(); // deregisters gracefully (a drain message)
+    }
     state.note("stopped");
     Ok(())
+}
+
+/// Bounded dial for the registry announce path, matching the remote
+/// backend's own connect timeout.
+const ANNOUNCE_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long the announcer waits for the registry's replies.
+const ANNOUNCE_REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long the announcer waits before redialing a registry it cannot
+/// reach (or that hung up on it).
+const ANNOUNCE_REDIAL_BACKOFF: Duration = Duration::from_secs(2);
+
+/// Handle to the registry-announce thread of a worker daemon.
+struct Announcer {
+    tx: mpsc::Sender<()>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Announcer {
+    /// Signals the announce thread to deregister (a graceful `drain`
+    /// message) and waits for it to finish.
+    fn stop(self) {
+        let _ = self.tx.send(());
+        let _ = self.thread.join();
+    }
+}
+
+/// Starts the background thread that keeps this daemon registered with a
+/// worker registry: announce once, heartbeat at the registry-assigned
+/// interval, redial with backoff on connection loss, deregister on stop.
+fn start_announcer(
+    registry: String,
+    token: Option<String>,
+    listen: SocketAddr,
+    slots: usize,
+    protocol_max: u32,
+    quiet: bool,
+) -> Announcer {
+    let (tx, rx) = mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        run_announcer(
+            &registry,
+            token.as_deref(),
+            listen,
+            slots,
+            protocol_max,
+            quiet,
+            &rx,
+        );
+    });
+    Announcer { tx, thread }
+}
+
+/// Dials the registry and announces this daemon. Returns the open
+/// connection (heartbeats reuse it), the address that was advertised, and
+/// the registry-assigned heartbeat interval.
+fn announce_once(
+    registry: &str,
+    token: Option<&str>,
+    listen: SocketAddr,
+    slots: usize,
+    protocol_max: u32,
+) -> Result<(TcpStream, String, Duration), String> {
+    let mut stream = pimsyn_dse::backend::dial_bounded(registry, ANNOUNCE_CONNECT_TIMEOUT)?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ANNOUNCE_REPLY_TIMEOUT));
+    // A daemon listening on a wildcard address advertises the concrete
+    // interface this very connection reached the registry over — the one
+    // address the registry's service is known to be able to dial back.
+    let mut advertised = listen;
+    if advertised.ip().is_unspecified() {
+        let local = stream
+            .local_addr()
+            .map_err(|e| format!("cannot resolve the announce source address: {e}"))?;
+        advertised.set_ip(local.ip());
+    }
+    let advertised = advertised.to_string();
+    writeln!(
+        stream,
+        "{}",
+        registry::announce_line(&advertised, slots, protocol_max, token)
+    )
+    .and_then(|()| stream.flush())
+    .map_err(|e| format!("cannot announce to {registry}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone the registry stream: {e}"))?,
+    );
+    let mut line = String::new();
+    let interval = match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => match registry::parse_registry_reply(line.trim())? {
+            registry::RegistryReply::Registered { interval } => interval,
+            registry::RegistryReply::Bye => {
+                return Err(format!("{registry} answered an announce with a bye"))
+            }
+        },
+        Ok(_) => return Err(format!("{registry} closed the connection without replying")),
+        Err(e) => {
+            return Err(format!(
+                "cannot read the announce reply from {registry}: {e}"
+            ))
+        }
+    };
+    Ok((stream, advertised, interval))
+}
+
+/// The announce thread body: keep one registration alive until `stop`
+/// fires, then deregister gracefully.
+fn run_announcer(
+    registry: &str,
+    token: Option<&str>,
+    listen: SocketAddr,
+    slots: usize,
+    protocol_max: u32,
+    quiet: bool,
+    stop: &mpsc::Receiver<()>,
+) {
+    let note = |message: &str| {
+        if !quiet {
+            eprintln!("pimsyn worker-serve: {message}");
+        }
+    };
+    loop {
+        match announce_once(registry, token, listen, slots, protocol_max) {
+            Ok((mut stream, advertised, interval)) => {
+                note(&format!(
+                    "announced {advertised} to registry {registry} (heartbeat every {}s)",
+                    interval.as_secs().max(1)
+                ));
+                loop {
+                    match stop.recv_timeout(interval) {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            let beat =
+                                registry::heartbeat_line(&advertised, slots, protocol_max, token);
+                            if writeln!(stream, "{beat}")
+                                .and_then(|()| stream.flush())
+                                .is_err()
+                            {
+                                note("lost the registry connection; redialing");
+                                break; // back to the outer redial loop
+                            }
+                        }
+                        _ => {
+                            // Graceful deregistration; the reply is read
+                            // best-effort — the daemon is exiting anyway.
+                            let _ =
+                                writeln!(stream, "{}", registry::drain_line(&advertised, token))
+                                    .and_then(|()| stream.flush());
+                            let mut reader = BufReader::new(&stream);
+                            let mut line = String::new();
+                            let _ = reader.read_line(&mut line);
+                            note("deregistered from the registry");
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                note(&format!("registry announce failed: {e}; retrying"));
+                if !matches!(
+                    stop.recv_timeout(ANNOUNCE_REDIAL_BACKOFF),
+                    Err(mpsc::RecvTimeoutError::Timeout)
+                ) {
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Decrements the active-session counter even if the session panics.
@@ -368,7 +697,7 @@ fn handle_worker_connection(state: &Arc<WorkerServeState>, mut stream: TcpStream
             // peer must not pin this slot forever.
             let _ = stream.set_read_timeout(Some(SESSION_IDLE_TIMEOUT));
             state.note("session opened");
-            let _ = run_worker(reader, &mut stream);
+            let _ = run_worker_with(reader, &mut stream, state.protocol_max);
             state.note("session closed");
         }
     }

@@ -36,7 +36,7 @@ mod threads;
 
 pub use inline::InlineBackend;
 pub use persist::{CacheSnapshot, PersistentEvalCache, EVAL_CACHE_SCHEMA};
-pub use remote::RemoteBackend;
+pub use remote::{RemoteBackend, RemoteEndpointStatus, RemoteFleetSnapshot, RemotePool};
 pub use shared::SharedEvalResources;
 pub use subprocess::{SubprocessBackend, WorkerPool};
 pub use threads::ThreadPoolBackend;
@@ -90,6 +90,20 @@ pub type StopCheck<'a> = &'a (dyn Fn() -> bool + Sync);
 /// A [`StopCheck`] that never stops (for callers outside a cancellable
 /// context).
 pub const NEVER_STOP: StopCheck<'static> = &|| false;
+
+/// A dynamic source of remote worker endpoints (`host:port` each).
+///
+/// Implemented by the serve/gateway worker registry: `pimsyn worker-serve
+/// --announce` daemons register themselves and heartbeat liveness, and the
+/// registry's roster — queried by the [`RemotePool`] before every batch —
+/// reflects joins, drains and evictions. The roster is advisory: an
+/// endpoint listed here may still be unreachable (the usual remote failure
+/// isolation applies), and endpoints configured statically are used whether
+/// or not a directory lists them.
+pub trait WorkerDirectory: Send + Sync + std::fmt::Debug {
+    /// The endpoints currently believed alive, `host:port` each.
+    fn roster(&self) -> Vec<String>;
+}
 
 /// Where candidate scoring runs.
 ///
@@ -457,7 +471,12 @@ impl EvalBackendConfig {
                             None
                         }
                     });
-                Box::new(RemoteBackend::new(endpoints.clone(), token))
+                match &self.shared {
+                    Some(shared) => Box::new(RemoteBackend::with_pool(
+                        shared.remote_pool(endpoints, token),
+                    )),
+                    None => Box::new(RemoteBackend::new(endpoints.clone(), token)),
+                }
             }
         }
     }

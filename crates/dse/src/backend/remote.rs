@@ -1,21 +1,40 @@
 //! The remote backend: scoring candidates on `pimsyn worker-serve` daemons
-//! over TCP, speaking the same versioned JSON-lines
-//! [`protocol`](super::protocol) as the subprocess backend.
+//! over TCP, speaking the versioned worker [`protocol`](super::protocol)
+//! (JSON-lines v1, binary-framed v2 — negotiated per session).
 //!
-//! A [`RemoteBackend`] is configured with a fixed *roster* of endpoints
-//! (`host:port`, CLI spelling `--backend remote:host1:port,host2:port`).
-//! Each connection it opens is one worker *slot* on a daemon:
+//! Connection ownership and per-run session state are separate layers,
+//! mirroring the subprocess backend's pool/backend split:
+//!
+//! - A [`RemotePool`] owns the TCP *connections* and the endpoint roster.
+//!   The roster starts from the statically configured endpoints
+//!   (`host:port`, CLI spelling `--backend remote:host1:port,host2:port`)
+//!   and, when a [`WorkerDirectory`] is attached (the serve/gateway worker
+//!   registry), is re-unioned with the directory's live roster before
+//!   every batch — endpoints join as workers announce themselves and
+//!   retire as they drain or get evicted. Transport-handshaked
+//!   connections are kept *open across runs*: a run returns them to the
+//!   pool at flush, and the next run re-opens its own session on them
+//!   instead of paying dial + handshake again.
+//! - A [`RemoteBackend`] holds one run's *session*: the init line fixing
+//!   the run's model/hardware/power/objective and the leased connections
+//!   that have already acknowledged it (each at its negotiated protocol
+//!   version).
+//!
+//! Each connection is one worker *slot* on a daemon:
 //!
 //! 1. **Transport handshake** (once per connection): a `hello` frame
 //!    carrying the protocol version and, when configured, a shared auth
 //!    token; the daemon answers `welcome` (advertising how many sessions
-//!    remain available to this backend, which caps how many connections
-//!    it opens to that endpoint) or an `error` frame and a close.
+//!    remain available to this pool, which caps how many connections it
+//!    opens to that endpoint) or an `error` frame and a close.
 //! 2. **Session** (once per run, re-opened when a connection is recycled):
 //!    the stock `init` → `ready` exchange fixing the run's model,
-//!    hardware, power, macro mode and objective.
-//! 3. **Scoring**: `score` requests and responses, floats as
-//!    `f64::to_bits` hex — remote scores are bit-identical to inline ones.
+//!    hardware, power, macro mode and objective — and negotiating the
+//!    session's protocol version (v2 peers switch to binary frames, v1
+//!    peers keep JSON lines).
+//! 3. **Scoring**: whole batches in one binary frame (v2) or per-candidate
+//!    JSON lines (v1); floats travel as IEEE-754 bit patterns either way —
+//!    remote scores are bit-identical to inline ones.
 //!
 //! **Chunking is latency-aware.** The subprocess backend splits every
 //! batch across all workers because pipes are cheap; a network round trip
@@ -32,20 +51,22 @@
 //! recomputed inline, and the endpoint backs off from reconnection
 //! attempts for [`RECONNECT_BACKOFF`]. With no reachable endpoint at all,
 //! whole batches silently degrade to inline scoring — results are
-//! bit-identical either way, so a daemon killed mid-run never changes a
-//! synthesis outcome. The first degradation prints a single stderr
-//! warning (the only diagnostic; every later failure is silent).
+//! bit-identical either way, so a daemon killed, drained or evicted
+//! mid-run never changes a synthesis outcome. The first degradation
+//! prints a single stderr warning per run (the only diagnostic; every
+//! later failure is silent).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::eval::{CandidateScore, EvalCore};
 
 use super::protocol::{hello_line, parse_welcome, NO_FREE_SLOTS};
-use super::{session, BackendStats, EvalBackend, EvalJob, StopCheck};
+use super::session::WireMode;
+use super::{session, BackendStats, EvalBackend, EvalJob, StopCheck, WorkerDirectory};
 
 /// Resolving + dialing an endpoint that does not answer must not stall the
 /// search; connects beyond this are treated as endpoint failures.
@@ -70,112 +91,279 @@ pub(crate) const RECONNECT_BACKOFF: Duration = Duration::from_secs(30);
 /// MIN_CHUNK` go to a single connection whole.
 const MIN_CHUNK: usize = 8;
 
-/// One live TCP connection: transport handshake done, possibly sessioned.
-struct RemoteConn {
-    /// Index into the backend's endpoint roster.
-    endpoint: usize,
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
 /// Per-endpoint connection accounting.
 struct EndpointHealth {
     /// Our connection cap for this endpoint, derived from the capacity
     /// the daemon advertised in its last `welcome` (`1` until the first
     /// successful handshake).
     slots: usize,
-    /// Connections currently open (sessioned or checked out to a batch).
+    /// Connections currently open (idle in the pool, sessioned to a run,
+    /// or reserved for an in-flight dial).
     live: usize,
     /// Until when reconnection attempts are suspended after a failure.
     backoff_until: Option<Instant>,
 }
 
+/// One endpoint of the fleet. Connections hold an `Arc` to their endpoint
+/// (not an index), so accounting stays correct while the roster itself
+/// grows and shrinks under registry churn.
 struct Endpoint {
     addr: String,
+    /// Discovered through the [`WorkerDirectory`] (vs statically
+    /// configured). Only discovered endpoints are retired when they leave
+    /// the directory's roster; static ones are permanent.
+    discovered: bool,
+    /// Set when the endpoint left the roster; surviving connections are
+    /// closed as they return to the pool.
+    retired: AtomicBool,
+    /// Protocol version negotiated by the most recent session on this
+    /// endpoint (`0` until one succeeds) — observability only.
+    protocol: AtomicU32,
     health: Mutex<EndpointHealth>,
 }
 
-/// One run's session over the connections: the init line plus the
-/// connections that have already acknowledged it, idle between batches.
-struct RunSession {
-    init_line: Option<String>,
-    ready: Vec<RemoteConn>,
-    next_id: u64,
+impl Endpoint {
+    fn new(addr: String, discovered: bool) -> Arc<Self> {
+        Arc::new(Self {
+            addr,
+            discovered,
+            retired: AtomicBool::new(false),
+            protocol: AtomicU32::new(0),
+            health: Mutex::new(EndpointHealth {
+                slots: 1,
+                live: 0,
+                backoff_until: None,
+            }),
+        })
+    }
+
+    fn release_one(&self) {
+        self.health.lock().expect("endpoint").live -= 1;
+    }
 }
 
-/// Scores batches across `pimsyn worker-serve` daemons over TCP.
-pub struct RemoteBackend {
-    endpoints: Vec<Endpoint>,
+/// One live TCP connection: transport handshake done, possibly sessioned
+/// at the negotiated wire mode.
+struct RemoteConn {
+    endpoint: Arc<Endpoint>,
+    /// The framing the current session negotiated (v1 until a session is
+    /// opened; re-negotiated on every re-init).
+    wire: WireMode,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One endpoint's status in a [`RemoteFleetSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteEndpointStatus {
+    /// The endpoint's `host:port`.
+    pub addr: String,
+    /// Whether it was discovered through a worker directory (vs statically
+    /// configured).
+    pub discovered: bool,
+    /// Connections currently open to it (idle + sessioned + reserved).
+    pub live: usize,
+    /// Protocol version of the most recent session (`0` = none yet).
+    pub protocol: u32,
+}
+
+/// A point-in-time view of a [`RemotePool`] for metrics and summaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemoteFleetSnapshot {
+    /// Every endpoint currently in the roster, in roster order.
+    pub endpoints: Vec<RemoteEndpointStatus>,
+    /// Connections open across all endpoints (idle + sessioned).
+    pub live_connections: usize,
+    /// Of those, connections idle in the pool between runs.
+    pub idle_connections: usize,
+    /// TCP connects + handshakes performed over the pool's lifetime — the
+    /// measure of how well persistent connections amortize dial cost.
+    pub connects: usize,
+}
+
+/// A pool of transport-handshaked worker connections and the endpoint
+/// roster they belong to, shareable across runs.
+///
+/// The pool knows nothing about any particular synthesis run: it dials,
+/// handshakes, stores and retires raw connections. Run-specific state
+/// (the init line, which connections acknowledged it, at which protocol
+/// version) lives in the [`RemoteBackend`] leasing from it. Dropping the
+/// pool closes every idle connection.
+pub struct RemotePool {
     token: Option<String>,
-    session: Mutex<RunSession>,
+    /// The live roster: static seeds plus directory-discovered endpoints.
+    endpoints: Mutex<Vec<Arc<Endpoint>>>,
+    /// Transport-handshaked connections idle between runs. Their last
+    /// session (if any) belongs to a finished run; leasing re-opens it.
+    idle: Mutex<Vec<RemoteConn>>,
+    /// The dynamic-roster hook (the serve/gateway worker registry).
+    directory: Mutex<Option<Arc<dyn WorkerDirectory>>>,
     /// Round-robin cursor so consecutive leases spread across the roster.
     rotate: AtomicUsize,
-    warned: AtomicBool,
-    batches: AtomicUsize,
-    jobs: AtomicUsize,
-    remote: AtomicUsize,
-    fallback: AtomicUsize,
+    /// Cumulative connects over the pool's lifetime.
     connects: AtomicUsize,
 }
 
-impl std::fmt::Debug for RemoteBackend {
+impl std::fmt::Debug for RemotePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteBackend")
+        let endpoints = self.endpoints.lock().expect("remote roster");
+        f.debug_struct("RemotePool")
             .field(
                 "endpoints",
-                &self.endpoints.iter().map(|e| &e.addr).collect::<Vec<_>>(),
+                &endpoints.iter().map(|e| &e.addr).collect::<Vec<_>>(),
             )
+            .field("idle", &self.idle.lock().expect("remote idle").len())
             .field("authenticated", &self.token.is_some())
-            .field("stats", &self.stats())
+            .field("connects", &self.connects.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
 
-impl RemoteBackend {
-    /// A backend scoring against the given worker-daemon roster
-    /// (`host:port` each), authenticating every connection with `token`
-    /// when one is given.
-    pub fn new(endpoints: Vec<String>, token: Option<String>) -> Self {
-        Self {
-            endpoints: endpoints
-                .into_iter()
-                .map(|addr| Endpoint {
-                    addr,
-                    health: Mutex::new(EndpointHealth {
-                        slots: 1,
-                        live: 0,
-                        backoff_until: None,
-                    }),
-                })
-                .collect(),
+impl Drop for RemotePool {
+    fn drop(&mut self) {
+        // Close idle connections deterministically (the daemon's slots free
+        // on EOF) and release their accounting.
+        for conn in self.idle.lock().expect("remote idle").drain(..) {
+            conn.endpoint.release_one();
+        }
+    }
+}
+
+impl RemotePool {
+    /// A pool over the given static endpoint roster (`host:port` each),
+    /// authenticating every connection with `token` when one is given. The
+    /// roster may be empty when a [`WorkerDirectory`] will supply it.
+    pub fn new(endpoints: Vec<String>, token: Option<String>) -> Arc<Self> {
+        Arc::new(Self {
             token,
-            session: Mutex::new(RunSession {
-                init_line: None,
-                ready: Vec::new(),
-                next_id: 0,
-            }),
+            endpoints: Mutex::new(
+                endpoints
+                    .into_iter()
+                    .map(|addr| Endpoint::new(addr, false))
+                    .collect(),
+            ),
+            idle: Mutex::new(Vec::new()),
+            directory: Mutex::new(None),
             rotate: AtomicUsize::new(0),
-            warned: AtomicBool::new(false),
-            batches: AtomicUsize::new(0),
-            jobs: AtomicUsize::new(0),
-            remote: AtomicUsize::new(0),
-            fallback: AtomicUsize::new(0),
             connects: AtomicUsize::new(0),
+        })
+    }
+
+    /// Attaches (or replaces) the dynamic-roster hook. From the next
+    /// batch on, the roster is re-unioned with the directory before every
+    /// lease.
+    pub fn set_directory(&self, directory: Arc<dyn WorkerDirectory>) {
+        *self.directory.lock().expect("remote directory") = Some(directory);
+    }
+
+    /// Merges more statically configured endpoints into the roster
+    /// (duplicates ignored) — a later run configured with extra endpoints
+    /// widens the shared pool instead of being silently capped to the
+    /// first run's roster.
+    pub fn add_static(&self, addrs: &[String]) {
+        let mut endpoints = self.endpoints.lock().expect("remote roster");
+        for addr in addrs {
+            if !endpoints.iter().any(|e| &e.addr == addr) {
+                endpoints.push(Endpoint::new(addr.clone(), false));
+            }
         }
     }
 
-    /// Prints the one-and-only degradation warning: remote scoring is an
-    /// optimization, so failures are quiet after the first diagnostic.
-    fn warn_once(&self, detail: &str) {
-        if !self.warned.swap(true, Ordering::SeqCst) {
-            eprintln!("pimsyn: remote evaluation degraded: {detail}; affected chunks are scored inline (results are unaffected)");
+    /// Re-unions the roster with the directory (when one is attached):
+    /// newly announced workers join as discovered endpoints, and
+    /// discovered endpoints that left (drained or evicted) are retired —
+    /// their idle connections are closed, and sessioned ones close as they
+    /// return. Static endpoints are never retired.
+    pub(crate) fn refresh_roster(&self) {
+        let directory = self.directory.lock().expect("remote directory").clone();
+        let Some(directory) = directory else { return };
+        let mut roster = directory.roster();
+        roster.sort();
+        let mut endpoints = self.endpoints.lock().expect("remote roster");
+        endpoints.retain(|endpoint| {
+            let keep = !endpoint.discovered || roster.iter().any(|a| a == &endpoint.addr);
+            if !keep {
+                endpoint.retired.store(true, Ordering::SeqCst);
+            }
+            keep
+        });
+        for addr in roster {
+            if !endpoints.iter().any(|e| e.addr == addr) {
+                endpoints.push(Endpoint::new(addr, true));
+            }
+        }
+        drop(endpoints);
+        // Idle connections on retired endpoints are useless; close them now.
+        let mut idle = self.idle.lock().expect("remote idle");
+        let (keep, retired): (Vec<_>, Vec<_>) = idle
+            .drain(..)
+            .partition(|conn| !conn.endpoint.retired.load(Ordering::SeqCst));
+        *idle = keep;
+        drop(idle);
+        for conn in retired {
+            conn.endpoint.release_one();
         }
     }
 
-    /// Dials one endpoint and runs the transport handshake. On success the
-    /// connection's read timeout is left at [`SCORE_TIMEOUT`].
-    fn connect(&self, index: usize) -> Result<RemoteConn, String> {
-        let addr = &self.endpoints[index].addr;
+    /// Reserves a connection slot on the next endpoint that is neither
+    /// retired, backing off, nor at its advertised capacity. The
+    /// reservation counts as live until released or converted into a real
+    /// connection.
+    fn reserve_slot(&self) -> Option<Arc<Endpoint>> {
+        let endpoints: Vec<Arc<Endpoint>> = self.endpoints.lock().expect("remote roster").clone();
+        let n = endpoints.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.rotate.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        for k in 0..n {
+            let endpoint = &endpoints[(start + k) % n];
+            if endpoint.retired.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut health = endpoint.health.lock().expect("endpoint");
+            let backing_off = health.backoff_until.is_some_and(|until| now < until);
+            if !backing_off && health.live < health.slots {
+                health.live += 1;
+                return Some(Arc::clone(endpoint));
+            }
+        }
+        None
+    }
+
+    /// Takes one idle (transport-handshaked, session-stale) connection,
+    /// skipping — and closing — any whose endpoint retired meanwhile.
+    fn checkout_idle(&self) -> Option<RemoteConn> {
+        loop {
+            let conn = self.idle.lock().expect("remote idle").pop()?;
+            if conn.endpoint.retired.load(Ordering::SeqCst) {
+                conn.endpoint.release_one();
+                continue;
+            }
+            return Some(conn);
+        }
+    }
+
+    /// Returns still-healthy connections to the pool (their session state
+    /// is stale; the next lease re-opens it). Connections on retired
+    /// endpoints are closed instead.
+    fn checkin(&self, conns: Vec<RemoteConn>) {
+        let mut idle = self.idle.lock().expect("remote idle");
+        for conn in conns {
+            if conn.endpoint.retired.load(Ordering::SeqCst) {
+                conn.endpoint.release_one();
+            } else {
+                idle.push(conn);
+            }
+        }
+    }
+
+    /// Dials one endpoint and runs the transport handshake against an
+    /// earlier reservation. On success the connection's read timeout is
+    /// left at [`SCORE_TIMEOUT`].
+    fn connect(&self, endpoint: &Arc<Endpoint>) -> Result<RemoteConn, String> {
+        let addr = &endpoint.addr;
         let writer = super::dial_bounded(addr, CONNECT_TIMEOUT)?;
         let _ = writer.set_nodelay(true);
         writer
@@ -185,7 +373,8 @@ impl RemoteBackend {
             .try_clone()
             .map_err(|e| format!("cannot clone the {addr} stream: {e}"))?;
         let mut conn = RemoteConn {
-            endpoint: index,
+            endpoint: Arc::clone(endpoint),
+            wire: WireMode::V1,
             writer,
             reader: BufReader::new(reader),
         };
@@ -209,55 +398,130 @@ impl RemoteBackend {
             // several runs throttles each to what actually remains. Our
             // per-endpoint cap is what we already hold (`live` includes
             // this connection's reservation) plus what remains beyond it.
-            let mut health = self.endpoints[index].health.lock().expect("endpoint");
+            let mut health = endpoint.health.lock().expect("endpoint");
             health.slots = (health.live + advertised).saturating_sub(1).max(1);
         }
         Ok(conn)
     }
 
-    /// Records a connection death and backs its endpoint off from
-    /// reconnection attempts.
-    fn drop_conn(&self, conn: RemoteConn, detail: &str) {
-        let index = conn.endpoint;
-        drop(conn);
-        self.fail_reservation(index, detail);
+    /// A point-in-time view for metrics and summaries.
+    pub fn fleet_snapshot(&self) -> RemoteFleetSnapshot {
+        let endpoints = self.endpoints.lock().expect("remote roster");
+        let statuses: Vec<RemoteEndpointStatus> = endpoints
+            .iter()
+            .map(|e| RemoteEndpointStatus {
+                addr: e.addr.clone(),
+                discovered: e.discovered,
+                live: e.health.lock().expect("endpoint").live,
+                protocol: e.protocol.load(Ordering::Relaxed),
+            })
+            .collect();
+        drop(endpoints);
+        RemoteFleetSnapshot {
+            live_connections: statuses.iter().map(|s| s.live).sum(),
+            idle_connections: self.idle.lock().expect("remote idle").len(),
+            connects: self.connects.load(Ordering::Relaxed),
+            endpoints: statuses,
+        }
+    }
+}
+
+/// One run's session over the leased connections: the init line plus the
+/// connections that have already acknowledged it, idle between batches.
+struct RunSession {
+    init_line: Option<String>,
+    ready: Vec<RemoteConn>,
+    next_id: u64,
+}
+
+/// Scores batches across `pimsyn worker-serve` daemons over TCP, leasing
+/// connections from a [`RemotePool`].
+pub struct RemoteBackend {
+    pool: Arc<RemotePool>,
+    session: Mutex<RunSession>,
+    warned: AtomicBool,
+    batches: AtomicUsize,
+    jobs: AtomicUsize,
+    remote: AtomicUsize,
+    fallback: AtomicUsize,
+    connects: AtomicUsize,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("pool", &self.pool)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteBackend {
+    /// A backend with a *private* pool over the given worker-daemon roster
+    /// (`host:port` each), authenticating every connection with `token`
+    /// when one is given. The connections die with the backend — the
+    /// classic per-run behavior.
+    pub fn new(endpoints: Vec<String>, token: Option<String>) -> Self {
+        Self::with_pool(RemotePool::new(endpoints, token))
     }
 
-    /// Reserves a connection slot on the next endpoint that is neither
-    /// backing off nor at its advertised capacity. The reservation counts
-    /// as live until released or converted into a real connection.
-    fn reserve_slot(&self) -> Option<usize> {
-        let n = self.endpoints.len();
-        let start = self.rotate.fetch_add(1, Ordering::Relaxed);
-        let now = Instant::now();
-        for k in 0..n {
-            let index = (start + k) % n;
-            let mut health = self.endpoints[index].health.lock().expect("endpoint");
-            let backing_off = health.backoff_until.is_some_and(|until| now < until);
-            if !backing_off && health.live < health.slots {
-                health.live += 1;
-                return Some(index);
-            }
+    /// A backend leasing connections from an existing (typically shared)
+    /// pool. Sessions are still per run: every leased connection
+    /// re-handshakes with this run's init line, so model and hardware
+    /// always ship correctly; the connections themselves outlive the run
+    /// and return to the pool on [`flush`](EvalBackend::flush).
+    pub fn with_pool(pool: Arc<RemotePool>) -> Self {
+        Self {
+            pool,
+            session: Mutex::new(RunSession {
+                init_line: None,
+                ready: Vec::new(),
+                next_id: 0,
+            }),
+            warned: AtomicBool::new(false),
+            batches: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            remote: AtomicUsize::new(0),
+            fallback: AtomicUsize::new(0),
+            connects: AtomicUsize::new(0),
         }
-        None
+    }
+
+    /// Prints the one-and-only degradation warning: remote scoring is an
+    /// optimization, so failures are quiet after the first diagnostic.
+    fn warn_once(&self, detail: &str) {
+        if !self.warned.swap(true, Ordering::SeqCst) {
+            eprintln!("pimsyn: remote evaluation degraded: {detail}; affected chunks are scored inline (results are unaffected)");
+        }
+    }
+
+    /// Opens this run's session on a connection (fresh or recycled):
+    /// `init` → `ready` under the handshake's bounded patience, recording
+    /// the negotiated wire mode on the connection and its endpoint.
+    fn open_session(conn: &mut RemoteConn, init: &str) -> Result<(), String> {
+        let _ = conn.writer.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let wire = session::open_session_io(&mut conn.writer, &mut conn.reader, init)?;
+        let _ = conn.writer.set_read_timeout(Some(SCORE_TIMEOUT));
+        conn.wire = wire;
+        conn.endpoint
+            .protocol
+            .store(wire.version(), Ordering::Relaxed);
+        Ok(())
     }
 
     /// Dials one reserved endpoint, runs the transport handshake and opens
     /// the run session.
-    fn open_endpoint(&self, index: usize, init: &str) -> Result<RemoteConn, String> {
-        let mut conn = self.connect(index)?;
-        // The session opening shares the handshake's bounded patience (the
-        // daemon answers `ready` from memory).
-        let _ = conn.writer.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
-        session::open_session_io(&mut conn.writer, &mut conn.reader, init)?;
-        let _ = conn.writer.set_read_timeout(Some(SCORE_TIMEOUT));
+    fn open_endpoint(&self, endpoint: &Arc<Endpoint>, init: &str) -> Result<RemoteConn, String> {
+        let mut conn = self.pool.connect(endpoint)?;
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        Self::open_session(&mut conn, init)?;
         Ok(conn)
     }
 
     /// Releases a reservation whose dial/handshake failed and backs its
     /// endpoint off.
-    fn fail_reservation(&self, index: usize, detail: &str) {
-        let mut health = self.endpoints[index].health.lock().expect("endpoint");
+    fn fail_reservation(&self, endpoint: &Arc<Endpoint>, detail: &str) {
+        let mut health = endpoint.health.lock().expect("endpoint");
         health.live -= 1;
         health.backoff_until = Some(Instant::now() + RECONNECT_BACKOFF);
         drop(health);
@@ -265,8 +529,9 @@ impl RemoteBackend {
     }
 
     /// Opens sessioned connections until `conns` holds `want` of them (or
-    /// the roster is exhausted): reserve slots, then dial + handshake +
-    /// open the run session on every reservation *concurrently*, so a
+    /// the fleet is exhausted). Pool-idle connections are recycled first —
+    /// a session re-open is one round trip, a fresh dial is three — then
+    /// the remaining shortfall is reserved and dialed *concurrently*, so a
     /// roster with several dead endpoints stalls for one connect timeout,
     /// not one per endpoint. Failures release their slot and back the
     /// endpoint off.
@@ -280,28 +545,47 @@ impl RemoteBackend {
         if stop() {
             return;
         }
+        // Recycle idle pooled connections (re-opening this run's session).
+        // A recycled connection that fails the re-open is just closed — the
+        // daemon may have idle-timed it out long ago, which says nothing
+        // about the endpoint's health, so no backoff and no warning; the
+        // dial path below still gets its chance.
+        while conns.len() < want {
+            let Some(mut conn) = self.pool.checkout_idle() else {
+                break;
+            };
+            match Self::open_session(&mut conn, init) {
+                Ok(()) => conns.push(conn),
+                Err(_) => {
+                    conn.endpoint.release_one();
+                }
+            }
+            if stop() {
+                return;
+            }
+        }
         let mut reserved = Vec::new();
         while conns.len() + reserved.len() < want {
-            match self.reserve_slot() {
-                Some(index) => reserved.push(index),
+            match self.pool.reserve_slot() {
+                Some(endpoint) => reserved.push(endpoint),
                 None => break,
             }
         }
         match reserved.len() {
             0 => {}
-            1 => match self.open_endpoint(reserved[0], init) {
+            1 => match self.open_endpoint(&reserved[0], init) {
                 Ok(conn) => conns.push(conn),
-                Err(detail) => self.handshake_failed(reserved[0], &detail),
+                Err(detail) => self.handshake_failed(&reserved[0], &detail),
             },
             _ => std::thread::scope(|s| {
                 let handles: Vec<_> = reserved
                     .iter()
-                    .map(|&index| s.spawn(move || (index, self.open_endpoint(index, init))))
+                    .map(|endpoint| s.spawn(move || self.open_endpoint(endpoint, init)))
                     .collect();
-                for handle in handles {
+                for (endpoint, handle) in reserved.iter().zip(handles) {
                     match handle.join().expect("endpoint dialer panicked") {
-                        (_, Ok(conn)) => conns.push(conn),
-                        (index, Err(detail)) => self.handshake_failed(index, &detail),
+                        Ok(conn) => conns.push(conn),
+                        Err(detail) => self.handshake_failed(endpoint, &detail),
                     }
                 }
             }),
@@ -313,13 +597,13 @@ impl RemoteBackend {
     /// or by our own concurrent dials racing the advertised capacity):
     /// shrink our cap to what we actually hold and move on — no warning,
     /// no backoff. Everything else is a real failure.
-    fn handshake_failed(&self, index: usize, detail: &str) {
+    fn handshake_failed(&self, endpoint: &Arc<Endpoint>, detail: &str) {
         if detail.contains(NO_FREE_SLOTS) {
-            let mut health = self.endpoints[index].health.lock().expect("endpoint");
+            let mut health = endpoint.health.lock().expect("endpoint");
             health.live -= 1;
             health.slots = health.slots.min(health.live.max(1));
         } else {
-            self.fail_reservation(index, detail);
+            self.fail_reservation(endpoint, detail);
         }
     }
 
@@ -339,13 +623,19 @@ impl RemoteBackend {
             return (vec![CandidateScore::INFEASIBLE; jobs.len()], conn, 0, 0);
         }
         if let Some(mut conn) = conn {
-            let exchanged =
-                session::exchange_scores(&mut conn.writer, &mut conn.reader, jobs, id_base);
+            let exchanged = session::exchange_scores_in(
+                conn.wire,
+                &mut conn.writer,
+                &mut conn.reader,
+                jobs,
+                id_base,
+            );
             match exchanged {
                 Ok(scores) => return (scores, Some(conn), jobs.len(), 0),
                 Err(detail) => {
-                    let addr = self.endpoints[conn.endpoint].addr.clone();
-                    self.drop_conn(conn, &format!("{addr}: {detail}"));
+                    let endpoint = Arc::clone(&conn.endpoint);
+                    drop(conn);
+                    self.fail_reservation(&endpoint, &format!("{}: {detail}", endpoint.addr));
                 }
             }
         }
@@ -363,7 +653,7 @@ impl RemoteBackend {
     }
 
     /// How many connections a batch of `jobs` jobs is worth, before the
-    /// roster caps it: at least [`MIN_CHUNK`] jobs per network round trip.
+    /// fleet caps it: at least [`MIN_CHUNK`] jobs per network round trip.
     fn target_connections(jobs: usize) -> usize {
         (jobs / MIN_CHUNK).max(1)
     }
@@ -385,6 +675,9 @@ impl EvalBackend for RemoteBackend {
         if jobs.is_empty() {
             return Vec::new();
         }
+        // Registry churn lands here: workers announced since the last
+        // batch join the roster, drained/evicted ones retire.
+        self.pool.refresh_roster();
         let want = Self::target_connections(jobs.len());
 
         // Take this run's sessioned connections and an id range under the
@@ -401,6 +694,20 @@ impl EvalBackend for RemoteBackend {
             session.next_id += jobs.len() as u64;
             (init, conns, id_base)
         };
+        // This run's own sessioned connections may sit on endpoints that
+        // retired since the last batch; close those now (their chunks, if
+        // any, would have been recomputed inline anyway).
+        let mut retired = Vec::new();
+        conns.retain(|conn| {
+            let keep = !conn.endpoint.retired.load(Ordering::SeqCst);
+            if !keep {
+                retired.push(Arc::clone(&conn.endpoint));
+            }
+            keep
+        });
+        for endpoint in retired {
+            endpoint.release_one();
+        }
         self.lease_missing(&mut conns, want, &init, stop);
 
         // Count-balanced chunks, one per connection: sizes differ by at
@@ -474,17 +781,14 @@ impl EvalBackend for RemoteBackend {
         }
     }
 
-    /// Ends this run's session: every connection is closed (the daemon's
-    /// slot frees when it sees EOF) and endpoint accounting is reset.
+    /// Ends this run's session: its connections return to the pool alive
+    /// (a later run re-opens its own session on them). With a private
+    /// pool the connections die when the backend — and with it the pool —
+    /// drops; with a shared pool they persist across jobs and amortize
+    /// dial + handshake cost over the daemon's lifetime.
     fn flush(&self) {
         let conns = std::mem::take(&mut self.session.lock().expect("remote session").ready);
-        for conn in conns {
-            self.endpoints[conn.endpoint]
-                .health
-                .lock()
-                .expect("endpoint")
-                .live -= 1;
-        }
+        self.pool.checkin(conns);
     }
 }
 
@@ -497,6 +801,15 @@ impl Drop for RemoteBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[derive(Debug)]
+    struct FixedDirectory(Mutex<Vec<String>>);
+
+    impl WorkerDirectory for FixedDirectory {
+        fn roster(&self) -> Vec<String> {
+            self.0.lock().unwrap().clone()
+        }
+    }
 
     #[test]
     fn chunk_target_is_latency_aware() {
@@ -517,20 +830,78 @@ mod tests {
         let mut conns = Vec::new();
         backend.lease_missing(&mut conns, 1, "ignored", &|| false);
         assert!(conns.is_empty());
-        let health = backend.endpoints[0].health.lock().unwrap();
+        let endpoints = backend.pool.endpoints.lock().unwrap();
+        let health = endpoints[0].health.lock().unwrap();
         assert_eq!(health.live, 0, "failed lease must release its slot");
         assert!(health.backoff_until.is_some(), "endpoint must back off");
     }
 
     #[test]
     fn backing_off_endpoint_is_skipped() {
-        let backend = RemoteBackend::new(vec!["127.0.0.1:1".to_string()], None);
-        backend.endpoints[0].health.lock().unwrap().backoff_until =
-            Some(Instant::now() + RECONNECT_BACKOFF);
-        assert!(backend.reserve_slot().is_none());
+        let pool = RemotePool::new(vec!["127.0.0.1:1".to_string()], None);
+        {
+            let endpoints = pool.endpoints.lock().unwrap();
+            endpoints[0].health.lock().unwrap().backoff_until =
+                Some(Instant::now() + RECONNECT_BACKOFF);
+        }
+        assert!(pool.reserve_slot().is_none());
         // An expired backoff admits reservations again.
-        backend.endpoints[0].health.lock().unwrap().backoff_until =
-            Some(Instant::now() - Duration::from_secs(1));
-        assert_eq!(backend.reserve_slot(), Some(0));
+        {
+            let endpoints = pool.endpoints.lock().unwrap();
+            endpoints[0].health.lock().unwrap().backoff_until =
+                Some(Instant::now() - Duration::from_secs(1));
+        }
+        assert!(pool.reserve_slot().is_some());
+    }
+
+    #[test]
+    fn empty_roster_without_directory_scores_nothing_remotely() {
+        let pool = RemotePool::new(Vec::new(), None);
+        pool.refresh_roster(); // no directory: a no-op, not a panic
+        assert!(pool.reserve_slot().is_none());
+        assert_eq!(pool.fleet_snapshot(), RemoteFleetSnapshot::default());
+    }
+
+    #[test]
+    fn directory_churn_grows_and_retires_the_roster() {
+        let pool = RemotePool::new(vec!["127.0.0.1:7001".to_string()], None);
+        let directory = Arc::new(FixedDirectory(Mutex::new(vec![
+            "127.0.0.1:7002".to_string(),
+            "127.0.0.1:7003".to_string(),
+        ])));
+        pool.set_directory(Arc::clone(&directory) as Arc<dyn WorkerDirectory>);
+        pool.refresh_roster();
+        let snapshot = pool.fleet_snapshot();
+        let addrs: Vec<&str> = snapshot.endpoints.iter().map(|e| e.addr.as_str()).collect();
+        assert_eq!(
+            addrs,
+            vec!["127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"]
+        );
+        assert!(!snapshot.endpoints[0].discovered, "static seed");
+        assert!(snapshot.endpoints[1].discovered);
+
+        // A worker leaving the directory retires its endpoint; the static
+        // seed stays no matter what the directory says.
+        *directory.0.lock().unwrap() = vec!["127.0.0.1:7003".to_string()];
+        pool.refresh_roster();
+        let snapshot = pool.fleet_snapshot();
+        let addrs: Vec<&str> = snapshot.endpoints.iter().map(|e| e.addr.as_str()).collect();
+        assert_eq!(addrs, vec!["127.0.0.1:7001", "127.0.0.1:7003"]);
+
+        // A drained worker re-announcing re-enters as a fresh endpoint.
+        *directory.0.lock().unwrap() =
+            vec!["127.0.0.1:7002".to_string(), "127.0.0.1:7003".to_string()];
+        pool.refresh_roster();
+        assert_eq!(pool.fleet_snapshot().endpoints.len(), 3);
+    }
+
+    #[test]
+    fn shared_pool_backends_share_the_roster() {
+        let pool = RemotePool::new(vec!["127.0.0.1:7001".to_string()], None);
+        pool.add_static(&["127.0.0.1:7002".to_string(), "127.0.0.1:7001".to_string()]);
+        assert_eq!(pool.fleet_snapshot().endpoints.len(), 2, "no duplicates");
+        let a = RemoteBackend::with_pool(Arc::clone(&pool));
+        let b = RemoteBackend::with_pool(Arc::clone(&pool));
+        assert!(Arc::ptr_eq(&a.pool, &b.pool));
     }
 }

@@ -17,8 +17,42 @@ use std::io::{BufRead, Write};
 
 use crate::eval::{CandidateScore, EvalCore};
 
-use super::protocol::{parse_ready, ScoreRequest, ScoreResponse, WorkerInit};
+use super::protocol::{
+    decode_error_frame, decode_score_reply, encode_score_batch, parse_ready_version, read_frame,
+    write_frame, BatchItem, ScoreRequest, ScoreResponse, WorkerInit, FRAME_ERROR,
+    FRAME_SCORE_BATCH, FRAME_SCORE_REPLY,
+};
 use super::EvalJob;
+
+/// Which framing a negotiated session speaks for score exchanges.
+/// Init/ready (and the TCP hello/welcome handshake) are JSON lines in
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireMode {
+    /// Protocol v1: one JSON line per request and per response.
+    V1,
+    /// Protocol v2: whole batches in one length-prefixed binary frame.
+    V2,
+}
+
+impl WireMode {
+    /// The mode a negotiated session version maps to.
+    pub(crate) fn for_version(version: u32) -> Self {
+        if version >= 2 {
+            WireMode::V2
+        } else {
+            WireMode::V1
+        }
+    }
+
+    /// The numeric protocol version of this mode.
+    pub(crate) fn version(self) -> u32 {
+        match self {
+            WireMode::V1 => 1,
+            WireMode::V2 => 2,
+        }
+    }
+}
 
 /// The session-opening init line fixing one run's model, hardware, power,
 /// macro mode and objective (bit-exact encodings throughout).
@@ -34,24 +68,94 @@ pub(crate) fn init_line_for(core: &EvalCore<'_>) -> String {
 }
 
 /// Opens (or re-opens) a run session over an established transport: writes
-/// the init line and reads the matching `ready` acknowledgment. The caller
-/// guards against a peer that never answers (helper thread for pipes,
-/// socket read timeout for TCP).
+/// the init line and reads the matching `ready` acknowledgment, returning
+/// the [`WireMode`] the worker negotiated (v1 workers answer a plain ready
+/// and the session stays on JSON lines). The caller guards against a peer
+/// that never answers (helper thread for pipes, socket read timeout for
+/// TCP).
 pub(crate) fn open_session_io(
     writer: &mut dyn Write,
     reader: &mut dyn BufRead,
     init_line: &str,
-) -> Result<(), String> {
+) -> Result<WireMode, String> {
     writeln!(writer, "{init_line}").map_err(|e| format!("session write failed: {e}"))?;
     writer
         .flush()
         .map_err(|e| format!("session flush failed: {e}"))?;
     let mut line = String::new();
     match reader.read_line(&mut line) {
-        Ok(n) if n > 0 => parse_ready(line.trim()),
+        Ok(n) if n > 0 => parse_ready_version(line.trim()).map(WireMode::for_version),
         Ok(_) => Err("worker closed the stream before acknowledging init".to_string()),
         Err(e) => Err(format!("session read failed: {e}")),
     }
+}
+
+/// Scores one chunk over an open session using whichever framing the
+/// session negotiated.
+pub(crate) fn exchange_scores_in(
+    mode: WireMode,
+    writer: &mut dyn Write,
+    reader: &mut dyn BufRead,
+    jobs: &[EvalJob<'_>],
+    id_base: u64,
+) -> Result<Vec<CandidateScore>, String> {
+    match mode {
+        WireMode::V1 => exchange_scores(writer, reader, jobs, id_base),
+        WireMode::V2 => exchange_scores_v2(writer, reader, jobs, id_base),
+    }
+}
+
+/// Scores one chunk over an open *v2* session: the whole chunk goes out as
+/// one `score_batch` frame and comes back as one `score_reply` frame in
+/// request order — two syscalls per chunk instead of two per candidate.
+pub(crate) fn exchange_scores_v2(
+    writer: &mut dyn Write,
+    reader: &mut dyn BufRead,
+    jobs: &[EvalJob<'_>],
+    id_base: u64,
+) -> Result<Vec<CandidateScore>, String> {
+    let items: Vec<BatchItem> = jobs
+        .iter()
+        .map(|job| BatchItem {
+            ratio_bits: job.point.ratio_rram.to_bits(),
+            xb_size: job.point.crossbar.size() as u32,
+            cell_bits: job.point.crossbar.cell_bits(),
+            dac_bits: job.df.dac().bits(),
+            wt_dup: job.df.programs().iter().map(|p| p.wt_dup as u32).collect(),
+            gene: job.gene.as_slice().to_vec(),
+        })
+        .collect();
+    let payload = encode_score_batch(id_base, &items);
+    write_frame(writer, FRAME_SCORE_BATCH, &payload)
+        .map_err(|e| format!("worker write failed: {e}"))?;
+    writer
+        .flush()
+        .map_err(|e| format!("worker flush failed: {e}"))?;
+    let (kind, payload) = read_frame(reader).map_err(|e| format!("worker read failed: {e}"))?;
+    match kind {
+        FRAME_SCORE_REPLY => {}
+        FRAME_ERROR => {
+            return Err(format!(
+                "worker reported an error: {}",
+                decode_error_frame(&payload)
+            ))
+        }
+        other => return Err(format!("unexpected frame kind 0x{other:02x}")),
+    }
+    let (reply_base, scores) = decode_score_reply(&payload)?;
+    if reply_base != id_base {
+        return Err(format!(
+            "worker answered batch {reply_base}, expected {id_base}"
+        ));
+    }
+    if scores.len() != jobs.len() {
+        return Err(format!(
+            "worker answered {} scores for {} candidates",
+            scores.len(),
+            jobs.len()
+        ));
+    }
+    Ok(scores)
 }
 
 /// Scores one chunk over an open session: writes every request as a single

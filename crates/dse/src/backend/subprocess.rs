@@ -46,7 +46,8 @@ use std::time::Duration;
 
 use crate::eval::{CandidateScore, EvalCore};
 
-use super::protocol::parse_ready;
+use super::protocol::parse_ready_version;
+use super::session::WireMode;
 use super::{pool_width, session, BackendStats, EvalBackend, EvalJob, StopCheck};
 
 /// One live worker process with its pipe endpoints. The stdout reader is
@@ -56,6 +57,10 @@ struct Worker {
     child: Child,
     stdin: ChildStdin,
     stdout: Option<BufReader<ChildStdout>>,
+    /// The framing the current session negotiated (a same-build child
+    /// normally lands on v2 binary frames; an older worker executable
+    /// keeps JSON lines).
+    wire: WireMode,
 }
 
 impl Drop for Worker {
@@ -92,11 +97,19 @@ fn open_session(mut worker: Worker, init_line: &str) -> Option<Worker> {
         let _ = tx.send((ok, line, stdout));
     });
     match rx.recv_timeout(HANDSHAKE_TIMEOUT) {
-        Ok((true, line, stdout)) if parse_ready(line.trim()).is_ok() => {
-            let _ = reader.join();
-            worker.stdout = Some(stdout);
-            Some(worker)
-        }
+        Ok((true, line, stdout)) => match parse_ready_version(line.trim()) {
+            Ok(version) => {
+                let _ = reader.join();
+                worker.stdout = Some(stdout);
+                worker.wire = WireMode::for_version(version);
+                Some(worker)
+            }
+            Err(_) => {
+                let _ = worker.child.kill();
+                let _ = reader.join();
+                None // Drop reaps
+            }
+        },
         _ => {
             let _ = worker.child.kill();
             let _ = reader.join();
@@ -242,6 +255,7 @@ impl WorkerPool {
             child,
             stdin,
             stdout: Some(stdout),
+            wire: WireMode::V1,
         })
     }
 
@@ -349,7 +363,7 @@ impl SubprocessBackend {
         id_base: u64,
     ) -> Result<Vec<CandidateScore>, String> {
         let stdout = worker.stdout.as_mut().ok_or("worker lost its stdout")?;
-        session::exchange_scores(&mut worker.stdin, stdout, jobs, id_base)
+        session::exchange_scores_in(worker.wire, &mut worker.stdin, stdout, jobs, id_base)
     }
 
     /// Scores one chunk, falling back to inline compute when the worker is

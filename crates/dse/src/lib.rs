@@ -54,7 +54,8 @@ pub use alloc::{allocate_components, physical_macros, AllocPlan, AllocRequest};
 pub use backend::{
     dial_bounded, parse_remote_roster, read_token_file, BackendKind, BackendStats, EvalBackend,
     EvalBackendConfig, EvalJob, InlineBackend, PersistentEvalCache, RemoteBackend,
-    SharedEvalResources, SubprocessBackend, ThreadPoolBackend, WorkerPool,
+    RemoteEndpointStatus, RemoteFleetSnapshot, RemotePool, SharedEvalResources, SubprocessBackend,
+    ThreadPoolBackend, WorkerDirectory, WorkerPool,
 };
 pub use ctx::{
     CancelToken, ExploreBudget, ExploreContext, ExploreEvent, ExploreObserver, NullObserver,

@@ -92,18 +92,21 @@ USAGE:
   pimsyn --model-file <net.json> --power <watts> [options]
   pimsyn --batch <jobs.json> [options]
   pimsyn serve --listen <host:port> [--job-slots N] [--queue-depth N]
-               [--backend <spec>] [--remote-token-file <path>]
+               [--backend <spec>] [--worker-registry <host:port>]
+               [--remote-token-file <path>]
                [--eval-cache-file <path>] [--eval-cache-max-entries <n>]
                [--auth-token-file <path>] [--quiet]
   pimsyn gateway --listen <host:port> [--keys <tenants.json>]
                  [--scheduler <fifo|fair>] [--job-slots N] [--queue-depth N]
-                 [--backend <spec>] [--remote-token-file <path>]
+                 [--backend <spec>] [--worker-registry <host:port>]
+                 [--remote-token-file <path>]
                  [--eval-cache-file <path>] [--eval-cache-max-entries <n>]
                  [--quiet]
   pimsyn submit --connect <host:port> --model <name> --power <watts> [options]
   pimsyn status|result|cancel --connect <host:port> --id <job-id>
   pimsyn shutdown|drain --connect <host:port>
   pimsyn worker-serve --listen <host:port> [--slots N]
+                      [--announce <host:port>] [--protocol-max <n>]
                       [--auth-token-file <path>] [--quiet]
   pimsyn worker-stop --connect <host:port> [--auth-token-file <path>]
 
@@ -168,14 +171,31 @@ GET /metrics for Prometheus, POST /v1/drain) — see docs/PROTOCOLS.md.
 --keys installs per-tenant API keys (Authorization: Bearer), quotas and
 scheduling weights; the scheduler then defaults to weighted-fair
 round-robin across tenants instead of global FIFO (--scheduler overrides
-either way; results are bit-identical under both policies).
+either way; results are bit-identical under both policies). The keys file
+is re-read whenever it changes on disk, so keys rotate on a live gateway:
+added keys authenticate the very next request, removed keys get 401.
+
+Both daemons accept --worker-registry <host:port>: a second listener where
+`pimsyn worker-serve --announce` daemons register, heartbeat and
+deregister. Registered workers join the remote scoring fleet dynamically
+(connections persist across jobs); workers that miss heartbeats are
+evicted and their in-flight chunks recomputed inline, never changing
+results. Registry messages authenticate with the --remote-token-file
+shared secret — the same token file the workers' --auth-token-file names.
 
 `pimsyn worker-serve` runs a long-lived evaluation-worker daemon: each
 accepted TCP connection (version-checked, optionally token-authenticated,
 up to --slots concurrently) serves one worker session for a `--backend
 remote:...` run on another machine. The actually-bound address — including
 the resolved port for --listen HOST:0 — prints to stderr on startup;
-`pimsyn worker-stop` asks the daemon to exit.
+`pimsyn worker-stop` asks the daemon to exit. With --announce the daemon
+registers itself with a `pimsyn serve`/`pimsyn gateway` started with
+--worker-registry, heartbeats to stay listed, and deregisters on exit —
+the serving daemon then discovers workers dynamically instead of needing a
+static remote:host:port roster (with --worker-registry and no explicit
+--backend, the daemon's backend is the announced fleet). --protocol-max
+caps the negotiated worker-protocol version (for mixed-version fleets and
+downgrade testing); results are bit-identical across protocol versions.
 
 `pimsyn --worker` (no other flags) runs the evaluation-worker protocol on
 stdin/stdout; it is spawned by `--backend subprocess` and not meant for
@@ -841,6 +861,7 @@ struct ServeArgs {
     job_slots: Option<usize>,
     queue_depth: Option<usize>,
     backend: BackendKind,
+    worker_registry: Option<String>,
     remote_token_file: Option<String>,
     eval_cache_file: Option<String>,
     eval_cache_max_entries: Option<usize>,
@@ -854,12 +875,14 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
         job_slots: None,
         queue_depth: None,
         backend: BackendKind::Inline,
+        worker_registry: None,
         remote_token_file: None,
         eval_cache_file: None,
         eval_cache_max_entries: None,
         auth_token_file: None,
         quiet: false,
     };
+    let mut backend_set = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -877,8 +900,10 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
             }
             "--backend" => {
                 args.backend = BackendKind::parse(&value("--backend")?)
-                    .map_err(|e| format!("bad --backend: {e}"))?
+                    .map_err(|e| format!("bad --backend: {e}"))?;
+                backend_set = true;
             }
+            "--worker-registry" => args.worker_registry = Some(value("--worker-registry")?),
             "--remote-token-file" => args.remote_token_file = Some(value("--remote-token-file")?),
             "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
             "--eval-cache-max-entries" => {
@@ -898,10 +923,71 @@ fn parse_serve_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeArgs
     if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
         return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
     }
+    resolve_registry_backend(
+        &mut args.backend,
+        backend_set,
+        args.worker_registry.as_deref(),
+    )?;
     if args.remote_token_file.is_some() && !matches!(args.backend, BackendKind::Remote { .. }) {
         return Err("--remote-token-file requires --backend remote:host:port[,...]".to_string());
     }
     Ok(args)
+}
+
+/// Folds `--worker-registry` into the backend choice: a registry implies
+/// scoring on the announced fleet, so an unset backend becomes a remote
+/// backend with an (initially) empty roster, an explicit remote backend
+/// keeps its static seed endpoints, and an explicitly non-remote backend
+/// is a contradiction worth rejecting loudly.
+fn resolve_registry_backend(
+    backend: &mut BackendKind,
+    backend_set: bool,
+    worker_registry: Option<&str>,
+) -> Result<(), String> {
+    let Some(registry) = worker_registry else {
+        return Ok(());
+    };
+    if !registry.contains(':') {
+        return Err("--worker-registry must be a HOST:PORT listen address".to_string());
+    }
+    match backend {
+        _ if !backend_set => {
+            *backend = BackendKind::Remote {
+                endpoints: Vec::new(),
+            }
+        }
+        BackendKind::Remote { .. } => {}
+        other => {
+            return Err(format!(
+                "--worker-registry feeds a remote backend; it cannot be combined \
+                 with --backend {other}"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Binds and starts the worker-registry listener a `--worker-registry`
+/// daemon exposes, returning the registry handle to attach as the shared
+/// evaluation resources' worker directory (and, for the gateway, to render
+/// in `/metrics`). Registry messages authenticate with the same fleet-wide
+/// shared secret the remote backend presents to workers
+/// (`--remote-token-file`), so one token file covers the whole fleet.
+fn start_worker_registry(
+    listen: &str,
+    remote_token_file: Option<&str>,
+    quiet: bool,
+) -> Result<std::sync::Arc<pimsyn::WorkerRegistry>, String> {
+    let token = match remote_token_file {
+        Some(path) => Some(read_token_file(path)?),
+        None => None,
+    };
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot listen on {listen} for worker registry: {e}"))?;
+    let registry = pimsyn::WorkerRegistry::new(pimsyn::DEFAULT_HEARTBEAT_INTERVAL, token, quiet);
+    pimsyn::serve_registry_in_background(listener, registry.clone())
+        .map_err(|e| format!("worker registry failed to start: {e}"))?;
+    Ok(registry)
 }
 
 fn run_serve(argv: &[String]) -> ExitCode {
@@ -927,6 +1013,19 @@ fn run_serve(argv: &[String]) -> ExitCode {
         config = config.with_queue_depth(depth);
     }
     let service = std::sync::Arc::new(SynthesisService::new(config));
+    if let Some(registry_listen) = &args.worker_registry {
+        match start_worker_registry(
+            registry_listen,
+            args.remote_token_file.as_deref(),
+            args.quiet,
+        ) {
+            Ok(registry) => service.shared_resources().set_worker_directory(registry),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let overlay_args = args.clone();
     // Server-side policy: the daemon decides where scoring runs and which
     // cache file (if any) persists it; clients describe only the job. The
@@ -973,6 +1072,7 @@ struct GatewayArgs {
     job_slots: Option<usize>,
     queue_depth: Option<usize>,
     backend: BackendKind,
+    worker_registry: Option<String>,
     remote_token_file: Option<String>,
     eval_cache_file: Option<String>,
     eval_cache_max_entries: Option<usize>,
@@ -987,11 +1087,13 @@ fn parse_gateway_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Gateway
         job_slots: None,
         queue_depth: None,
         backend: BackendKind::Inline,
+        worker_registry: None,
         remote_token_file: None,
         eval_cache_file: None,
         eval_cache_max_entries: None,
         quiet: false,
     };
+    let mut backend_set = false;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -1017,8 +1119,10 @@ fn parse_gateway_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Gateway
             }
             "--backend" => {
                 args.backend = BackendKind::parse(&value("--backend")?)
-                    .map_err(|e| format!("bad --backend: {e}"))?
+                    .map_err(|e| format!("bad --backend: {e}"))?;
+                backend_set = true;
             }
+            "--worker-registry" => args.worker_registry = Some(value("--worker-registry")?),
             "--remote-token-file" => args.remote_token_file = Some(value("--remote-token-file")?),
             "--eval-cache-file" => args.eval_cache_file = Some(value("--eval-cache-file")?),
             "--eval-cache-max-entries" => {
@@ -1037,6 +1141,11 @@ fn parse_gateway_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Gateway
     if args.eval_cache_max_entries.is_some() && args.eval_cache_file.is_none() {
         return Err("--eval-cache-max-entries requires --eval-cache-file".to_string());
     }
+    resolve_registry_backend(
+        &mut args.backend,
+        backend_set,
+        args.worker_registry.as_deref(),
+    )?;
     if args.remote_token_file.is_some() && !matches!(args.backend, BackendKind::Remote { .. }) {
         return Err("--remote-token-file requires --backend remote:host:port[,...]".to_string());
     }
@@ -1083,6 +1192,23 @@ fn run_gateway(argv: &[String]) -> ExitCode {
         config = config.with_queue_depth(depth);
     }
     let service = std::sync::Arc::new(SynthesisService::new(config));
+    let mut registry = None;
+    if let Some(registry_listen) = &args.worker_registry {
+        match start_worker_registry(
+            registry_listen,
+            args.remote_token_file.as_deref(),
+            args.quiet,
+        ) {
+            Ok(r) => {
+                service.shared_resources().set_worker_directory(r.clone());
+                registry = Some(r);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let overlay_args = args.clone();
     // The same server-side policy overlay as `pimsyn serve`: the daemon
     // decides where scoring runs and which cache file persists it.
@@ -1097,9 +1223,15 @@ fn run_gateway(argv: &[String]) -> ExitCode {
             request.options.backend.cache_max_entries = overlay_args.eval_cache_max_entries;
         }
     };
-    let gateway_config = pimsyn_gateway::GatewayConfig::new()
+    let mut gateway_config = pimsyn_gateway::GatewayConfig::new()
         .with_tenants(tenants)
         .with_quiet(args.quiet);
+    if let Some(path) = &args.keys {
+        gateway_config = gateway_config.with_keys_file(path);
+    }
+    if let Some(registry) = registry {
+        gateway_config = gateway_config.with_worker_registry(registry);
+    }
     match pimsyn_gateway::serve_gateway(listener, service, overlay, gateway_config) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -1110,11 +1242,14 @@ fn run_gateway(argv: &[String]) -> ExitCode {
 }
 
 /// Flags of the `worker-serve` subcommand: where to listen, how many
-/// concurrent worker sessions to serve, and the optional shared auth token.
+/// concurrent worker sessions to serve, the optional shared auth token,
+/// the registry to announce to, and the protocol-version cap.
 #[derive(Debug, Clone)]
 struct WorkerServeArgs {
     listen: String,
     slots: usize,
+    announce: Option<String>,
+    protocol_max: Option<u32>,
     auth_token_file: Option<String>,
     quiet: bool,
 }
@@ -1125,6 +1260,8 @@ fn parse_worker_serve_args<I: IntoIterator<Item = String>>(
     let mut args = WorkerServeArgs {
         listen: String::new(),
         slots: 0,
+        announce: None,
+        protocol_max: None,
         auth_token_file: None,
         quiet: false,
     };
@@ -1139,6 +1276,13 @@ fn parse_worker_serve_args<I: IntoIterator<Item = String>>(
                     _ => return Err("--slots must be a positive integer".to_string()),
                 }
             }
+            "--announce" => args.announce = Some(value("--announce")?),
+            "--protocol-max" => {
+                args.protocol_max = match value("--protocol-max")?.parse::<u32>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err("--protocol-max must be a positive integer".to_string()),
+                }
+            }
             "--auth-token-file" => args.auth_token_file = Some(value("--auth-token-file")?),
             "--quiet" | "-q" => args.quiet = true,
             other => return Err(format!("unknown worker-serve flag `{other}`")),
@@ -1146,6 +1290,11 @@ fn parse_worker_serve_args<I: IntoIterator<Item = String>>(
     }
     if args.listen.is_empty() {
         return Err("worker-serve requires --listen <host:port>".to_string());
+    }
+    if let Some(announce) = &args.announce {
+        if !announce.contains(':') {
+            return Err("--announce must be a HOST:PORT registry address".to_string());
+        }
     }
     Ok(args)
 }
@@ -1185,6 +1334,8 @@ fn run_worker_serve(argv: &[String]) -> ExitCode {
         slots: args.slots,
         token,
         quiet: args.quiet,
+        protocol_max: args.protocol_max,
+        announce: args.announce.clone(),
     };
     match pimsyn::serve_workers(listener, config) {
         Ok(()) => ExitCode::SUCCESS,
@@ -1785,6 +1936,61 @@ mod tests {
         assert_eq!(args.auth_token_file.as_deref(), Some("tok.txt"));
     }
 
+    #[test]
+    fn serve_worker_registry_implies_a_remote_backend() {
+        // No explicit backend: the registry fleet is the backend, with an
+        // initially empty roster that announcing workers will grow.
+        let args = parse_serve(&["--listen", "x", "--worker-registry", "127.0.0.1:0"]).unwrap();
+        assert_eq!(args.worker_registry.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            args.backend,
+            BackendKind::Remote {
+                endpoints: Vec::new()
+            }
+        );
+        // An explicit remote backend keeps its static seed endpoints.
+        let args = parse_serve(&[
+            "--listen",
+            "x",
+            "--worker-registry",
+            "127.0.0.1:0",
+            "--backend",
+            "remote:h:1",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.backend,
+            BackendKind::Remote {
+                endpoints: vec!["h:1".to_string()]
+            }
+        );
+        // The auto-remote backend makes --remote-token-file coherent too.
+        let args = parse_serve(&[
+            "--listen",
+            "x",
+            "--worker-registry",
+            "127.0.0.1:0",
+            "--remote-token-file",
+            "/tmp/tok",
+        ])
+        .unwrap();
+        assert_eq!(args.remote_token_file.as_deref(), Some("/tmp/tok"));
+        // An explicitly non-remote backend contradicts the registry.
+        let err = parse_serve(&[
+            "--listen",
+            "x",
+            "--worker-registry",
+            "127.0.0.1:0",
+            "--backend",
+            "subprocess:2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--worker-registry"), "{err}");
+        // The registry address must look dialable.
+        let err = parse_serve(&["--listen", "x", "--worker-registry", "noport"]).unwrap_err();
+        assert!(err.contains("HOST:PORT"), "{err}");
+    }
+
     fn parse_gateway(args: &[&str]) -> Result<GatewayArgs, String> {
         parse_gateway_args(args.iter().map(|s| s.to_string()))
     }
@@ -1822,6 +2028,60 @@ mod tests {
         assert!(err.contains("unknown gateway flag"), "{err}");
         let err = parse_gateway(&["--listen", "x", "--eval-cache-max-entries", "5"]).unwrap_err();
         assert!(err.contains("--eval-cache-file"), "{err}");
+
+        // --worker-registry works exactly like on `serve`.
+        let args = parse_gateway(&["--listen", "x", "--worker-registry", "127.0.0.1:0"]).unwrap();
+        assert_eq!(args.worker_registry.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            args.backend,
+            BackendKind::Remote {
+                endpoints: Vec::new()
+            }
+        );
+        let err = parse_gateway(&[
+            "--listen",
+            "x",
+            "--worker-registry",
+            "127.0.0.1:0",
+            "--backend",
+            "inline",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--worker-registry"), "{err}");
+    }
+
+    fn parse_worker_serve(args: &[&str]) -> Result<WorkerServeArgs, String> {
+        parse_worker_serve_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn worker_serve_args_parse_and_validate() {
+        let args = parse_worker_serve(&["--listen", "127.0.0.1:0", "--slots", "2"]).unwrap();
+        assert_eq!(args.listen, "127.0.0.1:0");
+        assert_eq!(args.slots, 2);
+        assert_eq!(args.announce, None);
+        assert_eq!(args.protocol_max, None);
+
+        let args = parse_worker_serve(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--announce",
+            "127.0.0.1:7742",
+            "--protocol-max",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(args.announce.as_deref(), Some("127.0.0.1:7742"));
+        assert_eq!(args.protocol_max, Some(1));
+
+        let err = parse_worker_serve(&[]).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = parse_worker_serve(&["--listen", "x", "--protocol-max", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_worker_serve(&["--listen", "x", "--announce", "noport"]).unwrap_err();
+        assert!(err.contains("HOST:PORT"), "{err}");
+        let err = parse_worker_serve(&["--listen", "x", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown worker-serve flag"), "{err}");
     }
 
     #[test]

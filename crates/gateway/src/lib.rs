@@ -56,4 +56,4 @@ pub use payload::parse_http_job;
 pub use server::{
     serve_gateway, serve_gateway_in_background, GatewayConfig, GatewayHandle, DEFAULT_HEARTBEAT,
 };
-pub use tenant::TenantRegistry;
+pub use tenant::{TenantRegistry, TenantSource};

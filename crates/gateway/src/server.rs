@@ -38,7 +38,7 @@ use pimsyn_model::json::JsonValue;
 use crate::http::{self, HttpParseError, HttpRequest};
 use crate::metrics::MetricsRegistry;
 use crate::payload;
-use crate::tenant::TenantRegistry;
+use crate::tenant::{TenantRegistry, TenantSource};
 
 /// Gateway-level policy, beyond the service's own configuration.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +46,12 @@ pub struct GatewayConfig {
     /// API keys and per-tenant policies; empty = open (no auth, one
     /// anonymous lane).
     pub tenants: TenantRegistry,
+    /// The keys file behind [`tenants`](Self::tenants), when it came from
+    /// disk. With a path set the gateway re-reads the file whenever its
+    /// mtime/size changes, so keys rotate on a live gateway — added keys
+    /// start authenticating, removed keys start getting 401s — without a
+    /// restart.
+    pub keys_file: Option<String>,
     /// Suppress per-request log lines on stderr (the script-facing
     /// `listening on <addr>` line prints regardless).
     pub quiet: bool,
@@ -54,6 +60,10 @@ pub struct GatewayConfig {
     /// back to [`DEFAULT_HEARTBEAT`]; `Some(Duration::ZERO)` disables
     /// heartbeats entirely.
     pub heartbeat: Option<Duration>,
+    /// The worker registry of a `--worker-registry` gateway. Only read at
+    /// `/metrics` scrape time (fleet gauges); announcing workers feed it
+    /// through its own TCP listener.
+    pub worker_registry: Option<Arc<pimsyn::WorkerRegistry>>,
 }
 
 /// Default keep-alive interval for idle event streams: short enough that
@@ -70,6 +80,21 @@ impl GatewayConfig {
     #[must_use]
     pub fn with_tenants(mut self, tenants: TenantRegistry) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Points the gateway at the keys file its tenant registry was loaded
+    /// from, enabling live key rotation (mtime-based reload).
+    #[must_use]
+    pub fn with_keys_file(mut self, path: impl Into<String>) -> Self {
+        self.keys_file = Some(path.into());
+        self
+    }
+
+    /// Attaches the worker registry whose fleet state `/metrics` reports.
+    #[must_use]
+    pub fn with_worker_registry(mut self, registry: Arc<pimsyn::WorkerRegistry>) -> Self {
+        self.worker_registry = Some(registry);
         self
     }
 
@@ -173,13 +198,14 @@ impl EventSink for JobSink {
 struct GatewayShared {
     service: Arc<SynthesisService>,
     configure: Box<dyn Fn(&mut SynthesisRequest) + Send + Sync>,
-    tenants: TenantRegistry,
+    tenants: TenantSource,
     metrics: Arc<MetricsRegistry>,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
     stop: AtomicBool,
     addr: SocketAddr,
     quiet: bool,
     heartbeat: Duration,
+    registry: Option<Arc<pimsyn::WorkerRegistry>>,
 }
 
 impl GatewayShared {
@@ -219,20 +245,22 @@ where
     let shared = Arc::new(GatewayShared {
         service,
         configure: Box::new(configure),
-        tenants: config.tenants,
+        tenants: TenantSource::new(config.tenants, config.keys_file),
         metrics: Arc::new(MetricsRegistry::new()),
         jobs: Mutex::new(HashMap::new()),
         stop: AtomicBool::new(false),
         addr,
         quiet: config.quiet,
         heartbeat,
+        registry: config.worker_registry,
     });
     // Unconditional: the script-facing bound-address line (see above).
     eprintln!("pimsyn gateway: listening on {addr}");
-    if shared.tenants.requires_auth() {
+    let tenants = shared.tenants.current();
+    if tenants.requires_auth() {
         shared.note(&format!(
             "bearer-token auth enabled ({} tenants)",
-            shared.tenants.len()
+            tenants.len()
         ));
     }
     for stream in listener.incoming() {
@@ -389,13 +417,12 @@ fn job_path(path: &str) -> Option<(u64, Option<&str>)> {
 }
 
 fn route(shared: &Arc<GatewayShared>, stream: &mut TcpStream, request: &HttpRequest) {
-    // Resolve authentication once; per-route code decides whether the
-    // route needs it. `Ok(None)` = open mode (no registry).
-    let auth: Result<Option<&pimsyn::TenantPolicy>, ()> = if shared.tenants.requires_auth() {
-        match request
-            .bearer_token()
-            .and_then(|k| shared.tenants.resolve(k))
-        {
+    // Resolve authentication once against the keys file's *current* state
+    // (rotations apply to the very next request); per-route code decides
+    // whether the route needs it. `Ok(None)` = open mode (no registry).
+    let tenants = shared.tenants.current();
+    let auth: Result<Option<&pimsyn::TenantPolicy>, ()> = if tenants.requires_auth() {
+        match request.bearer_token().and_then(|k| tenants.resolve(k)) {
             Some(policy) => Ok(Some(policy)),
             None => Err(()),
         }
@@ -700,6 +727,99 @@ fn handle_metrics(shared: &GatewayShared) -> Outcome {
          pimsyn_gateway_worker_spawns_total {}",
         shared.service.worker_spawns()
     );
+    if let Some(registry) = &shared.registry {
+        let reg = registry.snapshot();
+        let _ = writeln!(
+            body,
+            "# HELP pimsyn_gateway_registry_workers Worker daemons currently \
+             registered (announced and not stale).\n\
+             # TYPE pimsyn_gateway_registry_workers gauge\n\
+             pimsyn_gateway_registry_workers {}",
+            reg.workers.len()
+        );
+        for (name, help, value) in [
+            (
+                "pimsyn_gateway_registry_announces_total",
+                "Worker announces accepted by the registry.",
+                reg.announces,
+            ),
+            (
+                "pimsyn_gateway_registry_heartbeats_total",
+                "Worker heartbeats received by the registry.",
+                reg.heartbeats,
+            ),
+            (
+                "pimsyn_gateway_registry_evictions_total",
+                "Workers evicted for missed heartbeats.",
+                reg.evictions,
+            ),
+            (
+                "pimsyn_gateway_registry_drains_total",
+                "Workers deregistered by graceful drain.",
+                reg.drains,
+            ),
+        ] {
+            let _ = writeln!(
+                body,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        }
+        body.push_str(
+            "# HELP pimsyn_gateway_registry_worker_slots Advertised session slots \
+             per registered worker, labeled with its protocol ceiling.\n\
+             # TYPE pimsyn_gateway_registry_worker_slots gauge\n",
+        );
+        for worker in &reg.workers {
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_registry_worker_slots{{addr=\"{}\",proto_max=\"{}\"}} {}",
+                http::escape_label(&worker.addr),
+                worker.proto_max,
+                worker.slots
+            );
+        }
+    }
+    if let Some(fleet) = shared.service.shared_resources().remote_fleet() {
+        for (name, help, value) in [
+            (
+                "pimsyn_gateway_fleet_live_connections",
+                "Remote worker connections currently leased to running jobs.",
+                fleet.live_connections,
+            ),
+            (
+                "pimsyn_gateway_fleet_idle_connections",
+                "Persistent remote worker connections held open between jobs.",
+                fleet.idle_connections,
+            ),
+        ] {
+            let _ = writeln!(
+                body,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        }
+        let _ = writeln!(
+            body,
+            "# HELP pimsyn_gateway_fleet_connects_total Remote worker dials over \
+             the shared pool's lifetime.\n\
+             # TYPE pimsyn_gateway_fleet_connects_total counter\n\
+             pimsyn_gateway_fleet_connects_total {}",
+            fleet.connects
+        );
+        body.push_str(
+            "# HELP pimsyn_gateway_fleet_endpoint_protocol Last negotiated worker-\
+             protocol version per endpoint (0 = never connected).\n\
+             # TYPE pimsyn_gateway_fleet_endpoint_protocol gauge\n",
+        );
+        for endpoint in &fleet.endpoints {
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_fleet_endpoint_protocol{{addr=\"{}\",discovered=\"{}\"}} {}",
+                http::escape_label(&endpoint.addr),
+                endpoint.discovered,
+                endpoint.protocol
+            );
+        }
+    }
     Outcome {
         status: 200,
         content_type: "text/plain; version=0.0.4",

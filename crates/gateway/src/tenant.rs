@@ -133,6 +133,74 @@ impl TenantRegistry {
     }
 }
 
+/// A tenant registry that follows its keys file across rotations.
+///
+/// The gateway resolves every request against [`current`](Self::current),
+/// which re-reads the keys file whenever its on-disk fingerprint
+/// (modification time and size) changes — so API keys can be added or
+/// revoked on a *live* gateway by rewriting the file, no restart needed.
+/// A keys file that turns unreadable or malformed mid-rotation keeps the
+/// last good registry (and says so on stderr once per bad revision): a
+/// fumbled rotation must not lock every tenant out.
+#[derive(Debug)]
+pub struct TenantSource {
+    path: Option<String>,
+    state: std::sync::Mutex<SourceState>,
+}
+
+#[derive(Debug)]
+struct SourceState {
+    registry: std::sync::Arc<TenantRegistry>,
+    fingerprint: Option<(std::time::SystemTime, u64)>,
+}
+
+impl TenantSource {
+    /// A source seeded with `registry`, reloading from `path` when set.
+    pub fn new(registry: TenantRegistry, path: Option<String>) -> Self {
+        let fingerprint = path.as_deref().and_then(keys_fingerprint);
+        Self {
+            path,
+            state: std::sync::Mutex::new(SourceState {
+                registry: std::sync::Arc::new(registry),
+                fingerprint,
+            }),
+        }
+    }
+
+    /// A static source that never reloads (no keys file on disk).
+    pub fn fixed(registry: TenantRegistry) -> Self {
+        Self::new(registry, None)
+    }
+
+    /// The registry as of the keys file's current on-disk state.
+    pub fn current(&self) -> std::sync::Arc<TenantRegistry> {
+        let mut state = self.state.lock().expect("tenant source");
+        if let Some(path) = &self.path {
+            let fresh = keys_fingerprint(path);
+            if fresh != state.fingerprint {
+                match TenantRegistry::load(path) {
+                    Ok(registry) => state.registry = std::sync::Arc::new(registry),
+                    // Keep the last good key set. Recording the bad
+                    // revision's fingerprint anyway means the warning
+                    // prints once per rewrite, not once per request.
+                    Err(e) => eprintln!("pimsyn gateway: keys file reload failed: {e}"),
+                }
+                state.fingerprint = fresh;
+            }
+        }
+        std::sync::Arc::clone(&state.registry)
+    }
+}
+
+/// The (mtime, size) pair that decides whether a keys file changed.
+/// `None` when the file is missing or unreadable — distinct from every
+/// readable fingerprint, so deleting and restoring the file triggers a
+/// reload too.
+fn keys_fingerprint(path: &str) -> Option<(std::time::SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +230,33 @@ mod tests {
     #[test]
     fn open_registry_requires_no_auth() {
         assert!(!TenantRegistry::open().requires_auth());
+    }
+
+    #[test]
+    fn source_follows_keys_file_rotations() {
+        let path = std::env::temp_dir().join(format!(
+            "pimsyn-tenant-source-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap().to_string();
+        std::fs::write(&path, r#"{"tenants": [{"name": "alice", "key": "k-a"}]}"#).unwrap();
+        let seed = TenantRegistry::load(&path_str).unwrap();
+        let source = TenantSource::new(seed, Some(path_str.clone()));
+        assert!(source.current().resolve("k-a").is_some());
+        assert!(source.current().resolve("k-bob").is_none());
+        // Rotate: bob in, alice out. The revisions differ in size, so the
+        // fingerprint changes even on filesystems with coarse mtimes.
+        std::fs::write(&path, r#"{"tenants": [{"name": "bob", "key": "k-bob"}]}"#).unwrap();
+        assert!(source.current().resolve("k-bob").is_some());
+        assert!(source.current().resolve("k-a").is_none());
+        // A malformed rewrite keeps the last good key set.
+        std::fs::write(&path, "not json {").unwrap();
+        assert!(source.current().resolve("k-bob").is_some());
+        std::fs::remove_file(&path).unwrap();
+        // A fixed source never reloads.
+        let fixed = TenantSource::fixed(TenantRegistry::open());
+        assert!(!fixed.current().requires_auth());
     }
 
     #[test]

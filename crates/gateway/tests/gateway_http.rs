@@ -326,6 +326,108 @@ fn bearer_auth_tenancy_and_quotas() {
     handle.join().expect("gateway exits cleanly after drain");
 }
 
+/// A gateway started with a keys file follows rotations of that file
+/// without a restart: a newly added key starts authenticating, a removed
+/// key starts getting 401s, and a malformed rewrite keeps the last good
+/// key set in force.
+#[test]
+fn keys_file_rotation_applies_without_restart() {
+    let keys_path =
+        std::env::temp_dir().join(format!("pimsyn-gateway-keys-{}.json", std::process::id()));
+    std::fs::write(
+        &keys_path,
+        r#"{"tenants": [{"name": "alice", "key": "k-alice"}]}"#,
+    )
+    .unwrap();
+    let tenants = TenantRegistry::load(keys_path.to_str().unwrap()).expect("initial keys");
+    let (handle, addr) = start_gateway(
+        GatewayConfig::new()
+            .with_tenants(tenants)
+            .with_keys_file(keys_path.to_str().unwrap())
+            .with_quiet(true),
+        1,
+    );
+
+    // Authenticated requests reach the API (404: no such job yet);
+    // unknown keys are challenged.
+    let (status, _, _) = get(&addr, "/v1/jobs/1", Some("k-alice"));
+    assert_eq!(status, 404);
+    let (status, _, _) = get(&addr, "/v1/jobs/1", Some("k-bob"));
+    assert_eq!(status, 401);
+
+    // Rotate: bob in, alice out. The very next request sees the new set.
+    std::fs::write(
+        &keys_path,
+        r#"{"tenants": [{"name": "bob", "key": "k-bob", "weight": 3}]}"#,
+    )
+    .unwrap();
+    let (status, _, _) = get(&addr, "/v1/jobs/1", Some("k-bob"));
+    assert_eq!(status, 404, "a newly added key must authenticate");
+    let (status, _, _) = get(&addr, "/v1/jobs/1", Some("k-alice"));
+    assert_eq!(status, 401, "a removed key must stop authenticating");
+
+    // A malformed rewrite must not lock every tenant out: the last good
+    // key set stays in force until the file parses again.
+    std::fs::write(&keys_path, "{definitely not json").unwrap();
+    let (status, _, _) = get(&addr, "/v1/jobs/1", Some("k-bob"));
+    assert_eq!(status, 404, "last good keys must survive a bad rewrite");
+
+    let (status, _, _) = request(&addr, "POST", "/v1/drain", Some("k-bob"), None);
+    assert_eq!(status, 202);
+    handle.join().expect("gateway exits cleanly after drain");
+    let _ = std::fs::remove_file(&keys_path);
+}
+
+/// With a worker registry attached, `/metrics` exposes the fleet: the
+/// registered-worker gauge, churn counters, and per-worker slot gauges.
+#[test]
+fn metrics_expose_worker_registry_state() {
+    let registry = pimsyn::WorkerRegistry::new(pimsyn::DEFAULT_HEARTBEAT_INTERVAL, None, true);
+    registry.announce("10.0.0.7:9900", 4, 2);
+    registry.announce("10.0.0.8:9900", 2, 1);
+    registry.drain("10.0.0.8:9900");
+    let (handle, addr) = start_gateway(
+        GatewayConfig::new()
+            .with_worker_registry(registry)
+            .with_quiet(true),
+        1,
+    );
+
+    let (status, _, body) = get(&addr, "/metrics", None);
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("metrics text");
+    for family in [
+        "pimsyn_gateway_registry_workers",
+        "pimsyn_gateway_registry_announces_total",
+        "pimsyn_gateway_registry_heartbeats_total",
+        "pimsyn_gateway_registry_evictions_total",
+        "pimsyn_gateway_registry_drains_total",
+        "pimsyn_gateway_registry_worker_slots",
+    ] {
+        assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+        assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
+    }
+    assert!(text.contains("pimsyn_gateway_registry_workers 1"), "{text}");
+    assert!(
+        text.contains("pimsyn_gateway_registry_announces_total 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pimsyn_gateway_registry_drains_total 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "pimsyn_gateway_registry_worker_slots{addr=\"10.0.0.7:9900\",proto_max=\"2\"} 4"
+        ),
+        "{text}"
+    );
+
+    let (status, _, _) = request(&addr, "POST", "/v1/drain", None, None);
+    assert_eq!(status, 202);
+    handle.join().expect("gateway exits cleanly after drain");
+}
+
 /// `/metrics` renders valid Prometheus text: every family has HELP/TYPE,
 /// and after one finished job the counters, gauges and the latency
 /// histogram are populated.

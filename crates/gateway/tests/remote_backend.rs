@@ -55,6 +55,7 @@ fn remote_backend_is_bit_identical_to_inline() {
         slots: 2,
         token: None,
         quiet: true,
+        ..Default::default()
     });
     let addr = daemon.addr().to_string();
     let remote = Synthesizer::new(remote_options(&addr))
@@ -109,6 +110,7 @@ fn wrong_token_is_rejected_and_daemon_survives() {
         slots: 1,
         token: Some("s3cret".to_string()),
         quiet: true,
+        ..Default::default()
     });
     let addr = daemon.addr().to_string();
     // A stop without (or with the wrong) token must be refused...
@@ -248,6 +250,164 @@ fn cli_auth_failure_warns_once_and_matches_inline_summary() {
     let status = child.wait().expect("worker-serve exits");
     assert!(status.success(), "worker-serve must exit cleanly: {status}");
     let _ = std::fs::remove_file(&token_path);
+}
+
+// --- worker fleet: protocol downgrade and registry churn ---
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pimsyn::{
+    serve_registry_in_background, ServiceConfig, SynthesisRequest, SynthesisService, WorkerRegistry,
+};
+
+/// Starts a worker registry on a loopback port and a synthesis service
+/// whose shared evaluation resources consult it for the remote roster —
+/// the same wiring `pimsyn serve --worker-registry` performs.
+fn registry_service(interval: Duration) -> (Arc<SynthesisService>, Arc<WorkerRegistry>, String) {
+    let registry = WorkerRegistry::new(interval, None, true);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind registry port");
+    let addr = serve_registry_in_background(listener, registry.clone()).expect("start registry");
+    let service = Arc::new(SynthesisService::new(ServiceConfig::default()));
+    service
+        .shared_resources()
+        .set_worker_directory(registry.clone());
+    (service, registry, addr.to_string())
+}
+
+/// Runs one job through the service with an empty static roster: every
+/// endpoint the run uses must come from the registry directory.
+fn registry_run(
+    service: &SynthesisService,
+    model: &pimsyn_model::Model,
+) -> pimsyn::SynthesisResult {
+    let options = base_options().with_backend(BackendKind::Remote {
+        endpoints: Vec::new(),
+    });
+    let handle = service
+        .submit(SynthesisRequest::new(model.clone(), options))
+        .expect("submit job");
+    handle.await_result().expect("job succeeds")
+}
+
+fn wait_for(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn v1_only_daemon_downgrades_and_matches_inline() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    // A peer capped at protocol 1 forces the handshake to negotiate the
+    // JSON-lines wire even though the dialer prefers the v2 binary frames;
+    // the scores crossing that wire must still be bit-identical.
+    let daemon = loopback_daemon(WorkerServeConfig {
+        slots: 2,
+        quiet: true,
+        protocol_max: Some(1),
+        ..Default::default()
+    });
+    let addr = daemon.addr().to_string();
+    let remote = Synthesizer::new(remote_options(&addr))
+        .synthesize(&model)
+        .unwrap();
+    assert_identical(&inline, &remote);
+    stop_worker_server(&addr, None).expect("daemon stops cleanly");
+    daemon.join().expect("daemon exits cleanly");
+}
+
+#[test]
+fn registry_join_and_drain_keep_results_identical() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    let (service, registry, registry_addr) = registry_service(Duration::from_millis(100));
+
+    // No workers registered yet: the empty roster scores inline.
+    assert_identical(&inline, &registry_run(&service, &model));
+
+    // A worker announcing itself while a job is already running is picked
+    // up at the next chunk dispatch — or not at all, if the job finishes
+    // first. Either interleaving must produce the same result.
+    let announce_to = registry_addr.clone();
+    let joiner = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        loopback_daemon(WorkerServeConfig {
+            slots: 2,
+            quiet: true,
+            announce: Some(announce_to),
+            ..Default::default()
+        })
+    });
+    assert_identical(&inline, &registry_run(&service, &model));
+    let daemon = joiner.join().unwrap();
+
+    // Steady state: the worker is registered and the fleet shows a
+    // registry-discovered endpoint after the run.
+    wait_for("the worker to register", || {
+        !registry.snapshot().workers.is_empty()
+    });
+    assert_identical(&inline, &registry_run(&service, &model));
+    let fleet = service
+        .shared_resources()
+        .remote_fleet()
+        .expect("a remote fleet exists after a remote-backend job");
+    assert!(
+        fleet.endpoints.iter().any(|e| e.discovered),
+        "expected a registry-discovered endpoint, got {fleet:?}"
+    );
+
+    // Stopping the daemon sends a graceful drain; later jobs must fall
+    // back inline against the now-empty roster.
+    let worker_addr = daemon.addr().to_string();
+    stop_worker_server(&worker_addr, None).expect("worker stops cleanly");
+    daemon.join().expect("worker exits cleanly");
+    wait_for("the drain to deregister the worker", || {
+        registry.snapshot().workers.is_empty()
+    });
+    assert!(registry.snapshot().drains >= 1, "drain must be counted");
+    assert_identical(&inline, &registry_run(&service, &model));
+    service.shutdown();
+}
+
+#[test]
+fn dead_worker_is_evicted_and_results_stay_identical() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+    let (service, registry, registry_addr) = registry_service(Duration::from_millis(100));
+
+    // A real CLI child: killing it cuts live sessions *and* its announcer,
+    // so heartbeats stop and the registry must age the entry out.
+    let (mut child, _worker_addr) =
+        spawn_worker_serve_cli(&["--quiet", "--announce", &registry_addr]);
+    wait_for("the worker to register", || {
+        !registry.snapshot().workers.is_empty()
+    });
+
+    // Kill it mid-run: in-flight chunks recompute inline, the result is
+    // unchanged, and no drain ever arrives — only missed heartbeats.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+    assert_identical(&inline, &registry_run(&service, &model));
+    killer.join().unwrap();
+
+    // Three missed heartbeats at the 100ms test interval: the entry is
+    // evicted, and jobs against the empty roster still match inline.
+    wait_for("the dead worker to be evicted", || {
+        let snap = registry.snapshot();
+        snap.workers.is_empty() && snap.evictions >= 1
+    });
+    assert_identical(&inline, &registry_run(&service, &model));
+    service.shutdown();
 }
 
 #[test]

@@ -124,6 +124,7 @@ fn remote_backend_equals_inline_bit_identically() {
             slots: 2,
             token: None,
             quiet: true,
+            ..Default::default()
         },
     )
     .expect("start worker daemon");
