@@ -93,10 +93,16 @@ impl CrossbarConfig {
     /// hardware to hold one full copy of `layer`'s weights:
     ///
     /// `set = ceil(WK*WK*CI / XbSize) * ceil(CO / XbSize) * ceil(PrecWt / ResRram)`.
+    ///
+    /// Grouped/depthwise layers map block-diagonally: each of the `groups`
+    /// weight blocks spans `WK*WK*CI/groups` rows and `CO/groups` columns and
+    /// is tiled independently (crossbar rows cannot be shared across groups —
+    /// a column sums every programmed row), so the set multiplies per-group
+    /// tiling by the group count. Identical to Eq. (1) when `groups == 1`.
     pub fn crossbar_set(&self, layer: &WeightLayer, weight_bits: u32) -> usize {
         let row_groups = layer.filter_rows().div_ceil(self.size);
-        let col_groups = layer.out_channels.div_ceil(self.size);
-        row_groups * col_groups * self.weight_slices(weight_bits)
+        let col_groups = (layer.out_channels / layer.groups).div_ceil(self.size);
+        layer.groups * row_groups * col_groups * self.weight_slices(weight_bits)
     }
 
     /// Eq. (3): the total crossbar budget a power envelope affords:

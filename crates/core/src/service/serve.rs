@@ -351,8 +351,17 @@ fn fleet_summary(service: &SynthesisService) -> Option<String> {
         } else {
             "static"
         };
+        let timing = if endpoint.batches > 0 {
+            format!(
+                ", {} batches avg {:.1} ms",
+                endpoint.batches,
+                endpoint.batch_seconds / endpoint.batches as f64 * 1e3
+            )
+        } else {
+            String::new()
+        };
         line.push_str(&format!(
-            "; {} [{origin} {proto}, {} live]",
+            "; {} [{origin} {proto}, {} live{timing}]",
             endpoint.addr, endpoint.live
         ));
     }

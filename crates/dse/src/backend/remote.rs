@@ -102,6 +102,11 @@ struct EndpointHealth {
     live: usize,
     /// Until when reconnection attempts are suspended after a failure.
     backoff_until: Option<Instant>,
+    /// Cumulative wall-clock seconds spent in successful scoring round
+    /// trips to this endpoint (send chunk -> receive scores).
+    batch_seconds: f64,
+    /// Successful scoring round trips, the divisor for `batch_seconds`.
+    batches: usize,
 }
 
 /// One endpoint of the fleet. Connections hold an `Arc` to their endpoint
@@ -133,6 +138,8 @@ impl Endpoint {
                 slots: 1,
                 live: 0,
                 backoff_until: None,
+                batch_seconds: 0.0,
+                batches: 0,
             }),
         })
     }
@@ -154,7 +161,7 @@ struct RemoteConn {
 }
 
 /// One endpoint's status in a [`RemoteFleetSnapshot`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemoteEndpointStatus {
     /// The endpoint's `host:port`.
     pub addr: String,
@@ -165,10 +172,18 @@ pub struct RemoteEndpointStatus {
     pub live: usize,
     /// Protocol version of the most recent session (`0` = none yet).
     pub protocol: u32,
+    /// Cumulative wall-clock seconds this pool spent in successful scoring
+    /// round trips to the endpoint. With [`batches`] this yields the
+    /// mean per-batch scoring latency (a Prometheus summary pair).
+    ///
+    /// [`batches`]: RemoteEndpointStatus::batches
+    pub batch_seconds: f64,
+    /// Successful scoring round trips to the endpoint.
+    pub batches: usize,
 }
 
 /// A point-in-time view of a [`RemotePool`] for metrics and summaries.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RemoteFleetSnapshot {
     /// Every endpoint currently in the roster, in roster order.
     pub endpoints: Vec<RemoteEndpointStatus>,
@@ -409,11 +424,16 @@ impl RemotePool {
         let endpoints = self.endpoints.lock().expect("remote roster");
         let statuses: Vec<RemoteEndpointStatus> = endpoints
             .iter()
-            .map(|e| RemoteEndpointStatus {
-                addr: e.addr.clone(),
-                discovered: e.discovered,
-                live: e.health.lock().expect("endpoint").live,
-                protocol: e.protocol.load(Ordering::Relaxed),
+            .map(|e| {
+                let health = e.health.lock().expect("endpoint");
+                RemoteEndpointStatus {
+                    addr: e.addr.clone(),
+                    discovered: e.discovered,
+                    live: health.live,
+                    protocol: e.protocol.load(Ordering::Relaxed),
+                    batch_seconds: health.batch_seconds,
+                    batches: health.batches,
+                }
             })
             .collect();
         drop(endpoints);
@@ -623,6 +643,7 @@ impl RemoteBackend {
             return (vec![CandidateScore::INFEASIBLE; jobs.len()], conn, 0, 0);
         }
         if let Some(mut conn) = conn {
+            let started = Instant::now();
             let exchanged = session::exchange_scores_in(
                 conn.wire,
                 &mut conn.writer,
@@ -631,7 +652,14 @@ impl RemoteBackend {
                 id_base,
             );
             match exchanged {
-                Ok(scores) => return (scores, Some(conn), jobs.len(), 0),
+                Ok(scores) => {
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let mut health = conn.endpoint.health.lock().expect("endpoint");
+                    health.batch_seconds += elapsed;
+                    health.batches += 1;
+                    drop(health);
+                    return (scores, Some(conn), jobs.len(), 0);
+                }
                 Err(detail) => {
                     let endpoint = Arc::clone(&conn.endpoint);
                     drop(conn);

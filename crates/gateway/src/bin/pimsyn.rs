@@ -9,10 +9,12 @@
 //! pimsyn --model alexnet-cifar --power 9 --output json
 //! pimsyn --model vgg16 --power 65 --effort paper --timeout 120 --max-evals 20000
 //! pimsyn --batch jobs.json --output json
+//! pimsyn zoo --describe mobilenet
+//! pimsyn export pimsim --model transformer-tiny --power 6 --pretty
 //! ```
 //!
-//! `--model` accepts any zoo name (`alexnet`, `vgg13`, `vgg16`, `msra`,
-//! `resnet18`, `alexnet-cifar`, `vgg16-cifar`, `resnet18-cifar`);
+//! `--model` accepts any zoo name (`pimsyn zoo` lists them all, classic
+//! CNNs and the modern depthwise/SE/attention additions alike);
 //! `--model-file` reads the ONNX-style JSON format of `pimsyn_model::onnx`.
 //!
 //! While a job runs, live progress (design points explored, new bests)
@@ -91,6 +93,9 @@ USAGE:
   pimsyn --model <zoo-name> --power <watts> [options]
   pimsyn --model-file <net.json> --power <watts> [options]
   pimsyn --batch <jobs.json> [options]
+  pimsyn zoo [--describe <name>] [--validate [<name>]] [--output <text|json>]
+  pimsyn export pimsim (--model <name> | --model-file <path>) --power <watts>
+                [--pretty] [--out <path>] [synthesis options]
   pimsyn serve --listen <host:port> [--job-slots N] [--queue-depth N]
                [--backend <spec>] [--worker-registry <host:port>]
                [--remote-token-file <path>]
@@ -111,8 +116,9 @@ USAGE:
   pimsyn worker-stop --connect <host:port> [--auth-token-file <path>]
 
 OPTIONS:
-  --model <name>        zoo model (alexnet, vgg13, vgg16, msra, resnet18,
-                        alexnet-cifar, vgg16-cifar, resnet18-cifar)
+  --model <name>        bundled zoo model; `pimsyn zoo` lists every name
+                        (classic CNNs plus mobilenet, resnet18-se,
+                        transformer-tiny)
   --model-file <path>   ONNX-style JSON model description
   --batch <path>        JSON array of jobs, e.g.
                         [{\"model\": \"alexnet-cifar\", \"power\": 9}, ...];
@@ -196,6 +202,20 @@ static remote:host:port roster (with --worker-registry and no explicit
 --backend, the daemon's backend is the announced fleet). --protocol-max
 caps the negotiated worker-protocol version (for mixed-version fleets and
 downgrade testing); results are bit-identical across protocol versions.
+
+`pimsyn zoo` inspects the bundled model zoo: with no flags it lists every
+model with a one-line description; --describe prints one model's layer
+stats; --validate rebuilds each model (or just the named one) and checks
+its ONNX-JSON round trip, exiting nonzero on any failure (the CI smoke
+step); --output json emits the listing machine-readably.
+
+`pimsyn export pimsim` synthesizes an accelerator exactly like the plain
+single-job flow (same --model/--model-file/--power and search options,
+bit-identical results) and then emits a PIMSIM-NN configuration document
+on stdout (or --out <path>) instead of a report: the workload, the
+synthesized per-layer mapping and PIMSYN's expected metrics, ready for
+cross-simulator validation. --pretty indents the JSON for humans; the
+field-by-field schema is documented in docs/ARCHITECTURE.md.
 
 `pimsyn --worker` (no other flags) runs the evaluation-worker protocol on
 stdin/stdout; it is spawned by `--backend subprocess` and not meant for
@@ -421,7 +441,12 @@ fn parse_macro_mode(s: &str) -> Result<MacroMode, String> {
 }
 
 fn load_named_model(name: &str) -> Result<Model, String> {
-    zoo::by_name(name).ok_or_else(|| format!("unknown zoo model `{name}`"))
+    zoo::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown zoo model `{name}` (available: {})",
+            zoo::names().join(", ")
+        )
+    })
 }
 
 fn load_model_file(path: &str) -> Result<Model, String> {
@@ -1543,6 +1568,313 @@ fn run_client(command: &str, argv: &[String]) -> ExitCode {
     }
 }
 
+/// Parsed `pimsyn zoo` arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ZooArgs {
+    describe: Option<String>,
+    validate: bool,
+    /// With `--validate`, restricts the check to one model.
+    validate_model: Option<String>,
+    json: bool,
+    help: bool,
+}
+
+fn parse_zoo_args<I: IntoIterator<Item = String>>(argv: I) -> Result<ZooArgs, String> {
+    let mut args = ZooArgs::default();
+    let mut it = argv.into_iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--describe" => {
+                args.describe = Some(it.next().ok_or("missing value for --describe")?);
+            }
+            "--validate" => {
+                args.validate = true;
+                // An optional positional model name may follow.
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        args.validate_model = it.next();
+                    }
+                }
+            }
+            "--output" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                Some(other) => return Err(format!("unknown output format `{other}`")),
+                None => return Err("missing value for --output".to_string()),
+            },
+            "--help" => args.help = true,
+            other => return Err(format!("unknown zoo flag `{other}`")),
+        }
+    }
+    if args.describe.is_some() && args.validate {
+        return Err("--describe and --validate are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+/// Builds a zoo model and checks its structural invariants plus the
+/// ONNX-JSON round trip. Returns a human-readable failure description.
+fn validate_zoo_entry(entry: &zoo::ZooEntry) -> Result<(), String> {
+    let model = (entry.build)();
+    if model.name() != entry.name {
+        return Err(format!(
+            "registry name `{}` != model name `{}`",
+            entry.name,
+            model.name()
+        ));
+    }
+    if model.weight_layer_count() == 0 {
+        return Err("model has no weight layers".to_string());
+    }
+    let text = onnx::to_json(&model);
+    let reparsed = onnx::parse_model(&text).map_err(|e| format!("ONNX round trip failed: {e}"))?;
+    if reparsed != model {
+        return Err("ONNX round trip is not the identity".to_string());
+    }
+    Ok(())
+}
+
+fn zoo_listing_json() -> JsonValue {
+    JsonValue::Array(
+        zoo::entries()
+            .iter()
+            .map(|entry| {
+                let model = (entry.build)();
+                let stats = model.stats();
+                let shape = model.input_shape();
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::String(entry.name.to_string())),
+                    (
+                        "description".into(),
+                        JsonValue::String(entry.description.to_string()),
+                    ),
+                    (
+                        "input_shape".into(),
+                        JsonValue::Array(vec![
+                            JsonValue::Number(shape.channels as f64),
+                            JsonValue::Number(shape.height as f64),
+                            JsonValue::Number(shape.width as f64),
+                        ]),
+                    ),
+                    (
+                        "weight_layers".into(),
+                        JsonValue::Number(stats.weight_layer_count as f64),
+                    ),
+                    (
+                        "total_macs".into(),
+                        JsonValue::Number(stats.total_macs as f64),
+                    ),
+                    (
+                        "total_weights".into(),
+                        JsonValue::Number(stats.total_weights as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn run_zoo(argv: &[String]) -> ExitCode {
+    let args = match parse_zoo_args(argv.iter().cloned()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(name) = &args.describe {
+        let model = match load_named_model(name) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stats = model.stats();
+        let shape = model.input_shape();
+        let entry = zoo::entries()
+            .iter()
+            .find(|e| e.name == name.as_str())
+            .expect("load_named_model succeeded");
+        println!("{}: {}", entry.name, entry.description);
+        println!(
+            "  input {}x{}x{}, {} layers ({} weight layers)",
+            shape.channels, shape.height, shape.width, stats.layer_count, stats.weight_layer_count
+        );
+        println!(
+            "  {:.3} GMACs, {:.2} M weights, peak activation {} elems",
+            stats.total_macs as f64 / 1e9,
+            stats.total_weights as f64 / 1e6,
+            stats.peak_activation
+        );
+        println!("  weight layers:");
+        for wl in model.weight_layers() {
+            let pool = wl
+                .pool
+                .map(|(kind, size)| format!(" pool {kind}{size}"))
+                .unwrap_or_default();
+            println!(
+                "    {:>3} {:<14} {}x{} k{} s{} g{} -> {}x{}x{}{}{}{}",
+                wl.index,
+                wl.name,
+                wl.in_channels,
+                wl.out_channels,
+                wl.kernel,
+                wl.stride,
+                wl.groups,
+                wl.out_channels,
+                wl.out_height,
+                wl.out_width,
+                if wl.relu { " relu" } else { "" },
+                pool,
+                if wl.feeds_add { " eltwise" } else { "" },
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.validate {
+        let entries: Vec<&zoo::ZooEntry> = match &args.validate_model {
+            Some(name) => match zoo::entries().iter().find(|e| e.name == name.as_str()) {
+                Some(entry) => vec![entry],
+                None => {
+                    eprintln!(
+                        "error: unknown zoo model `{name}` (available: {})",
+                        zoo::names().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => zoo::entries().iter().collect(),
+        };
+        let mut failures = 0usize;
+        for entry in &entries {
+            match validate_zoo_entry(entry) {
+                Ok(()) => eprintln!("{:<18} ok", entry.name),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{:<18} FAILED: {e}", entry.name);
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!(
+                "error: {failures}/{} zoo models failed validation",
+                entries.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("all {} zoo models validate", entries.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        println!("{}", zoo_listing_json());
+    } else {
+        for entry in zoo::entries() {
+            println!("{:<18} {}", entry.name, entry.description);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `pimsyn export` flags that are not part of the shared synthesis arg set.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ExportArgs {
+    pretty: bool,
+    out: Option<String>,
+}
+
+/// Splits export-specific flags from the shared synthesis flags.
+fn split_export_args(argv: &[String]) -> Result<(ExportArgs, Vec<String>), String> {
+    let mut export = ExportArgs::default();
+    let mut rest = Vec::new();
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--pretty" => export.pretty = true,
+            "--out" => export.out = Some(it.next().ok_or("missing value for --out")?),
+            _ => rest.push(flag),
+        }
+    }
+    Ok((export, rest))
+}
+
+fn run_export(argv: &[String]) -> ExitCode {
+    let fail = |e: String| {
+        eprintln!("error: {e}\n\n{USAGE}");
+        ExitCode::from(2)
+    };
+    match argv.first().map(String::as_str) {
+        Some("pimsim") => {}
+        Some(other) => return fail(format!("unknown export format `{other}` (try `pimsim`)")),
+        None => return fail("export needs a format, e.g. `pimsyn export pimsim ...`".into()),
+    }
+    let (export, rest) = match split_export_args(&argv[1..]) {
+        Ok(split) => split,
+        Err(e) => return fail(e),
+    };
+    let args = match parse_args_from(rest) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.batch_file.is_some() {
+        return fail("`pimsyn export` synthesizes a single model; --batch is not supported".into());
+    }
+
+    let result = (|| -> Result<SynthesisResult, String> {
+        let model = match &args.model {
+            Some(name) => load_named_model(name)?,
+            None => load_model_file(args.model_file.as_ref().expect("validated"))?,
+        };
+        let options = options_from_args(&args, args.power)?;
+        pimsyn::Synthesizer::new(options)
+            .synthesize(&model)
+            .map_err(|e| e.to_string())
+    })();
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.quiet {
+        eprintln!(
+            "synthesized {} in {:.1}s ({} evaluations); exporting PIMSIM-NN config",
+            result.model.name(),
+            result.elapsed.as_secs_f64(),
+            result.evaluations
+        );
+    }
+    let text = if export.pretty {
+        pimsyn_export::to_pimsim_config_pretty(&result)
+    } else {
+        pimsyn_export::to_pimsim_config(&result)
+    };
+    match &export.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Worker mode short-circuits everything else: the process is a child of
     // `--backend subprocess` speaking the JSON-lines protocol on stdio.
@@ -1555,6 +1887,8 @@ fn main() -> ExitCode {
         Some("gateway") => return run_gateway(&argv[1..]),
         Some("worker-serve") => return run_worker_serve(&argv[1..]),
         Some("worker-stop") => return run_worker_stop(&argv[1..]),
+        Some("zoo") => return run_zoo(&argv[1..]),
+        Some("export") => return run_export(&argv[1..]),
         Some(cmd @ ("submit" | "status" | "result" | "cancel" | "shutdown" | "drain")) => {
             return run_client(cmd, &argv[1..]);
         }
@@ -2183,5 +2517,68 @@ mod tests {
             assert!(err.contains("batch job 3"), "{err}");
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn unknown_model_error_lists_zoo_names() {
+        let err = load_named_model("nope").unwrap_err();
+        assert!(err.contains("unknown zoo model `nope`"), "{err}");
+        for name in zoo::names() {
+            assert!(err.contains(name), "`{err}` should list `{name}`");
+        }
+    }
+
+    fn parse_zoo(args: &[&str]) -> Result<ZooArgs, String> {
+        parse_zoo_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn zoo_args_parse_and_validate() {
+        assert_eq!(parse_zoo(&[]).unwrap(), ZooArgs::default());
+        let args = parse_zoo(&["--describe", "mobilenet"]).unwrap();
+        assert_eq!(args.describe.as_deref(), Some("mobilenet"));
+        let args = parse_zoo(&["--validate"]).unwrap();
+        assert!(args.validate);
+        assert_eq!(args.validate_model, None);
+        let args = parse_zoo(&["--validate", "vgg16"]).unwrap();
+        assert_eq!(args.validate_model.as_deref(), Some("vgg16"));
+        let args = parse_zoo(&["--validate", "--output", "json"]).unwrap();
+        assert!(args.validate && args.json);
+        assert_eq!(args.validate_model, None);
+
+        let err = parse_zoo(&["--describe", "x", "--validate"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_zoo(&["--output", "xml"]).unwrap_err();
+        assert!(err.contains("output format"), "{err}");
+        let err = parse_zoo(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown zoo flag"), "{err}");
+    }
+
+    #[test]
+    fn every_zoo_entry_validates() {
+        for entry in zoo::entries() {
+            validate_zoo_entry(entry).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        }
+        let listing = zoo_listing_json();
+        assert_eq!(listing.as_array().unwrap().len(), zoo::entries().len());
+    }
+
+    #[test]
+    fn export_args_split_from_synthesis_flags() {
+        let argv: Vec<String> = ["--model", "vgg16", "--pretty", "--power", "9", "--out", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (export, rest) = split_export_args(&argv).unwrap();
+        assert!(export.pretty);
+        assert_eq!(export.out.as_deref(), Some("x"));
+        assert_eq!(rest, vec!["--model", "vgg16", "--power", "9"]);
+        // The remainder still parses as ordinary synthesis flags.
+        let args = parse_args_from(rest).unwrap();
+        assert_eq!(args.model.as_deref(), Some("vgg16"));
+
+        let argv: Vec<String> = vec!["--out".into()];
+        let err = split_export_args(&argv).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
     }
 }

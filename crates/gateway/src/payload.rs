@@ -60,7 +60,9 @@ fn parse_model(value: &JsonValue) -> Result<Model, String> {
                 return onnx::parse_model(text).map_err(|e| format!("cannot ingest model: {e}"));
             }
             Err(format!(
-                "unknown zoo model `{text}` (and not an inline model document)"
+                "unknown zoo model `{text}` (and not an inline model document); \
+                 available: {}",
+                zoo::names().join(", ")
             ))
         }
         JsonValue::Object(_) => {
@@ -329,6 +331,14 @@ mod tests {
         ] {
             let err = parse_http_job(body).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn unknown_model_error_lists_the_zoo() {
+        let err = parse_http_job(br#"{"model": "noznet", "power": 9}"#).unwrap_err();
+        for name in zoo::names() {
+            assert!(err.contains(name), "`{err}` should list `{name}`");
         }
     }
 

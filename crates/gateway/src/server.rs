@@ -819,6 +819,25 @@ fn handle_metrics(shared: &GatewayShared) -> Outcome {
                 endpoint.protocol
             );
         }
+        body.push_str(
+            "# HELP pimsyn_gateway_fleet_endpoint_batch_seconds Wall-clock time \
+             spent in successful scoring round trips per endpoint (summary: \
+             _sum seconds, _count batches).\n\
+             # TYPE pimsyn_gateway_fleet_endpoint_batch_seconds summary\n",
+        );
+        for endpoint in &fleet.endpoints {
+            let addr = http::escape_label(&endpoint.addr);
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_fleet_endpoint_batch_seconds_sum{{addr=\"{addr}\"}} {}",
+                endpoint.batch_seconds
+            );
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_fleet_endpoint_batch_seconds_count{{addr=\"{addr}\"}} {}",
+                endpoint.batches
+            );
+        }
     }
     Outcome {
         status: 200,

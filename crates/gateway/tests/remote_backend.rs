@@ -362,6 +362,15 @@ fn registry_join_and_drain_keep_results_identical() {
         fleet.endpoints.iter().any(|e| e.discovered),
         "expected a registry-discovered endpoint, got {fleet:?}"
     );
+    // The run scored remotely, so the endpoint must have accumulated
+    // per-batch scoring-latency observations.
+    assert!(
+        fleet
+            .endpoints
+            .iter()
+            .any(|e| e.batches > 0 && e.batch_seconds > 0.0),
+        "expected recorded batch latency, got {fleet:?}"
+    );
 
     // Stopping the daemon sends a graceful drain; later jobs must fall
     // back inline against the now-empty roster.

@@ -96,7 +96,10 @@ impl Dataflow {
                 row_groups,
                 adc_samples,
                 shift_add_ops: adc_samples,
-                load_elems: dup * wl.filter_rows(),
+                // Inputs fetched per block step: the full window WK*WK*CI,
+                // independent of grouping (every input channel is loaded once
+                // per position even though each filter reads only its group).
+                load_elems: dup * wl.input_window(),
                 store_elems: dup * wl.out_channels,
                 act_ops: if wl.relu { dup * wl.out_channels } else { 0 },
                 pool_ops: if wl.pool.is_some() {

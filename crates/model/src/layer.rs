@@ -41,15 +41,22 @@ impl fmt::Display for PoolKind {
 
 /// The operation a [`Layer`] performs.
 ///
-/// The set covers everything needed by the paper's benchmark networks
-/// (AlexNet, VGG13/16, MSRA, ResNet18 and their CIFAR variants). Weight-bearing
-/// kinds ([`Conv2d`](LayerKind::Conv2d) and [`Linear`](LayerKind::Linear)) are
-/// the ones mapped onto ReRAM crossbars; the rest execute on macro ALUs or are
-/// folded away during compilation.
+/// The set covers the paper's benchmark networks (AlexNet, VGG13/16, MSRA,
+/// ResNet18 and their CIFAR variants) plus the op types modern nets need:
+/// depthwise/grouped convolution, squeeze-excite gating
+/// ([`Sigmoid`](LayerKind::Sigmoid) + [`Mul`](LayerKind::Mul)) and
+/// attention-style projections ([`MatMul`](LayerKind::MatMul),
+/// [`Softmax`](LayerKind::Softmax)). Weight-bearing kinds
+/// ([`Conv2d`](LayerKind::Conv2d), [`Linear`](LayerKind::Linear) and
+/// [`MatMul`](LayerKind::MatMul)) are the ones mapped onto ReRAM crossbars;
+/// the rest execute on macro ALUs or are folded away during compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LayerKind {
-    /// 2-D convolution with square kernels.
+    /// 2-D convolution with square kernels. `groups > 1` partitions input and
+    /// output channels into that many independent groups (depthwise when
+    /// `groups == in_channels == out_channels`); each filter then spans only
+    /// `CI / groups` input channels.
     Conv2d {
         /// Number of output channels (`CO`).
         out_channels: usize,
@@ -59,11 +66,21 @@ pub enum LayerKind {
         stride: usize,
         /// Zero padding on each border.
         padding: usize,
+        /// Channel groups (1 = dense convolution).
+        groups: usize,
     },
     /// Fully-connected layer; treated as a `1x1` convolution over a flat
     /// input for crossbar-mapping purposes.
     Linear {
         /// Number of output features.
+        out_features: usize,
+    },
+    /// Position-wise projection with a static weight matrix: every spatial
+    /// position's channel vector is multiplied by the same `CI x out_features`
+    /// matrix (the q/k/v/o projections of a transformer block). Mapped onto
+    /// crossbars as a `1x1` convolution that preserves spatial extent.
+    MatMul {
+        /// Number of output features per position.
         out_features: usize,
     },
     /// Spatial pooling.
@@ -85,6 +102,16 @@ pub enum LayerKind {
     BatchNorm,
     /// Elementwise residual addition of exactly two producer layers.
     Add,
+    /// Elementwise multiplication of exactly two producer layers. Shapes must
+    /// match, or one operand may be a per-channel `Cx1x1` gate broadcast over
+    /// the other's `CxHxW` (squeeze-excite scaling).
+    Mul,
+    /// Logistic sigmoid activation (squeeze-excite gates); same ALU cost
+    /// class as ReLU.
+    Sigmoid,
+    /// Softmax over the channel dimension at each spatial position
+    /// (attention-score normalization); same ALU cost class as ReLU.
+    Softmax,
     /// Reshape to a flat vector; free at the hardware level.
     Flatten,
 }
@@ -93,7 +120,10 @@ impl LayerKind {
     /// Whether this layer carries weights that must be programmed into
     /// crossbars (convolution or fully-connected).
     pub fn bears_weights(&self) -> bool {
-        matches!(self, LayerKind::Conv2d { .. } | LayerKind::Linear { .. })
+        matches!(
+            self,
+            LayerKind::Conv2d { .. } | LayerKind::Linear { .. } | LayerKind::MatMul { .. }
+        )
     }
 
     /// Whether the layer is a pure shape/bookkeeping operation with no
@@ -107,6 +137,7 @@ impl LayerKind {
         match self {
             LayerKind::Conv2d { .. } => "conv",
             LayerKind::Linear { .. } => "fc",
+            LayerKind::MatMul { .. } => "matmul",
             LayerKind::Pool {
                 kind: PoolKind::Max,
                 ..
@@ -119,6 +150,9 @@ impl LayerKind {
             LayerKind::Relu => "relu",
             LayerKind::BatchNorm => "bn",
             LayerKind::Add => "add",
+            LayerKind::Mul => "mul",
+            LayerKind::Sigmoid => "sigmoid",
+            LayerKind::Softmax => "softmax",
             LayerKind::Flatten => "flatten",
         }
     }
@@ -132,10 +166,16 @@ impl fmt::Display for LayerKind {
                 kernel,
                 stride,
                 padding,
+                groups,
             } => {
-                write!(f, "conv {out_channels}o k{kernel} s{stride} p{padding}")
+                write!(f, "conv {out_channels}o k{kernel} s{stride} p{padding}")?;
+                if *groups > 1 {
+                    write!(f, " g{groups}")?;
+                }
+                Ok(())
             }
             LayerKind::Linear { out_features } => write!(f, "fc {out_features}o"),
+            LayerKind::MatMul { out_features } => write!(f, "matmul {out_features}o"),
             LayerKind::Pool {
                 kind,
                 kernel,
@@ -170,12 +210,17 @@ mod tests {
             out_channels: 64,
             kernel: 3,
             stride: 1,
-            padding: 1
+            padding: 1,
+            groups: 1
         }
         .bears_weights());
         assert!(LayerKind::Linear { out_features: 1000 }.bears_weights());
+        assert!(LayerKind::MatMul { out_features: 64 }.bears_weights());
         assert!(!LayerKind::Relu.bears_weights());
         assert!(!LayerKind::Add.bears_weights());
+        assert!(!LayerKind::Mul.bears_weights());
+        assert!(!LayerKind::Sigmoid.bears_weights());
+        assert!(!LayerKind::Softmax.bears_weights());
     }
 
     #[test]
@@ -192,8 +237,26 @@ mod tests {
             kernel: 3,
             stride: 2,
             padding: 1,
+            groups: 1,
         };
         assert_eq!(k.to_string(), "conv 128o k3 s2 p1");
+    }
+
+    #[test]
+    fn display_grouped_conv_and_matmul() {
+        let dw = LayerKind::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 128,
+        };
+        assert_eq!(dw.to_string(), "conv 128o k3 s1 p1 g128");
+        assert_eq!(
+            LayerKind::MatMul { out_features: 64 }.to_string(),
+            "matmul 64o"
+        );
+        assert_eq!(LayerKind::Softmax.to_string(), "softmax");
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub struct WeightLayer {
     pub in_channels: usize,
     /// Output channels `CO`.
     pub out_channels: usize,
+    /// Channel groups (1 for dense conv/linear/matmul; `CI` for depthwise).
+    /// Each filter spans only `CI / groups` input channels.
+    pub groups: usize,
     /// Input spatial height `HI`.
     pub in_height: usize,
     /// Input spatial width `WI`.
@@ -119,11 +122,12 @@ pub struct WeightLayer {
     pub macs: u64,
     /// Number of weight parameters.
     pub weights: u64,
-    /// Whether a ReLU (or PReLU) is fused after this layer.
+    /// Whether an activation (ReLU/PReLU/sigmoid/softmax — one ALU cost
+    /// class) is fused after this layer.
     pub relu: bool,
     /// Pooling fused after this layer, `(kind, window)` — e.g. `(Max, 2)`.
     pub pool: Option<(PoolKind, usize)>,
-    /// Whether a residual `Add` consumes this layer's output.
+    /// Whether an elementwise `Add`/`Mul` consumes this layer's output.
     pub feeds_add: bool,
     /// Indices (into the weight-layer list) of weight layers producing this
     /// one's inputs. Empty for layers fed by the model input.
@@ -133,9 +137,21 @@ pub struct WeightLayer {
 }
 
 impl WeightLayer {
-    /// Crossbar row demand of one filter: `WK * WK * CI` (the paper's
-    /// Fig. 1 and Eq. (1)).
+    /// Crossbar row demand of one filter: `WK * WK * CI / groups` (the
+    /// paper's Fig. 1 and Eq. (1); for grouped/depthwise convolution a filter
+    /// spans only its group's input channels, so the block-diagonal weight
+    /// matrix needs correspondingly fewer rows per crossbar column).
     pub fn filter_rows(&self) -> usize {
+        self.kernel * self.kernel * self.in_channels / self.groups
+    }
+
+    /// Input elements consumed per output position: `WK * WK * CI`,
+    /// independent of grouping (every input channel is loaded exactly once
+    /// per position across all groups). Equals [`filter_rows`] for dense
+    /// layers.
+    ///
+    /// [`filter_rows`]: WeightLayer::filter_rows
+    pub fn input_window(&self) -> usize {
         self.kernel * self.kernel * self.in_channels
     }
 
@@ -150,7 +166,7 @@ impl WeightLayer {
     /// function (Eq. (4)) for duplication factor `wt_dup`:
     /// `WtDup * (WK*WK*CI + CO)`.
     pub fn access_volume(&self, wt_dup: usize) -> u64 {
-        wt_dup as u64 * (self.filter_rows() as u64 + self.out_channels as u64)
+        wt_dup as u64 * (self.input_window() as u64 + self.out_channels as u64)
     }
 }
 
@@ -365,8 +381,57 @@ impl ModelBuilder {
                 kernel,
                 stride,
                 padding,
+                groups: 1,
             },
             input.into_iter().collect(),
+        )
+    }
+
+    /// Adds a grouped conv layer (`groups` must divide both the input and
+    /// output channel counts; validated by [`build`](ModelBuilder::build)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped_conv(
+        &mut self,
+        name: impl Into<String>,
+        input: Option<LayerId>,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> LayerId {
+        self.layer(
+            name,
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            },
+            input.into_iter().collect(),
+        )
+    }
+
+    /// Adds a depthwise conv layer: one filter per channel
+    /// (`groups == in_channels == out_channels`).
+    pub fn depthwise_conv(
+        &mut self,
+        name: impl Into<String>,
+        input: LayerId,
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> LayerId {
+        self.grouped_conv(
+            name,
+            Some(input),
+            channels,
+            kernel,
+            stride,
+            padding,
+            channels,
         )
     }
 
@@ -378,6 +443,16 @@ impl ModelBuilder {
         out_features: usize,
     ) -> LayerId {
         self.layer(name, LayerKind::Linear { out_features }, vec![input])
+    }
+
+    /// Adds a position-wise matmul projection (attention-style q/k/v/o).
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        input: LayerId,
+        out_features: usize,
+    ) -> LayerId {
+        self.layer(name, LayerKind::MatMul { out_features }, vec![input])
     }
 
     /// Adds a ReLU activation.
@@ -438,6 +513,22 @@ impl ModelBuilder {
         self.layer(name, LayerKind::Add, vec![lhs, rhs])
     }
 
+    /// Adds an elementwise multiplication of two producers (equal shapes, or
+    /// a `Cx1x1` gate broadcast over a `CxHxW` tensor).
+    pub fn mul(&mut self, name: impl Into<String>, lhs: LayerId, rhs: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Mul, vec![lhs, rhs])
+    }
+
+    /// Adds a sigmoid activation (squeeze-excite gate).
+    pub fn sigmoid(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Sigmoid, vec![input])
+    }
+
+    /// Adds a channel-wise softmax (attention-score normalization).
+    pub fn softmax(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
+        self.layer(name, LayerKind::Softmax, vec![input])
+    }
+
     /// Adds a flatten (reshape) layer.
     pub fn flatten(&mut self, name: impl Into<String>, input: LayerId) -> LayerId {
         self.layer(name, LayerKind::Flatten, vec![input])
@@ -478,6 +569,25 @@ impl ModelBuilder {
     }
 }
 
+/// Output shape of an elementwise [`LayerKind::Mul`]: equal shapes multiply
+/// pointwise; a per-channel `Cx1x1` gate broadcasts over a `CxHxW` operand
+/// (either order). `None` when neither rule applies.
+fn mul_output_shape(lhs: TensorShape, rhs: TensorShape) -> Option<TensorShape> {
+    if lhs == rhs {
+        return Some(lhs);
+    }
+    if lhs.channels != rhs.channels {
+        return None;
+    }
+    if lhs.height == 1 && lhs.width == 1 {
+        return Some(rhs);
+    }
+    if rhs.height == 1 && rhs.width == 1 {
+        return Some(lhs);
+    }
+    None
+}
+
 fn pooled_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
     let padded = input + 2 * padding;
     if kernel == 0 || stride == 0 || kernel > padded {
@@ -506,7 +616,24 @@ fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>
                 kernel,
                 stride,
                 padding,
+                groups,
             } => {
+                if groups == 0 {
+                    return Err(ModelError::ShapeMismatch {
+                        layer: layer.name.clone(),
+                        detail: "conv groups must be at least 1".to_string(),
+                    });
+                }
+                if in_shape.channels % groups != 0 || out_channels % groups != 0 {
+                    return Err(ModelError::ShapeMismatch {
+                        layer: layer.name.clone(),
+                        detail: format!(
+                            "groups {groups} must divide input channels {} and \
+                             output channels {out_channels}",
+                            in_shape.channels
+                        ),
+                    });
+                }
                 let h = pooled_extent(in_shape.height, kernel, stride, padding);
                 let w = pooled_extent(in_shape.width, kernel, stride, padding);
                 match (h, w) {
@@ -523,6 +650,9 @@ fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>
                 }
             }
             LayerKind::Linear { out_features } => TensorShape::flat(out_features),
+            LayerKind::MatMul { out_features } => {
+                TensorShape::new(out_features, in_shape.height, in_shape.width)
+            }
             LayerKind::Pool { kernel, stride, .. } => {
                 let h = pooled_extent(in_shape.height, kernel, stride, 0);
                 let w = pooled_extent(in_shape.width, kernel, stride, 0);
@@ -540,7 +670,28 @@ fn infer_shapes(layers: &[Layer], input: TensorShape) -> Result<Vec<TensorShape>
                 }
             }
             LayerKind::GlobalAvgPool => TensorShape::new(in_shape.channels, 1, 1),
-            LayerKind::Relu | LayerKind::BatchNorm => in_shape,
+            LayerKind::Relu | LayerKind::BatchNorm | LayerKind::Sigmoid | LayerKind::Softmax => {
+                in_shape
+            }
+            LayerKind::Mul => {
+                if layer.inputs.len() != 2 {
+                    return Err(ModelError::Ingest {
+                        detail: format!(
+                            "mul layer `{}` needs exactly 2 inputs, got {}",
+                            layer.name,
+                            layer.inputs.len()
+                        ),
+                    });
+                }
+                let rhs = shapes[layer.inputs[1].0];
+                mul_output_shape(in_shape, rhs).ok_or_else(|| ModelError::ShapeMismatch {
+                    layer: layer.name.clone(),
+                    detail: format!(
+                        "mul operands {in_shape} and {rhs} are neither equal nor a \
+                         Cx1x1 gate over a CxHxW tensor"
+                    ),
+                })?
+            }
             LayerKind::Add => {
                 if layer.inputs.len() != 2 {
                     return Err(ModelError::Ingest {
@@ -582,22 +733,27 @@ fn extract_weight_layers(
             Some(&LayerId(p)) => shapes[p],
             None => input,
         };
-        let (kernel, stride, in_channels, out_channels) = match layer.kind {
+        let (kernel, stride, in_channels, out_channels, groups) = match layer.kind {
             LayerKind::Conv2d {
                 out_channels,
                 kernel,
                 stride,
+                groups,
                 ..
-            } => (kernel, stride, in_shape.channels, out_channels),
-            LayerKind::Linear { out_features } => (1, 1, in_shape.elements(), out_features),
+            } => (kernel, stride, in_shape.channels, out_channels, groups),
+            LayerKind::Linear { out_features } => (1, 1, in_shape.elements(), out_features, 1),
+            LayerKind::MatMul { out_features } => (1, 1, in_shape.channels, out_features, 1),
             _ => continue,
         };
         let out_shape = shapes[i];
+        // Each filter spans CI/groups input channels, so MACs and weights
+        // shrink by the group count (the depthwise saving).
         let macs = out_shape.spatial() as u64
             * out_channels as u64
             * (kernel * kernel) as u64
-            * in_channels as u64;
-        let weights = out_channels as u64 * (kernel * kernel) as u64 * in_channels as u64;
+            * (in_channels / groups) as u64;
+        let weights =
+            out_channels as u64 * (kernel * kernel) as u64 * (in_channels / groups) as u64;
         let index = out.len();
         windex.insert(i, index);
         let (in_height, in_width) = if matches!(layer.kind, LayerKind::Linear { .. }) {
@@ -613,6 +769,7 @@ fn extract_weight_layers(
             stride,
             in_channels,
             out_channels,
+            groups,
             in_height,
             in_width,
             out_height: out_shape.height,
@@ -662,7 +819,9 @@ fn extract_weight_layers(
                 }
             }
             match layer.kind {
-                LayerKind::Relu => {
+                // Sigmoid/softmax share ReLU's ALU scheduling and cost class,
+                // so they fuse into the same activation slot.
+                LayerKind::Relu | LayerKind::Sigmoid | LayerKind::Softmax => {
                     for &o in &combined {
                         out[o].relu = true;
                     }
@@ -678,7 +837,9 @@ fn extract_weight_layers(
                         out[o].pool = Some((PoolKind::Avg, window));
                     }
                 }
-                LayerKind::Add => {
+                // Mul shares Add's eltwise ALU cost class (one vector op per
+                // output element), so it reuses the same scheduling flag.
+                LayerKind::Add | LayerKind::Mul => {
                     for &o in &combined {
                         out[o].feeds_add = true;
                     }
@@ -840,6 +1001,78 @@ mod tests {
         let wl = m.weight_layer(0);
         // WtDup * (WK*WK*CI + CO) = 4 * (27 + 8)
         assert_eq!(wl.access_volume(4), 4 * (27 + 8));
+    }
+
+    #[test]
+    fn depthwise_conv_semantics() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 32, 3, 1, 1);
+        b.depthwise_conv("dw", c, 32, 3, 1, 1);
+        let m = b.build().unwrap();
+        let wl = m.weight_layer(1);
+        assert_eq!(wl.groups, 32);
+        // One 3x3 filter per channel: 9 rows per crossbar column.
+        assert_eq!(wl.filter_rows(), 9);
+        assert_eq!(wl.input_window(), 9 * 32);
+        assert_eq!(wl.weights, 32 * 9);
+        assert_eq!(wl.macs, (32 * 32 * 32 * 9) as u64);
+    }
+
+    #[test]
+    fn grouped_conv_divisibility_enforced() {
+        let mut b = tiny();
+        let c = b.conv("c", None, 32, 3, 1, 1);
+        b.grouped_conv("g", Some(c), 48, 3, 1, 1, 5);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn matmul_preserves_spatial_extent() {
+        let mut b = ModelBuilder::new("t", TensorShape::new(64, 16, 1));
+        let emb = b.layer("emb", LayerKind::MatMul { out_features: 64 }, vec![]);
+        b.matmul("q", emb, 32);
+        let m = b.build().unwrap();
+        assert_eq!(m.output_shape(LayerId(1)), TensorShape::new(32, 16, 1));
+        let wl = m.weight_layer(1);
+        assert_eq!(wl.in_channels, 64);
+        assert_eq!(wl.out_channels, 32);
+        assert_eq!(wl.output_positions(), 16);
+        assert_eq!(wl.weights, 64 * 32);
+    }
+
+    #[test]
+    fn mul_broadcast_and_fusion() {
+        // Squeeze-excite shape: trunk CxHxW gated by a Cx1x1 sigmoid path.
+        let mut b = tiny();
+        let trunk = b.conv("trunk", None, 16, 3, 1, 1);
+        let gap = b.global_avg_pool("gap", trunk);
+        let fc = b.matmul("fc", gap, 16);
+        let sig = b.sigmoid("sig", fc);
+        b.mul("scale", trunk, sig);
+        let m = b.build().unwrap();
+        assert_eq!(
+            m.output_shape(m.layer_by_name("scale").unwrap()),
+            TensorShape::new(16, 32, 32)
+        );
+        // The gate matmul gets the fused sigmoid; both producers feed the mul.
+        assert!(m.weight_layer(1).relu);
+        assert!(m.weight_layer(0).feeds_add);
+        assert!(m.weight_layer(1).feeds_add);
+    }
+
+    #[test]
+    fn mul_rejects_incompatible_shapes() {
+        let mut b = tiny();
+        let a = b.conv("a", None, 8, 3, 1, 1);
+        let c = b.conv("b", None, 8, 3, 2, 1);
+        b.mul("m", a, c);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

@@ -23,9 +23,10 @@
 //! }
 //! ```
 //!
-//! Supported ops: `Conv`, `Gemm` (fully-connected), `MaxPool`, `AveragePool`,
-//! `GlobalAveragePool`, `Relu`, `PRelu`, `BatchNormalization`, `Add`,
-//! `Flatten`.
+//! Supported ops: `Conv` (with optional `groups` for grouped/depthwise),
+//! `Gemm` (fully-connected), `MatMul` (position-wise projection), `MaxPool`,
+//! `AveragePool`, `GlobalAveragePool`, `Relu`, `PRelu`, `Sigmoid`, `Softmax`,
+//! `BatchNormalization`, `Add`, `Mul`, `Flatten`.
 //!
 //! # Example
 //!
@@ -134,17 +135,25 @@ fn op_and_attrs(layer: &Layer) -> (&'static str, Vec<(String, JsonValue)>) {
             kernel,
             stride,
             padding,
-        } => (
-            "Conv",
-            vec![
+            groups,
+        } => {
+            let mut attrs = vec![
                 ("out_channels".to_string(), num(out_channels)),
                 ("kernel".to_string(), num(kernel)),
                 ("stride".to_string(), num(stride)),
                 ("padding".to_string(), num(padding)),
-            ],
-        ),
+            ];
+            if groups > 1 {
+                attrs.push(("groups".to_string(), num(groups)));
+            }
+            ("Conv", attrs)
+        }
         LayerKind::Linear { out_features } => (
             "Gemm",
+            vec![("out_features".to_string(), num(out_features))],
+        ),
+        LayerKind::MatMul { out_features } => (
+            "MatMul",
             vec![("out_features".to_string(), num(out_features))],
         ),
         LayerKind::Pool {
@@ -163,8 +172,11 @@ fn op_and_attrs(layer: &Layer) -> (&'static str, Vec<(String, JsonValue)>) {
         ),
         LayerKind::GlobalAvgPool => ("GlobalAveragePool", vec![]),
         LayerKind::Relu => ("Relu", vec![]),
+        LayerKind::Sigmoid => ("Sigmoid", vec![]),
+        LayerKind::Softmax => ("Softmax", vec![]),
         LayerKind::BatchNorm => ("BatchNormalization", vec![]),
         LayerKind::Add => ("Add", vec![]),
+        LayerKind::Mul => ("Mul", vec![]),
         LayerKind::Flatten => ("Flatten", vec![]),
     }
 }
@@ -278,8 +290,12 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
                 kernel: required_usize(&attrs, "kernel", &actx)?,
                 stride: optional_usize(&attrs, "stride", 1)?,
                 padding: optional_usize(&attrs, "padding", 0)?,
+                groups: optional_usize(&attrs, "groups", 1)?,
             },
-            "Gemm" | "MatMul" => LayerKind::Linear {
+            "Gemm" => LayerKind::Linear {
+                out_features: required_usize(&attrs, "out_features", &actx)?,
+            },
+            "MatMul" => LayerKind::MatMul {
                 out_features: required_usize(&attrs, "out_features", &actx)?,
             },
             "MaxPool" | "AveragePool" => LayerKind::Pool {
@@ -293,8 +309,11 @@ fn lower_document(doc: &JsonValue) -> Result<Model, ModelError> {
             },
             "GlobalAveragePool" => LayerKind::GlobalAvgPool,
             "Relu" | "PRelu" | "LeakyRelu" => LayerKind::Relu,
+            "Sigmoid" => LayerKind::Sigmoid,
+            "Softmax" => LayerKind::Softmax,
             "BatchNormalization" => LayerKind::BatchNorm,
             "Add" => LayerKind::Add,
+            "Mul" => LayerKind::Mul,
             "Flatten" | "Reshape" => LayerKind::Flatten,
             other => {
                 return Err(ingest_err(format!(
@@ -388,12 +407,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_depthwise_and_attention_ops() {
+        let text = r#"{
+          "name": "modern",
+          "input": {"shape": [8, 8, 8]},
+          "nodes": [
+            {"op": "Conv", "name": "dw", "inputs": ["input"],
+             "attrs": {"out_channels": 8, "kernel": 3, "stride": 1, "padding": 1, "groups": 8}},
+            {"op": "MatMul", "name": "q", "inputs": ["dw"], "attrs": {"out_features": 4}},
+            {"op": "Softmax", "name": "sm", "inputs": ["q"]},
+            {"op": "GlobalAveragePool", "name": "gap", "inputs": ["dw"]},
+            {"op": "MatMul", "name": "gate", "inputs": ["gap"], "attrs": {"out_features": 8}},
+            {"op": "Sigmoid", "name": "sig", "inputs": ["gate"]},
+            {"op": "Mul", "name": "scale", "inputs": ["dw", "sig"]}
+          ]
+        }"#;
+        let m = parse_model(text).unwrap();
+        let dw = m.weight_layer(0);
+        assert_eq!(dw.groups, 8);
+        assert_eq!(dw.filter_rows(), 9);
+        assert!(dw.feeds_add, "mul consumer marks the eltwise flag");
+        let q = m.weight_layer(1);
+        assert_eq!((q.in_channels, q.out_channels), (8, 4));
+        assert!(q.relu, "softmax fuses into the activation slot");
+    }
+
+    #[test]
     fn zoo_models_round_trip_through_json() {
         for model in [
             zoo::alexnet(),
             zoo::vgg16(),
             zoo::resnet18(),
             zoo::alexnet_cifar(10),
+            zoo::mobilenet(),
+            zoo::resnet18_se(),
+            zoo::transformer_tiny(),
         ] {
             let text = to_json(&model);
             let back = parse_model(&text).unwrap();

@@ -29,16 +29,101 @@
 //! ```
 
 mod alexnet;
+mod modern;
 mod msra;
 mod resnet;
 mod vgg;
 
 pub use alexnet::{alexnet, alexnet_cifar};
+pub use modern::{mobilenet, resnet18_se, transformer_tiny};
 pub use msra::msra;
 pub use resnet::{resnet18, resnet18_cifar};
 pub use vgg::{vgg13, vgg16, vgg16_cifar};
 
 use crate::Model;
+
+/// One bundled model: its canonical lookup name, a one-line description for
+/// `pimsyn zoo`, and its constructor.
+#[derive(Debug, Clone, Copy)]
+pub struct ZooEntry {
+    /// Canonical lowercase name accepted by [`by_name`].
+    pub name: &'static str,
+    /// One-line human-readable description.
+    pub description: &'static str,
+    /// Constructor for a fresh copy of the model.
+    pub build: fn() -> Model,
+}
+
+/// Every bundled model, in presentation order: the paper's five ImageNet
+/// benchmarks, the CIFAR variants of Table V, then the modern-op additions.
+pub fn entries() -> &'static [ZooEntry] {
+    const ENTRIES: &[ZooEntry] = &[
+        ZooEntry {
+            name: "alexnet",
+            description: "AlexNet (single-tower), 3x224x224, 8 weight layers",
+            build: alexnet,
+        },
+        ZooEntry {
+            name: "vgg13",
+            description: "VGG13, 3x224x224, 13 weight layers",
+            build: vgg13,
+        },
+        ZooEntry {
+            name: "vgg16",
+            description: "VGG16, 3x224x224, 16 weight layers",
+            build: vgg16,
+        },
+        ZooEntry {
+            name: "msra",
+            description: "MSRA model A (He et al. ICCV'15), 3x224x224, 19 weight layers",
+            build: msra,
+        },
+        ZooEntry {
+            name: "resnet18",
+            description: "ResNet18 with residual adds, 3x224x224, 21 weight layers",
+            build: resnet18,
+        },
+        ZooEntry {
+            name: "alexnet-cifar",
+            description: "CIFAR-10 AlexNet adaptation, 3x32x32",
+            build: || alexnet_cifar(10),
+        },
+        ZooEntry {
+            name: "vgg16-cifar",
+            description: "CIFAR-10 VGG16 adaptation, 3x32x32",
+            build: || vgg16_cifar(10),
+        },
+        ZooEntry {
+            name: "resnet18-cifar",
+            description: "CIFAR-10 ResNet18 adaptation, 3x32x32",
+            build: || resnet18_cifar(10),
+        },
+        ZooEntry {
+            name: "mobilenet",
+            description: "MobileNet-V1 with depthwise-separable convs, 3x224x224, \
+                          28 weight layers",
+            build: mobilenet,
+        },
+        ZooEntry {
+            name: "resnet18-se",
+            description: "SE-ResNet18 with squeeze-excite gates (sigmoid + broadcast \
+                          mul), 3x224x224, 37 weight layers",
+            build: resnet18_se,
+        },
+        ZooEntry {
+            name: "transformer-tiny",
+            description: "Two-block transformer encoder (attention-style matmuls, \
+                          softmax), 64-dim x 16 tokens, 14 weight layers",
+            build: transformer_tiny,
+        },
+    ];
+    ENTRIES
+}
+
+/// Canonical names of every bundled model, in presentation order.
+pub fn names() -> Vec<&'static str> {
+    entries().iter().map(|e| e.name).collect()
+}
 
 /// The five ImageNet-scale benchmarks of the paper's Fig. 6, in the order
 /// they are reported.
@@ -52,22 +137,13 @@ pub fn cifar_suite() -> Vec<Model> {
     vec![alexnet_cifar(10), vgg16_cifar(10), resnet18_cifar(10)]
 }
 
-/// Looks up a zoo model by its canonical lowercase name.
-///
-/// Recognized names: `alexnet`, `vgg13`, `vgg16`, `msra`, `resnet18`,
-/// `alexnet-cifar`, `vgg16-cifar`, `resnet18-cifar`.
+/// Looks up a zoo model by its canonical lowercase name (see [`names`] for
+/// the full list).
 pub fn by_name(name: &str) -> Option<Model> {
-    match name {
-        "alexnet" => Some(alexnet()),
-        "vgg13" => Some(vgg13()),
-        "vgg16" => Some(vgg16()),
-        "msra" => Some(msra()),
-        "resnet18" => Some(resnet18()),
-        "alexnet-cifar" => Some(alexnet_cifar(10)),
-        "vgg16-cifar" => Some(vgg16_cifar(10)),
-        "resnet18-cifar" => Some(resnet18_cifar(10)),
-        _ => None,
-    }
+    entries()
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| (e.build)())
 }
 
 #[cfg(test)]
@@ -82,11 +158,21 @@ mod tests {
 
     #[test]
     fn by_name_round_trip() {
-        for name in ["alexnet", "vgg13", "vgg16", "msra", "resnet18"] {
+        for name in names() {
             let m = by_name(name).expect("registered model");
-            assert_eq!(m.name(), name);
+            assert_eq!(m.name(), name, "entry name must match model name");
         }
         assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names = names();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+        assert_eq!(names.len(), 11);
     }
 
     #[test]

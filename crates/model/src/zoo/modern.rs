@@ -1,0 +1,280 @@
+//! Post-VGG-era networks exercising the modern op set: depthwise separable
+//! convolutions (MobileNet-V1), squeeze-excite gating (ResNet18-SE) and
+//! attention-style position-wise projections (a tiny transformer encoder).
+//!
+//! These are the workloads EPIM (see `PAPERS.md`) targets on the same
+//! crossbar substrate; they stress exactly the mapping rules classic CNNs
+//! never touch — block-diagonal grouped weights, `Cx1x1` broadcast gates and
+//! activation-dynamic products that must run on macro ALUs rather than
+//! crossbars.
+
+use crate::{LayerId, Model, ModelBuilder, TensorShape};
+
+/// Appends one depthwise-separable block: 3x3 depthwise conv (stride
+/// `stride`) followed by a 1x1 pointwise conv to `out_channels`, each with
+/// batch-norm + ReLU.
+fn separable_block(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: LayerId,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+) -> LayerId {
+    let dw = b.depthwise_conv(format!("{name}_dw"), input, in_channels, 3, stride, 1);
+    let n1 = b.batch_norm(format!("{name}_dw_bn"), dw);
+    let r1 = b.relu(format!("{name}_dw_relu"), n1);
+    let pw = b.conv(format!("{name}_pw"), Some(r1), out_channels, 1, 1, 0);
+    let n2 = b.batch_norm(format!("{name}_pw_bn"), pw);
+    b.relu(format!("{name}_pw_relu"), n2)
+}
+
+/// MobileNet-V1 for 3x224x224 ImageNet inputs: a 3x3/2 stem conv to 32
+/// channels, 13 depthwise-separable blocks with the canonical width/stride
+/// schedule, global average pooling and a 1000-way classifier — 28 weight
+/// layers (1 stem + 13x2 separable + 1 fc), ~0.57 GMACs, ~4.2 M weights.
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::mobilenet();
+/// assert_eq!(m.weight_layers().count(), 28);
+/// ```
+pub fn mobilenet() -> Model {
+    let mut b = ModelBuilder::new("mobilenet", TensorShape::new(3, 224, 224));
+
+    let c1 = b.conv("conv1", None, 32, 3, 2, 1); // 224 -> 112
+    let n1 = b.batch_norm("bn1", c1);
+    let mut cur = b.relu("relu1", n1);
+
+    // (out_channels, stride) of the 13 canonical separable blocks.
+    let schedule: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2), // 112 -> 56
+        (128, 1),
+        (256, 2), // 56 -> 28
+        (256, 1),
+        (512, 2), // 28 -> 14
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2), // 14 -> 7
+        (1024, 1),
+    ];
+    let mut width = 32;
+    for (i, (channels, stride)) in schedule.into_iter().enumerate() {
+        cur = separable_block(&mut b, &format!("b{}", i + 1), cur, width, channels, stride);
+        width = channels;
+    }
+
+    let gap = b.global_avg_pool("gap", cur);
+    let f = b.flatten("flatten", gap);
+    b.linear("fc", f, 1000);
+
+    b.build().expect("static mobilenet definition is valid")
+}
+
+/// Appends a squeeze-excite gate over `trunk` (shape `channels x H x W`):
+/// global average pool, a `channels/16` bottleneck projection with ReLU, an
+/// expansion back to `channels` with sigmoid, and a broadcast multiply.
+fn squeeze_excite(b: &mut ModelBuilder, name: &str, trunk: LayerId, channels: usize) -> LayerId {
+    let squeeze = b.global_avg_pool(format!("{name}_gap"), trunk);
+    let reduce = b.matmul(format!("{name}_fc1"), squeeze, (channels / 16).max(1));
+    let act = b.relu(format!("{name}_relu"), reduce);
+    let expand = b.matmul(format!("{name}_fc2"), act, channels);
+    let gate = b.sigmoid(format!("{name}_sigmoid"), expand);
+    b.mul(format!("{name}_scale"), trunk, gate)
+}
+
+/// Appends one SE-ResNet basic block: the standard two 3x3 convs with an SE
+/// gate on the residual branch before the add (Hu et al.'s SE-ResNet
+/// placement).
+fn se_basic_block(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: LayerId,
+    in_channels: usize,
+    channels: usize,
+    stride: usize,
+) -> LayerId {
+    let c1 = b.conv(format!("{name}_conv1"), Some(input), channels, 3, stride, 1);
+    let n1 = b.batch_norm(format!("{name}_bn1"), c1);
+    let r1 = b.relu(format!("{name}_relu1"), n1);
+    let c2 = b.conv(format!("{name}_conv2"), Some(r1), channels, 3, 1, 1);
+    let n2 = b.batch_norm(format!("{name}_bn2"), c2);
+    let scaled = squeeze_excite(b, name, n2, channels);
+
+    let skip = if stride != 1 || in_channels != channels {
+        let ds = b.conv(format!("{name}_down"), Some(input), channels, 1, stride, 0);
+        b.batch_norm(format!("{name}_bn_down"), ds)
+    } else {
+        input
+    };
+    let add = b.add(format!("{name}_add"), scaled, skip);
+    b.relu(format!("{name}_relu2"), add)
+}
+
+/// SE-ResNet18 for 3x224x224 inputs: ResNet18 with a squeeze-excite gate in
+/// every basic block — 37 weight layers (20 convs + 8x2 SE projections + fc).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::resnet18_se();
+/// assert_eq!(m.weight_layers().count(), 37);
+/// ```
+pub fn resnet18_se() -> Model {
+    let mut b = ModelBuilder::new("resnet18-se", TensorShape::new(3, 224, 224));
+
+    let c1 = b.conv("conv1", None, 64, 7, 2, 3); // 224 -> 112
+    let n1 = b.batch_norm("bn1", c1);
+    let r1 = b.relu("relu1", n1);
+    let p1 = b.max_pool("pool1", r1, 2, 2); // 112 -> 56
+
+    let mut cur = p1;
+    let mut width = 64;
+    for (stage, channels) in [(1usize, 64usize), (2, 128), (3, 256), (4, 512)] {
+        for block in 1..=2usize {
+            let stride = if stage > 1 && block == 1 { 2 } else { 1 };
+            cur = se_basic_block(
+                &mut b,
+                &format!("s{stage}b{block}"),
+                cur,
+                width,
+                channels,
+                stride,
+            );
+            width = channels;
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur);
+    let f = b.flatten("flatten", gap);
+    b.linear("fc", f, 1000);
+
+    b.build().expect("static resnet18-se definition is valid")
+}
+
+/// Appends one transformer encoder block over a `dim x seq x 1` tensor:
+/// q/k/v projections (static matmuls on crossbars), an elementwise
+/// query-key product + softmax + value gating (activation-dynamic, so it
+/// runs on macro ALUs, following EPIM's split of static vs. dynamic
+/// operands), an output projection with a residual add, and a
+/// `dim -> 4*dim -> dim` feed-forward with its own residual.
+fn encoder_block(b: &mut ModelBuilder, name: &str, input: LayerId, dim: usize) -> LayerId {
+    let q = b.matmul(format!("{name}_q"), input, dim);
+    let k = b.matmul(format!("{name}_k"), input, dim);
+    let v = b.matmul(format!("{name}_v"), input, dim);
+    let scores = b.mul(format!("{name}_qk"), q, k);
+    let weights = b.softmax(format!("{name}_softmax"), scores);
+    let attended = b.mul(format!("{name}_av"), weights, v);
+    let o = b.matmul(format!("{name}_o"), attended, dim);
+    let res1 = b.add(format!("{name}_add1"), o, input);
+
+    let ff1 = b.matmul(format!("{name}_ff1"), res1, 4 * dim);
+    let act = b.relu(format!("{name}_ff_relu"), ff1);
+    let ff2 = b.matmul(format!("{name}_ff2"), act, dim);
+    b.add(format!("{name}_add2"), ff2, res1)
+}
+
+/// A tiny two-block transformer encoder classifier over a 64-dim, 16-token
+/// sequence (embedded as a `64 x 16 x 1` tensor): embedding projection, two
+/// encoder blocks, mean pooling over tokens and a 10-way classifier — 14
+/// weight layers (embed + 2 x 6 projections + fc).
+///
+/// # Example
+///
+/// ```
+/// let m = pimsyn_model::zoo::transformer_tiny();
+/// assert_eq!(m.weight_layers().count(), 14);
+/// ```
+pub fn transformer_tiny() -> Model {
+    let dim = 64;
+    let mut b = ModelBuilder::new("transformer-tiny", TensorShape::new(dim, 16, 1));
+
+    // The embedding projection reads the model input directly (empty
+    // producer list), which the typed `matmul` helper cannot express.
+    let embed = b.layer(
+        "embed",
+        crate::LayerKind::MatMul { out_features: dim },
+        vec![],
+    );
+    let mut cur = embed;
+    for i in 1..=2usize {
+        cur = encoder_block(&mut b, &format!("enc{i}"), cur, dim);
+    }
+
+    let pooled = b.global_avg_pool("pool", cur);
+    let f = b.flatten("flatten", pooled);
+    b.linear("fc", f, 10);
+
+    b.build()
+        .expect("static transformer-tiny definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_stats_are_canonical() {
+        let m = mobilenet();
+        assert_eq!(m.weight_layer_count(), 28);
+        let st = m.stats();
+        // MobileNet-V1 is ~569M MACs and ~4.2M weights.
+        assert!((0.5e9..0.65e9).contains(&(st.total_macs as f64)), "{st:?}");
+        assert!(
+            (3.5e6..5.0e6).contains(&(st.total_weights as f64)),
+            "{st:?}"
+        );
+    }
+
+    #[test]
+    fn mobilenet_depthwise_layers_are_grouped() {
+        let m = mobilenet();
+        let dw: Vec<_> = m
+            .weight_layers()
+            .filter(|w| w.name.ends_with("_dw"))
+            .collect();
+        assert_eq!(dw.len(), 13);
+        for w in dw {
+            assert_eq!(w.groups, w.in_channels, "{}", w.name);
+            assert_eq!(w.filter_rows(), 9, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn mobilenet_final_extent_is_7() {
+        let m = mobilenet();
+        let last = m.weight_layers().find(|w| w.name == "b13_pw").unwrap();
+        assert_eq!(last.out_height, 7);
+        assert_eq!(last.out_channels, 1024);
+    }
+
+    #[test]
+    fn se_blocks_gate_the_trunk() {
+        let m = resnet18_se();
+        assert_eq!(m.weight_layer_count(), 37);
+        let fc2 = m.weight_layers().find(|w| w.name == "s1b1_fc2").unwrap();
+        assert!(fc2.relu, "sigmoid fuses into the activation slot");
+        assert!(fc2.feeds_add, "gate feeds the broadcast mul");
+        let c2 = m.weight_layers().find(|w| w.name == "s1b1_conv2").unwrap();
+        assert!(c2.feeds_add, "trunk feeds the broadcast mul");
+        let fc1 = m.weight_layers().find(|w| w.name == "s1b1_fc1").unwrap();
+        assert_eq!((fc1.in_channels, fc1.out_channels), (64, 4));
+    }
+
+    #[test]
+    fn transformer_projections_preserve_sequence() {
+        let m = transformer_tiny();
+        assert_eq!(m.weight_layer_count(), 14);
+        let q = m.weight_layers().find(|w| w.name == "enc1_q").unwrap();
+        assert_eq!(q.output_positions(), 16);
+        assert_eq!((q.in_channels, q.out_channels), (64, 64));
+        assert!(q.feeds_add, "q feeds the dynamic qk product");
+        let ff1 = m.weight_layers().find(|w| w.name == "enc1_ff1").unwrap();
+        assert_eq!(ff1.out_channels, 256);
+    }
+}

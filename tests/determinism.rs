@@ -44,6 +44,13 @@ fn eval_cache_runs_are_bit_identical_to_uncached() {
     let cases = [
         (zoo::alexnet_cifar(10), Watts(9.0)),
         (zoo::vgg16_cifar(10), Watts(15.0)),
+        // New-op coverage: attention MatMul/Softmax/Mul and residual Add
+        // (transformer-tiny), squeeze-excite gates over grouped residual
+        // blocks (resnet18-se). Depthwise layers map block-diagonally, so
+        // mobilenet needs the larger crossbar budget.
+        (zoo::transformer_tiny(), Watts(6.0)),
+        (zoo::resnet18_se(), Watts(30.0)),
+        (zoo::mobilenet(), Watts(120.0)),
     ];
     for (model, power) in &cases {
         for seed in [3u64, 17] {
@@ -77,6 +84,7 @@ fn thread_pool_backend_equals_inline_bit_identically() {
     let cases = [
         (zoo::alexnet_cifar(10), Watts(9.0)),
         (zoo::vgg16_cifar(10), Watts(15.0)),
+        (zoo::transformer_tiny(), Watts(6.0)),
     ];
     for (model, power) in &cases {
         for seed in [7u64, 23] {
@@ -202,6 +210,11 @@ fn delta_rescoring_is_bit_identical_on_mutation_walks() {
     let cases = [
         (zoo::alexnet_cifar(10), Watts(9.0)),
         (zoo::vgg16_cifar(10), Watts(15.0)),
+        // Delta rescoring must stay exact over the new op kinds too:
+        // depthwise/grouped convolutions (mobilenet) and attention
+        // MatMul/Softmax chains (transformer-tiny).
+        (zoo::mobilenet(), Watts(120.0)),
+        (zoo::transformer_tiny(), Watts(6.0)),
     ];
     let hw = HardwareParams::date24();
     for (model, power) in &cases {

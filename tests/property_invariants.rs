@@ -5,10 +5,11 @@
 //! is available offline), so every run exercises the same deterministic
 //! sample of the input space; failures reproduce exactly.
 
-use pimsyn_arch::{CrossbarConfig, DacConfig};
+use pimsyn::{SynthesisOptions, Synthesizer};
+use pimsyn_arch::{CrossbarConfig, DacConfig, Watts};
 use pimsyn_dse::{crossbars_used, sa_energy, wt_dup_candidates, SaConfig};
 use pimsyn_ir::Dataflow;
-use pimsyn_model::{Model, ModelBuilder, TensorShape};
+use pimsyn_model::{LayerId, Model, ModelBuilder, TensorShape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +48,130 @@ fn arb_crossbar(rng: &mut StdRng) -> CrossbarConfig {
     let size = [128usize, 256, 512][rng.gen_range(0usize..3)];
     let cell = [1u32, 2, 4][rng.gen_range(0usize..3)];
     CrossbarConfig::new(size, cell).expect("legal by construction")
+}
+
+/// A random DAG mixing classic and modern op kinds: dense, grouped and
+/// depthwise convs, residual adds, squeeze-excite gates (matmul + sigmoid +
+/// broadcast mul), attention-style blocks (matmul + softmax + dynamic mul)
+/// and pooling, ending in a classifier.
+fn arb_modern_model(rng: &mut StdRng, case: usize) -> Model {
+    // Widths stay a multiple of 4 so grouped convs always have legal
+    // group counts to pick from.
+    let ci = 4 * rng.gen_range(1usize..=2);
+    let extent = rng.gen_range(8usize..=12);
+    let blocks = rng.gen_range(1usize..=4);
+    let classes = rng.gen_range(2usize..=10);
+
+    let mut b = ModelBuilder::new(format!("prop-modern-{case}"), {
+        TensorShape::new(ci, extent, extent)
+    });
+    let mut width = 4 * rng.gen_range(2usize..=6);
+    let mut cur: LayerId = b.conv("stem", None, width, 3, 1, 1);
+    cur = b.relu("stem_relu", cur);
+    let mut spatial = extent;
+
+    for i in 0..blocks {
+        match rng.gen_range(0usize..5) {
+            // Plain dense conv.
+            0 => {
+                width = 4 * rng.gen_range(2usize..=6);
+                cur = b.conv(format!("c{i}"), Some(cur), width, 3, 1, 1);
+                cur = b.relu(format!("c{i}_relu"), cur);
+            }
+            // Depthwise-separable pair.
+            1 => {
+                cur = b.depthwise_conv(format!("dw{i}"), cur, width, 3, 1, 1);
+                width = 4 * rng.gen_range(2usize..=6);
+                cur = b.conv(format!("pw{i}"), Some(cur), width, 1, 1, 0);
+                cur = b.relu(format!("pw{i}_relu"), cur);
+            }
+            // Grouped conv with a random legal group count.
+            2 => {
+                let groups = [2usize, 4][rng.gen_range(0usize..2)];
+                cur = b.grouped_conv(format!("g{i}"), Some(cur), width, 3, 1, 1, groups);
+                cur = b.relu(format!("g{i}_relu"), cur);
+            }
+            // Residual block with an optional squeeze-excite gate.
+            3 => {
+                let skip = cur;
+                let c1 = b.conv(format!("res{i}_c1"), Some(cur), width, 3, 1, 1);
+                let r1 = b.relu(format!("res{i}_r1"), c1);
+                let mut trunk = b.conv(format!("res{i}_c2"), Some(r1), width, 3, 1, 1);
+                if rng.gen_bool(0.5) {
+                    let gap = b.global_avg_pool(format!("se{i}_gap"), trunk);
+                    let fc1 = b.matmul(format!("se{i}_fc1"), gap, (width / 4).max(1));
+                    let act = b.relu(format!("se{i}_relu"), fc1);
+                    let fc2 = b.matmul(format!("se{i}_fc2"), act, width);
+                    let gate = b.sigmoid(format!("se{i}_sig"), fc2);
+                    trunk = b.mul(format!("se{i}_mul"), trunk, gate);
+                }
+                let add = b.add(format!("res{i}_add"), trunk, skip);
+                cur = b.relu(format!("res{i}_out"), add);
+            }
+            // Attention-style block: q/k/v projections, dynamic products.
+            _ => {
+                let q = b.matmul(format!("att{i}_q"), cur, width);
+                let k = b.matmul(format!("att{i}_k"), cur, width);
+                let v = b.matmul(format!("att{i}_v"), cur, width);
+                let scores = b.mul(format!("att{i}_qk"), q, k);
+                let weights = b.softmax(format!("att{i}_sm"), scores);
+                let attended = b.mul(format!("att{i}_av"), weights, v);
+                let o = b.matmul(format!("att{i}_o"), attended, width);
+                cur = b.add(format!("att{i}_res"), o, cur);
+            }
+        }
+        if rng.gen_bool(0.3) && spatial >= 4 {
+            spatial /= 2;
+            cur = b.max_pool(format!("pool{i}"), cur, 2, 2);
+        }
+    }
+
+    let gap = b.global_avg_pool("gap", cur);
+    let f = b.flatten("flat", gap);
+    b.linear("fc", f, classes);
+    b.build().expect("generated modern model is valid")
+}
+
+#[test]
+fn synthesis_over_modern_dags_is_total() {
+    // Full synthesis per case is heavier than the structural checks above,
+    // so this property runs a smaller (still seeded) sample.
+    let mut rng = StdRng::seed_from_u64(0x5EED_0006);
+    for case in 0..CASES / 3 {
+        let model = arb_modern_model(&mut rng, case);
+        let power = rng.gen_range(2.0f64..30.0);
+        let options = SynthesisOptions::fast(Watts(power)).with_seed(rng.gen());
+        // Synthesis must never panic: it either produces a feasible
+        // implementation or reports a clean, displayable error.
+        match Synthesizer::new(options).synthesize(&model) {
+            Ok(result) => {
+                assert_eq!(result.wt_dup.len(), model.weight_layer_count());
+                assert_eq!(
+                    result.architecture.crossbar_count(),
+                    result.dataflow.total_crossbars(),
+                    "case {case}: architecture and dataflow disagree"
+                );
+                let report = result.best_report();
+                assert!(
+                    report.power.value().is_finite() && report.power.value() > 0.0,
+                    "case {case}: power {}",
+                    report.power
+                );
+                assert!(
+                    report.power.value() <= power * (1.0 + 1e-9),
+                    "case {case}: power {} exceeds budget {power}",
+                    report.power
+                );
+                assert!(report.latency.value().is_finite() && report.latency.value() > 0.0);
+                assert!(report.efficiency_tops_per_watt().is_finite());
+            }
+            Err(e) => {
+                // Cleanly infeasible: the error formats and names no panic.
+                let text = e.to_string();
+                assert!(!text.is_empty(), "case {case}: empty error");
+            }
+        }
+    }
 }
 
 #[test]
