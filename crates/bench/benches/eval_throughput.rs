@@ -21,13 +21,14 @@
 //! parent-aware delta rescoring, with the memo cache off in both arms so
 //! the comparison isolates the incremental-recomputation win.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pimsyn_arch::{CrossbarConfig, DacConfig, HardwareParams, MacroMode, Watts};
 use pimsyn_dse::{
-    BackendKind, CandidateEvaluator, DesignPoint, EvalBackendConfig, EvalCacheConfig,
-    ExploreContext, MacAllocGene, Objective,
+    BackendKind, CandidateEvaluator, ChunkPolicy, DesignPoint, EvalBackend, EvalBackendConfig,
+    EvalCacheConfig, EvalCore, EvalJob, ExploreContext, MacAllocGene, Objective, RemoteBackend,
+    RemotePool,
 };
 use pimsyn_ir::Dataflow;
 use pimsyn_model::{zoo, Model};
@@ -325,6 +326,69 @@ fn remote_arm(protocol_max: Option<u32>) -> (EvalBackendConfig, pimsyn::WorkerSe
     (cfg, daemon, addr)
 }
 
+/// One loopback daemon for the straggler case, whose only significant
+/// per-candidate cost is the injected `job_delay` — so the fleet imbalance
+/// is a controlled constant instead of scheduler luck.
+fn straggler_daemon(job_delay: Duration) -> (pimsyn::WorkerServeHandle, String) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let daemon = pimsyn::serve_workers_in_background(
+        listener,
+        pimsyn::WorkerServeConfig {
+            slots: 1,
+            quiet: true,
+            faults: pimsyn::FaultInjection {
+                job_delay: Some(job_delay),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("start worker daemon");
+    let addr = daemon.addr().to_string();
+    (daemon, addr)
+}
+
+/// Average wall-clock seconds per batch over a warm fleet under the given
+/// chunk policy, plus the straggler pieces requeued while measuring. A
+/// fresh private pool per call so the two policies never share throughput
+/// estimates; the warm-up batch (excluded from timing) dials, opens
+/// sessions and seeds the EWMA.
+fn straggler_seconds_per_batch(
+    w: &Workload,
+    endpoints: &[String],
+    policy: ChunkPolicy,
+    batch: usize,
+    rounds: usize,
+) -> (f64, usize) {
+    let pool = RemotePool::new(endpoints.to_vec(), None);
+    let backend = RemoteBackend::with_pool_policy(std::sync::Arc::clone(&pool), policy);
+    let core = EvalCore::new(
+        &w.model,
+        POWER,
+        &w.hw,
+        MacroMode::Specialized,
+        Objective::PowerEfficiency,
+        EvalCacheConfig::disabled(),
+    );
+    let jobs: Vec<EvalJob<'_>> = w.genes[..batch.min(w.genes.len())]
+        .iter()
+        .map(|gene| EvalJob {
+            df: &w.df,
+            point: w.point,
+            gene,
+        })
+        .collect();
+    black_box(backend.score_batch(&core, &jobs, &|| false));
+    let start = Instant::now();
+    for _ in 0..rounds {
+        black_box(backend.score_batch(&core, &jobs, &|| false));
+    }
+    let per_batch = start.elapsed().as_secs_f64() / rounds.max(1) as f64;
+    let requeues = pool.fleet_snapshot().requeued_pieces;
+    backend.flush();
+    (per_batch, requeues)
+}
+
 fn bench_backend_comparison(c: &mut Criterion) {
     let quick = quick_mode();
     let (distinct, repeats, samples) = if quick { (4, 2, 1) } else { (16, 4, 10) };
@@ -390,6 +454,24 @@ fn bench_backend_comparison(c: &mut Criterion) {
     let remote_inline = best_remote(&inline_cfg);
     let remote_v1 = best_remote(&remote_v1_cfg);
     let remote_v2 = best_remote(&remote_v2_cfg);
+
+    // Straggler case: a two-worker fleet where one endpoint answers each
+    // candidate 10× slower (injected per-job delay, so the imbalance is a
+    // controlled constant). Count-balanced chunking hands both workers half
+    // the batch and wall-clock tracks the slow half; adaptive weighting
+    // shrinks the slow worker's chunk to its EWMA share and piece requeue
+    // lets the fast connection drain whatever tail is still queued behind
+    // the straggler.
+    let (fast_daemon, fast_addr) = straggler_daemon(Duration::from_micros(50));
+    let (slow_daemon, slow_addr) = straggler_daemon(Duration::from_micros(500));
+    let fleet = vec![fast_addr.clone(), slow_addr.clone()];
+    let (sbatch, srounds) = if quick { (16, 2) } else { (64, 8) };
+    let sbatch = sbatch.min(rw.genes.len());
+    let (balanced_s, _) =
+        straggler_seconds_per_batch(&rw, &fleet, ChunkPolicy::CountBalanced, sbatch, srounds);
+    let (adaptive_s, straggler_requeues) =
+        straggler_seconds_per_batch(&rw, &fleet, ChunkPolicy::Adaptive, sbatch, srounds);
+    let straggler_speedup = balanced_s / adaptive_s.max(1e-12);
     let subprocess_json = subprocess
         .map(|t| format!("{t:.1}"))
         .unwrap_or_else(|| "null".to_string());
@@ -410,9 +492,16 @@ fn bench_backend_comparison(c: &mut Criterion) {
          \"remote_inline_candidates_per_sec\": {remote_inline:.1},\n  \
          \"remote_v1_candidates_per_sec\": {remote_v1:.1},\n  \
          \"remote_v2_candidates_per_sec\": {remote_v2:.1},\n  \
+         \"straggler_batch_size\": {sbatch},\n  \
+         \"straggler_count_balanced_ms_per_batch\": {:.2},\n  \
+         \"straggler_adaptive_ms_per_batch\": {:.2},\n  \
+         \"straggler_requeued_pieces\": {straggler_requeues},\n  \
+         \"straggler_speedup\": {straggler_speedup:.2},\n  \
          \"threads_speedup\": {:.2},\n  \"remote_v2_speedup\": {:.2}\n}}",
         w.genes.len(),
         rw.genes.len(),
+        balanced_s * 1e3,
+        adaptive_s * 1e3,
         threads / inline.max(1e-12),
         remote_v2 / remote_v1.max(1e-12)
     );
@@ -423,8 +512,12 @@ fn bench_backend_comparison(c: &mut Criterion) {
     }
     let _ = pimsyn::stop_worker_server(&v1_addr, None);
     let _ = pimsyn::stop_worker_server(&v2_addr, None);
+    let _ = pimsyn::stop_worker_server(&fast_addr, None);
+    let _ = pimsyn::stop_worker_server(&slow_addr, None);
     let _ = v1_daemon.join();
     let _ = v2_daemon.join();
+    let _ = fast_daemon.join();
+    let _ = slow_daemon.join();
 }
 
 criterion_group!(

@@ -115,7 +115,7 @@ pub use summary::SynthesisSummary;
 pub use synthesis::{SynthesisResult, Synthesizer};
 pub use worker::{
     run_worker, run_worker_stdio, run_worker_with, serve_workers, serve_workers_in_background,
-    stop_worker_server, WorkerServeConfig, WorkerServeHandle,
+    stop_worker_server, FaultInjection, WorkerServeConfig, WorkerServeHandle,
 };
 
 // Re-export the vocabulary types users need at the API boundary.

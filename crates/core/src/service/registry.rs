@@ -39,11 +39,11 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use pimsyn_dse::WorkerDirectory;
+use pimsyn_dse::{DirectoryEntry, WorkerDirectory};
 use pimsyn_model::json::JsonValue;
 
 /// Registry wire-format version; bumped on any incompatible change.
@@ -300,6 +300,13 @@ struct WorkerEntry {
     slots: usize,
     proto_max: u32,
     last_seen: Instant,
+    /// Registration generation: assigned (from a registry-wide counter,
+    /// starting at 1) whenever the address enters the roster *fresh* —
+    /// first announce, or any announce/heartbeat after an eviction or
+    /// drain. Refreshes keep the epoch, so the remote pool can tell "same
+    /// worker, still alive" from "address re-announced by a restarted
+    /// worker" and drop stale throughput estimates for the latter.
+    epoch: u64,
 }
 
 /// The live roster of announced worker daemons, with staleness-based
@@ -310,6 +317,7 @@ pub struct WorkerRegistry {
     token: Option<String>,
     quiet: bool,
     entries: Mutex<HashMap<String, WorkerEntry>>,
+    next_epoch: AtomicU64,
     announces: AtomicUsize,
     heartbeats: AtomicUsize,
     evictions: AtomicUsize,
@@ -338,6 +346,7 @@ impl WorkerRegistry {
             token,
             quiet,
             entries: Mutex::new(HashMap::new()),
+            next_epoch: AtomicU64::new(1),
             announces: AtomicUsize::new(0),
             heartbeats: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -383,19 +392,41 @@ impl WorkerRegistry {
         }
     }
 
+    /// Upserts a worker entry. A *fresh* insert (first sighting, or any
+    /// sighting after an eviction/drain removed the address) draws a new
+    /// registration epoch; a refresh keeps the existing one. Stale entries
+    /// are evicted first so a worker that died and re-announced before any
+    /// roster read gets a fresh epoch, not its zombie predecessor's.
+    /// Returns whether the entry was fresh.
+    fn upsert(&self, addr: &str, slots: usize, proto_max: u32) -> bool {
+        let mut entries = self.entries.lock().expect("registry");
+        self.evict_stale(&mut entries);
+        let now = Instant::now();
+        match entries.get_mut(addr) {
+            Some(entry) => {
+                entry.slots = slots;
+                entry.proto_max = proto_max;
+                entry.last_seen = now;
+                false
+            }
+            None => {
+                entries.insert(
+                    addr.to_string(),
+                    WorkerEntry {
+                        slots,
+                        proto_max,
+                        last_seen: now,
+                        epoch: self.next_epoch.fetch_add(1, Ordering::Relaxed),
+                    },
+                );
+                true
+            }
+        }
+    }
+
     /// Registers (or refreshes) a worker.
     pub fn announce(&self, addr: &str, slots: usize, proto_max: u32) {
-        let mut entries = self.entries.lock().expect("registry");
-        let fresh = entries
-            .insert(
-                addr.to_string(),
-                WorkerEntry {
-                    slots,
-                    proto_max,
-                    last_seen: Instant::now(),
-                },
-            )
-            .is_none();
+        let fresh = self.upsert(addr, slots, proto_max);
         self.announces.fetch_add(1, Ordering::Relaxed);
         if fresh {
             self.note(&format!(
@@ -407,17 +438,7 @@ impl WorkerRegistry {
     /// Refreshes a worker's liveness; upserts, so a worker evicted during
     /// a stall re-enters on its next beat.
     pub fn heartbeat(&self, addr: &str, slots: usize, proto_max: u32) {
-        let mut entries = self.entries.lock().expect("registry");
-        let returned = entries
-            .insert(
-                addr.to_string(),
-                WorkerEntry {
-                    slots,
-                    proto_max,
-                    last_seen: Instant::now(),
-                },
-            )
-            .is_none();
+        let returned = self.upsert(addr, slots, proto_max);
         self.heartbeats.fetch_add(1, Ordering::Relaxed);
         if returned {
             self.note(&format!("{addr} returned on a heartbeat"));
@@ -471,6 +492,26 @@ impl WorkerDirectory for WorkerRegistry {
         let mut roster: Vec<String> = entries.keys().cloned().collect();
         roster.sort();
         roster
+    }
+
+    /// The roster with the scheduling hints the remote pool's adaptive
+    /// chunker consumes: advertised slots (seeding multi-session dialing
+    /// before the first welcome) and the registration epoch (so a worker
+    /// that restarted between two roster refreshes starts from a cold
+    /// throughput estimate).
+    fn entries(&self) -> Vec<DirectoryEntry> {
+        let mut entries = self.entries.lock().expect("registry");
+        self.evict_stale(&mut entries);
+        let mut rows: Vec<DirectoryEntry> = entries
+            .iter()
+            .map(|(addr, e)| DirectoryEntry {
+                addr: addr.clone(),
+                slots: e.slots.max(1),
+                epoch: e.epoch,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.addr.cmp(&b.addr));
+        rows
     }
 }
 
@@ -679,6 +720,52 @@ mod tests {
         // A late heartbeat brings an evicted worker back (upsert).
         registry.heartbeat("127.0.0.1:7802", 2, 1);
         assert_eq!(registry.roster(), vec!["127.0.0.1:7802".to_string()]);
+    }
+
+    #[test]
+    fn epochs_survive_refreshes_and_change_on_reentry() {
+        let registry = WorkerRegistry::new(Duration::from_secs(60), None, true);
+        registry.announce("127.0.0.1:7801", 4, 2);
+        let first = registry.entries();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].slots, 4);
+        assert!(first[0].epoch >= 1, "fresh epochs start at 1");
+
+        // Refreshes (re-announce, heartbeat) keep the epoch: same worker,
+        // still alive — even when the advertised slots change.
+        registry.announce("127.0.0.1:7801", 8, 2);
+        registry.heartbeat("127.0.0.1:7801", 8, 2);
+        let refreshed = registry.entries();
+        assert_eq!(refreshed[0].epoch, first[0].epoch);
+        assert_eq!(refreshed[0].slots, 8);
+
+        // Leaving (drain here; eviction behaves the same) and coming back
+        // draws a new epoch: the remote pool must treat the address as a
+        // restarted worker and drop its throughput estimate.
+        registry.drain("127.0.0.1:7801");
+        registry.announce("127.0.0.1:7801", 4, 2);
+        let reentered = registry.entries();
+        assert!(
+            reentered[0].epoch > first[0].epoch,
+            "re-entry must draw a fresh epoch ({} vs {})",
+            reentered[0].epoch,
+            first[0].epoch
+        );
+    }
+
+    #[test]
+    fn stale_entries_are_evicted_before_an_upsert_refreshes_them() {
+        // A worker that died (heartbeats lapsed) and re-announced before
+        // any roster read must come back with a *new* epoch — the upsert
+        // path evicts the zombie first instead of refreshing it.
+        let registry = WorkerRegistry::new(Duration::from_millis(1), None, true);
+        registry.announce("127.0.0.1:7801", 4, 2);
+        let first = registry.entries()[0].epoch;
+        std::thread::sleep(Duration::from_millis(10));
+        registry.announce("127.0.0.1:7801", 4, 2);
+        let second = registry.entries()[0].epoch;
+        assert!(second > first, "{second} vs {first}");
+        assert_eq!(registry.snapshot().evictions, 1);
     }
 
     #[test]

@@ -335,11 +335,12 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
 fn fleet_summary(service: &SynthesisService) -> Option<String> {
     let fleet = service.shared_resources().remote_fleet()?;
     let mut line = format!(
-        "fleet: {} endpoints, {} live + {} idle connections, {} dials",
+        "fleet: {} endpoints, {} live + {} idle connections, {} dials, {} requeued pieces",
         fleet.endpoints.len(),
         fleet.live_connections,
         fleet.idle_connections,
-        fleet.connects
+        fleet.connects,
+        fleet.requeued_pieces
     );
     for endpoint in &fleet.endpoints {
         let proto = match endpoint.protocol {
@@ -353,15 +354,20 @@ fn fleet_summary(service: &SynthesisService) -> Option<String> {
         };
         let timing = if endpoint.batches > 0 {
             format!(
-                ", {} batches avg {:.1} ms",
+                ", {} jobs in {} batches avg {:.1} ms",
+                endpoint.jobs,
                 endpoint.batches,
                 endpoint.batch_seconds / endpoint.batches as f64 * 1e3
             )
         } else {
             String::new()
         };
+        let rate = match endpoint.throughput {
+            Some(rate) => format!(", ~{rate:.0} cand/s"),
+            None => String::new(),
+        };
         line.push_str(&format!(
-            "; {} [{origin} {proto}, {} live{timing}]",
+            "; {} [{origin} {proto}, {} live{timing}{rate}]",
             endpoint.addr, endpoint.live
         ));
     }

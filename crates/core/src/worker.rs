@@ -119,10 +119,25 @@ pub fn run_worker(input: impl BufRead, output: impl Write) -> Result<(), String>
 ///
 /// Same as [`run_worker`].
 pub fn run_worker_with(
+    input: impl BufRead,
+    output: impl Write,
+    max_version: u32,
+) -> Result<(), String> {
+    run_worker_session(input, output, max_version, &FaultInjection::default())
+}
+
+/// The session engine behind [`run_worker_with`], with `faults` applied to
+/// every score exchange (see [`FaultInjection`]; the default injects
+/// nothing and is bit-for-bit the old behavior).
+fn run_worker_session(
     mut input: impl BufRead,
     mut output: impl Write,
     max_version: u32,
+    faults: &FaultInjection,
 ) -> Result<(), String> {
+    // Score exchanges answered on this connection so far (1-based), the
+    // clock the stall/drop faults tick on.
+    let mut exchanges = 0usize;
     let fail = |output: &mut dyn Write, detail: String| -> Result<(), String> {
         let _ = writeln!(output, "{}", error_line(&detail));
         let _ = output.flush();
@@ -225,6 +240,10 @@ pub fn run_worker_with(
                 Incoming::Line(line) => {
                     match WorkerRequest::parse(line.trim()) {
                         Ok(WorkerRequest::Score(request)) => {
+                            exchanges += 1;
+                            if faults.should_drop(exchanges) {
+                                return Ok(()); // injected fault: die mid-chunk
+                            }
                             let score = score_one(
                                 &mut compiled,
                                 request.ratio_bits,
@@ -234,6 +253,7 @@ pub fn run_worker_with(
                                 request.wt_dup,
                                 request.gene,
                             );
+                            faults.delay_reply(exchanges, 1);
                             let response = ScoreResponse {
                                 id: request.id,
                                 score,
@@ -259,6 +279,11 @@ pub fn run_worker_with(
                         Ok(batch) => batch,
                         Err(e) => return fail_frame(&mut output, e),
                     };
+                    exchanges += 1;
+                    if faults.should_drop(exchanges) {
+                        return Ok(()); // injected fault: die mid-chunk
+                    }
+                    let jobs = items.len();
                     let scores: Vec<CandidateScore> = items
                         .into_iter()
                         .map(|item| {
@@ -273,6 +298,7 @@ pub fn run_worker_with(
                             )
                         })
                         .collect();
+                    faults.delay_reply(exchanges, jobs);
                     write_frame(
                         &mut output,
                         FRAME_SCORE_REPLY,
@@ -302,6 +328,96 @@ pub fn run_worker_stdio() -> ExitCode {
     }
 }
 
+/// Artificial worker misbehavior, injected into served sessions for chaos
+/// tests, CI smokes, and the straggler-scheduling bench. All off by
+/// default (and in every production path): faults only run when a test
+/// sets them on [`WorkerServeConfig`] directly or the `worker-serve` CLI
+/// picks them up from `PIMSYN_FAULT_*` environment variables.
+///
+/// The injected faults model the real failure shapes the adaptive chunker
+/// must stay bit-identical under:
+///
+/// - **Per-batch / per-job delay** — a uniformly slow worker (loaded box,
+///   cold cache). `PIMSYN_FAULT_BATCH_DELAY_MS` sleeps once per score
+///   exchange; `PIMSYN_FAULT_JOB_DELAY_US` sleeps once per candidate, so
+///   the slowdown scales with chunk size like real compute does.
+/// - **Mid-run stall** — a worker that degrades after warmup.
+///   `PIMSYN_FAULT_STALL_AFTER` lets that many score exchanges answer
+///   normally, then every later reply is delayed `PIMSYN_FAULT_STALL_MS`
+///   (default 5000).
+/// - **Connection drop** — a worker that dies mid-chunk. With
+///   `PIMSYN_FAULT_DROP_EVERY=n`, every nth score exchange on a
+///   connection closes the socket instead of answering; the dialing
+///   backend recomputes the chunk inline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Sleep before answering each score exchange.
+    pub batch_delay: Option<Duration>,
+    /// Sleep per candidate in each score exchange.
+    pub job_delay: Option<Duration>,
+    /// Score exchanges answered normally before stalling kicks in.
+    pub stall_after: Option<usize>,
+    /// The per-reply stall once [`stall_after`](Self::stall_after) is
+    /// exceeded.
+    pub stall_delay: Duration,
+    /// Close the connection instead of answering every nth exchange.
+    pub drop_every: Option<usize>,
+}
+
+impl FaultInjection {
+    /// Reads the `PIMSYN_FAULT_*` variables (unset, empty, unparsable and
+    /// zero all mean "off"). Used by the `worker-serve` CLI so test
+    /// harnesses can misconfigure a stock binary without new flags.
+    pub fn from_env() -> Self {
+        let read = |name: &str| -> Option<u64> {
+            std::env::var(name)
+                .ok()?
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+        };
+        Self {
+            batch_delay: read("PIMSYN_FAULT_BATCH_DELAY_MS").map(Duration::from_millis),
+            job_delay: read("PIMSYN_FAULT_JOB_DELAY_US").map(Duration::from_micros),
+            stall_after: read("PIMSYN_FAULT_STALL_AFTER").map(|v| v as usize),
+            stall_delay: read("PIMSYN_FAULT_STALL_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::from_secs(5)),
+            drop_every: read("PIMSYN_FAULT_DROP_EVERY").map(|v| v as usize),
+        }
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.batch_delay.is_some()
+            || self.job_delay.is_some()
+            || self.stall_after.is_some()
+            || self.drop_every.is_some()
+    }
+
+    /// Whether the `exchange`th (1-based) score exchange on a connection
+    /// should close the socket instead of answering.
+    fn should_drop(&self, exchange: usize) -> bool {
+        self.drop_every
+            .is_some_and(|n| n > 0 && exchange.is_multiple_of(n))
+    }
+
+    /// Injects the configured delays before the reply to the `exchange`th
+    /// (1-based) score exchange carrying `jobs` candidates.
+    fn delay_reply(&self, exchange: usize, jobs: usize) {
+        if let Some(delay) = self.batch_delay {
+            std::thread::sleep(delay);
+        }
+        if let Some(delay) = self.job_delay {
+            std::thread::sleep(delay.saturating_mul(jobs.min(u32::MAX as usize) as u32));
+        }
+        if self.stall_after.is_some_and(|n| exchange > n) {
+            std::thread::sleep(self.stall_delay);
+        }
+    }
+}
+
 /// Configuration of a [`serve_workers`] daemon.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerServeConfig {
@@ -325,6 +441,10 @@ pub struct WorkerServeConfig {
     /// serving, a background thread keeps the registration alive with
     /// heartbeats and deregisters gracefully when the daemon stops.
     pub announce: Option<String>,
+    /// Artificial misbehavior injected into every served session — the
+    /// chaos-test harness. [`FaultInjection::default`] (all off) in any
+    /// production configuration.
+    pub faults: FaultInjection,
 }
 
 impl WorkerServeConfig {
@@ -363,6 +483,7 @@ struct WorkerServeState {
     quiet: bool,
     addr: SocketAddr,
     protocol_max: u32,
+    faults: FaultInjection,
     active: AtomicUsize,
     stop: AtomicBool,
 }
@@ -431,9 +552,18 @@ pub fn serve_workers(listener: TcpListener, config: WorkerServeConfig) -> std::i
             .protocol_max
             .unwrap_or(PROTOCOL_VERSION_MAX)
             .clamp(PROTOCOL_VERSION, PROTOCOL_VERSION_MAX),
+        faults: config.faults.clone(),
         active: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
     });
+    if state.faults.is_active() {
+        // Loud by design: a daemon that deliberately misbehaves must never
+        // pass for a healthy one in a log.
+        eprintln!(
+            "pimsyn worker-serve: FAULT INJECTION ACTIVE: {:?}",
+            state.faults
+        );
+    }
     // Unconditional: the script-facing bound-address line (see above).
     eprintln!("pimsyn worker-serve: listening on {addr}");
     let announcer = config.announce.map(|registry| {
@@ -697,7 +827,7 @@ fn handle_worker_connection(state: &Arc<WorkerServeState>, mut stream: TcpStream
             // peer must not pin this slot forever.
             let _ = stream.set_read_timeout(Some(SESSION_IDLE_TIMEOUT));
             state.note("session opened");
-            let _ = run_worker_with(reader, &mut stream, state.protocol_max);
+            let _ = run_worker_session(reader, &mut stream, state.protocol_max, &state.faults);
             state.note("session closed");
         }
     }
@@ -961,5 +1091,61 @@ mod tests {
         let mut output = Vec::new();
         run_worker("".as_bytes(), &mut output).expect("empty session");
         assert!(output.is_empty());
+    }
+
+    #[test]
+    fn fault_injection_defaults_are_inert() {
+        let faults = FaultInjection::default();
+        assert!(!faults.is_active());
+        for exchange in 1..100 {
+            assert!(!faults.should_drop(exchange));
+        }
+    }
+
+    #[test]
+    fn fault_injection_drop_cadence_is_every_nth_exchange() {
+        let faults = FaultInjection {
+            drop_every: Some(3),
+            ..Default::default()
+        };
+        assert!(faults.is_active());
+        let drops: Vec<usize> = (1..=9).filter(|&e| faults.should_drop(e)).collect();
+        assert_eq!(drops, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn fault_injected_drop_closes_the_session_after_replying_earlier_exchanges() {
+        // Two v1 score requests with drop_every = 2: the first is answered,
+        // the second silently closes the session — the connection-drop
+        // shape the remote backend's inline recompute handles.
+        let mut session = String::new();
+        session.push_str(&init_line(9.0));
+        session.push('\n');
+        for id in [1u64, 2] {
+            let request = ScoreRequest {
+                id,
+                ratio_bits: 0.3f64.to_bits(),
+                xb_size: 128,
+                cell_bits: 2,
+                dac_bits: 1,
+                wt_dup: vec![1],
+                gene: vec![1],
+            };
+            session.push_str(&request.to_line());
+            session.push('\n');
+        }
+        let faults = FaultInjection {
+            drop_every: Some(2),
+            ..Default::default()
+        };
+        let mut output = Vec::new();
+        run_worker_session(session.as_bytes(), &mut output, 1, &faults)
+            .expect("drop ends the session cleanly");
+        let text = String::from_utf8(output).unwrap();
+        let mut lines = text.lines();
+        let _ready = lines.next().expect("ready line");
+        let reply = ScoreResponse::parse(lines.next().expect("first score answered")).unwrap();
+        assert_eq!(reply.id, 1);
+        assert_eq!(lines.next(), None, "second exchange must drop, not reply");
     }
 }

@@ -27,6 +27,7 @@
 
 mod inline;
 mod persist;
+mod planner;
 pub mod protocol;
 mod remote;
 mod session;
@@ -36,6 +37,7 @@ mod threads;
 
 pub use inline::InlineBackend;
 pub use persist::{CacheSnapshot, PersistentEvalCache, EVAL_CACHE_SCHEMA};
+pub use planner::{ChunkPlanner, ChunkPolicy, MIN_JOBS_PER_CHUNK};
 pub use remote::{RemoteBackend, RemoteEndpointStatus, RemoteFleetSnapshot, RemotePool};
 pub use shared::SharedEvalResources;
 pub use subprocess::{SubprocessBackend, WorkerPool};
@@ -103,6 +105,37 @@ pub const NEVER_STOP: StopCheck<'static> = &|| false;
 pub trait WorkerDirectory: Send + Sync + std::fmt::Debug {
     /// The endpoints currently believed alive, `host:port` each.
     fn roster(&self) -> Vec<String>;
+
+    /// The roster with scheduling hints attached. The default adapts
+    /// [`roster`](Self::roster) for directories that predate hints: one
+    /// session per endpoint, and epoch `0` — "unknown", which the pool
+    /// treats as "never reset on epoch comparison".
+    fn entries(&self) -> Vec<DirectoryEntry> {
+        self.roster()
+            .into_iter()
+            .map(|addr| DirectoryEntry {
+                addr,
+                slots: 1,
+                epoch: 0,
+            })
+            .collect()
+    }
+}
+
+/// One [`WorkerDirectory`] roster row: where to dial, how many concurrent
+/// sessions the worker's registration advertised, and the registration
+/// *epoch* — a counter the registry bumps every time the address is
+/// freshly (re-)announced after leaving, so the pool can detect a worker
+/// restart that happened entirely between two roster refreshes and drop
+/// its stale throughput estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Dialable `host:port`.
+    pub addr: String,
+    /// Advertised concurrent-session capacity (≥ 1 once sanitized).
+    pub slots: usize,
+    /// Registration generation; `0` means the directory doesn't track one.
+    pub epoch: u64,
 }
 
 /// Where candidate scoring runs.

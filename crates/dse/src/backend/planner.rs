@@ -1,0 +1,374 @@
+//! The pure chunk planner behind the remote backend's adaptive scheduling.
+//!
+//! Splitting a batch across fleet connections is a *planning* problem —
+//! how many jobs each connection should carry — and a *transport* problem
+//! — dialing, framing, failure isolation. This module owns only the first:
+//! [`ChunkPlanner`] is a pure function from per-connection throughput
+//! weights to a contiguous partition of the batch, so scheduling policy is
+//! unit- and property-testable without a socket in sight.
+//!
+//! **Weighting.** Each connection carries a weight: its endpoint's
+//! estimated scoring throughput in candidates per second (an EWMA of
+//! observed exchange rates, see
+//! [`RemoteBackend`](super::RemoteBackend)). Connections with no
+//! measurement yet (a fresh endpoint, or one whose estimate was reset
+//! after a failure or registry eviction) weigh in at the *mean of the
+//! measured weights* — a cold worker gets a fair share, earns a
+//! measurement on its first exchange, and converges from there. With no
+//! measurements at all every weight is equal and the plan degenerates to
+//! the classic count-balanced split.
+//!
+//! **Partitioning.** A batch of `n` jobs funds at most
+//! `n / MIN_JOBS_PER_CHUNK` chunks (a network round trip must carry enough
+//! work to be worth its latency), so only the heaviest that-many
+//! connections receive jobs. Shares are apportioned by largest remainder
+//! over the weights, then repaired so every nonempty chunk holds at least
+//! [`MIN_JOBS_PER_CHUNK`] jobs (taking the excess from the largest chunks)
+//! — except when the whole batch is smaller than a minimum chunk, in which
+//! case the single tail chunk is the batch. Finally the chunk sizes are
+//! re-dealt in weight order, making the plan *monotone*: a connection
+//! never receives a smaller chunk than a lighter-weighted one.
+//!
+//! The plan fixes only *where* jobs are first queued. Results are always
+//! reduced in input order by the caller, so any plan — and any straggler
+//! requeue that later moves tail pieces between connections — produces
+//! bit-identical scores.
+
+/// Minimum jobs per remote chunk: a network round trip is only worth
+/// paying when it carries enough work. Plans never produce a nonempty
+/// chunk smaller than this, except the single chunk of a batch that is
+/// itself smaller.
+pub const MIN_JOBS_PER_CHUNK: usize = 8;
+
+/// How the remote backend partitions batches across connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkPolicy {
+    /// Throughput-weighted chunks with straggler requeue (the default):
+    /// fast endpoints carry more of each batch, and idle connections take
+    /// over the queued tail of a straggling chunk.
+    #[default]
+    Adaptive,
+    /// The pre-adaptive behavior: equal shares (sizes differ by at most
+    /// one), no requeue. Kept for benchmarks and A/B tests; results are
+    /// bit-identical under either policy, only wall-clock differs.
+    CountBalanced,
+}
+
+/// A pure planner: per-connection weights in, a contiguous partition of
+/// the batch out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPlanner {
+    weights: Vec<f64>,
+}
+
+impl ChunkPlanner {
+    /// A planner over one weight per connection: `Some(rate)` is a
+    /// measured throughput estimate (candidates per second; non-finite or
+    /// non-positive values are treated as unmeasured), `None` is a
+    /// connection with no estimate yet. Unmeasured connections weigh in
+    /// at the mean of the measured ones (or `1.0` when nothing is
+    /// measured, making the plan count-balanced).
+    pub fn new(weights: &[Option<f64>]) -> Self {
+        let measured: Vec<f64> = weights
+            .iter()
+            .filter_map(|w| w.filter(|x| x.is_finite() && *x > 0.0))
+            .collect();
+        let cold = if measured.is_empty() {
+            1.0
+        } else {
+            measured.iter().sum::<f64>() / measured.len() as f64
+        };
+        Self {
+            weights: weights
+                .iter()
+                .map(|w| w.filter(|x| x.is_finite() && *x > 0.0).unwrap_or(cold))
+                .collect(),
+        }
+    }
+
+    /// The count-balanced planner over `connections` equal weights.
+    pub fn count_balanced(connections: usize) -> Self {
+        Self {
+            weights: vec![1.0; connections],
+        }
+    }
+
+    /// The sanitized weight per connection (unmeasured entries already
+    /// filled with the cold default).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Plans a batch of `jobs` jobs: one `(lo, hi)` range per connection,
+    /// in connection order, concatenating to exactly `0..jobs` (empty
+    /// ranges for connections the batch is too small to feed). Nonempty
+    /// chunks hold at least [`MIN_JOBS_PER_CHUNK`] jobs unless the whole
+    /// batch is smaller (then its single chunk is the tail), and chunk
+    /// sizes are monotone in weight: a heavier connection never receives
+    /// fewer jobs than a lighter one.
+    pub fn plan(&self, jobs: usize) -> Vec<(usize, usize)> {
+        let sizes = self.chunk_sizes(jobs);
+        let mut ranges = Vec::with_capacity(sizes.len());
+        let mut offset = 0usize;
+        for len in sizes {
+            ranges.push((offset, offset + len));
+            offset += len;
+        }
+        ranges
+    }
+
+    /// The chunk size per connection (the lengths of [`plan`](Self::plan)'s
+    /// ranges).
+    fn chunk_sizes(&self, jobs: usize) -> Vec<usize> {
+        let n = self.weights.len();
+        if n == 0 || jobs == 0 {
+            return vec![0; n];
+        }
+        // A batch funds at most jobs / MIN_JOBS_PER_CHUNK round trips;
+        // only the heaviest that-many connections receive jobs.
+        let active = (jobs / MIN_JOBS_PER_CHUNK).clamp(1, n);
+        // Weight-descending connection order, index-stable on ties.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b]
+                .partial_cmp(&self.weights[a])
+                .expect("weights are sanitized finite")
+                .then(a.cmp(&b))
+        });
+        let chosen = &order[..active];
+        let total: f64 = chosen.iter().map(|&i| self.weights[i]).sum();
+
+        // Largest-remainder apportionment of the batch over the chosen
+        // weights: floor the ideal shares, then hand the leftover units
+        // to the largest fractional remainders (weight-first on ties, so
+        // the result stays monotone before repair).
+        let ideals: Vec<f64> = chosen
+            .iter()
+            .map(|&i| jobs as f64 * self.weights[i] / total)
+            .collect();
+        let mut shares: Vec<usize> = ideals.iter().map(|x| x.floor() as usize).collect();
+        let mut leftover = jobs - shares.iter().sum::<usize>();
+        let mut by_remainder: Vec<usize> = (0..active).collect();
+        by_remainder.sort_by(|&a, &b| {
+            let ra = ideals[a] - ideals[a].floor();
+            let rb = ideals[b] - ideals[b].floor();
+            rb.partial_cmp(&ra)
+                .expect("remainders are finite")
+                .then(a.cmp(&b))
+        });
+        let mut cursor = 0usize;
+        while leftover > 0 {
+            shares[by_remainder[cursor % active]] += 1;
+            cursor += 1;
+            leftover -= 1;
+        }
+
+        // Minimum-chunk repair: raise every sub-minimum chunk to the
+        // floor, funding it from the currently-largest chunks one job at
+        // a time. Feasible whenever jobs >= active * MIN_JOBS_PER_CHUNK,
+        // which the active cap guarantees (the only exception is a batch
+        // smaller than one minimum chunk, whose single chunk is the tail).
+        if jobs >= active * MIN_JOBS_PER_CHUNK {
+            let mut debt = 0usize;
+            for share in shares.iter_mut() {
+                if *share < MIN_JOBS_PER_CHUNK {
+                    debt += MIN_JOBS_PER_CHUNK - *share;
+                    *share = MIN_JOBS_PER_CHUNK;
+                }
+            }
+            while debt > 0 {
+                let richest = (0..active).max_by_key(|&k| shares[k]).expect("active >= 1");
+                debug_assert!(shares[richest] > MIN_JOBS_PER_CHUNK);
+                shares[richest] -= 1;
+                debt -= 1;
+            }
+        }
+
+        // Monotone re-deal: the sorted share multiset assigned in weight
+        // order, so a heavier connection never gets the smaller chunk.
+        shares.sort_unstable_by(|a, b| b.cmp(a));
+        let mut sizes = vec![0usize; n];
+        for (rank, &i) in chosen.iter().enumerate() {
+            sizes[i] = shares[rank];
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic LCG so the property loops are seeded and
+    /// reproducible without any RNG dependency.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+    }
+
+    fn assert_plan_invariants(planner: &ChunkPlanner, jobs: usize) {
+        let ranges = planner.plan(jobs);
+        assert_eq!(ranges.len(), planner.weights().len());
+        // Exact contiguous partition: ranges concatenate to 0..jobs with
+        // no gap and no overlap.
+        let mut offset = 0usize;
+        for &(lo, hi) in &ranges {
+            assert_eq!(lo, offset, "ranges must be contiguous");
+            assert!(hi >= lo);
+            offset = hi;
+        }
+        assert_eq!(offset, jobs, "ranges must cover the batch exactly once");
+        // Minimum chunk respected, except the single tail chunk of a
+        // batch smaller than one minimum chunk.
+        let nonempty: Vec<usize> = ranges
+            .iter()
+            .map(|&(lo, hi)| hi - lo)
+            .filter(|&l| l > 0)
+            .collect();
+        if jobs >= MIN_JOBS_PER_CHUNK {
+            for &len in &nonempty {
+                assert!(
+                    len >= MIN_JOBS_PER_CHUNK,
+                    "chunk of {len} below the {MIN_JOBS_PER_CHUNK}-job floor (jobs={jobs}, weights={:?})",
+                    planner.weights()
+                );
+            }
+        } else if jobs > 0 {
+            assert_eq!(
+                nonempty,
+                vec![jobs],
+                "a sub-minimum batch is one tail chunk"
+            );
+        }
+        // Monotone in weight: a strictly heavier connection never gets a
+        // smaller chunk.
+        let w = planner.weights();
+        for i in 0..ranges.len() {
+            for j in 0..ranges.len() {
+                if w[i] > w[j] {
+                    assert!(
+                        ranges[i].1 - ranges[i].0 >= ranges[j].1 - ranges[j].0,
+                        "weight {} got a smaller chunk than weight {} (jobs={jobs}, weights={w:?})",
+                        w[i],
+                        w[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_weights_reproduce_the_count_balanced_split() {
+        let planner = ChunkPlanner::count_balanced(3);
+        // 30 jobs over 3 equal connections: 10 each.
+        assert_eq!(planner.plan(30), vec![(0, 10), (10, 20), (20, 30)]);
+        // 10 jobs fund only one minimum chunk; ties resolve to the first
+        // connection, deterministically.
+        assert_eq!(planner.plan(10), vec![(0, 10), (10, 10), (10, 10)]);
+        // 31 jobs: the leftover job goes to exactly one connection.
+        let sizes: Vec<usize> = planner.plan(31).iter().map(|&(lo, hi)| hi - lo).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 31);
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+    }
+
+    #[test]
+    fn empty_inputs_plan_trivially() {
+        assert!(ChunkPlanner::new(&[]).plan(64).is_empty());
+        assert_eq!(
+            ChunkPlanner::count_balanced(2).plan(0),
+            vec![(0, 0), (0, 0)]
+        );
+    }
+
+    #[test]
+    fn fast_endpoints_carry_more_of_the_batch() {
+        // 10x the throughput => roughly 10/11ths of the jobs.
+        let planner = ChunkPlanner::new(&[Some(10.0), Some(1.0)]);
+        let ranges = planner.plan(110);
+        assert_eq!(ranges[0], (0, 100));
+        assert_eq!(ranges[1], (100, 110));
+        // And in reverse connection order the big chunk moves with the
+        // big weight.
+        let planner = ChunkPlanner::new(&[Some(1.0), Some(10.0)]);
+        let ranges = planner.plan(110);
+        assert_eq!(ranges[0].1 - ranges[0].0, 10);
+        assert_eq!(ranges[1].1 - ranges[1].0, 100);
+    }
+
+    #[test]
+    fn unmeasured_connections_get_the_mean_measured_weight() {
+        let planner = ChunkPlanner::new(&[Some(30.0), None, Some(10.0)]);
+        assert_eq!(planner.weights(), &[30.0, 20.0, 10.0]);
+        // Garbage measurements count as unmeasured, not as zero.
+        let planner = ChunkPlanner::new(&[Some(f64::NAN), Some(-3.0), None]);
+        assert_eq!(planner.weights(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn extreme_weight_ratios_still_respect_the_chunk_floor() {
+        // A 1000x-slower endpoint's ideal share is under one job; the
+        // repair pass must still hand it a minimum chunk, funded from the
+        // fast endpoint.
+        let planner = ChunkPlanner::new(&[Some(1000.0), Some(1.0)]);
+        let ranges = planner.plan(64);
+        assert_eq!(ranges[0], (0, 56));
+        assert_eq!(ranges[1], (56, 64));
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_heaviest_connection() {
+        let planner = ChunkPlanner::new(&[Some(1.0), Some(5.0), Some(2.0)]);
+        // 12 jobs fund one chunk; it must land on the weight-5 connection.
+        assert_eq!(planner.plan(12), vec![(0, 0), (0, 12), (12, 12)]);
+        // 3 jobs are below the floor: the single tail chunk is allowed.
+        assert_eq!(planner.plan(3), vec![(0, 0), (0, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn property_plans_partition_respect_floor_and_stay_monotone() {
+        // Seeded random fleets: the three satellite properties hold on
+        // every plan.
+        for seed in 0..200u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) + 1);
+            let conns = 1 + rng.below(12) as usize;
+            let weights: Vec<Option<f64>> = (0..conns)
+                .map(|_| match rng.below(4) {
+                    0 => None,
+                    _ => Some(1.0 + rng.below(10_000) as f64 / 10.0),
+                })
+                .collect();
+            let jobs = rng.below(600) as usize;
+            assert_plan_invariants(&ChunkPlanner::new(&weights), jobs);
+            assert_plan_invariants(&ChunkPlanner::count_balanced(conns), jobs);
+        }
+    }
+
+    #[test]
+    fn count_balanced_sizes_differ_by_at_most_one() {
+        for seed in 0..50u64 {
+            let mut rng = Lcg(seed + 7);
+            let conns = 1 + rng.below(9) as usize;
+            let jobs = (MIN_JOBS_PER_CHUNK * conns) as u64 + rng.below(500);
+            let sizes: Vec<usize> = ChunkPlanner::count_balanced(conns)
+                .plan(jobs as usize)
+                .iter()
+                .map(|&(lo, hi)| hi - lo)
+                .collect();
+            let used: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
+            let min = used.iter().min().unwrap();
+            let max = used.iter().max().unwrap();
+            assert!(max - min <= 1, "count-balanced chunks must stay even");
+        }
+    }
+}

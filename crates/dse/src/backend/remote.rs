@@ -36,14 +36,28 @@
 //!    JSON lines (v1); floats travel as IEEE-754 bit patterns either way —
 //!    remote scores are bit-identical to inline ones.
 //!
-//! **Chunking is latency-aware.** The subprocess backend splits every
-//! batch across all workers because pipes are cheap; a network round trip
-//! is not, so small batches would drown in per-chunk latency. The remote
-//! backend instead targets at least [`MIN_CHUNK`] jobs per connection and
-//! splits the batch into *count-balanced* chunks (sizes differing by at
-//! most one) across however many connections that justifies — one
-//! connection scores a small batch whole, large batches fan out across the
-//! roster.
+//! **Chunking is latency-aware and throughput-weighted.** The subprocess
+//! backend splits every batch across all workers because pipes are cheap;
+//! a network round trip is not, so small batches would drown in per-chunk
+//! latency. The remote backend instead targets at least
+//! [`MIN_JOBS_PER_CHUNK`](super::MIN_JOBS_PER_CHUNK) jobs per connection
+//! and hands the batch to the pure [`ChunkPlanner`](super::ChunkPlanner):
+//! each connection's share is weighted by its endpoint's estimated
+//! throughput — an EWMA of observed exchange rates, seeded from the
+//! cumulative batch-latency accounting and decayed back to that seed when
+//! a connection fails (a registry eviction resets the estimate entirely,
+//! so a re-announced worker starts cold). Each planned chunk is queued as
+//! [`PIECES_PER_CHUNK`] requeueable pieces; a connection that drains its
+//! own queue *steals the queued tail* of the most backlogged one (the
+//! straggler requeue), so one slow worker delays the batch by at most its
+//! in-flight piece, not its whole chunk. Scheduling never affects
+//! results: every piece keeps its batch offset and scores are reassembled
+//! in input order, so any placement is bit-identical to inline.
+//!
+//! **Multi-session dialing.** An endpoint's connection cap starts at the
+//! slot count its registry announcement advertised (1 for static
+//! endpoints) and is refined by every `welcome`, so a single job fans out
+//! across several sessions of a multi-slot daemon from the first batch.
 //!
 //! **Failure isolation matches the subprocess backend.** A connection that
 //! dies, answers garbage or fails the handshake (including a version
@@ -56,14 +70,16 @@
 //! prints a single stderr warning per run (the only diagnostic; every
 //! later failure is silent).
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::eval::{CandidateScore, EvalCore};
 
+use super::planner::{ChunkPlanner, ChunkPolicy, MIN_JOBS_PER_CHUNK};
 use super::protocol::{hello_line, parse_welcome, NO_FREE_SLOTS};
 use super::session::WireMode;
 use super::{session, BackendStats, EvalBackend, EvalJob, StopCheck, WorkerDirectory};
@@ -86,16 +102,25 @@ const SCORE_TIMEOUT: Duration = Duration::from_secs(300);
 /// failure before reconnection is attempted again.
 pub(crate) const RECONNECT_BACKOFF: Duration = Duration::from_secs(30);
 
-/// Minimum jobs per remote chunk: a network round trip is only worth
-/// paying when it carries enough work. Batches smaller than `2 *
-/// MIN_CHUNK` go to a single connection whole.
-const MIN_CHUNK: usize = 8;
+/// How many requeueable pieces an adaptive chunk is split into (each at
+/// least [`MIN_JOBS_PER_CHUNK`] jobs, except a short tail). More pieces
+/// requeue stragglers at finer grain but pay more round trips; four keeps
+/// the extra latency marginal while bounding a straggler's hold on the
+/// batch to a quarter of its chunk.
+const PIECES_PER_CHUNK: usize = 4;
+
+/// Smoothing factor of the per-endpoint throughput EWMA: each observed
+/// exchange rate contributes this fraction. High enough that a worker
+/// whose load changed re-converges within a few batches, low enough that
+/// one noisy exchange cannot swing the plan.
+const EWMA_ALPHA: f64 = 0.4;
 
 /// Per-endpoint connection accounting.
 struct EndpointHealth {
-    /// Our connection cap for this endpoint, derived from the capacity
-    /// the daemon advertised in its last `welcome` (`1` until the first
-    /// successful handshake).
+    /// Our connection cap for this endpoint: seeded from the slot count
+    /// its registry announcement advertised (`1` for static endpoints),
+    /// refined by the capacity the daemon advertised in its last
+    /// `welcome`.
     slots: usize,
     /// Connections currently open (idle in the pool, sessioned to a run,
     /// or reserved for an in-flight dial).
@@ -107,6 +132,51 @@ struct EndpointHealth {
     batch_seconds: f64,
     /// Successful scoring round trips, the divisor for `batch_seconds`.
     batches: usize,
+    /// Candidates scored by this endpoint (across all round trips).
+    jobs: usize,
+    /// EWMA of observed scoring throughput (candidates per second per
+    /// connection), the [`ChunkPlanner`] weight. `None` until the first
+    /// exchange; cleared back to the cumulative-average seed on
+    /// connection failure and zeroed entirely on registry eviction, so
+    /// reconnecting or re-announced workers never inherit stale
+    /// measurements.
+    ewma_cand_per_sec: Option<f64>,
+}
+
+impl EndpointHealth {
+    /// Records one successful scoring exchange and folds its rate into
+    /// the throughput EWMA.
+    fn observe_exchange(&mut self, jobs: usize, seconds: f64) {
+        self.batch_seconds += seconds;
+        self.batches += 1;
+        self.jobs += jobs;
+        let rate = jobs as f64 / seconds.max(1e-9);
+        self.ewma_cand_per_sec = Some(match self.ewma_cand_per_sec {
+            None => rate,
+            Some(prev) => prev * (1.0 - EWMA_ALPHA) + rate * EWMA_ALPHA,
+        });
+    }
+
+    /// The planner weight: the EWMA when one is live, else the cumulative
+    /// average rate (the seed from the batch-latency accounting), else
+    /// `None` (a cold endpoint — the planner fills in the fleet mean).
+    fn throughput_estimate(&self) -> Option<f64> {
+        self.ewma_cand_per_sec.or_else(|| {
+            (self.batches > 0 && self.batch_seconds > 0.0)
+                .then(|| self.jobs as f64 / self.batch_seconds)
+        })
+    }
+
+    /// Forgets every throughput/latency measurement — the registry
+    /// evicted (or re-registered) this endpoint, so whatever answers at
+    /// the address next may be a different worker entirely and must start
+    /// from a cold estimate.
+    fn reset_estimates(&mut self) {
+        self.batch_seconds = 0.0;
+        self.batches = 0;
+        self.jobs = 0;
+        self.ewma_cand_per_sec = None;
+    }
 }
 
 /// One endpoint of the fleet. Connections hold an `Arc` to their endpoint
@@ -124,28 +194,58 @@ struct Endpoint {
     /// Protocol version negotiated by the most recent session on this
     /// endpoint (`0` until one succeeds) — observability only.
     protocol: AtomicU32,
+    /// The directory registration epoch this endpoint was last seen at
+    /// (`0` when the directory does not track epochs). A changed epoch
+    /// means the worker deregistered and re-announced between roster
+    /// refreshes — its measurements reset even though the address never
+    /// left the roster.
+    epoch: AtomicU64,
     health: Mutex<EndpointHealth>,
 }
 
 impl Endpoint {
     fn new(addr: String, discovered: bool) -> Arc<Self> {
+        Self::with_hints(addr, discovered, 1, 0)
+    }
+
+    /// An endpoint seeded with the slot count and registration epoch its
+    /// directory entry advertised, so multi-session dialing starts before
+    /// the first `welcome` refines the cap.
+    fn with_hints(addr: String, discovered: bool, slots: usize, epoch: u64) -> Arc<Self> {
         Arc::new(Self {
             addr,
             discovered,
             retired: AtomicBool::new(false),
             protocol: AtomicU32::new(0),
+            epoch: AtomicU64::new(epoch),
             health: Mutex::new(EndpointHealth {
-                slots: 1,
+                slots: slots.max(1),
                 live: 0,
                 backoff_until: None,
                 batch_seconds: 0.0,
                 batches: 0,
+                jobs: 0,
+                ewma_cand_per_sec: None,
             }),
         })
     }
 
     fn release_one(&self) {
         self.health.lock().expect("endpoint").live -= 1;
+    }
+
+    /// The current planner weight (see
+    /// [`EndpointHealth::throughput_estimate`]).
+    fn throughput_estimate(&self) -> Option<f64> {
+        self.health.lock().expect("endpoint").throughput_estimate()
+    }
+
+    /// Records one successful scoring exchange.
+    fn observe_exchange(&self, jobs: usize, seconds: f64) {
+        self.health
+            .lock()
+            .expect("endpoint")
+            .observe_exchange(jobs, seconds);
     }
 }
 
@@ -180,6 +280,13 @@ pub struct RemoteEndpointStatus {
     pub batch_seconds: f64,
     /// Successful scoring round trips to the endpoint.
     pub batches: usize,
+    /// Candidates the endpoint scored (across all round trips) — the
+    /// direct read on how the adaptive planner is sharing batches.
+    pub jobs: usize,
+    /// Estimated scoring throughput (candidates per second per
+    /// connection): the live planner weight, `None` while the endpoint is
+    /// cold (no measurement yet, or reset by a registry eviction).
+    pub throughput: Option<f64>,
 }
 
 /// A point-in-time view of a [`RemotePool`] for metrics and summaries.
@@ -194,6 +301,9 @@ pub struct RemoteFleetSnapshot {
     /// TCP connects + handshakes performed over the pool's lifetime — the
     /// measure of how well persistent connections amortize dial cost.
     pub connects: usize,
+    /// Straggler requeues over the pool's lifetime: queued chunk-tail
+    /// pieces an idle connection took over from a backlogged one.
+    pub requeued_pieces: usize,
 }
 
 /// A pool of transport-handshaked worker connections and the endpoint
@@ -217,6 +327,8 @@ pub struct RemotePool {
     rotate: AtomicUsize,
     /// Cumulative connects over the pool's lifetime.
     connects: AtomicUsize,
+    /// Cumulative straggler requeues (stolen chunk-tail pieces).
+    requeues: AtomicUsize,
 }
 
 impl std::fmt::Debug for RemotePool {
@@ -261,6 +373,7 @@ impl RemotePool {
             directory: Mutex::new(None),
             rotate: AtomicUsize::new(0),
             connects: AtomicUsize::new(0),
+            requeues: AtomicUsize::new(0),
         })
     }
 
@@ -285,26 +398,57 @@ impl RemotePool {
     }
 
     /// Re-unions the roster with the directory (when one is attached):
-    /// newly announced workers join as discovered endpoints, and
-    /// discovered endpoints that left (drained or evicted) are retired —
-    /// their idle connections are closed, and sessioned ones close as they
-    /// return. Static endpoints are never retired.
+    /// newly announced workers join as discovered endpoints — seeded with
+    /// the slot count their registration advertised, so multi-session
+    /// dialing starts on the first batch — and discovered endpoints that
+    /// left (drained or evicted) are retired: their throughput estimates
+    /// are reset, their idle connections are closed, and sessioned ones
+    /// close as they return. An endpoint whose registration *epoch*
+    /// changed (it deregistered and re-announced between refreshes, so
+    /// the address never visibly left the roster) also resets its
+    /// estimates: whatever answers there now starts from a cold weight.
+    /// Static endpoints are never retired.
     pub(crate) fn refresh_roster(&self) {
         let directory = self.directory.lock().expect("remote directory").clone();
         let Some(directory) = directory else { return };
-        let mut roster = directory.roster();
-        roster.sort();
+        let mut entries = directory.entries();
+        entries.sort_by(|a, b| a.addr.cmp(&b.addr));
         let mut endpoints = self.endpoints.lock().expect("remote roster");
         endpoints.retain(|endpoint| {
-            let keep = !endpoint.discovered || roster.iter().any(|a| a == &endpoint.addr);
+            let keep = !endpoint.discovered || entries.iter().any(|e| e.addr == endpoint.addr);
             if !keep {
                 endpoint.retired.store(true, Ordering::SeqCst);
+                // The eviction fix: a worker re-announced at this address
+                // later must start from a cold estimate, and connections
+                // still holding this endpoint must stop feeding a stale
+                // weight.
+                endpoint.health.lock().expect("endpoint").reset_estimates();
             }
             keep
         });
-        for addr in roster {
-            if !endpoints.iter().any(|e| e.addr == addr) {
-                endpoints.push(Endpoint::new(addr, true));
+        for entry in entries {
+            match endpoints.iter().find(|e| e.addr == entry.addr) {
+                Some(endpoint) => {
+                    let prev = endpoint.epoch.swap(entry.epoch, Ordering::SeqCst);
+                    if entry.epoch != 0 && prev != 0 && prev != entry.epoch {
+                        let mut health = endpoint.health.lock().expect("endpoint");
+                        health.reset_estimates();
+                        health.slots = entry.slots.max(1);
+                    } else if endpoint.protocol.load(Ordering::Relaxed) == 0 {
+                        // No session yet: keep the advertised slot count
+                        // fresh until a `welcome` takes over.
+                        let mut health = endpoint.health.lock().expect("endpoint");
+                        health.slots = health.slots.max(entry.slots);
+                    }
+                }
+                None => {
+                    endpoints.push(Endpoint::with_hints(
+                        entry.addr,
+                        true,
+                        entry.slots,
+                        entry.epoch,
+                    ));
+                }
             }
         }
         drop(endpoints);
@@ -433,6 +577,8 @@ impl RemotePool {
                     protocol: e.protocol.load(Ordering::Relaxed),
                     batch_seconds: health.batch_seconds,
                     batches: health.batches,
+                    jobs: health.jobs,
+                    throughput: health.throughput_estimate(),
                 }
             })
             .collect();
@@ -441,6 +587,7 @@ impl RemotePool {
             live_connections: statuses.iter().map(|s| s.live).sum(),
             idle_connections: self.idle.lock().expect("remote idle").len(),
             connects: self.connects.load(Ordering::Relaxed),
+            requeued_pieces: self.requeues.load(Ordering::Relaxed),
             endpoints: statuses,
         }
     }
@@ -458,6 +605,7 @@ struct RunSession {
 /// connections from a [`RemotePool`].
 pub struct RemoteBackend {
     pool: Arc<RemotePool>,
+    policy: ChunkPolicy,
     session: Mutex<RunSession>,
     warned: AtomicBool,
     batches: AtomicUsize,
@@ -491,8 +639,16 @@ impl RemoteBackend {
     /// always ship correctly; the connections themselves outlive the run
     /// and return to the pool on [`flush`](EvalBackend::flush).
     pub fn with_pool(pool: Arc<RemotePool>) -> Self {
+        Self::with_pool_policy(pool, ChunkPolicy::Adaptive)
+    }
+
+    /// [`with_pool`](Self::with_pool) with an explicit [`ChunkPolicy`].
+    /// [`ChunkPolicy::CountBalanced`] restores the pre-adaptive equal
+    /// split with no straggler requeue — the benchmark baseline.
+    pub fn with_pool_policy(pool: Arc<RemotePool>, policy: ChunkPolicy) -> Self {
         Self {
             pool,
+            policy,
             session: Mutex::new(RunSession {
                 init_line: None,
                 ready: Vec::new(),
@@ -539,11 +695,15 @@ impl RemoteBackend {
     }
 
     /// Releases a reservation whose dial/handshake failed and backs its
-    /// endpoint off.
+    /// endpoint off. The throughput EWMA decays back to its cumulative-
+    /// average seed: the worker that reconnects after the backoff may be
+    /// restarted or differently loaded, so the recent-history estimate is
+    /// not trusted across the failure.
     fn fail_reservation(&self, endpoint: &Arc<Endpoint>, detail: &str) {
         let mut health = endpoint.health.lock().expect("endpoint");
         health.live -= 1;
         health.backoff_until = Some(Instant::now() + RECONNECT_BACKOFF);
+        health.ewma_cand_per_sec = None;
         drop(health);
         self.warn_once(detail);
     }
@@ -654,10 +814,7 @@ impl RemoteBackend {
             match exchanged {
                 Ok(scores) => {
                     let elapsed = started.elapsed().as_secs_f64();
-                    let mut health = conn.endpoint.health.lock().expect("endpoint");
-                    health.batch_seconds += elapsed;
-                    health.batches += 1;
-                    drop(health);
+                    conn.endpoint.observe_exchange(jobs.len(), elapsed);
                     return (scores, Some(conn), jobs.len(), 0);
                 }
                 Err(detail) => {
@@ -681,9 +838,45 @@ impl RemoteBackend {
     }
 
     /// How many connections a batch of `jobs` jobs is worth, before the
-    /// fleet caps it: at least [`MIN_CHUNK`] jobs per network round trip.
+    /// fleet caps it: at least [`MIN_JOBS_PER_CHUNK`] jobs per network
+    /// round trip.
     fn target_connections(jobs: usize) -> usize {
-        (jobs / MIN_CHUNK).max(1)
+        (jobs / MIN_JOBS_PER_CHUNK).max(1)
+    }
+}
+
+/// The shared queue of batch pieces the scorer threads drain. Each
+/// connection owns one FIFO of contiguous `(lo, hi)` job ranges — its
+/// planned chunk, pre-split into pieces — and pops from its own queue
+/// front first. A connection whose queue runs dry *steals* from the back
+/// of the most-backlogged queue: that tail piece is exactly the
+/// "remaining tail of an unfinished chunk", requeued onto an idle
+/// connection instead of waited on. Pieces carry their batch offsets, so
+/// wherever a piece runs its scores land at the same input positions.
+struct PieceBoard {
+    queues: Mutex<Vec<VecDeque<(usize, usize)>>>,
+}
+
+impl PieceBoard {
+    fn new(queues: Vec<VecDeque<(usize, usize)>>) -> Self {
+        Self {
+            queues: Mutex::new(queues),
+        }
+    }
+
+    /// Next piece for connection `own`: its own front, else the back of
+    /// the longest-tailed other queue. The `bool` is true for a steal.
+    fn pop(&self, own: usize) -> Option<(usize, usize, bool)> {
+        let mut queues = self.queues.lock().expect("piece board");
+        if let Some((lo, hi)) = queues[own].pop_front() {
+            return Some((lo, hi, false));
+        }
+        let victim = (0..queues.len())
+            .filter(|&k| k != own)
+            .max_by_key(|&k| queues[k].iter().map(|&(lo, hi)| hi - lo).sum::<usize>())
+            .filter(|&k| !queues[k].is_empty())?;
+        let (lo, hi) = queues[victim].pop_back().expect("non-empty victim");
+        Some((lo, hi, true))
     }
 }
 
@@ -738,56 +931,114 @@ impl EvalBackend for RemoteBackend {
         }
         self.lease_missing(&mut conns, want, &init, stop);
 
-        // Count-balanced chunks, one per connection: sizes differ by at
-        // most one, so every round trip carries its fair share. With no
-        // connection at all the batch runs inline whole.
+        // Throughput-weighted chunks, one per connection (equal-weighted
+        // under [`ChunkPolicy::CountBalanced`]). With no connection at all
+        // the batch runs inline whole.
         let width = conns.len().clamp(1, jobs.len());
-        let base = jobs.len() / width;
-        let extra = jobs.len() % width;
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(width);
-        let mut offset = 0usize;
-        for k in 0..width {
-            let len = base + usize::from(k < extra);
-            ranges.push((offset, offset + len));
-            offset += len;
-        }
-
-        let mut slots: Vec<Option<RemoteConn>> = conns.into_iter().map(Some).collect();
-        slots.resize_with(width, || None);
 
         let mut out = Vec::with_capacity(jobs.len());
         let mut survivors: Vec<RemoteConn> = Vec::new();
         let mut remote = 0usize;
         let mut fallback = 0usize;
-        if width == 1 {
-            let (lo, hi) = ranges[0];
-            let (scores, conn, r, f) =
-                self.run_chunk(core, &jobs[lo..hi], slots[0].take(), id_base, stop);
+        // A tiny batch can earn fewer chunks than we hold connections;
+        // park the surplus back in the session rather than scoring with
+        // sub-minimum chunks.
+        let mut conns = conns;
+        while conns.len() > width {
+            survivors.extend(conns.pop());
+        }
+        if width <= 1 {
+            let conn = conns.into_iter().next();
+            let (scores, conn, r, f) = self.run_chunk(core, jobs, conn, id_base, stop);
             out.extend(scores);
             survivors.extend(conn);
             remote += r;
             fallback += f;
         } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = ranges
+            let planner = match self.policy {
+                ChunkPolicy::Adaptive => ChunkPlanner::new(
+                    &conns
+                        .iter()
+                        .map(|c| c.endpoint.throughput_estimate())
+                        .collect::<Vec<_>>(),
+                ),
+                ChunkPolicy::CountBalanced => ChunkPlanner::count_balanced(width),
+            };
+            let ranges = planner.plan(jobs.len());
+            // Pre-split each planned chunk into pieces so a straggling
+            // connection's unfinished tail can be stolen by an idle one.
+            // CountBalanced keeps whole chunks: the baseline has no
+            // requeue.
+            let split = matches!(self.policy, ChunkPolicy::Adaptive);
+            let board = PieceBoard::new(
+                ranges
                     .iter()
-                    .zip(slots.iter_mut())
-                    .map(|(&(lo, hi), slot)| {
-                        let conn = slot.take();
-                        let chunk_base = id_base + lo as u64;
-                        s.spawn(move || self.run_chunk(core, &jobs[lo..hi], conn, chunk_base, stop))
+                    .map(|&(lo, hi)| {
+                        let mut pieces = VecDeque::new();
+                        if hi > lo {
+                            let step = if split {
+                                (hi - lo).div_ceil(PIECES_PER_CHUNK).max(MIN_JOBS_PER_CHUNK)
+                            } else {
+                                hi - lo
+                            };
+                            let mut at = lo;
+                            while at < hi {
+                                let next = (at + step).min(hi);
+                                pieces.push_back((at, next));
+                                at = next;
+                            }
+                        }
+                        pieces
+                    })
+                    .collect(),
+            );
+            let board = &board;
+            let mut pieced: Vec<(usize, Vec<CandidateScore>)> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = conns
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, conn)| {
+                        s.spawn(move || {
+                            let mut conn = Some(conn);
+                            let mut results: Vec<(usize, Vec<CandidateScore>)> = Vec::new();
+                            let (mut r, mut f, mut steals) = (0usize, 0usize, 0usize);
+                            while let Some((lo, hi, stolen)) = board.pop(k) {
+                                steals += usize::from(stolen);
+                                let (scores, kept, pr, pf) = self.run_chunk(
+                                    core,
+                                    &jobs[lo..hi],
+                                    conn.take(),
+                                    id_base + lo as u64,
+                                    stop,
+                                );
+                                conn = kept;
+                                results.push((lo, scores));
+                                r += pr;
+                                f += pf;
+                            }
+                            (results, conn, r, f, steals)
+                        })
                     })
                     .collect();
-                // Chunks joined in submission order: deterministic
-                // input-order reduction.
                 for handle in handles {
-                    let (scores, conn, r, f) = handle.join().expect("chunk scorer panicked");
-                    out.extend(scores);
+                    let (results, conn, r, f, steals) =
+                        handle.join().expect("chunk scorer panicked");
+                    pieced.extend(results);
                     survivors.extend(conn);
                     remote += r;
                     fallback += f;
+                    self.pool.requeues.fetch_add(steals, Ordering::Relaxed);
                 }
             });
+            // Deterministic input-order reduction: the pieces partition
+            // the batch exactly, so reassembling them by offset rebuilds
+            // the inline score vector bit for bit no matter where each
+            // piece actually ran.
+            pieced.sort_unstable_by_key(|&(lo, _)| lo);
+            for (_, scores) in pieced {
+                out.extend(scores);
+            }
         }
         self.remote.fetch_add(remote, Ordering::Relaxed);
         self.fallback.fetch_add(fallback, Ordering::Relaxed);
@@ -842,11 +1093,14 @@ mod tests {
     #[test]
     fn chunk_target_is_latency_aware() {
         // Small batches stay on one connection; larger batches earn one
-        // connection per MIN_CHUNK jobs.
+        // connection per MIN_JOBS_PER_CHUNK jobs.
         assert_eq!(RemoteBackend::target_connections(1), 1);
-        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK - 1), 1);
-        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK * 3), 3);
-        assert_eq!(RemoteBackend::target_connections(MIN_CHUNK * 3 + 1), 3);
+        assert_eq!(RemoteBackend::target_connections(MIN_JOBS_PER_CHUNK - 1), 1);
+        assert_eq!(RemoteBackend::target_connections(MIN_JOBS_PER_CHUNK * 3), 3);
+        assert_eq!(
+            RemoteBackend::target_connections(MIN_JOBS_PER_CHUNK * 3 + 1),
+            3
+        );
     }
 
     #[test]
@@ -931,5 +1185,136 @@ mod tests {
         let a = RemoteBackend::with_pool(Arc::clone(&pool));
         let b = RemoteBackend::with_pool(Arc::clone(&pool));
         assert!(Arc::ptr_eq(&a.pool, &b.pool));
+    }
+
+    use super::super::DirectoryEntry;
+
+    #[derive(Debug)]
+    struct EpochDirectory(Mutex<Vec<DirectoryEntry>>);
+
+    impl WorkerDirectory for EpochDirectory {
+        fn roster(&self) -> Vec<String> {
+            self.0
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|e| e.addr.clone())
+                .collect()
+        }
+
+        fn entries(&self) -> Vec<DirectoryEntry> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    #[test]
+    fn advertised_slots_seed_multi_session_dialing() {
+        // A registration advertising 3 slots lets one job reserve 3
+        // concurrent sessions on the endpoint *before* any welcome has
+        // refined the cap.
+        let pool = RemotePool::new(Vec::new(), None);
+        let directory = Arc::new(EpochDirectory(Mutex::new(vec![DirectoryEntry {
+            addr: "127.0.0.1:7101".to_string(),
+            slots: 3,
+            epoch: 1,
+        }])));
+        pool.set_directory(Arc::clone(&directory) as Arc<dyn WorkerDirectory>);
+        pool.refresh_roster();
+        assert!(pool.reserve_slot().is_some());
+        assert!(pool.reserve_slot().is_some());
+        assert!(pool.reserve_slot().is_some());
+        assert!(pool.reserve_slot().is_none(), "capacity is still bounded");
+    }
+
+    #[test]
+    fn epoch_change_resets_throughput_estimates() {
+        let pool = RemotePool::new(Vec::new(), None);
+        let directory = Arc::new(EpochDirectory(Mutex::new(vec![DirectoryEntry {
+            addr: "127.0.0.1:7102".to_string(),
+            slots: 1,
+            epoch: 7,
+        }])));
+        pool.set_directory(Arc::clone(&directory) as Arc<dyn WorkerDirectory>);
+        pool.refresh_roster();
+        {
+            let endpoints = pool.endpoints.lock().unwrap();
+            endpoints[0].observe_exchange(100, 1.0);
+        }
+        // Same epoch across a refresh: the estimate survives.
+        pool.refresh_roster();
+        {
+            let endpoints = pool.endpoints.lock().unwrap();
+            assert_eq!(endpoints[0].throughput_estimate(), Some(100.0));
+        }
+        // The worker restarted between refreshes — the address never left
+        // the roster, but the epoch moved. Cold estimate.
+        directory.0.lock().unwrap()[0].epoch = 8;
+        pool.refresh_roster();
+        {
+            let endpoints = pool.endpoints.lock().unwrap();
+            assert_eq!(
+                endpoints[0].throughput_estimate(),
+                None,
+                "a re-announced worker must not inherit stale measurements"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_resets_estimates_for_reannounced_workers() {
+        let pool = RemotePool::new(Vec::new(), None);
+        let directory = Arc::new(FixedDirectory(Mutex::new(vec![
+            "127.0.0.1:7103".to_string()
+        ])));
+        pool.set_directory(Arc::clone(&directory) as Arc<dyn WorkerDirectory>);
+        pool.refresh_roster();
+        let first = {
+            let endpoints = pool.endpoints.lock().unwrap();
+            endpoints[0].observe_exchange(50, 1.0);
+            Arc::clone(&endpoints[0])
+        };
+        // Evicted from the registry: the endpoint retires and its
+        // accumulators zero, so code still holding the Arc reads a cold
+        // estimate too.
+        *directory.0.lock().unwrap() = Vec::new();
+        pool.refresh_roster();
+        assert!(first.retired.load(Ordering::SeqCst));
+        assert_eq!(first.throughput_estimate(), None);
+        // Re-announced at the same address: a fresh endpoint, cold weight.
+        *directory.0.lock().unwrap() = vec!["127.0.0.1:7103".to_string()];
+        pool.refresh_roster();
+        let endpoints = pool.endpoints.lock().unwrap();
+        assert_eq!(endpoints[0].throughput_estimate(), None);
+    }
+
+    #[test]
+    fn connection_failure_decays_ewma_to_cumulative_seed() {
+        let backend = RemoteBackend::new(vec!["127.0.0.1:1".to_string()], None);
+        let endpoint = Arc::clone(&backend.pool.endpoints.lock().unwrap()[0]);
+        endpoint.observe_exchange(10, 1.0);
+        endpoint.observe_exchange(40, 1.0);
+        assert_ne!(endpoint.throughput_estimate(), Some(25.0), "EWMA leads");
+        endpoint.health.lock().unwrap().live = 1;
+        backend.fail_reservation(&endpoint, "test failure");
+        // The EWMA is forgotten; the cumulative average (50 jobs over 2 s)
+        // remains as the cautious seed for the next session.
+        assert_eq!(endpoint.throughput_estimate(), Some(25.0));
+    }
+
+    #[test]
+    fn piece_board_steals_from_the_most_backlogged_tail() {
+        let board = PieceBoard::new(vec![
+            VecDeque::from(vec![(0, 4)]),
+            VecDeque::from(vec![(4, 10), (10, 16), (16, 20)]),
+            VecDeque::new(),
+        ]);
+        assert_eq!(board.pop(0), Some((0, 4, false)), "own queue first");
+        // Queue 0 is dry: steal the *tail* of the longest backlog so the
+        // victim keeps its earlier (already-planned) pieces in order.
+        assert_eq!(board.pop(0), Some((16, 20, true)));
+        assert_eq!(board.pop(1), Some((4, 10, false)));
+        assert_eq!(board.pop(2), Some((10, 16, true)));
+        assert_eq!(board.pop(1), None);
+        assert_eq!(board.pop(0), None);
     }
 }

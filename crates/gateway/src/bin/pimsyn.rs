@@ -1361,6 +1361,10 @@ fn run_worker_serve(argv: &[String]) -> ExitCode {
         quiet: args.quiet,
         protocol_max: args.protocol_max,
         announce: args.announce.clone(),
+        // Test-harness hook: chaos suites and CI smokes misconfigure a
+        // stock binary through PIMSYN_FAULT_* without extra flags. All
+        // unset (the overwhelmingly common case) injects nothing.
+        faults: pimsyn::FaultInjection::from_env(),
     };
     match pimsyn::serve_workers(listener, config) {
         Ok(()) => ExitCode::SUCCESS,

@@ -805,6 +805,14 @@ fn handle_metrics(shared: &GatewayShared) -> Outcome {
              pimsyn_gateway_fleet_connects_total {}",
             fleet.connects
         );
+        let _ = writeln!(
+            body,
+            "# HELP pimsyn_gateway_fleet_requeued_pieces_total Straggler chunk \
+             pieces stolen by an idle connection over the pool's lifetime.\n\
+             # TYPE pimsyn_gateway_fleet_requeued_pieces_total counter\n\
+             pimsyn_gateway_fleet_requeued_pieces_total {}",
+            fleet.requeued_pieces
+        );
         body.push_str(
             "# HELP pimsyn_gateway_fleet_endpoint_protocol Last negotiated worker-\
              protocol version per endpoint (0 = never connected).\n\
@@ -836,6 +844,35 @@ fn handle_metrics(shared: &GatewayShared) -> Outcome {
                 body,
                 "pimsyn_gateway_fleet_endpoint_batch_seconds_count{{addr=\"{addr}\"}} {}",
                 endpoint.batches
+            );
+        }
+        body.push_str(
+            "# HELP pimsyn_gateway_fleet_endpoint_jobs_total Candidates scored \
+             remotely per endpoint — the adaptive chunker's per-endpoint share \
+             of the work.\n\
+             # TYPE pimsyn_gateway_fleet_endpoint_jobs_total counter\n",
+        );
+        for endpoint in &fleet.endpoints {
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_fleet_endpoint_jobs_total{{addr=\"{}\"}} {}",
+                http::escape_label(&endpoint.addr),
+                endpoint.jobs
+            );
+        }
+        body.push_str(
+            "# HELP pimsyn_gateway_fleet_endpoint_throughput Current per-\
+             candidate throughput estimate (candidates/s; EWMA over observed \
+             exchanges, 0 = no estimate yet) weighting the endpoint's chunk \
+             share.\n\
+             # TYPE pimsyn_gateway_fleet_endpoint_throughput gauge\n",
+        );
+        for endpoint in &fleet.endpoints {
+            let _ = writeln!(
+                body,
+                "pimsyn_gateway_fleet_endpoint_throughput{{addr=\"{}\"}} {}",
+                http::escape_label(&endpoint.addr),
+                endpoint.throughput.unwrap_or(0.0)
             );
         }
     }

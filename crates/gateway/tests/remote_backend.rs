@@ -419,6 +419,107 @@ fn dead_worker_is_evicted_and_results_stay_identical() {
     service.shutdown();
 }
 
+// --- chaos suite: adaptive chunking under a misbehaving fleet ---
+
+use pimsyn::FaultInjection;
+
+/// The heterogeneous-fleet chaos test: one fast healthy worker, one
+/// heavily slowed worker (fault-injected per-candidate delay), one worker
+/// stuck on protocol v1, one worker that drops its connection every third
+/// score exchange, and one worker killed mid-run. The run must stay
+/// bit-identical to inline, and the fleet snapshot must show the adaptive
+/// chunker routing less work to the slow endpoint than the fast one.
+#[test]
+fn chaos_fleet_is_bit_identical_and_starves_the_slow_worker() {
+    let model = zoo::alexnet_cifar(10);
+    let inline = Synthesizer::new(base_options()).synthesize(&model).unwrap();
+
+    let fast = loopback_daemon(WorkerServeConfig {
+        slots: 2,
+        quiet: true,
+        ..Default::default()
+    });
+    // ~10×+ slower than real scoring: every candidate costs 2 ms extra.
+    let slow = loopback_daemon(WorkerServeConfig {
+        slots: 1,
+        quiet: true,
+        faults: FaultInjection {
+            job_delay: Some(Duration::from_millis(2)),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let v1 = loopback_daemon(WorkerServeConfig {
+        slots: 1,
+        quiet: true,
+        protocol_max: Some(1),
+        ..Default::default()
+    });
+    let flaky = loopback_daemon(WorkerServeConfig {
+        slots: 1,
+        quiet: true,
+        faults: FaultInjection {
+            drop_every: Some(3),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    // A real child process so the kill cuts live sessions mid-chunk.
+    let (mut child, killed_addr) = spawn_worker_serve_cli(&["--quiet"]);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+
+    let fast_addr = fast.addr().to_string();
+    let slow_addr = slow.addr().to_string();
+    let endpoints = vec![
+        fast_addr.clone(),
+        slow_addr.clone(),
+        v1.addr().to_string(),
+        flaky.addr().to_string(),
+        killed_addr,
+    ];
+    // Through the service so the shared pool's fleet snapshot stays
+    // readable after the run — the same wiring `pimsyn serve` uses.
+    let service = Arc::new(SynthesisService::new(ServiceConfig::default()));
+    let handle = service
+        .submit(SynthesisRequest::new(
+            model.clone(),
+            base_options().with_backend(BackendKind::Remote { endpoints }),
+        ))
+        .expect("submit job");
+    let remote = handle.await_result().expect("job succeeds");
+    killer.join().unwrap();
+    assert_identical(&inline, &remote);
+
+    let fleet = service
+        .shared_resources()
+        .remote_fleet()
+        .expect("a remote fleet exists after a remote-backend job");
+    let jobs_of = |addr: &str| {
+        fleet
+            .endpoints
+            .iter()
+            .find(|e| e.addr == addr)
+            .unwrap_or_else(|| panic!("{addr} missing from {fleet:?}"))
+            .jobs
+    };
+    assert!(jobs_of(&fast_addr) > 0, "fast worker must score remotely");
+    assert!(
+        jobs_of(&slow_addr) < jobs_of(&fast_addr),
+        "the slow endpoint must receive a smaller share than the fast one: {fleet:?}"
+    );
+    service.shutdown();
+
+    for daemon in [fast, slow, v1, flaky] {
+        let addr = daemon.addr().to_string();
+        stop_worker_server(&addr, None).expect("daemon stops cleanly");
+        daemon.join().expect("daemon exits cleanly");
+    }
+}
+
 #[test]
 fn remote_token_file_without_remote_backend_is_rejected() {
     let (_, stderr, ok) = run_cli(&[

@@ -158,6 +158,71 @@ fn remote_backend_equals_inline_bit_identically() {
     daemon.join().expect("daemon exits cleanly");
 }
 
+/// Chaos determinism: a fleet where one worker answers slowly (injected
+/// per-candidate delay), one stalls after its first exchanges, and one
+/// drops its connection every second exchange must still produce a
+/// bit-identical outcome. The adaptive chunker's throughput weighting and
+/// straggler requeue only move *where* pieces of a batch run — results are
+/// always reduced in input order, so what they score never changes.
+#[test]
+fn fault_injected_fleet_equals_inline_bit_identically() {
+    use pimsyn::FaultInjection;
+    use std::time::Duration;
+
+    let model = zoo::alexnet_cifar(10);
+    let daemon = |faults: FaultInjection| {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+        pimsyn::serve_workers_in_background(
+            listener,
+            pimsyn::WorkerServeConfig {
+                slots: 2,
+                quiet: true,
+                faults,
+                ..Default::default()
+            },
+        )
+        .expect("start worker daemon")
+    };
+    let slow = daemon(FaultInjection {
+        job_delay: Some(Duration::from_micros(400)),
+        ..Default::default()
+    });
+    let stalling = daemon(FaultInjection {
+        stall_after: Some(2),
+        stall_delay: Duration::from_millis(40),
+        ..Default::default()
+    });
+    let flaky = daemon(FaultInjection {
+        drop_every: Some(2),
+        ..Default::default()
+    });
+    let endpoints = vec![
+        slow.addr().to_string(),
+        stalling.addr().to_string(),
+        flaky.addr().to_string(),
+    ];
+    let base = SynthesisOptions::fast(Watts(9.0)).with_seed(7);
+    let inline = Synthesizer::new(base.clone())
+        .synthesize(&model)
+        .expect("inline synthesis");
+    let remote = Synthesizer::new(base.with_backend(BackendKind::Remote {
+        endpoints: endpoints.clone(),
+    }))
+    .synthesize(&model)
+    .expect("remote synthesis");
+    assert_eq!(inline.wt_dup, remote.wt_dup);
+    assert_eq!(inline.architecture, remote.architecture);
+    assert_eq!(inline.analytic, remote.analytic);
+    assert_eq!(inline.evaluations, remote.evaluations);
+    assert_eq!(inline.history, remote.history);
+    assert_eq!(inline.stop_reason, remote.stop_reason);
+    for daemon in [slow, stalling, flaky] {
+        let addr = daemon.addr().to_string();
+        pimsyn::stop_worker_server(&addr, None).expect("daemon stops cleanly");
+        daemon.join().expect("daemon exits cleanly");
+    }
+}
+
 /// A second run warm-started from a persistent cache file is bit-identical
 /// to its cold predecessor, and a mismatched fingerprint (different power)
 /// falls back cleanly to cold scoring.
